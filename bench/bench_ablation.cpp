@@ -1,0 +1,105 @@
+// Ablation studies for the design choices DESIGN.md calls out.
+//
+//   A1 — pareto cap of the deterministic placer: area-usage vs cap for ESF
+//        and RSF (the cap trades runtime for frontier resolution; Table I
+//        uses the default).
+//   A2 — sequence-pair move set: with vs without the repairing
+//        "swap any + re-seat beta" move class (exploration power of the
+//        property-(1)-preserving moves).
+//   A3 — LCS packing structure inside the SA loop: moves evaluated per
+//        second with the Fenwick packer vs the vEB packer vs the naive
+//        reference (the constant factors behind the asymptotics of E4).
+#include <cstdio>
+#include <iostream>
+
+#include "netlist/generators.h"
+#include "seqpair/packer.h"
+#include "seqpair/sa_placer.h"
+#include "shapefn/deterministic.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace als;
+
+int main() {
+  std::puts("=== Ablation A1: pareto cap of the deterministic placer ===\n");
+  {
+    Table table({"cap", "ESF usage", "ESF time (s)", "RSF usage", "RSF time (s)"});
+    Circuit c = makeTableICircuit(TableICircuit::Biasynth);
+    for (std::size_t cap : {4u, 8u, 16u, 32u, 64u}) {
+      DeterministicOptions esf{AdditionKind::Enhanced, cap, 4};
+      DeterministicOptions rsf{AdditionKind::Regular, cap, 4};
+      DeterministicResult re = placeDeterministic(c, esf);
+      DeterministicResult rr = placeDeterministic(c, rsf);
+      table.addRow({std::to_string(cap), Table::fmtPercent(re.areaUsage),
+                    Table::fmt(re.seconds, 3), Table::fmtPercent(rr.areaUsage),
+                    Table::fmt(rr.seconds, 3)});
+    }
+    table.print(std::cout);
+    std::puts("(biasynth, 65 modules; larger caps = finer frontiers = better area)\n");
+  }
+
+  std::puts("=== Ablation A2: S-F move classes (with/without repair moves) ===\n");
+  {
+    // The repairing swap-any move relocates group cells relative to free
+    // cells (then re-seats beta); without it, exploration is limited to
+    // same-group counterpart swaps and free-cell swaps.
+    Table table({"circuit", "repair moves", "area/modarea", "HPWL (um)"});
+    for (std::uint64_t seed : {77ull, 78ull}) {
+      Circuit c = makeSynthetic({.name = "abl" + std::to_string(seed),
+                                 .moduleCount = 30,
+                                 .seed = seed,
+                                 .symmetricFraction = 0.8});
+      for (bool repair : {true, false}) {
+        SeqPairPlacerOptions opt;
+        opt.timeLimitSec = 2.0;
+        opt.seed = 5;
+        opt.enableRepairMoves = repair;
+        SeqPairPlacerResult r = placeSeqPairSA(c, opt);
+        table.addRow({c.name(), repair ? "on" : "off",
+                      Table::fmt(static_cast<double>(r.area) /
+                                 static_cast<double>(c.totalModuleArea())),
+                      Table::fmt(static_cast<double>(r.hpwl) / 1000.0, 1)});
+      }
+    }
+    table.print(std::cout);
+    std::puts("");
+  }
+
+  std::puts("=== Ablation A3: packer structure throughput inside SA ===\n");
+  {
+    Table table({"packer", "n=40 packs/s", "n=110 packs/s"});
+    auto throughput = [&](PackStrategy strategy, std::size_t n) {
+      Circuit c = makeSynthetic({.name = "thr", .moduleCount = n, .seed = 9});
+      std::vector<Coord> w, h;
+      for (const Module& m : c.modules()) {
+        w.push_back(m.w);
+        h.push_back(m.h);
+      }
+      Rng rng(1);
+      SequencePair sp = SequencePair::random(n, rng);
+      Stopwatch clock;
+      std::size_t packs = 0;
+      while (clock.seconds() < 0.3) {
+        packSequencePair(sp, w, h, strategy);
+        ++packs;
+      }
+      return static_cast<double>(packs) / clock.seconds();
+    };
+    for (auto [name, strategy] :
+         std::initializer_list<std::pair<const char*, PackStrategy>>{
+             {"naive O(n^2)", PackStrategy::Naive},
+             {"Fenwick O(n log n)", PackStrategy::Fenwick},
+             {"vEB O(n log log n)", PackStrategy::Veb}}) {
+      table.addRow({name, Table::fmt(throughput(strategy, 40), 0),
+                    Table::fmt(throughput(strategy, 110), 0)});
+    }
+    table.print(std::cout);
+    std::puts(
+        "\n(the vEB structure carries the best asymptotics — the Section II\n"
+        "O(G n log log n) bound — but pays pointer-heavy constants; at\n"
+        "device-level sizes the Fenwick packer is the practical choice,\n"
+        "which is why it is the SA default.)");
+  }
+  return 0;
+}

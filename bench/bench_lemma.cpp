@@ -1,0 +1,100 @@
+// Experiments E1 + E2 — Section II's worked example and the Lemma.
+//
+// Reproduces, exactly:
+//   * Fig. 1: the sequence-pair (EBAFCDG, EBCDFAG) is symmetric-feasible for
+//     the group { (C,D), (B,G), A, F } and packs into a legal placement that
+//     mirrors the group about one vertical axis;
+//   * the in-text numbers: 35,280 symmetric-feasible sequence-pairs out of
+//     (7!)^2 = 25,401,600 — a 99.86% search-space reduction — cross-checked
+//     by exhaustive enumeration of all 25.4M codes;
+//   * a sweep of the Lemma over further group configurations.
+#include <cstdio>
+#include <iostream>
+
+#include "netlist/generators.h"
+#include "seqpair/enumerate.h"
+#include "seqpair/sym_placer.h"
+#include "seqpair/symmetry.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace als;
+
+int main() {
+  std::puts("=== E1/E2: Fig. 1 example and the S-F counting Lemma ===\n");
+
+  Circuit c = makeFig1Example();
+  auto groups = std::span<const SymmetryGroup>(c.symmetryGroups());
+  auto names = c.moduleNames();
+
+  // Module order: E=0 B=1 A=2 F=3 C=4 D=5 G=6 -> (EBAFCDG, EBCDFAG).
+  SequencePair sp({0, 1, 2, 3, 4, 5, 6}, {0, 1, 4, 5, 3, 2, 6});
+  std::printf("sequence-pair        : %s\n", sp.toString(names).c_str());
+  std::printf("symmetry group       : {(C,D), (B,G), A, F}\n");
+  std::printf("symmetric-feasible   : %s\n",
+              isSymmetricFeasible(sp, groups) ? "yes" : "no");
+
+  std::vector<Coord> w, h;
+  for (const Module& m : c.modules()) {
+    w.push_back(m.w);
+    h.push_back(m.h);
+  }
+  auto built = buildSymmetricPlacement(sp, w, h, groups);
+  if (built) {
+    std::printf("packed placement     : legal=%s, exactly symmetric=%s\n",
+                built->placement.isLegal() ? "yes" : "no",
+                verifySymmetry(built->placement, groups, built->axis2x) ? "yes" : "no");
+    std::printf("\n%s\n", asciiArt(built->placement, names, 60).c_str());
+  }
+
+  // --- the Lemma's numbers, formula vs exhaustive enumeration ---
+  BigUint total = totalSequencePairCount(7);
+  BigUint formula = sfSequencePairCount(7, groups);
+  std::printf("total sequence-pairs (7!)^2        : %s (paper: 25,401,600)\n",
+              total.toString().c_str());
+  std::printf("S-F bound (7!)^2/6!  (Lemma)       : %s (paper: 35,280)\n",
+              formula.toString().c_str());
+  std::printf("search-space reduction             : %.2f%% (paper: 99.86%%)\n",
+              searchSpaceReduction(7, groups) * 100.0);
+
+  Stopwatch clock;
+  std::uint64_t perGroup = countSymmetricFeasible(7, groups, SfReading::PerGroup);
+  std::printf("exhaustive enumeration (all 25.4M) : %llu codes satisfy (1)  [%.1fs]\n",
+              static_cast<unsigned long long>(perGroup), clock.seconds());
+  std::printf("formula exact?                     : %s\n\n",
+              formula.fitsU64() && perGroup == formula.toU64() ? "yes" : "NO");
+
+  // --- Lemma sweep over group configurations ---
+  std::puts("Lemma sweep (per-group formula vs enumeration; union reading bounded):");
+  Table table({"n", "groups (p pairs + s selfs)", "total (n!)^2", "S-F (Lemma)",
+               "enumerated per-group", "enumerated union", "reduction"});
+  struct Case {
+    std::size_t n;
+    std::string label;
+    std::vector<SymmetryGroup> groups;
+  };
+  std::vector<Case> cases{
+      {4, "1 pair", {{"g", {{0, 1}}, {}}}},
+      {4, "2 pairs, one group", {{"g", {{0, 1}, {2, 3}}, {}}}},
+      {5, "pair + self", {{"g", {{0, 1}}, {2}}}},
+      {5, "2 groups of a pair", {{"g1", {{0, 1}}, {}}, {"g2", {{2, 3}}, {}}}},
+      {6, "2 pairs + 2 selfs", {{"g", {{0, 1}, {2, 3}}, {4, 5}}}},
+      {6, "3 groups of a pair",
+       {{"g1", {{0, 1}}, {}}, {"g2", {{2, 3}}, {}}, {"g3", {{4, 5}}, {}}}},
+  };
+  for (const Case& tc : cases) {
+    std::uint64_t per = countSymmetricFeasible(tc.n, tc.groups, SfReading::PerGroup);
+    std::uint64_t uni = countSymmetricFeasible(tc.n, tc.groups, SfReading::Union);
+    table.addRow({std::to_string(tc.n), tc.label,
+                  totalSequencePairCount(tc.n).toString(),
+                  sfSequencePairCount(tc.n, tc.groups).toString(),
+                  std::to_string(per), std::to_string(uni),
+                  Table::fmtPercent(searchSpaceReduction(tc.n, tc.groups))});
+  }
+  table.print(std::cout);
+  std::puts(
+      "\nNote: with several groups the Lemma is an upper bound — the union\n"
+      "reading of property (1), which is the buildable subset, is smaller;\n"
+      "with a single group both coincide (see seqpair/symmetry.h).");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Experiment E13 — the slicing-versus-non-slicing density claim.
+//
+// Section II: ILAC employed the slicing layout model, but "today it is
+// widely acknowledged that this is not a good choice for high-performance
+// analog design since the slicing representations limit the set of reachable
+// layout topologies, degrading the layout density especially when cells are
+// very different in size — which is often the case in analog layout".
+//
+// This bench measures exactly that: pure-density annealing (no symmetry
+// constraints) with the slicing placer versus the two non-slicing engines
+// (sequence-pair, B*-tree) on the Table-I circuits, whose module footprints
+// span more than an order of magnitude, plus a homogeneous control circuit
+// where slicing should be competitive.
+#include <cstdio>
+#include <iostream>
+
+#include "bstar/flat_placer.h"
+#include "netlist/generators.h"
+#include "seqpair/sa_placer.h"
+#include "slicing/slicing_placer.h"
+#include "util/table.h"
+
+using namespace als;
+
+namespace {
+
+/// Density-only copy: same modules and nets, symmetry groups dropped and
+/// orientations locked — analog devices keep their orientation for matching
+/// (and gate direction), which is the hard-block regime where the slicing
+/// limitation bites.
+Circuit densityOnly(const Circuit& src) {
+  Circuit c(src.name() + "-density");
+  for (const Module& m : src.modules()) {
+    c.addModule(m.name, m.w, m.h, /*rotatable=*/false);
+  }
+  for (const Net& n : src.nets()) c.addNet(n.name, n.pins, n.weight);
+  return c;
+}
+
+/// Homogeneous control: all cells the same size (slicing's best case).
+Circuit homogeneous(std::size_t n) {
+  Circuit c("uniform-" + std::to_string(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    c.addModule("u" + std::to_string(i), 8 * kUm, 8 * kUm, /*rotatable=*/false);
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== E13: slicing (ILAC-style) vs non-slicing density ===\n");
+  const double budget = 2.5;
+
+  Table table({"circuit", "size spread", "slicing SA", "seq-pair SA",
+               "B*-tree SA", "slicing penalty"});
+  struct Row {
+    std::string name;
+    Circuit circuit;
+  };
+  std::vector<Row> rows;
+  for (TableICircuit which :
+       {TableICircuit::ComparatorV2, TableICircuit::MillerV2,
+        TableICircuit::FoldedCascode, TableICircuit::Buffer}) {
+    rows.push_back({tableIName(which), densityOnly(makeTableICircuit(which))});
+  }
+  rows.push_back({"uniform-24 (control)", homogeneous(24)});
+
+  for (Row& row : rows) {
+    const Circuit& c = row.circuit;
+    double modArea = static_cast<double>(c.totalModuleArea());
+    Coord minA = c.module(0).w * c.module(0).h, maxA = minA;
+    for (const Module& m : c.modules()) {
+      minA = std::min(minA, m.w * m.h);
+      maxA = std::max(maxA, m.w * m.h);
+    }
+
+    SlicingPlacerOptions sOpt;
+    sOpt.timeLimitSec = budget;
+    sOpt.seed = 3;
+    sOpt.wirelengthWeight = 0.0;  // pure density
+    double slicing =
+        static_cast<double>(placeSlicingSA(c, sOpt).area) / modArea;
+
+    SeqPairPlacerOptions spOpt;
+    spOpt.timeLimitSec = budget;
+    spOpt.seed = 3;
+    spOpt.wirelengthWeight = 0.0;
+    double seqpair =
+        static_cast<double>(placeSeqPairSA(c, spOpt).area) / modArea;
+
+    FlatBStarOptions bOpt;
+    bOpt.timeLimitSec = budget;
+    bOpt.seed = 3;
+    bOpt.wirelengthWeight = 0.0;
+    bOpt.constraintWeight = 0.0;
+    double bstar =
+        static_cast<double>(placeFlatBStarSA(c, bOpt).area) / modArea;
+
+    double bestNonSlicing = std::min(seqpair, bstar);
+    table.addRow({row.name, Table::fmt(static_cast<double>(maxA) /
+                                           static_cast<double>(minA), 0) + "x",
+                  Table::fmtPercent(slicing), Table::fmtPercent(seqpair),
+                  Table::fmtPercent(bstar),
+                  Table::fmt((slicing - bestNonSlicing) * 100.0, 2) + "pp"});
+  }
+  table.print(std::cout);
+  std::puts(
+      "\nReading: values are bounding-box area / total module area (lower is\n"
+      "denser).  The slicing model's penalty versus the best non-slicing\n"
+      "engine is largest on circuits with strongly heterogeneous cells and\n"
+      "smallest on the homogeneous control — the Section II claim.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Deterministic placement by hierarchically bounded enumeration and
+// enhanced shape functions (Section IV), on the Fig. 6 Miller op amp and
+// the Table-I folded-cascode circuit.
+//
+// The run shows the two-step flow: exhaustive enumeration of every basic
+// module set (DP, CM1, CM2), then bottom-up combination along the hierarchy
+// tree — once with regular additions (RSF) and once with enhanced additions
+// (ESF) for a direct area comparison.
+#include <cstdio>
+
+#include "netlist/generators.h"
+#include "shapefn/deterministic.h"
+#include "shapefn/enumerate.h"
+
+using namespace als;
+
+namespace {
+
+void runCircuit(const Circuit& circuit) {
+  std::printf("--- %s (%zu modules, %zu basic sets) ---\n", circuit.name().c_str(),
+              circuit.moduleCount(), circuit.hierarchy().basicSetCount());
+
+  DeterministicOptions rsfOpt;
+  rsfOpt.kind = AdditionKind::Regular;
+  DeterministicResult rsf = placeDeterministic(circuit, rsfOpt);
+
+  DeterministicOptions esfOpt;
+  esfOpt.kind = AdditionKind::Enhanced;
+  DeterministicResult esf = placeDeterministic(circuit, esfOpt);
+
+  std::printf("basic-set placements enumerated : %llu\n",
+              static_cast<unsigned long long>(esf.enumeratedPlacements));
+  std::printf("RSF: area %.0f um^2, usage %.2f%%, %zu root shapes, %.3fs\n",
+              static_cast<double>(rsf.area) * 1e-6, rsf.areaUsage * 100.0,
+              rsf.rootFunction.size(), rsf.seconds);
+  std::printf("ESF: area %.0f um^2, usage %.2f%%, %zu root shapes, %.3fs\n",
+              static_cast<double>(esf.area) * 1e-6, esf.areaUsage * 100.0,
+              esf.rootFunction.size(), esf.seconds);
+  std::printf("ESF advantage: %.2f percentage points of area usage\n",
+              (rsf.areaUsage - esf.areaUsage) * 100.0);
+
+  // Constraints survive the deterministic flow.
+  for (const SymmetryGroup& g : circuit.symmetryGroups()) {
+    bool ok = mirrorAxisOf(esf.placement, g).has_value();
+    std::printf("symmetry group %-8s: %s\n", g.name.c_str(),
+                ok ? "mirrored exactly" : "VIOLATED");
+  }
+  std::printf("\n%s\n", asciiArt(esf.placement, circuit.moduleNames(), 56).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("8 modules already admit %llu B*-tree placements -- hence\n"
+              "enumeration bounded by the hierarchy (Section IV).\n\n",
+              static_cast<unsigned long long>(bstarPlacementCount(8)));
+  runCircuit(makeMillerOpAmp());
+  runCircuit(makeTableICircuit(TableICircuit::FoldedCascode));
+  return 0;
+}

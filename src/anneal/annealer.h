@@ -1,0 +1,137 @@
+// Generic simulated-annealing engine (Kirkpatrick et al. [12]).
+//
+// Both stochastic placers of the library — the Section II sequence-pair
+// placer and the Section III (H)B*-tree placer — and the Section V sizing
+// optimizer share this engine.  States are value types; a move produces a
+// mutated copy, which keeps the engine trivially exception-safe and lets
+// move implementations stay simple (analog placements are small, so copying
+// an encoding is cheap relative to packing it).
+//
+// Temperature schedule: geometric cooling with an initial temperature
+// calibrated from the mean uphill delta of a random-walk sample, the classic
+// recipe that makes one knob work across differently scaled cost functions.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace als {
+
+struct AnnealOptions {
+  double coolingFactor = 0.96;    ///< geometric alpha per temperature step
+  std::size_t movesPerTemp = 0;   ///< 0 = auto (scaled by a problem-size hint)
+  std::size_t sizeHint = 16;      ///< problem size used when movesPerTemp == 0
+  double initialAcceptance = 0.9; ///< target uphill acceptance at t0
+  double freezeRatio = 1e-4;      ///< stop when t < t0 * freezeRatio
+  double timeLimitSec = 10.0;     ///< wall-clock budget
+  std::uint64_t seed = 42;
+};
+
+template <class State>
+struct AnnealResult {
+  State best;
+  double bestCost = 0.0;
+  std::size_t movesTried = 0;
+  std::size_t movesAccepted = 0;
+  double seconds = 0.0;
+};
+
+/// Runs simulated annealing from `init`.
+///
+/// `cost`:  double(const State&) — smaller is better.
+/// `move`:  State(const State&, Rng&) — proposes a neighbouring state.
+template <class State, class CostF, class MoveF>
+AnnealResult<State> anneal(State init, CostF&& cost, MoveF&& move,
+                           const AnnealOptions& opt) {
+  Rng rng(opt.seed);
+  Stopwatch clock;
+
+  State cur = std::move(init);
+  double curCost = cost(cur);
+  AnnealResult<State> result{cur, curCost, 0, 0, 0.0};
+
+  // Calibrate t0 so that `initialAcceptance` of sampled uphill moves pass.
+  double upSum = 0.0;
+  std::size_t upCount = 0;
+  {
+    State probe = cur;
+    double probeCost = curCost;
+    for (std::size_t i = 0; i < 50; ++i) {
+      State next = move(probe, rng);
+      double nextCost = cost(next);
+      if (nextCost > probeCost) {
+        upSum += nextCost - probeCost;
+        ++upCount;
+      }
+      probe = std::move(next);
+      probeCost = nextCost;
+    }
+  }
+  double meanUp = upCount ? upSum / static_cast<double>(upCount) : 1.0;
+  if (meanUp <= 0.0) meanUp = 1.0;
+  double t = -meanUp / std::log(opt.initialAcceptance);
+  double tFreeze = t * opt.freezeRatio;
+
+  std::size_t movesPerTemp =
+      opt.movesPerTemp ? opt.movesPerTemp : 10 * opt.sizeHint;
+
+  while (t > tFreeze && clock.seconds() < opt.timeLimitSec) {
+    for (std::size_t i = 0; i < movesPerTemp; ++i) {
+      State next = move(cur, rng);
+      double nextCost = cost(next);
+      ++result.movesTried;
+      double delta = nextCost - curCost;
+      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / t)) {
+        cur = std::move(next);
+        curCost = nextCost;
+        ++result.movesAccepted;
+        if (curCost < result.bestCost) {
+          result.best = cur;
+          result.bestCost = curCost;
+        }
+      }
+    }
+    t *= opt.coolingFactor;
+  }
+  result.seconds = clock.seconds();
+  return result;
+}
+
+/// Repeats annealing runs (freshly seeded each round) until the wall-clock
+/// budget is exhausted and returns the best result.  A single geometric
+/// schedule often freezes long before a realistic budget ends; restarts
+/// turn the leftover time into independent attempts, which is the standard
+/// industrial recipe for the plateau-heavy landscapes of floorplan codes.
+template <class State, class CostF, class MoveF>
+AnnealResult<State> annealWithRestarts(const State& init, CostF&& cost,
+                                       MoveF&& move, AnnealOptions opt) {
+  Stopwatch clock;
+  AnnealResult<State> best{init, cost(init), 0, 0, 0.0};
+  std::uint64_t seed = opt.seed;
+  double budget = opt.timeLimitSec;
+  do {
+    opt.seed = seed;
+    opt.timeLimitSec = budget - clock.seconds();
+    AnnealResult<State> run = anneal(init, cost, move, opt);
+    if (run.bestCost < best.bestCost) {
+      std::size_t tried = best.movesTried + run.movesTried;
+      std::size_t accepted = best.movesAccepted + run.movesAccepted;
+      best = std::move(run);
+      best.movesTried = tried;
+      best.movesAccepted = accepted;
+    } else {
+      best.movesTried += run.movesTried;
+      best.movesAccepted += run.movesAccepted;
+    }
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+  } while (clock.seconds() < budget);
+  best.seconds = clock.seconds();
+  return best;
+}
+
+}  // namespace als

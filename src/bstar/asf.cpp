@@ -1,0 +1,186 @@
+#include "bstar/asf.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace als {
+
+AsfItem AsfItem::pairModules(ModuleId a, ModuleId b, Coord w, Coord h) {
+  AsfItem item;
+  item.kind = Kind::PairModules;
+  item.a = a;
+  item.b = b;
+  item.w = w;
+  item.h = h;
+  return item;
+}
+
+AsfItem AsfItem::selfModule(ModuleId m, Coord w, Coord h) {
+  assert(w % 2 == 0 && "self-symmetric cells need an even width");
+  AsfItem item;
+  item.kind = Kind::SelfModule;
+  item.a = m;
+  item.w = w;
+  item.h = h;
+  return item;
+}
+
+AsfItem AsfItem::pairMacros(Macro right, std::vector<ModuleId> ownersB) {
+  assert(right.owners.size() == ownersB.size());
+  AsfItem item;
+  item.kind = Kind::PairMacros;
+  item.w = right.w;
+  item.h = right.h;
+  item.macro = std::move(right);
+  item.ownersB = std::move(ownersB);
+  return item;
+}
+
+AsfIsland::AsfIsland(std::vector<AsfItem> items) : items_(std::move(items)) {
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].kind == AsfItem::Kind::SelfModule) {
+      spine_.push_back(i);
+    } else {
+      pairItems_.push_back(i);
+    }
+  }
+  pairTree_ = BStarTree(pairItems_.size());
+}
+
+void AsfIsland::setItems(std::vector<AsfItem> items) {
+  assert(items.size() == items_.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    assert(items[i].kind == items_[i].kind);
+  }
+  items_ = std::move(items);
+}
+
+void AsfIsland::perturb(Rng& rng) {
+  double r = rng.uniform();
+  if (r < 0.55 && pairItems_.size() >= 2) {
+    pairTree_.perturb(rng);
+  } else if (r < 0.75 && spine_.size() >= 2) {
+    std::size_t i = rng.index(spine_.size()), j = rng.index(spine_.size());
+    std::swap(spine_[i], spine_[j]);
+  } else if (!spine_.empty()) {
+    attachAt_ = rng.index(spine_.size());
+  } else if (pairItems_.size() >= 2) {
+    pairTree_.perturb(rng);
+  }
+}
+
+AsfPacked AsfIsland::pack() const {
+  // --- 1. pack the representatives with the axis at x = 0. ---
+  // Representative macros: selfs use their right half, pairs their right
+  // copy.  The packing tree is the self spine (right-child chain, x = 0)
+  // with the pair tree attached as a left child of spine[attachAt_].
+  // Synthesized tree node ids: spine selfs first (0..s-1), then pair tree
+  // nodes offset by s (structure copied from pairTree_).
+  const std::size_t s = spine_.size();
+  const std::size_t p = pairItems_.size();
+  const std::size_t total = s + p;
+  std::vector<std::size_t> left(total, BStarTree::npos);
+  std::vector<std::size_t> right(total, BStarTree::npos);
+  std::vector<std::size_t> item(total);
+  std::size_t rootNode = BStarTree::npos;
+
+  for (std::size_t i = 0; i < s; ++i) {
+    item[i] = spine_[i];
+    if (i + 1 < s) right[i] = i + 1;
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    item[s + i] = pairItems_[pairTree_.item(i)];
+    if (pairTree_.left(i) != BStarTree::npos) left[s + i] = s + pairTree_.left(i);
+    if (pairTree_.right(i) != BStarTree::npos) right[s + i] = s + pairTree_.right(i);
+  }
+  if (s > 0) {
+    rootNode = 0;
+    if (p > 0) left[std::min(attachAt_, s - 1)] = s + pairTree_.root();
+  } else if (p > 0) {
+    rootNode = s + pairTree_.root();
+  }
+
+  // Representative macro per item.
+  std::vector<Macro> macroOf(items_.size());
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    const AsfItem& it = items_[i];
+    switch (it.kind) {
+      case AsfItem::Kind::PairModules:
+        macroOf[i] = Macro::fromModule(it.a, it.w, it.h);
+        break;
+      case AsfItem::Kind::SelfModule:
+        macroOf[i] = Macro::fromModule(it.a, it.w / 2, it.h);
+        break;
+      case AsfItem::Kind::PairMacros:
+        macroOf[i] = it.macro;
+        break;
+    }
+  }
+
+  // Contour-based preorder packing (same rules as packMacros).
+  Contour contour;
+  std::vector<Coord> x(total, 0);
+  std::vector<Point> anchorOf(items_.size(), {0, 0});
+  if (rootNode != BStarTree::npos) {
+    std::vector<std::size_t> stack{rootNode};
+    while (!stack.empty()) {
+      std::size_t node = stack.back();
+      stack.pop_back();
+      const Macro& m = macroOf[item[node]];
+      Coord yNode = contour.fitMacro(x[node], m.bottom);
+      contour.placeMacro(x[node], yNode, m.top);
+      anchorOf[item[node]] = {x[node], yNode};
+      if (right[node] != BStarTree::npos) {
+        x[right[node]] = x[node];
+        stack.push_back(right[node]);
+      }
+      if (left[node] != BStarTree::npos) {
+        x[left[node]] = x[node] + m.w;
+        stack.push_back(left[node]);
+      }
+    }
+  }
+
+  // --- 2. mirror into the full island. ---
+  Placement full;
+  std::vector<ModuleId> owners;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    const AsfItem& it = items_[i];
+    Point a = anchorOf[i];
+    switch (it.kind) {
+      case AsfItem::Kind::PairModules: {
+        Rect rep{a.x, a.y, it.w, it.h};
+        full.push(rep);
+        owners.push_back(it.a);
+        full.push(rep.mirroredX(0));
+        owners.push_back(it.b);
+        break;
+      }
+      case AsfItem::Kind::SelfModule: {
+        full.push({a.x - it.w / 2, a.y, it.w, it.h});
+        owners.push_back(it.a);
+        break;
+      }
+      case AsfItem::Kind::PairMacros: {
+        for (std::size_t r = 0; r < it.macro.rects.size(); ++r) {
+          Rect placed = it.macro.rects[r].translated(a.x, a.y);
+          full.push(placed);
+          owners.push_back(it.macro.owners[r]);
+          full.push(placed.mirroredX(0));
+          owners.push_back(it.ownersB[r]);
+        }
+        break;
+      }
+    }
+  }
+
+  // Normalize and track where the axis (x = 0) lands.
+  Rect bb = full.boundingBox();
+  full.normalize();
+  AsfPacked out;
+  out.axis2x = -2 * bb.x;
+  out.macro = Macro::fromPlacement(full, owners);
+  return out;
+}
+
+}  // namespace als

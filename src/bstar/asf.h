@@ -1,0 +1,89 @@
+// ASF-B*-trees: automatically symmetric-feasible symmetry islands
+// (Lin & Lin [16], used by the HB*-tree framework of Section III).
+//
+// A symmetry island packs one symmetry group as a contiguous block that is
+// symmetric *by construction*: only the right half-plane is represented in
+// a B*-tree of representatives — one cell per symmetric pair, the right
+// half of every self-symmetric cell — with the axis at x = 0.  Packing the
+// representatives and mirroring yields the island; no symmetric-feasibility
+// check is ever needed, hence "automatically symmetric-feasible".
+//
+// Self-symmetric representatives must keep x = 0 (they straddle the axis),
+// which holds structurally for every node on the root's right-child chain
+// (the chain inherits x = 0).  The island therefore keeps its selfs on a
+// spine of right children and hangs the pair representatives' B*-tree off a
+// configurable spine node.
+//
+// Hierarchical symmetry (Fig. 4) is supported through macro pairs: a whole
+// packed sub-circuit (e.g. a common-centroid array) acts as one
+// representative whose mirrored copy realizes the partner sub-circuit.
+#pragma once
+
+#include <vector>
+
+#include "bstar/bstar_tree.h"
+#include "bstar/pack.h"
+#include "geom/placement.h"
+#include "netlist/module.h"
+#include "util/rng.h"
+
+namespace als {
+
+struct AsfItem {
+  enum class Kind { PairModules, SelfModule, PairMacros };
+  Kind kind = Kind::PairModules;
+
+  // PairModules: modules a (right representative) and b (mirrored partner),
+  // matched footprints w x h.
+  // SelfModule: module a centered on the axis, full footprint w x h.
+  ModuleId a = 0, b = 0;
+  Coord w = 0, h = 0;
+
+  // PairMacros: `macro` is the right sub-circuit; ownersB (parallel to
+  // macro.owners) are the modules of the mirrored partner sub-circuit.
+  Macro macro;
+  std::vector<ModuleId> ownersB;
+
+  static AsfItem pairModules(ModuleId a, ModuleId b, Coord w, Coord h);
+  static AsfItem selfModule(ModuleId m, Coord w, Coord h);
+  static AsfItem pairMacros(Macro right, std::vector<ModuleId> ownersB);
+};
+
+/// Packed island: a rigid macro over all member modules plus the axis
+/// position in macro-local (normalized) doubled coordinates.
+struct AsfPacked {
+  Macro macro;
+  Coord axis2x = 0;
+};
+
+class AsfIsland {
+ public:
+  /// `items`: the group content.  Self widths must be even (half-width
+  /// representation).  The initial representative tree is a left-leaning
+  /// chain of pair items under the self spine.
+  explicit AsfIsland(std::vector<AsfItem> items);
+
+  /// Random symmetry-preserving perturbation: swap two pair representatives,
+  /// restructure the pair tree, reorder the spine, or move the attach point.
+  void perturb(Rng& rng);
+
+  /// Packs the representatives and mirrors them into the full island.
+  AsfPacked pack() const;
+
+  std::size_t itemCount() const { return items_.size(); }
+  const std::vector<AsfItem>& items() const { return items_; }
+
+  /// Replaces item contents while keeping the perturbed representative-tree
+  /// structure (sizes and kinds must match; used by the HB*-tree packer to
+  /// refresh macro-pair shapes after sub-circuits change).
+  void setItems(std::vector<AsfItem> items);
+
+ private:
+  std::vector<AsfItem> items_;
+  std::vector<std::size_t> spine_;      // item indices of selfs, top-down order
+  std::vector<std::size_t> pairItems_;  // item indices of pairs
+  BStarTree pairTree_;                  // tree over pairItems_ positions
+  std::size_t attachAt_ = 0;            // spine node the pair tree hangs from
+};
+
+}  // namespace als

@@ -1,0 +1,160 @@
+#include "bstar/bstar_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace als {
+
+BStarTree::BStarTree(std::size_t n)
+    : parent_(n, npos), left_(n, npos), right_(n, npos), item_(n) {
+  std::iota(item_.begin(), item_.end(), std::size_t{0});
+  if (n == 0) return;
+  root_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n) {
+      left_[i] = l;
+      parent_[l] = i;
+    }
+    if (r < n) {
+      right_[i] = r;
+      parent_[r] = i;
+    }
+  }
+}
+
+BStarTree BStarTree::random(std::size_t n, Rng& rng) {
+  BStarTree t;
+  t.parent_.assign(n, npos);
+  t.left_.assign(n, npos);
+  t.right_.assign(n, npos);
+  t.item_.resize(n);
+  std::iota(t.item_.begin(), t.item_.end(), std::size_t{0});
+  std::shuffle(t.item_.begin(), t.item_.end(), rng.engine());
+  if (n == 0) return t;
+  t.root_ = 0;
+  // Insert nodes 1..n-1 into random empty child slots of already-inserted
+  // nodes; tracking open slots keeps the shape distribution broad.
+  std::vector<std::pair<std::size_t, bool>> slots{{0, true}, {0, false}};
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t pick = rng.index(slots.size());
+    auto [p, isLeft] = slots[pick];
+    slots[pick] = slots.back();
+    slots.pop_back();
+    if (isLeft) {
+      t.left_[p] = i;
+    } else {
+      t.right_[p] = i;
+    }
+    t.parent_[i] = p;
+    slots.push_back({i, true});
+    slots.push_back({i, false});
+  }
+  return t;
+}
+
+BStarTree BStarTree::fromArrays(std::size_t root, std::vector<std::size_t> left,
+                                std::vector<std::size_t> right,
+                                std::vector<std::size_t> items) {
+  BStarTree t;
+  std::size_t n = items.size();
+  t.left_ = std::move(left);
+  t.right_ = std::move(right);
+  t.item_ = std::move(items);
+  t.root_ = root;
+  t.parent_.assign(n, npos);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (t.left_[i] != npos) t.parent_[t.left_[i]] = i;
+    if (t.right_[i] != npos) t.parent_[t.right_[i]] = i;
+  }
+  assert(t.isValid());
+  return t;
+}
+
+void BStarTree::swapItems(std::size_t a, std::size_t b) {
+  std::swap(item_[a], item_[b]);
+}
+
+void BStarTree::detachLeaf(std::size_t node) {
+  assert(left_[node] == npos && right_[node] == npos);
+  std::size_t p = parent_[node];
+  if (p == npos) {
+    root_ = npos;
+  } else if (left_[p] == node) {
+    left_[p] = npos;
+  } else {
+    right_[p] = npos;
+  }
+  parent_[node] = npos;
+}
+
+void BStarTree::moveNode(std::size_t node, std::size_t newParent, bool asLeftChild) {
+  assert(node != newParent);
+  // Only leaves move; callers pick leaves (perturb() guarantees this).
+  detachLeaf(node);
+  std::size_t& slot = asLeftChild ? left_[newParent] : right_[newParent];
+  std::size_t displaced = slot;
+  slot = node;
+  parent_[node] = newParent;
+  if (displaced != npos) {
+    (asLeftChild ? left_[node] : right_[node]) = displaced;
+    parent_[displaced] = node;
+  }
+}
+
+void BStarTree::perturb(Rng& rng) {
+  std::size_t n = size();
+  if (n < 2) return;
+  if (rng.coin()) {
+    std::size_t a = rng.index(n), b = rng.index(n);
+    if (a != b) swapItems(a, b);
+    return;
+  }
+  // Move a random leaf under a random other node.
+  std::vector<std::size_t> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (left_[i] == npos && right_[i] == npos) leaves.push_back(i);
+  }
+  std::size_t node = leaves[rng.index(leaves.size())];
+  std::size_t target = rng.index(n);
+  if (target == node) target = (target + 1) % n;
+  moveNode(node, target, rng.coin());
+}
+
+std::vector<std::size_t> BStarTree::preorder() const {
+  std::vector<std::size_t> order;
+  order.reserve(size());
+  if (root_ == npos) return order;
+  std::vector<std::size_t> stack{root_};
+  while (!stack.empty()) {
+    std::size_t n = stack.back();
+    stack.pop_back();
+    order.push_back(n);
+    if (right_[n] != npos) stack.push_back(right_[n]);
+    if (left_[n] != npos) stack.push_back(left_[n]);
+  }
+  return order;
+}
+
+bool BStarTree::isValid() const {
+  if (size() == 0) return root_ == npos;
+  if (root_ == npos || parent_[root_] != npos) return false;
+  std::vector<bool> seen(size(), false);
+  std::vector<std::size_t> order = preorder();
+  if (order.size() != size()) return false;
+  for (std::size_t n : order) {
+    if (seen[n]) return false;
+    seen[n] = true;
+    if (left_[n] != npos && parent_[left_[n]] != n) return false;
+    if (right_[n] != npos && parent_[right_[n]] != n) return false;
+  }
+  std::vector<bool> itemSeen(size(), false);
+  for (std::size_t it : item_) {
+    if (it >= size() || itemSeen[it]) return false;
+    itemSeen[it] = true;
+  }
+  return true;
+}
+
+}  // namespace als

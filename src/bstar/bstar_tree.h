@@ -1,0 +1,75 @@
+// B*-tree floorplan representation (Chang et al. [5]).
+//
+// An n-node B*-tree encodes a lower-left-compacted non-slicing placement:
+// in a preorder traversal, the left child of a node is its nearest right
+// neighbour (x = parent.x + parent.w) and the right child is the first
+// module stacked above it (x = parent.x); y coordinates come from the
+// packing contour.  The number of distinct placements for n modules is
+// n! * Catalan(n) — the 57,657,600 configurations Section IV quotes for
+// n = 8 — making full enumeration infeasible beyond basic module sets.
+//
+// The tree is stored as parent/left/right index arrays over item slots; the
+// perturbation set (swap items, move a leaf, plus module rotation handled by
+// the callers) is closed over valid trees.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace als {
+
+class BStarTree {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  BStarTree() = default;
+
+  /// Balanced initial tree over n items (heap-shaped).
+  explicit BStarTree(std::size_t n);
+
+  /// Uniform random tree shape (random insertion order into random slots).
+  static BStarTree random(std::size_t n, Rng& rng);
+
+  /// Tree from explicit structure arrays (used by the Section IV exhaustive
+  /// enumerator); `npos` marks absent children.  Must form a valid tree.
+  static BStarTree fromArrays(std::size_t root, std::vector<std::size_t> left,
+                              std::vector<std::size_t> right,
+                              std::vector<std::size_t> items);
+
+  std::size_t size() const { return item_.size(); }
+  std::size_t root() const { return root_; }
+  std::size_t left(std::size_t node) const { return left_[node]; }
+  std::size_t right(std::size_t node) const { return right_[node]; }
+  std::size_t parent(std::size_t node) const { return parent_[node]; }
+
+  /// Item (module / macro index) stored at a tree node.
+  std::size_t item(std::size_t node) const { return item_[node]; }
+
+  /// Swaps the items of two nodes (tree shape unchanged).
+  void swapItems(std::size_t a, std::size_t b);
+
+  /// Detaches a leaf node and reinserts it as a child of `newParent` on the
+  /// given side; the old child of that slot (if any) becomes the moved
+  /// node's child on the same side.
+  void moveNode(std::size_t node, std::size_t newParent, bool asLeftChild);
+
+  /// Random structural perturbation: swap two items or move a node.
+  void perturb(Rng& rng);
+
+  /// Preorder traversal (root, left subtree, right subtree).
+  std::vector<std::size_t> preorder() const;
+
+  /// Structural invariants: single root, consistent parent links, all nodes
+  /// reachable exactly once.
+  bool isValid() const;
+
+ private:
+  std::vector<std::size_t> parent_, left_, right_, item_;
+  std::size_t root_ = npos;
+
+  void detachLeaf(std::size_t node);
+};
+
+}  // namespace als

@@ -1,0 +1,84 @@
+#include "bstar/common_centroid.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace als {
+
+CentroidPattern commonCentroidPattern(std::size_t unitsA, std::size_t unitsB) {
+  // Exact coincidence on a rectangular grid requires each device's unit set
+  // to be closed under 180-degree rotation, which is impossible for odd
+  // per-device counts (practice pads with dummy units); we therefore require
+  // matched even counts (the k = 2, 4, ... splits analog designers use).
+  assert(unitsA == unitsB && unitsA > 0 && unitsA % 2 == 0 &&
+         "two-device interdigitation expects matched even unit counts");
+  const std::size_t total = unitsA + unitsB;  // divisible by 4
+  // Near-square grid with even cols AND even rows (checkerboard balances
+  // only when both parities pair up); cols = 2 always works as fallback.
+  std::size_t cols = 2;
+  while (cols * cols < total) cols += 2;
+  while (cols > 2 && (total % cols != 0 || (total / cols) % 2 != 0)) cols -= 2;
+  std::size_t rows = total / cols;
+
+  CentroidPattern p;
+  p.rows = rows;
+  p.cols = cols;
+  p.cell.resize(total);
+  // ABAB / BABA alternating rows: every 2x2 block holds two A and two B
+  // diagonally, so both centroids sit exactly at the grid center.
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      p.cell[r * cols + c] = static_cast<int>((r + c) % 2);
+    }
+  }
+  return p;
+}
+
+Placement placeCentroidPattern(const CentroidPattern& pattern, Coord unitW,
+                               Coord unitH) {
+  std::vector<Rect> aRects, bRects;
+  for (std::size_t r = 0; r < pattern.rows; ++r) {
+    for (std::size_t c = 0; c < pattern.cols; ++c) {
+      Rect rect{static_cast<Coord>(c) * unitW, static_cast<Coord>(r) * unitH,
+                unitW, unitH};
+      (pattern.at(r, c) == 0 ? aRects : bRects).push_back(rect);
+    }
+  }
+  Placement p;
+  for (const Rect& r : aRects) p.push(r);
+  for (const Rect& r : bRects) p.push(r);
+  return p;
+}
+
+Macro commonCentroidGrid(std::span<const ModuleId> units, Coord unitW, Coord unitH) {
+  const std::size_t n = units.size();
+  assert(n > 0);
+  std::size_t cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  Placement p;
+  for (std::size_t i = 0; i < n; ++i) {
+    Coord x = static_cast<Coord>(i % cols) * unitW;
+    Coord y = static_cast<Coord>(i / cols) * unitH;
+    p.push({x, y, unitW, unitH});
+  }
+  return Macro::fromPlacement(p, units);
+}
+
+bool centroidsCoincide(std::span<const Rect> unitsA, std::span<const Rect> unitsB) {
+  if (unitsA.empty() || unitsB.empty()) return false;
+  // Compare sum(center2x) / count exactly via cross-multiplication.
+  Coord ax = 0, ay = 0, bx = 0, by = 0;
+  for (const Rect& r : unitsA) {
+    ax += r.center2x().x;
+    ay += r.center2x().y;
+  }
+  for (const Rect& r : unitsB) {
+    bx += r.center2x().x;
+    by += r.center2x().y;
+  }
+  auto na = static_cast<Coord>(unitsA.size());
+  auto nb = static_cast<Coord>(unitsB.size());
+  return ax * nb == bx * na && ay * nb == by * na;
+}
+
+}  // namespace als

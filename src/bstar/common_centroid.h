@@ -1,0 +1,56 @@
+// Common-centroid placement (Fig. 3(a); handled in HB*-trees via the
+// grid-based integration the paper mentions for [19]).
+//
+// Matched devices split into unit cells are interdigitated on a grid so the
+// centroid of every device's units coincides with the grid center, which
+// first-order cancels linear process gradients.  Two generators:
+//
+//   * commonCentroidPattern(unitsA, unitsB): the classic two-device
+//     interdigitation (ABBA / BAAB rows) used for differential pairs and
+//     1:1..1:3 current mirrors;
+//   * commonCentroidGrid(units): a near-square grid for a single matched
+//     array (each unit is its own "device"; the array is gradient-balanced
+//     as a whole by 180-degree rotational symmetry of unit positions).
+//
+// Both return placements on a uniform unit grid; tests verify exact
+// centroid coincidence in doubled coordinates.
+#pragma once
+
+#include <vector>
+
+#include "bstar/pack.h"
+#include "geom/placement.h"
+#include "netlist/module.h"
+
+namespace als {
+
+/// Cell assignment for a two-device common-centroid grid: entry (r, c) is
+/// 0 for device A, 1 for device B.  rows * cols == unitsA + unitsB;
+/// both devices' unit centroids coincide exactly.
+struct CentroidPattern {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<int> cell;  // row-major
+
+  int at(std::size_t r, std::size_t c) const { return cell[r * cols + c]; }
+};
+
+/// Builds an interdigitated pattern for unitsA + unitsB unit cells.
+/// Requires unitsA == unitsB (the common matched-pair case); rows are
+/// ABAB... with alternating phase (ABBA style) so both centroids land on
+/// the grid center.
+CentroidPattern commonCentroidPattern(std::size_t unitsA, std::size_t unitsB);
+
+/// Places the units of two devices according to the pattern.  `unitW/unitH`
+/// is the unit footprint; returns one rect per unit, A units first.
+Placement placeCentroidPattern(const CentroidPattern& pattern, Coord unitW,
+                               Coord unitH);
+
+/// Near-square grid macro for `units` equal modules (single matched array).
+Macro commonCentroidGrid(std::span<const ModuleId> units, Coord unitW, Coord unitH);
+
+/// Exact check: the unit centroids of devices A and B coincide.
+/// `unitsA`/`unitsB` are the placed unit rects of each device.
+bool centroidsCoincide(std::span<const Rect> unitsA, std::span<const Rect> unitsB);
+
+}  // namespace als

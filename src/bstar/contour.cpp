@@ -1,0 +1,67 @@
+#include "bstar/contour.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace als {
+
+void Contour::splitAt(Coord x) {
+  if (x < 0) return;
+  auto it = height_.upper_bound(x);
+  assert(it != height_.begin());
+  --it;
+  if (it->first != x) height_[x] = it->second;
+}
+
+Coord Contour::maxOver(Coord x1, Coord x2) const {
+  assert(x1 < x2);
+  auto it = height_.upper_bound(x1);
+  assert(it != height_.begin());
+  --it;
+  Coord m = 0;
+  for (; it != height_.end() && it->first < x2; ++it) m = std::max(m, it->second);
+  return m;
+}
+
+Coord Contour::fitMacro(Coord x, std::span<const ProfileStep> bottom) const {
+  Coord y = 0;
+  for (const ProfileStep& step : bottom) {
+    Coord clearance = maxOver(x + step.lo, x + step.hi) - step.v;
+    y = std::max(y, clearance);
+  }
+  return y;
+}
+
+void Contour::raise(Coord x1, Coord x2, Coord h) {
+  assert(x1 < x2);
+  splitAt(x1);
+  splitAt(x2);
+  auto it = height_.lower_bound(x1);
+  while (it != height_.end() && it->first < x2) {
+    it->second = h;
+    ++it;
+  }
+  // Merge equal adjacent segments to keep the map compact.
+  auto merge = [&](Coord x) {
+    auto cur = height_.find(x);
+    if (cur == height_.end() || cur == height_.begin()) return;
+    auto prev = std::prev(cur);
+    if (prev->second == cur->second) height_.erase(cur);
+  };
+  merge(x2);
+  merge(x1);
+}
+
+void Contour::placeMacro(Coord x, Coord yOffset, std::span<const ProfileStep> top) {
+  for (const ProfileStep& step : top) {
+    raise(x + step.lo, x + step.hi, yOffset + step.v);
+  }
+}
+
+Coord Contour::heightAt(Coord x) const {
+  auto it = height_.upper_bound(x);
+  assert(it != height_.begin());
+  return std::prev(it)->second;
+}
+
+}  // namespace als

@@ -1,0 +1,49 @@
+// Packing contour (skyline) for B*-tree evaluation.
+//
+// The contour is the piecewise-constant upper outline of everything placed
+// so far.  Plain module packing queries the maximum height over the module's
+// x-span; HB*-tree hierarchy nodes additionally place *rigid macros* whose
+// bottom profile may be non-flat — the "contour node" mechanism of [17] —
+// so the query takes the macro's bottom profile into account and the update
+// writes its top profile back.
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "geom/profile.h"
+#include "geom/rect.h"
+
+namespace als {
+
+class Contour {
+ public:
+  Contour() { height_[0] = 0; }
+
+  /// Max contour height over [x1, x2).
+  Coord maxOver(Coord x1, Coord x2) const;
+
+  /// Minimal y offset for a rigid macro anchored at x whose bottom profile
+  /// (macro-local coordinates) is `bottom`: max over the covered range of
+  /// contour(x + u) - bottom(u).
+  Coord fitMacro(Coord x, std::span<const ProfileStep> bottom) const;
+
+  /// Overwrites [x1, x2) with height h.
+  void raise(Coord x1, Coord x2, Coord h);
+
+  /// Writes a macro's top profile (anchored at x, shifted up by yOffset).
+  void placeMacro(Coord x, Coord yOffset, std::span<const ProfileStep> top);
+
+  /// Contour height at a single x (for tests).
+  Coord heightAt(Coord x) const;
+
+ private:
+  // Key x -> contour height on [x, next key); the map always contains key 0
+  // and heights are >= 0.
+  std::map<Coord, Coord> height_;
+
+  /// Ensures a breakpoint exists at x (splitting the covering segment).
+  void splitAt(Coord x);
+};
+
+}  // namespace als

@@ -1,0 +1,124 @@
+#include "bstar/flat_placer.h"
+
+#include <cmath>
+
+#include "anneal/annealer.h"
+#include "bstar/hbstar.h"
+#include "bstar/pack.h"
+
+namespace als {
+
+namespace {
+
+struct FlatState {
+  BStarTree tree;
+  std::vector<bool> rotated;
+};
+
+/// Mirror deviation (same metric as the absolute-coordinate baseline).
+Coord symmetryDeviation(const Placement& p, std::span<const SymmetryGroup> groups) {
+  Coord total = 0;
+  for (const SymmetryGroup& g : groups) {
+    std::size_t terms = g.pairs.size() + g.selfs.size();
+    if (terms == 0) continue;
+    Coord axis2Sum = 0;
+    for (const SymPair& pr : g.pairs) {
+      axis2Sum += (p[pr.a].center2x().x + p[pr.b].center2x().x) / 2;
+    }
+    for (ModuleId s : g.selfs) axis2Sum += p[s].center2x().x;
+    Coord axis2 = axis2Sum / static_cast<Coord>(terms);
+    for (const SymPair& pr : g.pairs) {
+      total += std::abs(p[pr.a].center2x().x + p[pr.b].center2x().x - 2 * axis2) / 2;
+      total += std::abs(p[pr.a].y - p[pr.b].y);
+    }
+    for (ModuleId s : g.selfs) total += std::abs(p[s].center2x().x - axis2) / 2;
+  }
+  return total;
+}
+
+/// Proximity groups (from the hierarchy) that are not edge-connected.
+int proximityViolations(const Circuit& c, const Placement& p) {
+  int violations = 0;
+  const HierTree& h = c.hierarchy();
+  for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
+    if (h.node(id).constraint != GroupConstraint::Proximity) continue;
+    std::vector<Rect> rects;
+    for (ModuleId m : h.leavesUnder(id)) rects.push_back(p[m]);
+    if (!isConnectedRegion(rects)) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace
+
+FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
+                                 const FlatBStarOptions& options) {
+  const std::size_t n = circuit.moduleCount();
+  const auto nets = circuit.netPins();
+  const auto groups = std::span<const SymmetryGroup>(circuit.symmetryGroups());
+  const double wlLambda =
+      options.wirelengthWeight *
+      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
+  const double symLambda =
+      options.constraintWeight *
+      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
+  const double proxLambda =
+      options.constraintWeight * static_cast<double>(circuit.totalModuleArea()) * 0.1;
+
+  auto dims = [&](const FlatState& s) {
+    std::vector<Coord> w(n), h(n);
+    for (std::size_t m = 0; m < n; ++m) {
+      const Module& mod = circuit.module(m);
+      w[m] = s.rotated[m] ? mod.h : mod.w;
+      h[m] = s.rotated[m] ? mod.w : mod.h;
+    }
+    return std::pair(std::move(w), std::move(h));
+  };
+
+  auto evaluate = [&](const FlatState& s) {
+    auto [w, h] = dims(s);
+    return packBStar(s.tree, w, h);
+  };
+
+  auto cost = [&](const FlatState& s) {
+    Placement p = evaluate(s);
+    double c = static_cast<double>(p.boundingBox().area());
+    c += wlLambda * static_cast<double>(totalHpwl(p, nets));
+    c += symLambda * static_cast<double>(symmetryDeviation(p, groups));
+    c += proxLambda * proximityViolations(circuit, p);
+    return c;
+  };
+
+  auto move = [&](const FlatState& s, Rng& rng) {
+    FlatState next = s;
+    if (rng.uniform() < 0.15) {
+      std::size_t m = rng.index(n);
+      if (circuit.module(m).rotatable) next.rotated[m] = !next.rotated[m];
+    } else {
+      next.tree.perturb(rng);
+    }
+    return next;
+  };
+
+  AnnealOptions annealOpt;
+  annealOpt.timeLimitSec = options.timeLimitSec;
+  annealOpt.seed = options.seed;
+  annealOpt.coolingFactor = options.coolingFactor;
+  annealOpt.movesPerTemp = options.movesPerTemp;
+  annealOpt.sizeHint = n;
+  FlatState init{BStarTree(n), std::vector<bool>(n, false)};
+  auto annealed = annealWithRestarts(init, cost, move, annealOpt);
+
+  FlatBStarResult result;
+  result.placement = evaluate(annealed.best);
+  result.area = result.placement.boundingBox().area();
+  result.hpwl = totalHpwl(result.placement, nets);
+  result.symDeviation = symmetryDeviation(result.placement, groups);
+  result.proximityViolations = proximityViolations(circuit, result.placement);
+  result.cost = annealed.bestCost;
+  result.movesTried = annealed.movesTried;
+  result.seconds = annealed.seconds;
+  return result;
+}
+
+}  // namespace als

@@ -1,0 +1,41 @@
+// Flat B*-tree SA placer — the non-hierarchical baseline for experiment E6.
+//
+// All modules live in one B*-tree; analog constraints are not structural
+// but *penalized*: symmetry deviation, common-centroid deviation and
+// proximity disconnection enter the cost with weights.  Section III's
+// argument — hierarchy shrinks the search space and makes constraints hold
+// by construction — is demonstrated against this placer, which typically
+// ends with residual constraint violations the HB*-tree placer cannot have.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/placement.h"
+#include "netlist/circuit.h"
+
+namespace als {
+
+struct FlatBStarOptions {
+  double wirelengthWeight = 0.25;
+  double constraintWeight = 2.0;  ///< penalty scale for constraint deviation
+  double timeLimitSec = 5.0;
+  std::uint64_t seed = 11;
+  double coolingFactor = 0.96;
+  std::size_t movesPerTemp = 0;
+};
+
+struct FlatBStarResult {
+  Placement placement;
+  Coord area = 0;
+  Coord hpwl = 0;
+  Coord symDeviation = 0;    ///< residual mirror deviation (DBU; 0 = exact)
+  int proximityViolations = 0;  ///< disconnected proximity groups
+  double cost = 0.0;
+  std::size_t movesTried = 0;
+  double seconds = 0.0;
+};
+
+FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
+                                 const FlatBStarOptions& options = {});
+
+}  // namespace als

@@ -1,0 +1,313 @@
+#include "bstar/hbstar.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "anneal/annealer.h"
+#include "bstar/common_centroid.h"
+
+namespace als {
+
+namespace {
+
+/// All module ids under a node, via the circuit hierarchy.
+std::vector<ModuleId> modulesUnder(const Circuit& c, HierNodeId id) {
+  return c.hierarchy().leavesUnder(id);
+}
+
+}  // namespace
+
+HBState::HBState(const Circuit& circuit) : circuit_(&circuit) {
+  const HierTree& h = circuit.hierarchy();
+  assert(!h.empty() && "HB*-tree placement needs a hierarchy tree");
+  trees_.resize(h.nodeCount());
+  islands_.resize(h.nodeCount());
+  rotated_.assign(circuit.moduleCount(), false);
+
+  for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
+    const HierNode& node = h.node(id);
+    if (node.isLeaf() || node.children.empty()) continue;
+    switch (node.constraint) {
+      case GroupConstraint::Symmetry: {
+        // Items are assembled at pack time (sub-macros change shape); the
+        // island object only fixes the representative tree structure.  Item
+        // order: leaf pairs, leaf selfs, sub-circuit macro pairs.
+        assert(node.symGroup.has_value() &&
+               "symmetry hierarchy node needs its symmetry group");
+        const SymmetryGroup& g = circuit.symmetryGroup(*node.symGroup);
+        std::vector<AsfItem> items;
+        for (const SymPair& pr : g.pairs) {
+          const Module& m = circuit.module(pr.a);
+          items.push_back(AsfItem::pairModules(pr.a, pr.b, m.w, m.h));
+        }
+        for (ModuleId s : g.selfs) {
+          const Module& m = circuit.module(s);
+          items.push_back(AsfItem::selfModule(s, m.w, m.h));
+        }
+        std::size_t subNodes = 0;
+        for (HierNodeId c : node.children) {
+          if (!h.node(c).isLeaf()) ++subNodes;
+        }
+        assert(subNodes % 2 == 0 &&
+               "hierarchical symmetry pairs sub-circuits two by two");
+        for (std::size_t p = 0; p < subNodes / 2; ++p) {
+          items.push_back(AsfItem::pairMacros(Macro{}, {}));  // filled at pack
+        }
+        islands_[id].emplace(std::move(items));
+        perturbable_.push_back(id);
+        break;
+      }
+      case GroupConstraint::CommonCentroid:
+        // Fixed gridded macro; nothing to perturb.
+        break;
+      case GroupConstraint::Proximity:
+      case GroupConstraint::None: {
+        trees_[id].emplace(node.children.size());
+        perturbable_.push_back(id);
+        break;
+      }
+    }
+  }
+
+  // Rotations: leaves under None/Proximity nodes whose module is rotatable.
+  for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
+    const HierNode& node = h.node(id);
+    if (node.isLeaf() || node.children.empty()) continue;
+    if (node.constraint != GroupConstraint::None &&
+        node.constraint != GroupConstraint::Proximity) {
+      continue;
+    }
+    for (HierNodeId c : node.children) {
+      const HierNode& child = h.node(c);
+      if (child.isLeaf() && circuit.module(*child.module).rotatable) {
+        freeRotatable_.push_back(*child.module);
+      }
+    }
+  }
+}
+
+void HBState::perturb(Rng& rng) {
+  bool rotate = !freeRotatable_.empty() && rng.uniform() < 0.15;
+  if (rotate) {
+    ModuleId m = freeRotatable_[rng.index(freeRotatable_.size())];
+    rotated_[m] = !rotated_[m];
+    return;
+  }
+  if (perturbable_.empty()) return;
+  std::size_t id = perturbable_[rng.index(perturbable_.size())];
+  if (trees_[id]) {
+    trees_[id]->perturb(rng);
+  } else if (islands_[id]) {
+    islands_[id]->perturb(rng);
+  }
+}
+
+struct HBState::NodePack {
+  Macro macro;
+  // (symmetry-group index, axis2x in macro-local coordinates)
+  std::vector<std::pair<std::size_t, Coord>> axes;
+};
+
+HBState::NodePack HBState::packNode(HierNodeId id) const {
+  const Circuit& c = *circuit_;
+  const HierTree& h = c.hierarchy();
+  const HierNode& node = h.node(id);
+
+  if (node.isLeaf()) {
+    ModuleId m = *node.module;
+    const Module& mod = c.module(m);
+    Coord w = rotated_[m] ? mod.h : mod.w;
+    Coord hh = rotated_[m] ? mod.w : mod.h;
+    return {Macro::fromModule(m, w, hh), {}};
+  }
+
+  if (node.constraint == GroupConstraint::CommonCentroid) {
+    // Children are unit leaves of one matched array.
+    std::vector<ModuleId> units;
+    Coord unitW = 0, unitH = 0;
+    for (HierNodeId child : node.children) {
+      assert(h.node(child).isLeaf());
+      ModuleId m = *h.node(child).module;
+      units.push_back(m);
+      unitW = std::max(unitW, c.module(m).w);
+      unitH = std::max(unitH, c.module(m).h);
+    }
+    return {commonCentroidGrid(units, unitW, unitH), {}};
+  }
+
+  if (node.constraint == GroupConstraint::Symmetry) {
+    assert(islands_[id].has_value());
+    // Refresh the macro-pair items from freshly packed sub-circuits, then
+    // pack the island.  Axes of nested groups translate through the island
+    // frame; mirrored partner groups inherit the mirrored axis.
+    AsfIsland island = *islands_[id];
+    std::vector<HierNodeId> subs;
+    for (HierNodeId child : node.children) {
+      if (!h.node(child).isLeaf()) subs.push_back(child);
+    }
+    std::vector<NodePack> subPacks;
+    subPacks.reserve(subs.size());
+    for (HierNodeId s : subs) subPacks.push_back(packNode(s));
+
+    // Macro-pair items appear after the leaf pair/self items, in order.
+    std::vector<AsfItem> items = island.items();
+    std::size_t macroItem = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (items[i].kind == AsfItem::Kind::PairMacros) {
+        std::size_t p = macroItem++;
+        const NodePack& rightPack = subPacks[2 * p];
+        const NodePack& leftPack = subPacks[2 * p + 1];
+        // Mirrored partner: owner list of the left sub-circuit, matched by
+        // position to the right one's rect order.  The sub-circuits must be
+        // structurally identical (matched sub-trees), which the circuit
+        // generators guarantee for symmetric hierarchies.
+        assert(rightPack.macro.owners.size() == leftPack.macro.owners.size());
+        items[i] = AsfItem::pairMacros(rightPack.macro, leftPack.macro.owners);
+      }
+    }
+    island.setItems(std::move(items));  // keeps the perturbed structure
+    AsfPacked packed = island.pack();
+
+    NodePack out;
+    out.macro = std::move(packed.macro);
+    if (node.symGroup) out.axes.push_back({*node.symGroup, packed.axis2x});
+    // Nested sub-group axes: locate each sub-macro's rects in the island to
+    // recover its translation.  The right copy keeps orientation; the
+    // mirrored copy's nested axes mirror about the island axis.
+    // For simplicity and exactness we recover translation via the first
+    // owner module's rect.
+    for (std::size_t p = 0; p < subs.size() / 2; ++p) {
+      const NodePack& rightPack = subPacks[2 * p];
+      for (const auto& [group, localAxis] : rightPack.axes) {
+        ModuleId probe = rightPack.macro.owners.front();
+        // Find probe's rect in the island macro.
+        for (std::size_t r = 0; r < out.macro.owners.size(); ++r) {
+          if (out.macro.owners[r] == probe) {
+            Coord dx = out.macro.rects[r].x - rightPack.macro.rects.front().x;
+            out.axes.push_back({group, localAxis + 2 * dx});
+            break;
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  // Proximity / None: sub-B*-tree over the children.
+  assert(trees_[id].has_value());
+  const BStarTree& tree = *trees_[id];
+  std::vector<NodePack> childPacks;
+  childPacks.reserve(node.children.size());
+  for (HierNodeId child : node.children) childPacks.push_back(packNode(child));
+
+  std::vector<Macro> macros;
+  macros.reserve(childPacks.size());
+  for (const NodePack& cp : childPacks) macros.push_back(cp.macro);
+  PackedMacros packed = packMacros(tree, macros, c.moduleCount());
+
+  // Collect the placed rects of modules under this node into one macro.
+  Placement sub;
+  std::vector<ModuleId> owners;
+  for (ModuleId m : modulesUnder(c, id)) {
+    sub.push(packed.placement[m]);
+    owners.push_back(m);
+  }
+  Rect bb = sub.boundingBox();
+  NodePack out;
+  out.macro = Macro::fromPlacement(sub, owners);
+  // Child axes translate by the child's anchor, then by -bb offset from
+  // normalization inside fromPlacement.
+  for (std::size_t i = 0; i < childPacks.size(); ++i) {
+    for (const auto& [group, localAxis] : childPacks[i].axes) {
+      Coord dx = packed.anchor[i].x - bb.x;
+      out.axes.push_back({group, localAxis + 2 * dx});
+    }
+  }
+  return out;
+}
+
+HBState::Packed HBState::pack() const {
+  const Circuit& c = *circuit_;
+  NodePack top = packNode(c.hierarchy().root());
+  Packed out;
+  out.placement = Placement(c.moduleCount());
+  for (std::size_t r = 0; r < top.macro.rects.size(); ++r) {
+    out.placement[top.macro.owners[r]] = top.macro.rects[r];
+  }
+  out.axis2x.assign(c.symmetryGroups().size(), 0);
+  for (const auto& [group, axis] : top.axes) out.axis2x[group] = axis;
+  Rect bb = out.placement.boundingBox();
+  out.width = bb.w;
+  out.height = bb.h;
+  return out;
+}
+
+HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& options) {
+  const auto nets = circuit.netPins();
+  const double wlLambda =
+      options.wirelengthWeight *
+      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
+
+  auto cost = [&](const HBState& s) {
+    HBState::Packed packed = s.pack();
+    return static_cast<double>(packed.placement.boundingBox().area()) +
+           wlLambda * static_cast<double>(totalHpwl(packed.placement, nets));
+  };
+  auto move = [](const HBState& s, Rng& rng) {
+    HBState next = s;
+    next.perturb(rng);
+    return next;
+  };
+
+  AnnealOptions annealOpt;
+  annealOpt.timeLimitSec = options.timeLimitSec;
+  annealOpt.seed = options.seed;
+  annealOpt.coolingFactor = options.coolingFactor;
+  annealOpt.movesPerTemp = options.movesPerTemp;
+  annealOpt.sizeHint = circuit.moduleCount();
+  auto annealed = annealWithRestarts(HBState(circuit), cost, move, annealOpt);
+
+  HBPlacerResult result;
+  HBState::Packed packed = annealed.best.pack();
+  result.placement = std::move(packed.placement);
+  result.axis2x = std::move(packed.axis2x);
+  result.area = result.placement.boundingBox().area();
+  result.hpwl = totalHpwl(result.placement, nets);
+  result.cost = annealed.bestCost;
+  result.movesTried = annealed.movesTried;
+  result.seconds = annealed.seconds;
+  return result;
+}
+
+bool isConnectedRegion(std::span<const Rect> rects) {
+  if (rects.empty()) return false;
+  std::vector<std::size_t> parent(rects.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  };
+  auto touches = [](const Rect& a, const Rect& b) {
+    // Positive-length shared edge (corner contact does not connect wells).
+    bool xAbut = (a.xhi() == b.xlo() || b.xhi() == a.xlo()) &&
+                 std::min(a.yhi(), b.yhi()) > std::max(a.ylo(), b.ylo());
+    bool yAbut = (a.yhi() == b.ylo() || b.yhi() == a.ylo()) &&
+                 std::min(a.xhi(), b.xhi()) > std::max(a.xlo(), b.xlo());
+    return xAbut || yAbut || a.overlaps(b);
+  };
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      if (touches(rects[i], rects[j])) parent[find(i)] = find(j);
+    }
+  }
+  std::size_t root = find(0);
+  for (std::size_t i = 1; i < rects.size(); ++i) {
+    if (find(i) != root) return false;
+  }
+  return true;
+}
+
+}  // namespace als

@@ -1,0 +1,97 @@
+// HB*-tree hierarchical analog placement (Section III, [17]).
+//
+// One B*-tree per hierarchical sub-circuit plus one for the top design
+// (Fig. 5).  Every internal hierarchy node packs its children into a rigid
+// macro whose rectilinear outline — not just its bounding box — takes part
+// in the parent packing (the contour-node mechanism; see contour.h).  The
+// constraint of a node decides how its macro is built:
+//
+//   Symmetry        -> ASF-B*-tree symmetry island (asf.h); sub-circuit
+//                      children are mirrored as macro pairs, which realizes
+//                      hierarchical symmetry (Fig. 4);
+//   CommonCentroid  -> interdigitated / gridded unit array (fixed macro);
+//   Proximity, None -> sub-B*-tree over the children; B*-tree packings are
+//                      connected, so proximity holds by construction;
+//   top             -> sub-B*-tree over the root children.
+//
+// Simulated annealing perturbs one of the HB*-trees (or an island, or a
+// free module's orientation) per move, exactly as the paper describes:
+// "one of the HB*-trees should be selected first, and then any perturbation
+// operation for the B*-tree can be applied to the selected HB*-tree".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bstar/asf.h"
+#include "bstar/bstar_tree.h"
+#include "bstar/pack.h"
+#include "geom/placement.h"
+#include "netlist/circuit.h"
+
+namespace als {
+
+/// Perturbable encoding of the whole hierarchical floorplan.
+class HBState {
+ public:
+  /// Builds the initial state from the circuit's hierarchy tree.  Symmetry
+  /// nodes with an odd number of sub-circuit children are unsupported
+  /// (macro pairs need partners) and assert.
+  explicit HBState(const Circuit& circuit);
+
+  /// Applies one random perturbation (tree op, island op, or rotation).
+  void perturb(Rng& rng);
+
+  /// Packs the hierarchy bottom-up into a full placement.
+  struct Packed {
+    Placement placement;
+    /// Doubled symmetry axis per circuit symmetry group (index-aligned),
+    /// valid for groups owned by a symmetry hierarchy node.
+    std::vector<Coord> axis2x;
+    Coord width = 0, height = 0;
+  };
+  Packed pack() const;
+
+  const Circuit& circuit() const { return *circuit_; }
+
+ private:
+  struct NodePack;  // internal recursion result
+  NodePack packNode(HierNodeId id) const;
+
+  const Circuit* circuit_;
+  // Sub-tree per internal node id (empty when the node is not tree-packed).
+  std::vector<std::optional<BStarTree>> trees_;
+  std::vector<std::optional<AsfIsland>> islands_;
+  std::vector<bool> rotated_;              // per module, free leaves only
+  std::vector<std::size_t> perturbable_;   // node ids with a tree or island
+  std::vector<ModuleId> freeRotatable_;    // modules eligible for rotation
+};
+
+struct HBPlacerOptions {
+  double wirelengthWeight = 0.25;
+  double timeLimitSec = 5.0;
+  std::uint64_t seed = 11;
+  double coolingFactor = 0.96;
+  std::size_t movesPerTemp = 0;  ///< 0 = auto
+};
+
+struct HBPlacerResult {
+  Placement placement;
+  std::vector<Coord> axis2x;  ///< per circuit symmetry group
+  Coord area = 0;
+  Coord hpwl = 0;
+  double cost = 0.0;
+  std::size_t movesTried = 0;
+  double seconds = 0.0;
+};
+
+/// Hierarchical SA placement; all hierarchy constraints hold by construction
+/// in every visited state.
+HBPlacerResult placeHBStarSA(const Circuit& circuit,
+                             const HBPlacerOptions& options = {});
+
+/// True when the rects form one edge-connected region (proximity check).
+bool isConnectedRegion(std::span<const Rect> rects);
+
+}  // namespace als

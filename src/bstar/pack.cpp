@@ -1,0 +1,93 @@
+#include "bstar/pack.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace als {
+
+Macro Macro::fromModule(ModuleId id, Coord w, Coord h) {
+  Macro m;
+  m.rects = {{0, 0, w, h}};
+  m.owners = {id};
+  m.w = w;
+  m.h = h;
+  m.bottom = {{0, w, 0}};
+  m.top = {{0, w, h}};
+  return m;
+}
+
+Macro Macro::fromPlacement(const Placement& p, std::span<const ModuleId> owners,
+                           bool computeProfiles) {
+  assert(p.size() == owners.size());
+  Macro m;
+  Placement norm = p;
+  norm.normalize();
+  m.rects = norm.rects();
+  m.owners.assign(owners.begin(), owners.end());
+  Rect bb = norm.boundingBox();
+  m.w = bb.w;
+  m.h = bb.h;
+  if (computeProfiles) {
+    m.bottom = bottomProfile(m.rects);
+    m.top = topProfile(m.rects);
+  }
+  return m;
+}
+
+Macro Macro::mirroredX() const {
+  Placement p;
+  for (const Rect& r : rects) p.push(r.mirroredX(0));
+  p.normalize();
+  return fromPlacement(p, owners);
+}
+
+PackedMacros packMacros(const BStarTree& tree, std::span<const Macro> macros,
+                        std::size_t moduleCount) {
+  assert(tree.size() == macros.size());
+  PackedMacros out;
+  out.placement = Placement(moduleCount);
+  out.anchor.assign(tree.size(), {0, 0});
+  if (tree.size() == 0) return out;
+
+  Contour contour;
+  std::vector<Coord> x(tree.size(), 0);
+  // Preorder DFS: left child sits right of its parent, right child keeps
+  // the parent's x; y always comes from the contour.
+  std::vector<std::size_t> stack{tree.root()};
+  x[tree.root()] = 0;
+  while (!stack.empty()) {
+    std::size_t node = stack.back();
+    stack.pop_back();
+    const Macro& m = macros[tree.item(node)];
+    Coord xNode = x[node];
+    Coord yNode = contour.fitMacro(xNode, m.bottom);
+    contour.placeMacro(xNode, yNode, m.top);
+    out.anchor[tree.item(node)] = {xNode, yNode};
+    for (std::size_t r = 0; r < m.rects.size(); ++r) {
+      out.placement[m.owners[r]] = m.rects[r].translated(xNode, yNode);
+    }
+    out.width = std::max(out.width, xNode + m.w);
+    out.height = std::max(out.height, yNode + m.h);
+    if (tree.right(node) != BStarTree::npos) {
+      x[tree.right(node)] = xNode;
+      stack.push_back(tree.right(node));
+    }
+    if (tree.left(node) != BStarTree::npos) {
+      x[tree.left(node)] = xNode + m.w;
+      stack.push_back(tree.left(node));
+    }
+  }
+  return out;
+}
+
+Placement packBStar(const BStarTree& tree, std::span<const Coord> widths,
+                    std::span<const Coord> heights) {
+  std::vector<Macro> macros;
+  macros.reserve(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    macros.push_back(Macro::fromModule(i, widths[i], heights[i]));
+  }
+  return packMacros(tree, macros, tree.size()).placement;
+}
+
+}  // namespace als

@@ -1,0 +1,65 @@
+// B*-tree packing: modules and rigid macros onto the contour.
+//
+// `Macro` is the rigid multi-rectangle unit an HB*-tree hierarchy node
+// exposes to its parent: the packed sub-placement plus its rectilinear
+// bottom/top profiles.  A plain module is a trivial one-rectangle macro, so
+// a single packer serves both the flat B*-tree placer and the hierarchical
+// HB*-tree placer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bstar/bstar_tree.h"
+#include "bstar/contour.h"
+#include "geom/placement.h"
+#include "netlist/module.h"
+
+namespace als {
+
+/// Rigid packed unit: rectangles in local coordinates (bounding box anchored
+/// at the origin), owner module of each rectangle, and cached profiles.
+struct Macro {
+  std::vector<Rect> rects;
+  std::vector<ModuleId> owners;  // parallel to rects
+  Coord w = 0;
+  Coord h = 0;
+  std::vector<ProfileStep> bottom, top;
+
+  /// Single-module macro.
+  static Macro fromModule(ModuleId id, Coord w, Coord h);
+
+  /// Macro wrapping an arbitrary placement (bbox normalized to the origin).
+  /// Profile computation costs O(n^2) and only contour-based packers need
+  /// it; pass computeProfiles = false when the macro is merely a rect
+  /// container (e.g. shape-function entries).
+  static Macro fromPlacement(const Placement& p, std::span<const ModuleId> owners,
+                             bool computeProfiles = true);
+
+  /// In-place 180-degree-free mirror about the vertical axis through the
+  /// bbox center (used when a macro is one half of a symmetric pair).
+  Macro mirroredX() const;
+};
+
+/// Result of packing a B*-tree of macros.
+struct PackedMacros {
+  /// Placement of every owner module (indexed by module id over
+  /// `moduleCount`); modules not owned by any macro keep zero rects.
+  Placement placement;
+  /// Anchor (lower-left of bbox) per tree item.
+  std::vector<Point> anchor;
+  Coord width = 0;
+  Coord height = 0;
+};
+
+/// Packs `tree` whose item i is macros[i]; standard B*-tree semantics with
+/// contour-node handling for non-flat macros.
+PackedMacros packMacros(const BStarTree& tree, std::span<const Macro> macros,
+                        std::size_t moduleCount);
+
+/// Convenience: packs a B*-tree of plain modules (item i = module i with
+/// the given footprints).
+Placement packBStar(const BStarTree& tree, std::span<const Coord> widths,
+                    std::span<const Coord> heights);
+
+}  // namespace als

@@ -1,0 +1,112 @@
+#include "geom/placement.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace als {
+
+Rect Placement::boundingBox() const {
+  if (rects_.empty()) return {};
+  Coord xlo = std::numeric_limits<Coord>::max(), ylo = xlo;
+  Coord xhi = std::numeric_limits<Coord>::min(), yhi = xhi;
+  for (const Rect& r : rects_) {
+    xlo = std::min(xlo, r.xlo());
+    ylo = std::min(ylo, r.ylo());
+    xhi = std::max(xhi, r.xhi());
+    yhi = std::max(yhi, r.yhi());
+  }
+  return {xlo, ylo, xhi - xlo, yhi - ylo};
+}
+
+Coord Placement::moduleArea() const {
+  Coord a = 0;
+  for (const Rect& r : rects_) a += r.area();
+  return a;
+}
+
+bool Placement::isLegal() const { return firstOverlap().first == npos; }
+
+std::pair<std::size_t, std::size_t> Placement::firstOverlap() const {
+  for (std::size_t i = 0; i < rects_.size(); ++i) {
+    for (std::size_t j = i + 1; j < rects_.size(); ++j) {
+      if (rects_[i].overlaps(rects_[j])) return {i, j};
+    }
+  }
+  return {npos, npos};
+}
+
+void Placement::normalize() {
+  Rect bb = boundingBox();
+  for (Rect& r : rects_) {
+    r.x -= bb.x;
+    r.y -= bb.y;
+  }
+}
+
+void Placement::mirrorX(Coord axis) {
+  for (Rect& r : rects_) r = r.mirroredX(axis);
+}
+
+Coord hpwl(const Placement& p, const std::vector<std::size_t>& net) {
+  if (net.size() < 2) return 0;
+  Coord xlo = std::numeric_limits<Coord>::max(), ylo = xlo;
+  Coord xhi = std::numeric_limits<Coord>::min(), yhi = xhi;
+  for (std::size_t m : net) {
+    Point c = p[m].center2x();  // doubled coordinates
+    xlo = std::min(xlo, c.x);
+    xhi = std::max(xhi, c.x);
+    ylo = std::min(ylo, c.y);
+    yhi = std::max(yhi, c.y);
+  }
+  return ((xhi - xlo) + (yhi - ylo)) / 2;
+}
+
+Coord totalHpwl(const Placement& p, const std::vector<std::vector<std::size_t>>& nets) {
+  Coord sum = 0;
+  for (const auto& net : nets) sum += hpwl(p, net);
+  return sum;
+}
+
+bool mirroredAboutX2(const Rect& a, const Rect& b, Coord axis2x) {
+  // With axis2x = 2 * axis, the mirror of span [a.x, a.x + a.w] starts at
+  // 2*axis - (a.x + a.w); doubled coordinates keep half-DBU axes exact.
+  return a.w == b.w && a.h == b.h && a.y == b.y && a.x + a.w + b.x == axis2x;
+}
+
+bool centeredOnX2(const Rect& a, Coord axis2x) { return 2 * a.x + a.w == axis2x; }
+
+std::string asciiArt(const Placement& p, const std::vector<std::string>& names,
+                     int maxCols) {
+  Rect bb = p.boundingBox();
+  if (bb.w <= 0 || bb.h <= 0) return "(empty placement)\n";
+  int cols = maxCols;
+  int rows = std::max(4, static_cast<int>(static_cast<double>(cols) * bb.h / bb.w / 2));
+  rows = std::min(rows, 40);
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols), '.'));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Rect& r = p[i];
+    char tag = names.size() > i && !names[i].empty()
+                   ? names[i][0]
+                   : static_cast<char>('A' + static_cast<int>(i % 26));
+    int c0 = static_cast<int>((r.xlo() - bb.x) * cols / bb.w);
+    int c1 = static_cast<int>((r.xhi() - bb.x) * cols / bb.w);
+    int r0 = static_cast<int>((r.ylo() - bb.y) * rows / bb.h);
+    int r1 = static_cast<int>((r.yhi() - bb.y) * rows / bb.h);
+    c1 = std::min(c1, cols);
+    r1 = std::min(r1, rows);
+    for (int rr = r0; rr < std::max(r1, r0 + 1) && rr < rows; ++rr) {
+      for (int cc = c0; cc < std::max(c1, c0 + 1) && cc < cols; ++cc) {
+        grid[static_cast<std::size_t>(rr)][static_cast<std::size_t>(cc)] = tag;
+      }
+    }
+  }
+  std::string out;
+  for (auto it = grid.rbegin(); it != grid.rend(); ++it) {  // y grows upward
+    out += *it;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace als

@@ -1,0 +1,97 @@
+#include "geom/profile.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace als {
+
+namespace {
+
+// Generic step-profile builder over elementary intervals.
+//
+// `lo`/`hi` select the sweep axis of each rect, `val` the profiled edge, and
+// `better` the aggregation (max for top/right, min for bottom/left).
+template <class LoF, class HiF, class ValF, class BetterF>
+std::vector<ProfileStep> buildProfile(std::span<const Rect> rects, LoF lo, HiF hi,
+                                      ValF val, BetterF better) {
+  std::vector<Coord> cuts;
+  cuts.reserve(rects.size() * 2);
+  for (const Rect& r : rects) {
+    if (r.w <= 0 || r.h <= 0) continue;
+    cuts.push_back(lo(r));
+    cuts.push_back(hi(r));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<ProfileStep> steps;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    Coord a = cuts[i], b = cuts[i + 1];
+    bool covered = false;
+    Coord v = 0;
+    for (const Rect& r : rects) {
+      if (r.w <= 0 || r.h <= 0) continue;
+      if (lo(r) <= a && hi(r) >= b) {
+        if (!covered || better(val(r), v)) v = val(r);
+        covered = true;
+      }
+    }
+    if (!covered) continue;
+    if (!steps.empty() && steps.back().hi == a && steps.back().v == v) {
+      steps.back().hi = b;  // merge equal adjacent steps
+    } else {
+      steps.push_back({a, b, v});
+    }
+  }
+  return steps;
+}
+
+}  // namespace
+
+std::vector<ProfileStep> topProfile(std::span<const Rect> rects) {
+  return buildProfile(
+      rects, [](const Rect& r) { return r.xlo(); }, [](const Rect& r) { return r.xhi(); },
+      [](const Rect& r) { return r.yhi(); }, [](Coord a, Coord b) { return a > b; });
+}
+
+std::vector<ProfileStep> bottomProfile(std::span<const Rect> rects) {
+  return buildProfile(
+      rects, [](const Rect& r) { return r.xlo(); }, [](const Rect& r) { return r.xhi(); },
+      [](const Rect& r) { return r.ylo(); }, [](Coord a, Coord b) { return a < b; });
+}
+
+std::vector<ProfileStep> rightProfile(std::span<const Rect> rects) {
+  return buildProfile(
+      rects, [](const Rect& r) { return r.ylo(); }, [](const Rect& r) { return r.yhi(); },
+      [](const Rect& r) { return r.xhi(); }, [](Coord a, Coord b) { return a > b; });
+}
+
+std::vector<ProfileStep> leftProfile(std::span<const Rect> rects) {
+  return buildProfile(
+      rects, [](const Rect& r) { return r.ylo(); }, [](const Rect& r) { return r.yhi(); },
+      [](const Rect& r) { return r.xlo(); }, [](Coord a, Coord b) { return a < b; });
+}
+
+Coord slideContactX(std::span<const Rect> left, std::span<const Rect> right) {
+  Coord dx = noContact;
+  for (const Rect& a : left) {
+    for (const Rect& b : right) {
+      bool yOverlap = a.ylo() < b.yhi() && b.ylo() < a.yhi();
+      if (yOverlap) dx = std::max(dx, a.xhi() - b.xlo());
+    }
+  }
+  return dx;
+}
+
+Coord slideContactY(std::span<const Rect> lower, std::span<const Rect> upper) {
+  Coord dy = noContact;
+  for (const Rect& a : lower) {
+    for (const Rect& b : upper) {
+      bool xOverlap = a.xlo() < b.xhi() && b.xlo() < a.xhi();
+      if (xOverlap) dy = std::max(dy, a.yhi() - b.ylo());
+    }
+  }
+  return dy;
+}
+
+}  // namespace als

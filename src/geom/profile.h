@@ -1,0 +1,62 @@
+// Rigid multi-rectangle macros: profiles and minimal-separation "slides".
+//
+// Two places in the library treat a packed sub-placement as a *rigid* unit
+// whose rectilinear outline (not its bounding box) interacts with other
+// geometry:
+//   * enhanced shape-function addition (Section IV, Fig. 7): the right
+//     operand slides left/down into the concavities of the left operand,
+//     saving the paper's `w_imp` over bounding-box addition;
+//   * HB*-tree hierarchy nodes (Section III): a hierarchical sub-circuit is
+//     packed once and then placed as a macro whose bottom/top profiles meet
+//     the parent contour ("contour nodes").
+//
+// The slide model: starting from far right (resp. far above), translate the
+// rigid operand toward the other until first contact.  The contact offset is
+// exactly max over rectangle pairs with orthogonal-range overlap of the
+// facing-edge difference, which the functions below compute exactly in
+// integer DBU.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace als {
+
+/// One step of a rectilinear profile: value `v` over the half-open
+/// interval [lo, hi).
+struct ProfileStep {
+  Coord lo = 0;
+  Coord hi = 0;
+  Coord v = 0;
+  friend bool operator==(const ProfileStep&, const ProfileStep&) = default;
+};
+
+/// Top profile: for each x-interval covered by at least one rectangle, the
+/// maximum y-high among covering rectangles.  Steps are sorted by lo and
+/// non-overlapping; x-ranges not covered by any rectangle are absent.
+std::vector<ProfileStep> topProfile(std::span<const Rect> rects);
+
+/// Bottom profile: minimum y-low per covered x-interval.
+std::vector<ProfileStep> bottomProfile(std::span<const Rect> rects);
+
+/// Right profile: maximum x-high per covered y-interval.
+std::vector<ProfileStep> rightProfile(std::span<const Rect> rects);
+
+/// Left profile: minimum x-low per covered y-interval.
+std::vector<ProfileStep> leftProfile(std::span<const Rect> rects);
+
+/// Minimal dx such that translating every rectangle of `right` by (dx, 0)
+/// makes it overlap-free against `left`, under the slide-until-contact model
+/// (right operand approaches from +x).  When no rectangle pair shares a
+/// y-range the operands never collide and the function returns `noContact`.
+Coord slideContactX(std::span<const Rect> left, std::span<const Rect> right);
+
+/// Minimal dy for the vertical slide (upper operand approaches from +y).
+Coord slideContactY(std::span<const Rect> lower, std::span<const Rect> upper);
+
+/// Returned by slideContactX/Y when the operands can pass each other freely.
+inline constexpr Coord noContact = INT64_MIN;
+
+}  // namespace als

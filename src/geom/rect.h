@@ -1,0 +1,62 @@
+// Basic integer-DBU geometry: points and axis-aligned rectangles.
+//
+// All placement geometry in the library is expressed in integer database
+// units (1 DBU = 1 nm) so that symmetry and abutment checks are exact; only
+// electrical quantities use floating point.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace als {
+
+using Coord = std::int64_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Axis-aligned rectangle anchored at its lower-left corner.
+struct Rect {
+  Coord x = 0;
+  Coord y = 0;
+  Coord w = 0;
+  Coord h = 0;
+
+  Coord xlo() const { return x; }
+  Coord ylo() const { return y; }
+  Coord xhi() const { return x + w; }
+  Coord yhi() const { return y + h; }
+  Coord area() const { return w * h; }
+  Point center2x() const { return {2 * x + w, 2 * y + h}; }  // doubled to stay integral
+
+  bool contains(Point p) const {
+    return p.x >= xlo() && p.x <= xhi() && p.y >= ylo() && p.y <= yhi();
+  }
+
+  /// Strict interior overlap (shared edges do not count).
+  bool overlaps(const Rect& o) const {
+    return xlo() < o.xhi() && o.xlo() < xhi() && ylo() < o.yhi() && o.ylo() < yhi();
+  }
+
+  /// Smallest rectangle covering both operands.
+  Rect unionWith(const Rect& o) const {
+    Coord nx = std::min(xlo(), o.xlo());
+    Coord ny = std::min(ylo(), o.ylo());
+    return {nx, ny, std::max(xhi(), o.xhi()) - nx, std::max(yhi(), o.yhi()) - ny};
+  }
+
+  /// Rectangle mirrored about the vertical line x = axis (axis in DBU).
+  Rect mirroredX(Coord axis) const { return {2 * axis - x - w, y, w, h}; }
+  /// Rectangle mirrored about the horizontal line y = axis.
+  Rect mirroredY(Coord axis) const { return {x, 2 * axis - y - h, w, h}; }
+
+  Rect translated(Coord dx, Coord dy) const { return {x + dx, y + dy, w, h}; }
+  Rect rotated90() const { return {x, y, h, w}; }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace als

@@ -1,0 +1,24 @@
+#include "layoutaware/extract.h"
+
+namespace als {
+
+Parasitics extractParasitics(const Technology& tech,
+                             const FoldedCascodeDesign& design,
+                             const TemplateLayout& layout) {
+  Parasitics par;
+  // Wire capacitance of the two critical nets, from template route lengths.
+  par.cOut = tech.wireCapPerM * layout.outNetLen;
+  par.cFold = tech.wireCapPerM * layout.foldNetLen;
+  // Junction capacitances from the folded diffusion geometry (the layout's
+  // AD/AS/PD/PS): cascode drains load the outputs; pair and P-source drains
+  // plus the P-cascode source load the folding node.
+  MosCaps cPc = mosCaps(tech, design.pCascode());
+  MosCaps cNc = mosCaps(tech, design.nCascode());
+  MosCaps c1 = mosCaps(tech, design.inputPair());
+  MosCaps cPs = mosCaps(tech, design.pSource());
+  par.cOut += cPc.cdb + cNc.cdb;
+  par.cFold += c1.cdb + cPs.cdb + cPc.csb;
+  return par;
+}
+
+}  // namespace als

@@ -1,0 +1,24 @@
+// Parasitic extraction from the instantiated layout template (Section V).
+//
+// The paper stresses that "extraction within sizing is not as expensive as
+// it has been traditionally considered" — about 17% of total sizing time in
+// their experiments — and that extraction beats estimation on accuracy.
+// Here extraction walks the template geometry: device junction capacitances
+// from the folded diffusion stripes, wire capacitance from the template's
+// Manhattan net lengths.  The result feeds the performance model through
+// the `Parasitics` struct; the blind flow simply passes zeros.
+#pragma once
+
+#include "layoutaware/ota.h"
+#include "layoutaware/tech.h"
+#include "layoutaware/template_gen.h"
+
+namespace als {
+
+/// Extracts the node parasitics the OTA model consumes.  Wall-clock cost is
+/// measured by the caller (the flow reports the extraction time share).
+Parasitics extractParasitics(const Technology& tech,
+                             const FoldedCascodeDesign& design,
+                             const TemplateLayout& layout);
+
+}  // namespace als

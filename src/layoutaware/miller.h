@@ -1,0 +1,92 @@
+// Two-stage Miller-compensated op amp (the paper's Fig. 6 circuit):
+// design vector, analytical performance model, layout template and
+// parasitic extraction — the second circuit class of the layout-aware flow.
+//
+// Device naming follows Fig. 6: P-input pair P1/P2, NMOS mirror N3/N4,
+// P-bias legs P5/P6/P7, NMOS output driver N8, Miller capacitor C.
+//
+//        VDD ── P5 ─────────── P6 ──────── P7
+//               │ tail                      │
+//           P1 ─┴─ P2                       │ out
+//           │       │■──── Cc ─────────────■│
+//           N3 ──── N4 ─────── gate ────── N8
+//        VSS ───────────────────────────────
+//
+// Classic small-signal results: A = gm1/(gds2+gds4) * gm8/(gds8+gds7),
+// GBW = gm1 / (2 pi Cc), a right-half-plane zero at gm8/Cc, the output
+// pole at ~gm8/Cout.  As with the folded cascode, junction and wire
+// capacitances are layout facts delivered by extraction only.
+#pragma once
+
+#include "geom/placement.h"
+#include "layoutaware/mosfet.h"
+#include "layoutaware/ota.h"
+#include "layoutaware/sizing.h"
+#include "layoutaware/tech.h"
+#include "layoutaware/template_gen.h"
+
+namespace als {
+
+struct MillerDesign {
+  double ib = 40e-6;    ///< first-stage tail current [A]
+  double i2 = 160e-6;   ///< output-stage current [A]
+  double w1 = 30e-6;    ///< input pair (P) width
+  double l1 = 0.7e-6;
+  int m1 = 2;
+  double wn = 15e-6;    ///< mirror N3/N4 width
+  double ln = 0.7e-6;
+  int mn = 1;
+  double w8 = 60e-6;    ///< output driver N8 width
+  double l8 = 0.5e-6;
+  int m8 = 2;
+  double wp = 40e-6;    ///< bias legs P5/P6/P7 width
+  double lp = 1.0e-6;
+  int mp = 2;
+  double cc = 1.5e-12;  ///< Miller capacitor [F]
+  double cl = 5e-12;    ///< load [F] (testbench-fixed)
+
+  MosSpec inputPair() const { return {MosType::P, w1, l1, m1}; }
+  MosSpec mirror() const { return {MosType::N, wn, ln, mn}; }
+  MosSpec driver() const { return {MosType::N, w8, l8, m8}; }
+  MosSpec biasLeg() const { return {MosType::P, wp, lp, mp}; }
+};
+
+/// Layout-dependent node capacitances of the Miller op amp.
+struct MillerParasitics {
+  double cNode1 = 0.0;  ///< first-stage output (N4 drain / N8 gate) [F]
+  double cOut = 0.0;    ///< output node extras [F]
+};
+
+/// Evaluates gain/GBW/PM/SR/power; reuses the OtaPerformance carrier.
+OtaPerformance evalMiller(const Technology& tech, const MillerDesign& design,
+                          const MillerParasitics& parasitics);
+
+/// Row-based layout template for the Miller op amp (device cells + the two
+/// capacitor blocks), with Manhattan net-length estimates.
+TemplateLayout generateMillerLayout(const Technology& tech,
+                                    const MillerDesign& design);
+
+/// Extraction: junction + wire capacitances of node 1 and the output.
+MillerParasitics extractMillerParasitics(const Technology& tech,
+                                         const MillerDesign& design,
+                                         const TemplateLayout& layout);
+
+/// Sizing flows for the Miller op amp (same structure as runSizing for the
+/// folded cascode: layoutAware toggles extraction-in-the-loop + geometry).
+struct MillerSizingResult {
+  MillerDesign design;
+  TemplateLayout layout;
+  OtaPerformance perfSizing;
+  OtaPerformance perfExtracted;
+  double violationSizing = 0.0;
+  double violationExtracted = 0.0;
+  bool meetsSpecsExtracted = false;
+  double seconds = 0.0;
+  double extractShare = 0.0;
+  std::size_t evaluations = 0;
+};
+
+MillerSizingResult runMillerSizing(const Technology& tech, const OtaSpecs& specs,
+                                   const SizingOptions& options);
+
+}  // namespace als

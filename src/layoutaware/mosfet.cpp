@@ -1,0 +1,62 @@
+#include "layoutaware/mosfet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace als {
+
+MosSmallSignal mosSmallSignal(const Technology& tech, const MosSpec& spec,
+                              double id) {
+  assert(id > 0 && spec.w > 0 && spec.l >= tech.minL && spec.folds >= 1);
+  double kp = spec.type == MosType::N ? tech.kpN : tech.kpP;
+  double beta = kp * spec.w / spec.l;
+  MosSmallSignal ss;
+  ss.vov = std::sqrt(2.0 * id / beta);
+  ss.gm = 2.0 * id / ss.vov;
+  double early = (spec.type == MosType::N ? tech.earlyN : tech.earlyP) * spec.l;
+  ss.gds = id / early;
+  return ss;
+}
+
+DiffusionGeometry diffusionGeometry(const Technology& tech, const MosSpec& spec) {
+  // m fingers between m+1 diffusion stripes of width fingerW = W/m.
+  // Alternating D-S-D-S...: ceil((m+1)/2) stripes on one terminal,
+  // floor((m+1)/2) on the other; shared stripes are the folding win.
+  int m = std::max(1, spec.folds);
+  double fingerW = spec.w / m;
+  int stripes = m + 1;
+  int drainStripes = stripes / 2;        // interior-first convention
+  int sourceStripes = stripes - drainStripes;
+  double stripeArea = fingerW * tech.diffExt;
+  double stripePerim = 2.0 * tech.diffExt + 2.0 * fingerW;
+  DiffusionGeometry g;
+  g.drainArea = drainStripes * stripeArea;
+  g.drainPerim = drainStripes * stripePerim;
+  g.sourceArea = sourceStripes * stripeArea;
+  g.sourcePerim = sourceStripes * stripePerim;
+  return g;
+}
+
+MosCaps mosCaps(const Technology& tech, const MosSpec& spec) {
+  DiffusionGeometry g = diffusionGeometry(tech, spec);
+  MosCaps c;
+  c.cgs = (2.0 / 3.0) * tech.cox * spec.w * spec.l + tech.cgdo * spec.w;
+  c.cgd = tech.cgdo * spec.w;
+  c.cdb = tech.cj * g.drainArea + tech.cjsw * g.drainPerim;
+  c.csb = tech.cj * g.sourceArea + tech.cjsw * g.sourcePerim;
+  return c;
+}
+
+double mosCellWidth(const Technology& tech, const MosSpec& spec) {
+  int m = std::max(1, spec.folds);
+  // m gates plus m+1 diffusion stripes at the poly pitch.
+  return m * (spec.l + tech.polyPitch) + tech.diffExt;
+}
+
+double mosCellHeight(const Technology& tech, const MosSpec& spec) {
+  int m = std::max(1, spec.folds);
+  return spec.w / m + 2.0 * tech.diffExt;
+}
+
+}  // namespace als

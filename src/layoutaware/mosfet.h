@@ -1,0 +1,60 @@
+// Square-law MOS device evaluation with layout-dependent parasitics.
+//
+// The electrical side is the classic strong-inversion model (gm, gds from
+// W/L and bias current).  The *capacitances* are computed from the folded
+// layout geometry: an m-fold transistor interleaves m gate fingers between
+// m+1 diffusion stripes, so drain area — and with it the junction
+// capacitance Cdb — shrinks roughly with 1/m while the gate footprint turns
+// from a W-wide stripe into a compact m x (W/m) cell.  This geometry
+// coupling is exactly why Section V optimizes "geometric parameters, like
+// the number of folds" inside the electrical sizing loop.
+#pragma once
+
+#include "geom/rect.h"
+#include "layoutaware/tech.h"
+
+namespace als {
+
+enum class MosType { N, P };
+
+/// Electrical + layout description of one (possibly folded) transistor.
+struct MosSpec {
+  MosType type = MosType::N;
+  double w = 1e-6;  ///< total channel width [m]
+  double l = 0.35e-6;
+  int folds = 1;    ///< number of parallel gate fingers (>= 1)
+};
+
+struct MosSmallSignal {
+  double gm = 0;   ///< [A/V]
+  double gds = 0;  ///< [A/V]
+  double vov = 0;  ///< overdrive [V]
+};
+
+/// Small-signal parameters at drain current `id` (saturation assumed).
+MosSmallSignal mosSmallSignal(const Technology& tech, const MosSpec& spec,
+                              double id);
+
+struct MosCaps {
+  double cgs = 0;
+  double cgd = 0;
+  double cdb = 0;  ///< drain junction — shrinks with folding
+  double csb = 0;
+};
+
+/// Geometry-derived capacitances of the folded cell.
+MosCaps mosCaps(const Technology& tech, const MosSpec& spec);
+
+/// Template cell footprint of the folded transistor [m].
+double mosCellWidth(const Technology& tech, const MosSpec& spec);
+double mosCellHeight(const Technology& tech, const MosSpec& spec);
+
+/// Drain/source diffusion areas and perimeters [m^2, m] of the folded cell
+/// (exposed for tests; mosCaps builds on these).
+struct DiffusionGeometry {
+  double drainArea = 0, drainPerim = 0;
+  double sourceArea = 0, sourcePerim = 0;
+};
+DiffusionGeometry diffusionGeometry(const Technology& tech, const MosSpec& spec);
+
+}  // namespace als

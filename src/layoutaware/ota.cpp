@@ -1,0 +1,83 @@
+#include "layoutaware/ota.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace als {
+
+OtaPerformance evalFoldedCascode(const Technology& tech,
+                                 const FoldedCascodeDesign& d,
+                                 const Parasitics& par) {
+  OtaPerformance perf;
+
+  // Bias: the tail splits into the pair; the P sources carry pair current
+  // plus the cascode branch current (chosen equal to Ib/2 for symmetric
+  // slewing), so the output branch runs at Ib/2.
+  const double iPair = d.ib / 2.0;
+  const double iBranch = d.ib / 2.0;
+  const double iSource = iPair + iBranch;
+
+  MosSmallSignal ss1 = mosSmallSignal(tech, d.inputPair(), iPair);
+  MosSmallSignal ssPs = mosSmallSignal(tech, d.pSource(), iSource);
+  MosSmallSignal ssPc = mosSmallSignal(tech, d.pCascode(), iBranch);
+  MosSmallSignal ssNc = mosSmallSignal(tech, d.nCascode(), iBranch);
+  MosSmallSignal ssNm = mosSmallSignal(tech, d.nMirror(), iBranch);
+
+  // Output resistance: N cascode stack (boosted mirror) in parallel with
+  // the P cascode stack, which also shields the pair/source node.
+  const double rDown = (ssNc.gm / ssNc.gds) / ssNm.gds;
+  const double rUp = (ssPc.gm / ssPc.gds) / (ssPs.gds + ss1.gds);
+  const double rOut = 1.0 / (1.0 / rDown + 1.0 / rUp);
+  const double av = ss1.gm * rOut;
+  perf.gainDb = 20.0 * std::log10(std::max(av, 1e-12));
+
+  // Capacitance at the output: load + schematic-known gate overlaps of the
+  // cascode drains.  Junction and wire capacitances are layout facts and
+  // enter only through `par` — the schematic-level netlist has no diffusion
+  // areas (the classic missing-AD/AS optimism of pre-layout simulation).
+  MosCaps cPc = mosCaps(tech, d.pCascode());
+  MosCaps cNc = mosCaps(tech, d.nCascode());
+  const double cOut = d.cl + par.cOut + cPc.cgd + cNc.cgd;
+  perf.gbwHz = ss1.gm / (2.0 * std::numbers::pi * cOut);
+
+  // Non-dominant pole at the folding node (input-pair drain = P-cascode
+  // source): gate capacitance of the cascode plus whatever the layout parks
+  // there (junctions of pair / P source / cascode source, wire).
+  MosCaps c1 = mosCaps(tech, d.inputPair());
+  MosCaps cPs = mosCaps(tech, d.pSource());
+  const double cFold = par.cFold + cPc.cgs + c1.cgd + cPs.cgd;
+  const double p2 = ssPc.gm / (2.0 * std::numbers::pi * cFold);
+  const double pmRad = std::numbers::pi / 2.0 - std::atan(perf.gbwHz / p2);
+  perf.pmDeg = pmRad * 180.0 / std::numbers::pi;
+
+  perf.srVps = d.ib / cOut;
+  // Two output branches plus the tail and a 10% bias overhead.
+  perf.powerW = tech.vdd * (d.ib + 2.0 * iBranch) * 1.1;
+
+  // Headroom: the stack VDD >= |vov_ps| + |vov_pc| + vov_nc + vov_nm with
+  // 0.4 V of swing margin; the tail needs its own saturation room.
+  const double stack =
+      ssPs.vov + ssPc.vov + ssNc.vov + ssNm.vov + 0.4;
+  MosSmallSignal ssT = mosSmallSignal(tech, d.tail(), d.ib);
+  perf.saturated = stack < tech.vdd && (ss1.vov + ssT.vov + 0.3) < tech.vdd / 2.0;
+  return perf;
+}
+
+double specViolation(const OtaPerformance& perf, const OtaSpecs& specs) {
+  double v = 0.0;
+  auto atLeast = [&](double value, double bound) {
+    if (value < bound) v += (bound - value) / bound;
+  };
+  atLeast(perf.gainDb, specs.minGainDb);
+  atLeast(perf.gbwHz, specs.minGbwHz);
+  atLeast(perf.pmDeg, specs.minPmDeg);
+  atLeast(perf.srVps, specs.minSrVps);
+  if (perf.powerW > specs.maxPowerW) {
+    v += (perf.powerW - specs.maxPowerW) / specs.maxPowerW;
+  }
+  if (!perf.saturated) v += 1.0;
+  return v;
+}
+
+}  // namespace als

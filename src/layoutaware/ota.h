@@ -1,0 +1,85 @@
+// Fully-differential folded-cascode OTA: design vector and analytical
+// performance model (the "simulator" of the layout-aware flow).
+//
+// The paper's flow evaluates thousands of sizings with SPICE; this model
+// substitutes closed-form small-signal analysis of the same circuit class
+// used in Fig. 10 — a fully-differential folded-cascode amplifier:
+//
+//             VDD ----+--------+
+//            MPS (x2) |        |  P current sources
+//            MPC (x2) |        |  P cascodes
+//   out- ----+--------)--------+---- out+
+//            MNC (x2) |        |  N cascodes
+//            MNM (x2) |        |  N mirrors
+//             VSS ----+--------+
+//   with input pair M1/M2 folding into the MNC sources, tail MT.
+//
+// Performance figures: dc gain, unity-gain bandwidth, phase margin (from
+// the non-dominant pole at the folding node), slew rate, power.  The
+// parasitic capacitances entering GBW/PM/SR come from extraction — that is
+// precisely the layout dependence the flow does or does not see.
+#pragma once
+
+#include "layoutaware/mosfet.h"
+#include "layoutaware/tech.h"
+
+namespace als {
+
+/// Free variables of the sizing problem (fully differential, so every
+/// device exists twice; widths are per device).
+struct FoldedCascodeDesign {
+  double ib = 200e-6;  ///< tail current [A]
+  double w1 = 40e-6;   ///< input pair width
+  double l1 = 0.7e-6;
+  int m1 = 2;          ///< input pair folds
+  double wp = 60e-6;   ///< P source + P cascode width
+  double lp = 0.7e-6;
+  int mp = 2;
+  double wn = 30e-6;   ///< N cascode + N mirror width
+  double ln = 0.7e-6;
+  int mn = 2;
+  double cl = 2e-12;   ///< single-ended load [F] (fixed by the testbench)
+
+  MosSpec inputPair() const { return {MosType::N, w1, l1, m1}; }
+  MosSpec pSource() const { return {MosType::P, wp, lp, mp}; }
+  MosSpec pCascode() const { return {MosType::P, wp, lp, mp}; }
+  MosSpec nCascode() const { return {MosType::N, wn, ln, mn}; }
+  MosSpec nMirror() const { return {MosType::N, wn, ln, mn}; }
+  MosSpec tail() const { return {MosType::N, 2.0 * w1, l1, std::max(1, 2 * m1)}; }
+};
+
+/// Node capacitances the model needs beyond the load (from extraction, or
+/// zero in the parasitic-blind flow).
+struct Parasitics {
+  double cOut = 0.0;   ///< extra capacitance at each output node [F]
+  double cFold = 0.0;  ///< capacitance at each folding node [F]
+};
+
+struct OtaPerformance {
+  double gainDb = 0.0;
+  double gbwHz = 0.0;
+  double pmDeg = 0.0;
+  double srVps = 0.0;   ///< slew rate [V/s]
+  double powerW = 0.0;
+  bool saturated = true;  ///< all devices keep saturation headroom
+};
+
+/// Evaluates the OTA at the given design point and parasitics.
+OtaPerformance evalFoldedCascode(const Technology& tech,
+                                 const FoldedCascodeDesign& design,
+                                 const Parasitics& parasitics);
+
+/// Spec set of the Fig.-10 experiment (plus the geometric restrictions the
+/// layout-aware flow adds).
+struct OtaSpecs {
+  double minGainDb = 72.0;
+  double minGbwHz = 25e6;
+  double minPmDeg = 60.0;
+  double minSrVps = 20e6;   ///< 20 V/us
+  double maxPowerW = 6e-3;
+};
+
+/// Sum of relative violations (0 when every spec is met).
+double specViolation(const OtaPerformance& perf, const OtaSpecs& specs);
+
+}  // namespace als

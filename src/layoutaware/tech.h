@@ -1,0 +1,46 @@
+// Technology model for the layout-aware sizing flow (Section V).
+//
+// The paper's implementation runs on a production PDK through Cadence
+// PCELLS/SKILL and a SPICE-class simulator; neither is redistributable, so
+// the flow here runs on a self-contained 0.35 um-class technology card:
+// square-law device parameters plus the layout constants (pitches, junction
+// and wire capacitances) the template generator and extractor need.  The
+// numbers are textbook-typical for a 3.3 V 0.35 um CMOS node; the flow
+// conclusions (layout-aware sizing meets post-layout specs at small CPU
+// cost) do not depend on the exact values.  See DESIGN.md, "Substitutions".
+#pragma once
+
+namespace als {
+
+struct Technology {
+  // --- electrical (square-law) ---
+  double vdd = 3.3;        ///< supply [V]
+  double kpN = 170e-6;     ///< NMOS transconductance parameter [A/V^2]
+  double kpP = 58e-6;      ///< PMOS transconductance parameter [A/V^2]
+  double vtN = 0.50;       ///< NMOS threshold [V]
+  double vtP = 0.65;       ///< PMOS threshold magnitude [V]
+  double earlyN = 8.0e6;   ///< NMOS Early voltage per channel length [V/m]
+  double earlyP = 6.0e6;   ///< PMOS Early voltage per channel length [V/m]
+  double cox = 4.6e-3;     ///< gate capacitance [F/m^2]
+  double cgdo = 0.12e-9;   ///< gate-drain overlap [F/m]
+
+  // --- junctions (layout-dependent!) ---
+  double cj = 0.94e-3;     ///< bottom-plate junction capacitance [F/m^2]
+  double cjsw = 0.25e-9;   ///< sidewall junction capacitance [F/m]
+
+  // --- layout template constants ---
+  double minL = 0.35e-6;     ///< minimum channel length [m]
+  double diffExt = 0.85e-6;  ///< source/drain diffusion extension [m]
+  double polyPitch = 1.1e-6; ///< gate-to-gate pitch inside a folded cell [m]
+  double rowSpacing = 2.4e-6;///< spacing between template rows [m]
+  double cellSpacing = 1.6e-6;///< spacing between cells in a row [m]
+  double capDensity = 0.86e-3;///< MiM/poly capacitor density [F/m^2]
+
+  // --- wiring ---
+  double wireCapPerM = 0.11e-9;  ///< routed-net capacitance [F/m]
+
+  /// The default 0.35 um card.
+  static Technology c035() { return Technology{}; }
+};
+
+}  // namespace als

@@ -1,0 +1,86 @@
+#include "layoutaware/template_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace als {
+
+namespace {
+
+constexpr double kMetersToDbu = 1e9;  // 1 DBU = 1 nm
+
+Coord toDbu(double meters) {
+  return static_cast<Coord>(std::llround(meters * kMetersToDbu));
+}
+
+}  // namespace
+
+TemplateLayout generateFoldedCascodeLayout(const Technology& tech,
+                                           const FoldedCascodeDesign& d) {
+  TemplateLayout out;
+
+  struct RowSpec {
+    std::string base;
+    MosSpec spec;
+  };
+  // Bottom-up row order keeps matched devices side by side and the signal
+  // flow vertical (mirrors -> cascodes -> pair -> P stack).
+  std::vector<RowSpec> rows{
+      {"MNM", d.nMirror()},   {"MNC", d.nCascode()}, {"M1", d.inputPair()},
+      {"MPC", d.pCascode()},  {"MPS", d.pSource()},
+  };
+
+  const Coord spacing = toDbu(tech.cellSpacing);
+  const Coord rowGap = toDbu(tech.rowSpacing);
+
+  Coord y = 0;
+  Coord coreWidth = 0;
+  std::vector<Coord> rowCenterY;
+  for (const RowSpec& row : rows) {
+    Coord cw = toDbu(mosCellWidth(tech, row.spec));
+    Coord ch = toDbu(mosCellHeight(tech, row.spec));
+    // Matched pair: left and right device of the differential half-circuits.
+    out.cells.push({0, y, cw, ch});
+    out.names.push_back(row.base + "a");
+    out.cells.push({cw + spacing, y, cw, ch});
+    out.names.push_back(row.base + "b");
+    // Tail transistor joins the input-pair row on the right.
+    if (row.base == "M1") {
+      Coord tw = toDbu(mosCellWidth(tech, d.tail()));
+      Coord th = toDbu(mosCellHeight(tech, d.tail()));
+      out.cells.push({2 * cw + 2 * spacing, y, tw, th});
+      out.names.push_back("MT");
+      coreWidth = std::max(coreWidth, 2 * cw + 2 * spacing + tw);
+    }
+    coreWidth = std::max(coreWidth, 2 * cw + spacing);
+    rowCenterY.push_back(y + ch / 2);
+    y += ch + rowGap;
+  }
+  // Load capacitors as a square block column on the right of the core.
+  const double capArea = d.cl / tech.capDensity;           // [m^2]
+  const Coord capSide = toDbu(std::sqrt(capArea));
+  const Coord capX = coreWidth + 2 * spacing;
+  out.cells.push({capX, 0, capSide, capSide});
+  out.names.push_back("CLa");
+  out.cells.push({capX, capSide + spacing, capSide, capSide});
+  out.names.push_back("CLb");
+
+  Rect bb = out.cells.boundingBox();
+  out.width = bb.w;
+  out.height = bb.h;
+
+  // Net-length estimates (Manhattan, center to center).
+  // Output net: N cascode drain -> P cascode drain -> load cap.
+  const double dbu = 1.0 / kMetersToDbu;
+  double outVertical = std::abs(static_cast<double>(rowCenterY[3] - rowCenterY[1]));
+  double outToCap = static_cast<double>(capX) + capSide / 2.0;
+  out.outNetLen = (outVertical + outToCap) * dbu;
+  // Folding net: input-pair drain -> P cascode source (adjacent rows).
+  out.foldNetLen =
+      (std::abs(static_cast<double>(rowCenterY[3] - rowCenterY[2])) +
+       static_cast<double>(coreWidth) / 4.0) *
+      dbu;
+  return out;
+}
+
+}  // namespace als

@@ -1,0 +1,42 @@
+// Procedural layout template for the folded-cascode OTA (Section V).
+//
+// The paper generates layouts through Cadence PCELLS + SKILL templates; the
+// equivalent here is a C++ procedural generator: a fixed row-based
+// floorplan whose cell geometry follows the device sizes and fold counts.
+// Template rows (bottom to top): N mirrors, N cascodes, input pair + tail,
+// P cascodes, P sources; the two load capacitors sit as a block on the
+// right.  The generator returns exact cell rectangles (DBU), the chip
+// outline, and Manhattan net-length estimates for the extraction step —
+// the "a priori revealed knowledge needed for evaluation of layout
+// parasitics" that makes templates attractive for layout-aware sizing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/placement.h"
+#include "layoutaware/ota.h"
+#include "layoutaware/tech.h"
+
+namespace als {
+
+struct TemplateLayout {
+  Placement cells;                  ///< device cells in DBU
+  std::vector<std::string> names;   ///< parallel cell names
+  Coord width = 0;                  ///< chip extent [DBU]
+  Coord height = 0;
+  double outNetLen = 0.0;   ///< routed length of each output net [m]
+  double foldNetLen = 0.0;  ///< routed length of each folding net [m]
+  double aspectRatio() const {
+    return height == 0 ? 0.0 : static_cast<double>(width) / static_cast<double>(height);
+  }
+  double areaUm2() const {
+    return static_cast<double>(width) * static_cast<double>(height) * 1e-6;
+  }
+};
+
+/// Instantiates the template for a design point.
+TemplateLayout generateFoldedCascodeLayout(const Technology& tech,
+                                           const FoldedCascodeDesign& design);
+
+}  // namespace als

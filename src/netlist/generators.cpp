@@ -1,0 +1,325 @@
+#include "netlist/generators.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace als {
+
+Circuit makeFig1Example() {
+  Circuit c("fig1");
+  // Sizes (in um) chosen to resemble the figure: E spans the top, B/G flank
+  // the symmetric core, C/D sit side by side above A, F below.
+  ModuleId e = c.addModule("E", 30 * kUm, 8 * kUm, false);
+  ModuleId b = c.addModule("B", 6 * kUm, 14 * kUm, false);
+  ModuleId a = c.addModule("A", 12 * kUm, 8 * kUm, false);
+  ModuleId f = c.addModule("F", 10 * kUm, 6 * kUm, false);
+  ModuleId cc = c.addModule("C", 7 * kUm, 6 * kUm, false);
+  ModuleId d = c.addModule("D", 7 * kUm, 6 * kUm, false);
+  ModuleId g = c.addModule("G", 6 * kUm, 14 * kUm, false);
+
+  SymmetryGroup grp;
+  grp.name = "gamma";
+  grp.pairs = {{cc, d}, {b, g}};
+  grp.selfs = {a, f};
+  c.addSymmetryGroup(std::move(grp));
+
+  c.addNet("n1", {e, b, g});
+  c.addNet("n2", {cc, d, a});
+  c.addNet("n3", {a, f});
+  return c;
+}
+
+Circuit makeMillerOpAmp() {
+  Circuit c("miller_opamp");
+  ModuleId p1 = c.addModule("P1", 9 * kUm, 4 * kUm, false);
+  ModuleId p2 = c.addModule("P2", 9 * kUm, 4 * kUm, false);
+  ModuleId p5 = c.addModule("P5", 7 * kUm, 3 * kUm, false);
+  ModuleId p6 = c.addModule("P6", 7 * kUm, 3 * kUm, false);
+  ModuleId p7 = c.addModule("P7", 7 * kUm, 3 * kUm, false);
+  ModuleId n3 = c.addModule("N3", 6 * kUm, 3 * kUm, false);
+  ModuleId n4 = c.addModule("N4", 6 * kUm, 3 * kUm, false);
+  ModuleId n8 = c.addModule("N8", 12 * kUm, 5 * kUm);
+  ModuleId cap = c.addModule("C", 18 * kUm, 18 * kUm, false);
+
+  SymmetryGroup dp;
+  dp.name = "DP";
+  dp.pairs = {{p1, p2}};
+  std::size_t gDp = c.addSymmetryGroup(std::move(dp));
+
+  SymmetryGroup cm1;
+  cm1.name = "CM1";
+  cm1.pairs = {{n3, n4}};
+  std::size_t gCm1 = c.addSymmetryGroup(std::move(cm1));
+
+  SymmetryGroup cm2;
+  cm2.name = "CM2";
+  cm2.pairs = {{p5, p7}};
+  cm2.selfs = {p6};
+  std::size_t gCm2 = c.addSymmetryGroup(std::move(cm2));
+
+  c.addNet("inp", {p1});
+  c.addNet("inn", {p2});
+  c.addNet("tail", {p1, p2, p5});
+  c.addNet("mirror", {n3, n4, p1, p2});
+  c.addNet("out1", {n4, cap, n8});
+  c.addNet("out", {n8, cap, p7});
+  c.addNet("bias", {p5, p6, p7});
+
+  HierTree& h = c.hierarchy();
+  HierNodeId lp1 = h.addLeaf("P1", p1), lp2 = h.addLeaf("P2", p2);
+  HierNodeId lp5 = h.addLeaf("P5", p5), lp6 = h.addLeaf("P6", p6);
+  HierNodeId lp7 = h.addLeaf("P7", p7);
+  HierNodeId ln3 = h.addLeaf("N3", n3), ln4 = h.addLeaf("N4", n4);
+  HierNodeId ln8 = h.addLeaf("N8", n8), lc = h.addLeaf("C", cap);
+
+  HierNodeId ndp = h.addGroup("DP", {lp1, lp2}, GroupConstraint::Symmetry);
+  h.node(ndp).symGroup = gDp;
+  HierNodeId ncm1 = h.addGroup("CM1", {ln3, ln4}, GroupConstraint::Symmetry);
+  h.node(ncm1).symGroup = gCm1;
+  HierNodeId ncm2 = h.addGroup("CM2", {lp5, lp6, lp7}, GroupConstraint::Symmetry);
+  h.node(ncm2).symGroup = gCm2;
+  HierNodeId core = h.addGroup("CORE", {ndp, ncm1, ncm2});
+  HierNodeId top = h.addGroup("OPAMP", {core, lc, ln8});
+  h.setRoot(top);
+  return c;
+}
+
+Circuit makeFig2Design() {
+  Circuit c("fig2_design");
+  // Top-level free devices.
+  ModuleId a = c.addModule("A", 10 * kUm, 6 * kUm);
+  ModuleId b = c.addModule("B", 8 * kUm, 8 * kUm);
+  ModuleId cm = c.addModule("C", 6 * kUm, 10 * kUm);
+  ModuleId g = c.addModule("G", 12 * kUm, 5 * kUm);
+  // Symmetric pair D/E inside the hierarchical-symmetry sub-circuit.
+  ModuleId d = c.addModule("D", 9 * kUm, 4 * kUm, false);
+  ModuleId e = c.addModule("E", 9 * kUm, 4 * kUm, false);
+  // Two common-centroid arrays H and I (4 units each), forming a symmetric
+  // pair of sub-circuits inside the hierarchical symmetry constraint.
+  std::vector<ModuleId> hUnits, iUnits;
+  for (int i = 0; i < 4; ++i) {
+    hUnits.push_back(
+        c.addModule("H" + std::to_string(i + 1), 4 * kUm, 4 * kUm, false));
+  }
+  for (int i = 0; i < 4; ++i) {
+    iUnits.push_back(
+        c.addModule("I" + std::to_string(i + 1), 4 * kUm, 4 * kUm, false));
+  }
+  // Proximity sub-circuit J/K/F sharing a common well.
+  ModuleId j = c.addModule("J", 7 * kUm, 7 * kUm);
+  ModuleId k = c.addModule("K", 5 * kUm, 9 * kUm);
+  ModuleId f = c.addModule("F", 6 * kUm, 4 * kUm);
+
+  SymmetryGroup sg;
+  sg.name = "DE";
+  sg.pairs = {{d, e}};
+  std::size_t gDe = c.addSymmetryGroup(std::move(sg));
+
+  c.addNet("diff", {d, e, a});
+  c.addNet("ccH", {hUnits[0], hUnits[1], hUnits[2], hUnits[3]});
+  c.addNet("ccI", {iUnits[0], iUnits[1], iUnits[2], iUnits[3]});
+  c.addNet("well", {j, k, f});
+  c.addNet("top", {a, b, cm, g});
+
+  HierTree& h = c.hierarchy();
+  HierNodeId la = h.addLeaf("A", a), lb = h.addLeaf("B", b);
+  HierNodeId lc = h.addLeaf("C", cm), lg = h.addLeaf("G", g);
+  HierNodeId ld = h.addLeaf("D", d), le = h.addLeaf("E", e);
+  std::vector<HierNodeId> lH, lI;
+  for (int i = 0; i < 4; ++i) lH.push_back(h.addLeaf(c.module(hUnits[static_cast<std::size_t>(i)]).name, hUnits[static_cast<std::size_t>(i)]));
+  for (int i = 0; i < 4; ++i) lI.push_back(h.addLeaf(c.module(iUnits[static_cast<std::size_t>(i)]).name, iUnits[static_cast<std::size_t>(i)]));
+  HierNodeId lj = h.addLeaf("J", j), lk = h.addLeaf("K", k), lf = h.addLeaf("F", f);
+
+  HierNodeId nH = h.addGroup("H", lH, GroupConstraint::CommonCentroid);
+  HierNodeId nI = h.addGroup("I", lI, GroupConstraint::CommonCentroid);
+  HierNodeId nSym = h.addGroup("SYM", {ld, le, nH, nI}, GroupConstraint::Symmetry);
+  h.node(nSym).symGroup = gDe;
+  HierNodeId nProx = h.addGroup("PROX", {lj, lk, lf}, GroupConstraint::Proximity);
+  HierNodeId top = h.addGroup("TOP", {la, lb, lc, lg, nSym, nProx});
+  h.setRoot(top);
+  return c;
+}
+
+namespace {
+
+/// Emits one basic module set into the circuit; returns the leaf node ids.
+/// `kind` selects an analog archetype with matched or free footprints.
+struct EmittedSet {
+  std::vector<HierNodeId> leaves;
+  GroupConstraint constraint = GroupConstraint::None;
+  std::optional<std::size_t> symGroup;
+};
+
+EmittedSet emitBasicSet(Circuit& c, Rng& rng, std::size_t setIndex, std::size_t k,
+                        bool symmetric) {
+  EmittedSet out;
+  HierTree& h = c.hierarchy();
+  std::string base = "s" + std::to_string(setIndex);
+
+  // Analog-typical footprints (in DBU): transistors are wide and flat with
+  // strongly varying W; capacitors are large and square-ish; resistors tall.
+  int archetype = static_cast<int>(rng.index(10));
+  Coord w, hgt;
+  bool rotatable = !symmetric;
+  if (archetype < 6) {  // transistor-like
+    w = rng.uniformInt(3, 28) * kUm;
+    hgt = rng.uniformInt(2, 6) * kUm;
+  } else if (archetype < 8) {  // capacitor-like
+    w = rng.uniformInt(12, 45) * kUm;
+    hgt = (w * rng.uniformInt(80, 125)) / 100;
+    rotatable = false;
+  } else {  // resistor-like
+    w = rng.uniformInt(2, 5) * kUm;
+    hgt = rng.uniformInt(10, 30) * kUm;
+  }
+
+  std::vector<ModuleId> ids;
+  for (std::size_t i = 0; i < k; ++i) {
+    Coord wi = w, hi = hgt;
+    if (!symmetric) {
+      // Unmatched sets get per-device size jitter for shape diversity.
+      wi = std::max<Coord>(kUm, w + rng.uniformInt(-2, 2) * kUm);
+      hi = std::max<Coord>(kUm, hgt + rng.uniformInt(-1, 1) * kUm);
+    }
+    ids.push_back(c.addModule(base + "_m" + std::to_string(i), wi, hi, rotatable));
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    out.leaves.push_back(h.addLeaf(c.module(ids[i]).name, ids[i]));
+  }
+  c.addNet(base + "_net", ids);
+
+  if (symmetric && k >= 2) {
+    SymmetryGroup g;
+    g.name = base + "_sym";
+    for (std::size_t i = 0; i + 1 < k; i += 2) g.pairs.push_back({ids[i], ids[i + 1]});
+    if (k % 2 == 1) g.selfs.push_back(ids[k - 1]);
+    out.symGroup = c.addSymmetryGroup(std::move(g));
+    out.constraint = GroupConstraint::Symmetry;
+  } else if (archetype >= 8 && k >= 2) {
+    out.constraint = GroupConstraint::Proximity;
+  }
+  return out;
+}
+
+}  // namespace
+
+Circuit makeSynthetic(const SyntheticSpec& spec) {
+  assert(spec.moduleCount >= 2);
+  assert(spec.maxBasicSet >= 2);
+  Circuit c(spec.name);
+  Rng rng(spec.seed);
+  HierTree& h = c.hierarchy();
+
+  // Phase 1: emit basic module sets until the module budget is consumed.
+  std::vector<HierNodeId> setNodes;
+  std::size_t remaining = spec.moduleCount;
+  std::size_t setIndex = 0;
+  while (remaining > 0) {
+    std::size_t k = std::min<std::size_t>(
+        remaining, 2 + rng.index(spec.maxBasicSet - 1));  // 2..maxBasicSet
+    if (remaining - k == 1) k += 1;  // never leave a 1-module tail
+    k = std::min(k, remaining);
+    bool symmetric = k >= 2 && rng.uniform() < spec.symmetricFraction;
+    EmittedSet set = emitBasicSet(c, rng, setIndex, k, symmetric);
+    HierNodeId node =
+        h.addGroup("set" + std::to_string(setIndex), set.leaves, set.constraint);
+    h.node(node).symGroup = set.symGroup;
+    setNodes.push_back(node);
+    remaining -= k;
+    ++setIndex;
+  }
+
+  // Phase 2: a few cross-set nets so wirelength-driven experiments have
+  // inter-cluster connectivity.
+  std::size_t crossNets = std::max<std::size_t>(1, setNodes.size() / 2);
+  for (std::size_t i = 0; i < crossNets; ++i) {
+    std::vector<ModuleId> pins;
+    std::size_t fanout = 2 + rng.index(3);
+    for (std::size_t p = 0; p < fanout; ++p) {
+      pins.push_back(rng.index(c.moduleCount()));
+    }
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    if (pins.size() >= 2) c.addNet("x" + std::to_string(i), pins);
+  }
+
+  // Phase 3: fold the set nodes into a hierarchy tree, 2-3 children per
+  // internal node, mirroring the virtual-cluster trees of [17]/[25].
+  std::vector<HierNodeId> level = setNodes;
+  std::size_t groupIndex = 0;
+  while (level.size() > 1) {
+    std::vector<HierNodeId> next;
+    std::size_t i = 0;
+    while (i < level.size()) {
+      std::size_t take = std::min<std::size_t>(level.size() - i, 2 + rng.index(2));
+      if (level.size() - i - take == 1) take += 1;  // avoid 1-child parents
+      take = std::min(take, level.size() - i);
+      if (take == 1) {
+        next.push_back(level[i]);
+        ++i;
+        continue;
+      }
+      std::vector<HierNodeId> kids(level.begin() + static_cast<std::ptrdiff_t>(i),
+                                   level.begin() + static_cast<std::ptrdiff_t>(i + take));
+      next.push_back(h.addGroup("g" + std::to_string(groupIndex++), std::move(kids)));
+      i += take;
+    }
+    level = std::move(next);
+  }
+  h.setRoot(level.front());
+
+  std::string err;
+  assert(c.validate(&err));
+  (void)err;
+  return c;
+}
+
+std::vector<TableICircuit> allTableICircuits() {
+  return {TableICircuit::MillerV2,      TableICircuit::ComparatorV2,
+          TableICircuit::FoldedCascode, TableICircuit::Buffer,
+          TableICircuit::Biasynth,      TableICircuit::Lnamixbias};
+}
+
+const char* tableIName(TableICircuit c) {
+  switch (c) {
+    case TableICircuit::MillerV2: return "Miller V2";
+    case TableICircuit::ComparatorV2: return "Comparator V2";
+    case TableICircuit::FoldedCascode: return "Folded casc.";
+    case TableICircuit::Buffer: return "Buffer";
+    case TableICircuit::Biasynth: return "biasynth";
+    case TableICircuit::Lnamixbias: return "lnamixbias";
+  }
+  return "?";
+}
+
+std::size_t tableIModuleCount(TableICircuit c) {
+  switch (c) {
+    case TableICircuit::MillerV2: return 13;
+    case TableICircuit::ComparatorV2: return 10;
+    case TableICircuit::FoldedCascode: return 22;
+    case TableICircuit::Buffer: return 46;
+    case TableICircuit::Biasynth: return 65;
+    case TableICircuit::Lnamixbias: return 110;
+  }
+  return 0;
+}
+
+Circuit makeTableICircuit(TableICircuit which) {
+  SyntheticSpec spec;
+  spec.name = tableIName(which);
+  spec.moduleCount = tableIModuleCount(which);
+  // Fixed per-circuit seeds keep Table-I runs reproducible.
+  switch (which) {
+    case TableICircuit::MillerV2: spec.seed = 101; break;
+    case TableICircuit::ComparatorV2: spec.seed = 102; break;
+    case TableICircuit::FoldedCascode: spec.seed = 103; break;
+    case TableICircuit::Buffer: spec.seed = 104; break;
+    case TableICircuit::Biasynth: spec.seed = 105; break;
+    case TableICircuit::Lnamixbias: spec.seed = 106; break;
+  }
+  return makeSynthetic(spec);
+}
+
+}  // namespace als

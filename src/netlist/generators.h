@@ -1,0 +1,71 @@
+// Benchmark circuit generators.
+//
+// The paper's example figures (Fig. 1, Fig. 2, Fig. 6) are reconstructed
+// exactly from the text.  The six industrial circuits of Table I (Miller V2,
+// Comparator V2, Folded cascode, Buffer, biasynth, lnamixbias) are
+// proprietary, so `makeTableICircuit` builds seeded synthetic equivalents
+// that reproduce the published module counts and analog-typical properties:
+// small basic module sets (differential pairs, current mirrors, capacitor
+// arrays, bias legs), strongly varying module footprints, and a hierarchy
+// tree suitable for the Section IV deterministic placer.  See DESIGN.md
+// ("Substitutions") for the rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace als {
+
+/// One micrometre in database units.
+inline constexpr Coord kUm = 1000;
+
+/// Fig. 1 configuration: cells E,B,A,F,C,D,G with symmetry group
+/// { (C,D), (B,G), A, F }.  Cell sizes are chosen so the published
+/// sequence-pair (EBAFCDG, EBCDFAG) packs into a Fig.-1-like placement.
+Circuit makeFig1Example();
+
+/// Fig. 6 Miller op amp: OPAMP -> { CORE, C, N8 }, CORE -> { DP{P1,P2},
+/// CM1{N3,N4}, CM2{P5,P6,P7} }; DP and CM1 are symmetric pairs, CM2 is a
+/// pair (P5,P7) plus self-symmetric P6.
+Circuit makeMillerOpAmp();
+
+/// Fig. 2 layout design hierarchy: a top design with a hierarchical-symmetry
+/// sub-circuit (containing two common-centroid sub-circuits placed as a
+/// symmetric pair), and a proximity sub-circuit.
+Circuit makeFig2Design();
+
+/// The six Table-I circuits.
+enum class TableICircuit {
+  MillerV2,       ///<  13 modules
+  ComparatorV2,   ///<  10 modules
+  FoldedCascode,  ///<  22 modules
+  Buffer,         ///<  46 modules
+  Biasynth,       ///<  65 modules
+  Lnamixbias,     ///< 110 modules
+};
+
+std::vector<TableICircuit> allTableICircuits();
+const char* tableIName(TableICircuit c);
+std::size_t tableIModuleCount(TableICircuit c);
+
+/// Builds the synthetic stand-in for a Table-I circuit (deterministic).
+Circuit makeTableICircuit(TableICircuit which);
+
+/// Fully parameterized synthetic analog circuit generator (used by the
+/// Table-I stand-ins and by scaling sweeps in the benches/tests).
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::size_t moduleCount = 20;
+  std::uint64_t seed = 1;
+  /// Fraction of basic sets realized as matched symmetric structures.
+  double symmetricFraction = 0.5;
+  /// Largest basic module set the generator emits (>= 2).
+  std::size_t maxBasicSet = 4;
+};
+
+Circuit makeSynthetic(const SyntheticSpec& spec);
+
+}  // namespace als

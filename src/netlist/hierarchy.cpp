@@ -1,0 +1,86 @@
+#include "netlist/hierarchy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace als {
+
+HierNodeId HierTree::addLeaf(std::string name, ModuleId module) {
+  HierNode n;
+  n.name = std::move(name);
+  n.module = module;
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+HierNodeId HierTree::addGroup(std::string name, std::vector<HierNodeId> children,
+                              GroupConstraint constraint) {
+  for ([[maybe_unused]] HierNodeId c : children) assert(c < nodes_.size());
+  HierNode n;
+  n.name = std::move(name);
+  n.children = std::move(children);
+  n.constraint = constraint;
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+std::vector<ModuleId> HierTree::leavesUnder(HierNodeId id) const {
+  std::vector<ModuleId> out;
+  std::vector<HierNodeId> stack{id};
+  while (!stack.empty()) {
+    HierNodeId cur = stack.back();
+    stack.pop_back();
+    const HierNode& n = nodes_[cur];
+    if (n.isLeaf()) {
+      out.push_back(*n.module);
+    } else {
+      // Push in reverse so DFS visits children left-to-right.
+      for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return out;
+}
+
+bool HierTree::isBasicSet(HierNodeId id) const {
+  const HierNode& n = nodes_[id];
+  if (n.isLeaf() || n.children.empty()) return false;
+  return std::all_of(n.children.begin(), n.children.end(),
+                     [&](HierNodeId c) { return nodes_[c].isLeaf(); });
+}
+
+std::size_t HierTree::basicSetCount() const {
+  std::size_t count = 0;
+  for (HierNodeId i = 0; i < nodes_.size(); ++i) {
+    if (isBasicSet(i)) ++count;
+  }
+  return count;
+}
+
+std::size_t HierTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative post-order depth computation.
+  std::vector<std::size_t> d(nodes_.size(), 0);
+  std::vector<std::pair<HierNodeId, bool>> stack{{root_, false}};
+  while (!stack.empty()) {
+    auto [id, expanded] = stack.back();
+    stack.pop_back();
+    const HierNode& n = nodes_[id];
+    if (n.isLeaf()) {
+      d[id] = 0;
+      continue;
+    }
+    if (!expanded) {
+      stack.push_back({id, true});
+      for (HierNodeId c : n.children) stack.push_back({c, false});
+    } else {
+      std::size_t m = 0;
+      for (HierNodeId c : n.children) m = std::max(m, d[c] + 1);
+      d[id] = m;
+    }
+  }
+  return d[root_];
+}
+
+}  // namespace als

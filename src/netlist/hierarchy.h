@@ -1,0 +1,65 @@
+// Layout design hierarchy (Section III, Fig. 2; Section IV, Fig. 6).
+//
+// The hierarchy tree mixes the *exact* circuit hierarchy with *virtual*
+// clusters detected from device models / functionality.  Leaves are modules;
+// internal nodes carry the layout constraint of their sub-circuit.  Internal
+// nodes whose children are all leaves are the "basic module sets" that the
+// deterministic placer of Section IV enumerates exhaustively.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/module.h"
+
+namespace als {
+
+using HierNodeId = std::size_t;
+
+struct HierNode {
+  std::string name;
+  GroupConstraint constraint = GroupConstraint::None;
+  std::vector<HierNodeId> children;       // empty for leaves
+  std::optional<ModuleId> module;         // set for leaves
+  std::optional<std::size_t> symGroup;    // circuit symmetry-group index, if any
+
+  bool isLeaf() const { return module.has_value(); }
+};
+
+class HierTree {
+ public:
+  /// Adds a leaf node wrapping a module; returns its node id.
+  HierNodeId addLeaf(std::string name, ModuleId module);
+
+  /// Adds an internal node over existing nodes; children must already exist.
+  HierNodeId addGroup(std::string name, std::vector<HierNodeId> children,
+                      GroupConstraint constraint = GroupConstraint::None);
+
+  void setRoot(HierNodeId id) { root_ = id; }
+  HierNodeId root() const { return root_; }
+  bool empty() const { return nodes_.empty(); }
+
+  const HierNode& node(HierNodeId id) const { return nodes_[id]; }
+  HierNode& node(HierNodeId id) { return nodes_[id]; }
+  std::size_t nodeCount() const { return nodes_.size(); }
+
+  /// All module ids in the subtree of `id`, in DFS order.
+  std::vector<ModuleId> leavesUnder(HierNodeId id) const;
+
+  /// True when every child of `id` is a leaf (a "basic module set").
+  bool isBasicSet(HierNodeId id) const;
+
+  /// Number of internal nodes whose children are all leaves.
+  std::size_t basicSetCount() const;
+
+  /// Maximum root-to-leaf depth (root depth = 0); 0 for an empty tree.
+  std::size_t depth() const;
+
+ private:
+  std::vector<HierNode> nodes_;
+  HierNodeId root_ = 0;
+};
+
+}  // namespace als

@@ -1,0 +1,91 @@
+// Placement modules (devices or device groups) and constraint groups.
+//
+// The constraint vocabulary follows Section III of the paper: symmetry,
+// common-centroid and proximity are the basic analog layout constraints;
+// symmetry groups additionally follow the Section II structure of symmetric
+// pairs plus self-symmetric cells sharing one vertical axis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+
+namespace als {
+
+using ModuleId = std::size_t;
+
+/// A placeable device-level module: name plus fixed footprint.  Rotation by
+/// 90 degrees swaps w/h when `rotatable` (capacitor arrays and matched pairs
+/// are typically locked).
+struct Module {
+  std::string name;
+  Coord w = 0;
+  Coord h = 0;
+  bool rotatable = true;
+};
+
+/// A pair of modules required to be mirror images about the group axis.
+struct SymPair {
+  ModuleId a = 0;
+  ModuleId b = 0;
+};
+
+/// Symmetry group: p symmetric pairs + s self-symmetric cells, one common
+/// vertical axis (Section II notation: group size 2p + s).
+struct SymmetryGroup {
+  std::string name;
+  std::vector<SymPair> pairs;
+  std::vector<ModuleId> selfs;
+
+  std::size_t memberCount() const { return 2 * pairs.size() + selfs.size(); }
+
+  std::vector<ModuleId> members() const {
+    std::vector<ModuleId> m;
+    m.reserve(memberCount());
+    for (const SymPair& p : pairs) {
+      m.push_back(p.a);
+      m.push_back(p.b);
+    }
+    for (ModuleId s : selfs) m.push_back(s);
+    return m;
+  }
+
+  bool contains(ModuleId id) const {
+    for (const SymPair& p : pairs) {
+      if (p.a == id || p.b == id) return true;
+    }
+    for (ModuleId s : selfs) {
+      if (s == id) return true;
+    }
+    return false;
+  }
+
+  /// sym(x) of Section II: partner of a paired cell, x itself when
+  /// self-symmetric; `npos` when x is not a member.
+  ModuleId symOf(ModuleId id) const {
+    for (const SymPair& p : pairs) {
+      if (p.a == id) return p.b;
+      if (p.b == id) return p.a;
+    }
+    for (ModuleId s : selfs) {
+      if (s == id) return s;
+    }
+    return npos;
+  }
+
+  static constexpr ModuleId npos = static_cast<ModuleId>(-1);
+};
+
+/// Constraint kind attached to a hierarchy node (Fig. 2).
+enum class GroupConstraint {
+  None,            ///< plain cluster, only placed compactly
+  Symmetry,        ///< mirror placement about a vertical axis (may nest)
+  CommonCentroid,  ///< interdigitated unit array with coincident centroids
+  Proximity,       ///< members form one connected (possibly rectilinear) region
+};
+
+const char* toString(GroupConstraint c);
+
+}  // namespace als

@@ -1,0 +1,35 @@
+#include "seqpair/enumerate.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "seqpair/symmetry.h"
+
+namespace als {
+
+void forEachSequencePair(std::size_t n,
+                         const std::function<void(const SequencePair&)>& visit) {
+  std::vector<std::size_t> alpha(n), beta(n);
+  std::iota(alpha.begin(), alpha.end(), std::size_t{0});
+  do {
+    std::iota(beta.begin(), beta.end(), std::size_t{0});
+    do {
+      visit(SequencePair(alpha, beta));
+    } while (std::next_permutation(beta.begin(), beta.end()));
+  } while (std::next_permutation(alpha.begin(), alpha.end()));
+}
+
+std::uint64_t countSymmetricFeasible(std::size_t n,
+                                     std::span<const SymmetryGroup> groups,
+                                     SfReading reading) {
+  std::uint64_t count = 0;
+  forEachSequencePair(n, [&](const SequencePair& sp) {
+    bool ok = reading == SfReading::Union
+                  ? isSymmetricFeasible(sp, groups)
+                  : isPerGroupSymmetricFeasible(sp, groups);
+    if (ok) ++count;
+  });
+  return count;
+}
+
+}  // namespace als

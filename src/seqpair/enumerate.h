@@ -1,0 +1,33 @@
+// Exhaustive sequence-pair enumeration (small n) — used to cross-check the
+// Lemma's symmetric-feasible count and to validate property (1) against a
+// brute-force geometric symmetry test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "netlist/module.h"
+#include "seqpair/sequence_pair.h"
+
+namespace als {
+
+/// Calls `visit` for every of the (n!)^2 sequence-pairs.  Practical for
+/// n <= 6; the Fig.-1 example (n = 7) takes a few seconds and is exercised
+/// once in bench_lemma.
+void forEachSequencePair(std::size_t n,
+                         const std::function<void(const SequencePair&)>& visit);
+
+enum class SfReading {
+  PerGroup,  ///< property (1) checked per group (the Lemma's count)
+  Union,     ///< property (1) over the union of all group cells (buildable)
+};
+
+/// Counts pairs satisfying property (1) under the chosen reading, by
+/// enumeration.  PerGroup equals the Lemma's formula exactly; Union is
+/// bounded above by it (equal when there is a single group).
+std::uint64_t countSymmetricFeasible(std::size_t n,
+                                     std::span<const SymmetryGroup> groups,
+                                     SfReading reading = SfReading::Union);
+
+}  // namespace als

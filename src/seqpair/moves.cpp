@@ -1,0 +1,102 @@
+#include "seqpair/moves.h"
+
+#include <cassert>
+
+#include "seqpair/symmetry.h"
+
+namespace als {
+
+SymmetricMoveSet::SymmetricMoveSet(std::span<const SymmetryGroup> groups,
+                                   std::vector<bool> rotatable,
+                                   bool enableRepairMoves)
+    : groups_(groups),
+      rotatable_(std::move(rotatable)),
+      enableRepairMoves_(enableRepairMoves) {
+  groupOf_.assign(rotatable_.size(), npos);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (ModuleId m : groups_[g].members()) {
+      groupOf_[m] = g;
+      groupCells_.push_back(m);
+    }
+  }
+  for (std::size_t m = 0; m < rotatable_.size(); ++m) {
+    if (groupOf_[m] == npos) freeCells_.push_back(m);
+  }
+}
+
+void SymmetricMoveSet::apply(SeqPairState& state, Rng& rng) const {
+  // Class probabilities fall through to the next class when a class is
+  // unavailable on this circuit (e.g. every cell in a symmetry group).
+  double r = rng.uniform();
+  if (r < 0.30 && groupCells_.size() >= 2) {
+    swapGroupCells(state, rng);
+  } else if (r < 0.45 && freeCells_.size() >= 2) {
+    swapFree(state, rng, true, false);
+  } else if (r < 0.60 && freeCells_.size() >= 2) {
+    swapFree(state, rng, false, true);
+  } else if (r < 0.70 && freeCells_.size() >= 2) {
+    swapFree(state, rng, true, true);
+  } else if (r < 0.92 && enableRepairMoves_) {
+    swapAnyWithRepair(state, rng);
+  } else if (groupCells_.size() >= 2 && r < 0.95) {
+    swapGroupCells(state, rng);
+  } else {
+    rotate(state, rng);
+  }
+  assert(isSymmetricFeasible(state.sp, groups_));
+}
+
+void SymmetricMoveSet::swapGroupCells(SeqPairState& s, Rng& rng) const {
+  // Under the union reading of property (1) the counterpart-swap argument
+  // covers any two group cells (of the same or different groups): relabel
+  // the union cells through the transposition and both sides of the
+  // condition permute consistently.
+  std::size_t a = groupCells_[rng.index(groupCells_.size())];
+  std::size_t b = groupCells_[rng.index(groupCells_.size())];
+  if (a == b) return;
+  s.sp.swapAlphaModules(a, b);
+  std::size_t sa = groups_[groupOf_[a]].symOf(a);
+  std::size_t sb = groups_[groupOf_[b]].symOf(b);
+  if (sa != sb) s.sp.swapBetaModules(sa, sb);
+}
+
+void SymmetricMoveSet::swapAnyWithRepair(SeqPairState& s, Rng& rng) const {
+  // Unrestricted alpha swap followed by the constructive re-seating of each
+  // group's members in beta — the repair restores property (1) while
+  // keeping alpha and all non-member beta slots untouched.
+  std::size_t n = s.rotated.size();
+  std::size_t a = rng.index(n), b = rng.index(n);
+  if (a == b) return;
+  if (rng.coin()) {
+    s.sp.swapAlphaModules(a, b);
+  } else {
+    s.sp.swapBetaModules(a, b);
+  }
+  makeSymmetricFeasible(s.sp, groups_);
+}
+
+void SymmetricMoveSet::swapFree(SeqPairState& s, Rng& rng, bool inAlpha,
+                                bool inBeta) const {
+  std::size_t a = freeCells_[rng.index(freeCells_.size())];
+  std::size_t b = freeCells_[rng.index(freeCells_.size())];
+  if (a == b) return;
+  if (inAlpha) s.sp.swapAlphaModules(a, b);
+  if (inBeta) s.sp.swapBetaModules(a, b);
+}
+
+void SymmetricMoveSet::rotate(SeqPairState& s, Rng& rng) const {
+  if (s.rotated.empty()) return;
+  std::size_t m = rng.index(s.rotated.size());
+  if (!rotatable_[m]) return;
+  std::size_t g = groupOf_[m];
+  if (g != npos) {
+    std::size_t partner = groups_[g].symOf(m);
+    if (!rotatable_[partner]) return;
+    s.rotated[partner] = !s.rotated[partner];
+    if (partner != m) s.rotated[m] = !s.rotated[m];
+  } else {
+    s.rotated[m] = !s.rotated[m];
+  }
+}
+
+}  // namespace als

@@ -1,0 +1,71 @@
+// Symmetry-preserving sequence-pair moves (Section II).
+//
+// The paper restricts the annealer's exploration to the S-F subset by (a)
+// starting from a symmetric-feasible pair and (b) using only moves that
+// preserve property (1): "if two cells from distinct symmetric pairs are
+// interchanged in the sequence alpha, then their symmetric counterparts must
+// be interchanged as well in the sequence beta".  The move classes here are:
+//
+//   SwapGroupCells   — swap two group cells in alpha AND their sym() images
+//                      in beta.  Safe without repair under the union reading
+//                      of property (1): relabel the union cells through the
+//                      transposition and both sides of the condition permute
+//                      consistently.
+//   SwapFreeAlpha /
+//   SwapFreeBeta     — swap two cells not in any group within one sequence
+//                      (cannot affect any group relation);
+//   SwapFreeBoth     — both sequences at once (a stronger relocation);
+//   SwapAnyRepair    — unrestricted swap followed by the constructive beta
+//                      re-seating of makeSymmetricFeasible (the repair keeps
+//                      alpha and non-member beta slots untouched);
+//   Rotate           — toggle the orientation of a rotatable module; for
+//                      paired cells both partners rotate together so the
+//                      footprints stay mirrorable.
+//
+// Each application is O(1) on the encoding; a debug assert re-checks
+// property (1) after every move.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/module.h"
+#include "seqpair/sequence_pair.h"
+#include "util/rng.h"
+
+namespace als {
+
+/// SA state for the sequence-pair placer: the encoding plus per-module
+/// orientation flags (true = rotated 90 degrees).
+struct SeqPairState {
+  SequencePair sp;
+  std::vector<bool> rotated;
+};
+
+class SymmetricMoveSet {
+ public:
+  /// `groups` must outlive the move set.  `rotatable[m]` gates Rotate moves.
+  /// `enableRepairMoves` gates the SwapAnyRepair class (ablation A2 toggles
+  /// it off to measure its contribution to exploration).
+  SymmetricMoveSet(std::span<const SymmetryGroup> groups,
+                   std::vector<bool> rotatable, bool enableRepairMoves = true);
+
+  /// Applies one random property-(1)-preserving move in place.
+  void apply(SeqPairState& state, Rng& rng) const;
+
+ private:
+  void swapGroupCells(SeqPairState& s, Rng& rng) const;
+  void swapAnyWithRepair(SeqPairState& s, Rng& rng) const;
+  void swapFree(SeqPairState& s, Rng& rng, bool inAlpha, bool inBeta) const;
+  void rotate(SeqPairState& s, Rng& rng) const;
+
+  std::span<const SymmetryGroup> groups_;
+  std::vector<bool> rotatable_;
+  bool enableRepairMoves_ = true;
+  std::vector<std::size_t> groupCells_;   // all cells in some group
+  std::vector<std::size_t> freeCells_;    // cells in no group
+  std::vector<std::size_t> groupOf_;      // group index per cell, npos if free
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+}  // namespace als

@@ -1,0 +1,149 @@
+#include "seqpair/packer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/veb.h"
+
+namespace als {
+
+namespace {
+
+/// Prefix-max Fenwick tree: point update, prefix-maximum query.  Values only
+/// grow, which is exactly the LCS packer's access pattern.
+class MaxFenwick {
+ public:
+  explicit MaxFenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  /// max over positions [0, i] (inclusive); 0 when empty.
+  Coord prefixMax(std::size_t i) const {
+    Coord m = 0;
+    for (std::size_t k = i + 1; k > 0; k -= k & (~k + 1)) m = std::max(m, tree_[k]);
+    return m;
+  }
+
+  void update(std::size_t i, Coord v) {
+    for (std::size_t k = i + 1; k < tree_.size(); k += k & (~k + 1)) {
+      tree_[k] = std::max(tree_[k], v);
+    }
+  }
+
+ private:
+  std::vector<Coord> tree_;
+};
+
+/// Monotone staircase over a van Emde Boas position set: positions kept in
+/// the tree always carry strictly increasing values, so the best value
+/// strictly below a query position is found with one predecessor call.
+class VebStaircase {
+ public:
+  explicit VebStaircase(std::size_t universe)
+      : positions_(universe), value_(universe, 0) {}
+
+  /// max value among entries with position < p; 0 when none.
+  Coord maxBelow(std::size_t p) const {
+    auto pred = positions_.predecessor(p);
+    return pred ? value_[*pred] : 0;
+  }
+
+  void insert(std::size_t p, Coord v) {
+    // A dominated insertion (some entry at position <= p with value >= v)
+    // can never win a later query; skip it to keep the staircase monotone.
+    if (positions_.contains(p) && value_[p] >= v) return;
+    if (maxBelow(p) >= v) return;
+    // Remove now-dominated successors (position > p, value <= v).
+    for (auto s = positions_.successor(p); s && value_[*s] <= v;
+         s = positions_.successor(p)) {
+      positions_.erase(*s);
+    }
+    if (!positions_.contains(p)) positions_.insert(p);
+    value_[p] = v;
+  }
+
+ private:
+  VebTree positions_;
+  std::vector<Coord> value_;
+};
+
+/// One LCS sweep: processes modules in `order`, placing each at the maximum
+/// end of already-processed modules with smaller beta position.
+template <class Structure>
+void sweep(std::span<const std::size_t> order, const SequencePair& sp,
+           std::span<const Coord> extent, std::span<Coord> coord, Structure&& s) {
+  for (std::size_t m : order) {
+    std::size_t b = sp.betaPos(m);
+    Coord pos = b == 0 ? 0 : s.prefixMaxAt(b);
+    coord[m] = pos;
+    s.insertAt(b, pos + extent[m]);
+  }
+}
+
+struct NaiveAdapter {
+  std::vector<std::pair<std::size_t, Coord>> entries;  // (beta position, end)
+  Coord prefixMaxAt(std::size_t b) const {
+    Coord m = 0;
+    for (const auto& [pos, end] : entries) {
+      if (pos < b) m = std::max(m, end);
+    }
+    return m;
+  }
+  void insertAt(std::size_t b, Coord end) { entries.emplace_back(b, end); }
+};
+
+struct FenwickAdapter {
+  MaxFenwick tree;
+  explicit FenwickAdapter(std::size_t n) : tree(n) {}
+  Coord prefixMaxAt(std::size_t b) const { return tree.prefixMax(b - 1); }
+  void insertAt(std::size_t b, Coord end) { tree.update(b, end); }
+};
+
+struct VebAdapter {
+  VebStaircase stair;
+  explicit VebAdapter(std::size_t n) : stair(n) {}
+  Coord prefixMaxAt(std::size_t b) const { return stair.maxBelow(b); }
+  void insertAt(std::size_t b, Coord end) { stair.insert(b, end); }
+};
+
+template <class MakeStructure>
+Placement packWith(const SequencePair& sp, std::span<const Coord> widths,
+                   std::span<const Coord> heights, MakeStructure makeStructure) {
+  std::size_t n = sp.size();
+  std::vector<Coord> x(n, 0), y(n, 0);
+
+  // x sweep: alpha order; predecessors in both sequences are "left of".
+  {
+    auto s = makeStructure();
+    sweep(sp.alpha(), sp, widths, x, s);
+  }
+  // y sweep: reverse alpha order; for already-processed i (alpha-after m)
+  // with smaller beta position, i is below m.
+  {
+    auto s = makeStructure();
+    std::vector<std::size_t> rev(sp.alpha().rbegin(), sp.alpha().rend());
+    sweep(rev, sp, heights, y, s);
+  }
+
+  Placement p(n);
+  for (std::size_t m = 0; m < n; ++m) p[m] = {x[m], y[m], widths[m], heights[m]};
+  return p;
+}
+
+}  // namespace
+
+Placement packSequencePair(const SequencePair& sp, std::span<const Coord> widths,
+                           std::span<const Coord> heights, PackStrategy strategy) {
+  assert(widths.size() == sp.size() && heights.size() == sp.size());
+  switch (strategy) {
+    case PackStrategy::Naive:
+      return packWith(sp, widths, heights, [] { return NaiveAdapter{}; });
+    case PackStrategy::Fenwick:
+      return packWith(sp, widths, heights,
+                      [&] { return FenwickAdapter(sp.size()); });
+    case PackStrategy::Veb:
+      return packWith(sp, widths, heights, [&] { return VebAdapter(sp.size()); });
+  }
+  return Placement(sp.size());
+}
+
+}  // namespace als

@@ -1,0 +1,33 @@
+// Sequence-pair packing via weighted longest common subsequences.
+//
+// The x coordinate of module m is the largest total width of modules that
+// precede m in *both* sequences (its "left of" predecessors); symmetrically
+// for y with alpha reversed.  The structure used to evaluate the running
+// maxima determines the complexity per evaluation:
+//
+//   * Naive     — O(n^2) scan, the reference implementation;
+//   * Fenwick   — O(n log n) prefix-max Fenwick tree (FAST-SP style [26]);
+//   * Veb       — O(n log log n) using the van Emde Boas priority queue,
+//                 the "efficient model of priority queue" Section II cites
+//                 for the O(G * n log log n) evaluation bound.
+//
+// All three produce identical coordinates; tests cross-check them and the
+// kernel bench (E4) measures the scaling.
+#pragma once
+
+#include <span>
+
+#include "geom/placement.h"
+#include "seqpair/sequence_pair.h"
+
+namespace als {
+
+enum class PackStrategy { Naive, Fenwick, Veb };
+
+/// Packs the pair into the lower-left-compacted placement.
+/// `widths` / `heights` are the (orientation-resolved) module footprints.
+Placement packSequencePair(const SequencePair& sp, std::span<const Coord> widths,
+                           std::span<const Coord> heights,
+                           PackStrategy strategy = PackStrategy::Fenwick);
+
+}  // namespace als

@@ -1,0 +1,101 @@
+#include "seqpair/sa_placer.h"
+
+#include <cmath>
+
+#include "anneal/annealer.h"
+#include "seqpair/moves.h"
+#include "seqpair/symmetry.h"
+
+namespace als {
+
+SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
+                                   const SeqPairPlacerOptions& options) {
+  const std::size_t n = circuit.moduleCount();
+  const auto groups = std::span<const SymmetryGroup>(circuit.symmetryGroups());
+  const auto nets = circuit.netPins();
+
+  std::vector<bool> rotatable(n);
+  for (std::size_t m = 0; m < n; ++m) rotatable[m] = circuit.module(m).rotatable;
+  SymmetricMoveSet moves(groups, rotatable, options.enableRepairMoves);
+
+  SeqPairState init{SequencePair(n), std::vector<bool>(n, false)};
+  makeSymmetricFeasible(init.sp, groups);
+
+  const double wlLambda =
+      options.wirelengthWeight *
+      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
+  // Outline-excess slope: must dominate the ~height-per-DBU-of-width area
+  // gradient, so it scales with sqrt(module area).
+  const double outlineLambda =
+      options.outlineWeight *
+      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
+  // Cost of states whose relaxation fails (cannot happen for S-F codes, but
+  // the guard keeps the annealer total even if it ever does).
+  const double kInfeasible = 1e30;
+
+  auto dims = [&](const SeqPairState& s) {
+    std::vector<Coord> w(n), h(n);
+    for (std::size_t m = 0; m < n; ++m) {
+      const Module& mod = circuit.module(m);
+      w[m] = s.rotated[m] ? mod.h : mod.w;
+      h[m] = s.rotated[m] ? mod.w : mod.h;
+    }
+    return std::pair(std::move(w), std::move(h));
+  };
+
+  auto cost = [&](const SeqPairState& s) {
+    auto [w, h] = dims(s);
+    auto built = buildSymmetricPlacement(s.sp, w, h, groups);
+    if (!built) return kInfeasible;
+    Rect bb = built->placement.boundingBox();
+    Coord wl = totalHpwl(built->placement, nets);
+    double c = static_cast<double>(bb.area()) +
+               wlLambda * static_cast<double>(wl);
+    // Geometric objectives: quadratic outline-excess penalties plus a
+    // soft aspect-ratio pull.
+    if (options.maxWidth > 0 && bb.w > options.maxWidth) {
+      c += outlineLambda * static_cast<double>(bb.w - options.maxWidth);
+    }
+    if (options.maxHeight > 0 && bb.h > options.maxHeight) {
+      c += outlineLambda * static_cast<double>(bb.h - options.maxHeight);
+    }
+    if (options.targetAspect > 0.0 && bb.h > 0) {
+      double aspect = static_cast<double>(bb.w) / static_cast<double>(bb.h);
+      double ratio = aspect / options.targetAspect;
+      double off = ratio > 1.0 ? ratio - 1.0 : 1.0 / ratio - 1.0;
+      c += 0.5 * off * static_cast<double>(bb.area());
+    }
+    return c;
+  };
+
+  auto move = [&](const SeqPairState& s, Rng& rng) {
+    SeqPairState next = s;
+    moves.apply(next, rng);
+    return next;
+  };
+
+  AnnealOptions annealOpt;
+  annealOpt.timeLimitSec = options.timeLimitSec;
+  annealOpt.seed = options.seed;
+  annealOpt.coolingFactor = options.coolingFactor;
+  annealOpt.movesPerTemp = options.movesPerTemp;
+  annealOpt.sizeHint = n;
+  auto annealed = annealWithRestarts(init, cost, move, annealOpt);
+
+  SeqPairPlacerResult result;
+  auto [w, h] = dims(annealed.best);
+  auto built = buildSymmetricPlacement(annealed.best.sp, w, h, groups);
+  if (built) {
+    result.placement = std::move(built->placement);
+    result.axis2x = std::move(built->axis2x);
+  }
+  result.code = annealed.best.sp;
+  result.area = result.placement.boundingBox().area();
+  result.hpwl = totalHpwl(result.placement, nets);
+  result.cost = annealed.bestCost;
+  result.movesTried = annealed.movesTried;
+  result.seconds = annealed.seconds;
+  return result;
+}
+
+}  // namespace als

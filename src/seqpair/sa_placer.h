@@ -1,0 +1,51 @@
+// Device-level topological placement with symmetry constraints (Section II):
+// simulated annealing restricted to the symmetric-feasible sequence-pair
+// subspace.  The initial pair is symmetrized constructively and every move
+// preserves property (1), so each visited code packs into an exactly
+// symmetric placement — the annealer explores feasible solutions only.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/circuit.h"
+#include "seqpair/packer.h"
+#include "seqpair/sym_placer.h"
+
+namespace als {
+
+struct SeqPairPlacerOptions {
+  double wirelengthWeight = 0.25;  ///< lambda, scaled by sqrt(module area)
+  double timeLimitSec = 5.0;
+  std::uint64_t seed = 7;
+  PackStrategy packing = PackStrategy::Fenwick;  ///< used by cost packing
+  double coolingFactor = 0.96;
+  std::size_t movesPerTemp = 0;  ///< 0 = auto
+
+  // Optional geometric objectives (Section II lists area, net length,
+  // aspect ratio and maximum chip width/height as the classic cost mix).
+  Coord maxWidth = 0;            ///< 0 = unconstrained [DBU]
+  Coord maxHeight = 0;           ///< 0 = unconstrained [DBU]
+  double targetAspect = 0.0;     ///< 0 = no aspect objective (w/h target)
+  double outlineWeight = 4.0;    ///< penalty scale for outline violations
+
+  /// Ablation toggle: disable the repairing swap-any move class (see
+  /// seqpair/moves.h); the default move mix keeps it on.
+  bool enableRepairMoves = true;
+};
+
+struct SeqPairPlacerResult {
+  Placement placement;
+  std::vector<Coord> axis2x;  ///< per-group doubled symmetry axis
+  SequencePair code;          ///< best encoding found
+  Coord area = 0;
+  Coord hpwl = 0;
+  double cost = 0.0;
+  std::size_t movesTried = 0;
+  double seconds = 0.0;
+};
+
+/// Places `circuit` honoring all its symmetry groups exactly.
+SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
+                                   const SeqPairPlacerOptions& options = {});
+
+}  // namespace als

@@ -1,0 +1,81 @@
+#include "seqpair/sequence_pair.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace als {
+
+SequencePair::SequencePair(std::size_t n) : alpha_(n), beta_(n) {
+  std::iota(alpha_.begin(), alpha_.end(), std::size_t{0});
+  std::iota(beta_.begin(), beta_.end(), std::size_t{0});
+  rebuildInverse();
+}
+
+SequencePair::SequencePair(std::vector<std::size_t> alpha, std::vector<std::size_t> beta)
+    : alpha_(std::move(alpha)), beta_(std::move(beta)) {
+  assert(alpha_.size() == beta_.size());
+  rebuildInverse();
+  assert(isValid());
+}
+
+SequencePair SequencePair::random(std::size_t n, Rng& rng) {
+  SequencePair sp(n);
+  std::shuffle(sp.alpha_.begin(), sp.alpha_.end(), rng.engine());
+  std::shuffle(sp.beta_.begin(), sp.beta_.end(), rng.engine());
+  sp.rebuildInverse();
+  return sp;
+}
+
+void SequencePair::rebuildInverse() {
+  alphaInv_.assign(alpha_.size(), 0);
+  betaInv_.assign(beta_.size(), 0);
+  for (std::size_t i = 0; i < alpha_.size(); ++i) alphaInv_[alpha_[i]] = i;
+  for (std::size_t i = 0; i < beta_.size(); ++i) betaInv_[beta_[i]] = i;
+}
+
+void SequencePair::swapAlphaAt(std::size_t i, std::size_t j) {
+  std::swap(alpha_[i], alpha_[j]);
+  alphaInv_[alpha_[i]] = i;
+  alphaInv_[alpha_[j]] = j;
+}
+
+void SequencePair::swapBetaAt(std::size_t i, std::size_t j) {
+  std::swap(beta_[i], beta_[j]);
+  betaInv_[beta_[i]] = i;
+  betaInv_[beta_[j]] = j;
+}
+
+void SequencePair::swapAlphaModules(std::size_t a, std::size_t b) {
+  swapAlphaAt(alphaPos(a), alphaPos(b));
+}
+
+void SequencePair::swapBetaModules(std::size_t a, std::size_t b) {
+  swapBetaAt(betaPos(a), betaPos(b));
+}
+
+bool SequencePair::isValid() const {
+  auto isPerm = [](const std::vector<std::size_t>& v) {
+    std::vector<bool> seen(v.size(), false);
+    for (std::size_t x : v) {
+      if (x >= v.size() || seen[x]) return false;
+      seen[x] = true;
+    }
+    return true;
+  };
+  return alpha_.size() == beta_.size() && isPerm(alpha_) && isPerm(beta_);
+}
+
+std::string SequencePair::toString(const std::vector<std::string>& names) const {
+  auto render = [&](const std::vector<std::size_t>& seq) {
+    std::string s;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      if (i) s += ' ';
+      s += seq[i] < names.size() ? names[seq[i]] : std::to_string(seq[i]);
+    }
+    return s;
+  };
+  return "(" + render(alpha_) + ", " + render(beta_) + ")";
+}
+
+}  // namespace als

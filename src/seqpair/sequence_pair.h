@@ -1,0 +1,74 @@
+// Sequence-pair floorplan representation (Murata et al. [22]).
+//
+// A sequence-pair (alpha, beta) is two permutations of the module ids.  The
+// pair encodes the planar relation of every module pair:
+//   i before j in alpha AND in beta       =>  i is left of j
+//   i after  j in alpha, before j in beta =>  i is below j
+// Packing derives coordinates from weighted longest common subsequences
+// (see packer.h).  This class maintains the permutations together with
+// their inverses so position lookups are O(1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace als {
+
+class SequencePair {
+ public:
+  SequencePair() = default;
+
+  /// Identity pair: alpha = beta = (0, 1, ..., n-1).
+  explicit SequencePair(std::size_t n);
+
+  /// Pair from explicit permutations (must be permutations of 0..n-1).
+  SequencePair(std::vector<std::size_t> alpha, std::vector<std::size_t> beta);
+
+  /// Uniformly random pair.
+  static SequencePair random(std::size_t n, Rng& rng);
+
+  std::size_t size() const { return alpha_.size(); }
+
+  const std::vector<std::size_t>& alpha() const { return alpha_; }
+  const std::vector<std::size_t>& beta() const { return beta_; }
+
+  /// Position of module m in alpha / beta (the alpha^-1 of Section II).
+  std::size_t alphaPos(std::size_t m) const { return alphaInv_[m]; }
+  std::size_t betaPos(std::size_t m) const { return betaInv_[m]; }
+
+  /// Swaps the modules at alpha positions i and j (inverse kept in sync).
+  void swapAlphaAt(std::size_t i, std::size_t j);
+  void swapBetaAt(std::size_t i, std::size_t j);
+
+  /// Swaps modules a and b inside alpha / beta (positions looked up).
+  void swapAlphaModules(std::size_t a, std::size_t b);
+  void swapBetaModules(std::size_t a, std::size_t b);
+
+  /// True iff module i is left of module j under this pair.
+  bool leftOf(std::size_t i, std::size_t j) const {
+    return alphaPos(i) < alphaPos(j) && betaPos(i) < betaPos(j);
+  }
+  /// True iff module i is below module j under this pair.
+  bool below(std::size_t i, std::size_t j) const {
+    return alphaPos(i) > alphaPos(j) && betaPos(i) < betaPos(j);
+  }
+
+  /// Checks both sequences are permutations of 0..n-1 (debug aid).
+  bool isValid() const;
+
+  /// "(EBAFC..., EBCDF...)"-style rendering using the given names.
+  std::string toString(const std::vector<std::string>& names) const;
+
+  friend bool operator==(const SequencePair&, const SequencePair&) = default;
+
+ private:
+  void rebuildInverse();
+
+  std::vector<std::size_t> alpha_, beta_;
+  std::vector<std::size_t> alphaInv_, betaInv_;
+};
+
+}  // namespace als

@@ -1,0 +1,325 @@
+#include "seqpair/sym_placer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "seqpair/packer.h"
+
+namespace als {
+
+namespace {
+
+/// Longest-path propagation in x over an arbitrary cell subset: processes
+/// cells in alpha order and raises x to clear every "left of" predecessor.
+/// Existing values act as lower bounds (monotone).
+void propagateX(const SequencePair& sp, std::span<const std::size_t> cells,
+                std::span<const Coord> w, std::vector<Coord>& x) {
+  std::vector<std::size_t> order(cells.begin(), cells.end());
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return sp.alphaPos(a) < sp.alphaPos(b); });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::size_t m = order[i];
+    Coord v = x[m];
+    for (std::size_t j = 0; j < i; ++j) {
+      std::size_t p = order[j];
+      if (sp.betaPos(p) < sp.betaPos(m)) v = std::max(v, x[p] + w[p]);
+    }
+    x[m] = v;
+  }
+}
+
+/// Longest-path propagation in y (reverse alpha order = "below" DAG order).
+void propagateY(const SequencePair& sp, std::span<const std::size_t> cells,
+                std::span<const Coord> h, std::vector<Coord>& y) {
+  std::vector<std::size_t> order(cells.begin(), cells.end());
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return sp.alphaPos(a) > sp.alphaPos(b); });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::size_t m = order[i];
+    Coord v = y[m];
+    for (std::size_t j = 0; j < i; ++j) {
+      std::size_t p = order[j];
+      if (sp.betaPos(p) < sp.betaPos(m)) v = std::max(v, y[p] + h[p]);
+    }
+    y[m] = v;
+  }
+}
+
+struct OrientedPair {
+  std::size_t left, right;
+};
+
+struct Island {
+  std::vector<std::size_t> cells;  // global module ids
+  Placement local;                 // indexed like `cells`
+  Coord axis2x = 0;                // in island-local coordinates
+  Coord w = 0, h = 0;              // bounding box
+  bool usedFallback = false;
+};
+
+/// Mirror relaxation for ONE group over the induced sub-sequence-pair.
+/// Returns false if no fixpoint is reached within maxIterations.
+bool relaxIsland(const SequencePair& sp, std::span<const Coord> w,
+                 std::span<const Coord> h, const SymmetryGroup& group,
+                 std::span<const OrientedPair> pairs, int maxIterations,
+                 Island& island) {
+  const auto& cells = island.cells;
+  std::vector<Coord> x(w.size(), 0), y(h.size(), 0);
+  propagateX(sp, cells, w, x);
+  propagateY(sp, cells, h, y);
+
+  auto centerD = [&](std::size_t m) { return 2 * x[m] + w[m]; };
+  Coord a2 = 0;
+  Coord ceiling = 0;
+  for (std::size_t m : cells) ceiling += 2 * w[m];
+
+  int iter = 0;
+  for (; iter < maxIterations; ++iter) {
+    bool changed = false;
+    for (const OrientedPair& pr : pairs) {
+      a2 = std::max(a2, (centerD(pr.left) + centerD(pr.right)) / 2);
+    }
+    for (ModuleId s : group.selfs) a2 = std::max(a2, centerD(s));
+    if (!group.selfs.empty() && (a2 % 2) != 0) ++a2;
+
+    for (const OrientedPair& pr : pairs) {
+      Coord targetD = 2 * a2 - centerD(pr.left);
+      if (centerD(pr.right) < targetD) {
+        x[pr.right] = (targetD - w[pr.right]) / 2;
+        changed = true;
+      }
+    }
+    for (ModuleId s : group.selfs) {
+      if (centerD(s) < a2) {
+        x[s] = (a2 - w[s]) / 2;
+        changed = true;
+      }
+    }
+    for (const OrientedPair& pr : pairs) {
+      Coord target = std::max(y[pr.left], y[pr.right]);
+      if (y[pr.left] != target || y[pr.right] != target) {
+        y[pr.left] = y[pr.right] = target;
+        changed = true;
+      }
+    }
+
+    Coord sumBefore = 0;
+    for (std::size_t m : cells) sumBefore += x[m] + y[m];
+    propagateX(sp, cells, w, x);
+    propagateY(sp, cells, h, y);
+    Coord sumAfter = 0;
+    for (std::size_t m : cells) sumAfter += x[m] + y[m];
+
+    if (!changed && sumAfter == sumBefore) break;
+    for (std::size_t m : cells) {
+      if (x[m] > ceiling) return false;  // diverged
+    }
+  }
+  if (iter >= maxIterations) return false;
+
+  island.local = Placement(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::size_t m = cells[i];
+    island.local[i] = {x[m], y[m], w[m], h[m]};
+  }
+  island.axis2x = a2;
+  return true;
+}
+
+/// Guaranteed-feasible island: one mirrored pair per row (side by side,
+/// centered on the axis), self-symmetric cells centered on rows of their
+/// own, rows stacked in alpha order.
+void stackedIsland(const SequencePair& sp, std::span<const Coord> w,
+                   std::span<const Coord> h, const SymmetryGroup& group,
+                   std::span<const OrientedPair> pairs, Island& island) {
+  Coord half = 0;  // max half-width (axis distance)
+  for (const OrientedPair& pr : pairs) half = std::max(half, w[pr.left]);
+  for (ModuleId s : group.selfs) half = std::max(half, w[s] / 2);
+  Coord a2 = 2 * half;  // doubled axis
+
+  struct Row {
+    std::size_t anchor;  // alpha-ordering key
+    bool isPair;
+    OrientedPair pr{};
+    ModuleId self = 0;
+  };
+  std::vector<Row> rows;
+  for (const OrientedPair& pr : pairs) {
+    rows.push_back({std::min(sp.alphaPos(pr.left), sp.alphaPos(pr.right)), true, pr, 0});
+  }
+  for (ModuleId s : group.selfs) rows.push_back({sp.alphaPos(s), false, {}, s});
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.anchor < b.anchor; });
+
+  island.local = Placement(island.cells.size());
+  std::vector<std::size_t> localIndex(w.size(), 0);
+  for (std::size_t i = 0; i < island.cells.size(); ++i) localIndex[island.cells[i]] = i;
+
+  Coord yCursor = 0;
+  for (const Row& row : rows) {
+    if (row.isPair) {
+      Coord wl = w[row.pr.left];
+      island.local[localIndex[row.pr.left]] = {half - wl, yCursor, wl, h[row.pr.left]};
+      island.local[localIndex[row.pr.right]] = {half, yCursor, wl, h[row.pr.right]};
+      yCursor += h[row.pr.left];
+    } else {
+      Coord ws = w[row.self];
+      island.local[localIndex[row.self]] = {(a2 - ws) / 2, yCursor, ws, h[row.self]};
+      yCursor += h[row.self];
+    }
+  }
+  island.axis2x = a2;
+  island.usedFallback = true;
+}
+
+}  // namespace
+
+std::optional<SymPlacementResult> buildSymmetricPlacement(
+    const SequencePair& sp, std::span<const Coord> widths,
+    std::span<const Coord> heights, std::span<const SymmetryGroup> groups,
+    int maxIterations) {
+  const std::size_t n = sp.size();
+  assert(widths.size() == n && heights.size() == n);
+  for (std::size_t m = 0; m < n; ++m) {
+    assert(widths[m] % 2 == 0 && heights[m] % 2 == 0 &&
+           "symmetric placement requires even module dimensions in DBU");
+    (void)m;
+  }
+
+  if (groups.empty()) {
+    SymPlacementResult result;
+    result.placement = packSequencePair(sp, widths, heights);
+    return result;
+  }
+
+  // --- 1. build one island per group. ---
+  std::vector<Island> islands(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    islands[g].cells = groups[g].members();
+    std::vector<OrientedPair> pairs;
+    for (const SymPair& pr : groups[g].pairs) {
+      if (sp.leftOf(pr.a, pr.b)) {
+        pairs.push_back({pr.a, pr.b});
+      } else if (sp.leftOf(pr.b, pr.a)) {
+        pairs.push_back({pr.b, pr.a});
+      } else {
+        return std::nullopt;  // vertically related partners: not S-F
+      }
+    }
+    if (!relaxIsland(sp, widths, heights, groups[g], pairs, maxIterations,
+                     islands[g])) {
+      stackedIsland(sp, widths, heights, groups[g], pairs, islands[g]);
+    }
+    islands[g].local.normalize();
+    // Normalization shifted x by the bounding box offset; shift the axis by
+    // the same amount (axis2x is doubled, offsets are applied twice).
+    Rect bb = islands[g].local.boundingBox();
+    (void)bb;  // normalize() already anchored at the origin
+    islands[g].w = islands[g].local.boundingBox().w;
+    islands[g].h = islands[g].local.boundingBox().h;
+  }
+  // Recompute each island's axis from its normalized placement: use the
+  // first pair (or self) to re-derive it exactly.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const SymmetryGroup& grp = groups[g];
+    const Island& isl = islands[g];
+    auto localOf = [&](ModuleId m) {
+      for (std::size_t i = 0; i < isl.cells.size(); ++i) {
+        if (isl.cells[i] == m) return i;
+      }
+      return std::size_t{0};
+    };
+    if (!grp.pairs.empty()) {
+      const Rect& a = isl.local[localOf(grp.pairs[0].a)];
+      const Rect& b = isl.local[localOf(grp.pairs[0].b)];
+      islands[g].axis2x = a.x + a.w + b.x;
+    } else if (!grp.selfs.empty()) {
+      const Rect& s = isl.local[localOf(grp.selfs[0])];
+      islands[g].axis2x = 2 * s.x + s.w;
+    }
+  }
+
+  // --- 2. reduced sequence-pair: free cells + one node per island. ---
+  std::vector<std::size_t> nodeOf(n, static_cast<std::size_t>(-1));
+  std::vector<std::size_t> freeCells;
+  for (std::size_t m = 0; m < n; ++m) {
+    bool inGroup = false;
+    for (std::size_t g = 0; g < groups.size() && !inGroup; ++g) {
+      inGroup = groups[g].contains(m);
+    }
+    if (!inGroup) freeCells.push_back(m);
+  }
+  const std::size_t reducedN = freeCells.size() + islands.size();
+  std::vector<Coord> rw(reducedN), rh(reducedN);
+  // Ordering keys: a free cell keeps its own positions; an island is ordered
+  // by the first (minimum) position among its members.
+  std::vector<std::size_t> alphaKey(reducedN), betaKey(reducedN);
+  for (std::size_t i = 0; i < freeCells.size(); ++i) {
+    rw[i] = widths[freeCells[i]];
+    rh[i] = heights[freeCells[i]];
+    alphaKey[i] = sp.alphaPos(freeCells[i]);
+    betaKey[i] = sp.betaPos(freeCells[i]);
+  }
+  for (std::size_t g = 0; g < islands.size(); ++g) {
+    std::size_t idx = freeCells.size() + g;
+    rw[idx] = islands[g].w;
+    rh[idx] = islands[g].h;
+    std::size_t aMin = n, bMin = n;
+    for (std::size_t m : islands[g].cells) {
+      aMin = std::min(aMin, sp.alphaPos(m));
+      bMin = std::min(bMin, sp.betaPos(m));
+    }
+    alphaKey[idx] = aMin;
+    betaKey[idx] = bMin;
+  }
+  std::vector<std::size_t> alphaOrder(reducedN), betaOrder(reducedN);
+  std::iota(alphaOrder.begin(), alphaOrder.end(), std::size_t{0});
+  std::iota(betaOrder.begin(), betaOrder.end(), std::size_t{0});
+  std::sort(alphaOrder.begin(), alphaOrder.end(),
+            [&](std::size_t a, std::size_t b) { return alphaKey[a] < alphaKey[b]; });
+  std::sort(betaOrder.begin(), betaOrder.end(),
+            [&](std::size_t a, std::size_t b) { return betaKey[a] < betaKey[b]; });
+  SequencePair reduced(alphaOrder, betaOrder);
+  Placement packed = packSequencePair(reduced, rw, rh);
+
+  // --- 3. compose the global placement. ---
+  SymPlacementResult result;
+  result.placement = Placement(n);
+  result.axis2x.resize(groups.size());
+  result.fallbacks = 0;
+  for (std::size_t i = 0; i < freeCells.size(); ++i) {
+    result.placement[freeCells[i]] = packed[i];
+  }
+  for (std::size_t g = 0; g < islands.size(); ++g) {
+    const Rect& slot = packed[freeCells.size() + g];
+    const Island& isl = islands[g];
+    for (std::size_t i = 0; i < isl.cells.size(); ++i) {
+      result.placement[isl.cells[i]] = isl.local[i].translated(slot.x, slot.y);
+    }
+    result.axis2x[g] = isl.axis2x + 2 * slot.x;
+    if (isl.usedFallback) ++result.fallbacks;
+  }
+
+  if (!result.placement.isLegal() ||
+      !verifySymmetry(result.placement, groups, result.axis2x)) {
+    return std::nullopt;  // defensive: contract violation, not expected
+  }
+  return result;
+}
+
+bool verifySymmetry(const Placement& p, std::span<const SymmetryGroup> groups,
+                    std::span<const Coord> axis2x) {
+  if (axis2x.size() != groups.size()) return false;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const SymPair& pr : groups[g].pairs) {
+      if (!mirroredAboutX2(p[pr.a], p[pr.b], axis2x[g])) return false;
+    }
+    for (ModuleId s : groups[g].selfs) {
+      if (!centeredOnX2(p[s], axis2x[g])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace als

@@ -1,0 +1,70 @@
+// Symmetric placement construction from an S-F sequence-pair (Section II),
+// using the symmetry-island formulation.
+//
+// Property (1) (union reading, see symmetry.h) guarantees that a legal
+// placement exists in which every symmetry group is mirrored about its own
+// vertical axis.  Constructing one is non-trivial: the per-pair mirror
+// equalities are not a monotone constraint system, so a naive alternation of
+// longest-path compaction and mirror adjustment can chase itself forever
+// when several groups interleave (each group's axis growth pushes the next
+// group's members, which pushes the first group's axis, without ever
+// increasing the left-member spreads a finite solution needs).
+//
+// We therefore construct placements the way the symmetry-island works
+// ([16], used by Section III) do:
+//
+//   1. per group, the *island* placement is built from the group's induced
+//      sub-sequence-pair: longest-path compaction alternating with monotone
+//      mirror adjustment.  Within a single group property (1) forces mirror
+//      pairs to nest around the common axis and partners have matched
+//      footprints, so the equalities are consistent and the iteration
+//      reaches a fixpoint (a stacked pair-per-row fallback guarantees
+//      termination in any case and is counted in the result);
+//   2. each island is then a rigid super-module; islands and free cells are
+//      packed by a reduced sequence-pair that inherits the original
+//      cell order (each island ordered by its first member);
+//   3. island-internal coordinates are offset into the global frame and the
+//      per-group axes follow.
+//
+// The result is legal and *exactly* symmetric for every union-S-F code —
+// the property suite sweeps random codes over many circuits to enforce
+// exactly that contract.
+//
+// Exactness: all symmetry arithmetic runs on doubled center coordinates
+// (D = 2x + w), which requires even module dimensions in DBU — trivially
+// true for the micrometer-grid footprints all generators emit (asserted).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "geom/placement.h"
+#include "netlist/module.h"
+#include "seqpair/sequence_pair.h"
+
+namespace als {
+
+struct SymPlacementResult {
+  Placement placement;
+  /// Doubled axis coordinate (2 * axis) per symmetry group.
+  std::vector<Coord> axis2x;
+  /// Number of groups whose island needed the stacked fallback (0 in
+  /// practice; > 0 would indicate an island relaxation failure).
+  int fallbacks = 0;
+};
+
+/// Builds a placement in which every group is exactly mirrored about its own
+/// vertical axis and forms a contiguous island.  Returns nullopt only if a
+/// group's mirror partners are not horizontally related (i.e. the code is
+/// not S-F).
+std::optional<SymPlacementResult> buildSymmetricPlacement(
+    const SequencePair& sp, std::span<const Coord> widths,
+    std::span<const Coord> heights, std::span<const SymmetryGroup> groups,
+    int maxIterations = 200);
+
+/// Verifies mirror exactness of a result (used by tests and asserts):
+/// pairs mirrored about their group axis with equal y, selfs centered.
+bool verifySymmetry(const Placement& p, std::span<const SymmetryGroup> groups,
+                    std::span<const Coord> axis2x);
+
+}  // namespace als

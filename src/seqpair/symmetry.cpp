@@ -1,0 +1,141 @@
+#include "seqpair/symmetry.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace als {
+
+namespace {
+
+/// Group members sorted by their alpha position.
+std::vector<ModuleId> membersInAlphaOrder(const SequencePair& sp,
+                                          const SymmetryGroup& group) {
+  std::vector<ModuleId> m = group.members();
+  std::sort(m.begin(), m.end(), [&](ModuleId a, ModuleId b) {
+    return sp.alphaPos(a) < sp.alphaPos(b);
+  });
+  return m;
+}
+
+}  // namespace
+
+bool isSymmetricFeasible(const SequencePair& sp, const SymmetryGroup& group) {
+  // Required beta order: sym of the reverse alpha order.
+  std::vector<ModuleId> byAlpha = membersInAlphaOrder(sp, group);
+  std::vector<ModuleId> required;
+  required.reserve(byAlpha.size());
+  for (auto it = byAlpha.rbegin(); it != byAlpha.rend(); ++it) {
+    required.push_back(group.symOf(*it));
+  }
+  std::vector<ModuleId> byBeta = group.members();
+  std::sort(byBeta.begin(), byBeta.end(), [&](ModuleId a, ModuleId b) {
+    return sp.betaPos(a) < sp.betaPos(b);
+  });
+  return required == byBeta;
+}
+
+SymmetryGroup mergedGroup(std::span<const SymmetryGroup> groups) {
+  SymmetryGroup merged;
+  merged.name = "union";
+  for (const SymmetryGroup& g : groups) {
+    merged.pairs.insert(merged.pairs.end(), g.pairs.begin(), g.pairs.end());
+    merged.selfs.insert(merged.selfs.end(), g.selfs.begin(), g.selfs.end());
+  }
+  return merged;
+}
+
+bool isSymmetricFeasible(const SequencePair& sp,
+                         std::span<const SymmetryGroup> groups) {
+  if (groups.empty()) return true;
+  if (groups.size() == 1) return isSymmetricFeasible(sp, groups[0]);
+  return isSymmetricFeasible(sp, mergedGroup(groups));
+}
+
+bool isPerGroupSymmetricFeasible(const SequencePair& sp,
+                                 std::span<const SymmetryGroup> groups) {
+  return std::all_of(groups.begin(), groups.end(),
+                     [&](const SymmetryGroup& g) { return isSymmetricFeasible(sp, g); });
+}
+
+void makeSymmetricFeasible(SequencePair& sp, std::span<const SymmetryGroup> groups) {
+  if (groups.empty()) return;
+  const SymmetryGroup group = mergedGroup(groups);
+  std::vector<ModuleId> byAlpha = membersInAlphaOrder(sp, group);
+  // Beta slots currently holding group members, in ascending order.
+  std::vector<std::size_t> slots;
+  slots.reserve(byAlpha.size());
+  for (ModuleId m : group.members()) slots.push_back(sp.betaPos(m));
+  std::sort(slots.begin(), slots.end());
+  // Seat sym(reverse alpha order) into those slots.
+  std::vector<std::size_t> beta = sp.beta();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    beta[slots[i]] = group.symOf(byAlpha[byAlpha.size() - 1 - i]);
+  }
+  sp = SequencePair(sp.alpha(), std::move(beta));
+  assert(isSymmetricFeasible(sp, groups));
+}
+
+namespace {
+
+/// Adds `mult` times the prime exponents of n! (Legendre's formula) to exp.
+void addFactorialExponents(std::vector<std::int64_t>& exp, std::size_t n,
+                           std::int64_t mult) {
+  for (std::size_t p = 2; p <= n; ++p) {
+    // Trial-division primality is fine for placement-scale n.
+    bool prime = true;
+    for (std::size_t d = 2; d * d <= p; ++d) {
+      if (p % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (!prime) continue;
+    std::int64_t e = 0;
+    for (std::size_t q = p; q <= n; q *= p) {
+      e += static_cast<std::int64_t>(n / q);
+      if (q > n / p) break;  // avoid overflow of q *= p
+    }
+    if (exp.size() <= p) exp.resize(p + 1, 0);
+    exp[p] += mult * e;
+  }
+}
+
+BigUint fromExponents(const std::vector<std::int64_t>& exp) {
+  BigUint r(1);
+  for (std::size_t p = 2; p < exp.size(); ++p) {
+    assert(exp[p] >= 0 && "count must be integral");
+    for (std::int64_t i = 0; i < exp[p]; ++i) r *= p;
+  }
+  return r;
+}
+
+}  // namespace
+
+BigUint sfSequencePairCount(std::size_t n, std::span<const SymmetryGroup> groups) {
+  std::vector<std::int64_t> exp;
+  addFactorialExponents(exp, n, 2);  // (n!)^2
+  for (const SymmetryGroup& g : groups) {
+    addFactorialExponents(exp, g.memberCount(), -1);
+  }
+  return fromExponents(exp);
+}
+
+BigUint totalSequencePairCount(std::size_t n) {
+  std::vector<std::int64_t> exp;
+  addFactorialExponents(exp, n, 2);
+  return fromExponents(exp);
+}
+
+double searchSpaceReduction(std::size_t n, std::span<const SymmetryGroup> groups) {
+  (void)n;  // the ratio depends only on the group sizes
+  double ratio = 1.0;
+  // |S-F| / total = 1 / prod (2p_k + s_k)!  -- compute in doubles directly.
+  for (const SymmetryGroup& g : groups) {
+    for (std::size_t i = 2; i <= g.memberCount(); ++i) {
+      ratio /= static_cast<double>(i);
+    }
+  }
+  return 1.0 - ratio;
+}
+
+}  // namespace als

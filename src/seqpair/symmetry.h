@@ -1,0 +1,65 @@
+// Symmetric-feasible sequence-pairs: property (1) and the Lemma (Section II).
+//
+// Property (1): a pair (alpha, beta) is symmetric-feasible (S-F) w.r.t. a
+// symmetry group iff for any distinct group cells x, y
+//     alpha^-1(x) < alpha^-1(y)  <=>  beta^-1(sym(y)) < beta^-1(sym(x)).
+// Equivalently: the beta-order of the group members is the reverse alpha-
+// order mapped through sym().  That reformulation is what the O(m) checker
+// and the constructive symmetrizer below use, and it also yields the Lemma's
+// count: alpha is free (n! choices) and beta is free except that the
+// relative order of each group's members is fully determined, giving
+//     (n!)^2 / prod_k (2 p_k + s_k)!
+// symmetric-feasible codes — computed here exactly with big integers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/module.h"
+#include "seqpair/sequence_pair.h"
+#include "util/bigint.h"
+
+namespace als {
+
+/// Checks property (1) for one group in O(m log m), m = group size.
+bool isSymmetricFeasible(const SequencePair& sp, const SymmetryGroup& group);
+
+/// Merges all groups into one (pairs and selfs concatenated).  Checking
+/// property (1) on the merged group is the *union* reading of Section II:
+/// the condition quantifies over cells "in any of the symmetry groups",
+/// including cells of different groups.  The union reading is what makes
+/// multi-group placements constructible — per-group feasibility alone admits
+/// cross-group crossing patterns (pair 1 partly below pair 2 while pair 2's
+/// partner lies below pair 1's) whose equal-y requirements form an
+/// unsatisfiable cycle.  It is also why the Lemma is an upper bound: the
+/// per-group count (n!)^2 / prod (2p_k+s_k)! over-counts the union-feasible
+/// codes whenever G > 1 (tests verify both facts by enumeration).
+SymmetryGroup mergedGroup(std::span<const SymmetryGroup> groups);
+
+/// Checks property (1) in the union reading (merged group).
+bool isSymmetricFeasible(const SequencePair& sp,
+                         std::span<const SymmetryGroup> groups);
+
+/// Checks property (1) for each group separately (the weaker per-group
+/// reading; used to validate the Lemma's combinatorial count).
+bool isPerGroupSymmetricFeasible(const SequencePair& sp,
+                                 std::span<const SymmetryGroup> groups);
+
+/// Rearranges beta so that the pair becomes symmetric-feasible in the union
+/// reading: within the beta slots occupied by group cells, members are
+/// re-seated to sym(reverse alpha order).  Alpha and the slot positions are
+/// preserved, so this is also how an initial S-F pair is constructed.
+void makeSymmetricFeasible(SequencePair& sp, std::span<const SymmetryGroup> groups);
+
+/// Exact number of symmetric-feasible sequence-pairs (the Lemma):
+/// (n!)^2 / prod_k (2 p_k + s_k)!.  Computed via prime-exponent subtraction,
+/// so no big division is needed and the result is exact for any n.
+BigUint sfSequencePairCount(std::size_t n, std::span<const SymmetryGroup> groups);
+
+/// Total number of sequence-pairs, (n!)^2.
+BigUint totalSequencePairCount(std::size_t n);
+
+/// Search-space reduction 1 - |S-F| / |total| as a double in [0, 1].
+double searchSpaceReduction(std::size_t n, std::span<const SymmetryGroup> groups);
+
+}  // namespace als

@@ -1,0 +1,178 @@
+#include "shapefn/deterministic.h"
+
+#include <cassert>
+
+#include "bstar/asf.h"
+#include "bstar/common_centroid.h"
+#include "shapefn/enumerate.h"
+#include "util/stopwatch.h"
+
+namespace als {
+
+namespace {
+
+struct Context {
+  const Circuit* circuit;
+  DeterministicOptions options;
+  std::uint64_t visited = 0;
+};
+
+EnumModule asEnumModule(const Circuit& c, ModuleId m) {
+  const Module& mod = c.module(m);
+  return {m, mod.w, mod.h, mod.rotatable};
+}
+
+ShapeFunction buildNode(Context& ctx, HierNodeId id);
+
+/// Symmetry node that is not a basic set (hierarchical symmetry, Fig. 4):
+/// leaf pairs/selfs plus sub-circuits paired as mirrored macros.  Composed
+/// with an ASF island over the children's best-area shapes (single entry).
+ShapeFunction buildHierarchicalSymmetry(Context& ctx, HierNodeId id) {
+  const Circuit& c = *ctx.circuit;
+  const HierTree& h = c.hierarchy();
+  const HierNode& node = h.node(id);
+  assert(node.symGroup.has_value());
+  const SymmetryGroup& g = c.symmetryGroup(*node.symGroup);
+
+  std::vector<AsfItem> items;
+  for (const SymPair& pr : g.pairs) {
+    const Module& m = c.module(pr.a);
+    items.push_back(AsfItem::pairModules(pr.a, pr.b, m.w, m.h));
+  }
+  for (ModuleId s : g.selfs) {
+    const Module& m = c.module(s);
+    items.push_back(AsfItem::selfModule(s, m.w, m.h));
+  }
+  std::vector<HierNodeId> subs;
+  for (HierNodeId child : node.children) {
+    if (!h.node(child).isLeaf()) subs.push_back(child);
+  }
+  assert(subs.size() % 2 == 0 &&
+         "hierarchical symmetry pairs sub-circuits two by two");
+  for (std::size_t p = 0; p + 1 < subs.size(); p += 2) {
+    ShapeFunction right = buildNode(ctx, subs[p]);
+    ShapeFunction left = buildNode(ctx, subs[p + 1]);
+    assert(!right.empty() && !left.empty());
+    const Macro& rightMacro = right.bestArea().macro;
+    const Macro& leftMacro = left.bestArea().macro;
+    assert(rightMacro.owners.size() == leftMacro.owners.size());
+    // Shape-function macros carry no profiles (see mergeMacros); the ASF
+    // island packs macros on a contour, so recompute them here.
+    Macro withProfiles =
+        Macro::fromPlacement(Placement(rightMacro.rects), rightMacro.owners);
+    items.push_back(AsfItem::pairMacros(std::move(withProfiles), leftMacro.owners));
+  }
+  AsfIsland island(std::move(items));
+  AsfPacked packed = island.pack();
+  ShapeFunction sf;
+  ShapeEntry entry;
+  entry.w = packed.macro.w;
+  entry.h = packed.macro.h;
+  entry.macro = std::move(packed.macro);
+  sf.insert(std::move(entry));
+  return sf;
+}
+
+ShapeFunction buildNode(Context& ctx, HierNodeId id) {
+  const Circuit& c = *ctx.circuit;
+  const HierTree& h = c.hierarchy();
+  const HierNode& node = h.node(id);
+
+  if (node.isLeaf()) {
+    ModuleId m = *node.module;
+    const Module& mod = c.module(m);
+    ShapeFunction sf;
+    ShapeEntry e;
+    e.macro = Macro::fromModule(m, mod.w, mod.h);
+    e.w = mod.w;
+    e.h = mod.h;
+    sf.insert(std::move(e));
+    if (mod.rotatable && mod.w != mod.h) {
+      ShapeEntry r;
+      r.macro = Macro::fromModule(m, mod.h, mod.w);
+      r.w = mod.h;
+      r.h = mod.w;
+      sf.insert(std::move(r));
+    }
+    return sf;
+  }
+
+  if (node.constraint == GroupConstraint::CommonCentroid && h.isBasicSet(id)) {
+    std::vector<ModuleId> units;
+    Coord unitW = 0, unitH = 0;
+    for (HierNodeId child : node.children) {
+      ModuleId m = *h.node(child).module;
+      units.push_back(m);
+      unitW = std::max(unitW, c.module(m).w);
+      unitH = std::max(unitH, c.module(m).h);
+    }
+    Macro grid = commonCentroidGrid(units, unitW, unitH);
+    ShapeFunction sf;
+    ShapeEntry e;
+    e.w = grid.w;
+    e.h = grid.h;
+    e.macro = std::move(grid);
+    sf.insert(std::move(e));
+    return sf;
+  }
+
+  if (h.isBasicSet(id)) {
+    std::vector<EnumModule> modules;
+    for (HierNodeId child : node.children) {
+      modules.push_back(asEnumModule(c, *h.node(child).module));
+    }
+    const SymmetryGroup* group = nullptr;
+    if (node.constraint == GroupConstraint::Symmetry && node.symGroup) {
+      group = &c.symmetryGroup(*node.symGroup);
+    }
+    ShapeFunction sf =
+        enumerateBasicSet(modules, group, ctx.options.shapeCap,
+                          ctx.options.maxOrientModules, &ctx.visited);
+    assert(!sf.empty() && "basic set enumeration found no feasible placement");
+    return sf;
+  }
+
+  if (node.constraint == GroupConstraint::Symmetry) {
+    return buildHierarchicalSymmetry(ctx, id);
+  }
+
+  // Internal node: fold the children's shape functions together.
+  ShapeFunction acc;
+  for (HierNodeId child : node.children) {
+    ShapeFunction childSf = buildNode(ctx, child);
+    if (acc.empty()) {
+      acc = std::move(childSf);
+    } else {
+      acc = combine(acc, childSf, ctx.options.kind, ctx.options.shapeCap);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+DeterministicResult placeDeterministic(const Circuit& circuit,
+                                       const DeterministicOptions& options) {
+  assert(!circuit.hierarchy().empty() &&
+         "deterministic placement needs a hierarchy tree");
+  Stopwatch clock;
+  Context ctx{&circuit, options, 0};
+  ShapeFunction root = buildNode(ctx, circuit.hierarchy().root());
+  assert(!root.empty());
+
+  DeterministicResult result;
+  const ShapeEntry& best = root.bestArea();
+  result.placement = Placement(circuit.moduleCount());
+  for (std::size_t r = 0; r < best.macro.rects.size(); ++r) {
+    result.placement[best.macro.owners[r]] = best.macro.rects[r];
+  }
+  result.area = best.area();
+  result.areaUsage = static_cast<double>(result.area) /
+                     static_cast<double>(circuit.totalModuleArea());
+  result.enumeratedPlacements = ctx.visited;
+  result.rootFunction = std::move(root);
+  result.seconds = clock.seconds();
+  return result;
+}
+
+}  // namespace als

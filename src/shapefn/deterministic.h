@@ -1,0 +1,45 @@
+// Deterministic analog placement by hierarchically bounded enumeration and
+// (enhanced) shape functions — the full flow of Section IV / [25].
+//
+// Two steps, exactly as the paper describes:
+//   1. every basic module set (hierarchy node whose children are modules)
+//      is enumerated exhaustively; symmetric sets keep only their
+//      mirror-symmetric placements;
+//   2. the results are combined bottom-up along the hierarchy tree with
+//      shape-function additions — regular (RSF) or enhanced (ESF).
+//
+// The same code path runs both variants so Table-I comparisons isolate the
+// addition kind: ESF pays the slide computation and wins area by
+// interleaving the sub-circuit outlines; RSF adds bounding boxes only.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/placement.h"
+#include "netlist/circuit.h"
+#include "shapefn/shape_function.h"
+
+namespace als {
+
+struct DeterministicOptions {
+  AdditionKind kind = AdditionKind::Enhanced;
+  std::size_t shapeCap = 32;          ///< pareto cap per hierarchy node
+  std::size_t maxOrientModules = 4;   ///< orientation enumeration bound
+};
+
+struct DeterministicResult {
+  Placement placement;  ///< best-area placement of the whole circuit
+  Coord area = 0;       ///< its bounding-box area
+  /// Area usage as Table I defines it: bounding rectangle of the smallest
+  /// shape divided by the total module area (>= 1.0).
+  double areaUsage = 0.0;
+  double seconds = 0.0;
+  std::uint64_t enumeratedPlacements = 0;  ///< basic-set packings visited
+  ShapeFunction rootFunction;              ///< final shape function (Fig. 8)
+};
+
+/// Runs the deterministic placer on a circuit with a hierarchy tree.
+DeterministicResult placeDeterministic(const Circuit& circuit,
+                                       const DeterministicOptions& options = {});
+
+}  // namespace als

@@ -1,0 +1,137 @@
+#include "shapefn/enumerate.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "bstar/pack.h"
+#include "geom/placement.h"
+
+namespace als {
+
+std::uint64_t bstarPlacementCount(std::size_t n) {
+  // Catalan(n) = C(2n, n) / (n + 1), built iteratively.
+  std::uint64_t catalan = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    catalan = catalan * 2 * (2 * i + 1) / (i + 2);
+  }
+  std::uint64_t factorial = 1;
+  for (std::size_t i = 2; i <= n; ++i) factorial *= i;
+  return catalan * factorial;
+}
+
+namespace {
+
+/// Recursively generates all tree shapes over preorder-indexed nodes
+/// [base, base + n); returns (rootIndex, left[], right[]) pieces spliced by
+/// the caller.  Writing directly into shared arrays keeps it allocation-lean.
+void generateShapes(std::size_t base, std::size_t n,
+                    std::vector<std::size_t>& left, std::vector<std::size_t>& right,
+                    const std::function<void()>& done) {
+  if (n == 0) {
+    done();
+    return;
+  }
+  // Root is `base`; left subtree occupies the next l nodes, right the rest.
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t r = n - 1 - l;
+    left[base] = l > 0 ? base + 1 : BStarTree::npos;
+    right[base] = r > 0 ? base + 1 + l : BStarTree::npos;
+    generateShapes(base + 1, l, left, right, [&] {
+      generateShapes(base + 1 + l, r, left, right, done);
+    });
+  }
+}
+
+}  // namespace
+
+void forEachBStarTree(std::size_t k,
+                      const std::function<void(const BStarTree&)>& visit) {
+  if (k == 0) return;
+  std::vector<std::size_t> left(k, BStarTree::npos);
+  std::vector<std::size_t> right(k, BStarTree::npos);
+  std::vector<std::size_t> items(k);
+  generateShapes(0, k, left, right, [&] {
+    std::iota(items.begin(), items.end(), std::size_t{0});
+    do {
+      visit(BStarTree::fromArrays(0, left, right, items));
+    } while (std::next_permutation(items.begin(), items.end()));
+  });
+}
+
+std::optional<Coord> mirrorAxisOf(const Placement& p, const SymmetryGroup& group) {
+  Coord axis2x = 0;
+  if (!group.pairs.empty()) {
+    const Rect& a = p[group.pairs[0].a];
+    const Rect& b = p[group.pairs[0].b];
+    axis2x = a.x + a.w + b.x;
+  } else if (!group.selfs.empty()) {
+    const Rect& s = p[group.selfs[0]];
+    axis2x = 2 * s.x + s.w;
+  } else {
+    return std::nullopt;
+  }
+  for (const SymPair& pr : group.pairs) {
+    if (!mirroredAboutX2(p[pr.a], p[pr.b], axis2x)) return std::nullopt;
+  }
+  for (ModuleId s : group.selfs) {
+    if (!centeredOnX2(p[s], axis2x)) return std::nullopt;
+  }
+  return axis2x;
+}
+
+ShapeFunction enumerateBasicSet(std::span<const EnumModule> modules,
+                                const SymmetryGroup* group, std::size_t cap,
+                                std::size_t maxOrientModules,
+                                std::uint64_t* visitedCount) {
+  const std::size_t k = modules.size();
+  ShapeFunction sf;
+  if (k == 0) return sf;
+
+  // Orientation masks: all subsets of rotatable modules for small sets.
+  std::vector<std::size_t> rotIdx;
+  if (k <= maxOrientModules) {
+    for (std::size_t i = 0; i < k; ++i) {
+      if (modules[i].rotatable) rotIdx.push_back(i);
+    }
+  }
+  const std::size_t maskCount = std::size_t{1} << rotIdx.size();
+
+  std::uint64_t visited = 0;
+  // Placement indexed by *global* module id so the group test can use the
+  // group's own ids directly.
+  ModuleId maxId = 0;
+  for (const EnumModule& m : modules) maxId = std::max(maxId, m.id);
+
+  forEachBStarTree(k, [&](const BStarTree& tree) {
+    for (std::size_t mask = 0; mask < maskCount; ++mask) {
+      std::vector<Coord> w(k), h(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        w[i] = modules[i].w;
+        h[i] = modules[i].h;
+      }
+      for (std::size_t b = 0; b < rotIdx.size(); ++b) {
+        if (mask & (std::size_t{1} << b)) std::swap(w[rotIdx[b]], h[rotIdx[b]]);
+      }
+      Placement local = packBStar(tree, w, h);
+      ++visited;
+
+      if (group) {
+        Placement global(maxId + 1);
+        for (std::size_t i = 0; i < k; ++i) global[modules[i].id] = local[i];
+        if (!mirrorAxisOf(global, *group)) continue;
+      }
+      std::vector<ModuleId> owners(k);
+      for (std::size_t i = 0; i < k; ++i) owners[i] = modules[i].id;
+      ShapeEntry entry;
+      entry.macro = Macro::fromPlacement(local, owners, /*computeProfiles=*/false);
+      entry.w = entry.macro.w;
+      entry.h = entry.macro.h;
+      sf.insert(std::move(entry));
+    }
+  });
+  sf.capTo(cap);
+  if (visitedCount) *visitedCount += visited;
+  return sf;
+}
+
+}  // namespace als

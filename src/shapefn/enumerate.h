@@ -1,0 +1,54 @@
+// Exhaustive enumeration of basic-module-set placements (Section IV).
+//
+// The deterministic approach of [25] enumerates *all* B*-tree placements of
+// each basic module set — feasible because the sets are small (a
+// differential pair, a current mirror), while a full-circuit enumeration is
+// hopeless: n modules admit n! * Catalan(n) placements, the 57,657,600
+// Section IV quotes for n = 8.
+//
+// Sets carrying a symmetry constraint keep only the placements that are
+// exactly mirror-symmetric, so every shape a symmetric set contributes is
+// constraint-clean and survives rigid additions unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "bstar/bstar_tree.h"
+#include "netlist/module.h"
+#include "shapefn/shape_function.h"
+
+namespace als {
+
+/// n! * Catalan(n): the number of n-module B*-tree placements (excluding
+/// orientations).  Exact for n <= 10 in 64 bits.
+std::uint64_t bstarPlacementCount(std::size_t n);
+
+/// Visits every B*-tree over k nodes (all shapes x all item assignments).
+void forEachBStarTree(std::size_t k,
+                      const std::function<void(const BStarTree&)>& visit);
+
+/// One module of a basic set as seen by the enumerator.
+struct EnumModule {
+  ModuleId id = 0;  ///< global module id (recorded in the macros)
+  Coord w = 0;
+  Coord h = 0;
+  bool rotatable = false;
+};
+
+/// Enumerates all placements of the set and returns the pareto shape
+/// function (macros carried).  When `group` is given, only placements in
+/// which the group is exactly mirrored survive.  Orientation variants are
+/// explored for sets of at most `maxOrientModules` modules.
+ShapeFunction enumerateBasicSet(std::span<const EnumModule> modules,
+                                const SymmetryGroup* group, std::size_t cap,
+                                std::size_t maxOrientModules = 4,
+                                std::uint64_t* visitedCount = nullptr);
+
+/// Exact mirror-symmetry test of a placement restricted to a group; returns
+/// the doubled axis when symmetric.
+std::optional<Coord> mirrorAxisOf(const Placement& p, const SymmetryGroup& group);
+
+}  // namespace als

@@ -1,0 +1,136 @@
+#include "shapefn/shape_function.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "geom/profile.h"
+
+namespace als {
+
+void ShapeFunction::insert(ShapeEntry entry) {
+  // Find insertion point by width.
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), entry.w,
+      [](const ShapeEntry& e, Coord w) { return e.w < w; });
+  // Dominated by a no-wider entry with no-greater height?
+  if (it != entries_.begin()) {
+    if (std::prev(it)->h <= entry.h) return;
+  }
+  if (it != entries_.end() && it->w == entry.w) {
+    if (it->h <= entry.h) return;
+    // Same width, better height: replace, then prune taller successors.
+    *it = std::move(entry);
+  } else {
+    it = entries_.insert(it, std::move(entry));
+  }
+  // Remove successors dominated by the new entry.
+  auto next = std::next(it);
+  while (next != entries_.end() && next->h >= it->h) {
+    next = entries_.erase(next);
+  }
+}
+
+const ShapeEntry& ShapeFunction::bestArea() const {
+  assert(!entries_.empty());
+  const ShapeEntry* best = &entries_.front();
+  for (const ShapeEntry& e : entries_) {
+    if (e.area() < best->area()) best = &e;
+  }
+  return *best;
+}
+
+void ShapeFunction::capTo(std::size_t cap) {
+  if (entries_.size() <= cap || cap == 0) return;
+  // Always keep the extremes and the best-area entry.
+  std::size_t bestIdx = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].area() < entries_[bestIdx].area()) bestIdx = i;
+  }
+  std::vector<ShapeEntry> kept;
+  kept.reserve(cap);
+  for (std::size_t k = 0; k < cap; ++k) {
+    std::size_t idx = k * (entries_.size() - 1) / (cap - 1);
+    kept.push_back(entries_[idx]);
+  }
+  // Ensure the best-area entry survives the thinning.
+  bool hasBest = std::any_of(kept.begin(), kept.end(), [&](const ShapeEntry& e) {
+    return e.w == entries_[bestIdx].w && e.h == entries_[bestIdx].h;
+  });
+  if (!hasBest) kept[cap / 2] = entries_[bestIdx];
+  std::sort(kept.begin(), kept.end(),
+            [](const ShapeEntry& a, const ShapeEntry& b) { return a.w < b.w; });
+  entries_.clear();
+  for (ShapeEntry& e : kept) insert(std::move(e));
+}
+
+namespace {
+
+/// Builds the combined macro from a's rects plus b's rects shifted by
+/// (dx, dy), preserving owner ids.
+Macro mergeMacros(const Macro& a, const Macro& b, Coord dx, Coord dy) {
+  Placement p;
+  std::vector<ModuleId> owners;
+  owners.reserve(a.rects.size() + b.rects.size());
+  for (std::size_t i = 0; i < a.rects.size(); ++i) {
+    p.push(a.rects[i]);
+    owners.push_back(a.owners[i]);
+  }
+  for (std::size_t i = 0; i < b.rects.size(); ++i) {
+    p.push(b.rects[i].translated(dx, dy));
+    owners.push_back(b.owners[i]);
+  }
+  // Shape-function macros are rect containers; the slide works pairwise on
+  // rects, so profiles are never needed here.
+  return Macro::fromPlacement(p, owners, /*computeProfiles=*/false);
+}
+
+}  // namespace
+
+ShapeEntry addShapes(const ShapeEntry& a, const ShapeEntry& b, AdditionDir dir,
+                     AdditionKind kind) {
+  Coord dx = 0, dy = 0;
+  if (dir == AdditionDir::Horizontal) {
+    if (kind == AdditionKind::Regular) {
+      dx = a.w;
+    } else {
+      dx = slideContactX(a.macro.rects, b.macro.rects);
+      if (dx == noContact) dx = 0;  // operands never collide: align left
+    }
+  } else {
+    if (kind == AdditionKind::Regular) {
+      dy = a.h;
+    } else {
+      dy = slideContactY(a.macro.rects, b.macro.rects);
+      if (dy == noContact) dy = 0;
+    }
+  }
+  ShapeEntry out;
+  out.macro = mergeMacros(a.macro, b.macro, dx, dy);
+  out.w = out.macro.w;
+  out.h = out.macro.h;
+  return out;
+}
+
+ShapeFunction combine(const ShapeFunction& a, const ShapeFunction& b,
+                      AdditionKind kind, std::size_t cap) {
+  ShapeFunction out;
+  for (const ShapeEntry& ea : a.entries()) {
+    for (const ShapeEntry& eb : b.entries()) {
+      out.insert(addShapes(ea, eb, AdditionDir::Horizontal, kind));
+      out.insert(addShapes(ea, eb, AdditionDir::Vertical, kind));
+      if (kind == AdditionKind::Enhanced) {
+        // Sliding is order-sensitive (the moving operand approaches from
+        // +x / +y), so the enhanced addition also explores the reversed
+        // operand order — part of the extra effort Table I's runtime
+        // column reflects.
+        out.insert(addShapes(eb, ea, AdditionDir::Horizontal, kind));
+        out.insert(addShapes(eb, ea, AdditionDir::Vertical, kind));
+      }
+    }
+  }
+  out.capTo(cap);
+  return out;
+}
+
+}  // namespace als

@@ -1,0 +1,78 @@
+// Shape functions and enhanced shape functions (Section IV, [25], after
+// Otten [23]).
+//
+// A shape function is the pareto frontier of (width, height) bounding
+// rectangles of the feasible placements of a sub-circuit: entries whose
+// height is not smaller than another entry of no greater width are
+// redundant and pruned.  An *enhanced* shape function additionally keeps
+// the placement behind each point (the paper stores the B*-tree; we store
+// the packed placement as a rigid macro, which carries the same geometry
+// and is what the enhanced addition operates on).
+//
+// Additions combine two shape functions into the function of the composed
+// sub-circuit:
+//   * regular addition — bounding boxes side by side / stacked:
+//       (w1+w2, max(h1,h2))  or  (max(w1,w2), h1+h2);
+//   * enhanced addition (Fig. 7) — the right/top operand slides along the
+//     facing rectilinear profiles until contact, recovering the w_imp the
+//     bounding boxes waste; both operands stay rigid, so symmetry and other
+//     constraints embedded in their placements survive.
+//
+// A configurable pareto cap keeps the combination cost bounded on the
+// 110-module circuit; the cap applies identically to RSF and ESF runs so
+// Table-I comparisons stay fair.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bstar/pack.h"
+#include "geom/placement.h"
+
+namespace als {
+
+struct ShapeEntry {
+  Coord w = 0;
+  Coord h = 0;
+  Macro macro;  ///< placement realizing this shape (bbox anchored at origin)
+
+  Coord area() const { return w * h; }
+};
+
+enum class AdditionKind { Regular, Enhanced };
+enum class AdditionDir { Horizontal, Vertical };
+
+class ShapeFunction {
+ public:
+  ShapeFunction() = default;
+
+  /// Inserts an entry, keeping the pareto frontier (strictly increasing w,
+  /// strictly decreasing h).  Dominated insertions are dropped.
+  void insert(ShapeEntry entry);
+
+  const std::vector<ShapeEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Entry with minimal bounding-box area.
+  const ShapeEntry& bestArea() const;
+
+  /// Downsamples to at most `cap` entries (keeps the extremes and the best
+  /// area point; evenly thins the rest).
+  void capTo(std::size_t cap);
+
+ private:
+  std::vector<ShapeEntry> entries_;  // sorted by w ascending
+};
+
+/// Adds two realized shapes.  Regular: bounding-box juxtaposition.
+/// Enhanced: rigid slide until contact along the facing profiles.
+ShapeEntry addShapes(const ShapeEntry& a, const ShapeEntry& b, AdditionDir dir,
+                     AdditionKind kind);
+
+/// Combines two shape functions: every entry pair, both directions, chosen
+/// addition kind; result pruned to pareto and capped.
+ShapeFunction combine(const ShapeFunction& a, const ShapeFunction& b,
+                      AdditionKind kind, std::size_t cap);
+
+}  // namespace als

@@ -1,0 +1,261 @@
+#include "slicing/polish.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace als {
+
+PolishExpr PolishExpr::initial(std::size_t moduleCount) {
+  PolishExpr e;
+  e.moduleCount_ = moduleCount;
+  if (moduleCount == 0) return e;
+  e.elems_.push_back(0);
+  for (std::size_t m = 1; m < moduleCount; ++m) {
+    e.elems_.push_back(static_cast<std::int32_t>(m));
+    // Alternate the cut direction so the initial floorplan is a grid-ish
+    // slicing rather than one long row.
+    e.elems_.push_back(m % 2 == 1 ? kOpV : kOpH);
+  }
+  assert(e.isValid());
+  return e;
+}
+
+bool PolishExpr::isValid() const {
+  if (moduleCount_ == 0) return elems_.empty();
+  std::vector<bool> seen(moduleCount_, false);
+  std::size_t operands = 0, operators = 0;
+  std::int32_t prev = 0;  // operands are >= 0, so 0 is a safe non-operator init
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    std::int32_t e = elems_[i];
+    if (e >= 0) {
+      if (static_cast<std::size_t>(e) >= moduleCount_ || seen[static_cast<std::size_t>(e)]) {
+        return false;
+      }
+      seen[static_cast<std::size_t>(e)] = true;
+      ++operands;
+    } else {
+      if (e != kOpV && e != kOpH) return false;
+      if (i > 0 && prev == e) return false;  // normalization
+      ++operators;
+      if (operators >= operands) return false;  // balloting
+    }
+    prev = e;
+  }
+  return operands == moduleCount_ && operators + 1 == operands;
+}
+
+bool PolishExpr::swapAdjacentOperands(Rng& rng) {
+  std::vector<std::size_t> operandPos;
+  for (std::size_t i = 0; i < elems_.size(); ++i) {
+    if (elems_[i] >= 0) operandPos.push_back(i);
+  }
+  if (operandPos.size() < 2) return false;
+  if (rng.coin()) {
+    // Classic M1: adjacent operands.
+    std::size_t k = rng.index(operandPos.size() - 1);
+    std::swap(elems_[operandPos[k]], elems_[operandPos[k + 1]]);
+  } else {
+    // Long-range operand exchange — still a valid slicing tree (only leaf
+    // labels move), and a much stronger mixer than adjacent swaps alone.
+    std::size_t a = rng.index(operandPos.size());
+    std::size_t b = rng.index(operandPos.size());
+    std::swap(elems_[operandPos[a]], elems_[operandPos[b]]);
+  }
+  return true;
+}
+
+bool PolishExpr::complementChain(Rng& rng) {
+  // Maximal operator runs.
+  std::vector<std::pair<std::size_t, std::size_t>> chains;  // [lo, hi)
+  std::size_t i = 0;
+  while (i < elems_.size()) {
+    if (elems_[i] < 0) {
+      std::size_t j = i;
+      while (j < elems_.size() && elems_[j] < 0) ++j;
+      chains.push_back({i, j});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (chains.empty()) return false;
+  auto [lo, hi] = chains[rng.index(chains.size())];
+  for (std::size_t k = lo; k < hi; ++k) {
+    elems_[k] = elems_[k] == kOpV ? kOpH : kOpV;
+  }
+  return true;
+}
+
+bool PolishExpr::swapOperandOperator(Rng& rng) {
+  // Try a few random adjacent operand/operator swaps; validate wholesale
+  // (balloting + normalization are cheap to re-check).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (elems_.size() < 2) return false;
+    std::size_t i = rng.index(elems_.size() - 1);
+    bool mixedPair = (elems_[i] >= 0) != (elems_[i + 1] >= 0);
+    if (!mixedPair) continue;
+    std::swap(elems_[i], elems_[i + 1]);
+    if (isValid()) return true;
+    std::swap(elems_[i], elems_[i + 1]);  // revert
+  }
+  return false;
+}
+
+bool PolishExpr::perturb(Rng& rng) {
+  double r = rng.uniform();
+  bool done = false;
+  if (r < 0.4) {
+    done = swapAdjacentOperands(rng);
+  } else if (r < 0.7) {
+    done = complementChain(rng);
+  } else {
+    done = swapOperandOperator(rng);
+  }
+  assert(isValid());
+  return done;
+}
+
+std::string PolishExpr::toString() const {
+  std::string s;
+  for (std::int32_t e : elems_) {
+    if (!s.empty()) s += ' ';
+    if (e >= 0) {
+      s += std::to_string(e);
+    } else {
+      s += e == kOpV ? 'V' : 'H';
+    }
+  }
+  return s;
+}
+
+namespace {
+
+struct SShape {
+  Coord w = 0, h = 0;
+  std::uint32_t li = 0, ri = 0;  // child shape indices; leaf: li = rotated
+};
+
+/// Insert keeping a pareto staircase sorted by w (h strictly decreasing).
+void paretoInsert(std::vector<SShape>& v, SShape s) {
+  auto it = std::lower_bound(v.begin(), v.end(), s.w,
+                             [](const SShape& e, Coord w) { return e.w < w; });
+  if (it != v.begin() && std::prev(it)->h <= s.h) return;
+  if (it != v.end() && it->w == s.w) {
+    if (it->h <= s.h) return;
+    *it = s;
+  } else {
+    it = v.insert(it, s);
+  }
+  auto next = std::next(it);
+  while (next != v.end() && next->h >= it->h) next = v.erase(next);
+}
+
+void capShapes(std::vector<SShape>& v, std::size_t cap) {
+  if (cap == 0 || v.size() <= cap) return;
+  std::vector<SShape> kept;
+  kept.reserve(cap);
+  std::size_t bestIdx = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i].w * v[i].h < v[bestIdx].w * v[bestIdx].h) bestIdx = i;
+  }
+  for (std::size_t k = 0; k < cap; ++k) {
+    kept.push_back(v[k * (v.size() - 1) / (cap - 1)]);
+  }
+  bool hasBest = false;
+  for (const SShape& s : kept) {
+    hasBest = hasBest || (s.w == v[bestIdx].w && s.h == v[bestIdx].h);
+  }
+  if (!hasBest) kept[cap / 2] = v[bestIdx];
+  std::sort(kept.begin(), kept.end(),
+            [](const SShape& a, const SShape& b) { return a.w < b.w; });
+  v.clear();
+  for (const SShape& s : kept) paretoInsert(v, s);
+}
+
+struct EvalNode {
+  std::int32_t elem = 0;
+  std::size_t left = static_cast<std::size_t>(-1);
+  std::size_t right = static_cast<std::size_t>(-1);
+  std::vector<SShape> shapes;
+};
+
+void reconstruct(const std::vector<EvalNode>& nodes, std::size_t nodeIdx,
+                 std::uint32_t shapeIdx, Coord x, Coord y, Placement& out) {
+  const EvalNode& node = nodes[nodeIdx];
+  const SShape& s = node.shapes[shapeIdx];
+  if (node.elem >= 0) {
+    out[static_cast<std::size_t>(node.elem)] = {x, y, s.w, s.h};
+    return;
+  }
+  const SShape& ls = nodes[node.left].shapes[s.li];
+  reconstruct(nodes, node.left, s.li, x, y, out);
+  if (node.elem == PolishExpr::kOpV) {
+    reconstruct(nodes, node.right, s.ri, x + ls.w, y, out);
+  } else {
+    reconstruct(nodes, node.right, s.ri, x, y + ls.h, out);
+  }
+}
+
+}  // namespace
+
+SlicedResult evaluatePolish(const PolishExpr& expr, std::span<const Coord> widths,
+                            std::span<const Coord> heights,
+                            const std::vector<bool>& rotatable,
+                            std::size_t shapeCap) {
+  SlicedResult result;
+  if (expr.moduleCount() == 0) return result;
+  assert(expr.isValid());
+
+  std::vector<EvalNode> nodes;
+  nodes.reserve(expr.elements().size());
+  std::vector<std::size_t> stack;
+  for (std::int32_t e : expr.elements()) {
+    EvalNode node;
+    node.elem = e;
+    if (e >= 0) {
+      auto m = static_cast<std::size_t>(e);
+      node.shapes.push_back({widths[m], heights[m], 0, 0});
+      if (rotatable[m] && widths[m] != heights[m]) {
+        paretoInsert(node.shapes, {heights[m], widths[m], 1, 0});
+      }
+    } else {
+      node.right = stack.back();
+      stack.pop_back();
+      node.left = stack.back();
+      stack.pop_back();
+      const auto& ls = nodes[node.left].shapes;
+      const auto& rs = nodes[node.right].shapes;
+      for (std::uint32_t i = 0; i < ls.size(); ++i) {
+        for (std::uint32_t j = 0; j < rs.size(); ++j) {
+          if (e == PolishExpr::kOpV) {
+            paretoInsert(node.shapes,
+                         {ls[i].w + rs[j].w, std::max(ls[i].h, rs[j].h), i, j});
+          } else {
+            paretoInsert(node.shapes,
+                         {std::max(ls[i].w, rs[j].w), ls[i].h + rs[j].h, i, j});
+          }
+        }
+      }
+      capShapes(node.shapes, shapeCap);
+    }
+    nodes.push_back(std::move(node));
+    stack.push_back(nodes.size() - 1);
+  }
+  assert(stack.size() == 1);
+
+  const std::size_t root = stack.back();
+  const auto& rootShapes = nodes[root].shapes;
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < rootShapes.size(); ++i) {
+    if (rootShapes[i].w * rootShapes[i].h < rootShapes[best].w * rootShapes[best].h) {
+      best = i;
+    }
+  }
+  result.placement = Placement(expr.moduleCount());
+  reconstruct(nodes, root, best, 0, 0, result.placement);
+  result.width = rootShapes[best].w;
+  result.height = rootShapes[best].h;
+  return result;
+}
+
+}  // namespace als

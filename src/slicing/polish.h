@@ -1,0 +1,83 @@
+// Slicing floorplans as normalized Polish expressions (Wong & Liu; the
+// layout model of ILAC [24]).
+//
+// Section II recalls that ILAC adopted the slicing model and that "today it
+// is widely acknowledged that this is not a good choice for high-performance
+// analog design since the slicing representations limit the set of reachable
+// layout topologies, degrading the layout density especially when cells are
+// very different in size".  This module implements the classic machinery so
+// the claim can be measured against the non-slicing engines (experiment
+// E13 in DESIGN.md):
+//
+//   * postfix expressions over module operands and the cut operators
+//     V (horizontal composition, widths add) and H (vertical composition,
+//     heights add), kept *normalized* (no two consecutive equal operators);
+//   * the three Wong-Liu neighbourhood moves: M1 swaps adjacent operands,
+//     M2 complements a maximal operator chain, M3 swaps an adjacent
+//     operand/operator pair subject to balloting and normalization;
+//   * stack evaluation with pareto shape sets per subtree (module rotation
+//     included) and placement reconstruction by backtracking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/placement.h"
+#include "util/rng.h"
+
+namespace als {
+
+class PolishExpr {
+ public:
+  static constexpr std::int32_t kOpV = -1;  ///< side-by-side (widths add)
+  static constexpr std::int32_t kOpH = -2;  ///< stacked (heights add)
+
+  PolishExpr() = default;
+
+  /// Initial expression 0 1 V 2 V 3 V ... (a row of all modules).
+  static PolishExpr initial(std::size_t moduleCount);
+
+  const std::vector<std::int32_t>& elements() const { return elems_; }
+  std::size_t moduleCount() const { return moduleCount_; }
+
+  /// Balloting property, single use of each module, normalization.
+  bool isValid() const;
+
+  /// Applies one random Wong-Liu move (M1 / M2 / M3); the expression stays
+  /// valid.  Returns false if the sampled move had no legal target.
+  bool perturb(Rng& rng);
+
+  /// "21V3H..."-style rendering for debugging.
+  std::string toString() const;
+
+  friend bool operator==(const PolishExpr&, const PolishExpr&) = default;
+
+ private:
+  bool swapAdjacentOperands(Rng& rng);   // M1
+  bool complementChain(Rng& rng);        // M2
+  bool swapOperandOperator(Rng& rng);    // M3
+
+  std::vector<std::int32_t> elems_;
+  std::size_t moduleCount_ = 0;
+};
+
+struct SlicedResult {
+  Placement placement;
+  Coord width = 0;
+  Coord height = 0;
+  Coord area() const { return width * height; }
+};
+
+/// Evaluates the expression's pareto shapes and reconstructs the best-area
+/// placement.  `rotatable[m]` enables 90-degree rotation of module m.
+/// `shapeCap` bounds the per-subtree pareto size (0 = unbounded).
+/// (vector<bool> by reference: the bit-packed specialization cannot bind to
+/// a std::span.)
+SlicedResult evaluatePolish(const PolishExpr& expr, std::span<const Coord> widths,
+                            std::span<const Coord> heights,
+                            const std::vector<bool>& rotatable,
+                            std::size_t shapeCap = 32);
+
+}  // namespace als

@@ -1,0 +1,59 @@
+#include "slicing/slicing_placer.h"
+
+#include <cmath>
+
+#include "anneal/annealer.h"
+#include "slicing/polish.h"
+#include "util/stopwatch.h"
+
+namespace als {
+
+SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
+                                   const SlicingPlacerOptions& options) {
+  const std::size_t n = circuit.moduleCount();
+  const auto nets = circuit.netPins();
+  std::vector<Coord> w(n), h(n);
+  std::vector<bool> rotatable(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    w[m] = circuit.module(m).w;
+    h[m] = circuit.module(m).h;
+    rotatable[m] = circuit.module(m).rotatable;
+  }
+  const double wlLambda =
+      options.wirelengthWeight *
+      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
+
+  auto evaluate = [&](const PolishExpr& e) {
+    return evaluatePolish(e, w, h, rotatable, options.shapeCap);
+  };
+  auto cost = [&](const PolishExpr& e) {
+    SlicedResult r = evaluate(e);
+    return static_cast<double>(r.area()) +
+           wlLambda * static_cast<double>(totalHpwl(r.placement, nets));
+  };
+  auto move = [](const PolishExpr& e, Rng& rng) {
+    PolishExpr next = e;
+    next.perturb(rng);
+    return next;
+  };
+
+  AnnealOptions annealOpt;
+  annealOpt.timeLimitSec = options.timeLimitSec;
+  annealOpt.seed = options.seed;
+  annealOpt.coolingFactor = options.coolingFactor;
+  annealOpt.movesPerTemp = options.movesPerTemp;
+  annealOpt.sizeHint = n;
+  auto annealed = annealWithRestarts(PolishExpr::initial(n), cost, move, annealOpt);
+
+  SlicingPlacerResult result;
+  SlicedResult best = evaluate(annealed.best);
+  result.placement = std::move(best.placement);
+  result.area = best.area();
+  result.hpwl = totalHpwl(result.placement, nets);
+  result.cost = annealed.bestCost;
+  result.movesTried = annealed.movesTried;
+  result.seconds = annealed.seconds;
+  return result;
+}
+
+}  // namespace als

@@ -1,0 +1,37 @@
+// Slicing-model SA placer (ILAC-style [24]) — baseline for experiment E13.
+//
+// Anneals normalized Polish expressions with the Wong-Liu move set; each
+// evaluation derives the best-area realization of the slicing tree from the
+// subtree shape curves.  No symmetry handling: the experiment isolates the
+// paper's *density* claim about slicing versus non-slicing topologies.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/placement.h"
+#include "netlist/circuit.h"
+
+namespace als {
+
+struct SlicingPlacerOptions {
+  double wirelengthWeight = 0.25;
+  double timeLimitSec = 5.0;
+  std::uint64_t seed = 13;
+  double coolingFactor = 0.96;
+  std::size_t movesPerTemp = 0;
+  std::size_t shapeCap = 32;
+};
+
+struct SlicingPlacerResult {
+  Placement placement;
+  Coord area = 0;
+  Coord hpwl = 0;
+  double cost = 0.0;
+  std::size_t movesTried = 0;
+  double seconds = 0.0;
+};
+
+SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
+                                   const SlicingPlacerOptions& options = {});
+
+}  // namespace als

@@ -1,0 +1,65 @@
+#include "thermal/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace als {
+
+ThermalField::ThermalField(std::vector<HeatSource> sources, const ThermalModel& model)
+    : sources_(std::move(sources)), model_(model) {}
+
+double ThermalField::temperatureAt(double xUm, double yUm) const {
+  double t = 0.0;
+  for (const HeatSource& s : sources_) {
+    double dx = xUm - s.xUm;
+    double dy = yUm - s.yUm;
+    double r = std::sqrt(dx * dx + dy * dy);
+    double contribution = model_.spreadCoeff * s.powerW *
+                          std::log(model_.dieRadiusUm / (r + model_.sourceSizeUm));
+    t += std::max(0.0, contribution);
+  }
+  return t;
+}
+
+std::vector<HeatSource> sourcesFromPlacement(const Placement& p,
+                                             std::span<const double> powerW) {
+  std::vector<HeatSource> sources;
+  for (std::size_t m = 0; m < p.size() && m < powerW.size(); ++m) {
+    if (powerW[m] <= 0.0) continue;
+    Point c2 = p[m].center2x();
+    sources.push_back({static_cast<double>(c2.x) / 2000.0,
+                       static_cast<double>(c2.y) / 2000.0, powerW[m]});
+  }
+  return sources;
+}
+
+std::vector<double> pairTemperatureMismatch(const Placement& p,
+                                            const SymmetryGroup& group,
+                                            const ThermalField& field) {
+  std::vector<double> mismatch;
+  mismatch.reserve(group.pairs.size());
+  for (const SymPair& pr : group.pairs) {
+    Point a2 = p[pr.a].center2x();
+    Point b2 = p[pr.b].center2x();
+    double ta = field.temperatureAt(static_cast<double>(a2.x) / 2000.0,
+                                    static_cast<double>(a2.y) / 2000.0);
+    double tb = field.temperatureAt(static_cast<double>(b2.x) / 2000.0,
+                                    static_cast<double>(b2.y) / 2000.0);
+    mismatch.push_back(std::abs(ta - tb));
+  }
+  return mismatch;
+}
+
+double worstPairMismatch(const Placement& p,
+                         std::span<const SymmetryGroup> groups,
+                         const ThermalField& field) {
+  double worst = 0.0;
+  for (const SymmetryGroup& g : groups) {
+    for (double m : pairTemperatureMismatch(p, g, field)) {
+      worst = std::max(worst, m);
+    }
+  }
+  return worst;
+}
+
+}  // namespace als

@@ -1,0 +1,134 @@
+#include "util/bigint.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace als {
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(v & 0xffffffffu));
+    if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+  }
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::factorial(std::uint64_t n) {
+  BigUint r(1);
+  for (std::uint64_t i = 2; i <= n; ++i) r *= i;
+  return r;
+}
+
+BigUint& BigUint::operator*=(std::uint64_t m) {
+  if (m == 0 || isZero()) {
+    limbs_.clear();
+    return *this;
+  }
+  // Multiply by the two 32-bit halves to keep the carry within 64 bits.
+  std::uint32_t lo = static_cast<std::uint32_t>(m & 0xffffffffu);
+  std::uint32_t hi = static_cast<std::uint32_t>(m >> 32);
+  if (hi == 0) {
+    std::uint64_t carry = 0;
+    for (auto& limb : limbs_) {
+      std::uint64_t cur = static_cast<std::uint64_t>(limb) * lo + carry;
+      limb = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    if (carry) limbs_.push_back(static_cast<std::uint32_t>(carry));
+    return *this;
+  }
+  BigUint rhs(m);
+  return *this *= rhs;
+}
+
+BigUint& BigUint::operator*=(const BigUint& rhs) {
+  if (isZero() || rhs.isZero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint32_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(limbs_[i]) * rhs.limbs_[j] +
+                          out[i + j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::divExact(std::uint64_t d) {
+  assert(d != 0);
+  if (d == 1 || isZero()) return *this;
+  assert(d <= 0xffffffffull && "divExact supports 32-bit divisors");
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    std::uint64_t cur = (rem << 32) | limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(cur / d);
+    rem = cur % d;
+  }
+  assert(rem == 0 && "divExact: not divisible");
+  trim();
+  return *this;
+}
+
+bool BigUint::operator<(const BigUint& rhs) const {
+  if (limbs_.size() != rhs.limbs_.size()) return limbs_.size() < rhs.limbs_.size();
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] < rhs.limbs_[i];
+  }
+  return false;
+}
+
+std::string BigUint::toString() const {
+  if (isZero()) return "0";
+  std::vector<std::uint32_t> work = limbs_;
+  std::string digits;
+  while (!work.empty()) {
+    // Divide the limb vector by 10^9 and emit the remainder as 9 digits.
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cur / 1000000000u);
+      rem = cur % 1000000000u;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+double BigUint::toDouble() const {
+  double r = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    r = r * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return r;
+}
+
+std::uint64_t BigUint::toU64() const {
+  std::uint64_t v = 0;
+  if (limbs_.size() > 1) v = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+}  // namespace als

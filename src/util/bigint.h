@@ -1,0 +1,54 @@
+// Arbitrary-precision unsigned integer, sized for exact combinatorial counts.
+//
+// The Lemma of Section II bounds the number of symmetric-feasible sequence-pairs
+// by (n!)^2 / prod_k (2*p_k + s_k)!.  Already for the paper's 7-cell example the
+// total sequence-pair count is 25,401,600^... (n!)^2 grows far past 64 bits for
+// every Table-I circuit, so the counting API below works on exact big integers.
+//
+// Only the operations the counting code needs are provided: construction from
+// u64, multiply by u64, big*big multiply, divmod by small divisor (used for
+// decimal printing), comparison, and conversion to string / double.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace als {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t v);
+
+  /// Exact n! computed by repeated multiplication.
+  static BigUint factorial(std::uint64_t n);
+
+  BigUint& operator*=(std::uint64_t m);
+  BigUint& operator*=(const BigUint& rhs);
+  friend BigUint operator*(BigUint lhs, const BigUint& rhs) { return lhs *= rhs; }
+
+  /// Exact division; requires that *this is divisible by d (asserted).
+  BigUint& divExact(std::uint64_t d);
+
+  bool isZero() const { return limbs_.empty(); }
+  bool operator==(const BigUint& rhs) const { return limbs_ == rhs.limbs_; }
+  bool operator<(const BigUint& rhs) const;
+
+  /// Decimal representation (no leading zeros; "0" for zero).
+  std::string toString() const;
+
+  /// Best-effort double conversion (may overflow to +inf for huge values).
+  double toDouble() const;
+
+  /// Fits in u64?  If so, value() returns it.
+  bool fitsU64() const { return limbs_.size() <= 2; }
+  std::uint64_t toU64() const;
+
+ private:
+  // Base 2^32 little-endian limbs; empty vector encodes zero.
+  std::vector<std::uint32_t> limbs_;
+  void trim();
+};
+
+}  // namespace als

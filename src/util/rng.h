@@ -1,0 +1,49 @@
+// Deterministic random source shared by all stochastic components.
+//
+// Every annealer / generator in the library takes an explicit seed so that
+// each experiment binary is reproducible run-to-run; this thin wrapper keeps
+// the distribution helpers in one place.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace als {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n); n must be > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(
+        std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double sigma) {
+    return std::normal_distribution<double>(mean, sigma)(engine_);
+  }
+
+  bool coin() { return uniform() < 0.5; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace als

@@ -1,0 +1,29 @@
+// Fixed-width ASCII table printer used by the benchmark harnesses to emit
+// paper-style result tables (Table I, the Lemma table, Fig. 10 spec tables).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace als {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; the row is padded / truncated to the header width.
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders with a header separator; columns are sized to their content.
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmtPercent(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace als

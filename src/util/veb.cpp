@@ -1,0 +1,178 @@
+#include "util/veb.h"
+
+#include <cassert>
+
+namespace als {
+
+namespace {
+constexpr std::uint64_t kNoElem = ~0ull;
+
+std::uint64_t ceilPow2(std::uint64_t v) {
+  std::uint64_t p = 2;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+struct VebTree::Node {
+  std::uint64_t universe;     // power of two, >= 2
+  std::uint64_t minVal = kNoElem;
+  std::uint64_t maxVal = kNoElem;
+  std::uint64_t lowBits = 0;  // number of low bits (universe = 2^(low+high))
+  std::vector<std::unique_ptr<Node>> clusters;  // lazily allocated
+  std::unique_ptr<Node> summary;                // lazily allocated
+
+  explicit Node(std::uint64_t u) : universe(u) {
+    if (u > 2) {
+      // Split the k bits into ceil(k/2) high and floor(k/2) low bits.
+      std::uint64_t k = 0;
+      while ((1ull << k) < u) ++k;
+      lowBits = k / 2;
+      clusters.resize(1ull << (k - lowBits));
+    }
+  }
+
+  std::uint64_t high(std::uint64_t x) const { return x >> lowBits; }
+  std::uint64_t low(std::uint64_t x) const { return x & ((1ull << lowBits) - 1); }
+  std::uint64_t index(std::uint64_t h, std::uint64_t l) const {
+    return (h << lowBits) | l;
+  }
+  bool isEmpty() const { return minVal == kNoElem; }
+
+  void insert(std::uint64_t x) {
+    if (isEmpty()) {
+      minVal = maxVal = x;
+      return;
+    }
+    if (x == minVal || x == maxVal) return;
+    if (x < minVal) std::swap(x, minVal);
+    if (x > maxVal) maxVal = x;
+    if (universe == 2) return;  // min/max fully describe a 2-universe
+    std::uint64_t h = high(x), l = low(x);
+    auto& cluster = clusters[h];
+    if (!cluster) cluster = std::make_unique<Node>(1ull << lowBits);
+    if (cluster->isEmpty()) {
+      if (!summary) summary = std::make_unique<Node>(clusters.size());
+      summary->insert(h);
+      cluster->minVal = cluster->maxVal = l;
+    } else {
+      cluster->insert(l);
+    }
+  }
+
+  bool contains(std::uint64_t x) const {
+    if (isEmpty()) return false;
+    if (x == minVal || x == maxVal) return true;
+    if (universe == 2) return false;
+    const auto& cluster = clusters[high(x)];
+    return cluster && cluster->contains(low(x));
+  }
+
+  void erase(std::uint64_t x) {
+    if (minVal == maxVal) {
+      if (x == minVal) minVal = maxVal = kNoElem;
+      return;
+    }
+    if (universe == 2) {
+      // Two distinct elements 0 and 1; removing one leaves the other.
+      minVal = maxVal = (x == 0) ? 1 : 0;
+      return;
+    }
+    if (x == minVal) {
+      // Pull the new minimum out of the first non-empty cluster.
+      std::uint64_t h = summary->minVal;
+      x = index(h, clusters[h]->minVal);
+      minVal = x;
+    }
+    std::uint64_t h = high(x), l = low(x);
+    auto& cluster = clusters[h];
+    if (cluster && cluster->contains(l)) {
+      cluster->erase(l);
+      if (cluster->isEmpty()) summary->erase(h);
+    }
+    if (x == maxVal) {
+      if (!summary || summary->isEmpty()) {
+        maxVal = minVal;
+      } else {
+        std::uint64_t hm = summary->maxVal;
+        maxVal = index(hm, clusters[hm]->maxVal);
+      }
+    }
+  }
+
+  std::optional<std::uint64_t> successor(std::uint64_t x) const {
+    if (isEmpty() || x >= maxVal) return std::nullopt;
+    if (x < minVal) return minVal;
+    if (universe == 2) return 1;  // x == 0 < maxVal == 1 here
+    std::uint64_t h = high(x), l = low(x);
+    const auto& cluster = clusters[h];
+    if (cluster && !cluster->isEmpty() && l < cluster->maxVal) {
+      return index(h, *cluster->successor(l));
+    }
+    auto nextH = summary ? summary->successor(h) : std::nullopt;
+    if (!nextH) return std::nullopt;
+    return index(*nextH, clusters[*nextH]->minVal);
+  }
+
+  std::optional<std::uint64_t> predecessor(std::uint64_t x) const {
+    if (isEmpty() || x <= minVal) return std::nullopt;
+    if (x > maxVal) return maxVal;
+    if (universe == 2) return 0;  // x == 1 > minVal == 0 here
+    std::uint64_t h = high(x), l = low(x);
+    const auto& cluster = clusters[h];
+    if (cluster && !cluster->isEmpty() && l > cluster->minVal) {
+      return index(h, *cluster->predecessor(l));
+    }
+    auto prevH = summary ? summary->predecessor(h) : std::nullopt;
+    if (!prevH) return x > minVal ? std::optional(minVal) : std::nullopt;
+    return index(*prevH, clusters[*prevH]->maxVal);
+  }
+};
+
+VebTree::VebTree(std::uint64_t universeSize)
+    : root_(std::make_unique<Node>(ceilPow2(universeSize < 2 ? 2 : universeSize))) {}
+
+VebTree::~VebTree() = default;
+VebTree::VebTree(VebTree&&) noexcept = default;
+VebTree& VebTree::operator=(VebTree&&) noexcept = default;
+
+void VebTree::insert(std::uint64_t x) {
+  assert(x < root_->universe);
+  if (!root_->contains(x)) {
+    root_->insert(x);
+    ++size_;
+  }
+}
+
+void VebTree::erase(std::uint64_t x) {
+  if (root_->contains(x)) {
+    root_->erase(x);
+    --size_;
+  }
+}
+
+bool VebTree::contains(std::uint64_t x) const {
+  return x < root_->universe && root_->contains(x);
+}
+
+std::optional<std::uint64_t> VebTree::min() const {
+  if (root_->isEmpty()) return std::nullopt;
+  return root_->minVal;
+}
+
+std::optional<std::uint64_t> VebTree::max() const {
+  if (root_->isEmpty()) return std::nullopt;
+  return root_->maxVal;
+}
+
+std::optional<std::uint64_t> VebTree::successor(std::uint64_t x) const {
+  return root_->successor(x);
+}
+
+std::optional<std::uint64_t> VebTree::predecessor(std::uint64_t x) const {
+  return root_->predecessor(x);
+}
+
+std::uint64_t VebTree::universe() const { return root_->universe; }
+
+}  // namespace als

@@ -1,0 +1,55 @@
+// van Emde Boas tree over the universe [0, 2^k).
+//
+// Section II cites an "efficient model of priority queue [26]" giving the
+// symmetric-feasible sequence-pair packer a complexity of O(G * n log log n)
+// per code evaluation.  That bound comes from replacing the balanced-BST
+// priority structure of the longest-common-subsequence packer with an integer
+// priority queue supporting insert / erase / predecessor / successor in
+// O(log log U).  This file provides that substrate.
+//
+// The classic recursive vEB layout is used: a tree over universe U = 2^k has
+// sqrt(U) clusters over the low half-bits plus a summary over the high
+// half-bits.  min/max are stored unpacked (min is *not* stored recursively),
+// which yields the textbook O(log log U) bounds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace als {
+
+class VebTree {
+ public:
+  /// Creates a tree over universe [0, universeSize); universeSize is rounded
+  /// up to the next power of two (minimum 2).
+  explicit VebTree(std::uint64_t universeSize);
+  ~VebTree();
+  VebTree(VebTree&&) noexcept;
+  VebTree& operator=(VebTree&&) noexcept;
+  VebTree(const VebTree&) = delete;
+  VebTree& operator=(const VebTree&) = delete;
+
+  void insert(std::uint64_t x);
+  void erase(std::uint64_t x);
+  bool contains(std::uint64_t x) const;
+
+  std::optional<std::uint64_t> min() const;
+  std::optional<std::uint64_t> max() const;
+  /// Smallest element strictly greater than x.
+  std::optional<std::uint64_t> successor(std::uint64_t x) const;
+  /// Largest element strictly smaller than x.
+  std::optional<std::uint64_t> predecessor(std::uint64_t x) const;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::uint64_t universe() const;
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace als

@@ -1,0 +1,75 @@
+#include "anneal/annealer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace als {
+namespace {
+
+TEST(Annealer, MinimizesQuadratic) {
+  AnnealOptions opt;
+  opt.seed = 1;
+  opt.timeLimitSec = 1.0;
+  opt.sizeHint = 4;
+  auto result = anneal(
+      10.0, [](double x) { return (x - 3.0) * (x - 3.0); },
+      [](double x, Rng& rng) { return x + rng.normal(0.0, 0.5); }, opt);
+  EXPECT_NEAR(result.best, 3.0, 0.2);
+  EXPECT_GT(result.movesTried, 100u);
+  EXPECT_GT(result.movesAccepted, 0u);
+}
+
+TEST(Annealer, EscapesLocalMinimum) {
+  // Double well: local minimum at x = -1 (value 0.5), global at x = 2 (0).
+  auto cost = [](double x) {
+    double a = (x + 1.0) * (x + 1.0) + 0.5;
+    double b = (x - 2.0) * (x - 2.0);
+    return std::min(a, b);
+  };
+  AnnealOptions opt;
+  opt.seed = 2;
+  opt.timeLimitSec = 1.0;
+  auto result = anneal(
+      -1.0, cost, [](double x, Rng& rng) { return x + rng.normal(0.0, 0.7); }, opt);
+  EXPECT_NEAR(result.best, 2.0, 0.3);
+}
+
+TEST(Annealer, DeterministicForSeed) {
+  auto cost = [](double x) { return std::abs(x); };
+  auto move = [](double x, Rng& rng) { return x + rng.uniform(-1.0, 1.0); };
+  AnnealOptions opt;
+  opt.seed = 3;
+  opt.timeLimitSec = 0.2;
+  auto a = anneal(5.0, cost, move, opt);
+  auto b = anneal(5.0, cost, move, opt);
+  EXPECT_DOUBLE_EQ(a.best, b.best);
+  EXPECT_EQ(a.movesTried, b.movesTried);
+}
+
+TEST(Annealer, BestNeverWorseThanInitial) {
+  auto cost = [](int x) { return static_cast<double>(x * x); };
+  auto move = [](int x, Rng& rng) {
+    return x + static_cast<int>(rng.uniformInt(-2, 2));
+  };
+  AnnealOptions opt;
+  opt.seed = 4;
+  opt.timeLimitSec = 0.1;
+  auto result = anneal(7, cost, move, opt);
+  EXPECT_LE(result.bestCost, 49.0);
+}
+
+TEST(Annealer, RespectsTimeLimit) {
+  auto cost = [](double x) { return x; };
+  auto move = [](double x, Rng& rng) { return x + rng.uniform() - 0.5; };
+  AnnealOptions opt;
+  opt.seed = 5;
+  opt.timeLimitSec = 0.2;
+  opt.freezeRatio = 0.0;  // would run forever without the time limit
+  Stopwatch clock;
+  anneal(0.0, cost, move, opt);
+  EXPECT_LT(clock.seconds(), 2.0);
+}
+
+}  // namespace
+}  // namespace als

@@ -1,0 +1,79 @@
+#include "util/bigint.h"
+
+#include <gtest/gtest.h>
+
+namespace als {
+namespace {
+
+TEST(BigUint, ZeroAndSmallValues) {
+  EXPECT_EQ(BigUint().toString(), "0");
+  EXPECT_TRUE(BigUint().isZero());
+  EXPECT_EQ(BigUint(1).toString(), "1");
+  EXPECT_EQ(BigUint(4294967296ull).toString(), "4294967296");
+  EXPECT_EQ(BigUint(18446744073709551615ull).toString(), "18446744073709551615");
+}
+
+TEST(BigUint, MultiplyBySmall) {
+  BigUint v(1);
+  for (std::uint64_t i = 1; i <= 20; ++i) v *= i;
+  EXPECT_EQ(v.toString(), "2432902008176640000");  // 20!
+  EXPECT_EQ(v.toU64(), 2432902008176640000ull);
+}
+
+TEST(BigUint, MultiplyByZeroClears) {
+  BigUint v(123456);
+  v *= 0;
+  EXPECT_TRUE(v.isZero());
+}
+
+TEST(BigUint, Factorial25CrossesU64) {
+  // 25! = 15511210043330985984000000 (known value).
+  EXPECT_EQ(BigUint::factorial(25).toString(), "15511210043330985984000000");
+}
+
+TEST(BigUint, Factorial0And1) {
+  EXPECT_EQ(BigUint::factorial(0).toString(), "1");
+  EXPECT_EQ(BigUint::factorial(1).toString(), "1");
+}
+
+TEST(BigUint, BigTimesBig) {
+  BigUint a = BigUint::factorial(30);
+  BigUint b = BigUint::factorial(30);
+  BigUint c = a * b;
+  // (30!)^2 = 30! * 30!; verify via string of known 30! squared.
+  // 30! = 265252859812191058636308480000000
+  EXPECT_EQ(BigUint::factorial(30).toString(), "265252859812191058636308480000000");
+  // Cross-check c / 30! == 30! via comparison of strings using double ratio.
+  EXPECT_NEAR(c.toDouble() / a.toDouble(), b.toDouble(), b.toDouble() * 1e-9);
+}
+
+TEST(BigUint, DivExact) {
+  BigUint v = BigUint::factorial(20);
+  v.divExact(20);
+  EXPECT_EQ(v.toString(), BigUint::factorial(19).toString());
+}
+
+TEST(BigUint, Comparison) {
+  EXPECT_TRUE(BigUint(5) < BigUint(7));
+  EXPECT_FALSE(BigUint(7) < BigUint(5));
+  EXPECT_TRUE(BigUint::factorial(10) < BigUint::factorial(11));
+  EXPECT_TRUE(BigUint(0) < BigUint(1));
+  EXPECT_EQ(BigUint(42), BigUint(42));
+}
+
+TEST(BigUint, ToDoubleMatchesSmall) {
+  EXPECT_DOUBLE_EQ(BigUint(1000000007ull).toDouble(), 1000000007.0);
+}
+
+TEST(BigUint, PaperExampleNumbers) {
+  // Section II: n = 7 cells -> (7!)^2 = 25,401,600 total sequence-pairs and
+  // (7!)^2 / 6! = 35,280 symmetric-feasible ones.
+  BigUint total = BigUint::factorial(7) * BigUint::factorial(7);
+  EXPECT_EQ(total.toString(), "25401600");
+  BigUint sf = total;
+  sf.divExact(720);  // 6!
+  EXPECT_EQ(sf.toString(), "35280");
+}
+
+}  // namespace
+}  // namespace als

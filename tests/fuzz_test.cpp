@@ -1,0 +1,182 @@
+// Randomized differential tests ("fuzz") for the geometric substrates the
+// placers build on: contour, profiles, slides, macro packing.  Each suite
+// checks the optimized structure against a brute-force oracle.
+#include <gtest/gtest.h>
+
+#include "bstar/contour.h"
+#include "bstar/pack.h"
+#include "geom/profile.h"
+#include "util/rng.h"
+
+namespace als {
+namespace {
+
+TEST(ContourFuzz, MatchesArrayOracle) {
+  // Oracle: plain array over [0, W) holding the height of every column.
+  constexpr Coord kWidth = 200;
+  Rng rng(101);
+  for (int round = 0; round < 50; ++round) {
+    Contour contour;
+    std::vector<Coord> oracle(kWidth, 0);
+    for (int step = 0; step < 60; ++step) {
+      Coord x1 = rng.uniformInt(0, kWidth - 2);
+      Coord x2 = rng.uniformInt(x1 + 1, kWidth - 1);
+      if (rng.coin()) {
+        Coord h = rng.uniformInt(0, 50);
+        contour.raise(x1, x2, h);
+        for (Coord x = x1; x < x2; ++x) oracle[static_cast<std::size_t>(x)] = h;
+      } else {
+        Coord expect = 0;
+        for (Coord x = x1; x < x2; ++x) {
+          expect = std::max(expect, oracle[static_cast<std::size_t>(x)]);
+        }
+        ASSERT_EQ(contour.maxOver(x1, x2), expect)
+            << "round " << round << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(ProfileFuzz, TopProfileMatchesPointwiseOracle) {
+  Rng rng(103);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Rect> rects;
+    std::size_t n = 1 + rng.index(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      rects.push_back({rng.uniformInt(0, 40), rng.uniformInt(0, 40),
+                       rng.uniformInt(1, 20), rng.uniformInt(1, 20)});
+    }
+    auto top = topProfile(rects);
+    // Pointwise check at segment midpoints and random x.
+    auto oracleAt = [&](Coord x) {
+      Coord best = INT64_MIN;
+      for (const Rect& r : rects) {
+        if (r.xlo() <= x && x < r.xhi()) best = std::max(best, r.yhi());
+      }
+      return best;
+    };
+    for (const ProfileStep& s : top) {
+      ASSERT_LT(s.lo, s.hi);
+      ASSERT_EQ(oracleAt(s.lo), s.v);
+      ASSERT_EQ(oracleAt(s.hi - 1), s.v);
+    }
+    for (int probe = 0; probe < 20; ++probe) {
+      Coord x = rng.uniformInt(0, 60);
+      Coord oracle = oracleAt(x);
+      Coord got = INT64_MIN;
+      for (const ProfileStep& s : top) {
+        if (s.lo <= x && x < s.hi) got = s.v;
+      }
+      ASSERT_EQ(got, oracle) << "x=" << x;
+    }
+  }
+}
+
+TEST(SlideFuzz, ContactIsMinimalLegalOffset) {
+  Rng rng(107);
+  for (int round = 0; round < 200; ++round) {
+    auto randomRects = [&](std::size_t maxN) {
+      std::vector<Rect> v;
+      std::size_t n = 1 + rng.index(maxN);
+      for (std::size_t i = 0; i < n; ++i) {
+        v.push_back({rng.uniformInt(0, 30), rng.uniformInt(0, 30),
+                     rng.uniformInt(1, 12), rng.uniformInt(1, 12)});
+      }
+      return v;
+    };
+    std::vector<Rect> a = randomRects(5);
+    std::vector<Rect> b = randomRects(5);
+    Coord dx = slideContactX(a, b);
+    if (dx == noContact) {
+      // No pair shares a y-range: any offset is overlap-free.
+      for (const Rect& ra : a) {
+        for (const Rect& rb : b) {
+          ASSERT_FALSE(ra.ylo() < rb.yhi() && rb.ylo() < ra.yhi());
+        }
+      }
+      continue;
+    }
+    auto overlapsAt = [&](Coord offset) {
+      for (const Rect& ra : a) {
+        for (const Rect& rb : b) {
+          if (ra.overlaps(rb.translated(offset, 0))) return true;
+        }
+      }
+      return false;
+    };
+    ASSERT_FALSE(overlapsAt(dx)) << "contact offset must be legal";
+    ASSERT_TRUE(overlapsAt(dx - 1)) << "one step left must collide";
+  }
+}
+
+TEST(SlideFuzz, VerticalMirrorsHorizontal) {
+  // slideContactY on transposed rect sets equals slideContactX.
+  Rng rng(109);
+  auto transpose = [](std::vector<Rect> v) {
+    for (Rect& r : v) r = {r.y, r.x, r.h, r.w};
+    return v;
+  };
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Rect> a, b;
+    for (std::size_t i = 0; i < 3; ++i) {
+      a.push_back({rng.uniformInt(0, 20), rng.uniformInt(0, 20),
+                   rng.uniformInt(1, 8), rng.uniformInt(1, 8)});
+      b.push_back({rng.uniformInt(0, 20), rng.uniformInt(0, 20),
+                   rng.uniformInt(1, 8), rng.uniformInt(1, 8)});
+    }
+    ASSERT_EQ(slideContactX(a, b), slideContactY(transpose(a), transpose(b)));
+  }
+}
+
+TEST(MacroPackFuzz, RandomMacroTreesStayLegal) {
+  Rng rng(113);
+  for (int round = 0; round < 60; ++round) {
+    // Build 3-6 macros, each a small packed placement.
+    std::size_t macroCount = 3 + rng.index(4);
+    std::vector<Macro> macros;
+    std::size_t moduleId = 0;
+    for (std::size_t m = 0; m < macroCount; ++m) {
+      Placement p;
+      std::vector<ModuleId> owners;
+      Coord x = 0;
+      std::size_t rectCount = 1 + rng.index(3);
+      for (std::size_t r = 0; r < rectCount; ++r) {
+        Coord w = rng.uniformInt(2, 10), h = rng.uniformInt(2, 10);
+        p.push({x, rng.uniformInt(0, 6), w, h});
+        owners.push_back(moduleId++);
+        x += w;
+      }
+      macros.push_back(Macro::fromPlacement(p, owners));
+    }
+    BStarTree tree = BStarTree::random(macroCount, rng);
+    PackedMacros packed = packMacros(tree, macros, moduleId);
+    ASSERT_TRUE(packed.placement.isLegal()) << "round " << round;
+    Rect bb = packed.placement.boundingBox();
+    ASSERT_LE(bb.xhi(), packed.width);
+    ASSERT_LE(bb.yhi(), packed.height);
+  }
+}
+
+TEST(MacroPackFuzz, PerturbedMacroTreesStayLegal) {
+  Rng rng(127);
+  std::vector<Macro> macros;
+  std::size_t moduleId = 0;
+  for (std::size_t m = 0; m < 5; ++m) {
+    Placement p;
+    std::vector<ModuleId> owners;
+    p.push({0, 0, rng.uniformInt(3, 12), rng.uniformInt(3, 12)});
+    owners.push_back(moduleId++);
+    p.push({p[0].w, 0, rng.uniformInt(3, 12), rng.uniformInt(2, 6)});
+    owners.push_back(moduleId++);
+    macros.push_back(Macro::fromPlacement(p, owners));
+  }
+  BStarTree tree(5);
+  for (int step = 0; step < 400; ++step) {
+    tree.perturb(rng);
+    PackedMacros packed = packMacros(tree, macros, moduleId);
+    ASSERT_TRUE(packed.placement.isLegal()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace als

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "geom/placement.h"
+#include "geom/profile.h"
+#include "geom/rect.h"
+
+namespace als {
+namespace {
+
+TEST(Rect, BasicQueries) {
+  Rect r{10, 20, 30, 40};
+  EXPECT_EQ(r.xhi(), 40);
+  EXPECT_EQ(r.yhi(), 60);
+  EXPECT_EQ(r.area(), 1200);
+  EXPECT_EQ(r.center2x().x, 50);
+  EXPECT_EQ(r.center2x().y, 80);
+}
+
+TEST(Rect, OverlapIsStrictInterior) {
+  Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.overlaps({5, 5, 10, 10}));
+  EXPECT_FALSE(a.overlaps({10, 0, 5, 5}));  // edge-sharing is legal abutment
+  EXPECT_FALSE(a.overlaps({0, 10, 5, 5}));
+  EXPECT_FALSE(a.overlaps({20, 20, 1, 1}));
+}
+
+TEST(Rect, MirrorRoundTrips) {
+  Rect a{3, 7, 11, 5};
+  EXPECT_EQ(a.mirroredX(50).mirroredX(50), a);
+  EXPECT_EQ(a.mirroredY(-4).mirroredY(-4), a);
+  Rect m = a.mirroredX(20);
+  EXPECT_EQ(m.x, 2 * 20 - 3 - 11);
+  EXPECT_EQ(m.y, a.y);
+}
+
+TEST(Rect, UnionCoversBoth) {
+  Rect u = Rect{0, 0, 4, 4}.unionWith({10, -2, 2, 3});
+  EXPECT_EQ(u.xlo(), 0);
+  EXPECT_EQ(u.ylo(), -2);
+  EXPECT_EQ(u.xhi(), 12);
+  EXPECT_EQ(u.yhi(), 4);
+}
+
+TEST(Placement, BoundingBoxAndDeadSpace) {
+  Placement p;
+  p.push({0, 0, 10, 10});
+  p.push({10, 0, 10, 5});
+  EXPECT_EQ(p.boundingBox(), (Rect{0, 0, 20, 10}));
+  EXPECT_EQ(p.moduleArea(), 150);
+  EXPECT_EQ(p.deadSpace(), 50);
+}
+
+TEST(Placement, LegalityDetectsOverlap) {
+  Placement p;
+  p.push({0, 0, 10, 10});
+  p.push({9, 9, 5, 5});
+  EXPECT_FALSE(p.isLegal());
+  auto [i, j] = p.firstOverlap();
+  EXPECT_EQ(i, 0u);
+  EXPECT_EQ(j, 1u);
+}
+
+TEST(Placement, NormalizeAnchorsAtOrigin) {
+  Placement p;
+  p.push({5, 7, 2, 2});
+  p.push({9, 10, 3, 3});
+  p.normalize();
+  EXPECT_EQ(p.boundingBox().x, 0);
+  EXPECT_EQ(p.boundingBox().y, 0);
+}
+
+TEST(Placement, HpwlCenterBased) {
+  Placement p;
+  p.push({0, 0, 2, 2});   // center (1,1)
+  p.push({10, 0, 2, 2});  // center (11,1)
+  p.push({0, 10, 2, 2});  // center (1,11)
+  EXPECT_EQ(hpwl(p, {0, 1}), 10);
+  EXPECT_EQ(hpwl(p, {0, 1, 2}), 20);
+  EXPECT_EQ(hpwl(p, {0}), 0);
+  EXPECT_EQ(totalHpwl(p, {{0, 1}, {0, 2}}), 20);
+}
+
+TEST(Placement, MirrorChecks) {
+  // a at [0,10], b at [20,30]: mirror about x=15, axis2x = 30.
+  Rect a{0, 0, 10, 4};
+  Rect b{20, 0, 10, 4};
+  EXPECT_TRUE(mirroredAboutX2(a, b, 30));
+  EXPECT_TRUE(mirroredAboutX2(b, a, 30));  // relation is symmetric
+  EXPECT_FALSE(mirroredAboutX2(a, b, 32));
+  EXPECT_FALSE(mirroredAboutX2(a, Rect{20, 1, 10, 4}, 30));  // y mismatch
+  EXPECT_TRUE(centeredOnX2(Rect{10, 0, 10, 4}, 30));
+  EXPECT_FALSE(centeredOnX2(Rect{11, 0, 10, 4}, 30));
+}
+
+TEST(Profile, TopProfileMergesAndSteps) {
+  // Two towers with a valley between them.
+  std::vector<Rect> rects{{0, 0, 10, 20}, {10, 0, 10, 5}, {20, 0, 10, 20}};
+  auto top = topProfile(rects);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], (ProfileStep{0, 10, 20}));
+  EXPECT_EQ(top[1], (ProfileStep{10, 20, 5}));
+  EXPECT_EQ(top[2], (ProfileStep{20, 30, 20}));
+}
+
+TEST(Profile, BottomProfileOfStackedRects) {
+  std::vector<Rect> rects{{0, 5, 10, 5}, {0, 0, 4, 5}};
+  auto bottom = bottomProfile(rects);
+  ASSERT_EQ(bottom.size(), 2u);
+  EXPECT_EQ(bottom[0], (ProfileStep{0, 4, 0}));
+  EXPECT_EQ(bottom[1], (ProfileStep{4, 10, 5}));
+}
+
+TEST(Profile, GapsAreAbsent) {
+  std::vector<Rect> rects{{0, 0, 5, 5}, {10, 0, 5, 5}};
+  auto top = topProfile(rects);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].hi, 5);
+  EXPECT_EQ(top[1].lo, 10);
+}
+
+TEST(Profile, SlideContactBasicAbutment) {
+  std::vector<Rect> a{{0, 0, 10, 10}};
+  std::vector<Rect> b{{0, 0, 5, 5}};
+  // b (anchored at origin) must move 10 right to clear a.
+  EXPECT_EQ(slideContactX(a, b), 10);
+  EXPECT_EQ(slideContactY(a, b), 10);
+}
+
+TEST(Profile, SlideInterleavesIntoConcavity) {
+  // a: tall left tower + low right shelf.  b: a block living above y=5
+  // slides past the shelf until it hits the tower -> interleaving.
+  std::vector<Rect> a{{0, 0, 4, 20}, {4, 0, 16, 5}};
+  std::vector<Rect> b{{0, 6, 8, 8}};
+  EXPECT_EQ(slideContactX(a, b), 4);  // clears the shelf, abuts the tower
+}
+
+TEST(Profile, SlideNoContact) {
+  std::vector<Rect> a{{0, 0, 10, 5}};
+  std::vector<Rect> b{{0, 10, 10, 5}};  // disjoint y-ranges: never collide
+  EXPECT_EQ(slideContactX(a, b), noContact);
+}
+
+TEST(Profile, SlideYStacksOnTallestOverlap) {
+  std::vector<Rect> lower{{0, 0, 10, 8}, {10, 0, 10, 3}};
+  std::vector<Rect> upper{{5, 0, 10, 4}};
+  // Upper spans x 5..15: must clear height 8 of the left block.
+  EXPECT_EQ(slideContactY(lower, upper), 8);
+}
+
+TEST(AsciiArt, RendersNonEmpty) {
+  Placement p;
+  p.push({0, 0, 10, 10});
+  p.push({10, 0, 10, 10});
+  std::string art = asciiArt(p, {"A", "B"});
+  EXPECT_NE(art.find('A'), std::string::npos);
+  EXPECT_NE(art.find('B'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace als

@@ -1,0 +1,142 @@
+// Cross-subsystem integration tests: the four placement engines and the
+// deterministic placer run end-to-end on shared circuits, and their
+// contracts are verified against each other.
+#include <gtest/gtest.h>
+
+#include "bstar/flat_placer.h"
+#include "bstar/hbstar.h"
+#include "netlist/generators.h"
+#include "seqpair/absolute_placer.h"
+#include "seqpair/sa_placer.h"
+#include "seqpair/sym_placer.h"
+#include "shapefn/deterministic.h"
+#include "shapefn/enumerate.h"
+#include "slicing/slicing_placer.h"
+#include "thermal/thermal.h"
+
+namespace als {
+namespace {
+
+class EnginesOnCircuit : public ::testing::TestWithParam<TableICircuit> {};
+
+TEST_P(EnginesOnCircuit, AllEnginesProduceLegalPlacements) {
+  Circuit c = makeTableICircuit(GetParam());
+  const double budget = 0.6;
+
+  SeqPairPlacerOptions spOpt;
+  spOpt.timeLimitSec = budget;
+  SeqPairPlacerResult sp = placeSeqPairSA(c, spOpt);
+  EXPECT_TRUE(sp.placement.isLegal());
+  EXPECT_TRUE(verifySymmetry(sp.placement, c.symmetryGroups(), sp.axis2x));
+
+  HBPlacerOptions hbOpt;
+  hbOpt.timeLimitSec = budget;
+  HBPlacerResult hb = placeHBStarSA(c, hbOpt);
+  EXPECT_TRUE(hb.placement.isLegal());
+  EXPECT_TRUE(verifySymmetry(hb.placement, c.symmetryGroups(), hb.axis2x));
+
+  FlatBStarOptions fbOpt;
+  fbOpt.timeLimitSec = budget;
+  FlatBStarResult fb = placeFlatBStarSA(c, fbOpt);
+  EXPECT_TRUE(fb.placement.isLegal());
+
+  SlicingPlacerOptions slOpt;
+  slOpt.timeLimitSec = budget;
+  SlicingPlacerResult sl = placeSlicingSA(c, slOpt);
+  EXPECT_TRUE(sl.placement.isLegal());
+
+  DeterministicResult det = placeDeterministic(c, {});
+  EXPECT_TRUE(det.placement.isLegal());
+  for (const SymmetryGroup& g : c.symmetryGroups()) {
+    EXPECT_TRUE(mirrorAxisOf(det.placement, g).has_value()) << g.name;
+  }
+
+  // Sanity: every engine beats 3x dead space on these circuits.
+  Coord modArea = c.totalModuleArea();
+  for (Coord area : {sp.area, hb.area, fb.area, sl.area, det.area}) {
+    EXPECT_GE(area, modArea);
+    EXPECT_LT(area, 3 * modArea);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallTableI, EnginesOnCircuit,
+                         ::testing::Values(TableICircuit::MillerV2,
+                                           TableICircuit::ComparatorV2,
+                                           TableICircuit::FoldedCascode),
+                         [](const auto& info) {
+                           std::string n = tableIName(info.param);
+                           for (char& ch : n) {
+                             if (!isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Integration, DeterministicVsAnnealedAreasComparable) {
+  // The deterministic placer must land in the same area class as SA —
+  // neither an order of magnitude better (impossible) nor worse (broken).
+  Circuit c = makeTableICircuit(TableICircuit::FoldedCascode);
+  DeterministicResult det = placeDeterministic(c, {});
+  SeqPairPlacerOptions opt;
+  opt.timeLimitSec = 1.5;
+  SeqPairPlacerResult sa = placeSeqPairSA(c, opt);
+  double ratio =
+      static_cast<double>(det.area) / static_cast<double>(sa.area);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Integration, SymmetricPlacementFeedsThermalAnalysis) {
+  // Placement -> thermal pipeline: the symmetric placement of a synthetic
+  // circuit yields zero mismatch for pairs whose radiator sits on their own
+  // group axis (here: self-symmetric member of the same group).
+  Circuit c = makeSynthetic({.name = "pipe",
+                             .moduleCount = 15,
+                             .seed = 5,
+                             .symmetricFraction = 0.8});
+  SeqPairPlacerOptions opt;
+  opt.timeLimitSec = 0.5;
+  SeqPairPlacerResult r = placeSeqPairSA(c, opt);
+  ASSERT_TRUE(r.placement.isLegal());
+  for (const SymmetryGroup& g : c.symmetryGroups()) {
+    if (g.selfs.empty() || g.pairs.empty()) continue;
+    std::vector<double> power(c.moduleCount(), 0.0);
+    power[g.selfs.front()] = 0.3;  // radiator on this group's axis
+    ThermalField field(sourcesFromPlacement(r.placement, power));
+    for (double m : pairTemperatureMismatch(r.placement, g, field)) {
+      EXPECT_NEAR(m, 0.0, 1e-9) << "group " << g.name;
+    }
+  }
+}
+
+TEST(Integration, HierarchyAndGroupsStayConsistentAcrossEngines) {
+  // The same circuit object drives SP (groups), HB (hierarchy+groups) and
+  // deterministic (hierarchy) placers without mutation.
+  Circuit c = makeMillerOpAmp();
+  std::size_t groupsBefore = c.symmetryGroups().size();
+  std::size_t nodesBefore = c.hierarchy().nodeCount();
+  SeqPairPlacerOptions spOpt;
+  spOpt.timeLimitSec = 0.3;
+  placeSeqPairSA(c, spOpt);
+  HBPlacerOptions hbOpt;
+  hbOpt.timeLimitSec = 0.3;
+  placeHBStarSA(c, hbOpt);
+  placeDeterministic(c, {});
+  EXPECT_EQ(c.symmetryGroups().size(), groupsBefore);
+  EXPECT_EQ(c.hierarchy().nodeCount(), nodesBefore);
+}
+
+TEST(Integration, AbsoluteBaselineConvergesOnTrivialInstance) {
+  // Two equal cells, no constraints: the absolute placer should find a
+  // legal abutment (its weakness only shows at scale).
+  Circuit c("two");
+  c.addModule("a", 10 * kUm, 10 * kUm);
+  c.addModule("b", 10 * kUm, 10 * kUm);
+  AbsolutePlacerOptions opt;
+  opt.timeLimitSec = 1.0;
+  AbsolutePlacerResult r = placeAbsoluteSA(c, opt);
+  EXPECT_EQ(r.overlapArea, 0);
+  EXPECT_LE(r.area, 2 * c.totalModuleArea());
+}
+
+}  // namespace
+}  // namespace als

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "layoutaware/extract.h"
+#include "layoutaware/mosfet.h"
+#include "layoutaware/ota.h"
+#include "layoutaware/sizing.h"
+#include "layoutaware/template_gen.h"
+
+namespace als {
+namespace {
+
+const Technology kTech = Technology::c035();
+
+TEST(Mosfet, SquareLawBasics) {
+  MosSpec spec{MosType::N, 20e-6, 0.7e-6, 1};
+  MosSmallSignal ss = mosSmallSignal(kTech, spec, 100e-6);
+  EXPECT_GT(ss.gm, 0);
+  EXPECT_GT(ss.vov, 0);
+  // gm = 2 Id / vov must hold exactly in the square-law model.
+  EXPECT_NEAR(ss.gm, 2.0 * 100e-6 / ss.vov, 1e-12);
+  // Wider device, same current: lower overdrive, higher gm.
+  MosSpec wide = spec;
+  wide.w = 80e-6;
+  MosSmallSignal ssWide = mosSmallSignal(kTech, wide, 100e-6);
+  EXPECT_LT(ssWide.vov, ss.vov);
+  EXPECT_GT(ssWide.gm, ss.gm);
+}
+
+TEST(Mosfet, LongerChannelLowersGds) {
+  MosSpec shortL{MosType::N, 20e-6, 0.35e-6, 1};
+  MosSpec longL{MosType::N, 20e-6, 1.4e-6, 1};
+  EXPECT_GT(mosSmallSignal(kTech, shortL, 100e-6).gds,
+            mosSmallSignal(kTech, longL, 100e-6).gds);
+}
+
+TEST(Mosfet, FoldingShrinksDrainJunction) {
+  // The Section V argument: "different foldings change the junction
+  // capacitances of a MOS transistor".
+  MosSpec flat{MosType::N, 40e-6, 0.7e-6, 1};
+  MosSpec folded{MosType::N, 40e-6, 0.7e-6, 4};
+  MosCaps cFlat = mosCaps(kTech, flat);
+  MosCaps cFolded = mosCaps(kTech, folded);
+  EXPECT_LT(cFolded.cdb, cFlat.cdb);
+  // Gate capacitance is unchanged by folding (same W*L).
+  EXPECT_NEAR(cFolded.cgs, cFlat.cgs, 1e-18);
+}
+
+TEST(Mosfet, FoldingSquaresUpTheCell) {
+  MosSpec flat{MosType::N, 80e-6, 0.7e-6, 1};
+  MosSpec folded{MosType::N, 80e-6, 0.7e-6, 8};
+  double flatAr = mosCellHeight(kTech, flat) / mosCellWidth(kTech, flat);
+  double foldedAr = mosCellHeight(kTech, folded) / mosCellWidth(kTech, folded);
+  EXPECT_GT(flatAr, 10.0);           // one 80 um stripe: extremely tall
+  EXPECT_LT(foldedAr, flatAr / 10);  // folding flattens it dramatically
+}
+
+TEST(Mosfet, DiffusionAreasConserveStripes) {
+  MosSpec spec{MosType::N, 36e-6, 0.7e-6, 3};
+  DiffusionGeometry g = diffusionGeometry(kTech, spec);
+  // 3 folds -> 4 stripes of 12 um fingers.
+  double stripeArea = 12e-6 * kTech.diffExt;
+  EXPECT_NEAR(g.drainArea + g.sourceArea, 4 * stripeArea, 1e-18);
+  EXPECT_GT(g.sourceArea, 0);
+  EXPECT_GT(g.drainArea, 0);
+}
+
+TEST(Ota, DefaultDesignIsReasonable) {
+  Parasitics none;
+  OtaPerformance perf = evalFoldedCascode(kTech, FoldedCascodeDesign{}, none);
+  EXPECT_GT(perf.gainDb, 40.0);
+  EXPECT_LT(perf.gainDb, 120.0);
+  EXPECT_GT(perf.gbwHz, 1e6);
+  EXPECT_GT(perf.pmDeg, 0.0);
+  EXPECT_LT(perf.pmDeg, 90.0);
+  EXPECT_GT(perf.powerW, 0.0);
+}
+
+TEST(Ota, ParasiticsDegradeBandwidthAndMargin) {
+  FoldedCascodeDesign d;
+  Parasitics none;
+  Parasitics heavy{1e-12, 0.8e-12};
+  OtaPerformance clean = evalFoldedCascode(kTech, d, none);
+  OtaPerformance loaded = evalFoldedCascode(kTech, d, heavy);
+  EXPECT_LT(loaded.gbwHz, clean.gbwHz);
+  EXPECT_LT(loaded.pmDeg, clean.pmDeg);
+  EXPECT_LT(loaded.srVps, clean.srVps);
+  // DC gain is parasitic-capacitance independent.
+  EXPECT_NEAR(loaded.gainDb, clean.gainDb, 1e-9);
+}
+
+TEST(Ota, SpecViolationZeroWhenMet) {
+  OtaPerformance perf;
+  perf.gainDb = 80;
+  perf.gbwHz = 50e6;
+  perf.pmDeg = 70;
+  perf.srVps = 40e6;
+  perf.powerW = 3e-3;
+  perf.saturated = true;
+  OtaSpecs specs;
+  EXPECT_DOUBLE_EQ(specViolation(perf, specs), 0.0);
+  perf.gainDb = 60;  // below the 72 dB floor
+  EXPECT_GT(specViolation(perf, specs), 0.0);
+}
+
+TEST(Template, GeneratesLegalLayout) {
+  TemplateLayout layout = generateFoldedCascodeLayout(kTech, FoldedCascodeDesign{});
+  EXPECT_TRUE(layout.cells.isLegal());
+  EXPECT_EQ(layout.cells.size(), layout.names.size());
+  EXPECT_EQ(layout.cells.size(), 13u);  // 5 rows x 2 + tail + 2 caps
+  EXPECT_GT(layout.width, 0);
+  EXPECT_GT(layout.height, 0);
+  EXPECT_GT(layout.outNetLen, 0.0);
+  EXPECT_GT(layout.foldNetLen, 0.0);
+}
+
+TEST(Template, FoldingChangesOutline) {
+  FoldedCascodeDesign flat;
+  flat.m1 = flat.mp = flat.mn = 1;
+  FoldedCascodeDesign folded;
+  folded.m1 = folded.mp = folded.mn = 6;
+  TemplateLayout a = generateFoldedCascodeLayout(kTech, flat);
+  TemplateLayout b = generateFoldedCascodeLayout(kTech, folded);
+  // Folding trades row height for row width.
+  EXPECT_GT(a.height, b.height);
+  EXPECT_LT(a.width, b.width);
+}
+
+TEST(Extract, ParasiticsArePositiveAndGeometryDriven) {
+  FoldedCascodeDesign d;
+  d.mp = d.mn = 1;  // unfolded: full-width drain stripes
+  TemplateLayout layout = generateFoldedCascodeLayout(kTech, d);
+  Parasitics par = extractParasitics(kTech, d, layout);
+  EXPECT_GT(par.cOut, 0.0);
+  EXPECT_GT(par.cFold, 0.0);
+  // Folding shares drain stripes between fingers -> smaller junction load
+  // at the output (the effect saturates beyond a few folds as sidewall and
+  // wire length grow back, which is why folds are worth *optimizing*).
+  FoldedCascodeDesign folded = d;
+  folded.mp = folded.mn = 4;
+  Parasitics parFolded =
+      extractParasitics(kTech, folded, generateFoldedCascodeLayout(kTech, folded));
+  EXPECT_LT(parFolded.cOut, par.cOut);
+}
+
+TEST(Sizing, LayoutAwareFlowMeetsSpecsPostLayout) {
+  OtaSpecs specs;
+  SizingOptions opt;
+  opt.layoutAware = true;
+  opt.timeLimitSec = 4.0;
+  opt.seed = 7;
+  SizingResult r = runSizing(kTech, specs, opt);
+  EXPECT_GT(r.evaluations, 100u);
+  EXPECT_TRUE(r.meetsSpecsExtracted)
+      << "residual violation " << r.violationExtracted;
+  // What the loop saw IS the post-layout truth in the aware flow.
+  EXPECT_NEAR(r.violationSizing, r.violationExtracted, 1e-9);
+  EXPECT_GT(r.extractShare, 0.0);
+  EXPECT_LT(r.extractShare, 0.9);
+}
+
+TEST(Sizing, ElectricalOnlyFlowDegradesPostLayout) {
+  OtaSpecs specs;
+  SizingOptions opt;
+  opt.layoutAware = false;
+  opt.timeLimitSec = 4.0;
+  opt.seed = 7;
+  SizingResult r = runSizing(kTech, specs, opt);
+  // The loop's own view is (near-)feasible...
+  EXPECT_LT(r.violationSizing, 0.05);
+  // ...but the extracted reality is strictly worse.
+  EXPECT_GT(r.violationExtracted, r.violationSizing);
+  EXPECT_LT(r.perfExtracted.pmDeg, r.perfSizing.pmDeg);
+  EXPECT_LT(r.perfExtracted.gbwHz, r.perfSizing.gbwHz);
+}
+
+TEST(Sizing, DeterministicForSeed) {
+  OtaSpecs specs;
+  SizingOptions opt;
+  opt.layoutAware = true;
+  opt.timeLimitSec = 1.0;
+  opt.seed = 11;
+  SizingResult a = runSizing(kTech, specs, opt);
+  SizingResult b = runSizing(kTech, specs, opt);
+  EXPECT_DOUBLE_EQ(a.design.ib, b.design.ib);
+  EXPECT_DOUBLE_EQ(a.design.w1, b.design.w1);
+}
+
+}  // namespace
+}  // namespace als

@@ -1,0 +1,102 @@
+// Section V on the paper's Fig. 6 circuit: the two-stage Miller op amp
+// model, template, extraction and sizing flows.
+#include <gtest/gtest.h>
+
+#include "layoutaware/miller.h"
+
+namespace als {
+namespace {
+
+const Technology kTech = Technology::c035();
+
+TEST(Miller, DefaultDesignIsReasonable) {
+  OtaPerformance perf = evalMiller(kTech, MillerDesign{}, {});
+  EXPECT_GT(perf.gainDb, 50.0);
+  EXPECT_LT(perf.gainDb, 120.0);
+  EXPECT_GT(perf.gbwHz, 1e6);
+  EXPECT_GT(perf.pmDeg, 0.0);
+  EXPECT_LT(perf.pmDeg, 90.0);
+}
+
+TEST(Miller, GbwSetByMillerCap) {
+  MillerDesign d;
+  OtaPerformance a = evalMiller(kTech, d, {});
+  d.cc *= 2.0;
+  OtaPerformance b = evalMiller(kTech, d, {});
+  EXPECT_NEAR(b.gbwHz, a.gbwHz / 2.0, a.gbwHz * 0.01);
+}
+
+TEST(Miller, BiggerDriverImprovesPhaseMargin) {
+  // The output pole gm8/Cout moves out with driver transconductance.
+  MillerDesign d;
+  OtaPerformance small = evalMiller(kTech, d, {});
+  d.w8 *= 3.0;
+  d.i2 *= 2.0;
+  OtaPerformance big = evalMiller(kTech, d, {});
+  EXPECT_GT(big.pmDeg, small.pmDeg);
+}
+
+TEST(Miller, ParasiticsDegradeMargin) {
+  MillerDesign d;
+  OtaPerformance clean = evalMiller(kTech, d, {});
+  MillerParasitics heavy{0.6e-12, 2e-12};
+  OtaPerformance loaded = evalMiller(kTech, d, heavy);
+  EXPECT_LT(loaded.pmDeg, clean.pmDeg);
+  EXPECT_LT(loaded.srVps, clean.srVps);
+  EXPECT_NEAR(loaded.gainDb, clean.gainDb, 1e-9);
+  // GBW is Cc-set, parasitic-insensitive to first order.
+  EXPECT_NEAR(loaded.gbwHz, clean.gbwHz, 1e-9);
+}
+
+TEST(Miller, TemplateLegalWithFig6Devices) {
+  TemplateLayout layout = generateMillerLayout(kTech, MillerDesign{});
+  EXPECT_TRUE(layout.cells.isLegal());
+  // P1 P2 N3 N4 P5 P6 P7 N8 CC CL = 10 cells.
+  EXPECT_EQ(layout.cells.size(), 10u);
+  EXPECT_GT(layout.outNetLen, 0.0);
+  EXPECT_GT(layout.foldNetLen, 0.0);
+}
+
+TEST(Miller, ExtractionGeometrySensitivity) {
+  MillerDesign d;
+  d.m8 = 1;
+  MillerParasitics flat =
+      extractMillerParasitics(kTech, d, generateMillerLayout(kTech, d));
+  d.m8 = 4;
+  MillerParasitics folded =
+      extractMillerParasitics(kTech, d, generateMillerLayout(kTech, d));
+  EXPECT_LT(folded.cOut, flat.cOut);  // folded driver: smaller drain junction
+}
+
+TEST(Miller, LayoutAwareFlowMeetsSpecs) {
+  OtaSpecs specs;
+  specs.minGainDb = 70.0;
+  specs.minGbwHz = 15e6;
+  specs.minPmDeg = 55.0;
+  specs.minSrVps = 10e6;
+  SizingOptions opt;
+  opt.layoutAware = true;
+  opt.timeLimitSec = 3.0;
+  opt.seed = 5;
+  MillerSizingResult r = runMillerSizing(kTech, specs, opt);
+  EXPECT_TRUE(r.meetsSpecsExtracted) << "residual " << r.violationExtracted;
+  EXPECT_GT(r.evaluations, 100u);
+}
+
+TEST(Miller, BlindFlowDegradesPostLayout) {
+  OtaSpecs specs;
+  specs.minGainDb = 70.0;
+  specs.minGbwHz = 15e6;
+  specs.minPmDeg = 55.0;
+  specs.minSrVps = 10e6;
+  SizingOptions opt;
+  opt.layoutAware = false;
+  opt.timeLimitSec = 3.0;
+  opt.seed = 5;
+  MillerSizingResult r = runMillerSizing(kTech, specs, opt);
+  EXPECT_GE(r.violationExtracted, r.violationSizing);
+  EXPECT_LE(r.perfExtracted.pmDeg, r.perfSizing.pmDeg + 1e-9);
+}
+
+}  // namespace
+}  // namespace als

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+
+namespace als {
+namespace {
+
+TEST(Fig1Example, MatchesPaperStructure) {
+  Circuit c = makeFig1Example();
+  EXPECT_EQ(c.moduleCount(), 7u);
+  ASSERT_EQ(c.symmetryGroups().size(), 1u);
+  const SymmetryGroup& g = c.symmetryGroup(0);
+  EXPECT_EQ(g.pairs.size(), 2u);  // (C,D) and (B,G)
+  EXPECT_EQ(g.selfs.size(), 2u);  // A and F
+  EXPECT_EQ(g.memberCount(), 6u);
+  std::string err;
+  EXPECT_TRUE(c.validate(&err)) << err;
+}
+
+TEST(Fig1Example, SymOfIsAnInvolution) {
+  Circuit c = makeFig1Example();
+  const SymmetryGroup& g = c.symmetryGroup(0);
+  for (ModuleId m : g.members()) {
+    ModuleId s = g.symOf(m);
+    ASSERT_NE(s, SymmetryGroup::npos);
+    EXPECT_EQ(g.symOf(s), m);
+  }
+  // E is not a member.
+  EXPECT_FALSE(g.contains(0));
+  EXPECT_EQ(g.symOf(0), SymmetryGroup::npos);
+}
+
+TEST(MillerOpAmp, HierarchyMatchesFig6) {
+  Circuit c = makeMillerOpAmp();
+  EXPECT_EQ(c.moduleCount(), 9u);
+  EXPECT_EQ(c.symmetryGroups().size(), 3u);  // DP, CM1, CM2
+  const HierTree& h = c.hierarchy();
+  EXPECT_FALSE(h.empty());
+  // Root OPAMP has CORE + C + N8.
+  EXPECT_EQ(h.node(h.root()).children.size(), 3u);
+  EXPECT_EQ(h.leavesUnder(h.root()).size(), 9u);
+  // Three basic module sets: DP, CM1, CM2.
+  EXPECT_EQ(h.basicSetCount(), 3u);
+  EXPECT_EQ(h.depth(), 3u);
+  std::string err;
+  EXPECT_TRUE(c.validate(&err)) << err;
+}
+
+TEST(Fig2Design, CarriesAllThreeConstraintKinds) {
+  Circuit c = makeFig2Design();
+  const HierTree& h = c.hierarchy();
+  int symmetry = 0, centroid = 0, proximity = 0;
+  for (HierNodeId i = 0; i < h.nodeCount(); ++i) {
+    switch (h.node(i).constraint) {
+      case GroupConstraint::Symmetry: ++symmetry; break;
+      case GroupConstraint::CommonCentroid: ++centroid; break;
+      case GroupConstraint::Proximity: ++proximity; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(symmetry, 1);
+  EXPECT_EQ(centroid, 2);
+  EXPECT_EQ(proximity, 1);
+  std::string err;
+  EXPECT_TRUE(c.validate(&err)) << err;
+}
+
+class TableICircuitTest : public ::testing::TestWithParam<TableICircuit> {};
+
+TEST_P(TableICircuitTest, ModuleCountMatchesTableI) {
+  Circuit c = makeTableICircuit(GetParam());
+  EXPECT_EQ(c.moduleCount(), tableIModuleCount(GetParam()));
+  std::string err;
+  EXPECT_TRUE(c.validate(&err)) << err;
+}
+
+TEST_P(TableICircuitTest, HierarchyCoversAllModulesExactlyOnce) {
+  Circuit c = makeTableICircuit(GetParam());
+  const HierTree& h = c.hierarchy();
+  std::vector<ModuleId> leaves = h.leavesUnder(h.root());
+  EXPECT_EQ(leaves.size(), c.moduleCount());
+  std::sort(leaves.begin(), leaves.end());
+  for (std::size_t i = 0; i < leaves.size(); ++i) EXPECT_EQ(leaves[i], i);
+}
+
+TEST_P(TableICircuitTest, BasicSetsAreSmall) {
+  Circuit c = makeTableICircuit(GetParam());
+  const HierTree& h = c.hierarchy();
+  for (HierNodeId i = 0; i < h.nodeCount(); ++i) {
+    if (h.isBasicSet(i)) {
+      EXPECT_GE(h.node(i).children.size(), 2u);
+      EXPECT_LE(h.node(i).children.size(), 5u);
+    }
+  }
+}
+
+TEST_P(TableICircuitTest, EvenDimensionsOnMicrometerGrid) {
+  Circuit c = makeTableICircuit(GetParam());
+  for (const Module& m : c.modules()) {
+    EXPECT_EQ(m.w % 2, 0);
+    EXPECT_EQ(m.h % 2, 0);
+    EXPECT_GE(m.w, kUm);
+    EXPECT_GE(m.h, kUm);
+  }
+}
+
+TEST_P(TableICircuitTest, DeterministicForFixedSeed) {
+  Circuit a = makeTableICircuit(GetParam());
+  Circuit b = makeTableICircuit(GetParam());
+  ASSERT_EQ(a.moduleCount(), b.moduleCount());
+  for (std::size_t i = 0; i < a.moduleCount(); ++i) {
+    EXPECT_EQ(a.module(i).w, b.module(i).w);
+    EXPECT_EQ(a.module(i).h, b.module(i).h);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, TableICircuitTest,
+                         ::testing::ValuesIn(allTableICircuits()),
+                         [](const auto& info) {
+                           std::string n = tableIName(info.param);
+                           for (char& ch : n) {
+                             if (!isalnum(static_cast<unsigned char>(ch))) ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Synthetic, SizesVaryStronglyAcrossModules) {
+  Circuit c = makeTableICircuit(TableICircuit::Lnamixbias);
+  Coord minArea = c.module(0).w * c.module(0).h, maxArea = minArea;
+  for (const Module& m : c.modules()) {
+    minArea = std::min(minArea, m.w * m.h);
+    maxArea = std::max(maxArea, m.w * m.h);
+  }
+  // Analog circuits mix tiny transistors with huge capacitors; the paper
+  // notes cells "very different in size" as the analog-typical case.
+  EXPECT_GE(maxArea / minArea, 20);
+}
+
+TEST(Synthetic, SymmetricGroupsHaveMatchedFootprints) {
+  Circuit c = makeSynthetic({.name = "t", .moduleCount = 40, .seed = 9});
+  for (const SymmetryGroup& g : c.symmetryGroups()) {
+    for (const SymPair& p : g.pairs) {
+      EXPECT_EQ(c.module(p.a).w, c.module(p.b).w);
+      EXPECT_EQ(c.module(p.a).h, c.module(p.b).h);
+    }
+  }
+}
+
+TEST(Synthetic, ValidateCatchesDuplicateGroupMembership) {
+  Circuit c("bad");
+  ModuleId a = c.addModule("a", 2, 2);
+  ModuleId b = c.addModule("b", 2, 2);
+  c.addSymmetryGroup({"g1", {{a, b}}, {}});
+  c.addSymmetryGroup({"g2", {}, {a}});
+  std::string err;
+  EXPECT_FALSE(c.validate(&err));
+  EXPECT_NE(err.find("two symmetry groups"), std::string::npos);
+}
+
+TEST(Synthetic, ValidateCatchesMismatchedPair) {
+  Circuit c("bad");
+  ModuleId a = c.addModule("a", 2, 2);
+  ModuleId b = c.addModule("b", 4, 2);
+  c.addSymmetryGroup({"g", {{a, b}}, {}});
+  EXPECT_FALSE(c.validate());
+}
+
+TEST(HierTree, DepthAndBasicSets) {
+  HierTree h;
+  auto l0 = h.addLeaf("m0", 0);
+  auto l1 = h.addLeaf("m1", 1);
+  auto l2 = h.addLeaf("m2", 2);
+  auto set = h.addGroup("set", {l0, l1});
+  auto root = h.addGroup("root", {set, l2});
+  h.setRoot(root);
+  EXPECT_TRUE(h.isBasicSet(set));
+  EXPECT_FALSE(h.isBasicSet(root));  // mixed leaf + group children
+  EXPECT_EQ(h.basicSetCount(), 1u);
+  EXPECT_EQ(h.depth(), 2u);
+  EXPECT_EQ(h.leavesUnder(root), (std::vector<ModuleId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace als

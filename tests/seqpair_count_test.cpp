@@ -1,0 +1,101 @@
+// Experiment E2 validation: the Lemma's count of symmetric-feasible
+// sequence-pairs is verified against exhaustive enumeration for small n,
+// and the paper's in-text numbers are checked exactly.
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+#include "seqpair/enumerate.h"
+#include "seqpair/symmetry.h"
+
+namespace als {
+namespace {
+
+TEST(SfCount, PaperExampleNumbersExact) {
+  // n = 7, one group with p = 2 pairs and s = 2 self-symmetric cells:
+  // (7!)^2 / 6! = 35,280 of (7!)^2 = 25,401,600 codes -> 99.86 % reduction.
+  Circuit c = makeFig1Example();
+  auto groups = std::span<const SymmetryGroup>(c.symmetryGroups());
+  EXPECT_EQ(sfSequencePairCount(7, groups).toString(), "35280");
+  EXPECT_EQ(totalSequencePairCount(7).toString(), "25401600");
+  EXPECT_NEAR(searchSpaceReduction(7, groups), 0.9986, 0.0001);
+}
+
+TEST(SfCount, NoGroupsMeansNoReduction) {
+  EXPECT_EQ(sfSequencePairCount(5, {}).toString(),
+            totalSequencePairCount(5).toString());
+  EXPECT_DOUBLE_EQ(searchSpaceReduction(5, {}), 0.0);
+}
+
+TEST(SfCount, TotalCountIsFactorialSquared) {
+  EXPECT_EQ(totalSequencePairCount(3).toString(), "36");
+  EXPECT_EQ(totalSequencePairCount(4).toString(), "576");
+  // (110!)^2 has 2 * 178 = 357 digits; just sanity-check it is huge.
+  EXPECT_GT(totalSequencePairCount(110).toString().size(), 300u);
+}
+
+struct CountCase {
+  std::string name;
+  std::size_t n;
+  std::vector<SymmetryGroup> groups;
+};
+
+class SfEnumerationTest : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(SfEnumerationTest, FormulaMatchesPerGroupEnumeration) {
+  // The Lemma's formula counts exactly the codes satisfying property (1)
+  // per group: alpha free, each group's beta order determined.
+  const CountCase& tc = GetParam();
+  std::uint64_t enumerated =
+      countSymmetricFeasible(tc.n, tc.groups, SfReading::PerGroup);
+  BigUint formula = sfSequencePairCount(tc.n, tc.groups);
+  ASSERT_TRUE(formula.fitsU64());
+  EXPECT_EQ(enumerated, formula.toU64());
+}
+
+TEST_P(SfEnumerationTest, FormulaIsUpperBoundOfUnionReading) {
+  // The buildable (union) reading is bounded by the Lemma's count, with
+  // equality when there is a single symmetry group — which is why the paper
+  // states the Lemma as an upper bound.
+  const CountCase& tc = GetParam();
+  std::uint64_t unionCount =
+      countSymmetricFeasible(tc.n, tc.groups, SfReading::Union);
+  BigUint formula = sfSequencePairCount(tc.n, tc.groups);
+  ASSERT_TRUE(formula.fitsU64());
+  EXPECT_LE(unionCount, formula.toU64());
+  if (tc.groups.size() == 1) {
+    EXPECT_EQ(unionCount, formula.toU64());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallConfigs, SfEnumerationTest,
+    ::testing::Values(
+        // One pair among 3 cells: (3!)^2 / 2! = 18.
+        CountCase{"pair3", 3, {{"g", {{0, 1}}, {}}}},
+        // One self-symmetric cell only: s = 1 -> no reduction ((n!)^2 / 1!).
+        CountCase{"self3", 3, {{"g", {}, {0}}}},
+        // Two selfs: (4!)^2 / 2!.
+        CountCase{"selfs4", 4, {{"g", {}, {0, 1}}}},
+        // Pair + self in one group of 4 cells: (4!)^2 / 3!.
+        CountCase{"pairSelf4", 4, {{"g", {{0, 1}}, {2}}}},
+        // Two pairs, one group: (4!)^2 / 4! = 24.
+        CountCase{"twoPairs4", 4, {{"g", {{0, 1}, {2, 3}}, {}}}},
+        // Two disjoint groups: (5!)^2 / (2! * 2!).
+        CountCase{"twoGroups5", 5, {{"g1", {{0, 1}}, {}}, {"g2", {{2, 3}}, {}}}},
+        // Full group of 5: pair + pair + self: (5!)^2 / 5!.
+        CountCase{"full5", 5, {{"g", {{0, 1}, {2, 3}}, {4}}}},
+        // Mixed free cells: 2 pairs + 2 free among 6: (6!)^2 / 4!.
+        CountCase{"mixed6", 6, {{"g", {{0, 1}, {2, 3}}, {}}}}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(SfEnumeration, EveryEnumeratedCodeIsDistinct) {
+  std::size_t visits = 0;
+  forEachSequencePair(3, [&](const SequencePair& sp) {
+    EXPECT_TRUE(sp.isValid());
+    ++visits;
+  });
+  EXPECT_EQ(visits, 36u);
+}
+
+}  // namespace
+}  // namespace als

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+#include "seqpair/moves.h"
+#include "seqpair/packer.h"
+#include "seqpair/sequence_pair.h"
+#include "seqpair/symmetry.h"
+
+namespace als {
+namespace {
+
+// Module order in makeFig1Example: E=0 B=1 A=2 F=3 C=4 D=5 G=6.
+SequencePair paperFig1Pair() {
+  // (EBAFCDG, EBCDFAG)
+  return SequencePair({0, 1, 2, 3, 4, 5, 6}, {0, 1, 4, 5, 3, 2, 6});
+}
+
+TEST(SequencePair, IdentityAndInverses) {
+  SequencePair sp(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sp.alphaPos(i), i);
+    EXPECT_EQ(sp.betaPos(i), i);
+  }
+  EXPECT_TRUE(sp.isValid());
+}
+
+TEST(SequencePair, SwapsKeepInversesInSync) {
+  SequencePair sp(5);
+  sp.swapAlphaModules(1, 3);
+  EXPECT_EQ(sp.alphaPos(1), 3u);
+  EXPECT_EQ(sp.alphaPos(3), 1u);
+  sp.swapBetaAt(0, 4);
+  EXPECT_EQ(sp.betaPos(4), 0u);
+  EXPECT_EQ(sp.betaPos(0), 4u);
+  EXPECT_TRUE(sp.isValid());
+}
+
+TEST(SequencePair, RelationsPartitionEveryPair) {
+  Rng rng(3);
+  SequencePair sp = SequencePair::random(8, rng);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      if (i == j) continue;
+      int rel = sp.leftOf(i, j) + sp.leftOf(j, i) + sp.below(i, j) + sp.below(j, i);
+      EXPECT_EQ(rel, 1) << i << "," << j;
+    }
+  }
+}
+
+TEST(SequencePair, ToStringUsesNames) {
+  Circuit c = makeFig1Example();
+  EXPECT_EQ(paperFig1Pair().toString(c.moduleNames()),
+            "(E B A F C D G, E B C D F A G)");
+}
+
+TEST(Symmetry, PaperPairIsSymmetricFeasible) {
+  Circuit c = makeFig1Example();
+  EXPECT_TRUE(isSymmetricFeasible(paperFig1Pair(), c.symmetryGroup(0)));
+}
+
+TEST(Symmetry, BrokenOrderIsNotFeasible) {
+  Circuit c = makeFig1Example();
+  // Swap C and D in beta only: pair order now identical in both sequences'
+  // mirror sense is broken.
+  SequencePair sp({0, 1, 2, 3, 4, 5, 6}, {0, 1, 5, 4, 3, 2, 6});
+  EXPECT_FALSE(isSymmetricFeasible(sp, c.symmetryGroup(0)));
+}
+
+TEST(Symmetry, MakeSymmetricFeasibleRepairsAnyPair) {
+  Circuit c = makeFig1Example();
+  auto groups = std::span<const SymmetryGroup>(c.symmetryGroups());
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    SequencePair sp = SequencePair::random(7, rng);
+    makeSymmetricFeasible(sp, groups);
+    EXPECT_TRUE(isSymmetricFeasible(sp, groups));
+    EXPECT_TRUE(sp.isValid());
+  }
+}
+
+TEST(Symmetry, MakeSymmetricFeasibleReproducesPaperBeta) {
+  // With alpha = EBAFCDG and beta slots of the group members as in the
+  // paper's beta, the constructive rule yields exactly EBCDFAG.
+  Circuit c = makeFig1Example();
+  SequencePair sp({0, 1, 2, 3, 4, 5, 6}, {0, 1, 2, 3, 4, 5, 6});
+  // beta = EBAFCDG initially; group slots {1,2,3,4,5,6}.
+  makeSymmetricFeasible(sp, c.symmetryGroups());
+  EXPECT_TRUE(isSymmetricFeasible(sp, c.symmetryGroup(0)));
+  EXPECT_EQ(sp.toString(c.moduleNames()), "(E B A F C D G, E B C D F A G)");
+}
+
+TEST(Symmetry, SelfSymmetricCellsMustBeVerticallyRelated) {
+  Circuit c = makeFig1Example();
+  const SymmetryGroup& g = c.symmetryGroup(0);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    SequencePair sp = SequencePair::random(7, rng);
+    makeSymmetricFeasible(sp, c.symmetryGroups());
+    // A (2) and F (3) are self-symmetric: exactly one of below(a,f)/below(f,a).
+    EXPECT_TRUE(sp.below(2, 3) || sp.below(3, 2));
+    // Mirror partners are horizontally related.
+    for (const SymPair& p : g.pairs) {
+      EXPECT_TRUE(sp.leftOf(p.a, p.b) || sp.leftOf(p.b, p.a));
+    }
+  }
+}
+
+// --- Packing ---
+
+std::pair<std::vector<Coord>, std::vector<Coord>> dimsOf(const Circuit& c) {
+  std::vector<Coord> w, h;
+  for (const Module& m : c.modules()) {
+    w.push_back(m.w);
+    h.push_back(m.h);
+  }
+  return {w, h};
+}
+
+TEST(Packer, SingleModuleAtOrigin) {
+  SequencePair sp(1);
+  std::vector<Coord> w{10}, h{20};
+  Placement p = packSequencePair(sp, w, h);
+  EXPECT_EQ(p[0], (Rect{0, 0, 10, 20}));
+}
+
+TEST(Packer, TwoModulesHorizontalAndVertical) {
+  std::vector<Coord> w{10, 6}, h{4, 8};
+  {  // alpha = beta: 0 left of 1
+    SequencePair sp(2);
+    Placement p = packSequencePair(sp, w, h);
+    EXPECT_EQ(p[1].x, 10);
+    EXPECT_EQ(p[1].y, 0);
+  }
+  {  // reversed alpha: 0 after 1 in alpha, before in beta -> 0 below 1
+    SequencePair sp({1, 0}, {0, 1});
+    Placement p = packSequencePair(sp, w, h);
+    EXPECT_EQ(p[0].y, 0);
+    EXPECT_EQ(p[1].y, 4);
+    EXPECT_EQ(p[1].x, 0);
+  }
+}
+
+TEST(Packer, PlacementRespectsAllPairRelations) {
+  Circuit c = makeTableICircuit(TableICircuit::FoldedCascode);
+  auto [w, h] = dimsOf(c);
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    SequencePair sp = SequencePair::random(c.moduleCount(), rng);
+    Placement p = packSequencePair(sp, w, h);
+    ASSERT_TRUE(p.isLegal());
+    for (std::size_t i = 0; i < sp.size(); ++i) {
+      for (std::size_t j = 0; j < sp.size(); ++j) {
+        if (sp.leftOf(i, j)) {
+          ASSERT_LE(p[i].xhi(), p[j].xlo());
+        }
+        if (sp.below(i, j)) {
+          ASSERT_LE(p[i].yhi(), p[j].ylo());
+        }
+      }
+    }
+  }
+}
+
+class PackerStrategyTest : public ::testing::TestWithParam<PackStrategy> {};
+
+TEST_P(PackerStrategyTest, MatchesNaiveReference) {
+  Circuit c = makeTableICircuit(TableICircuit::Buffer);
+  auto [w, h] = dimsOf(c);
+  Rng rng(23);
+  for (int trial = 0; trial < 25; ++trial) {
+    SequencePair sp = SequencePair::random(c.moduleCount(), rng);
+    Placement ref = packSequencePair(sp, w, h, PackStrategy::Naive);
+    Placement got = packSequencePair(sp, w, h, GetParam());
+    for (std::size_t m = 0; m < sp.size(); ++m) {
+      ASSERT_EQ(got[m], ref[m]) << "module " << m << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PackerStrategyTest,
+                         ::testing::Values(PackStrategy::Fenwick, PackStrategy::Veb),
+                         [](const auto& info) {
+                           return info.param == PackStrategy::Fenwick ? "Fenwick"
+                                                                      : "Veb";
+                         });
+
+TEST(Packer, PackingIsLowerLeftCompacted) {
+  // Every module either touches x = 0 or abuts some module on its left.
+  Circuit c = makeTableICircuit(TableICircuit::MillerV2);
+  auto [w, h] = dimsOf(c);
+  Rng rng(31);
+  SequencePair sp = SequencePair::random(c.moduleCount(), rng);
+  Placement p = packSequencePair(sp, w, h);
+  for (std::size_t m = 0; m < sp.size(); ++m) {
+    if (p[m].x == 0) continue;
+    bool supported = false;
+    for (std::size_t i = 0; i < sp.size() && !supported; ++i) {
+      supported = sp.leftOf(i, m) && p[i].xhi() == p[m].xlo();
+    }
+    EXPECT_TRUE(supported) << "module " << m << " floats in x";
+  }
+}
+
+// --- Moves ---
+
+TEST(Moves, PreserveSymmetricFeasibilityOverLongWalks) {
+  Circuit c = makeMillerOpAmp();
+  auto groups = std::span<const SymmetryGroup>(c.symmetryGroups());
+  std::vector<bool> rotatable;
+  for (const Module& m : c.modules()) rotatable.push_back(m.rotatable);
+  SymmetricMoveSet moves(groups, rotatable);
+
+  SeqPairState s{SequencePair(c.moduleCount()),
+                 std::vector<bool>(c.moduleCount(), false)};
+  makeSymmetricFeasible(s.sp, groups);
+  Rng rng(41);
+  for (int step = 0; step < 5000; ++step) {
+    moves.apply(s, rng);
+    ASSERT_TRUE(s.sp.isValid());
+    ASSERT_TRUE(isSymmetricFeasible(s.sp, groups)) << "step " << step;
+  }
+}
+
+TEST(Moves, RotationsKeepPairsMatched) {
+  Circuit c = makeMillerOpAmp();
+  auto groups = std::span<const SymmetryGroup>(c.symmetryGroups());
+  std::vector<bool> rotatable(c.moduleCount(), true);
+  SymmetricMoveSet moves(groups, rotatable);
+  SeqPairState s{SequencePair(c.moduleCount()),
+                 std::vector<bool>(c.moduleCount(), false)};
+  makeSymmetricFeasible(s.sp, groups);
+  Rng rng(43);
+  for (int step = 0; step < 2000; ++step) {
+    moves.apply(s, rng);
+    for (const SymmetryGroup& g : c.symmetryGroups()) {
+      for (const SymPair& p : g.pairs) {
+        ASSERT_EQ(s.rotated[p.a], s.rotated[p.b]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace als

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+#include "shapefn/deterministic.h"
+#include "shapefn/enumerate.h"
+#include "shapefn/shape_function.h"
+
+namespace als {
+namespace {
+
+ShapeEntry entryOf(ModuleId id, Coord w, Coord h) {
+  ShapeEntry e;
+  e.macro = Macro::fromModule(id, w, h);
+  e.w = w;
+  e.h = h;
+  return e;
+}
+
+TEST(ShapeFunction, ParetoPruning) {
+  ShapeFunction sf;
+  sf.insert(entryOf(0, 10, 10));
+  sf.insert(entryOf(0, 20, 5));   // kept: wider but lower
+  sf.insert(entryOf(0, 15, 12));  // dominated by (10,10)
+  sf.insert(entryOf(0, 5, 30));   // kept: narrower
+  ASSERT_EQ(sf.size(), 3u);
+  EXPECT_EQ(sf.entries()[0].w, 5);
+  EXPECT_EQ(sf.entries()[1].w, 10);
+  EXPECT_EQ(sf.entries()[2].w, 20);
+  // Heights strictly decrease along the frontier.
+  EXPECT_GT(sf.entries()[0].h, sf.entries()[1].h);
+  EXPECT_GT(sf.entries()[1].h, sf.entries()[2].h);
+}
+
+TEST(ShapeFunction, InsertReplacesSameWidthTaller) {
+  ShapeFunction sf;
+  sf.insert(entryOf(0, 10, 10));
+  sf.insert(entryOf(0, 10, 8));
+  ASSERT_EQ(sf.size(), 1u);
+  EXPECT_EQ(sf.entries()[0].h, 8);
+}
+
+TEST(ShapeFunction, NewEntryErasesDominatedSuccessors) {
+  ShapeFunction sf;
+  sf.insert(entryOf(0, 12, 9));
+  sf.insert(entryOf(0, 14, 8));
+  sf.insert(entryOf(0, 10, 7));  // dominates both
+  ASSERT_EQ(sf.size(), 1u);
+  EXPECT_EQ(sf.entries()[0].w, 10);
+}
+
+TEST(ShapeFunction, BestAreaPicksMinimum) {
+  ShapeFunction sf;
+  sf.insert(entryOf(0, 10, 10));  // 100
+  sf.insert(entryOf(0, 30, 3));   // 90
+  sf.insert(entryOf(0, 4, 40));   // 160
+  EXPECT_EQ(sf.bestArea().area(), 90);
+}
+
+TEST(ShapeFunction, CapKeepsExtremesAndBest) {
+  ShapeFunction sf;
+  for (Coord w = 1; w <= 30; ++w) sf.insert(entryOf(0, w, 31 - w));
+  Coord bestArea = sf.bestArea().area();
+  sf.capTo(8);
+  EXPECT_LE(sf.size(), 8u);
+  EXPECT_EQ(sf.entries().front().w, 1);
+  EXPECT_EQ(sf.entries().back().w, 30);
+  EXPECT_EQ(sf.bestArea().area(), bestArea);
+}
+
+TEST(Addition, RegularHorizontalAndVertical) {
+  ShapeEntry a = entryOf(0, 10, 6);
+  ShapeEntry b = entryOf(1, 4, 8);
+  ShapeEntry h = addShapes(a, b, AdditionDir::Horizontal, AdditionKind::Regular);
+  EXPECT_EQ(h.w, 14);
+  EXPECT_EQ(h.h, 8);
+  ShapeEntry v = addShapes(a, b, AdditionDir::Vertical, AdditionKind::Regular);
+  EXPECT_EQ(v.w, 10);
+  EXPECT_EQ(v.h, 14);
+  EXPECT_TRUE(Placement(h.macro.rects).isLegal());
+  EXPECT_TRUE(Placement(v.macro.rects).isLegal());
+}
+
+TEST(Addition, EnhancedNeverWorseThanRegular) {
+  // Property over random multi-rect operands (experiment E12).
+  Rng rng(33);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto randomEntry = [&](ModuleId base) {
+      Placement p;
+      std::vector<ModuleId> owners;
+      Coord x = 0;
+      std::size_t k = 1 + rng.index(4);
+      for (std::size_t i = 0; i < k; ++i) {
+        Coord w = 2 * rng.uniformInt(1, 10);
+        Coord h = 2 * rng.uniformInt(1, 10);
+        p.push({x, 2 * rng.uniformInt(0, 5), w, h});
+        owners.push_back(base + i);
+        x += w;
+      }
+      ShapeEntry e;
+      e.macro = Macro::fromPlacement(p, owners);
+      e.w = e.macro.w;
+      e.h = e.macro.h;
+      return e;
+    };
+    ShapeEntry a = randomEntry(0);
+    ShapeEntry b = randomEntry(10);
+    for (AdditionDir dir : {AdditionDir::Horizontal, AdditionDir::Vertical}) {
+      ShapeEntry reg = addShapes(a, b, dir, AdditionKind::Regular);
+      ShapeEntry enh = addShapes(a, b, dir, AdditionKind::Enhanced);
+      ASSERT_TRUE(Placement(enh.macro.rects).isLegal()) << "trial " << trial;
+      ASSERT_LE(enh.w, reg.w) << "trial " << trial;
+      ASSERT_LE(enh.h, reg.h) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Addition, EnhancedInterleavesFig7Style) {
+  // Left operand: tall tower + low shelf.  Right operand: block living
+  // above the shelf height -> slides left over the shelf, w_imp > 0.
+  Placement pa;
+  pa.push({0, 0, 4, 20});
+  pa.push({4, 0, 16, 5});
+  ShapeEntry a;
+  a.macro = Macro::fromPlacement(pa, std::vector<ModuleId>{0, 1});
+  a.w = a.macro.w;
+  a.h = a.macro.h;
+
+  // Right operand interlocks: its ground-level block sits at its right
+  // edge, its wide elevated block overhangs to the left above the shelf.
+  Placement pb;
+  pb.push({10, 0, 8, 5});
+  pb.push({0, 6, 18, 8});
+  ShapeEntry b;
+  b.macro = Macro::fromPlacement(pb, std::vector<ModuleId>{2, 3});
+  b.w = b.macro.w;
+  b.h = b.macro.h;
+
+  ShapeEntry reg = addShapes(a, b, AdditionDir::Horizontal, AdditionKind::Regular);
+  ShapeEntry enh = addShapes(a, b, AdditionDir::Horizontal, AdditionKind::Enhanced);
+  EXPECT_EQ(reg.w, 38);
+  EXPECT_EQ(enh.w, 28);  // w_imp = 10: the overhang slides over the shelf
+  EXPECT_TRUE(Placement(enh.macro.rects).isLegal());
+}
+
+TEST(Enumerate, PlacementCountsMatchFormula) {
+  // Section IV quotes 57,657,600 possible placements for 8 modules.
+  EXPECT_EQ(bstarPlacementCount(1), 1u);
+  EXPECT_EQ(bstarPlacementCount(2), 4u);
+  EXPECT_EQ(bstarPlacementCount(3), 30u);
+  EXPECT_EQ(bstarPlacementCount(8), 57657600u);
+}
+
+class TreeEnumerationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeEnumerationTest, VisitsExactlyFactorialTimesCatalan) {
+  std::size_t k = GetParam();
+  std::uint64_t visits = 0;
+  forEachBStarTree(k, [&](const BStarTree& t) {
+    ++visits;
+    ASSERT_TRUE(t.isValid());
+  });
+  EXPECT_EQ(visits, bstarPlacementCount(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeEnumerationTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Enumerate, BasicSetFindsOptimalPacking) {
+  // Two 4x2 modules: optimal is an 8x2 row or 4x4 stack, both area 16.
+  std::vector<EnumModule> mods{{0, 4, 2, false}, {1, 4, 2, false}};
+  ShapeFunction sf = enumerateBasicSet(mods, nullptr, 16);
+  EXPECT_EQ(sf.bestArea().area(), 16);
+}
+
+TEST(Enumerate, SymmetricSetOnlyKeepsMirrorPlacements) {
+  SymmetryGroup g{"dp", {{0, 1}}, {}};
+  std::vector<EnumModule> mods{{0, 6, 4, false}, {1, 6, 4, false}};
+  ShapeFunction sf = enumerateBasicSet(mods, &g, 16);
+  ASSERT_FALSE(sf.empty());
+  for (const ShapeEntry& e : sf.entries()) {
+    Placement p(2);
+    for (std::size_t r = 0; r < e.macro.rects.size(); ++r) {
+      p[e.macro.owners[r]] = e.macro.rects[r];
+    }
+    EXPECT_TRUE(mirrorAxisOf(p, g).has_value());
+  }
+}
+
+TEST(Enumerate, PairPlusSelfSymmetricSet) {
+  SymmetryGroup g{"cm", {{0, 1}}, {2}};
+  std::vector<EnumModule> mods{{0, 6, 4, false}, {1, 6, 4, false}, {2, 8, 4, false}};
+  ShapeFunction sf = enumerateBasicSet(mods, &g, 16);
+  ASSERT_FALSE(sf.empty());
+  // The best shape must keep the self-symmetric cell centered.
+  const ShapeEntry& best = sf.bestArea();
+  Placement p(3);
+  for (std::size_t r = 0; r < best.macro.rects.size(); ++r) {
+    p[best.macro.owners[r]] = best.macro.rects[r];
+  }
+  auto axis = mirrorAxisOf(p, g);
+  ASSERT_TRUE(axis.has_value());
+  EXPECT_TRUE(centeredOnX2(p[2], *axis));
+}
+
+TEST(Enumerate, OrientationVariantsExplored) {
+  // A single 2x8 rotatable module must offer both orientations.
+  std::vector<EnumModule> mods{{0, 2, 8, true}};
+  ShapeFunction sf = enumerateBasicSet(mods, nullptr, 16);
+  EXPECT_EQ(sf.size(), 2u);
+}
+
+// --- Deterministic placer (both kinds) ---
+
+class DeterministicKindTest : public ::testing::TestWithParam<AdditionKind> {};
+
+TEST_P(DeterministicKindTest, MillerOpAmpLegalAndCompact) {
+  Circuit c = makeMillerOpAmp();
+  DeterministicOptions opt;
+  opt.kind = GetParam();
+  DeterministicResult r = placeDeterministic(c, opt);
+  EXPECT_TRUE(r.placement.isLegal());
+  EXPECT_EQ(r.placement.size(), c.moduleCount());
+  for (std::size_t m = 0; m < c.moduleCount(); ++m) {
+    EXPECT_GT(r.placement[m].w, 0) << "module " << m << " missing";
+  }
+  EXPECT_GE(r.areaUsage, 1.0);
+  EXPECT_LT(r.areaUsage, 2.0);
+  EXPECT_GT(r.enumeratedPlacements, 0u);
+}
+
+TEST_P(DeterministicKindTest, SymmetricBasicSetsStayMirrored) {
+  Circuit c = makeMillerOpAmp();
+  DeterministicOptions opt;
+  opt.kind = GetParam();
+  DeterministicResult r = placeDeterministic(c, opt);
+  for (const SymmetryGroup& g : c.symmetryGroups()) {
+    EXPECT_TRUE(mirrorAxisOf(r.placement, g).has_value())
+        << "group " << g.name << " lost its symmetry";
+  }
+}
+
+TEST_P(DeterministicKindTest, TableICircuitsPlaceLegally) {
+  for (TableICircuit which :
+       {TableICircuit::MillerV2, TableICircuit::ComparatorV2,
+        TableICircuit::FoldedCascode}) {
+    Circuit c = makeTableICircuit(which);
+    DeterministicOptions opt;
+    opt.kind = GetParam();
+    opt.shapeCap = 10;
+    DeterministicResult r = placeDeterministic(c, opt);
+    EXPECT_TRUE(r.placement.isLegal()) << tableIName(which);
+    EXPECT_GE(r.areaUsage, 1.0) << tableIName(which);
+    for (const SymmetryGroup& g : c.symmetryGroups()) {
+      EXPECT_TRUE(mirrorAxisOf(r.placement, g).has_value())
+          << tableIName(which) << " group " << g.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DeterministicKindTest,
+                         ::testing::Values(AdditionKind::Regular,
+                                           AdditionKind::Enhanced),
+                         [](const auto& info) {
+                           return info.param == AdditionKind::Regular ? "RSF" : "ESF";
+                         });
+
+TEST(Deterministic, EsfNeverWorseThanRsfOnTableI) {
+  // The Table-I headline: enhanced shape functions use area at least as
+  // well as regular ones (strictly better on most circuits).
+  for (TableICircuit which : {TableICircuit::MillerV2, TableICircuit::FoldedCascode}) {
+    Circuit c = makeTableICircuit(which);
+    DeterministicOptions rsf{AdditionKind::Regular, 10, 4};
+    DeterministicOptions esf{AdditionKind::Enhanced, 10, 4};
+    double rsfUsage = placeDeterministic(c, rsf).areaUsage;
+    double esfUsage = placeDeterministic(c, esf).areaUsage;
+    EXPECT_LE(esfUsage, rsfUsage + 1e-9) << tableIName(which);
+  }
+}
+
+TEST(Deterministic, Fig2HierarchicalSymmetryComposes) {
+  Circuit c = makeFig2Design();
+  DeterministicResult r = placeDeterministic(c, {});
+  EXPECT_TRUE(r.placement.isLegal());
+  EXPECT_TRUE(mirrorAxisOf(r.placement, c.symmetryGroup(0)).has_value());
+}
+
+}  // namespace
+}  // namespace als

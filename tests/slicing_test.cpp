@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+#include "slicing/polish.h"
+#include "slicing/slicing_placer.h"
+
+namespace als {
+namespace {
+
+TEST(PolishExpr, InitialIsValid) {
+  for (std::size_t n : {1u, 2u, 3u, 7u, 20u}) {
+    PolishExpr e = PolishExpr::initial(n);
+    EXPECT_TRUE(e.isValid()) << "n=" << n;
+    EXPECT_EQ(e.elements().size(), 2 * n - 1);
+  }
+}
+
+TEST(PolishExpr, ValidityRejectsBadExpressions) {
+  PolishExpr good = PolishExpr::initial(3);
+  EXPECT_TRUE(good.isValid());
+  // Craft invalid sequences through the string round-trip is not exposed;
+  // instead check the validator on hand-built expressions via initial +
+  // tampering is not possible from outside — rely on the property that
+  // perturb never leaves the valid set (below).
+  PolishExpr empty;
+  EXPECT_TRUE(empty.isValid());
+}
+
+TEST(PolishExpr, PerturbationsStayValid) {
+  Rng rng(5);
+  PolishExpr e = PolishExpr::initial(12);
+  for (int step = 0; step < 5000; ++step) {
+    e.perturb(rng);
+    ASSERT_TRUE(e.isValid()) << "step " << step << ": " << e.toString();
+  }
+}
+
+TEST(PolishExpr, ToStringRendering) {
+  PolishExpr e = PolishExpr::initial(3);
+  EXPECT_EQ(e.toString(), "0 1 V 2 H");
+}
+
+TEST(EvaluatePolish, TwoModuleCompositions) {
+  std::vector<Coord> w{10, 6}, h{4, 8};
+  std::vector<bool> rot{false, false};
+  {
+    PolishExpr e = PolishExpr::initial(2);  // "0 1 V": side by side
+    SlicedResult r = evaluatePolish(e, w, h, rot);
+    EXPECT_EQ(r.width, 16);
+    EXPECT_EQ(r.height, 8);
+    EXPECT_TRUE(r.placement.isLegal());
+  }
+}
+
+TEST(EvaluatePolish, RotationImprovesArea) {
+  // Two 10x2 strips: unrotated V-composition is 20x2 = 40; with rotation
+  // the pareto also offers 4x10 = 40... stacking H gives 10x4.  All equal
+  // area here, so use distinct dims: 10x2 and 2x10 side by side.
+  std::vector<Coord> w{10, 2}, h{2, 10};
+  std::vector<bool> noRot{false, false};
+  std::vector<bool> rot{true, true};
+  PolishExpr e = PolishExpr::initial(2);
+  SlicedResult fixed = evaluatePolish(e, w, h, noRot);
+  SlicedResult free = evaluatePolish(e, w, h, rot);
+  EXPECT_LE(free.area(), fixed.area());
+  EXPECT_EQ(free.area(), 2 * 10 * 2);  // both horizontal, stacked row
+}
+
+TEST(EvaluatePolish, PlacementLegalAndBoxed) {
+  Circuit c = makeTableICircuit(TableICircuit::FoldedCascode);
+  std::vector<Coord> w, h;
+  std::vector<bool> rot;
+  for (const Module& m : c.modules()) {
+    w.push_back(m.w);
+    h.push_back(m.h);
+    rot.push_back(m.rotatable);
+  }
+  Rng rng(7);
+  PolishExpr e = PolishExpr::initial(c.moduleCount());
+  for (int step = 0; step < 200; ++step) {
+    e.perturb(rng);
+    SlicedResult r = evaluatePolish(e, w, h, rot);
+    ASSERT_TRUE(r.placement.isLegal()) << "step " << step;
+    Rect bb = r.placement.boundingBox();
+    ASSERT_LE(bb.w, r.width) << "step " << step;
+    ASSERT_LE(bb.h, r.height) << "step " << step;
+    ASSERT_GE(r.area(), c.totalModuleArea());
+  }
+}
+
+TEST(EvaluatePolish, ShapeCurveOptimalForThreeModules) {
+  // 3 equal squares: best slicing area is 1x3 row = 3s^2... a 2x2 arrangement
+  // with one empty slot gives 4s^2; the row (or column) is optimal -> the
+  // evaluator must find exactly 3 s^2 * s.
+  std::vector<Coord> w{4, 4, 4}, h{4, 4, 4};
+  std::vector<bool> rot{false, false, false};
+  PolishExpr e = PolishExpr::initial(3);
+  // Try all expressions reachable by a few perturbations and track the best.
+  Rng rng(9);
+  Coord best = evaluatePolish(e, w, h, rot).area();
+  for (int step = 0; step < 500; ++step) {
+    e.perturb(rng);
+    best = std::min(best, evaluatePolish(e, w, h, rot).area());
+  }
+  EXPECT_EQ(best, 48);  // 12 x 4 row
+}
+
+TEST(SlicingPlacer, AnnealsLegally) {
+  Circuit c = makeTableICircuit(TableICircuit::MillerV2);
+  SlicingPlacerOptions opt;
+  opt.timeLimitSec = 1.0;
+  SlicingPlacerResult r = placeSlicingSA(c, opt);
+  EXPECT_TRUE(r.placement.isLegal());
+  EXPECT_GE(r.area, c.totalModuleArea());
+  EXPECT_LT(r.area, 3 * c.totalModuleArea());
+}
+
+TEST(SlicingPlacer, DeterministicForSeed) {
+  Circuit c = makeFig1Example();
+  SlicingPlacerOptions opt;
+  opt.timeLimitSec = 0.3;
+  opt.seed = 21;
+  SlicingPlacerResult a = placeSlicingSA(c, opt);
+  SlicingPlacerResult b = placeSlicingSA(c, opt);
+  EXPECT_EQ(a.area, b.area);
+}
+
+}  // namespace
+}  // namespace als

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+#include "seqpair/sa_placer.h"
+#include "thermal/thermal.h"
+
+namespace als {
+namespace {
+
+TEST(ThermalField, DecaysMonotonicallyWithDistance) {
+  ThermalField field({{0.0, 0.0, 0.1}});
+  double prev = field.temperatureAt(1.0, 0.0);
+  EXPECT_GT(prev, 0.0);
+  for (double r = 5.0; r <= 500.0; r *= 2.0) {
+    double t = field.temperatureAt(r, 0.0);
+    EXPECT_LT(t, prev) << "r=" << r;
+    prev = t;
+  }
+}
+
+TEST(ThermalField, SuperpositionIsLinearInPower) {
+  ThermalField one({{0.0, 0.0, 0.1}});
+  ThermalField two({{0.0, 0.0, 0.2}});
+  EXPECT_NEAR(two.temperatureAt(20.0, 5.0), 2.0 * one.temperatureAt(20.0, 5.0),
+              1e-12);
+  ThermalField pairSrc({{0.0, 0.0, 0.1}, {10.0, 0.0, 0.1}});
+  EXPECT_NEAR(pairSrc.temperatureAt(30.0, 0.0),
+              one.temperatureAt(30.0, 0.0) + one.temperatureAt(20.0, 0.0), 1e-12);
+}
+
+TEST(ThermalField, ClampsBeyondDieRadius) {
+  ThermalModel model;
+  model.dieRadiusUm = 100.0;
+  ThermalField field({{0.0, 0.0, 1.0}}, model);
+  EXPECT_DOUBLE_EQ(field.temperatureAt(500.0, 0.0), 0.0);
+}
+
+TEST(ThermalField, EquidistantPointsSeeEqualTemperature) {
+  // The geometric core of the Section II argument.
+  ThermalField field({{50.0, 80.0, 0.25}});
+  double left = field.temperatureAt(50.0 - 17.0, 42.0);
+  double right = field.temperatureAt(50.0 + 17.0, 42.0);
+  EXPECT_DOUBLE_EQ(left, right);
+}
+
+TEST(ThermalMismatch, SymmetricPlacementWithAxisRadiatorIsExactlyBalanced) {
+  // Place the Fig. 1 circuit symmetrically; let the self-symmetric cell A
+  // (on the axis) radiate.  Every mirror pair then sees identical
+  // temperature: mismatch is exactly zero.
+  Circuit c = makeFig1Example();
+  SeqPairPlacerOptions opt;
+  opt.timeLimitSec = 0.5;
+  opt.seed = 3;
+  SeqPairPlacerResult r = placeSeqPairSA(c, opt);
+  ASSERT_TRUE(r.placement.isLegal());
+
+  std::vector<double> power(c.moduleCount(), 0.0);
+  power[2] = 0.2;  // A, self-symmetric -> centered on the axis
+  ThermalField field(sourcesFromPlacement(r.placement, power));
+  for (const SymmetryGroup& g : c.symmetryGroups()) {
+    for (double m : pairTemperatureMismatch(r.placement, g, field)) {
+      EXPECT_NEAR(m, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(ThermalMismatch, OffAxisRadiatorUnbalancesPairs) {
+  Circuit c = makeFig1Example();
+  SeqPairPlacerOptions opt;
+  opt.timeLimitSec = 0.5;
+  opt.seed = 3;
+  SeqPairPlacerResult r = placeSeqPairSA(c, opt);
+
+  std::vector<double> power(c.moduleCount(), 0.0);
+  power[0] = 0.2;  // E is outside the symmetry group: generally off-axis
+  ThermalField field(sourcesFromPlacement(r.placement, power));
+  // E's center must not be exactly on the group axis for this check.
+  Point e2 = r.placement[0].center2x();
+  if (e2.x != r.axis2x[0]) {
+    EXPECT_GT(worstPairMismatch(r.placement, c.symmetryGroups(), field), 0.0);
+  }
+}
+
+TEST(ThermalMismatch, RandomPlacementWorseThanSymmetric) {
+  Circuit c = makeFig1Example();
+  std::vector<double> power(c.moduleCount(), 0.0);
+  power[2] = 0.2;
+
+  SeqPairPlacerOptions opt;
+  opt.timeLimitSec = 0.5;
+  opt.seed = 3;
+  SeqPairPlacerResult sym = placeSeqPairSA(c, opt);
+  ThermalField symField(sourcesFromPlacement(sym.placement, power));
+  double symWorst = worstPairMismatch(sym.placement, c.symmetryGroups(), symField);
+
+  // Random legal (non-symmetric) placements via plain sequence-pair packing.
+  Rng rng(17);
+  double randomWorstSum = 0.0;
+  int trials = 20;
+  std::vector<Coord> w, h;
+  for (const Module& m : c.modules()) {
+    w.push_back(m.w);
+    h.push_back(m.h);
+  }
+  for (int t = 0; t < trials; ++t) {
+    SequencePair sp = SequencePair::random(c.moduleCount(), rng);
+    Placement p = packSequencePair(sp, w, h);
+    ThermalField field(sourcesFromPlacement(p, power));
+    randomWorstSum += worstPairMismatch(p, c.symmetryGroups(), field);
+  }
+  EXPECT_LT(symWorst, randomWorstSum / trials);
+  EXPECT_NEAR(symWorst, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace als

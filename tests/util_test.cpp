@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace als {
+namespace {
+
+TEST(Table, RendersHeaderSeparatorAndRows) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("|-"), std::string::npos);
+  // Four lines: header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.addRow({"x"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("x"), std::string::npos);
+}
+
+TEST(Table, ColumnsSizeToWidestCell) {
+  Table t({"h"});
+  t.addRow({"wide-cell-content"});
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  std::size_t header = s.find('\n');
+  std::size_t row = s.rfind('\n', s.size() - 2);
+  // Header line and row line have equal width (row spans row+1 .. size-2).
+  EXPECT_EQ(header, s.size() - row - 2);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmtPercent(0.9986), "99.86%");
+  EXPECT_EQ(Table::fmtPercent(0.5, 0), "50%");
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.uniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo = sawLo || v == -3;
+    sawHi = sawHi || v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(13), 13u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.index(1), 0u);
+  }
+}
+
+TEST(Rng, UniformRealInHalfOpenRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) sum += rng.uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / 10000.0, 3.0, 0.05);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Stopwatch, MonotoneAndResettable) {
+  Stopwatch sw;
+  double t0 = sw.seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double t1 = sw.seconds();
+  EXPECT_GE(t1, t0);
+  EXPECT_GT(t1, 0.0);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), t1);
+  EXPECT_NEAR(sw.millis(), sw.seconds() * 1e3, 1.0);
+}
+
+}  // namespace
+}  // namespace als

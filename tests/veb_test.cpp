@@ -1,0 +1,131 @@
+#include "util/veb.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace als {
+namespace {
+
+TEST(VebTree, EmptyTree) {
+  VebTree t(16);
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.min().has_value());
+  EXPECT_FALSE(t.max().has_value());
+  EXPECT_FALSE(t.successor(0).has_value());
+  EXPECT_FALSE(t.predecessor(15).has_value());
+  EXPECT_FALSE(t.contains(3));
+}
+
+TEST(VebTree, SingleElement) {
+  VebTree t(16);
+  t.insert(5);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_EQ(t.min().value(), 5u);
+  EXPECT_EQ(t.max().value(), 5u);
+  EXPECT_EQ(t.successor(4).value(), 5u);
+  EXPECT_FALSE(t.successor(5).has_value());
+  EXPECT_EQ(t.predecessor(6).value(), 5u);
+  EXPECT_FALSE(t.predecessor(5).has_value());
+}
+
+TEST(VebTree, InsertEraseReinsert) {
+  VebTree t(64);
+  t.insert(10);
+  t.insert(20);
+  t.insert(30);
+  t.erase(20);
+  EXPECT_FALSE(t.contains(20));
+  EXPECT_EQ(t.successor(10).value(), 30u);
+  t.insert(20);
+  EXPECT_EQ(t.successor(10).value(), 20u);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(VebTree, DuplicateInsertIsIdempotent) {
+  VebTree t(8);
+  t.insert(3);
+  t.insert(3);
+  EXPECT_EQ(t.size(), 1u);
+  t.erase(3);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(VebTree, UniverseRoundsUpToPow2) {
+  VebTree t(100);
+  EXPECT_EQ(t.universe(), 128u);
+  t.insert(99);
+  EXPECT_TRUE(t.contains(99));
+}
+
+TEST(VebTree, TinyUniverse) {
+  VebTree t(2);
+  t.insert(0);
+  t.insert(1);
+  EXPECT_EQ(t.min().value(), 0u);
+  EXPECT_EQ(t.max().value(), 1u);
+  EXPECT_EQ(t.successor(0).value(), 1u);
+  t.erase(0);
+  EXPECT_EQ(t.min().value(), 1u);
+  t.erase(1);
+  EXPECT_TRUE(t.empty());
+}
+
+/// Randomized differential test against std::set across several universe
+/// sizes — the property suite for the vEB substrate.
+class VebDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VebDifferentialTest, MatchesStdSet) {
+  const std::uint64_t universe = GetParam();
+  VebTree t(universe);
+  std::set<std::uint64_t> ref;
+  Rng rng(universe * 7919 + 13);
+
+  for (int step = 0; step < 4000; ++step) {
+    std::uint64_t x = static_cast<std::uint64_t>(rng.index(universe));
+    double r = rng.uniform();
+    if (r < 0.45) {
+      t.insert(x);
+      ref.insert(x);
+    } else if (r < 0.75) {
+      t.erase(x);
+      ref.erase(x);
+    } else if (r < 0.85) {
+      ASSERT_EQ(t.contains(x), ref.count(x) > 0) << "x=" << x;
+    } else if (r < 0.95) {
+      auto it = ref.upper_bound(x);
+      auto got = t.successor(x);
+      if (it == ref.end()) {
+        ASSERT_FALSE(got.has_value()) << "successor(" << x << ")";
+      } else {
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(*got, *it) << "successor(" << x << ")";
+      }
+    } else {
+      auto it = ref.lower_bound(x);
+      auto got = t.predecessor(x);
+      if (it == ref.begin()) {
+        ASSERT_FALSE(got.has_value()) << "predecessor(" << x << ")";
+      } else {
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(*got, *std::prev(it)) << "predecessor(" << x << ")";
+      }
+    }
+    ASSERT_EQ(t.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(t.min().value(), *ref.begin());
+      ASSERT_EQ(t.max().value(), *ref.rbegin());
+    } else {
+      ASSERT_TRUE(t.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, VebDifferentialTest,
+                         ::testing::Values(2, 4, 16, 64, 256, 1024, 65536));
+
+}  // namespace
+}  // namespace als
