@@ -53,6 +53,7 @@ int main() {
       for (bool repair : {true, false}) {
         SeqPairPlacerOptions opt;
         opt.timeLimitSec = 2.0;
+        opt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
         opt.seed = 5;
         opt.enableRepairMoves = repair;
         SeqPairPlacerResult r = placeSeqPairSA(c, opt);

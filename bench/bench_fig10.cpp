@@ -33,14 +33,12 @@ int main() {
 
   SizingOptions blind;
   blind.layoutAware = false;
-  blind.timeLimitSec = 8.0;
   blind.iterations = 60000;
   blind.seed = 17;
   SizingResult a = runSizing(tech, specs, blind);
 
   SizingOptions aware;
   aware.layoutAware = true;
-  aware.timeLimitSec = 8.0;
   aware.iterations = 60000;
   aware.seed = 17;
   SizingResult b = runSizing(tech, specs, aware);

@@ -26,6 +26,7 @@ int main() {
     Circuit c = makeFig2Design();
     HBPlacerOptions opt;
     opt.timeLimitSec = 3.0;
+    opt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
     opt.seed = 31;
     HBPlacerResult r = placeHBStarSA(c, opt);
     std::printf("modules=%zu  area=%.0f um^2  (module area %.0f um^2)  HPWL=%.1f um\n",
@@ -74,6 +75,7 @@ int main() {
 
     HBPlacerOptions hOpt;
     hOpt.timeLimitSec = budget;
+    hOpt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
     hOpt.seed = 9;
     HBPlacerResult hb = placeHBStarSA(c, hOpt);
     table.addRow({b.name, "HB*-tree SA",
@@ -83,6 +85,7 @@ int main() {
 
     FlatBStarOptions fOpt;
     fOpt.timeLimitSec = budget;
+    fOpt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
     fOpt.seed = 9;
     FlatBStarResult flat = placeFlatBStarSA(c, fOpt);
     table.addRow({b.name, "flat B*-tree SA",

@@ -50,6 +50,7 @@ int main() {
 
     SeqPairPlacerOptions spOpt;
     spOpt.timeLimitSec = budget;
+    spOpt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
     spOpt.seed = 5;
     SeqPairPlacerResult sp = placeSeqPairSA(c, spOpt);
     bool spFeasible =
@@ -63,6 +64,7 @@ int main() {
 
     AbsolutePlacerOptions absOpt;
     absOpt.timeLimitSec = budget;
+    absOpt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
     absOpt.seed = 5;
     AbsolutePlacerResult abs = placeAbsoluteSA(c, absOpt);
     table.addRow({b.name, "absolute-coord SA",

@@ -77,6 +77,7 @@ int main() {
 
     SlicingPlacerOptions sOpt;
     sOpt.timeLimitSec = budget;
+    sOpt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
     sOpt.seed = 3;
     sOpt.wirelengthWeight = 0.0;  // pure density
     double slicing =
@@ -84,6 +85,7 @@ int main() {
 
     SeqPairPlacerOptions spOpt;
     spOpt.timeLimitSec = budget;
+    spOpt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
     spOpt.seed = 3;
     spOpt.wirelengthWeight = 0.0;
     double seqpair =
@@ -91,6 +93,7 @@ int main() {
 
     FlatBStarOptions bOpt;
     bOpt.timeLimitSec = budget;
+    bOpt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
     bOpt.seed = 3;
     bOpt.wirelengthWeight = 0.0;
     bOpt.constraintWeight = 0.0;

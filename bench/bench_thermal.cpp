@@ -45,6 +45,7 @@ int main() {
 
     SeqPairPlacerOptions opt;
     opt.timeLimitSec = 1.5;
+    opt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
     opt.seed = 7;
     SeqPairPlacerResult sym = placeSeqPairSA(c, opt);
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify plus an ASan/UBSan job.
+#
+# The sanitizer suite is run TWICE on purpose: together with the sweep-
+# budgeted (wall-clock-independent) annealing contract, two identical passes
+# catch the class of bug where SA results silently depend on machine load or
+# sanitizer slowdown.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== tier-1: configure + build + ctest (Release) ==="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "=== sanitizers: ASan + UBSan build, suite run twice ==="
+cmake -B build-asan -S . -DALS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo "=== CI green ==="

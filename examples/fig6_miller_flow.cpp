@@ -30,7 +30,6 @@ int main() {
   specs.minSrVps = 10e6;
   SizingOptions opt;
   opt.layoutAware = true;
-  opt.timeLimitSec = 3.0;
   opt.seed = 6;
   MillerSizingResult sized = runMillerSizing(tech, specs, opt);
   std::printf("sizing: gain %.1f dB, GBW %.1f MHz, PM %.1f deg, SR %.1f V/us, "

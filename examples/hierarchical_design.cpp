@@ -29,7 +29,7 @@ int main() {
   }
 
   HBPlacerOptions options;
-  options.timeLimitSec = 3.0;
+  options.maxSweeps = 400;
   options.seed = 2;
   HBPlacerResult result = placeHBStarSA(circuit, options);
 

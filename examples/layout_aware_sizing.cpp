@@ -50,14 +50,12 @@ int main() {
 
   SizingOptions blind;
   blind.layoutAware = false;
-  blind.timeLimitSec = 5.0;
   blind.seed = 4;
   report("electrical-only sizing (parasitic-blind)", runSizing(tech, specs, blind),
          specs);
 
   SizingOptions aware;
   aware.layoutAware = true;
-  aware.timeLimitSec = 5.0;
   aware.seed = 4;
   report("layout-aware sizing (template + extraction in the loop)",
          runSizing(tech, specs, aware), specs);

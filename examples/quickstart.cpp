@@ -23,7 +23,7 @@ int main() {
 
   // 2. Anneal within the symmetric-feasible sequence-pair subspace.
   SeqPairPlacerOptions options;
-  options.timeLimitSec = 2.0;
+  options.maxSweeps = 300;
   options.seed = 1;
   SeqPairPlacerResult result = placeSeqPairSA(circuit, options);
 

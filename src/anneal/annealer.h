@@ -10,8 +10,16 @@
 // Temperature schedule: geometric cooling with an initial temperature
 // calibrated from the mean uphill delta of a random-walk sample, the classic
 // recipe that makes one knob work across differently scaled cost functions.
+//
+// Stopping rules: the primary budget is `maxSweeps`, a count of temperature
+// steps.  For a fixed seed the trajectory is then a pure function of the
+// options — identical on a loaded CI box, under sanitizers, or on faster
+// hardware.  `timeLimitSec` remains available as a *secondary* wall-clock
+// cap (0 disables it); results obtained under an active time cap are not
+// reproducible and should be reserved for interactive/budgeted use.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -28,7 +36,8 @@ struct AnnealOptions {
   std::size_t sizeHint = 16;      ///< problem size used when movesPerTemp == 0
   double initialAcceptance = 0.9; ///< target uphill acceptance at t0
   double freezeRatio = 1e-4;      ///< stop when t < t0 * freezeRatio
-  double timeLimitSec = 10.0;     ///< wall-clock budget
+  std::size_t maxSweeps = 256;    ///< primary budget: temperature steps (0 = uncapped)
+  double timeLimitSec = 0.0;      ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 42;
 };
 
@@ -38,6 +47,7 @@ struct AnnealResult {
   double bestCost = 0.0;
   std::size_t movesTried = 0;
   std::size_t movesAccepted = 0;
+  std::size_t sweeps = 0;  ///< temperature steps actually executed
   double seconds = 0.0;
 };
 
@@ -53,7 +63,7 @@ AnnealResult<State> anneal(State init, CostF&& cost, MoveF&& move,
 
   State cur = std::move(init);
   double curCost = cost(cur);
-  AnnealResult<State> result{cur, curCost, 0, 0, 0.0};
+  AnnealResult<State> result{cur, curCost, 0, 0, 0, 0.0};
 
   // Calibrate t0 so that `initialAcceptance` of sampled uphill moves pass.
   double upSum = 0.0;
@@ -80,7 +90,10 @@ AnnealResult<State> anneal(State init, CostF&& cost, MoveF&& move,
   std::size_t movesPerTemp =
       opt.movesPerTemp ? opt.movesPerTemp : 10 * opt.sizeHint;
 
-  while (t > tFreeze && clock.seconds() < opt.timeLimitSec) {
+  const bool timed = opt.timeLimitSec > 0.0;
+  while (t > tFreeze &&
+         (opt.maxSweeps == 0 || result.sweeps < opt.maxSweeps) &&
+         (!timed || clock.seconds() < opt.timeLimitSec)) {
     for (std::size_t i = 0; i < movesPerTemp; ++i) {
       State next = move(cur, rng);
       double nextCost = cost(next);
@@ -97,39 +110,60 @@ AnnealResult<State> anneal(State init, CostF&& cost, MoveF&& move,
       }
     }
     t *= opt.coolingFactor;
+    ++result.sweeps;
   }
   result.seconds = clock.seconds();
   return result;
 }
 
-/// Repeats annealing runs (freshly seeded each round) until the wall-clock
-/// budget is exhausted and returns the best result.  A single geometric
-/// schedule often freezes long before a realistic budget ends; restarts
-/// turn the leftover time into independent attempts, which is the standard
+/// Repeats annealing runs (freshly seeded each round) until the sweep budget
+/// is exhausted and returns the best result.  A single geometric schedule
+/// often freezes long before a realistic budget ends; restarts turn the
+/// leftover budget into independent attempts, which is the standard
 /// industrial recipe for the plateau-heavy landscapes of floorplan codes.
+///
+/// Budget semantics: `options.maxSweeps` is the *total* sweep budget across
+/// all restarts (primary, deterministic); `options.timeLimitSec`, when
+/// positive, caps the total wall clock (secondary).  The caller's options
+/// struct is never mutated, and the leftover budget handed to each restart
+/// is clamped to zero or above.
 template <class State, class CostF, class MoveF>
 AnnealResult<State> annealWithRestarts(const State& init, CostF&& cost,
-                                       MoveF&& move, AnnealOptions opt) {
+                                       MoveF&& move,
+                                       const AnnealOptions& options) {
   Stopwatch clock;
-  AnnealResult<State> best{init, cost(init), 0, 0, 0.0};
-  std::uint64_t seed = opt.seed;
-  double budget = opt.timeLimitSec;
-  do {
+  AnnealResult<State> best{init, cost(init), 0, 0, 0, 0.0};
+  const bool sweepCapped = options.maxSweeps > 0;
+  const bool timed = options.timeLimitSec > 0.0;
+  AnnealOptions opt = options;  // local working copy; caller's struct untouched
+  std::uint64_t seed = options.seed;
+  for (;;) {
     opt.seed = seed;
-    opt.timeLimitSec = budget - clock.seconds();
+    if (sweepCapped) opt.maxSweeps = options.maxSweeps - best.sweeps;
+    if (timed) {
+      opt.timeLimitSec =
+          std::max(1e-9, options.timeLimitSec - clock.seconds());
+    }
     AnnealResult<State> run = anneal(init, cost, move, opt);
+    best.movesTried += run.movesTried;
+    best.movesAccepted += run.movesAccepted;
+    best.sweeps += run.sweeps;
     if (run.bestCost < best.bestCost) {
-      std::size_t tried = best.movesTried + run.movesTried;
-      std::size_t accepted = best.movesAccepted + run.movesAccepted;
-      best = std::move(run);
-      best.movesTried = tried;
-      best.movesAccepted = accepted;
-    } else {
-      best.movesTried += run.movesTried;
-      best.movesAccepted += run.movesAccepted;
+      best.best = std::move(run.best);
+      best.bestCost = run.bestCost;
     }
     seed = seed * 6364136223846793005ull + 1442695040888963407ull;
-  } while (clock.seconds() < budget);
+    // A restart is funded only while every *active* budget has leftover;
+    // with no budget at all a single (freeze-terminated) run is the answer.
+    bool sweepsLeft = sweepCapped && best.sweeps < options.maxSweeps;
+    bool timeLeft = timed && clock.seconds() < options.timeLimitSec;
+    if (sweepCapped && !sweepsLeft) break;
+    if (timed && !timeLeft) break;
+    if (!sweepCapped && !timed) break;
+    // Degenerate guard: a run that executed zero sweeps (budget rounded to
+    // nothing) cannot make progress; stop instead of spinning.
+    if (run.sweeps == 0) break;
+  }
   best.seconds = clock.seconds();
   return best;
 }

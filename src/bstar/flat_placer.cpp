@@ -101,6 +101,7 @@ FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
   };
 
   AnnealOptions annealOpt;
+  annealOpt.maxSweeps = options.maxSweeps;
   annealOpt.timeLimitSec = options.timeLimitSec;
   annealOpt.seed = options.seed;
   annealOpt.coolingFactor = options.coolingFactor;
@@ -117,6 +118,7 @@ FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
   result.proximityViolations = proximityViolations(circuit, result.placement);
   result.cost = annealed.bestCost;
   result.movesTried = annealed.movesTried;
+  result.sweeps = annealed.sweeps;
   result.seconds = annealed.seconds;
   return result;
 }

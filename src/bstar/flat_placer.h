@@ -18,7 +18,8 @@ namespace als {
 struct FlatBStarOptions {
   double wirelengthWeight = 0.25;
   double constraintWeight = 2.0;  ///< penalty scale for constraint deviation
-  double timeLimitSec = 5.0;
+  std::size_t maxSweeps = 256;    ///< primary budget: total SA sweeps (deterministic)
+  double timeLimitSec = 0.0;      ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 11;
   double coolingFactor = 0.96;
   std::size_t movesPerTemp = 0;
@@ -32,6 +33,7 @@ struct FlatBStarResult {
   int proximityViolations = 0;  ///< disconnected proximity groups
   double cost = 0.0;
   std::size_t movesTried = 0;
+  std::size_t sweeps = 0;    ///< SA temperature steps executed
   double seconds = 0.0;
 };
 

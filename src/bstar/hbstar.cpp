@@ -263,6 +263,7 @@ HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& opti
   };
 
   AnnealOptions annealOpt;
+  annealOpt.maxSweeps = options.maxSweeps;
   annealOpt.timeLimitSec = options.timeLimitSec;
   annealOpt.seed = options.seed;
   annealOpt.coolingFactor = options.coolingFactor;
@@ -278,6 +279,7 @@ HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& opti
   result.hpwl = totalHpwl(result.placement, nets);
   result.cost = annealed.bestCost;
   result.movesTried = annealed.movesTried;
+  result.sweeps = annealed.sweeps;
   result.seconds = annealed.seconds;
   return result;
 }

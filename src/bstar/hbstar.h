@@ -70,7 +70,8 @@ class HBState {
 
 struct HBPlacerOptions {
   double wirelengthWeight = 0.25;
-  double timeLimitSec = 5.0;
+  std::size_t maxSweeps = 256;   ///< primary budget: total SA sweeps (deterministic)
+  double timeLimitSec = 0.0;     ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 11;
   double coolingFactor = 0.96;
   std::size_t movesPerTemp = 0;  ///< 0 = auto
@@ -83,6 +84,7 @@ struct HBPlacerResult {
   Coord hpwl = 0;
   double cost = 0.0;
   std::size_t movesTried = 0;
+  std::size_t sweeps = 0;     ///< SA temperature steps executed
   double seconds = 0.0;
 };
 

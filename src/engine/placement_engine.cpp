@@ -1,0 +1,88 @@
+#include "engine/placement_engine.h"
+
+#include <array>
+
+#include "bstar/flat_placer.h"
+#include "bstar/hbstar.h"
+#include "seqpair/sa_placer.h"
+#include "slicing/slicing_placer.h"
+
+namespace als {
+
+namespace {
+
+// All backend option structs share the SA-knob field names and all backend
+// result structs share the output field names, so one wrapper maps both;
+// adding a shared knob to EngineOptions is a single edit here.
+template <class BackendOptions, class BackendResult>
+class BackendEngine final : public PlacementEngine {
+ public:
+  using PlaceFn = BackendResult (*)(const Circuit&, const BackendOptions&);
+
+  BackendEngine(EngineBackend backend, PlaceFn place)
+      : backend_(backend), place_(place) {}
+
+  EngineBackend backend() const override { return backend_; }
+  std::string_view name() const override { return backendName(backend_); }
+
+  EngineResult place(const Circuit& circuit,
+                     const EngineOptions& options) const override {
+    BackendOptions opt;
+    opt.wirelengthWeight = options.wirelengthWeight;
+    opt.maxSweeps = options.maxSweeps;
+    opt.timeLimitSec = options.timeLimitSec;
+    opt.seed = options.seed;
+    opt.coolingFactor = options.coolingFactor;
+    opt.movesPerTemp = options.movesPerTemp;
+    BackendResult r = place_(circuit, opt);
+    return {std::move(r.placement), r.area,   r.hpwl,   r.cost,
+            r.movesTried,           r.sweeps, r.seconds};
+  }
+
+ private:
+  EngineBackend backend_;
+  PlaceFn place_;
+};
+
+constexpr std::array<EngineBackend, 4> kBackends = {
+    EngineBackend::FlatBStar,
+    EngineBackend::SeqPair,
+    EngineBackend::Slicing,
+    EngineBackend::HBStar,
+};
+
+}  // namespace
+
+std::span<const EngineBackend> allBackends() { return kBackends; }
+
+std::string_view backendName(EngineBackend backend) {
+  switch (backend) {
+    case EngineBackend::FlatBStar: return "flat-bstar";
+    case EngineBackend::SeqPair: return "seqpair";
+    case EngineBackend::Slicing: return "slicing";
+    case EngineBackend::HBStar: return "hbstar";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<PlacementEngine> makeEngine(EngineBackend backend) {
+  switch (backend) {
+    case EngineBackend::FlatBStar:
+      return std::make_unique<BackendEngine<FlatBStarOptions, FlatBStarResult>>(
+          backend, &placeFlatBStarSA);
+    case EngineBackend::SeqPair:
+      return std::make_unique<
+          BackendEngine<SeqPairPlacerOptions, SeqPairPlacerResult>>(
+          backend, &placeSeqPairSA);
+    case EngineBackend::Slicing:
+      return std::make_unique<
+          BackendEngine<SlicingPlacerOptions, SlicingPlacerResult>>(
+          backend, &placeSlicingSA);
+    case EngineBackend::HBStar:
+      return std::make_unique<BackendEngine<HBPlacerOptions, HBPlacerResult>>(
+          backend, &placeHBStarSA);
+  }
+  return nullptr;
+}
+
+}  // namespace als

@@ -1,0 +1,73 @@
+// Unified facade over the library's annealing-based placement backends.
+//
+// The repo grows several independently developed placers — the flat B*-tree
+// baseline (Section III's straw man), the symmetric-feasible sequence-pair
+// placer (Section II), the slicing/Polish-expression baseline (ILAC-style)
+// and the hierarchical HB*-tree placer (Section III proper).  Each has its
+// own options/result structs for backend-specific knobs, but callers that
+// just want "a placement of this circuit" — benches, batch drivers, future
+// parallel-restart and sharding layers — need one seam.  `PlacementEngine`
+// is that seam: one options struct carrying the shared SA knobs (sweep
+// budget, seed, cooling, wirelength weight), one result struct carrying the
+// shared outputs, and a factory keyed by `EngineBackend`.
+//
+// All engines honor the deterministic annealing contract of
+// anneal/annealer.h: `maxSweeps` is the primary budget — for a fixed seed
+// the result is bit-identical across machines and runs — and `timeLimitSec`
+// is only a secondary wall-clock cap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "geom/placement.h"
+#include "netlist/circuit.h"
+
+namespace als {
+
+enum class EngineBackend {
+  FlatBStar,  ///< flat B*-tree, constraints as penalties (bstar/flat_placer.h)
+  SeqPair,    ///< symmetric-feasible sequence pair (seqpair/sa_placer.h)
+  Slicing,    ///< normalized Polish expressions (slicing/slicing_placer.h)
+  HBStar,     ///< hierarchical HB*-tree (bstar/hbstar.h)
+};
+
+/// Shared SA knobs; backend-specific options keep their native structs.
+struct EngineOptions {
+  double wirelengthWeight = 0.25;  ///< lambda, scaled by sqrt(module area)
+  std::size_t maxSweeps = 256;     ///< primary budget: total SA sweeps
+  double timeLimitSec = 0.0;       ///< secondary wall-clock cap (0 = uncapped)
+  std::uint64_t seed = 1;
+  double coolingFactor = 0.96;
+  std::size_t movesPerTemp = 0;    ///< 0 = auto (10x module count)
+};
+
+struct EngineResult {
+  Placement placement;
+  Coord area = 0;
+  Coord hpwl = 0;
+  double cost = 0.0;
+  std::size_t movesTried = 0;
+  std::size_t sweeps = 0;  ///< SA temperature steps executed
+  double seconds = 0.0;
+};
+
+class PlacementEngine {
+ public:
+  virtual ~PlacementEngine() = default;
+  virtual EngineBackend backend() const = 0;
+  virtual std::string_view name() const = 0;
+  virtual EngineResult place(const Circuit& circuit,
+                             const EngineOptions& options) const = 0;
+};
+
+/// All registered backends, in a stable order (useful for sweeps/benches).
+std::span<const EngineBackend> allBackends();
+
+std::string_view backendName(EngineBackend backend);
+
+std::unique_ptr<PlacementEngine> makeEngine(EngineBackend backend);
+
+}  // namespace als

@@ -208,8 +208,12 @@ MillerSizingResult runMillerSizing(const Technology& tech, const OtaSpecs& specs
 
   AnnealOptions annealOpt;
   annealOpt.seed = options.seed;
+  // Same sweep-budgeted contract as runSizing: `iterations` is primary and
+  // deterministic, the wall clock only a secondary cap.
+  annealOpt.maxSweeps = kSizingAnnealSweeps;
   annealOpt.timeLimitSec = options.timeLimitSec;
-  annealOpt.movesPerTemp = std::max<std::size_t>(options.iterations / 120, 10);
+  annealOpt.movesPerTemp =
+      std::max<std::size_t>(options.iterations / kSizingAnnealSweeps, 10);
   annealOpt.coolingFactor = 0.94;
   auto annealed =
       anneal(clampedMiller(MillerDesign{}, tech), costOf, move, annealOpt);

@@ -89,8 +89,12 @@ SizingResult runSizing(const Technology& tech, const OtaSpecs& specs,
 
   AnnealOptions annealOpt;
   annealOpt.seed = options.seed;
+  // `iterations` is the primary, deterministic budget (see
+  // kSizingAnnealSweeps); the wall clock only acts as a secondary cap.
+  annealOpt.maxSweeps = kSizingAnnealSweeps;
   annealOpt.timeLimitSec = options.timeLimitSec;
-  annealOpt.movesPerTemp = std::max<std::size_t>(options.iterations / 120, 10);
+  annealOpt.movesPerTemp =
+      std::max<std::size_t>(options.iterations / kSizingAnnealSweeps, 10);
   annealOpt.coolingFactor = 0.94;
   FoldedCascodeDesign init = clamped(FoldedCascodeDesign{}, tech);
   auto annealed = anneal(init, cost, move, annealOpt);

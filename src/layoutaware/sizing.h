@@ -28,12 +28,19 @@
 
 namespace als {
 
+/// Sweep count of the sizing annealers (both OTA flows).  The deterministic
+/// budget contract is `movesPerTemp = iterations / kSizingAnnealSweeps` with
+/// `maxSweeps = kSizingAnnealSweeps`, so a run executes ~`iterations` moves;
+/// the constant must stay below the ~149-sweep freeze point of the 0.94
+/// cooling schedule for the sweep cap to be the binding rule.
+inline constexpr std::size_t kSizingAnnealSweeps = 120;
+
 struct SizingOptions {
   bool layoutAware = true;
   double maxAspectRatio = 1.5;   ///< geometric restriction (aware flow only)
   double areaWeight = 0.15;      ///< area objective weight (aware flow only)
-  std::size_t iterations = 6000; ///< annealing move budget
-  double timeLimitSec = 20.0;
+  std::size_t iterations = 6000; ///< annealing move budget (primary, deterministic)
+  double timeLimitSec = 0.0;     ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 3;
 };
 

@@ -123,6 +123,7 @@ AbsolutePlacerResult placeAbsoluteSA(const Circuit& circuit,
   };
 
   AnnealOptions annealOpt;
+  annealOpt.maxSweeps = options.maxSweeps;
   annealOpt.timeLimitSec = options.timeLimitSec;
   annealOpt.seed = options.seed;
   annealOpt.coolingFactor = options.coolingFactor;
@@ -140,6 +141,7 @@ AbsolutePlacerResult placeAbsoluteSA(const Circuit& circuit,
   result.feasible = result.overlapArea == 0 && result.symViolation == 0;
   result.cost = annealed.bestCost;
   result.movesTried = annealed.movesTried;
+  result.sweeps = annealed.sweeps;
   result.seconds = annealed.seconds;
   return result;
 }

@@ -21,7 +21,8 @@ struct AbsolutePlacerOptions {
   double wirelengthWeight = 0.25;  ///< same lambda semantics as the SP placer
   double overlapWeight = 4.0;      ///< penalty per DBU^2 of pairwise overlap
   double symmetryWeight = 2.0;     ///< penalty per DBU of mirror deviation
-  double timeLimitSec = 5.0;
+  std::size_t maxSweeps = 256;     ///< primary budget: total SA sweeps (deterministic)
+  double timeLimitSec = 0.0;       ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 7;
   double coolingFactor = 0.96;
   std::size_t movesPerTemp = 0;  ///< 0 = auto
@@ -36,6 +37,7 @@ struct AbsolutePlacerResult {
   bool feasible = false;   ///< overlap-free AND exactly symmetric
   double cost = 0.0;
   std::size_t movesTried = 0;
+  std::size_t sweeps = 0;  ///< SA temperature steps executed
   double seconds = 0.0;
 };
 

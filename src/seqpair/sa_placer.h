@@ -15,7 +15,8 @@ namespace als {
 
 struct SeqPairPlacerOptions {
   double wirelengthWeight = 0.25;  ///< lambda, scaled by sqrt(module area)
-  double timeLimitSec = 5.0;
+  std::size_t maxSweeps = 256;     ///< primary budget: total SA sweeps (deterministic)
+  double timeLimitSec = 0.0;       ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 7;
   PackStrategy packing = PackStrategy::Fenwick;  ///< used by cost packing
   double coolingFactor = 0.96;
@@ -41,6 +42,7 @@ struct SeqPairPlacerResult {
   Coord hpwl = 0;
   double cost = 0.0;
   std::size_t movesTried = 0;
+  std::size_t sweeps = 0;  ///< SA temperature steps executed
   double seconds = 0.0;
 };
 

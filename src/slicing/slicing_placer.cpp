@@ -38,6 +38,7 @@ SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
   };
 
   AnnealOptions annealOpt;
+  annealOpt.maxSweeps = options.maxSweeps;
   annealOpt.timeLimitSec = options.timeLimitSec;
   annealOpt.seed = options.seed;
   annealOpt.coolingFactor = options.coolingFactor;
@@ -52,6 +53,7 @@ SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
   result.hpwl = totalHpwl(result.placement, nets);
   result.cost = annealed.bestCost;
   result.movesTried = annealed.movesTried;
+  result.sweeps = annealed.sweeps;
   result.seconds = annealed.seconds;
   return result;
 }

@@ -15,7 +15,8 @@ namespace als {
 
 struct SlicingPlacerOptions {
   double wirelengthWeight = 0.25;
-  double timeLimitSec = 5.0;
+  std::size_t maxSweeps = 256;  ///< primary budget: total SA sweeps (deterministic)
+  double timeLimitSec = 0.0;    ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 13;
   double coolingFactor = 0.96;
   std::size_t movesPerTemp = 0;
@@ -28,6 +29,7 @@ struct SlicingPlacerResult {
   Coord hpwl = 0;
   double cost = 0.0;
   std::size_t movesTried = 0;
+  std::size_t sweeps = 0;  ///< SA temperature steps executed
   double seconds = 0.0;
 };
 

@@ -10,7 +10,7 @@ namespace {
 TEST(Annealer, MinimizesQuadratic) {
   AnnealOptions opt;
   opt.seed = 1;
-  opt.timeLimitSec = 1.0;
+  opt.maxSweeps = 200;
   opt.sizeHint = 4;
   auto result = anneal(
       10.0, [](double x) { return (x - 3.0) * (x - 3.0); },
@@ -29,7 +29,7 @@ TEST(Annealer, EscapesLocalMinimum) {
   };
   AnnealOptions opt;
   opt.seed = 2;
-  opt.timeLimitSec = 1.0;
+  opt.maxSweeps = 200;
   auto result = anneal(
       -1.0, cost, [](double x, Rng& rng) { return x + rng.normal(0.0, 0.7); }, opt);
   EXPECT_NEAR(result.best, 2.0, 0.3);
@@ -40,11 +40,12 @@ TEST(Annealer, DeterministicForSeed) {
   auto move = [](double x, Rng& rng) { return x + rng.uniform(-1.0, 1.0); };
   AnnealOptions opt;
   opt.seed = 3;
-  opt.timeLimitSec = 0.2;
+  opt.maxSweeps = 100;
   auto a = anneal(5.0, cost, move, opt);
   auto b = anneal(5.0, cost, move, opt);
   EXPECT_DOUBLE_EQ(a.best, b.best);
   EXPECT_EQ(a.movesTried, b.movesTried);
+  EXPECT_EQ(a.sweeps, b.sweeps);
 }
 
 TEST(Annealer, BestNeverWorseThanInitial) {
@@ -54,21 +55,77 @@ TEST(Annealer, BestNeverWorseThanInitial) {
   };
   AnnealOptions opt;
   opt.seed = 4;
-  opt.timeLimitSec = 0.1;
+  opt.maxSweeps = 50;
   auto result = anneal(7, cost, move, opt);
   EXPECT_LE(result.bestCost, 49.0);
 }
 
-TEST(Annealer, RespectsTimeLimit) {
+TEST(Annealer, SweepBudgetIsThePrimaryStoppingRule) {
+  // With freezing disabled the sweep budget is the only active rule; the
+  // run must execute exactly `maxSweeps` temperature steps.
   auto cost = [](double x) { return x; };
   auto move = [](double x, Rng& rng) { return x + rng.uniform() - 0.5; };
   AnnealOptions opt;
   opt.seed = 5;
-  opt.timeLimitSec = 0.2;
+  opt.maxSweeps = 77;
+  opt.freezeRatio = 0.0;
+  opt.movesPerTemp = 4;
+  auto result = anneal(0.0, cost, move, opt);
+  EXPECT_EQ(result.sweeps, 77u);
+  EXPECT_EQ(result.movesTried, 77u * 4u);
+}
+
+TEST(Annealer, RespectsSecondaryTimeLimit) {
+  auto cost = [](double x) { return x; };
+  auto move = [](double x, Rng& rng) { return x + rng.uniform() - 0.5; };
+  AnnealOptions opt;
+  opt.seed = 5;
+  opt.maxSweeps = 0;      // no sweep cap ...
+  opt.timeLimitSec = 0.2; // ... so the wall-clock cap must stop the run
   opt.freezeRatio = 0.0;  // would run forever without the time limit
   Stopwatch clock;
   anneal(0.0, cost, move, opt);
   EXPECT_LT(clock.seconds(), 2.0);
+}
+
+TEST(Annealer, RestartsConsumeTheTotalSweepBudgetExactly) {
+  auto cost = [](double x) { return std::abs(x); };
+  auto move = [](double x, Rng& rng) { return x + rng.uniform(-1.0, 1.0); };
+  AnnealOptions opt;
+  opt.seed = 6;
+  opt.maxSweeps = 500;  // a single schedule freezes after ~226 sweeps
+  auto result = annealWithRestarts(5.0, cost, move, opt);
+  EXPECT_EQ(result.sweeps, 500u);
+}
+
+TEST(Annealer, RestartsAreDeterministicAndDoNotMutateOptions) {
+  auto cost = [](double x) { return std::abs(x); };
+  auto move = [](double x, Rng& rng) { return x + rng.uniform(-1.0, 1.0); };
+  const AnnealOptions opt{.maxSweeps = 300, .seed = 7};
+  auto a = annealWithRestarts(5.0, cost, move, opt);
+  auto b = annealWithRestarts(5.0, cost, move, opt);
+  EXPECT_DOUBLE_EQ(a.best, b.best);
+  EXPECT_DOUBLE_EQ(a.bestCost, b.bestCost);
+  EXPECT_EQ(a.movesTried, b.movesTried);
+  EXPECT_EQ(a.sweeps, b.sweeps);
+  EXPECT_EQ(opt.maxSweeps, 300u);
+  EXPECT_EQ(opt.seed, 7u);
+}
+
+TEST(Annealer, RestartBeatsOrMatchesSingleRunWithSameTotalBudget) {
+  // The restart driver returns the best of its rounds, so it can never be
+  // worse than its own first round (which is a plain `anneal` call with the
+  // full budget capped by freezing).
+  auto cost = [](double x) {
+    return std::abs(x - 4.0) + 2.0 * std::sin(3.0 * x);
+  };
+  auto move = [](double x, Rng& rng) { return x + rng.normal(0.0, 0.4); };
+  AnnealOptions opt;
+  opt.seed = 8;
+  opt.maxSweeps = 600;
+  auto single = anneal(0.0, cost, move, opt);
+  auto restarted = annealWithRestarts(0.0, cost, move, opt);
+  EXPECT_LE(restarted.bestCost, single.bestCost + 1e-12);
 }
 
 }  // namespace

@@ -168,7 +168,7 @@ TEST(HBStar, Fig2PerturbationsPreserveConstraints) {
 TEST(HBStar, MillerOpAmpAnnealsSymmetrically) {
   Circuit c = makeMillerOpAmp();
   HBPlacerOptions opt;
-  opt.timeLimitSec = 1.0;
+  opt.maxSweeps = 250;
   opt.seed = 23;
   HBPlacerResult r = placeHBStarSA(c, opt);
   EXPECT_TRUE(r.placement.isLegal());
@@ -179,7 +179,7 @@ TEST(HBStar, MillerOpAmpAnnealsSymmetrically) {
 TEST(HBStar, SyntheticHierarchicalCircuitPlaces) {
   Circuit c = makeSynthetic({.name = "hb", .moduleCount = 30, .seed = 4});
   HBPlacerOptions opt;
-  opt.timeLimitSec = 1.0;
+  opt.maxSweeps = 250;
   HBPlacerResult r = placeHBStarSA(c, opt);
   EXPECT_TRUE(r.placement.isLegal());
   EXPECT_TRUE(verifySymmetry(r.placement, c.symmetryGroups(), r.axis2x));
@@ -188,7 +188,7 @@ TEST(HBStar, SyntheticHierarchicalCircuitPlaces) {
 TEST(FlatBStar, ReportsResidualViolationsHonestly) {
   Circuit c = makeFig2Design();
   FlatBStarOptions opt;
-  opt.timeLimitSec = 0.5;
+  opt.maxSweeps = 150;
   FlatBStarResult r = placeFlatBStarSA(c, opt);
   EXPECT_TRUE(r.placement.isLegal());  // B*-trees are always overlap-free
   EXPECT_GE(r.symDeviation, 0);

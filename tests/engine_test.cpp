@@ -1,0 +1,105 @@
+// PlacementEngine facade tests, including the determinism regression that
+// guards the sweep-budget contract: a fixed (seed, maxSweeps) pair must give
+// bit-identical placements on every run, on any machine, under sanitizers.
+#include "engine/placement_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generators.h"
+#include "seqpair/sa_placer.h"
+
+namespace als {
+namespace {
+
+TEST(PlacementEngine, FactoryCoversAllBackends) {
+  ASSERT_FALSE(allBackends().empty());
+  for (EngineBackend backend : allBackends()) {
+    auto engine = makeEngine(backend);
+    ASSERT_NE(engine, nullptr) << backendName(backend);
+    EXPECT_EQ(engine->backend(), backend);
+    EXPECT_EQ(engine->name(), backendName(backend));
+    EXPECT_FALSE(engine->name().empty());
+  }
+}
+
+TEST(PlacementEngine, AllBackendsProduceLegalPlacements) {
+  Circuit c = makeTableICircuit(TableICircuit::ComparatorV2);
+  EngineOptions opt;
+  opt.maxSweeps = 120;
+  opt.seed = 3;
+  for (EngineBackend backend : allBackends()) {
+    auto engine = makeEngine(backend);
+    EngineResult r = engine->place(c, opt);
+    ASSERT_EQ(r.placement.size(), c.moduleCount()) << engine->name();
+    EXPECT_TRUE(r.placement.isLegal()) << engine->name();
+    EXPECT_GE(r.area, c.totalModuleArea()) << engine->name();
+    EXPECT_GT(r.movesTried, 0u) << engine->name();
+    EXPECT_GT(r.sweeps, 0u) << engine->name();
+  }
+}
+
+TEST(PlacementEngine, SameSeedGivesBitIdenticalPlacements) {
+  // 250 sweeps crosses the ~226-sweep freeze point of the default schedule,
+  // so the restart path is part of the guarded contract too.
+  Circuit c = makeTableICircuit(TableICircuit::ComparatorV2);
+  EngineOptions opt;
+  opt.maxSweeps = 250;
+  opt.seed = 17;
+  for (EngineBackend backend : allBackends()) {
+    auto engine = makeEngine(backend);
+    EngineResult a = engine->place(c, opt);
+    EngineResult b = engine->place(c, opt);
+    EXPECT_EQ(a.area, b.area) << engine->name();
+    EXPECT_EQ(a.hpwl, b.hpwl) << engine->name();
+    EXPECT_EQ(a.movesTried, b.movesTried) << engine->name();
+    EXPECT_EQ(a.sweeps, b.sweeps) << engine->name();
+    ASSERT_EQ(a.placement.size(), b.placement.size()) << engine->name();
+    for (std::size_t m = 0; m < a.placement.size(); ++m) {
+      EXPECT_EQ(a.placement[m], b.placement[m])
+          << engine->name() << " module " << m;
+    }
+  }
+}
+
+TEST(PlacementEngine, FacadeMatchesDirectBackendCall) {
+  // The facade only maps options; it must not change what the backend
+  // computes.
+  Circuit c = makeFig1Example();
+  EngineOptions opt;
+  opt.maxSweeps = 120;
+  opt.seed = 9;
+
+  SeqPairPlacerOptions direct;
+  direct.maxSweeps = opt.maxSweeps;
+  direct.seed = opt.seed;
+  direct.wirelengthWeight = opt.wirelengthWeight;
+  direct.coolingFactor = opt.coolingFactor;
+  direct.movesPerTemp = opt.movesPerTemp;
+
+  EngineResult viaEngine = makeEngine(EngineBackend::SeqPair)->place(c, opt);
+  SeqPairPlacerResult viaBackend = placeSeqPairSA(c, direct);
+  EXPECT_EQ(viaEngine.area, viaBackend.area);
+  EXPECT_EQ(viaEngine.hpwl, viaBackend.hpwl);
+  EXPECT_EQ(viaEngine.movesTried, viaBackend.movesTried);
+  ASSERT_EQ(viaEngine.placement.size(), viaBackend.placement.size());
+  for (std::size_t m = 0; m < viaEngine.placement.size(); ++m) {
+    EXPECT_EQ(viaEngine.placement[m], viaBackend.placement[m]);
+  }
+}
+
+TEST(PlacementEngine, SweepBudgetIsHonoredExactly) {
+  // Miller: a circuit every backend supports (the HB*-tree placer needs a
+  // hierarchy with even symmetry-pair structure, which Fig. 1 lacks).
+  Circuit c = makeTableICircuit(TableICircuit::MillerV2);
+  EngineOptions opt;
+  opt.maxSweeps = 90;
+  opt.seed = 2;
+  for (EngineBackend backend : allBackends()) {
+    auto engine = makeEngine(backend);
+    EngineResult r = engine->place(c, opt);
+    EXPECT_EQ(r.sweeps, 90u) << engine->name();
+  }
+}
+
+}  // namespace
+}  // namespace als

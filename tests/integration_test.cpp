@@ -21,27 +21,27 @@ class EnginesOnCircuit : public ::testing::TestWithParam<TableICircuit> {};
 
 TEST_P(EnginesOnCircuit, AllEnginesProduceLegalPlacements) {
   Circuit c = makeTableICircuit(GetParam());
-  const double budget = 0.6;
+  const std::size_t budget = 250;  // SA sweeps: one full schedule + restart
 
   SeqPairPlacerOptions spOpt;
-  spOpt.timeLimitSec = budget;
+  spOpt.maxSweeps = budget;
   SeqPairPlacerResult sp = placeSeqPairSA(c, spOpt);
   EXPECT_TRUE(sp.placement.isLegal());
   EXPECT_TRUE(verifySymmetry(sp.placement, c.symmetryGroups(), sp.axis2x));
 
   HBPlacerOptions hbOpt;
-  hbOpt.timeLimitSec = budget;
+  hbOpt.maxSweeps = budget;
   HBPlacerResult hb = placeHBStarSA(c, hbOpt);
   EXPECT_TRUE(hb.placement.isLegal());
   EXPECT_TRUE(verifySymmetry(hb.placement, c.symmetryGroups(), hb.axis2x));
 
   FlatBStarOptions fbOpt;
-  fbOpt.timeLimitSec = budget;
+  fbOpt.maxSweeps = budget;
   FlatBStarResult fb = placeFlatBStarSA(c, fbOpt);
   EXPECT_TRUE(fb.placement.isLegal());
 
   SlicingPlacerOptions slOpt;
-  slOpt.timeLimitSec = budget;
+  slOpt.maxSweeps = budget;
   SlicingPlacerResult sl = placeSlicingSA(c, slOpt);
   EXPECT_TRUE(sl.placement.isLegal());
 
@@ -77,7 +77,7 @@ TEST(Integration, DeterministicVsAnnealedAreasComparable) {
   Circuit c = makeTableICircuit(TableICircuit::FoldedCascode);
   DeterministicResult det = placeDeterministic(c, {});
   SeqPairPlacerOptions opt;
-  opt.timeLimitSec = 1.5;
+  opt.maxSweeps = 400;
   SeqPairPlacerResult sa = placeSeqPairSA(c, opt);
   double ratio =
       static_cast<double>(det.area) / static_cast<double>(sa.area);
@@ -94,7 +94,7 @@ TEST(Integration, SymmetricPlacementFeedsThermalAnalysis) {
                              .seed = 5,
                              .symmetricFraction = 0.8});
   SeqPairPlacerOptions opt;
-  opt.timeLimitSec = 0.5;
+  opt.maxSweeps = 150;
   SeqPairPlacerResult r = placeSeqPairSA(c, opt);
   ASSERT_TRUE(r.placement.isLegal());
   for (const SymmetryGroup& g : c.symmetryGroups()) {
@@ -115,10 +115,10 @@ TEST(Integration, HierarchyAndGroupsStayConsistentAcrossEngines) {
   std::size_t groupsBefore = c.symmetryGroups().size();
   std::size_t nodesBefore = c.hierarchy().nodeCount();
   SeqPairPlacerOptions spOpt;
-  spOpt.timeLimitSec = 0.3;
+  spOpt.maxSweeps = 60;
   placeSeqPairSA(c, spOpt);
   HBPlacerOptions hbOpt;
-  hbOpt.timeLimitSec = 0.3;
+  hbOpt.maxSweeps = 60;
   placeHBStarSA(c, hbOpt);
   placeDeterministic(c, {});
   EXPECT_EQ(c.symmetryGroups().size(), groupsBefore);
@@ -132,7 +132,7 @@ TEST(Integration, AbsoluteBaselineConvergesOnTrivialInstance) {
   c.addModule("a", 10 * kUm, 10 * kUm);
   c.addModule("b", 10 * kUm, 10 * kUm);
   AbsolutePlacerOptions opt;
-  opt.timeLimitSec = 1.0;
+  opt.maxSweeps = 300;
   AbsolutePlacerResult r = placeAbsoluteSA(c, opt);
   EXPECT_EQ(r.overlapArea, 0);
   EXPECT_LE(r.area, 2 * c.totalModuleArea());

@@ -146,7 +146,6 @@ TEST(Sizing, LayoutAwareFlowMeetsSpecsPostLayout) {
   OtaSpecs specs;
   SizingOptions opt;
   opt.layoutAware = true;
-  opt.timeLimitSec = 4.0;
   opt.seed = 7;
   SizingResult r = runSizing(kTech, specs, opt);
   EXPECT_GT(r.evaluations, 100u);
@@ -162,7 +161,6 @@ TEST(Sizing, ElectricalOnlyFlowDegradesPostLayout) {
   OtaSpecs specs;
   SizingOptions opt;
   opt.layoutAware = false;
-  opt.timeLimitSec = 4.0;
   opt.seed = 7;
   SizingResult r = runSizing(kTech, specs, opt);
   // The loop's own view is (near-)feasible...
@@ -177,7 +175,6 @@ TEST(Sizing, DeterministicForSeed) {
   OtaSpecs specs;
   SizingOptions opt;
   opt.layoutAware = true;
-  opt.timeLimitSec = 1.0;
   opt.seed = 11;
   SizingResult a = runSizing(kTech, specs, opt);
   SizingResult b = runSizing(kTech, specs, opt);

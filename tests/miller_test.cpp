@@ -76,7 +76,6 @@ TEST(Miller, LayoutAwareFlowMeetsSpecs) {
   specs.minSrVps = 10e6;
   SizingOptions opt;
   opt.layoutAware = true;
-  opt.timeLimitSec = 3.0;
   opt.seed = 5;
   MillerSizingResult r = runMillerSizing(kTech, specs, opt);
   EXPECT_TRUE(r.meetsSpecsExtracted) << "residual " << r.violationExtracted;
@@ -91,7 +90,6 @@ TEST(Miller, BlindFlowDegradesPostLayout) {
   specs.minSrVps = 10e6;
   SizingOptions opt;
   opt.layoutAware = false;
-  opt.timeLimitSec = 3.0;
   opt.seed = 5;
   MillerSizingResult r = runMillerSizing(kTech, specs, opt);
   EXPECT_GE(r.violationExtracted, r.violationSizing);

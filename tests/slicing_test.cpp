@@ -108,7 +108,7 @@ TEST(EvaluatePolish, ShapeCurveOptimalForThreeModules) {
 TEST(SlicingPlacer, AnnealsLegally) {
   Circuit c = makeTableICircuit(TableICircuit::MillerV2);
   SlicingPlacerOptions opt;
-  opt.timeLimitSec = 1.0;
+  opt.maxSweeps = 250;
   SlicingPlacerResult r = placeSlicingSA(c, opt);
   EXPECT_TRUE(r.placement.isLegal());
   EXPECT_GE(r.area, c.totalModuleArea());
@@ -118,11 +118,12 @@ TEST(SlicingPlacer, AnnealsLegally) {
 TEST(SlicingPlacer, DeterministicForSeed) {
   Circuit c = makeFig1Example();
   SlicingPlacerOptions opt;
-  opt.timeLimitSec = 0.3;
+  opt.maxSweeps = 120;
   opt.seed = 21;
   SlicingPlacerResult a = placeSlicingSA(c, opt);
   SlicingPlacerResult b = placeSlicingSA(c, opt);
   EXPECT_EQ(a.area, b.area);
+  EXPECT_EQ(a.movesTried, b.movesTried);
 }
 
 }  // namespace

@@ -49,7 +49,7 @@ TEST(ThermalMismatch, SymmetricPlacementWithAxisRadiatorIsExactlyBalanced) {
   // temperature: mismatch is exactly zero.
   Circuit c = makeFig1Example();
   SeqPairPlacerOptions opt;
-  opt.timeLimitSec = 0.5;
+  opt.maxSweeps = 150;
   opt.seed = 3;
   SeqPairPlacerResult r = placeSeqPairSA(c, opt);
   ASSERT_TRUE(r.placement.isLegal());
@@ -67,7 +67,7 @@ TEST(ThermalMismatch, SymmetricPlacementWithAxisRadiatorIsExactlyBalanced) {
 TEST(ThermalMismatch, OffAxisRadiatorUnbalancesPairs) {
   Circuit c = makeFig1Example();
   SeqPairPlacerOptions opt;
-  opt.timeLimitSec = 0.5;
+  opt.maxSweeps = 150;
   opt.seed = 3;
   SeqPairPlacerResult r = placeSeqPairSA(c, opt);
 
@@ -87,7 +87,7 @@ TEST(ThermalMismatch, RandomPlacementWorseThanSymmetric) {
   power[2] = 0.2;
 
   SeqPairPlacerOptions opt;
-  opt.timeLimitSec = 0.5;
+  opt.maxSweeps = 150;
   opt.seed = 3;
   SeqPairPlacerResult sym = placeSeqPairSA(c, opt);
   ThermalField symField(sourcesFromPlacement(sym.placement, power));
