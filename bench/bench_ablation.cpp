@@ -9,24 +9,31 @@
 //   A3 — LCS packing structure inside the SA loop: moves evaluated per
 //        second with the Fenwick packer vs the vEB packer vs the naive
 //        reference (the constant factors behind the asymptotics of E4).
+//
+// Flags: --json <path>, --smoke (short budgets / reduced caps for CI).
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "netlist/generators.h"
 #include "seqpair/packer.h"
 #include "seqpair/sa_placer.h"
 #include "shapefn/deterministic.h"
+#include "util/bench_json.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
 using namespace als;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchIo io(argc, argv);
   std::puts("=== Ablation A1: pareto cap of the deterministic placer ===\n");
   {
     Table table({"cap", "ESF usage", "ESF time (s)", "RSF usage", "RSF time (s)"});
     Circuit c = makeTableICircuit(TableICircuit::Biasynth);
-    for (std::size_t cap : {4u, 8u, 16u, 32u, 64u}) {
+    std::vector<std::size_t> caps = {4, 8, 16, 32, 64};
+    if (io.smoke()) caps = {4, 8};
+    for (std::size_t cap : caps) {
       DeterministicOptions esf{AdditionKind::Enhanced, cap, 4};
       DeterministicOptions rsf{AdditionKind::Regular, cap, 4};
       DeterministicResult re = placeDeterministic(c, esf);
@@ -34,6 +41,10 @@ int main() {
       table.addRow({std::to_string(cap), Table::fmtPercent(re.areaUsage),
                     Table::fmt(re.seconds, 3), Table::fmtPercent(rr.areaUsage),
                     Table::fmt(rr.seconds, 3)});
+      io.add({"esf-cap" + std::to_string(cap), c.name(), 0, 0, 1, re.areaUsage,
+              0.0, static_cast<double>(re.area), re.seconds});
+      io.add({"rsf-cap" + std::to_string(cap), c.name(), 0, 0, 1, rr.areaUsage,
+              0.0, static_cast<double>(rr.area), rr.seconds});
     }
     table.print(std::cout);
     std::puts("(biasynth, 65 modules; larger caps = finer frontiers = better area)\n");
@@ -52,11 +63,13 @@ int main() {
                                  .symmetricFraction = 0.8});
       for (bool repair : {true, false}) {
         SeqPairPlacerOptions opt;
-        opt.timeLimitSec = 2.0;
-        opt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
+        io.applyBudget(opt, 2.0);
         opt.seed = 5;
         opt.enableRepairMoves = repair;
         SeqPairPlacerResult r = placeSeqPairSA(c, opt);
+        io.add({repair ? "seqpair-repair" : "seqpair-norepair", c.name(),
+                r.sweeps, 1, 1, r.cost, static_cast<double>(r.hpwl),
+                static_cast<double>(r.area), r.seconds});
         table.addRow({c.name(), repair ? "on" : "off",
                       Table::fmt(static_cast<double>(r.area) /
                                  static_cast<double>(c.totalModuleArea())),

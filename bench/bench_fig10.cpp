@@ -9,10 +9,13 @@
 //       parasitics and is markedly more compact / closer to square;
 //   (c) extraction inside the loop costs only a modest share of the total
 //       sizing time (paper: 17%).
+//
+// Flags: --json <path>, --smoke (reduced iteration budget for CI).
 #include <cstdio>
 #include <iostream>
 
 #include "layoutaware/sizing.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 
 using namespace als;
@@ -26,22 +29,29 @@ std::string pass(double value, double bound, bool atLeast = true) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchIo io(argc, argv);
   std::puts("=== E10 / Fig. 10: layout-aware sizing of a folded-cascode OTA ===\n");
   Technology tech = Technology::c035();
   OtaSpecs specs;
+  const std::size_t iterations = io.smoke() ? 6000 : 60000;
 
   SizingOptions blind;
   blind.layoutAware = false;
-  blind.iterations = 60000;
+  blind.iterations = iterations;
   blind.seed = 17;
   SizingResult a = runSizing(tech, specs, blind);
 
   SizingOptions aware;
   aware.layoutAware = true;
-  aware.iterations = 60000;
+  aware.iterations = iterations;
   aware.seed = 17;
   SizingResult b = runSizing(tech, specs, aware);
+
+  io.add({"sizing-electrical", "folded-cascode-ota", 0, 0, 1,
+          a.violationExtracted, 0.0, a.layout.areaUm2() * 1e6, a.seconds});
+  io.add({"sizing-layout-aware", "folded-cascode-ota", 0, 0, 1,
+          b.violationExtracted, 0.0, b.layout.areaUm2() * 1e6, b.seconds});
 
   auto perfRows = [&](const char* flow, const SizingResult& r, Table& t) {
     const OtaPerformance& sized = r.perfSizing;

@@ -3,10 +3,13 @@
 //
 // The bench prints both pareto staircases as CSV series (w_um, h_um per
 // point) — the ESF curve dominates (lies inside) the RSF curve.
+//
+// Flags: --json <path>, --smoke (uses the mid-size biasynth circuit in CI).
 #include <cstdio>
 
 #include "netlist/generators.h"
 #include "shapefn/deterministic.h"
+#include "util/bench_json.h"
 
 using namespace als;
 
@@ -24,9 +27,11 @@ void printSeries(const char* label, const ShapeFunction& sf) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchIo io(argc, argv);
   std::puts("=== E9 / Fig. 8: ESF and RSF of lnamixbias (110 modules) ===\n");
-  Circuit c = makeTableICircuit(TableICircuit::Lnamixbias);
+  Circuit c = makeTableICircuit(io.smoke() ? TableICircuit::Biasynth
+                                           : TableICircuit::Lnamixbias);
 
   DeterministicOptions esfOpt;
   esfOpt.kind = AdditionKind::Enhanced;
@@ -56,6 +61,10 @@ int main() {
     ++compared;
     if (hEsf <= r.h) ++dominatedCount;
   }
+  io.add({"esf", c.name(), 0, 0, 1, esf.areaUsage, 0.0,
+          static_cast<double>(esf.area), esf.seconds});
+  io.add({"rsf", c.name(), 0, 0, 1, rsf.areaUsage, 0.0,
+          static_cast<double>(rsf.area), rsf.seconds});
   std::printf("\nESF at-or-below RSF on the shared width range: %zu / %zu points\n",
               dominatedCount, compared);
   std::printf("best area: ESF %.0f um^2 (usage %.2f%%)  vs  RSF %.0f um^2 (usage %.2f%%)\n",

@@ -8,6 +8,9 @@
 //     (7!)^2 = 25,401,600 — a 99.86% search-space reduction — cross-checked
 //     by exhaustive enumeration of all 25.4M codes;
 //   * a sweep of the Lemma over further group configurations.
+//
+// Flags: --json <path>, --smoke (skips the 25.4M-code exhaustive
+// cross-check; the Lemma sweep's small cases still enumerate).
 #include <cstdio>
 #include <iostream>
 
@@ -15,12 +18,14 @@
 #include "seqpair/enumerate.h"
 #include "seqpair/sym_placer.h"
 #include "seqpair/symmetry.h"
+#include "util/bench_json.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
 using namespace als;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchIo io(argc, argv);
   std::puts("=== E1/E2: Fig. 1 example and the S-F counting Lemma ===\n");
 
   Circuit c = makeFig1Example();
@@ -45,6 +50,9 @@ int main() {
                 built->placement.isLegal() ? "yes" : "no",
                 verifySymmetry(built->placement, groups, built->axis2x) ? "yes" : "no");
     std::printf("\n%s\n", asciiArt(built->placement, names, 60).c_str());
+    io.add({"sf-pack", "fig1", 0, 0, 1,
+            searchSpaceReduction(7, groups), 0.0,
+            static_cast<double>(built->placement.boundingBox().area()), 0.0});
   }
 
   // --- the Lemma's numbers, formula vs exhaustive enumeration ---
@@ -57,12 +65,18 @@ int main() {
   std::printf("search-space reduction             : %.2f%% (paper: 99.86%%)\n",
               searchSpaceReduction(7, groups) * 100.0);
 
-  Stopwatch clock;
-  std::uint64_t perGroup = countSymmetricFeasible(7, groups, SfReading::PerGroup);
-  std::printf("exhaustive enumeration (all 25.4M) : %llu codes satisfy (1)  [%.1fs]\n",
-              static_cast<unsigned long long>(perGroup), clock.seconds());
-  std::printf("formula exact?                     : %s\n\n",
-              formula.fitsU64() && perGroup == formula.toU64() ? "yes" : "NO");
+  if (io.smoke()) {
+    std::puts("exhaustive enumeration (all 25.4M) : skipped (--smoke)\n");
+  } else {
+    Stopwatch clock;
+    std::uint64_t perGroup = countSymmetricFeasible(7, groups, SfReading::PerGroup);
+    std::printf("exhaustive enumeration (all 25.4M) : %llu codes satisfy (1)  [%.1fs]\n",
+                static_cast<unsigned long long>(perGroup), clock.seconds());
+    std::printf("formula exact?                     : %s\n\n",
+                formula.fitsU64() && perGroup == formula.toU64() ? "yes" : "NO");
+    io.add({"sf-enumeration", "fig1", 0, 0, 1,
+            static_cast<double>(perGroup), 0.0, 0.0, clock.seconds()});
+  }
 
   // --- Lemma sweep over group configurations ---
   std::puts("Lemma sweep (per-group formula vs enumeration; union reading bounded):");

@@ -8,6 +8,11 @@
 // reports final bounding-box area (relative to total module area), HPWL,
 // residual violations, and the search-space reduction the S-F restriction
 // buys (Lemma).
+//
+// Flags: --json <path> (machine-readable records), --smoke (fixed sweep
+// budgets for CI).  The placers keep their direct backend calls: the bench
+// reads backend-specific outputs (axis2x, overlap, residual violations)
+// the shared engine facade does not carry.
 #include <cstdio>
 #include <iostream>
 
@@ -16,11 +21,13 @@
 #include "seqpair/sa_placer.h"
 #include "seqpair/sym_placer.h"
 #include "seqpair/symmetry.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 
 using namespace als;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchIo io(argc, argv);
   std::puts("=== E3: S-F sequence-pair SA vs absolute-coordinate SA ===\n");
 
   struct Bench {
@@ -49,10 +56,12 @@ int main() {
     double reduction = searchSpaceReduction(c.moduleCount(), c.symmetryGroups());
 
     SeqPairPlacerOptions spOpt;
-    spOpt.timeLimitSec = budget;
-    spOpt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
+    io.applyBudget(spOpt, budget);
     spOpt.seed = 5;
     SeqPairPlacerResult sp = placeSeqPairSA(c, spOpt);
+    io.add({"seqpair", b.name, sp.sweeps, 1, 1, sp.cost,
+            static_cast<double>(sp.hpwl), static_cast<double>(sp.area),
+            sp.seconds});
     bool spFeasible =
         sp.placement.isLegal() &&
         verifySymmetry(sp.placement, c.symmetryGroups(), sp.axis2x);
@@ -63,10 +72,12 @@ int main() {
                   Table::fmtPercent(reduction)});
 
     AbsolutePlacerOptions absOpt;
-    absOpt.timeLimitSec = budget;
-    absOpt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
+    io.applyBudget(absOpt, budget);
     absOpt.seed = 5;
     AbsolutePlacerResult abs = placeAbsoluteSA(c, absOpt);
+    io.add({"absolute", b.name, abs.sweeps, 1, 1, abs.cost,
+            static_cast<double>(abs.hpwl), static_cast<double>(abs.area),
+            abs.seconds});
     table.addRow({b.name, "absolute-coord SA",
                   Table::fmt(static_cast<double>(abs.area) / modArea),
                   Table::fmt(static_cast<double>(abs.hpwl) / 1000.0, 1),

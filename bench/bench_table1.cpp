@@ -8,17 +8,21 @@
 // numbers differ from the paper (synthetic stand-in circuits, different
 // pareto caps); the ordering, the growth of the ESF advantage with module
 // count, and the runtime ratio are the reproduced observables.
+//
+// Flags: --json <path>, --smoke (skips the two largest circuits in CI).
 #include <cstdio>
 #include <iostream>
 
 #include "netlist/generators.h"
 #include "shapefn/deterministic.h"
 #include "shapefn/enumerate.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 
 using namespace als;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchIo io(argc, argv);
   std::puts("=== E8 / Table I: enhanced vs regular shape functions ===\n");
   std::printf("context (Section IV): full enumeration is hopeless beyond basic\n"
               "module sets -- 8 modules already admit %llu B*-tree placements.\n\n",
@@ -30,6 +34,7 @@ int main() {
   int rows = 0;
   for (TableICircuit which : allTableICircuits()) {
     Circuit c = makeTableICircuit(which);
+    if (io.smoke() && c.moduleCount() > 50) continue;  // CI smoke: small four
 
     DeterministicOptions esfOpt;
     esfOpt.kind = AdditionKind::Enhanced;
@@ -40,6 +45,10 @@ int main() {
     DeterministicResult rsf = placeDeterministic(c, rsfOpt);
 
     double impPts = (rsf.areaUsage - esf.areaUsage) * 100.0;
+    io.add({"esf", tableIName(which), 0, 0, 1, esf.areaUsage, 0.0,
+            static_cast<double>(esf.area), esf.seconds});
+    io.add({"rsf", tableIName(which), 0, 0, 1, rsf.areaUsage, 0.0,
+            static_cast<double>(rsf.area), rsf.seconds});
     table.addRow({tableIName(which), std::to_string(c.moduleCount()),
                   Table::fmtPercent(esf.areaUsage), Table::fmt(esf.seconds, 2),
                   Table::fmtPercent(rsf.areaUsage), Table::fmt(rsf.seconds, 2),

@@ -8,6 +8,8 @@
 // self-symmetric, i.e. centered on the axis —, (b) the same engine with the
 // radiator outside the group (off-axis), and (c) plain non-symmetric
 // packings of random codes.
+//
+// Flags: --json <path>, --smoke (fixed sweep budgets for CI).
 #include <cstdio>
 #include <iostream>
 
@@ -15,11 +17,13 @@
 #include "seqpair/packer.h"
 #include "seqpair/sa_placer.h"
 #include "thermal/thermal.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 
 using namespace als;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchIo io(argc, argv);
   std::puts("=== E14: thermal mismatch vs placement symmetry ===\n");
 
   Table table({"circuit", "placement", "radiator", "worst pair dT (K)",
@@ -44,10 +48,12 @@ int main() {
     };
 
     SeqPairPlacerOptions opt;
-    opt.timeLimitSec = 1.5;
-    opt.maxSweeps = 0;  // pure wall-clock budget (paper-style experiment)
+    io.applyBudget(opt, 1.5);
     opt.seed = 7;
     SeqPairPlacerResult sym = placeSeqPairSA(c, opt);
+    io.add({"seqpair", name, sym.sweeps, 1, 1, sym.cost,
+            static_cast<double>(sym.hpwl), static_cast<double>(sym.area),
+            sym.seconds});
 
     auto [wOn, mOn] = evaluate(sym.placement, axisRadiator);
     table.addRow({name, "symmetric (S-F SA)", "on axis (self-symmetric)",

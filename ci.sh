@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify plus an ASan/UBSan job.
+# CI entry point: tier-1 verify, sanitizer jobs, and a bench smoke run.
 #
-# The sanitizer suite is run TWICE on purpose: together with the sweep-
+# The ASan/UBSan suite is run TWICE on purpose: together with the sweep-
 # budgeted (wall-clock-independent) annealing contract, two identical passes
 # catch the class of bug where SA results silently depend on machine load or
-# sanitizer slowdown.
+# sanitizer slowdown.  The TSan config guards the runtime layer (thread
+# pool + restart portfolio): runtime_test exercises 8-thread fork-joins and
+# multi-backend races under instrumentation.
+#
+# The final stage runs every plain bench binary from the Release build in
+# its --smoke configuration (fixed sweep budgets, so deterministic) with
+# JSON records written to build/bench-smoke/ — per-PR observability for
+# perf and quality regressions.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,5 +27,27 @@ cmake -B build-asan -S . -DALS_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo "=== sanitizers: TSan build (runtime-layer concurrency) ==="
+cmake -B build-tsan -S . -DALS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS"
+(cd build-tsan && ctest --output-on-failure -j "$JOBS")
+
+echo "=== bench smoke: Release binaries, JSON to build/bench-smoke/ ==="
+mkdir -p build/bench-smoke
+for bench in bench_table1 bench_fig8 bench_fig10 bench_lemma bench_ablation \
+             bench_thermal bench_seqpair_sa bench_hbstar bench_slicing \
+             bench_portfolio; do
+  echo "--- $bench --smoke ---"
+  ./build/"$bench" --smoke --json "build/bench-smoke/$bench.json" \
+    > "build/bench-smoke/$bench.out"
+done
+# bench_kernels is google-benchmark based (built only when the library is
+# present) and has its own machine-readable flag.
+if [ -x build/bench_kernels ]; then
+  ./build/bench_kernels --benchmark_min_time=0.01s \
+    --benchmark_out=build/bench-smoke/bench_kernels.json \
+    --benchmark_out_format=json > build/bench-smoke/bench_kernels.out
+fi
 
 echo "=== CI green ==="

@@ -51,6 +51,56 @@ struct AnnealResult {
   double seconds = 0.0;
 };
 
+// ---------------------------------------------------------------------------
+// Restart schedule — the shared vocabulary of every multi-start driver.
+//
+// Both the sequential restart loop below and the parallel portfolio runner
+// (runtime/portfolio.h) derive their per-restart seeds and sweep budgets
+// from these helpers.
+
+/// Seed of the restart following `seed` (an LCG step with Knuth's MMIX
+/// constants — full period over 2^64, so schedule seeds never repeat).
+constexpr std::uint64_t nextRestartSeed(std::uint64_t seed) {
+  return seed * 6364136223846793005ull + 1442695040888963407ull;
+}
+
+/// Seed of portfolio slice `index` rooted at `baseSeed`.  Slice 0 is
+/// `baseSeed` itself (a 1-restart portfolio must match a plain engine call
+/// bit for bit); later slices are splitmix64-mixed rather than consecutive
+/// LCG iterates.  The distinction matters: a slice that freezes before its
+/// budget is spent restarts *internally* on `nextRestartSeed(seed)`, and
+/// with consecutive iterates that internal stream would replay the next
+/// slice's seed — duplicating annealing work across slices.  Mixing keeps
+/// every slice's stream disjoint.
+constexpr std::uint64_t portfolioSeedAt(std::uint64_t baseSeed,
+                                        std::size_t index) {
+  if (index == 0) return baseSeed;
+  std::uint64_t z =
+      baseSeed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Sweep budget of restart `index` when `totalSweeps` is split across
+/// `numRestarts` fixed slices: the remainder goes to the earliest restarts,
+/// so slices differ by at most one sweep and sum exactly to the total.
+constexpr std::size_t splitSweepBudget(std::size_t totalSweeps,
+                                       std::size_t numRestarts,
+                                       std::size_t index) {
+  if (numRestarts == 0) return totalSweeps;
+  return totalSweeps / numRestarts + (index < totalSweeps % numRestarts);
+}
+
+/// The auto-scaling rule behind `movesPerTemp == 0`.  Drivers that split one
+/// run into several restarts must resolve the auto value ONCE per run (not
+/// per restart) and pass the resolved value down, so every slice anneals on
+/// the schedule the equivalent sequential run would have used.
+constexpr std::size_t resolveMovesPerTemp(std::size_t movesPerTemp,
+                                          std::size_t sizeHint) {
+  return movesPerTemp ? movesPerTemp : 10 * sizeHint;
+}
+
 /// Runs simulated annealing from `init`.
 ///
 /// `cost`:  double(const State&) — smaller is better.
@@ -88,7 +138,7 @@ AnnealResult<State> anneal(State init, CostF&& cost, MoveF&& move,
   double tFreeze = t * opt.freezeRatio;
 
   std::size_t movesPerTemp =
-      opt.movesPerTemp ? opt.movesPerTemp : 10 * opt.sizeHint;
+      resolveMovesPerTemp(opt.movesPerTemp, opt.sizeHint);
 
   const bool timed = opt.timeLimitSec > 0.0;
   while (t > tFreeze &&
@@ -127,6 +177,11 @@ AnnealResult<State> anneal(State init, CostF&& cost, MoveF&& move,
 /// positive, caps the total wall clock (secondary).  The caller's options
 /// struct is never mutated, and the leftover budget handed to each restart
 /// is clamped to zero or above.
+///
+/// Restart seeds follow the shared schedule (`nextRestartSeed`), and the
+/// `movesPerTemp` auto value is resolved once up front, so a parallel
+/// portfolio splitting the same budget across pre-sized slices anneals on
+/// the same per-restart schedule this loop would.
 template <class State, class CostF, class MoveF>
 AnnealResult<State> annealWithRestarts(const State& init, CostF&& cost,
                                        MoveF&& move,
@@ -136,6 +191,7 @@ AnnealResult<State> annealWithRestarts(const State& init, CostF&& cost,
   const bool sweepCapped = options.maxSweeps > 0;
   const bool timed = options.timeLimitSec > 0.0;
   AnnealOptions opt = options;  // local working copy; caller's struct untouched
+  opt.movesPerTemp = resolveMovesPerTemp(options.movesPerTemp, options.sizeHint);
   std::uint64_t seed = options.seed;
   for (;;) {
     opt.seed = seed;
@@ -152,7 +208,7 @@ AnnealResult<State> annealWithRestarts(const State& init, CostF&& cost,
       best.best = std::move(run.best);
       best.bestCost = run.bestCost;
     }
-    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    seed = nextRestartSeed(seed);
     // A restart is funded only while every *active* budget has leftover;
     // with no budget at all a single (freeze-terminated) run is the answer.
     bool sweepsLeft = sweepCapped && best.sweeps < options.maxSweeps;

@@ -37,6 +37,8 @@ struct FlatBStarResult {
   double seconds = 0.0;
 };
 
+/// Stateless and re-entrant (engine/placement_engine.h thread-safety
+/// contract): reads `circuit` only, owns its RNG via `options.seed`.
 FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
                                  const FlatBStarOptions& options = {});
 

@@ -90,6 +90,8 @@ struct HBPlacerResult {
 
 /// Hierarchical SA placement; all hierarchy constraints hold by construction
 /// in every visited state.
+/// Stateless and re-entrant (engine/placement_engine.h thread-safety
+/// contract): reads `circuit` only, owns its RNG via `options.seed`.
 HBPlacerResult placeHBStarSA(const Circuit& circuit,
                              const HBPlacerOptions& options = {});
 

@@ -35,8 +35,18 @@ class BackendEngine final : public PlacementEngine {
     opt.coolingFactor = options.coolingFactor;
     opt.movesPerTemp = options.movesPerTemp;
     BackendResult r = place_(circuit, opt);
-    return {std::move(r.placement), r.area,   r.hpwl,   r.cost,
-            r.movesTried,           r.sweeps, r.seconds};
+    EngineResult result;
+    result.placement = std::move(r.placement);
+    result.area = r.area;
+    result.hpwl = r.hpwl;
+    result.cost = r.cost;
+    result.movesTried = r.movesTried;
+    result.sweeps = r.sweeps;
+    result.seconds = r.seconds;
+    result.restartsRun = 1;
+    result.bestRestart = 0;
+    result.bestSeed = options.seed;
+    return result;
   }
 
  private:

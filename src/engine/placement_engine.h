@@ -15,6 +15,16 @@
 // anneal/annealer.h: `maxSweeps` is the primary budget — for a fixed seed
 // the result is bit-identical across machines and runs — and `timeLimitSec`
 // is only a secondary wall-clock cap.
+//
+// Thread-safety contract (load-bearing for runtime/portfolio.h): every
+// registered engine's `place()` is stateless and re-entrant.  It may touch
+// only (a) its own stack, (b) the `const Circuit&` read-only, and (c) an RNG
+// constructed inside the call from `options.seed`.  No backend may keep
+// mutable statics, lazily cache into the circuit, or share an RNG across
+// calls.  Concurrent `place()` calls on one engine instance — or on many
+// engines over the same circuit — are therefore race-free, provided the
+// caller does not mutate the circuit while placements run.  New backends
+// must uphold this contract before registration in `makeEngine`.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +52,14 @@ struct EngineOptions {
   std::uint64_t seed = 1;
   double coolingFactor = 0.96;
   std::size_t movesPerTemp = 0;    ///< 0 = auto (10x module count)
+
+  // Multi-start knobs, honored by the runtime layer (runtime/portfolio.h):
+  // `maxSweeps` stays the *total* budget and is split across `numRestarts`
+  // seed-scheduled slices fanned over `numThreads` threads.  A plain
+  // `place()` call is always one restart on the calling thread and ignores
+  // both fields.
+  std::size_t numRestarts = 1;  ///< independent SA restarts (seed-split)
+  std::size_t numThreads = 1;   ///< worker threads (0 = all hardware cores)
 };
 
 struct EngineResult {
@@ -49,9 +67,15 @@ struct EngineResult {
   Coord area = 0;
   Coord hpwl = 0;
   double cost = 0.0;
-  std::size_t movesTried = 0;
-  std::size_t sweeps = 0;  ///< SA temperature steps executed
-  double seconds = 0.0;
+  std::size_t movesTried = 0;  ///< aggregate over all restarts
+  std::size_t sweeps = 0;      ///< SA temperature steps executed (aggregate)
+  double seconds = 0.0;        ///< wall clock of the whole run
+
+  // Per-restart accounting, filled by the runtime layer; a plain `place()`
+  // call reports itself as one restart.
+  std::size_t restartsRun = 1;   ///< restarts actually executed
+  std::size_t bestRestart = 0;   ///< schedule index of the winning restart
+  std::uint64_t bestSeed = 0;    ///< seed the winning restart annealed with
 };
 
 class PlacementEngine {

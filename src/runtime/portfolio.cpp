@@ -1,0 +1,200 @@
+#include "runtime/portfolio.h"
+
+#include <iterator>
+#include <memory>
+#include <stdexcept>
+
+#include "anneal/annealer.h"
+#include "util/stopwatch.h"
+
+namespace als {
+
+namespace {
+
+/// Options of one slice: own seed and budget, shared resolved movesPerTemp,
+/// multi-start knobs neutralized (a slice is exactly one engine run).
+EngineOptions sliceOptions(const EngineOptions& base, const RestartSlice& slice,
+                           std::size_t resolvedMovesPerTemp) {
+  EngineOptions opt = base;
+  opt.seed = slice.seed;
+  opt.maxSweeps = slice.maxSweeps;
+  opt.movesPerTemp = resolvedMovesPerTemp;
+  opt.numRestarts = 1;
+  opt.numThreads = 1;
+  return opt;
+}
+
+/// (cost, seed) winner among one portfolio's slices; scanning in schedule
+/// order over the index-addressed array keeps the choice independent of
+/// which thread finished first.
+std::size_t bestSliceIndex(std::span<const EngineResult> slices) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < slices.size(); ++i) {
+    if (slices[i].cost < slices[best].cost ||
+        (slices[i].cost == slices[best].cost &&
+         slices[i].bestSeed < slices[best].bestSeed)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Collapses one portfolio's slices (in schedule order) into the aggregate
+/// result: winning slice's placement/cost, summed moves/sweeps/seconds.
+EngineResult reducePortfolio(std::vector<EngineResult>&& slices) {
+  const std::size_t winner = bestSliceIndex(slices);
+  std::size_t movesTried = 0, sweeps = 0;
+  double seconds = 0.0;
+  for (const EngineResult& slice : slices) {
+    movesTried += slice.movesTried;
+    sweeps += slice.sweeps;
+    seconds += slice.seconds;
+  }
+  EngineResult result = std::move(slices[winner]);
+  result.movesTried = movesTried;
+  result.sweeps = sweeps;
+  result.seconds = seconds;  // run()/race() overwrite with their wall clock
+  result.restartsRun = slices.size();
+  result.bestRestart = winner;  // slice position == schedule index
+  return result;
+}
+
+}  // namespace
+
+std::vector<RestartSlice> makeRestartPlan(const EngineOptions& options) {
+  std::size_t restarts = options.numRestarts > 0 ? options.numRestarts : 1;
+  // A zero sweep budget means "uncapped" throughout the library, so no
+  // slice may round down to zero: cap the slice count at the total budget.
+  if (options.maxSweeps > 0 && restarts > options.maxSweeps) {
+    restarts = options.maxSweeps;
+  }
+  std::vector<RestartSlice> plan(restarts);
+  for (std::size_t i = 0; i < restarts; ++i) {
+    plan[i] = {i, portfolioSeedAt(options.seed, i),
+               splitSweepBudget(options.maxSweeps, restarts, i)};
+  }
+  return plan;
+}
+
+EngineResult PortfolioRunner::run(const Circuit& circuit, EngineBackend backend,
+                                  const EngineOptions& options) const {
+  Stopwatch clock;
+  const std::vector<RestartSlice> plan = makeRestartPlan(options);
+  const std::size_t movesPerTemp =
+      resolveMovesPerTemp(options.movesPerTemp, circuit.moduleCount());
+  const std::unique_ptr<PlacementEngine> engine = makeEngine(backend);
+
+  std::vector<EngineResult> slices(plan.size());
+  auto runOn = [&](ThreadPool& pool) {
+    pool.parallelFor(plan.size(), [&](std::size_t i) {
+      slices[i] = engine->place(circuit,
+                                sliceOptions(options, plan[i], movesPerTemp));
+    });
+  };
+  if (pool_ != nullptr) {
+    runOn(*pool_);
+  } else {
+    ThreadPool pool(options.numThreads);
+    runOn(pool);
+  }
+
+  EngineResult result = reducePortfolio(std::move(slices));
+  result.seconds = clock.seconds();
+  return result;
+}
+
+PortfolioRunner::RaceOutcome PortfolioRunner::race(
+    const Circuit& circuit, std::span<const EngineBackend> backends,
+    const EngineOptions& options) const {
+  if (backends.empty()) {
+    throw std::invalid_argument("PortfolioRunner::race: no backends given");
+  }
+  Stopwatch clock;
+  const std::vector<RestartSlice> plan = makeRestartPlan(options);
+  const std::size_t restarts = plan.size();
+  const std::size_t movesPerTemp =
+      resolveMovesPerTemp(options.movesPerTemp, circuit.moduleCount());
+
+  std::vector<std::unique_ptr<PlacementEngine>> engines;
+  engines.reserve(backends.size());
+  for (EngineBackend backend : backends) engines.push_back(makeEngine(backend));
+
+  // One flattened backend-major grid so a slow backend cannot leave threads
+  // idle while another still has unclaimed restarts.
+  std::vector<EngineResult> grid(backends.size() * restarts);
+  auto runOn = [&](ThreadPool& pool) {
+    pool.parallelFor(grid.size(), [&](std::size_t task) {
+      const std::size_t backend = task / restarts;
+      const std::size_t restart = task % restarts;
+      grid[task] = engines[backend]->place(
+          circuit, sliceOptions(options, plan[restart], movesPerTemp));
+    });
+  };
+  if (pool_ != nullptr) {
+    runOn(*pool_);
+  } else {
+    ThreadPool pool(options.numThreads);
+    runOn(pool);
+  }
+
+  // Reduce each backend's portfolio, then pick the winner on the total
+  // order (cost, seed, position in `backends`): strict improvement only,
+  // so an exact tie keeps the earliest backend.
+  RaceOutcome outcome;
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    std::vector<EngineResult> slices(
+        std::make_move_iterator(grid.begin() + b * restarts),
+        std::make_move_iterator(grid.begin() + (b + 1) * restarts));
+    EngineResult result = reducePortfolio(std::move(slices));
+    if (b == 0 || result.cost < outcome.result.cost ||
+        (result.cost == outcome.result.cost &&
+         result.bestSeed < outcome.result.bestSeed)) {
+      outcome.result = std::move(result);
+      outcome.backend = backends[b];
+    }
+  }
+  outcome.result.seconds = clock.seconds();
+  return outcome;
+}
+
+std::vector<EngineResult> BatchPlacer::placeAll(
+    std::span<const Circuit> circuits, EngineBackend backend,
+    const EngineOptions& options) const {
+  const std::vector<RestartSlice> plan = makeRestartPlan(options);
+  const std::size_t restarts = plan.size();
+  const std::unique_ptr<PlacementEngine> engine = makeEngine(backend);
+
+  std::vector<std::size_t> movesPerTemp(circuits.size());
+  for (std::size_t c = 0; c < circuits.size(); ++c) {
+    movesPerTemp[c] =
+        resolveMovesPerTemp(options.movesPerTemp, circuits[c].moduleCount());
+  }
+
+  std::vector<EngineResult> grid(circuits.size() * restarts);
+  auto runOn = [&](ThreadPool& pool) {
+    pool.parallelFor(grid.size(), [&](std::size_t task) {
+      const std::size_t c = task / restarts;
+      const std::size_t restart = task % restarts;
+      grid[task] = engine->place(
+          circuits[c], sliceOptions(options, plan[restart], movesPerTemp[c]));
+    });
+  };
+  if (pool_ != nullptr) {
+    runOn(*pool_);
+  } else {
+    ThreadPool pool(options.numThreads);
+    runOn(pool);
+  }
+
+  std::vector<EngineResult> results;
+  results.reserve(circuits.size());
+  for (std::size_t c = 0; c < circuits.size(); ++c) {
+    std::vector<EngineResult> slices(
+        std::make_move_iterator(grid.begin() + c * restarts),
+        std::make_move_iterator(grid.begin() + (c + 1) * restarts));
+    results.push_back(reducePortfolio(std::move(slices)));
+  }
+  return results;
+}
+
+}  // namespace als

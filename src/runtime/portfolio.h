@@ -1,0 +1,100 @@
+// Parallel restart portfolio over the PlacementEngine seam — the middle of
+// the runtime layer (thread pool -> portfolio -> engine -> backends).
+//
+// A portfolio run splits one deterministic sweep budget into
+// `options.numRestarts` slices, each annealing from its own seed of the
+// shared restart schedule (anneal/annealer.h), fans the slices across a
+// deterministic ThreadPool, and reduces to the best slice with a total-order
+// tie-break on (cost, seed, backend).  Because every slice is a pure
+// function of its (seed, budget) pair and the reduction is performed in
+// schedule order over an index-addressed result array, the outcome is
+// bit-identical for `numThreads = 1` and `numThreads = N` — the property
+// tests/runtime_test.cpp asserts per backend.
+//
+// `movesPerTemp == 0` auto-scaling is resolved ONCE per run (from the
+// circuit's module count, the hint every registered backend uses) and the
+// resolved value is stamped into each slice, so split-budget restarts anneal
+// on exactly the schedule the equivalent sequential run would have used.
+//
+// `timeLimitSec`, when positive, caps each slice's wall clock individually;
+// as everywhere else in the library, results under an active time cap are
+// not reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/placement_engine.h"
+#include "runtime/thread_pool.h"
+
+namespace als {
+
+/// One restart's slice of a portfolio plan.
+struct RestartSlice {
+  std::size_t index = 0;      ///< position in the restart schedule
+  std::uint64_t seed = 0;     ///< portfolioSeedAt(options.seed, index)
+  std::size_t maxSweeps = 0;  ///< splitSweepBudget slice (0 = uncapped)
+};
+
+/// The deterministic plan a portfolio executes: `options.numRestarts`
+/// slices (at least one), seeds from the portfolio seed schedule, sweep
+/// budgets summing exactly to `options.maxSweeps`.  When `maxSweeps > 0`
+/// the slice count is capped at the total budget — a slice budget of zero
+/// would mean "uncapped" everywhere in the library, not "no work".
+std::vector<RestartSlice> makeRestartPlan(const EngineOptions& options);
+
+/// Fans seed-split restarts (and whole-backend races) over a thread pool.
+/// Const and stateless per call: one runner may serve concurrent callers
+/// when constructed over distinct pools.
+class PortfolioRunner {
+ public:
+  /// Pool-per-run mode: each run sizes a pool from `options.numThreads`.
+  PortfolioRunner() = default;
+
+  /// Shared-pool mode: all runs use `pool` (caller keeps ownership and the
+  /// pool must outlive the runner); `options.numThreads` is then ignored.
+  explicit PortfolioRunner(ThreadPool* pool) : pool_(pool) {}
+
+  /// Runs the restart portfolio of one backend; `result.placement` is the
+  /// winning slice's placement, moves/sweeps aggregate over all slices,
+  /// `seconds` is the portfolio's wall clock.
+  EngineResult run(const Circuit& circuit, EngineBackend backend,
+                   const EngineOptions& options) const;
+
+  struct RaceOutcome {
+    EngineResult result;  ///< winning backend's full portfolio result
+    EngineBackend backend = EngineBackend::FlatBStar;
+  };
+
+  /// Races full restart portfolios of several backends over one pool; the
+  /// flattened backend x restart grid saturates the pool.  Winner by
+  /// (cost, seed, position in `backends`).  Throws std::invalid_argument
+  /// when `backends` is empty.
+  RaceOutcome race(const Circuit& circuit,
+                   std::span<const EngineBackend> backends,
+                   const EngineOptions& options) const;
+
+ private:
+  ThreadPool* pool_ = nullptr;
+};
+
+/// Places many circuits with one backend/options over one pool.  The
+/// flattened circuit x restart grid keeps all threads busy even when
+/// `numRestarts` is small.  Results are index-aligned with `circuits`;
+/// each result's `seconds` is the summed annealing time of that circuit's
+/// slices (the batch shares one wall clock).
+class BatchPlacer {
+ public:
+  BatchPlacer() = default;
+  explicit BatchPlacer(ThreadPool* pool) : pool_(pool) {}
+
+  std::vector<EngineResult> placeAll(std::span<const Circuit> circuits,
+                                     EngineBackend backend,
+                                     const EngineOptions& options) const;
+
+ private:
+  ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace als

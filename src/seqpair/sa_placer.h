@@ -47,6 +47,8 @@ struct SeqPairPlacerResult {
 };
 
 /// Places `circuit` honoring all its symmetry groups exactly.
+/// Stateless and re-entrant (engine/placement_engine.h thread-safety
+/// contract): reads `circuit` only, owns its RNG via `options.seed`.
 SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
                                    const SeqPairPlacerOptions& options = {});
 

@@ -33,6 +33,8 @@ struct SlicingPlacerResult {
   double seconds = 0.0;
 };
 
+/// Stateless and re-entrant (engine/placement_engine.h thread-safety
+/// contract): reads `circuit` only, owns its RNG via `options.seed`.
 SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
                                    const SlicingPlacerOptions& options = {});
 

@@ -1,0 +1,114 @@
+#include "util/bench_json.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+
+namespace als {
+
+namespace {
+
+void appendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendNumber(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+BenchIo::BenchIo(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      smoke_ = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      jsonPath_ = argv[++i];
+    }
+  }
+}
+
+BenchIo::~BenchIo() { finish(); }
+
+void BenchIo::add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+void BenchIo::add(std::string backend, std::string circuit,
+                  const EngineResult& r, std::size_t threads) {
+  BenchRecord record;
+  record.backend = std::move(backend);
+  record.circuit = std::move(circuit);
+  record.sweeps = r.sweeps;
+  record.restarts = r.restartsRun;
+  record.threads = threads;
+  record.cost = r.cost;
+  record.hpwl = static_cast<double>(r.hpwl);
+  record.area = static_cast<double>(r.area);
+  record.seconds = r.seconds;
+  records_.push_back(std::move(record));
+}
+
+bool BenchIo::finish() {
+  if (finished_ || jsonPath_.empty()) {
+    finished_ = true;
+    return true;
+  }
+  finished_ = true;
+
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    out += "  {\"backend\": \"";
+    appendEscaped(out, r.backend);
+    out += "\", \"circuit\": \"";
+    appendEscaped(out, r.circuit);
+    out += "\", \"sweeps\": " + std::to_string(r.sweeps);
+    out += ", \"restarts\": " + std::to_string(r.restarts);
+    out += ", \"threads\": " + std::to_string(r.threads);
+    out += ", \"cost\": ";
+    appendNumber(out, r.cost);
+    out += ", \"hpwl\": ";
+    appendNumber(out, r.hpwl);
+    out += ", \"area\": ";
+    appendNumber(out, r.area);
+    out += ", \"seconds\": ";
+    appendNumber(out, r.seconds);
+    out += i + 1 < records_.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+
+  std::FILE* f = std::fopen(jsonPath_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open '%s' for writing\n",
+                 jsonPath_.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::fprintf(stderr, "bench_json: short write to '%s'\n", jsonPath_.c_str());
+  } else {
+    std::fprintf(stderr, "bench_json: wrote %zu record(s) to %s\n",
+                 records_.size(), jsonPath_.c_str());
+  }
+  return ok;
+}
+
+}  // namespace als

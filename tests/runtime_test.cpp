@@ -1,0 +1,277 @@
+// Runtime-layer tests: the deterministic ThreadPool and the restart
+// portfolio's concurrency contract — for a fixed (seed, budget, restarts)
+// configuration, `numThreads = 1` and `numThreads = 8` must produce
+// bit-identical EngineResults on every backend.  ci.sh runs this suite
+// under ASan/UBSan (twice) and TSan, so the pool's synchronization and the
+// backends' statelessness are both exercised under instrumentation.
+#include "runtime/portfolio.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "anneal/annealer.h"
+#include "netlist/generators.h"
+#include "runtime/thread_pool.h"
+
+namespace als {
+namespace {
+
+void expectBitIdentical(const EngineResult& a, const EngineResult& b,
+                        std::string_view label) {
+  EXPECT_EQ(a.cost, b.cost) << label;
+  EXPECT_EQ(a.area, b.area) << label;
+  EXPECT_EQ(a.hpwl, b.hpwl) << label;
+  EXPECT_EQ(a.movesTried, b.movesTried) << label;
+  EXPECT_EQ(a.sweeps, b.sweeps) << label;
+  EXPECT_EQ(a.restartsRun, b.restartsRun) << label;
+  EXPECT_EQ(a.bestRestart, b.bestRestart) << label;
+  EXPECT_EQ(a.bestSeed, b.bestSeed) << label;
+  ASSERT_EQ(a.placement.size(), b.placement.size()) << label;
+  for (std::size_t m = 0; m < a.placement.size(); ++m) {
+    EXPECT_EQ(a.placement[m], b.placement[m]) << label << " module " << m;
+  }
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  std::vector<std::atomic<int>> hits(512);
+  pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  // The pool is reusable: a second fork-join sees fresh state.
+  pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 2) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threadCount(), 1u);
+  std::size_t sum = 0;  // no synchronization: everything runs on this thread
+  pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(3);
+  pool.parallelFor(0, [&](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, PropagatesTheSmallestFailingIndex) {
+  ThreadPool pool(4);
+  auto fail = [](std::size_t i) {
+    if (i == 97 || i == 11 || i == 200) {
+      throw std::runtime_error(std::to_string(i));
+    }
+  };
+  try {
+    pool.parallelFor(256, fail);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "11");
+  }
+  // The pool survives a failed job.
+  std::atomic<int> count{0};
+  pool.parallelFor(32, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(RestartPlan, SplitsSeedsAndBudgetsDeterministically) {
+  EngineOptions opt;
+  opt.seed = 5;
+  opt.maxSweeps = 10;
+  opt.numRestarts = 4;
+  std::vector<RestartSlice> plan = makeRestartPlan(opt);
+  ASSERT_EQ(plan.size(), 4u);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].index, i);
+    EXPECT_EQ(plan[i].seed, portfolioSeedAt(5, i));
+    total += plan[i].maxSweeps;
+    // Remainder-first split: slices differ by at most one sweep.
+    EXPECT_GE(plan[i].maxSweeps, 10u / 4u);
+    EXPECT_LE(plan[i].maxSweeps, 10u / 4u + 1u);
+  }
+  EXPECT_EQ(total, 10u);
+  // Slice 0 anneals from the base seed itself; later slices are mixed and
+  // their seeds (and LCG successor streams) must not collide.
+  EXPECT_EQ(plan[0].seed, 5u);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_NE(plan[i].seed, plan[i - 1].seed);
+    EXPECT_NE(plan[i].seed, nextRestartSeed(plan[i - 1].seed));
+  }
+  // numRestarts == 0 degrades to a single full-budget restart.
+  opt.numRestarts = 0;
+  plan = makeRestartPlan(opt);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].seed, 5u);
+  EXPECT_EQ(plan[0].maxSweeps, 10u);
+}
+
+TEST(RestartPlan, CapsSliceCountAtTheSweepBudget) {
+  // A zero slice budget would mean "uncapped", so more restarts than sweeps
+  // must degrade to one-sweep slices, never to freeze-terminated runs.
+  EngineOptions opt;
+  opt.seed = 3;
+  opt.maxSweeps = 4;
+  opt.numRestarts = 8;
+  std::vector<RestartSlice> plan = makeRestartPlan(opt);
+  ASSERT_EQ(plan.size(), 4u);
+  for (const RestartSlice& slice : plan) EXPECT_EQ(slice.maxSweeps, 1u);
+  // An uncapped portfolio keeps all its restarts (each freeze-terminated).
+  opt.maxSweeps = 0;
+  plan = makeRestartPlan(opt);
+  ASSERT_EQ(plan.size(), 8u);
+  for (const RestartSlice& slice : plan) EXPECT_EQ(slice.maxSweeps, 0u);
+}
+
+TEST(Portfolio, OversizedRestartCountStillHonorsTheBudgetExactly) {
+  Circuit c = makeFig1Example();
+  EngineOptions opt;
+  opt.maxSweeps = 4;
+  opt.numRestarts = 8;
+  opt.seed = 13;
+  opt.numThreads = 2;
+  PortfolioRunner runner;
+  EngineResult r = runner.run(c, EngineBackend::SeqPair, opt);
+  EXPECT_EQ(r.sweeps, 4u);
+  EXPECT_EQ(r.restartsRun, 4u);
+}
+
+TEST(Portfolio, RaceRejectsAnEmptyBackendSpan) {
+  Circuit c = makeFig1Example();
+  PortfolioRunner runner;
+  EXPECT_THROW(runner.race(c, {}, EngineOptions{}), std::invalid_argument);
+}
+
+// The tentpole contract: every backend's portfolio is bit-identical between
+// a 1-thread and an 8-thread run of the same plan.
+TEST(Portfolio, ThreadCountDoesNotChangeAnyBackendsResult) {
+  Circuit c = makeTableICircuit(TableICircuit::ComparatorV2);
+  EngineOptions opt;
+  opt.maxSweeps = 120;
+  opt.numRestarts = 4;
+  opt.seed = 17;
+  PortfolioRunner runner;
+  for (EngineBackend backend : allBackends()) {
+    opt.numThreads = 1;
+    EngineResult serial = runner.run(c, backend, opt);
+    opt.numThreads = 8;
+    EngineResult parallel = runner.run(c, backend, opt);
+    expectBitIdentical(serial, parallel, backendName(backend));
+    EXPECT_EQ(serial.restartsRun, 4u) << backendName(backend);
+    // Slice budgets are exhausted exactly, so aggregates hit the total.
+    EXPECT_EQ(serial.sweeps, 120u) << backendName(backend);
+    EXPECT_LT(serial.bestRestart, 4u) << backendName(backend);
+    EXPECT_EQ(serial.bestSeed, portfolioSeedAt(17, serial.bestRestart))
+        << backendName(backend);
+  }
+}
+
+TEST(Portfolio, SingleRestartMatchesAPlainEngineCall) {
+  Circuit c = makeTableICircuit(TableICircuit::MillerV2);
+  EngineOptions opt;
+  opt.maxSweeps = 90;
+  opt.seed = 2;
+  opt.numRestarts = 1;
+  opt.numThreads = 4;
+  PortfolioRunner runner;
+  for (EngineBackend backend : allBackends()) {
+    EngineResult direct = makeEngine(backend)->place(c, opt);
+    EngineResult portfolio = runner.run(c, backend, opt);
+    // seconds is wall clock and may differ; everything else is identical.
+    expectBitIdentical(direct, portfolio, backendName(backend));
+  }
+}
+
+TEST(Portfolio, RaceIsThreadCountInvariantAndOrderedByCostSeedBackend) {
+  Circuit c = makeTableICircuit(TableICircuit::ComparatorV2);
+  EngineOptions opt;
+  opt.maxSweeps = 120;
+  opt.numRestarts = 2;
+  opt.seed = 23;
+  PortfolioRunner runner;
+  opt.numThreads = 1;
+  PortfolioRunner::RaceOutcome serial = runner.race(c, allBackends(), opt);
+  opt.numThreads = 8;
+  PortfolioRunner::RaceOutcome parallel = runner.race(c, allBackends(), opt);
+  EXPECT_EQ(serial.backend, parallel.backend);
+  expectBitIdentical(serial.result, parallel.result, "race");
+  // The winner is the (cost, seed, backend) minimum of the per-backend runs.
+  EngineResult winner = runner.run(c, serial.backend, opt);
+  EXPECT_EQ(winner.cost, serial.result.cost);
+  for (EngineBackend backend : allBackends()) {
+    EXPECT_LE(serial.result.cost, runner.run(c, backend, opt).cost)
+        << backendName(backend);
+  }
+}
+
+TEST(Portfolio, SharedPoolModeMatchesPoolPerRun) {
+  Circuit c = makeTableICircuit(TableICircuit::MillerV2);
+  EngineOptions opt;
+  opt.maxSweeps = 80;
+  opt.numRestarts = 3;
+  opt.seed = 7;
+  opt.numThreads = 5;
+  ThreadPool pool(3);  // deliberately a different size than numThreads
+  PortfolioRunner shared(&pool);
+  PortfolioRunner perRun;
+  EngineResult a = shared.run(c, EngineBackend::SeqPair, opt);
+  EngineResult b = perRun.run(c, EngineBackend::SeqPair, opt);
+  expectBitIdentical(a, b, "shared pool");
+}
+
+TEST(BatchPlacer, MatchesPerCircuitPortfolios) {
+  std::vector<Circuit> circuits;
+  circuits.push_back(makeTableICircuit(TableICircuit::ComparatorV2));
+  circuits.push_back(makeTableICircuit(TableICircuit::MillerV2));
+  circuits.push_back(makeFig1Example());
+  EngineOptions opt;
+  opt.maxSweeps = 60;
+  opt.numRestarts = 2;
+  opt.seed = 41;
+  opt.numThreads = 8;
+  BatchPlacer batch;
+  std::vector<EngineResult> results =
+      batch.placeAll(circuits, EngineBackend::SeqPair, opt);
+  ASSERT_EQ(results.size(), circuits.size());
+  PortfolioRunner runner;
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    EngineResult expected = runner.run(circuits[i], EngineBackend::SeqPair, opt);
+    expectBitIdentical(expected, results[i],
+                       "batch circuit " + std::to_string(i));
+  }
+}
+
+// Stress for the sanitizer configs (ASan/UBSan catch lifetime bugs, TSan the
+// synchronization): many short fork-joins plus a full multi-backend race on
+// an oversubscribed pool.
+TEST(Runtime, StressUnderSanitizers) {
+  ThreadPool pool(8);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallelFor(64, [&](std::size_t i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 50u * 2016u);
+
+  Circuit c = makeSynthetic(
+      {.name = "stress", .moduleCount = 12, .seed = 3, .symmetricFraction = 0.5});
+  EngineOptions opt;
+  opt.maxSweeps = 48;
+  opt.numRestarts = 8;
+  opt.seed = 29;
+  PortfolioRunner runner(&pool);
+  PortfolioRunner::RaceOutcome a = runner.race(c, allBackends(), opt);
+  PortfolioRunner::RaceOutcome b = runner.race(c, allBackends(), opt);
+  EXPECT_EQ(a.backend, b.backend);
+  expectBitIdentical(a.result, b.result, "stress race");
+}
+
+}  // namespace
+}  // namespace als
