@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "io/corpus.h"
 #include "netlist/generators.h"
 #include "runtime/portfolio.h"
 #include "util/bench_json.h"
@@ -41,20 +42,29 @@ int main(int argc, char** argv) {
     Table table({"circuit", "# mods", "winner", "area/modarea", "HPWL (um)",
                  "restarts", "best restart", "time (s)"});
     PortfolioRunner runner;
-    for (TableICircuit which : allTableICircuits()) {
-      Circuit c = makeTableICircuit(which);
-      if (io.smoke() && c.moduleCount() > 50) continue;  // CI smoke: small four
+    auto raceRow = [&](const Circuit& c, const std::string& label) {
       PortfolioRunner::RaceOutcome outcome = runner.race(c, allBackends(), opt);
       const EngineResult& r = outcome.result;
-      table.addRow({tableIName(which), std::to_string(c.moduleCount()),
+      table.addRow({label, std::to_string(c.moduleCount()),
                     std::string(backendName(outcome.backend)),
                     Table::fmt(static_cast<double>(r.area) /
                                static_cast<double>(c.totalModuleArea())),
                     Table::fmt(static_cast<double>(r.hpwl) / 1000.0, 1),
                     std::to_string(r.restartsRun),
                     std::to_string(r.bestRestart), Table::fmt(r.seconds, 2)});
-      io.add(std::string(backendName(outcome.backend)), tableIName(which), r,
-             hardware);
+      io.add(std::string(backendName(outcome.backend)), label, r, hardware);
+    };
+    for (TableICircuit which : allTableICircuits()) {
+      Circuit c = makeTableICircuit(which);
+      if (io.smoke() && c.moduleCount() > 50) continue;  // CI smoke: small four
+      raceRow(c, tableIName(which));
+    }
+    // The embedded benchmark corpus (real-file workloads) races alongside
+    // the generated Table-I circuits.
+    for (CorpusCircuit which : allCorpusCircuits()) {
+      Circuit c = loadCorpusCircuit(which);
+      if (io.smoke() && c.moduleCount() > 50) continue;
+      raceRow(c, corpusName(which));
     }
     table.print(std::cout);
     std::printf(

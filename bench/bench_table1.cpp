@@ -12,7 +12,10 @@
 // Flags: --json <path>, --smoke (skips the two largest circuits in CI).
 #include <cstdio>
 #include <iostream>
+#include <utility>
+#include <vector>
 
+#include "io/corpus.h"
 #include "netlist/generators.h"
 #include "shapefn/deterministic.h"
 #include "shapefn/enumerate.h"
@@ -32,9 +35,17 @@ int main(int argc, char** argv) {
                "RSF area usage", "RSF time (s)", "Area improvement"});
   double sumImp = 0.0, sumRatio = 0.0;
   int rows = 0;
+  // Generated Table-I circuits plus the embedded benchmark corpus (the
+  // canonical hierarchy keeps corpus basic sets small enough to enumerate).
+  std::vector<std::pair<std::string, Circuit>> experiments;
   for (TableICircuit which : allTableICircuits()) {
-    Circuit c = makeTableICircuit(which);
-    if (io.smoke() && c.moduleCount() > 50) continue;  // CI smoke: small four
+    experiments.emplace_back(tableIName(which), makeTableICircuit(which));
+  }
+  for (CorpusCircuit which : allCorpusCircuits()) {
+    experiments.emplace_back(corpusName(which), loadCorpusCircuit(which));
+  }
+  for (const auto& [name, c] : experiments) {
+    if (io.smoke() && c.moduleCount() > 50) continue;  // CI smoke: small ones
 
     DeterministicOptions esfOpt;
     esfOpt.kind = AdditionKind::Enhanced;
@@ -45,11 +56,11 @@ int main(int argc, char** argv) {
     DeterministicResult rsf = placeDeterministic(c, rsfOpt);
 
     double impPts = (rsf.areaUsage - esf.areaUsage) * 100.0;
-    io.add({"esf", tableIName(which), 0, 0, 1, esf.areaUsage, 0.0,
+    io.add({"esf", name, 0, 0, 1, esf.areaUsage, 0.0,
             static_cast<double>(esf.area), esf.seconds});
-    io.add({"rsf", tableIName(which), 0, 0, 1, rsf.areaUsage, 0.0,
+    io.add({"rsf", name, 0, 0, 1, rsf.areaUsage, 0.0,
             static_cast<double>(rsf.area), rsf.seconds});
-    table.addRow({tableIName(which), std::to_string(c.moduleCount()),
+    table.addRow({name, std::to_string(c.moduleCount()),
                   Table::fmtPercent(esf.areaUsage), Table::fmt(esf.seconds, 2),
                   Table::fmtPercent(rsf.areaUsage), Table::fmt(rsf.seconds, 2),
                   Table::fmt(impPts, 2) + "pp"});

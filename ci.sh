@@ -50,4 +50,11 @@ if [ -x build/bench_kernels ]; then
     --benchmark_out_format=json > build/bench-smoke/bench_kernels.out
 fi
 
+echo "=== als_place smoke: corpus x backends determinism gate ==="
+# Places every embedded corpus circuit on all four backends, twice and at
+# 1 vs 8 threads; exits nonzero on any parse error, illegal placement or
+# bit-level mismatch.
+./build/als_place --smoke --json build/bench-smoke/als_place.json \
+  > build/bench-smoke/als_place.out
+
 echo "=== CI green ==="

@@ -1,0 +1,304 @@
+#include "io/corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "io/benchmark_format.h"
+
+namespace als {
+
+namespace {
+
+// All dimensions in DBU (1 DBU = 1 nm; blocks are tens-of-um scale, like
+// the library's generated circuits).
+
+constexpr std::string_view kApte = R"(# apte-scale: 9 large, fairly uniform macro blocks, one symmetry group.
+ALSBENCH 1
+Circuit apte
+NumBlocks 9
+Block cc_1 121000 114000 norotate
+Block cc_2 121000 114000 norotate
+Block cc_3 93000 87000 norotate
+Block cc_4 93000 87000 norotate
+Block cc_5 66000 152000
+Block cc_6 66000 152000
+Block cc_7 152000 84000
+Block cc_8 115000 72000
+Block cc_9 78000 60000
+NumNets 7
+Net n1 3 cc_1 cc_2 cc_5
+Net n2 3 cc_3 cc_4 cc_7
+Net n3 3 cc_5 cc_6 cc_9
+Net n4 2 cc_7 cc_8
+Net n5 3 cc_1 cc_3 cc_8
+Net n6 3 cc_2 cc_4 cc_9
+Net n7 3 cc_6 cc_8 cc_9
+NumSymGroups 1
+SymGroup core 2 0
+SymPair cc_1 cc_2
+SymPair cc_3 cc_4
+)";
+
+constexpr std::string_view kXerox = R"(# xerox-scale: 10 blocks with strongly varying footprints; sb1/sb2 are
+# soft blocks (area + aspect range) resolved by the parser.
+ALSBENCH 1
+Circuit xerox
+NumBlocks 10
+Block xr_1 226000 89000
+Block xr_2 176000 121000
+Block xr_3 121000 84000
+Block xr_4 104000 104000 norotate
+Block xr_5 84000 68000
+Block xr_6 57000 126000
+Block xr_7 144000 49000
+Block xr_8 68000 52000
+SoftBlock sb1 6400000000 0.5 2.0
+SoftBlock sb2 2000000000 1.5 3.0
+NumNets 8
+Net n1 3 xr_1 xr_2 xr_5
+Net n2 2 xr_2 xr_3
+Net n3 3 xr_3 xr_4 sb1
+Net n4 3 xr_4 xr_6 sb2
+Net n5 2 xr_5 xr_7
+Net n6 3 xr_6 xr_7 xr_8
+Net n7 3 xr_1 xr_8 sb1
+Net n8 2 sb1 sb2
+)";
+
+constexpr std::string_view kHp = R"(# hp-scale: 11 blocks, one pair-plus-self symmetry group.
+ALSBENCH 1
+Circuit hp
+NumBlocks 11
+Block hp_1 60000 35000 norotate
+Block hp_2 60000 35000 norotate
+Block hp_3 40000 28000 norotate
+Block hp_4 109000 45000
+Block hp_5 81000 63000
+Block hp_6 45000 108000
+Block hp_7 63000 54000
+Block hp_8 36000 27000
+Block hp_9 72000 27000
+Block hp_10 27000 90000
+Block hp_11 54000 36000
+NumNets 9
+Net n1 3 hp_1 hp_2 hp_3
+Net n2 3 hp_1 hp_4 hp_5
+Net n3 3 hp_2 hp_4 hp_6
+Net n4 2 hp_3 hp_7
+Net n5 3 hp_5 hp_7 hp_9
+Net n6 3 hp_6 hp_8 hp_10
+Net n7 2 hp_8 hp_11
+Net n8 3 hp_9 hp_10 hp_11
+Net n9 4 hp_3 hp_4 hp_9 hp_11
+NumSymGroups 1
+SymGroup inpair 1 1
+SymPair hp_1 hp_2
+SymSelf hp_3
+)";
+
+constexpr std::string_view kAmi33 = R"(# ami33-scale: 33 mixed-size blocks, two symmetry groups.
+ALSBENCH 1
+Circuit ami33
+NumBlocks 33
+Block b1 31000 10000 norotate
+Block b2 31000 10000 norotate
+Block b3 55000 21000 norotate
+Block b4 55000 21000 norotate
+Block b5 12000 59000
+Block b6 28000 9000
+Block b7 48000 53000 norotate
+Block b8 48000 53000 norotate
+Block b9 44000 14000 norotate
+Block b10 35000 35000
+Block b11 15000 33000
+Block b12 53000 56000
+Block b13 46000 40000
+Block b14 25000 29000
+Block b15 9000 37000
+Block b16 51000 11000
+Block b17 57000 17000
+Block b18 63000 18000
+Block b19 16000 49000
+Block b20 12000 35000
+Block b21 43000 45000
+Block b22 8000 53000
+Block b23 42000 39000
+Block b24 40000 21000
+Block b25 26000 18000
+Block b26 39000 9000
+Block b27 49000 14000
+Block b28 40000 15000
+Block b29 28000 33000
+Block b30 38000 8000
+Block b31 14000 47000
+Block b32 37000 37000
+Block b33 44000 48000
+NumNets 20
+Net n1 4 b1 b2 b3 b4
+Net n2 2 b3 b4
+Net n3 2 b5 b9
+Net n4 4 b7 b8 b9 b11
+Net n5 3 b9 b12 b13
+Net n6 2 b11 b13
+Net n7 3 b13 b15 b17
+Net n8 4 b15 b17 b18 b19
+Net n9 2 b17 b21
+Net n10 2 b19 b20
+Net n11 3 b21 b22 b23
+Net n12 3 b23 b24 b27
+Net n13 3 b25 b27 b29
+Net n14 3 b27 b28 b31
+Net n15 3 b29 b31 b32
+Net n16 2 b31 b33
+Net n17 5 b3 b8 b13 b25 b26
+Net n18 3 b1 b9 b11
+Net n19 4 b10 b23 b27 b31
+Net n20 3 b4 b24 b25
+NumSymGroups 2
+SymGroup sg1 2 0
+SymPair b1 b2
+SymPair b3 b4
+SymGroup sg2 1 1
+SymPair b7 b8
+SymSelf b9
+)";
+
+constexpr std::string_view kAmi49 = R"(# ami49-scale: 49 mixed-size blocks, one symmetric pair.
+ALSBENCH 1
+Circuit ami49
+NumBlocks 49
+Block m1 42000 46000
+Block m2 58000 52000
+Block m3 39000 8000
+Block m4 47000 8000
+Block m5 16000 30000
+Block m6 8000 33000
+Block m7 54000 20000
+Block m8 41000 22000
+Block m9 43000 44000
+Block m10 56000 64000 norotate
+Block m11 56000 64000 norotate
+Block m12 16000 49000
+Block m13 53000 20000
+Block m14 27000 28000
+Block m15 32000 10000
+Block m16 10000 36000
+Block m17 61000 20000
+Block m18 32000 17000
+Block m19 33000 11000
+Block m20 23000 13000
+Block m21 52000 11000
+Block m22 9000 50000
+Block m23 11000 28000
+Block m24 35000 11000
+Block m25 56000 8000
+Block m26 10000 33000
+Block m27 20000 20000
+Block m28 40000 39000
+Block m29 19000 12000
+Block m30 48000 43000
+Block m31 38000 10000
+Block m32 45000 11000
+Block m33 23000 14000
+Block m34 15000 57000
+Block m35 31000 12000
+Block m36 60000 11000
+Block m37 25000 29000
+Block m38 53000 12000
+Block m39 35000 34000
+Block m40 34000 31000
+Block m41 24000 11000
+Block m42 28000 26000
+Block m43 10000 53000
+Block m44 32000 13000
+Block m45 64000 15000
+Block m46 37000 35000
+Block m47 56000 53000
+Block m48 40000 40000
+Block m49 29000 27000
+NumNets 30
+Net n1 2 m1 m2
+Net n2 2 m3 m5
+Net n3 3 m5 m6 m7
+Net n4 4 m7 m9 m10 m11
+Net n5 2 m9 m13
+Net n6 2 m11 m12
+Net n7 2 m13 m16
+Net n8 4 m15 m16 m18 m19
+Net n9 3 m17 m19 m20
+Net n10 3 m19 m22 m23
+Net n11 2 m21 m23
+Net n12 3 m23 m25 m27
+Net n13 3 m25 m26 m29
+Net n14 3 m27 m29 m31
+Net n15 3 m29 m30 m32
+Net n16 2 m31 m34
+Net n17 2 m33 m34
+Net n18 3 m35 m37 m39
+Net n19 4 m37 m38 m39 m41
+Net n20 4 m39 m40 m41 m43
+Net n21 4 m41 m42 m44 m45
+Net n22 2 m43 m47
+Net n23 2 m45 m46
+Net n24 3 m47 m48 m49
+Net n25 3 m21 m23 m25
+Net n26 4 m4 m10 m15 m46
+Net n27 5 m16 m19 m20 m33 m46
+Net n28 3 m3 m13 m21
+Net n29 3 m23 m37 m40
+Net n30 3 m33 m41 m43
+NumSymGroups 1
+SymGroup sg1 1 0
+SymPair m10 m11
+)";
+
+}  // namespace
+
+std::vector<CorpusCircuit> allCorpusCircuits() {
+  return {CorpusCircuit::Apte, CorpusCircuit::Xerox, CorpusCircuit::Hp,
+          CorpusCircuit::Ami33, CorpusCircuit::Ami49};
+}
+
+const char* corpusName(CorpusCircuit which) {
+  switch (which) {
+    case CorpusCircuit::Apte: return "apte";
+    case CorpusCircuit::Xerox: return "xerox";
+    case CorpusCircuit::Hp: return "hp";
+    case CorpusCircuit::Ami33: return "ami33";
+    case CorpusCircuit::Ami49: return "ami49";
+  }
+  return "?";
+}
+
+std::string_view corpusText(CorpusCircuit which) {
+  switch (which) {
+    case CorpusCircuit::Apte: return kApte;
+    case CorpusCircuit::Xerox: return kXerox;
+    case CorpusCircuit::Hp: return kHp;
+    case CorpusCircuit::Ami33: return kAmi33;
+    case CorpusCircuit::Ami49: return kAmi49;
+  }
+  return {};
+}
+
+bool corpusByName(std::string_view name, CorpusCircuit* out) {
+  for (CorpusCircuit which : allCorpusCircuits()) {
+    if (name == corpusName(which)) {
+      *out = which;
+      return true;
+    }
+  }
+  return false;
+}
+
+Circuit loadCorpusCircuit(CorpusCircuit which) {
+  ParseResult parsed = parseBenchmark(corpusText(which));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "embedded corpus circuit '%s' fails to parse: %s\n",
+                 corpusName(which), parsed.error.c_str());
+    std::abort();
+  }
+  return std::move(parsed.circuit);
+}
+
+}  // namespace als

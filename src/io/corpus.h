@@ -1,0 +1,47 @@
+// Embedded benchmark corpus: MCNC-scale block sets (apte / xerox / hp /
+// ami33 / ami49 block counts) in the ALSBENCH exchange format, compiled in
+// as string literals so tests, benches and the als_place CLI need no
+// network access or external files.
+//
+// The originals' netlists are not redistributable here, so these are
+// *-scale* stand-ins: the block counts match the classic corpus (9 / 10 /
+// 11 / 33 / 49), footprints vary as strongly as the originals', and the
+// circuits add the analog annotations this library places — symmetry
+// groups on matched blocks (apte, hp, ami33, ami49) and soft blocks with
+// aspect ranges (xerox).  Every circuit parses through io/benchmark_format
+// like any user-supplied file; nothing is special-cased.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace als {
+
+enum class CorpusCircuit {
+  Apte,   ///<  9 blocks, 2 symmetric pairs in one group
+  Xerox,  ///< 10 blocks, two of them soft (aspect-range) blocks
+  Hp,     ///< 11 blocks, one pair + self-symmetric group
+  Ami33,  ///< 33 blocks, two symmetry groups
+  Ami49,  ///< 49 blocks, one symmetric pair
+};
+
+/// All corpus circuits in a stable order (small to large).
+std::vector<CorpusCircuit> allCorpusCircuits();
+
+const char* corpusName(CorpusCircuit which);
+
+/// The embedded benchmark file text (ALSBENCH format, parseable as-is).
+std::string_view corpusText(CorpusCircuit which);
+
+/// Looks a corpus circuit up by its name ("apte", ..., case-sensitive);
+/// returns false when `name` is not a corpus circuit.
+bool corpusByName(std::string_view name, CorpusCircuit* out);
+
+/// Parses the embedded text into a Circuit.  The corpus is covered by the
+/// io tests, so a parse failure here is a library bug; this helper
+/// terminates on one rather than returning an error.
+Circuit loadCorpusCircuit(CorpusCircuit which);
+
+}  // namespace als

@@ -4,6 +4,7 @@
 #include "bstar/contour.h"
 #include "bstar/pack.h"
 #include "netlist/generators.h"
+#include "test_util.h"
 
 namespace als {
 namespace {
@@ -112,7 +113,11 @@ TEST(BStarPack, AlwaysLegalAndCompact) {
   for (int trial = 0; trial < 60; ++trial) {
     BStarTree t = BStarTree::random(c.moduleCount(), rng);
     Placement p = packBStar(t, w, h);
-    ASSERT_TRUE(p.isLegal()) << "trial " << trial;
+    // Raw B*-tree packing ignores symmetry groups; the shared invariants
+    // otherwise apply (footprints, overlap-freedom, non-negative quadrant).
+    test_util::expectPlacementInvariants(
+        p, c, {.symTolerance = test_util::kNoSymmetryCheck},
+        "trial " + std::to_string(trial));
     // Lower-left compaction: bounding box anchored at the origin.
     EXPECT_EQ(p.boundingBox().x, 0);
     EXPECT_EQ(p.boundingBox().y, 0);
@@ -128,7 +133,9 @@ TEST(BStarPack, PerturbedTreesStayLegal) {
   for (int step = 0; step < 300; ++step) {
     t.perturb(rng);
     Placement p = packBStar(t, w, h);
-    ASSERT_TRUE(p.isLegal()) << "step " << step;
+    test_util::expectPlacementInvariants(
+        p, c, {.symTolerance = test_util::kNoSymmetryCheck},
+        "step " + std::to_string(step));
   }
 }
 

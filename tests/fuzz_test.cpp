@@ -1,11 +1,19 @@
 // Randomized differential tests ("fuzz") for the geometric substrates the
-// placers build on: contour, profiles, slides, macro packing.  Each suite
-// checks the optimized structure against a brute-force oracle.
+// placers build on: contour, profiles, slides, macro packing — plus the
+// benchmark parser, which must turn arbitrarily corrupted text into a clean
+// error (never a crash, assert or leak; ci.sh runs this suite under
+// ASan/UBSan).  The geometric suites check the optimized structure against
+// a brute-force oracle.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
 
 #include "bstar/contour.h"
 #include "bstar/pack.h"
 #include "geom/profile.h"
+#include "io/benchmark_format.h"
+#include "io/corpus.h"
 #include "util/rng.h"
 
 namespace als {
@@ -175,6 +183,123 @@ TEST(MacroPackFuzz, PerturbedMacroTreesStayLegal) {
     tree.perturb(rng);
     PackedMacros packed = packMacros(tree, macros, moduleId);
     ASSERT_TRUE(packed.placement.isLegal()) << "step " << step;
+  }
+}
+
+// --- benchmark parser ----------------------------------------------------
+
+/// A parse attempt is "clean" when it either fails with a message or
+/// succeeds with a circuit that passes validation and carries a hierarchy —
+/// the downstream placers' entry contract.
+void expectCleanParse(std::string_view text, const char* what) {
+  ParseResult r = parseBenchmark(text);
+  if (r.ok()) {
+    std::string why;
+    EXPECT_TRUE(r.circuit.validate(&why)) << what << ": " << why;
+    EXPECT_FALSE(r.circuit.hierarchy().empty()) << what;
+    EXPECT_GT(r.circuit.moduleCount(), 0u) << what;
+  } else {
+    EXPECT_FALSE(r.error.empty()) << what;
+  }
+}
+
+TEST(ParserFuzz, EveryTruncationFailsCleanly) {
+  for (CorpusCircuit which :
+       {CorpusCircuit::Apte, CorpusCircuit::Xerox, CorpusCircuit::Ami33}) {
+    std::string_view text = corpusText(which);
+    for (std::size_t len = 0; len < text.size(); ++len) {
+      expectCleanParse(text.substr(0, len),
+                       (std::string(corpusName(which)) + " truncated to " +
+                        std::to_string(len))
+                           .c_str());
+    }
+  }
+}
+
+TEST(ParserFuzz, ByteCorruptionsFailCleanly) {
+  std::string_view base = corpusText(CorpusCircuit::Hp);
+  Rng rng(211);
+  for (int round = 0; round < 400; ++round) {
+    std::string text(base);
+    std::size_t flips = 1 + rng.index(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      std::size_t at = rng.index(text.size());
+      text[at] = static_cast<char>(rng.uniformInt(0, 255));
+    }
+    expectCleanParse(text, ("corruption round " + std::to_string(round)).c_str());
+  }
+}
+
+TEST(ParserFuzz, LineShufflesFailCleanly) {
+  std::string_view base = corpusText(CorpusCircuit::Ami49);
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : base) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  Rng rng(223);
+  for (int round = 0; round < 120; ++round) {
+    std::vector<std::string> shuffled = lines;
+    // A few random transpositions keep most structure intact — the nastiest
+    // inputs are *almost* valid files.
+    for (int swaps = 0; swaps < 6; ++swaps) {
+      std::swap(shuffled[rng.index(shuffled.size())],
+                shuffled[rng.index(shuffled.size())]);
+    }
+    std::string text;
+    for (const std::string& line : shuffled) text += line + "\n";
+    expectCleanParse(text, ("shuffle round " + std::to_string(round)).c_str());
+  }
+}
+
+TEST(ParserFuzz, HostileCountsAndTokensFailCleanly) {
+  const char* hostile[] = {
+      "ALSBENCH 1\nCircuit c\nNumBlocks 99999999999999999999\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1000001\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 999999999999 5\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a -4 5\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nSoftBlock s 1e308 0.5 2\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nSoftBlock s nan 0.5 2\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nSoftBlock s 100 inf 2\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumNets 1\n"
+      "Net n 4294967295 a\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumHierNodes 7\n"
+      "Leaf a a\nGroup g none - 1 0\nGroup h none - 1 1\nGroup i none - 1 2\n"
+      "Group j none - 1 3\nGroup k none - 1 4\nGroup l none - 1 5\nRoot 99\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumHierNodes 2\n"
+      "Leaf a a\nGroup g none - 2 0 0\nRoot 1\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumHierNodes 2\n"
+      "Leaf x a\nLeaf y a\nRoot 0\n",
+  };
+  for (const char* text : hostile) {
+    ParseResult r = parseBenchmark(text);
+    EXPECT_FALSE(r.ok()) << text;
+    EXPECT_FALSE(r.error.empty()) << text;
+  }
+}
+
+TEST(ParserFuzz, RandomTokenSoupFailsCleanly) {
+  const char* words[] = {"ALSBENCH", "Circuit",  "NumBlocks", "Block",
+                         "SoftBlock", "NumNets",  "Net",       "NumSymGroups",
+                         "SymGroup",  "SymPair",  "SymSelf",   "NumHierNodes",
+                         "Leaf",      "Group",    "Root",      "1",
+                         "0",         "-3",       "4e9",       "a",
+                         "b",         "norotate", "none",      "symmetry",
+                         "#",         "common-centroid"};
+  Rng rng(227);
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    std::size_t tokens = rng.index(120);
+    for (std::size_t t = 0; t < tokens; ++t) {
+      text += words[rng.index(std::size(words))];
+      text += rng.uniform() < 0.25 ? '\n' : ' ';
+    }
+    expectCleanParse(text, ("soup round " + std::to_string(round)).c_str());
   }
 }
 

@@ -1,0 +1,338 @@
+// Benchmark I/O tests: parsing, soft-block resolution, error reporting,
+// canonical hierarchy synthesis, the embedded corpus, and the write ->
+// parse round trip — which must reconstruct circuits *structurally
+// identically* (including hierarchy node ids) and therefore place
+// bit-identically on every backend.
+#include "io/benchmark_format.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/placement_engine.h"
+#include "io/corpus.h"
+#include "netlist/generators.h"
+#include "test_util.h"
+
+namespace als {
+namespace {
+
+constexpr std::string_view kTiny = R"(
+# a tiny well-formed file
+ALSBENCH 1
+Circuit tiny example
+NumBlocks 3
+Block a 10 20
+Block b 10 20 norotate
+SoftBlock s 400 0.5 2.0
+NumNets 2
+Net n1 2 a b
+Net n2 3 a b s 2.5
+NumSymGroups 1
+SymGroup g 1 1
+SymPair a b
+SymSelf s
+)";
+
+TEST(BenchmarkParse, WellFormedFile) {
+  ParseResult r = parseBenchmark(kTiny);
+  ASSERT_TRUE(r.ok()) << r.error;
+  const Circuit& c = r.circuit;
+  EXPECT_EQ(c.name(), "tiny example");
+  ASSERT_EQ(c.moduleCount(), 3u);
+  EXPECT_EQ(c.module(0).name, "a");
+  EXPECT_EQ(c.module(0).w, 10);
+  EXPECT_EQ(c.module(0).h, 20);
+  EXPECT_TRUE(c.module(0).rotatable);
+  EXPECT_FALSE(c.module(1).rotatable);
+  // Soft block: aspect range [0.5, 2] contains 1, so the resolution is the
+  // 20x20 square covering area 400.
+  EXPECT_EQ(c.module(2).w, 20);
+  EXPECT_EQ(c.module(2).h, 20);
+  ASSERT_EQ(c.nets().size(), 2u);
+  EXPECT_EQ(c.nets()[0].pins, (std::vector<ModuleId>{0, 1}));
+  EXPECT_DOUBLE_EQ(c.nets()[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(c.nets()[1].weight, 2.5);
+  ASSERT_EQ(c.symmetryGroups().size(), 1u);
+  EXPECT_EQ(c.symmetryGroup(0).pairs.size(), 1u);
+  EXPECT_EQ(c.symmetryGroup(0).selfs, (std::vector<ModuleId>{2}));
+  // The parser synthesized a canonical hierarchy.
+  EXPECT_FALSE(c.hierarchy().empty());
+}
+
+TEST(BenchmarkParse, SoftBlockAspectClamping) {
+  // Aspect range excludes 1: the closest in-range aspect (1.5) wins.
+  // w = round(sqrt(2e9 * 1.5)) = 54772, h = ceil(2e9 / 54772) = 36516.
+  ParseResult r = parseBenchmark(
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nSoftBlock s 2000000000 1.5 3.0\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.circuit.module(0).w, 54772);
+  EXPECT_EQ(r.circuit.module(0).h, 36516);
+  EXPECT_GE(r.circuit.module(0).w * r.circuit.module(0).h, 2000000000);
+}
+
+TEST(BenchmarkParse, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"", "unexpected end"},
+      {"YALBENCH 1\n", "expected 'ALSBENCH'"},
+      {"ALSBENCH 2\nCircuit c\nNumBlocks 1\nBlock a 1 1\n", "version"},
+      {"ALSBENCH 1\nCircuit\nNumBlocks 1\nBlock a 1 1\n", "circuit name"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 0\n", "at least 1"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 2\nBlock a 1 1\n", "unexpected end"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 0 5\n", "bad dimension"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 5 x\n", "bad dimension"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 2\nBlock a 1 1\nBlock a 2 2\n",
+       "duplicate block"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumNets 1\n"
+       "Net n 2 a zz\n", "unknown block"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumNets 1\n"
+       "Net n 3 a a\n", "pin list"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumSymGroups 1\n"
+       "SymGroup g 1 0\nSymPair a a\n", "with itself"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\njunk here\n",
+       "trailing content"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nSoftBlock s 100 3.0 1.5\n",
+       "aspect range"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 2\nBlock a 1 1\nBlock b 2 2\n"
+       "NumSymGroups 1\nSymGroup g 1 0\nSymPair a b\n", "validation"},
+  };
+  for (const Case& test : cases) {
+    ParseResult r = parseBenchmark(test.text);
+    EXPECT_FALSE(r.ok()) << test.text;
+    EXPECT_NE(r.error.find(test.needle), std::string::npos)
+        << "error '" << r.error << "' should mention '" << test.needle << "'";
+  }
+}
+
+TEST(BenchmarkParse, HierarchyInvariantsAreValidated) {
+  // A symmetry node whose leaf children are not the group members must be
+  // rejected at parse time (the HB*-tree placer asserts on it otherwise).
+  const char* text =
+      "ALSBENCH 1\nCircuit c\nNumBlocks 3\n"
+      "Block a 1 1\nBlock b 1 1\nBlock x 2 2\n"
+      "NumSymGroups 1\nSymGroup g 1 0\nSymPair a b\n"
+      "NumHierNodes 5\nLeaf a a\nLeaf b b\nLeaf x x\n"
+      "Group s symmetry g 3 0 1 2\n"  // x is not a member of g
+      "Group top none - 1 3\nRoot 4\n";
+  ParseResult r = parseBenchmark(text);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("members of group"), std::string::npos) << r.error;
+
+  const char* orphan =
+      "ALSBENCH 1\nCircuit c\nNumBlocks 2\nBlock a 1 1\nBlock b 1 1\n"
+      "NumHierNodes 3\nLeaf a a\nLeaf b b\nGroup top none - 1 0\nRoot 2\n";
+  r = parseBenchmark(orphan);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("not reachable"), std::string::npos) << r.error;
+}
+
+TEST(CanonicalHierarchy, ClustersFreeBlocksAndWrapsSymGroups) {
+  Circuit c = loadCorpusCircuit(CorpusCircuit::Apte);
+  const HierTree& h = c.hierarchy();
+  // 9 leaves + 1 symmetry node (4 members) + 1 cluster of 4 free blocks
+  // (the 9th free block stays a direct root child) + the root.
+  ASSERT_EQ(h.nodeCount(), 12u);
+  for (HierNodeId id = 0; id < 9; ++id) {
+    ASSERT_TRUE(h.node(id).isLeaf());
+    EXPECT_EQ(*h.node(id).module, id);
+  }
+  const HierNode& sym = h.node(9);
+  EXPECT_EQ(sym.constraint, GroupConstraint::Symmetry);
+  EXPECT_EQ(sym.symGroup, std::optional<std::size_t>{0});
+  EXPECT_EQ(sym.children, (std::vector<HierNodeId>{0, 1, 2, 3}));
+  const HierNode& cluster = h.node(10);
+  EXPECT_EQ(cluster.constraint, GroupConstraint::None);
+  EXPECT_EQ(cluster.children, (std::vector<HierNodeId>{4, 5, 6, 7}));
+  EXPECT_EQ(h.root(), 11u);
+  EXPECT_EQ(h.node(11).children, (std::vector<HierNodeId>{9, 10, 8}));
+  // Every basic set stays small enough for exhaustive enumeration.
+  for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
+    if (!h.node(id).isLeaf() && h.isBasicSet(id)) {
+      EXPECT_LE(h.node(id).children.size(), 6u);
+    }
+  }
+}
+
+TEST(Corpus, AllCircuitsParseAndValidate) {
+  const std::size_t expectedBlocks[] = {9, 10, 11, 33, 49};
+  std::size_t i = 0;
+  for (CorpusCircuit which : allCorpusCircuits()) {
+    Circuit c = loadCorpusCircuit(which);
+    EXPECT_EQ(c.name(), corpusName(which));
+    EXPECT_EQ(c.moduleCount(), expectedBlocks[i++]);
+    EXPECT_FALSE(c.nets().empty());
+    EXPECT_FALSE(c.hierarchy().empty());
+    std::string why;
+    EXPECT_TRUE(c.validate(&why)) << corpusName(which) << ": " << why;
+  }
+}
+
+// --- round trip ----------------------------------------------------------
+
+void expectStructurallyIdentical(const Circuit& a, const Circuit& b) {
+  EXPECT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.moduleCount(), b.moduleCount());
+  for (ModuleId m = 0; m < a.moduleCount(); ++m) {
+    EXPECT_EQ(a.module(m).name, b.module(m).name) << m;
+    EXPECT_EQ(a.module(m).w, b.module(m).w) << m;
+    EXPECT_EQ(a.module(m).h, b.module(m).h) << m;
+    EXPECT_EQ(a.module(m).rotatable, b.module(m).rotatable) << m;
+  }
+  ASSERT_EQ(a.nets().size(), b.nets().size());
+  for (std::size_t n = 0; n < a.nets().size(); ++n) {
+    EXPECT_EQ(a.nets()[n].name, b.nets()[n].name) << n;
+    EXPECT_EQ(a.nets()[n].pins, b.nets()[n].pins) << n;
+    EXPECT_EQ(a.nets()[n].weight, b.nets()[n].weight) << n;
+  }
+  ASSERT_EQ(a.symmetryGroups().size(), b.symmetryGroups().size());
+  for (std::size_t g = 0; g < a.symmetryGroups().size(); ++g) {
+    const SymmetryGroup& ga = a.symmetryGroup(g);
+    const SymmetryGroup& gb = b.symmetryGroup(g);
+    EXPECT_EQ(ga.name, gb.name);
+    ASSERT_EQ(ga.pairs.size(), gb.pairs.size());
+    for (std::size_t p = 0; p < ga.pairs.size(); ++p) {
+      EXPECT_EQ(ga.pairs[p].a, gb.pairs[p].a);
+      EXPECT_EQ(ga.pairs[p].b, gb.pairs[p].b);
+    }
+    EXPECT_EQ(ga.selfs, gb.selfs);
+  }
+  ASSERT_EQ(a.hierarchy().nodeCount(), b.hierarchy().nodeCount());
+  for (HierNodeId id = 0; id < a.hierarchy().nodeCount(); ++id) {
+    const HierNode& na = a.hierarchy().node(id);
+    const HierNode& nb = b.hierarchy().node(id);
+    EXPECT_EQ(na.name, nb.name) << "node " << id;
+    EXPECT_EQ(na.constraint, nb.constraint) << "node " << id;
+    EXPECT_EQ(na.children, nb.children) << "node " << id;
+    EXPECT_EQ(na.module, nb.module) << "node " << id;
+    EXPECT_EQ(na.symGroup, nb.symGroup) << "node " << id;
+  }
+  EXPECT_EQ(a.hierarchy().root(), b.hierarchy().root());
+}
+
+/// Write -> parse -> structural identity -> bit-identical placement on
+/// every backend (the determinism check of engine_test, applied across the
+/// I/O boundary).
+void expectRoundTrip(const Circuit& original) {
+  WriteResult written = writeBenchmark(original);
+  ASSERT_TRUE(written.ok()) << written.error;
+  ParseResult parsed = parseBenchmark(written.text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  expectStructurallyIdentical(original, parsed.circuit);
+
+  // Serialization is idempotent: writing the parsed circuit reproduces the
+  // byte-identical file.
+  WriteResult again = writeBenchmark(parsed.circuit);
+  ASSERT_TRUE(again.ok()) << again.error;
+  EXPECT_EQ(written.text, again.text);
+
+  EngineOptions opt;
+  opt.maxSweeps = 100;
+  opt.seed = 5;
+  for (EngineBackend backend : allBackends()) {
+    auto engine = makeEngine(backend);
+    EngineResult a = engine->place(original, opt);
+    EngineResult b = engine->place(parsed.circuit, opt);
+    EXPECT_EQ(a.cost, b.cost) << engine->name();
+    EXPECT_EQ(a.area, b.area) << engine->name();
+    EXPECT_EQ(a.hpwl, b.hpwl) << engine->name();
+    EXPECT_EQ(a.movesTried, b.movesTried) << engine->name();
+    ASSERT_EQ(a.placement.size(), b.placement.size()) << engine->name();
+    for (std::size_t m = 0; m < a.placement.size(); ++m) {
+      EXPECT_EQ(a.placement[m], b.placement[m])
+          << engine->name() << " module " << m;
+    }
+  }
+}
+
+TEST(BenchmarkRoundTrip, MillerOpAmp) { expectRoundTrip(makeMillerOpAmp()); }
+
+TEST(BenchmarkRoundTrip, Fig2Design) { expectRoundTrip(makeFig2Design()); }
+
+TEST(BenchmarkRoundTrip, TableIComparator) {
+  expectRoundTrip(makeTableICircuit(TableICircuit::ComparatorV2));
+}
+
+TEST(BenchmarkRoundTrip, SyntheticCircuits) {
+  for (std::uint64_t seed : {7u, 19u, 83u}) {
+    SyntheticSpec spec;
+    spec.name = "rt" + std::to_string(seed);
+    spec.moduleCount = 18;
+    spec.seed = seed;
+    spec.symmetricFraction = 0.6;
+    expectRoundTrip(makeSynthetic(spec));
+  }
+}
+
+TEST(BenchmarkRoundTrip, CorpusCircuits) {
+  for (CorpusCircuit which : allCorpusCircuits()) {
+    SCOPED_TRACE(corpusName(which));
+    Circuit c = loadCorpusCircuit(which);
+    WriteResult written = writeBenchmark(c);
+    ASSERT_TRUE(written.ok()) << written.error;
+    ParseResult parsed = parseBenchmark(written.text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    expectStructurallyIdentical(c, parsed.circuit);
+  }
+}
+
+TEST(BenchmarkRoundTrip, FileHelpers) {
+  Circuit c = loadCorpusCircuit(CorpusCircuit::Apte);
+  std::string path = ::testing::TempDir() + "als_io_test_apte.alsbench";
+  std::string error;
+  ASSERT_TRUE(writeBenchmarkFile(path, c, &error)) << error;
+  ParseResult parsed = parseBenchmarkFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  expectStructurallyIdentical(c, parsed.circuit);
+  EXPECT_FALSE(parseBenchmarkFile(path + ".does-not-exist").ok());
+  std::remove(path.c_str());
+}
+
+TEST(BenchmarkWrite, RejectsUnserializableCircuits) {
+  Circuit spaces("c");
+  spaces.addModule("has space", 1, 1);
+  EXPECT_FALSE(writeBenchmark(spaces).ok());
+
+  Circuit dup("c");
+  dup.addModule("a", 1, 1);
+  dup.addModule("a", 2, 2);
+  EXPECT_FALSE(writeBenchmark(dup).ok());
+
+  EXPECT_FALSE(writeBenchmark(Circuit("empty")).ok());
+
+  // Circuit names the parser would trim (or reject) must not serialize:
+  // the round-trip guarantee would silently break.
+  Circuit padded("padded ");
+  padded.addModule("a", 1, 1);
+  EXPECT_FALSE(writeBenchmark(padded).ok());
+  Circuit blank("  ");
+  blank.addModule("a", 1, 1);
+  EXPECT_FALSE(writeBenchmark(blank).ok());
+}
+
+// The corpus symmetry circuits place with exact mirror symmetry on the
+// structural backends — the invariant checker in its strictest setting.
+TEST(CorpusPlacement, StructuralBackendsKeepSymmetryExactly) {
+  Circuit c = loadCorpusCircuit(CorpusCircuit::Apte);
+  EngineOptions opt;
+  opt.maxSweeps = 80;
+  opt.seed = 3;
+  for (EngineBackend backend : {EngineBackend::SeqPair, EngineBackend::HBStar}) {
+    auto engine = makeEngine(backend);
+    EngineResult r = engine->place(c, opt);
+    test_util::expectPlacementInvariants(r.placement, c, {.symTolerance = 0},
+                                         std::string(engine->name()));
+  }
+  for (EngineBackend backend :
+       {EngineBackend::FlatBStar, EngineBackend::Slicing}) {
+    auto engine = makeEngine(backend);
+    EngineResult r = engine->place(c, opt);
+    test_util::expectPlacementInvariants(
+        r.placement, c, {.symTolerance = test_util::kNoSymmetryCheck},
+        std::string(engine->name()));
+  }
+}
+
+}  // namespace
+}  // namespace als

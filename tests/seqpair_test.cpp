@@ -3,8 +3,10 @@
 #include "netlist/generators.h"
 #include "seqpair/moves.h"
 #include "seqpair/packer.h"
+#include "seqpair/sa_placer.h"
 #include "seqpair/sequence_pair.h"
 #include "seqpair/symmetry.h"
+#include "test_util.h"
 
 namespace als {
 namespace {
@@ -147,7 +149,10 @@ TEST(Packer, PlacementRespectsAllPairRelations) {
   for (int trial = 0; trial < 50; ++trial) {
     SequencePair sp = SequencePair::random(c.moduleCount(), rng);
     Placement p = packSequencePair(sp, w, h);
-    ASSERT_TRUE(p.isLegal());
+    // Random pairs ignore symmetry; the other shared invariants hold.
+    test_util::expectPlacementInvariants(
+        p, c, {.symTolerance = test_util::kNoSymmetryCheck},
+        "trial " + std::to_string(trial));
     for (std::size_t i = 0; i < sp.size(); ++i) {
       for (std::size_t j = 0; j < sp.size(); ++j) {
         if (sp.leftOf(i, j)) {
@@ -202,6 +207,17 @@ TEST(Packer, PackingIsLowerLeftCompacted) {
 }
 
 // --- Moves ---
+
+TEST(SaPlacer, ResultSatisfiesAllInvariantsWithExactSymmetry) {
+  // End-to-end: the symmetric-feasible annealer's result passes the shared
+  // invariant checker in its strictest setting (exact mirror symmetry).
+  Circuit c = makeMillerOpAmp();
+  SeqPairPlacerOptions opt;
+  opt.maxSweeps = 120;
+  opt.seed = 19;
+  SeqPairPlacerResult r = placeSeqPairSA(c, opt);
+  test_util::expectPlacementInvariants(r.placement, c, {.symTolerance = 0});
+}
 
 TEST(Moves, PreserveSymmetricFeasibilityOverLongWalks) {
   Circuit c = makeMillerOpAmp();

@@ -1,0 +1,316 @@
+// als_place — command-line floorplacer over the full engine/runtime stack.
+//
+// Feeds benchmark files (io/benchmark_format.h) or embedded corpus circuits
+// (io/corpus.h) through the PlacementEngine facade and the PortfolioRunner:
+// one backend's seed-split restart portfolio, or a whole-backend race, with
+// the deterministic sweep-budget contract — a fixed (seed, sweeps,
+// restarts) configuration gives bit-identical placements at any thread
+// count, which `--smoke` turns into a CI gate.
+//
+//   als_place --circuit apte --backend race --sweeps 1024 --restarts 16
+//   als_place my_design.alsbench --backend seqpair --json out.json
+//   als_place --smoke --json smoke.json       # CI: corpus x backends gate
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/placement_engine.h"
+#include "io/benchmark_format.h"
+#include "io/corpus.h"
+#include "netlist/circuit.h"
+#include "runtime/portfolio.h"
+#include "runtime/thread_pool.h"
+#include "util/bench_json.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace als;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] [file.alsbench ...]\n"
+               "\n"
+               "inputs\n"
+               "  <file>             benchmark file in ALSBENCH format\n"
+               "  --circuit <name>   embedded corpus circuit (or 'all'); see --list\n"
+               "  --list             list the embedded corpus circuits and exit\n"
+               "\n"
+               "placement\n"
+               "  --backend <name>   flat-bstar | seqpair | slicing | hbstar |\n"
+               "                     race (all four race; default)\n"
+               "  --sweeps <n>       total SA sweep budget (default 512)\n"
+               "  --restarts <n>     seed-split restarts sharing the budget (default 8)\n"
+               "  --threads <n>      worker threads, 0 = all hardware cores (default 0)\n"
+               "  --seed <n>         base seed of the restart schedule (default 1)\n"
+               "\n"
+               "output\n"
+               "  --art              ASCII rendering of each placement\n"
+               "  --out <dir>        write <circuit>.place files into <dir>\n"
+               "  --json <path>      machine-readable records (bench_json format)\n"
+               "\n"
+               "ci\n"
+               "  --smoke            gate: every corpus circuit on all four backends,\n"
+               "                     run twice and at 1 vs 8 threads; nonzero exit on\n"
+               "                     any parse error, illegal placement or mismatch\n",
+               argv0);
+  return 2;
+}
+
+bool parseNum(const char* s, std::uint64_t* out) {
+  if (*s < '0' || *s > '9') return false;  // strtoull accepts "-1"; we don't
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool identicalResults(const EngineResult& a, const EngineResult& b) {
+  if (a.cost != b.cost || a.area != b.area || a.hpwl != b.hpwl ||
+      a.movesTried != b.movesTried || a.sweeps != b.sweeps ||
+      a.restartsRun != b.restartsRun || a.bestRestart != b.bestRestart ||
+      a.bestSeed != b.bestSeed || a.placement.size() != b.placement.size()) {
+    return false;
+  }
+  for (std::size_t m = 0; m < a.placement.size(); ++m) {
+    if (!(a.placement[m] == b.placement[m])) return false;
+  }
+  return true;
+}
+
+bool writePlacementFile(const std::string& path, const Circuit& c,
+                        const EngineResult& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "als_place: cannot open '%s' for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "# als_place placement: %s\n", c.name().c_str());
+  std::fprintf(f, "# cost %.17g  hpwl %lld  area %lld\n", r.cost,
+               static_cast<long long>(r.hpwl), static_cast<long long>(r.area));
+  for (std::size_t m = 0; m < r.placement.size(); ++m) {
+    const Rect& rect = r.placement[m];
+    std::fprintf(f, "%s %lld %lld %lld %lld\n", c.module(m).name.c_str(),
+                 static_cast<long long>(rect.x), static_cast<long long>(rect.y),
+                 static_cast<long long>(rect.w), static_cast<long long>(rect.h));
+  }
+  return std::fclose(f) == 0;
+}
+
+/// The CI gate behind --smoke: every corpus circuit, all four backends,
+/// bit-identical across two runs and across 1 vs 8 threads.
+int runSmoke(BenchIo& io) {
+  EngineOptions opt;
+  opt.maxSweeps = 96;
+  opt.numRestarts = 4;
+  opt.seed = 1;
+  PortfolioRunner runner;
+  Table table({"circuit", "blocks", "backend", "area/modarea", "HPWL (um)",
+               "deterministic"});
+  int failures = 0;
+  for (CorpusCircuit which : allCorpusCircuits()) {
+    ParseResult parsed = parseBenchmark(corpusText(which));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "als_place: corpus '%s' fails to parse: %s\n",
+                   corpusName(which), parsed.error.c_str());
+      ++failures;
+      continue;
+    }
+    const Circuit& c = parsed.circuit;
+    for (EngineBackend backend : allBackends()) {
+      opt.numThreads = 1;
+      EngineResult serial = runner.run(c, backend, opt);
+      opt.numThreads = 8;
+      EngineResult parallel = runner.run(c, backend, opt);
+      EngineResult again = runner.run(c, backend, opt);
+      bool deterministic = identicalResults(serial, parallel) &&
+                           identicalResults(parallel, again);
+      bool legal = serial.placement.isLegal() &&
+                   serial.placement.size() == c.moduleCount();
+      if (!deterministic || !legal) {
+        std::fprintf(stderr,
+                     "als_place: %s/%s %s\n", corpusName(which),
+                     std::string(backendName(backend)).c_str(),
+                     deterministic ? "produced an illegal placement"
+                                   : "is NOT deterministic across runs/threads");
+        ++failures;
+      }
+      table.addRow({corpusName(which), std::to_string(c.moduleCount()),
+                    std::string(backendName(backend)),
+                    Table::fmt(static_cast<double>(serial.area) /
+                               static_cast<double>(c.totalModuleArea())),
+                    Table::fmt(static_cast<double>(serial.hpwl) / 1000.0, 1),
+                    deterministic && legal ? "yes" : "NO"});
+      io.add(std::string(backendName(backend)), corpusName(which), parallel, 8);
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nsmoke gate: %s (each row: 2 runs at 8 threads + 1 run at 1 "
+              "thread, bit-compared)\n",
+              failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchIo io(argc, argv);  // owns --json / --smoke
+
+  std::vector<std::pair<std::string, Circuit>> inputs;  // (source, circuit)
+  std::string backendArg = "race";
+  std::string outDir;
+  EngineOptions opt;
+  opt.maxSweeps = 512;
+  opt.numRestarts = 8;
+  opt.numThreads = 0;
+  opt.seed = 1;
+  bool art = false, smoke = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t n = 0;
+    if (arg == "--list") {
+      for (CorpusCircuit which : allCorpusCircuits()) {
+        Circuit c = loadCorpusCircuit(which);
+        std::printf("%-8s %3zu blocks, %zu nets, %zu symmetry group(s)\n",
+                    corpusName(which), c.moduleCount(), c.nets().size(),
+                    c.symmetryGroups().size());
+      }
+      return 0;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--art") {
+      art = true;
+    } else if (arg == "--json") {
+      ++i;  // value consumed by BenchIo
+    } else if (arg == "--backend") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      backendArg = v;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      outDir = v;
+    } else if (arg == "--sweeps") {
+      const char* v = value();
+      if (!v || !parseNum(v, &n)) return usage(argv[0]);
+      opt.maxSweeps = static_cast<std::size_t>(n);
+    } else if (arg == "--restarts") {
+      const char* v = value();
+      // An uncapped-budget portfolio allocates one slice per restart; keep a
+      // typo from becoming an allocation bomb.
+      if (!v || !parseNum(v, &n) || n > 1'000'000) return usage(argv[0]);
+      opt.numRestarts = static_cast<std::size_t>(n);
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (!v || !parseNum(v, &n) || n > 1024) return usage(argv[0]);
+      opt.numThreads = static_cast<std::size_t>(n);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v || !parseNum(v, &n)) return usage(argv[0]);
+      opt.seed = n;
+    } else if (arg == "--circuit") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      if (std::string_view(v) == "all") {
+        for (CorpusCircuit which : allCorpusCircuits()) {
+          inputs.emplace_back(corpusName(which), loadCorpusCircuit(which));
+        }
+      } else {
+        CorpusCircuit which;
+        if (!corpusByName(v, &which)) {
+          std::fprintf(stderr, "als_place: unknown corpus circuit '%s' "
+                               "(try --list)\n", v);
+          return 2;
+        }
+        inputs.emplace_back(v, loadCorpusCircuit(which));
+      }
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "als_place: unknown option '%s'\n", argv[i]);
+      return usage(argv[0]);
+    } else {
+      ParseResult parsed = parseBenchmarkFile(argv[i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "als_place: %s: %s\n", argv[i],
+                     parsed.error.c_str());
+        return 1;
+      }
+      inputs.emplace_back(argv[i], std::move(parsed.circuit));
+    }
+  }
+
+  if (smoke) return runSmoke(io);
+  if (inputs.empty()) return usage(argv[0]);
+
+  bool race = backendArg == "race";
+  EngineBackend backend = EngineBackend::SeqPair;
+  if (!race) {
+    bool found = false;
+    for (EngineBackend b : allBackends()) {
+      if (backendName(b) == backendArg) {
+        backend = b;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "als_place: unknown backend '%s'\n",
+                   backendArg.c_str());
+      return 2;
+    }
+  }
+
+  const std::size_t threads = ThreadPool::resolveThreadCount(opt.numThreads);
+  std::printf("als_place: %zu circuit(s), backend=%s, sweeps=%zu, "
+              "restarts=%zu, threads=%zu, seed=%llu\n\n",
+              inputs.size(), race ? "race" : std::string(backendName(backend)).c_str(),
+              opt.maxSweeps, opt.numRestarts, threads,
+              static_cast<unsigned long long>(opt.seed));
+
+  PortfolioRunner runner;
+  Table table({"circuit", "blocks", "backend", "area/modarea", "HPWL (um)",
+               "best restart", "time (s)"});
+  int failures = 0;
+  for (auto& [source, circuit] : inputs) {
+    EngineResult result;
+    std::string winner;
+    if (race) {
+      PortfolioRunner::RaceOutcome outcome =
+          runner.race(circuit, allBackends(), opt);
+      result = std::move(outcome.result);
+      winner = std::string(backendName(outcome.backend));
+    } else {
+      result = runner.run(circuit, backend, opt);
+      winner = std::string(backendName(backend));
+    }
+    if (!result.placement.isLegal()) {
+      std::fprintf(stderr, "als_place: %s: backend produced an ILLEGAL "
+                           "placement\n", source.c_str());
+      ++failures;
+    }
+    table.addRow({circuit.name(), std::to_string(circuit.moduleCount()), winner,
+                  Table::fmt(static_cast<double>(result.area) /
+                             static_cast<double>(circuit.totalModuleArea())),
+                  Table::fmt(static_cast<double>(result.hpwl) / 1000.0, 1),
+                  std::to_string(result.bestRestart),
+                  Table::fmt(result.seconds, 2)});
+    io.add(winner, circuit.name(), result, threads);
+    if (art) {
+      std::cout << asciiArt(result.placement, circuit.moduleNames()) << "\n";
+    }
+    if (!outDir.empty()) {
+      std::string path = outDir + "/" + circuit.name() + ".place";
+      if (!writePlacementFile(path, circuit, result)) ++failures;
+    }
+  }
+  table.print(std::cout);
+  return failures == 0 ? 0 : 1;
+}
