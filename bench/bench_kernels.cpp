@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bstar/pack.h"
+#include "cost/cost_model.h"
 #include "netlist/generators.h"
 #include "seqpair/packer.h"
 #include "seqpair/sym_placer.h"
@@ -83,6 +84,73 @@ void BM_BStarContourPack(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BStarContourPack)->RangeMultiplier(2)->Range(16, 512);
+
+// --- cost-kernel benchmarks: scratch vs incremental evaluation -------------
+//
+// Same circuit, same objective (the flat penalty placer's full mix: area +
+// wirelength + symmetry + proximity), same single-module move pattern; the
+// scratch kernel re-reduces every net/group per evaluation, the incremental
+// kernel re-reduces only what the move dirtied through the module→net
+// index.  The per-evaluation gap is the headline speedup of the cost layer
+// (tests/cost_test.cpp pins the two kernels to bit-equal costs).
+
+struct CostBenchFixture {
+  Circuit circuit;
+  CostModel model;
+  Placement placement;
+
+  explicit CostBenchFixture(std::size_t n)
+      : circuit(makeSynthetic({.name = "cost",
+                               .moduleCount = n,
+                               .seed = 23,
+                               .symmetricFraction = 0.5})),
+        model(circuit, makeObjective(circuit, {.wirelength = 0.25,
+                                               .symmetry = 2.0,
+                                               .proximity = 2.0})) {
+    std::vector<Coord> w, h;
+    for (const Module& m : circuit.modules()) {
+      w.push_back(m.w);
+      h.push_back(m.h);
+    }
+    Rng rng(7);
+    placement = packBStar(BStarTree::random(n, rng), w, h);
+  }
+
+  /// Displaces one random module by up to a micrometre (the canonical
+  /// local move of a coordinate-based placer); returns its index.
+  std::size_t mutate(Rng& rng) {
+    std::size_t m = rng.index(placement.size());
+    Coord dx = (static_cast<Coord>(rng.index(3)) - 1) * kUm;
+    Coord dy = (static_cast<Coord>(rng.index(3)) - 1) * kUm;
+    placement[m] = placement[m].translated(dx, dy);
+    return m;
+  }
+};
+
+void BM_CostScratch(benchmark::State& state) {
+  CostBenchFixture fx(static_cast<std::size_t>(state.range(0)));
+  Rng rng(29);
+  for (auto _ : state) {
+    fx.mutate(rng);
+    benchmark::DoNotOptimize(fx.model.evaluate(fx.placement));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_CostIncremental(benchmark::State& state) {
+  CostBenchFixture fx(static_cast<std::size_t>(state.range(0)));
+  fx.model.reset(fx.placement);
+  Rng rng(29);
+  for (auto _ : state) {
+    std::size_t moved[1] = {fx.mutate(rng)};
+    benchmark::DoNotOptimize(fx.model.propose(fx.placement, moved));
+    fx.model.commit();
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+BENCHMARK(BM_CostScratch)->Arg(50)->Arg(200)->Arg(1000)->Complexity();
+BENCHMARK(BM_CostIncremental)->Arg(50)->Arg(200)->Arg(1000)->Complexity();
 
 void BM_VebInsertEraseSuccessor(benchmark::State& state) {
   std::size_t universe = static_cast<std::size_t>(state.range(0));

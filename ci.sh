@@ -32,6 +32,11 @@ echo "=== sanitizers: TSan build (runtime-layer concurrency) ==="
 cmake -B build-tsan -S . -DALS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && ctest --output-on-failure -j "$JOBS")
+# Explicit concurrency gates under TSan: the runtime layer's fork-joins and
+# the cost layer's shared-circuit model independence (cost_test's threaded
+# suite).  Both already ran in the full pass above; re-running them serially
+# keeps the two concurrency contracts visible as their own CI signal.
+(cd build-tsan && ctest --output-on-failure -R '^(cost_test|runtime_test)$')
 
 echo "=== bench smoke: Release binaries, JSON to build/bench-smoke/ ==="
 mkdir -p build/bench-smoke
@@ -43,9 +48,11 @@ for bench in bench_table1 bench_fig8 bench_fig10 bench_lemma bench_ablation \
     > "build/bench-smoke/$bench.out"
 done
 # bench_kernels is google-benchmark based (built only when the library is
-# present) and has its own machine-readable flag.
+# present) and has its own machine-readable flag.  (min_time is passed
+# unit-less: the distro's google-benchmark predates the "0.01s" suffix
+# syntax and rejects it.)
 if [ -x build/bench_kernels ]; then
-  ./build/bench_kernels --benchmark_min_time=0.01s \
+  ./build/bench_kernels --benchmark_min_time=0.01 \
     --benchmark_out=build/bench-smoke/bench_kernels.json \
     --benchmark_out_format=json > build/bench-smoke/bench_kernels.out
 fi

@@ -101,37 +101,127 @@ constexpr std::size_t resolveMovesPerTemp(std::size_t movesPerTemp,
   return movesPerTemp ? movesPerTemp : 10 * sizeHint;
 }
 
-/// Runs simulated annealing from `init`.
-///
-/// `cost`:  double(const State&) — smaller is better.
-/// `move`:  State(const State&, Rng&) — proposes a neighbouring state.
-template <class State, class CostF, class MoveF>
-AnnealResult<State> anneal(State init, CostF&& cost, MoveF&& move,
-                           const AnnealOptions& opt) {
+// ---------------------------------------------------------------------------
+// Evaluation seams.  The annealing loops below are written against a small
+// evaluator interface so that one implementation serves both cost styles:
+//
+//   full(s)     evaluate `s` and make it the evaluator's committed state
+//   propose(s)  cost of a candidate next to the committed state
+//   accept()    the candidate becomes the committed state
+//   reject()    the candidate is discarded
+//   rebase(s)   re-anchor the committed state to `s` (after the calibration
+//               walk wandered away from it)
+//
+// `ScratchEval` is the classic stateless style — every propose re-derives
+// the cost from the state, accept/reject/rebase are no-ops.  The costs it
+// produces and the RNG stream it induces are exactly those of the historic
+// hand-rolled loops.
+//
+// `IncrementalEval` drives the propose/commit/rollback protocol of a delta-
+// evaluating cost model (cost/cost_model.h is the library's implementation,
+// but any type with reset/propose/commit/rollback/invalidate/infeasibleCost
+// fits): states are decoded to placements, the model re-reduces only what a
+// move dirtied, and a rejected move is a rollback instead of a state copy +
+// full recompute.  Decoding may fail (`decode` returns an empty optional);
+// such states cost `model.infeasibleCost()`, and accepting one drops the
+// model's committed state so the next feasible propose re-seeds it.
+
+namespace detail {
+
+template <class CostF>
+struct ScratchEval {
+  CostF& cost;
+  template <class State> double full(const State& s) { return cost(s); }
+  template <class State> double propose(const State& s) { return cost(s); }
+  template <class State> void rebase(const State&) {}
+  void accept() {}
+  void reject() {}
+};
+
+template <class Model, class DecodeF>
+struct IncrementalEval {
+  Model& model;
+  DecodeF& decode;
+  bool pendingInfeasible = false;
+
+  template <class State> double full(const State& s) {
+    auto placed = decode(s);
+    if (!placed) {
+      model.invalidate();
+      return model.infeasibleCost();
+    }
+    return model.reset(*placed);
+  }
+  template <class State> double propose(const State& s) {
+    auto placed = decode(s);
+    pendingInfeasible = !placed;
+    if (!placed) return model.infeasibleCost();
+    return model.propose(*placed);
+  }
+  template <class State> void rebase(const State& s) { full(s); }
+  void accept() {
+    if (pendingInfeasible) {
+      model.invalidate();
+    } else {
+      model.commit();
+    }
+  }
+  void reject() {
+    if (!pendingInfeasible) model.rollback();
+  }
+};
+
+/// The one acceptance loop behind both the calibration walk and the
+/// Metropolis sweeps: propose `count` moves from `cur`, let `acceptMove`
+/// decide on each delta, and keep the evaluator's committed state in step
+/// with `cur`.  `onAccept` runs after `cur`/`curCost` advanced.
+template <class State, class Eval, class MoveF, class AcceptF, class OnAcceptF>
+void annealPass(State& cur, double& curCost, std::size_t count, Eval& eval,
+                MoveF& move, Rng& rng, AcceptF&& acceptMove,
+                OnAcceptF&& onAccept) {
+  for (std::size_t i = 0; i < count; ++i) {
+    State next = move(cur, rng);
+    double nextCost = eval.propose(next);
+    if (acceptMove(nextCost - curCost)) {
+      eval.accept();
+      cur = std::move(next);
+      curCost = nextCost;
+      onAccept();
+    } else {
+      eval.reject();
+    }
+  }
+}
+
+template <class State, class Eval, class MoveF>
+AnnealResult<State> annealImpl(State init, Eval& eval, MoveF& move,
+                               const AnnealOptions& opt) {
   Rng rng(opt.seed);
   Stopwatch clock;
 
   State cur = std::move(init);
-  double curCost = cost(cur);
+  double curCost = eval.full(cur);
   AnnealResult<State> result{cur, curCost, 0, 0, 0, 0.0};
 
-  // Calibrate t0 so that `initialAcceptance` of sampled uphill moves pass.
+  // Calibrate t0 so that `initialAcceptance` of sampled uphill moves pass:
+  // a 50-move random walk that accepts everything and records the uphill
+  // deltas.
   double upSum = 0.0;
   std::size_t upCount = 0;
   {
     State probe = cur;
     double probeCost = curCost;
-    for (std::size_t i = 0; i < 50; ++i) {
-      State next = move(probe, rng);
-      double nextCost = cost(next);
-      if (nextCost > probeCost) {
-        upSum += nextCost - probeCost;
-        ++upCount;
-      }
-      probe = std::move(next);
-      probeCost = nextCost;
-    }
+    annealPass(probe, probeCost, 50, eval, move, rng,
+               [&](double delta) {
+                 if (delta > 0.0) {
+                   upSum += delta;
+                   ++upCount;
+                 }
+                 return true;
+               },
+               [] {});
   }
+  eval.rebase(cur);  // the calibration walk moved the committed state
   double meanUp = upCount ? upSum / static_cast<double>(upCount) : 1.0;
   if (meanUp <= 0.0) meanUp = 1.0;
   double t = -meanUp / std::log(opt.initialAcceptance);
@@ -144,26 +234,101 @@ AnnealResult<State> anneal(State init, CostF&& cost, MoveF&& move,
   while (t > tFreeze &&
          (opt.maxSweeps == 0 || result.sweeps < opt.maxSweeps) &&
          (!timed || clock.seconds() < opt.timeLimitSec)) {
-    for (std::size_t i = 0; i < movesPerTemp; ++i) {
-      State next = move(cur, rng);
-      double nextCost = cost(next);
-      ++result.movesTried;
-      double delta = nextCost - curCost;
-      if (delta <= 0.0 || rng.uniform() < std::exp(-delta / t)) {
-        cur = std::move(next);
-        curCost = nextCost;
-        ++result.movesAccepted;
-        if (curCost < result.bestCost) {
-          result.best = cur;
-          result.bestCost = curCost;
-        }
-      }
-    }
+    annealPass(cur, curCost, movesPerTemp, eval, move, rng,
+               [&](double delta) {
+                 ++result.movesTried;
+                 return delta <= 0.0 || rng.uniform() < std::exp(-delta / t);
+               },
+               [&] {
+                 ++result.movesAccepted;
+                 if (curCost < result.bestCost) {
+                   result.best = cur;
+                   result.bestCost = curCost;
+                 }
+               });
     t *= opt.coolingFactor;
     ++result.sweeps;
   }
   result.seconds = clock.seconds();
   return result;
+}
+
+template <class State, class Eval, class MoveF>
+AnnealResult<State> annealWithRestartsImpl(const State& init, Eval& eval,
+                                           MoveF& move,
+                                           const AnnealOptions& options) {
+  Stopwatch clock;
+  AnnealResult<State> best{init, eval.full(init), 0, 0, 0, 0.0};
+  const bool sweepCapped = options.maxSweeps > 0;
+  const bool timed = options.timeLimitSec > 0.0;
+  AnnealOptions opt = options;  // local working copy; caller's struct untouched
+  opt.movesPerTemp = resolveMovesPerTemp(options.movesPerTemp, options.sizeHint);
+  std::uint64_t seed = options.seed;
+  for (;;) {
+    opt.seed = seed;
+    if (sweepCapped) opt.maxSweeps = options.maxSweeps - best.sweeps;
+    if (timed) {
+      opt.timeLimitSec =
+          std::max(1e-9, options.timeLimitSec - clock.seconds());
+    }
+    AnnealResult<State> run = annealImpl(init, eval, move, opt);
+    best.movesTried += run.movesTried;
+    best.movesAccepted += run.movesAccepted;
+    best.sweeps += run.sweeps;
+    if (run.bestCost < best.bestCost) {
+      best.best = std::move(run.best);
+      best.bestCost = run.bestCost;
+    }
+    seed = nextRestartSeed(seed);
+    // A restart is funded only while every *active* budget has leftover;
+    // with no budget at all a single (freeze-terminated) run is the answer.
+    bool sweepsLeft = sweepCapped && best.sweeps < options.maxSweeps;
+    bool timeLeft = timed && clock.seconds() < options.timeLimitSec;
+    if (sweepCapped && !sweepsLeft) break;
+    if (timed && !timeLeft) break;
+    if (!sweepCapped && !timed) break;
+    // Degenerate guard: a run that executed zero sweeps (budget rounded to
+    // nothing) cannot make progress; stop instead of spinning.
+    if (run.sweeps == 0) break;
+  }
+  best.seconds = clock.seconds();
+  return best;
+}
+
+}  // namespace detail
+
+/// Runs simulated annealing from `init`.
+///
+/// `cost`:  double(const State&) — smaller is better.
+/// `move`:  State(const State&, Rng&) — proposes a neighbouring state.
+template <class State, class CostF, class MoveF>
+AnnealResult<State> anneal(State init, CostF&& cost, MoveF&& move,
+                           const AnnealOptions& opt) {
+  detail::ScratchEval<CostF> eval{cost};
+  return detail::annealImpl(std::move(init), eval, move, opt);
+}
+
+/// Incremental-protocol overload: states are decoded to placements and
+/// delta-evaluated by `model` (cost/cost_model.h) — a rejected move is a
+/// rollback, not a state copy plus full recompute.
+///
+/// `model`:   propose/commit/rollback cost model, owned by the caller.
+///            After the run its committed state is the LAST-ACCEPTED state
+///            of the trajectory, not `result.best` — re-evaluate the best
+///            state (e.g. `model.evaluateBreakdown(*decode(result.best))`)
+///            for result reporting.
+/// `decode`:  std::optional<Placement>(const State&) — the packing step;
+///            an empty optional marks the state infeasible
+///            (`model.infeasibleCost()`).
+///
+/// The trajectory — every cost value, every RNG draw, every acceptance —
+/// is bit-identical to the scratch overload fed the equivalent
+/// decode-then-evaluate cost lambda.
+template <class State, class Model, class DecodeF, class MoveF>
+AnnealResult<State> anneal(State init, Model& model, DecodeF&& decode,
+                           MoveF&& move, const AnnealOptions& opt) {
+  detail::IncrementalEval<Model, DecodeF> eval{model, decode};
+  return detail::annealImpl(std::move(init), eval, move, opt);
 }
 
 /// Repeats annealing runs (freshly seeded each round) until the sweep budget
@@ -186,42 +351,18 @@ template <class State, class CostF, class MoveF>
 AnnealResult<State> annealWithRestarts(const State& init, CostF&& cost,
                                        MoveF&& move,
                                        const AnnealOptions& options) {
-  Stopwatch clock;
-  AnnealResult<State> best{init, cost(init), 0, 0, 0, 0.0};
-  const bool sweepCapped = options.maxSweeps > 0;
-  const bool timed = options.timeLimitSec > 0.0;
-  AnnealOptions opt = options;  // local working copy; caller's struct untouched
-  opt.movesPerTemp = resolveMovesPerTemp(options.movesPerTemp, options.sizeHint);
-  std::uint64_t seed = options.seed;
-  for (;;) {
-    opt.seed = seed;
-    if (sweepCapped) opt.maxSweeps = options.maxSweeps - best.sweeps;
-    if (timed) {
-      opt.timeLimitSec =
-          std::max(1e-9, options.timeLimitSec - clock.seconds());
-    }
-    AnnealResult<State> run = anneal(init, cost, move, opt);
-    best.movesTried += run.movesTried;
-    best.movesAccepted += run.movesAccepted;
-    best.sweeps += run.sweeps;
-    if (run.bestCost < best.bestCost) {
-      best.best = std::move(run.best);
-      best.bestCost = run.bestCost;
-    }
-    seed = nextRestartSeed(seed);
-    // A restart is funded only while every *active* budget has leftover;
-    // with no budget at all a single (freeze-terminated) run is the answer.
-    bool sweepsLeft = sweepCapped && best.sweeps < options.maxSweeps;
-    bool timeLeft = timed && clock.seconds() < options.timeLimitSec;
-    if (sweepCapped && !sweepsLeft) break;
-    if (timed && !timeLeft) break;
-    if (!sweepCapped && !timed) break;
-    // Degenerate guard: a run that executed zero sweeps (budget rounded to
-    // nothing) cannot make progress; stop instead of spinning.
-    if (run.sweeps == 0) break;
-  }
-  best.seconds = clock.seconds();
-  return best;
+  detail::ScratchEval<CostF> eval{cost};
+  return detail::annealWithRestartsImpl(init, eval, move, options);
+}
+
+/// Incremental-protocol overload of the restart driver; see the `anneal`
+/// overload above for the model/decode contract.
+template <class State, class Model, class DecodeF, class MoveF>
+AnnealResult<State> annealWithRestarts(const State& init, Model& model,
+                                       DecodeF&& decode, MoveF&& move,
+                                       const AnnealOptions& options) {
+  detail::IncrementalEval<Model, DecodeF> eval{model, decode};
+  return detail::annealWithRestartsImpl(init, eval, move, options);
 }
 
 }  // namespace als

@@ -1,10 +1,13 @@
 #include "bstar/flat_placer.h"
 
-#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "anneal/annealer.h"
-#include "bstar/hbstar.h"
+#include "bstar/bstar_tree.h"
 #include "bstar/pack.h"
+#include "cost/cost_model.h"
 
 namespace als {
 
@@ -15,55 +18,15 @@ struct FlatState {
   std::vector<bool> rotated;
 };
 
-/// Mirror deviation (same metric as the absolute-coordinate baseline).
-Coord symmetryDeviation(const Placement& p, std::span<const SymmetryGroup> groups) {
-  Coord total = 0;
-  for (const SymmetryGroup& g : groups) {
-    std::size_t terms = g.pairs.size() + g.selfs.size();
-    if (terms == 0) continue;
-    Coord axis2Sum = 0;
-    for (const SymPair& pr : g.pairs) {
-      axis2Sum += (p[pr.a].center2x().x + p[pr.b].center2x().x) / 2;
-    }
-    for (ModuleId s : g.selfs) axis2Sum += p[s].center2x().x;
-    Coord axis2 = axis2Sum / static_cast<Coord>(terms);
-    for (const SymPair& pr : g.pairs) {
-      total += std::abs(p[pr.a].center2x().x + p[pr.b].center2x().x - 2 * axis2) / 2;
-      total += std::abs(p[pr.a].y - p[pr.b].y);
-    }
-    for (ModuleId s : g.selfs) total += std::abs(p[s].center2x().x - axis2) / 2;
-  }
-  return total;
-}
-
-/// Proximity groups (from the hierarchy) that are not edge-connected.
-int proximityViolations(const Circuit& c, const Placement& p) {
-  int violations = 0;
-  const HierTree& h = c.hierarchy();
-  for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
-    if (h.node(id).constraint != GroupConstraint::Proximity) continue;
-    std::vector<Rect> rects;
-    for (ModuleId m : h.leavesUnder(id)) rects.push_back(p[m]);
-    if (!isConnectedRegion(rects)) ++violations;
-  }
-  return violations;
-}
-
 }  // namespace
 
 FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
                                  const FlatBStarOptions& options) {
   const std::size_t n = circuit.moduleCount();
-  const auto nets = circuit.netPins();
-  const auto groups = std::span<const SymmetryGroup>(circuit.symmetryGroups());
-  const double wlLambda =
-      options.wirelengthWeight *
-      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
-  const double symLambda =
-      options.constraintWeight *
-      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
-  const double proxLambda =
-      options.constraintWeight * static_cast<double>(circuit.totalModuleArea()) * 0.1;
+  CostModel model(circuit,
+                  makeObjective(circuit, {.wirelength = options.wirelengthWeight,
+                                          .symmetry = options.symmetryWeight,
+                                          .proximity = options.proximityWeight}));
 
   auto dims = [&](const FlatState& s) {
     std::vector<Coord> w(n), h(n);
@@ -75,18 +38,9 @@ FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
     return std::pair(std::move(w), std::move(h));
   };
 
-  auto evaluate = [&](const FlatState& s) {
+  auto decode = [&](const FlatState& s) -> std::optional<Placement> {
     auto [w, h] = dims(s);
     return packBStar(s.tree, w, h);
-  };
-
-  auto cost = [&](const FlatState& s) {
-    Placement p = evaluate(s);
-    double c = static_cast<double>(p.boundingBox().area());
-    c += wlLambda * static_cast<double>(totalHpwl(p, nets));
-    c += symLambda * static_cast<double>(symmetryDeviation(p, groups));
-    c += proxLambda * proximityViolations(circuit, p);
-    return c;
   };
 
   auto move = [&](const FlatState& s, Rng& rng) {
@@ -108,14 +62,15 @@ FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
   annealOpt.movesPerTemp = options.movesPerTemp;
   annealOpt.sizeHint = n;
   FlatState init{BStarTree(n), std::vector<bool>(n, false)};
-  auto annealed = annealWithRestarts(init, cost, move, annealOpt);
+  auto annealed = annealWithRestarts(init, model, decode, move, annealOpt);
 
   FlatBStarResult result;
-  result.placement = evaluate(annealed.best);
-  result.area = result.placement.boundingBox().area();
-  result.hpwl = totalHpwl(result.placement, nets);
-  result.symDeviation = symmetryDeviation(result.placement, groups);
-  result.proximityViolations = proximityViolations(circuit, result.placement);
+  result.placement = *decode(annealed.best);
+  CostBreakdown breakdown = model.evaluateBreakdown(result.placement);
+  result.area = breakdown.area;
+  result.hpwl = breakdown.hpwl;
+  result.symDeviation = breakdown.symDeviation;
+  result.proximityViolations = breakdown.proximityViolations;
   result.cost = annealed.bestCost;
   result.movesTried = annealed.movesTried;
   result.sweeps = annealed.sweeps;

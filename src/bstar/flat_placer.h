@@ -17,7 +17,8 @@ namespace als {
 
 struct FlatBStarOptions {
   double wirelengthWeight = 0.25;
-  double constraintWeight = 2.0;  ///< penalty scale for constraint deviation
+  double symmetryWeight = 2.0;    ///< penalty scale for mirror deviation
+  double proximityWeight = 2.0;   ///< penalty scale for disconnected groups
   std::size_t maxSweeps = 256;    ///< primary budget: total SA sweeps (deterministic)
   double timeLimitSec = 0.0;      ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 11;

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <functional>
-#include <numeric>
+#include <optional>
+#include <utility>
 
 #include "anneal/annealer.h"
 #include "bstar/common_centroid.h"
+#include "cost/cost_model.h"
 
 namespace als {
 
@@ -246,15 +246,13 @@ HBState::Packed HBState::pack() const {
 }
 
 HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& options) {
-  const auto nets = circuit.netPins();
-  const double wlLambda =
-      options.wirelengthWeight *
-      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
+  // Hierarchy constraints hold by construction in every packed state, so
+  // the objective is the geometric core: area + normalized wirelength.
+  CostModel model(circuit, makeObjective(circuit,
+                                         {.wirelength = options.wirelengthWeight}));
 
-  auto cost = [&](const HBState& s) {
-    HBState::Packed packed = s.pack();
-    return static_cast<double>(packed.placement.boundingBox().area()) +
-           wlLambda * static_cast<double>(totalHpwl(packed.placement, nets));
+  auto decode = [](const HBState& s) -> std::optional<Placement> {
+    return std::move(s.pack().placement);
   };
   auto move = [](const HBState& s, Rng& rng) {
     HBState next = s;
@@ -269,47 +267,19 @@ HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& opti
   annealOpt.coolingFactor = options.coolingFactor;
   annealOpt.movesPerTemp = options.movesPerTemp;
   annealOpt.sizeHint = circuit.moduleCount();
-  auto annealed = annealWithRestarts(HBState(circuit), cost, move, annealOpt);
+  auto annealed = annealWithRestarts(HBState(circuit), model, decode, move, annealOpt);
 
   HBPlacerResult result;
   HBState::Packed packed = annealed.best.pack();
   result.placement = std::move(packed.placement);
   result.axis2x = std::move(packed.axis2x);
   result.area = result.placement.boundingBox().area();
-  result.hpwl = totalHpwl(result.placement, nets);
+  result.hpwl = totalHpwl(result.placement, circuit.netPins());
   result.cost = annealed.bestCost;
   result.movesTried = annealed.movesTried;
   result.sweeps = annealed.sweeps;
   result.seconds = annealed.seconds;
   return result;
-}
-
-bool isConnectedRegion(std::span<const Rect> rects) {
-  if (rects.empty()) return false;
-  std::vector<std::size_t> parent(rects.size());
-  std::iota(parent.begin(), parent.end(), std::size_t{0});
-  std::function<std::size_t(std::size_t)> find = [&](std::size_t v) {
-    while (parent[v] != v) v = parent[v] = parent[parent[v]];
-    return v;
-  };
-  auto touches = [](const Rect& a, const Rect& b) {
-    // Positive-length shared edge (corner contact does not connect wells).
-    bool xAbut = (a.xhi() == b.xlo() || b.xhi() == a.xlo()) &&
-                 std::min(a.yhi(), b.yhi()) > std::max(a.ylo(), b.ylo());
-    bool yAbut = (a.yhi() == b.ylo() || b.yhi() == a.ylo()) &&
-                 std::min(a.xhi(), b.xhi()) > std::max(a.xlo(), b.xlo());
-    return xAbut || yAbut || a.overlaps(b);
-  };
-  for (std::size_t i = 0; i < rects.size(); ++i) {
-    for (std::size_t j = i + 1; j < rects.size(); ++j) {
-      if (touches(rects[i], rects[j])) parent[find(i)] = find(j);
-    }
-  }
-  std::size_t root = find(0);
-  for (std::size_t i = 1; i < rects.size(); ++i) {
-    if (find(i) != root) return false;
-  }
-  return true;
 }
 
 }  // namespace als

@@ -95,7 +95,4 @@ struct HBPlacerResult {
 HBPlacerResult placeHBStarSA(const Circuit& circuit,
                              const HBPlacerOptions& options = {});
 
-/// True when the rects form one edge-connected region (proximity check).
-bool isConnectedRegion(std::span<const Rect> rects);
-
 }  // namespace als

@@ -1,0 +1,315 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace als {
+
+CostModel::CostModel(const Circuit& circuit, Objective objective)
+    : circuit_(&circuit), objective_(objective) {
+  const std::size_t n = circuit.moduleCount();
+  nets_ = circuit.netPins();
+  netsOf_ = circuit.netsOfModules();
+
+  groupsOf_.resize(n);
+  const auto& groups = circuit.symmetryGroups();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (ModuleId m : groups[g].members()) {
+      if (m < n) groupsOf_[m].push_back(g);
+    }
+  }
+
+  // Proximity groups come from the hierarchy; one slot per Proximity node,
+  // in node-id order (the order the flat placer's full scan used).
+  proxOf_.resize(n);
+  const HierTree& h = circuit.hierarchy();
+  for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
+    if (h.node(id).constraint != GroupConstraint::Proximity) continue;
+    std::size_t slot = proxMembers_.size();
+    proxMembers_.push_back(h.leavesUnder(id));
+    for (ModuleId m : proxMembers_.back()) {
+      if (m < n) proxOf_[m].push_back(slot);
+    }
+  }
+
+  rects_.resize(n);
+  netBoxes_.resize(nets_.size());
+  groupDev_.resize(groups.size(), 0);
+  proxBad_.resize(proxMembers_.size(), 0);
+  netStamp_.resize(nets_.size(), 0);
+  groupStamp_.resize(groups.size(), 0);
+  proxStamp_.resize(proxMembers_.size(), 0);
+  moduleStamp_.resize(n, 0);
+}
+
+Coord CostModel::groupDeviation(const Placement& p, std::size_t group) const {
+  const SymmetryGroup& g = circuit_->symmetryGroup(group);
+  std::size_t terms = g.pairs.size() + g.selfs.size();
+  if (terms == 0) return 0;
+  Coord axis2Sum = 0;
+  for (const SymPair& pr : g.pairs) {
+    axis2Sum += (p[pr.a].center2x().x + p[pr.b].center2x().x) / 2;
+  }
+  for (ModuleId s : g.selfs) axis2Sum += p[s].center2x().x;
+  Coord axis2 = axis2Sum / static_cast<Coord>(terms);
+  Coord total = 0;
+  for (const SymPair& pr : g.pairs) {
+    total += std::abs(p[pr.a].center2x().x + p[pr.b].center2x().x - 2 * axis2) / 2;
+    total += std::abs(p[pr.a].y - p[pr.b].y);
+  }
+  for (ModuleId s : g.selfs) total += std::abs(p[s].center2x().x - axis2) / 2;
+  return total;
+}
+
+bool CostModel::proxDisconnected(const Placement& p, std::size_t slot) const {
+  std::vector<Rect> rects;
+  rects.reserve(proxMembers_[slot].size());
+  for (ModuleId m : proxMembers_[slot]) rects.push_back(p[m]);
+  return !isConnectedRegion(rects);
+}
+
+Coord CostModel::symmetryDeviation(const Placement& p) const {
+  Coord total = 0;
+  for (std::size_t g = 0; g < circuit_->symmetryGroups().size(); ++g) {
+    total += groupDeviation(p, g);
+  }
+  return total;
+}
+
+int CostModel::proximityViolations(const Placement& p) const {
+  int violations = 0;
+  for (std::size_t slot = 0; slot < proxMembers_.size(); ++slot) {
+    if (proxDisconnected(p, slot)) ++violations;
+  }
+  return violations;
+}
+
+double CostModel::evaluate(const Placement& p) const {
+  Rect bb = p.boundingBox();
+  Coord hpwlSum = 0;
+  for (const auto& net : nets_) hpwlSum += netBox(p, net).hpwl();
+  Coord symDev = objective_.usesSymmetry() ? symmetryDeviation(p) : 0;
+  int proxViol = objective_.usesProximity() ? proximityViolations(p) : 0;
+  return objective_.compose(bb, hpwlSum, symDev, proxViol);
+}
+
+CostBreakdown CostModel::evaluateBreakdown(const Placement& p) const {
+  CostBreakdown bd;
+  bd.boundingBox = p.boundingBox();
+  bd.area = bd.boundingBox.area();
+  for (const auto& net : nets_) bd.hpwl += netBox(p, net).hpwl();
+  bd.symDeviation = symmetryDeviation(p);
+  bd.proximityViolations = proximityViolations(p);
+  // The cost still skips zero-weight terms, matching evaluate(): reporting
+  // aggregates above are unconditional, the objective is not.
+  bd.cost = objective_.compose(bd.boundingBox, bd.hpwl,
+                               objective_.usesSymmetry() ? bd.symDeviation : 0,
+                               objective_.usesProximity() ? bd.proximityViolations : 0);
+  return bd;
+}
+
+double CostModel::reset(const Placement& p) {
+  invalidate();
+  double cost = propose(p);
+  commit();
+  return cost;
+}
+
+void CostModel::beginPropose(const Placement& p) {
+  assert(!pendingActive_ && "propose() before commit()/rollback()");
+  assert(p.size() == rects_.size() &&
+         "placement and circuit module counts differ");
+  (void)p;
+  pendingActive_ = true;
+  ++stampGen_;
+  changed_.clear();
+  dirtyNets_.clear();
+  dirtyGroups_.clear();
+  dirtyProx_.clear();
+}
+
+/// Admits one rect into a bounding-box reduction with attain-counts: a new
+/// extreme resets its count to 1, an exact tie increments it.  The one
+/// bookkeeping rule behind every boundary scan below.
+void CostModel::admitRect(const Rect& r, Coord* xlo, Coord* ylo, Coord* xhi,
+                          Coord* yhi, BoundCounts* cnt) {
+  if (r.xlo() < *xlo) { *xlo = r.xlo(); cnt->xlo = 1; }
+  else if (r.xlo() == *xlo) ++cnt->xlo;
+  if (r.ylo() < *ylo) { *ylo = r.ylo(); cnt->ylo = 1; }
+  else if (r.ylo() == *ylo) ++cnt->ylo;
+  if (r.xhi() > *xhi) { *xhi = r.xhi(); cnt->xhi = 1; }
+  else if (r.xhi() == *xhi) ++cnt->xhi;
+  if (r.yhi() > *yhi) { *yhi = r.yhi(); cnt->yhi = 1; }
+  else if (r.yhi() == *yhi) ++cnt->yhi;
+}
+
+void CostModel::reduceBoundingBox(const Placement& p, Rect* bb,
+                                  BoundCounts* cnt) const {
+  const std::size_t n = rects_.size();
+  *bb = {};
+  *cnt = {};
+  if (n == 0) return;
+  Coord xlo = std::numeric_limits<Coord>::max(), ylo = xlo;
+  Coord xhi = std::numeric_limits<Coord>::min(), yhi = xhi;
+  for (std::size_t m = 0; m < n; ++m) {
+    admitRect(p[m], &xlo, &ylo, &xhi, &yhi, cnt);
+  }
+  *bb = {xlo, ylo, xhi - xlo, yhi - ylo};
+}
+
+double CostModel::propose(const Placement& p) {
+  beginPropose(p);
+  const std::size_t n = rects_.size();
+
+  // One pass over the modules: re-reduce the bounding box (with boundary
+  // attain-counts, so a later hinted propose can update it incrementally)
+  // and collect the moved modules (everything, when nothing is committed).
+  Rect bb;
+  BoundCounts cnt;
+  if (n != 0) {
+    Coord xlo = std::numeric_limits<Coord>::max(), ylo = xlo;
+    Coord xhi = std::numeric_limits<Coord>::min(), yhi = xhi;
+    for (std::size_t m = 0; m < n; ++m) {
+      const Rect& r = p[m];
+      admitRect(r, &xlo, &ylo, &xhi, &yhi, &cnt);
+      if (!seeded_ || !(r == rects_[m])) changed_.emplace_back(m, r);
+    }
+    bb = {xlo, ylo, xhi - xlo, yhi - ylo};
+  }
+  pending_.boundingBox = bb;
+  pendingCnt_ = cnt;
+  return proposeTail(p);
+}
+
+double CostModel::propose(const Placement& p,
+                          std::span<const std::size_t> moved) {
+  // Without a committed state the hint carries no information: fall back to
+  // the full evaluation (which seeds everything on commit).
+  if (!seeded_) return propose(p);
+  beginPropose(p);
+  const std::size_t n = rects_.size();
+
+  for (std::size_t m : moved) {
+    assert(m < n && "moved-module index out of range");
+    if (moduleStamp_[m] == stampGen_) continue;  // duplicate hint entry
+    moduleStamp_[m] = stampGen_;
+    const Rect& r = p[m];
+    if (!(r == rects_[m])) changed_.emplace_back(m, r);
+  }
+#ifndef NDEBUG
+  for (std::size_t m = 0; m < n; ++m) {
+    assert((moduleStamp_[m] == stampGen_ || p[m] == rects_[m]) &&
+           "module moved without being listed in the hint");
+  }
+#endif
+
+  // Bounding box: retire the moved modules' old extremes against the
+  // committed attain-counts, then admit their new rects.  A count reaching
+  // zero means a boundary-defining module moved inward — only then is a
+  // full O(n) re-reduction needed.
+  Rect cb = committed_.boundingBox;
+  Coord xlo = cb.xlo(), ylo = cb.ylo(), xhi = cb.xhi(), yhi = cb.yhi();
+  BoundCounts cnt = committedCnt_;
+  for (const auto& [m, r] : changed_) {
+    const Rect& old = rects_[m];
+    if (old.xlo() == xlo) --cnt.xlo;
+    if (old.ylo() == ylo) --cnt.ylo;
+    if (old.xhi() == xhi) --cnt.xhi;
+    if (old.yhi() == yhi) --cnt.yhi;
+  }
+  for (const auto& [m, r] : changed_) {
+    admitRect(r, &xlo, &ylo, &xhi, &yhi, &cnt);
+  }
+  if (n != 0 &&
+      (cnt.xlo == 0 || cnt.ylo == 0 || cnt.xhi == 0 || cnt.yhi == 0)) {
+    reduceBoundingBox(p, &pending_.boundingBox, &pendingCnt_);
+  } else {
+    pending_.boundingBox =
+        n != 0 ? Rect{xlo, ylo, xhi - xlo, yhi - ylo} : Rect{};
+    pendingCnt_ = cnt;
+  }
+  return proposeTail(p);
+}
+
+// Re-reduce only the dirty nets/groups (those touching moved modules);
+// generation stamps keep each one from being re-reduced twice.  The updates
+// are exact int64 arithmetic, so the committed totals stay equal to a
+// from-scratch reduction bit for bit.
+double CostModel::proposeTail(const Placement& p) {
+  Coord hpwlSum = committed_.hpwl;
+  for (const auto& [m, r] : changed_) {
+    for (std::size_t ni : netsOf_[m]) {
+      if (netStamp_[ni] == stampGen_) continue;
+      netStamp_[ni] = stampGen_;
+      NetBox box = netBox(p, nets_[ni]);
+      hpwlSum += box.hpwl() - netBoxes_[ni].hpwl();
+      dirtyNets_.emplace_back(ni, box);
+    }
+  }
+
+  Coord symDev = committed_.symDeviation;
+  if (objective_.usesSymmetry()) {
+    for (const auto& [m, r] : changed_) {
+      for (std::size_t g : groupsOf_[m]) {
+        if (groupStamp_[g] == stampGen_) continue;
+        groupStamp_[g] = stampGen_;
+        Coord dev = groupDeviation(p, g);
+        symDev += dev - groupDev_[g];
+        dirtyGroups_.emplace_back(g, dev);
+      }
+    }
+  }
+
+  int proxViol = committed_.proximityViolations;
+  if (objective_.usesProximity()) {
+    for (const auto& [m, r] : changed_) {
+      for (std::size_t slot : proxOf_[m]) {
+        if (proxStamp_[slot] == stampGen_) continue;
+        proxStamp_[slot] = stampGen_;
+        char bad = proxDisconnected(p, slot) ? 1 : 0;
+        proxViol += static_cast<int>(bad) - static_cast<int>(proxBad_[slot]);
+        dirtyProx_.emplace_back(slot, bad);
+      }
+    }
+  }
+
+  pending_.area = pending_.boundingBox.area();
+  pending_.hpwl = hpwlSum;
+  pending_.symDeviation = symDev;
+  pending_.proximityViolations = proxViol;
+  pending_.cost =
+      objective_.compose(pending_.boundingBox, hpwlSum, symDev, proxViol);
+  return pending_.cost;
+}
+
+void CostModel::commit() {
+  assert(pendingActive_ && "commit() without a propose()");
+  for (const auto& [m, r] : changed_) rects_[m] = r;
+  for (const auto& [ni, box] : dirtyNets_) netBoxes_[ni] = box;
+  for (const auto& [g, dev] : dirtyGroups_) groupDev_[g] = dev;
+  for (const auto& [slot, bad] : dirtyProx_) proxBad_[slot] = bad;
+  committed_ = pending_;
+  committedCnt_ = pendingCnt_;
+  seeded_ = true;
+  pendingActive_ = false;
+}
+
+void CostModel::rollback() {
+  assert(pendingActive_ && "rollback() without a propose()");
+  pendingActive_ = false;
+}
+
+void CostModel::invalidate() {
+  pendingActive_ = false;
+  seeded_ = false;
+  std::fill(netBoxes_.begin(), netBoxes_.end(), NetBox{});
+  std::fill(groupDev_.begin(), groupDev_.end(), Coord{0});
+  std::fill(proxBad_.begin(), proxBad_.end(), char{0});
+  committed_ = {};
+  committedCnt_ = {};
+}
+
+}  // namespace als

@@ -1,0 +1,167 @@
+// Delta-evaluated placement cost: the one evaluator behind all four SA
+// backends.
+//
+// A `CostModel` binds a circuit to an `Objective` and evaluates placements
+// either from scratch (`evaluate`) or incrementally through the
+// propose/commit/rollback protocol the annealer drives
+// (anneal/annealer.h's incremental overloads):
+//
+//   model.reset(p0);                  // seed the committed state
+//   double c = model.propose(p1);     // delta-eval against committed
+//   model.commit();                   // p1 becomes the committed state
+//   double d = model.propose(p2);
+//   model.rollback();                 // discard; committed stays p1
+//
+// Incremental evaluation caches, per net, the bounding box of the net's pin
+// centers (geom/placement.h's NetBox) and, per symmetry group / proximity
+// group, its deviation / connectivity.  A propose diffs the new placement
+// against the committed rects in one pass (which also re-reduces the
+// placement bounding box), marks the nets and groups touching moved modules
+// dirty through the circuit's module→net index, and re-reduces only those.
+//
+// == Cost evaluation contract ==
+//
+// All geometry aggregates are exact int64 (`Coord`) quantities, so
+// incremental updates (total' = total - old + new) are exact and a
+// committed incremental total ALWAYS equals the from-scratch total — not
+// approximately, bit for bit.  The float composition of the final cost is a
+// fixed operation sequence owned by `Objective::compose`.  tests/
+// cost_test.cpp enforces exact equality over random propose/commit/rollback
+// sequences on every backend's move set.
+//
+// Thread safety: a CostModel is a per-run object (one SA run constructs and
+// owns one); it reads the circuit only during construction and scratch
+// queries.  Concurrent runs over one const circuit each own their model —
+// the same contract every backend's `place()` already documents.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cost/objective.h"
+#include "geom/placement.h"
+#include "netlist/circuit.h"
+
+namespace als {
+
+/// Exact integer aggregates of one evaluation plus the composed cost.
+struct CostBreakdown {
+  Rect boundingBox;
+  Coord area = 0;             ///< bounding-box area
+  Coord hpwl = 0;             ///< total HPWL over all nets
+  Coord symDeviation = 0;     ///< total mirror deviation (0 = exact)
+  int proximityViolations = 0;///< disconnected proximity groups
+  double cost = 0.0;
+};
+
+class CostModel {
+ public:
+  CostModel(const Circuit& circuit, Objective objective);
+
+  const Objective& objective() const { return objective_; }
+  double infeasibleCost() const { return objective_.infeasibleCost; }
+
+  // ---- scratch evaluation (stateless; ignores the committed state) ----
+
+  /// Cost of `p` from scratch, skipping zero-weight terms.
+  double evaluate(const Placement& p) const;
+
+  /// All aggregates of `p` from scratch, including zero-weight terms (for
+  /// reporting; `cost` still skips them, matching `evaluate`).
+  CostBreakdown evaluateBreakdown(const Placement& p) const;
+
+  // ---- incremental protocol ----
+
+  /// Seeds the committed state from a full placement; returns its cost.
+  double reset(const Placement& p);
+
+  /// Cost of `p`, delta-evaluated against the committed state (or from
+  /// scratch when nothing is committed).  Exactly one commit() or
+  /// rollback() must follow before the next propose().
+  double propose(const Placement& p);
+
+  /// Hinted propose: `moved` lists every module whose rect may differ from
+  /// the committed state (duplicates and unmoved entries are fine; a module
+  /// NOT listed must be unchanged — debug-asserted).  Skips the O(n)
+  /// placement diff, and the bounding box is maintained through boundary
+  /// attain-counts, so the whole re-evaluation is O(moved modules' nets and
+  /// groups) — an O(n) rescan happens only when a bounding-box-defining
+  /// module moved inward.  This is the kernel a coordinate-based placer
+  /// (one whose moves displace individual modules) drives.
+  double propose(const Placement& p, std::span<const std::size_t> moved);
+
+  /// Makes the proposed placement the committed state (O(moved modules)).
+  void commit();
+
+  /// Discards the proposed placement (O(1)).
+  void rollback();
+
+  /// Drops the committed state (used when an annealer accepts an
+  /// *infeasible* state that has no placement: the next propose() falls
+  /// back to a full evaluation and re-seeds on commit).
+  void invalidate();
+
+  bool seeded() const { return seeded_; }
+  double committedCost() const { return committed_.cost; }
+  const CostBreakdown& committed() const { return committed_; }
+
+  /// Scratch mirror-deviation / proximity queries (shared with backends'
+  /// result reporting).
+  Coord symmetryDeviation(const Placement& p) const;
+  int proximityViolations(const Placement& p) const;
+
+ private:
+  /// How many modules attain each bounding-box boundary; lets a hinted
+  /// propose update the box in O(moved) and detect exactly when a shrink
+  /// forces a rescan.
+  struct BoundCounts {
+    std::size_t xlo = 0, xhi = 0, ylo = 0, yhi = 0;
+  };
+
+  Coord groupDeviation(const Placement& p, std::size_t group) const;
+  bool proxDisconnected(const Placement& p, std::size_t slot) const;
+  void beginPropose(const Placement& p);
+  static void admitRect(const Rect& r, Coord* xlo, Coord* ylo, Coord* xhi,
+                        Coord* yhi, BoundCounts* cnt);
+  void reduceBoundingBox(const Placement& p, Rect* bb, BoundCounts* cnt) const;
+  double proposeTail(const Placement& p);
+
+  const Circuit* circuit_;
+  Objective objective_;
+
+  // Static topology, captured at construction.
+  std::vector<std::vector<std::size_t>> nets_;     ///< pin lists per net
+  std::vector<std::vector<std::size_t>> netsOf_;   ///< module -> net indices
+  std::vector<std::vector<std::size_t>> groupsOf_; ///< module -> sym groups
+  std::vector<std::vector<ModuleId>> proxMembers_; ///< proximity group leaves
+  std::vector<std::vector<std::size_t>> proxOf_;   ///< module -> prox slots
+
+  // Committed state.
+  bool seeded_ = false;
+  std::vector<Rect> rects_;
+  std::vector<NetBox> netBoxes_;
+  std::vector<Coord> groupDev_;
+  std::vector<char> proxBad_;
+  CostBreakdown committed_;
+  BoundCounts committedCnt_;
+
+  // Pending (proposed) state: values to splice into the committed state on
+  // commit().  Dirty marking uses generation stamps so one propose never
+  // re-reduces a net/group twice.
+  bool pendingActive_ = false;
+  std::vector<std::pair<std::size_t, Rect>> changed_;
+  std::vector<std::pair<std::size_t, NetBox>> dirtyNets_;
+  std::vector<std::pair<std::size_t, Coord>> dirtyGroups_;
+  std::vector<std::pair<std::size_t, char>> dirtyProx_;
+  CostBreakdown pending_;
+  BoundCounts pendingCnt_;
+  std::vector<std::uint64_t> netStamp_;
+  std::vector<std::uint64_t> groupStamp_;
+  std::vector<std::uint64_t> proxStamp_;
+  std::vector<std::uint64_t> moduleStamp_;
+  std::uint64_t stampGen_ = 0;
+};
+
+}  // namespace als

@@ -1,0 +1,23 @@
+#include "cost/objective.h"
+
+#include <cmath>
+
+#include "netlist/circuit.h"
+
+namespace als {
+
+Objective makeObjective(const Circuit& circuit, const ObjectiveWeights& weights) {
+  const double area = static_cast<double>(circuit.totalModuleArea());
+  const double root = std::sqrt(area);
+  Objective obj;
+  obj.wlLambda = weights.wirelength * root;
+  obj.symLambda = weights.symmetry * root;
+  obj.proxLambda = weights.proximity * area * 0.1;
+  obj.outlineLambda = weights.outline * root;
+  obj.maxWidth = weights.maxWidth;
+  obj.maxHeight = weights.maxHeight;
+  obj.targetAspect = weights.targetAspect;
+  return obj;
+}
+
+}  // namespace als

@@ -13,7 +13,10 @@ namespace {
 
 // All backend option structs share the SA-knob field names and all backend
 // result structs share the output field names, so one wrapper maps both;
-// adding a shared knob to EngineOptions is a single edit here.
+// adding a shared knob to EngineOptions is a single edit here.  Objective
+// knobs that only some backends carry (a backend whose representation
+// guarantees the constraint has no weight field for it) map through the
+// `requires`-gated assignments below.
 template <class BackendOptions, class BackendResult>
 class BackendEngine final : public PlacementEngine {
  public:
@@ -34,6 +37,24 @@ class BackendEngine final : public PlacementEngine {
     opt.seed = options.seed;
     opt.coolingFactor = options.coolingFactor;
     opt.movesPerTemp = options.movesPerTemp;
+    if constexpr (requires { opt.symmetryWeight; }) {
+      opt.symmetryWeight = options.symmetryWeight;
+    }
+    if constexpr (requires { opt.proximityWeight; }) {
+      opt.proximityWeight = options.proximityWeight;
+    }
+    if constexpr (requires { opt.outlineWeight; }) {
+      opt.outlineWeight = options.outlineWeight;
+    }
+    if constexpr (requires { opt.maxWidth; }) {
+      opt.maxWidth = options.maxWidth;
+    }
+    if constexpr (requires { opt.maxHeight; }) {
+      opt.maxHeight = options.maxHeight;
+    }
+    if constexpr (requires { opt.targetAspect; }) {
+      opt.targetAspect = options.targetAspect;
+    }
     BackendResult r = place_(circuit, opt);
     EngineResult result;
     result.placement = std::move(r.placement);

@@ -45,8 +45,21 @@ enum class EngineBackend {
 };
 
 /// Shared SA knobs; backend-specific options keep their native structs.
+///
+/// The objective weights follow the unified cost recipe of cost/objective.h
+/// (one normalization for all backends).  A weight only participates where
+/// the backend's representation does not satisfy the constraint by
+/// construction: `symmetryWeight`/`proximityWeight` drive the flat penalty
+/// placer, the outline/aspect knobs the sequence-pair placer; backends
+/// without the matching term ignore the knob.
 struct EngineOptions {
   double wirelengthWeight = 0.25;  ///< lambda, scaled by sqrt(module area)
+  double symmetryWeight = 2.0;     ///< mirror-deviation penalty (penalty backends)
+  double proximityWeight = 2.0;    ///< disconnected-group penalty (penalty backends)
+  double outlineWeight = 4.0;      ///< outline-excess penalty (outline backends)
+  Coord maxWidth = 0;              ///< 0 = unconstrained [DBU]
+  Coord maxHeight = 0;             ///< 0 = unconstrained [DBU]
+  double targetAspect = 0.0;       ///< 0 = no aspect objective (w/h target)
   std::size_t maxSweeps = 256;     ///< primary budget: total SA sweeps
   double timeLimitSec = 0.0;       ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 1;

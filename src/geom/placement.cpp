@@ -1,7 +1,9 @@
 #include "geom/placement.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
+#include <numeric>
 
 namespace als {
 
@@ -47,8 +49,8 @@ void Placement::mirrorX(Coord axis) {
   for (Rect& r : rects_) r = r.mirroredX(axis);
 }
 
-Coord hpwl(const Placement& p, const std::vector<std::size_t>& net) {
-  if (net.size() < 2) return 0;
+NetBox netBox(const Placement& p, std::span<const std::size_t> net) {
+  if (net.empty()) return {};
   Coord xlo = std::numeric_limits<Coord>::max(), ylo = xlo;
   Coord xhi = std::numeric_limits<Coord>::min(), yhi = xhi;
   for (std::size_t m : net) {
@@ -58,13 +60,46 @@ Coord hpwl(const Placement& p, const std::vector<std::size_t>& net) {
     ylo = std::min(ylo, c.y);
     yhi = std::max(yhi, c.y);
   }
-  return ((xhi - xlo) + (yhi - ylo)) / 2;
+  return {xlo, xhi, ylo, yhi};
+}
+
+Coord hpwl(const Placement& p, const std::vector<std::size_t>& net) {
+  if (net.size() < 2) return 0;
+  return netBox(p, net).hpwl();
 }
 
 Coord totalHpwl(const Placement& p, const std::vector<std::vector<std::size_t>>& nets) {
   Coord sum = 0;
   for (const auto& net : nets) sum += hpwl(p, net);
   return sum;
+}
+
+bool isConnectedRegion(std::span<const Rect> rects) {
+  if (rects.empty()) return false;
+  std::vector<std::size_t> parent(rects.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  };
+  auto touches = [](const Rect& a, const Rect& b) {
+    // Positive-length shared edge (corner contact does not connect wells).
+    bool xAbut = (a.xhi() == b.xlo() || b.xhi() == a.xlo()) &&
+                 std::min(a.yhi(), b.yhi()) > std::max(a.ylo(), b.ylo());
+    bool yAbut = (a.yhi() == b.ylo() || b.yhi() == a.ylo()) &&
+                 std::min(a.xhi(), b.xhi()) > std::max(a.xlo(), b.xlo());
+    return xAbut || yAbut || a.overlaps(b);
+  };
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      if (touches(rects[i], rects[j])) parent[find(i)] = find(j);
+    }
+  }
+  std::size_t root = find(0);
+  for (std::size_t i = 1; i < rects.size(); ++i) {
+    if (find(i) != root) return false;
+  }
+  return true;
 }
 
 bool mirroredAboutX2(const Rect& a, const Rect& b, Coord axis2x) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,12 +56,38 @@ class Placement {
   std::vector<Rect> rects_;
 };
 
+/// Bounding box of one net's pin centers in *doubled* coordinates (the
+/// center2x convention keeps half-DBU centers integral).  This is the
+/// quantity the incremental cost layer (cost/cost_model.h) caches per net:
+/// re-reducing a dirty net is one `netBox` call, and the net's HPWL follows
+/// exactly from the box, so incremental and scratch totals agree bit for bit.
+struct NetBox {
+  Coord xlo2 = 0;
+  Coord xhi2 = 0;
+  Coord ylo2 = 0;
+  Coord yhi2 = 0;
+
+  /// Half-perimeter wirelength of the box, in DBU (undoubled).
+  Coord hpwl() const { return ((xhi2 - xlo2) + (yhi2 - ylo2)) / 2; }
+
+  friend bool operator==(const NetBox&, const NetBox&) = default;
+};
+
+/// Reduces one net's pin centers to their bounding box; the zero box for an
+/// empty net (its HPWL is 0 either way).
+NetBox netBox(const Placement& p, std::span<const std::size_t> net);
+
 /// Half-perimeter wirelength of one net given member module indices; pins are
 /// modelled at module centers (standard for device-level placement).
 Coord hpwl(const Placement& p, const std::vector<std::size_t>& net);
 
 /// Sum of HPWL over all nets.
 Coord totalHpwl(const Placement& p, const std::vector<std::vector<std::size_t>>& nets);
+
+/// True when the rects form one edge-connected region: every rect reachable
+/// from every other through positive-length shared edges or overlap (corner
+/// contact does not connect wells).  The proximity-constraint predicate.
+bool isConnectedRegion(std::span<const Rect> rects);
 
 /// Exact check that modules `a` and `b` are mirror images about the vertical
 /// line 2x = axis2x (doubled coordinates keep half-DBU axes exact).

@@ -42,6 +42,18 @@ std::vector<std::vector<std::size_t>> Circuit::netPins() const {
   return out;
 }
 
+std::vector<std::vector<std::size_t>> Circuit::netsOfModules() const {
+  std::vector<std::vector<std::size_t>> index(modules_.size());
+  for (std::size_t ni = 0; ni < nets_.size(); ++ni) {
+    for (ModuleId pin : nets_[ni].pins) {
+      if (pin >= modules_.size()) continue;  // validate() reports these
+      std::vector<std::size_t>& of = index[pin];
+      if (of.empty() || of.back() != ni) of.push_back(ni);
+    }
+  }
+  return index;
+}
+
 std::vector<std::string> Circuit::moduleNames() const {
   std::vector<std::string> names;
   names.reserve(modules_.size());

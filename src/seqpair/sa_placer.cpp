@@ -1,8 +1,11 @@
 #include "seqpair/sa_placer.h"
 
-#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "anneal/annealer.h"
+#include "cost/cost_model.h"
 #include "seqpair/moves.h"
 #include "seqpair/symmetry.h"
 
@@ -12,7 +15,6 @@ SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
                                    const SeqPairPlacerOptions& options) {
   const std::size_t n = circuit.moduleCount();
   const auto groups = std::span<const SymmetryGroup>(circuit.symmetryGroups());
-  const auto nets = circuit.netPins();
 
   std::vector<bool> rotatable(n);
   for (std::size_t m = 0; m < n; ++m) rotatable[m] = circuit.module(m).rotatable;
@@ -21,17 +23,14 @@ SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
   SeqPairState init{SequencePair(n), std::vector<bool>(n, false)};
   makeSymmetricFeasible(init.sp, groups);
 
-  const double wlLambda =
-      options.wirelengthWeight *
-      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
-  // Outline-excess slope: must dominate the ~height-per-DBU-of-width area
-  // gradient, so it scales with sqrt(module area).
-  const double outlineLambda =
-      options.outlineWeight *
-      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
-  // Cost of states whose relaxation fails (cannot happen for S-F codes, but
-  // the guard keeps the annealer total even if it ever does).
-  const double kInfeasible = 1e30;
+  // Symmetry holds by construction in every S-F code, so the objective
+  // carries no symmetry/proximity penalty — only the geometric terms.
+  CostModel model(circuit,
+                  makeObjective(circuit, {.wirelength = options.wirelengthWeight,
+                                          .outline = options.outlineWeight,
+                                          .maxWidth = options.maxWidth,
+                                          .maxHeight = options.maxHeight,
+                                          .targetAspect = options.targetAspect}));
 
   auto dims = [&](const SeqPairState& s) {
     std::vector<Coord> w(n), h(n);
@@ -43,29 +42,14 @@ SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
     return std::pair(std::move(w), std::move(h));
   };
 
-  auto cost = [&](const SeqPairState& s) {
+  // Decode failure (a non-S-F code) maps to the objective's infeasible
+  // cost — cannot happen for the move set here, but keeps the annealer
+  // total if it ever does.
+  auto decode = [&](const SeqPairState& s) -> std::optional<Placement> {
     auto [w, h] = dims(s);
     auto built = buildSymmetricPlacement(s.sp, w, h, groups);
-    if (!built) return kInfeasible;
-    Rect bb = built->placement.boundingBox();
-    Coord wl = totalHpwl(built->placement, nets);
-    double c = static_cast<double>(bb.area()) +
-               wlLambda * static_cast<double>(wl);
-    // Geometric objectives: quadratic outline-excess penalties plus a
-    // soft aspect-ratio pull.
-    if (options.maxWidth > 0 && bb.w > options.maxWidth) {
-      c += outlineLambda * static_cast<double>(bb.w - options.maxWidth);
-    }
-    if (options.maxHeight > 0 && bb.h > options.maxHeight) {
-      c += outlineLambda * static_cast<double>(bb.h - options.maxHeight);
-    }
-    if (options.targetAspect > 0.0 && bb.h > 0) {
-      double aspect = static_cast<double>(bb.w) / static_cast<double>(bb.h);
-      double ratio = aspect / options.targetAspect;
-      double off = ratio > 1.0 ? ratio - 1.0 : 1.0 / ratio - 1.0;
-      c += 0.5 * off * static_cast<double>(bb.area());
-    }
-    return c;
+    if (!built) return std::nullopt;
+    return std::move(built->placement);
   };
 
   auto move = [&](const SeqPairState& s, Rng& rng) {
@@ -81,7 +65,7 @@ SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
   annealOpt.coolingFactor = options.coolingFactor;
   annealOpt.movesPerTemp = options.movesPerTemp;
   annealOpt.sizeHint = n;
-  auto annealed = annealWithRestarts(init, cost, move, annealOpt);
+  auto annealed = annealWithRestarts(init, model, decode, move, annealOpt);
 
   SeqPairPlacerResult result;
   auto [w, h] = dims(annealed.best);
@@ -92,7 +76,7 @@ SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
   }
   result.code = annealed.best.sp;
   result.area = result.placement.boundingBox().area();
-  result.hpwl = totalHpwl(result.placement, nets);
+  result.hpwl = totalHpwl(result.placement, circuit.netPins());
   result.cost = annealed.bestCost;
   result.movesTried = annealed.movesTried;
   result.sweeps = annealed.sweeps;

@@ -1,17 +1,18 @@
 #include "slicing/slicing_placer.h"
 
-#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "anneal/annealer.h"
+#include "cost/cost_model.h"
 #include "slicing/polish.h"
-#include "util/stopwatch.h"
 
 namespace als {
 
 SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
                                    const SlicingPlacerOptions& options) {
   const std::size_t n = circuit.moduleCount();
-  const auto nets = circuit.netPins();
   std::vector<Coord> w(n), h(n);
   std::vector<bool> rotatable(n);
   for (std::size_t m = 0; m < n; ++m) {
@@ -19,17 +20,14 @@ SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
     h[m] = circuit.module(m).h;
     rotatable[m] = circuit.module(m).rotatable;
   }
-  const double wlLambda =
-      options.wirelengthWeight *
-      std::sqrt(static_cast<double>(circuit.totalModuleArea()));
+  // No symmetry handling in the slicing baseline: area + wirelength only.
+  CostModel model(circuit, makeObjective(circuit,
+                                         {.wirelength = options.wirelengthWeight}));
 
-  auto evaluate = [&](const PolishExpr& e) {
-    return evaluatePolish(e, w, h, rotatable, options.shapeCap);
-  };
-  auto cost = [&](const PolishExpr& e) {
-    SlicedResult r = evaluate(e);
-    return static_cast<double>(r.area()) +
-           wlLambda * static_cast<double>(totalHpwl(r.placement, nets));
+  auto decode = [&](const PolishExpr& e) -> std::optional<Placement> {
+    // The best-area realization fills its root shape exactly and is anchored
+    // at the origin, so the placement bounding box IS the chosen shape.
+    return std::move(evaluatePolish(e, w, h, rotatable, options.shapeCap).placement);
   };
   auto move = [](const PolishExpr& e, Rng& rng) {
     PolishExpr next = e;
@@ -44,13 +42,14 @@ SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
   annealOpt.coolingFactor = options.coolingFactor;
   annealOpt.movesPerTemp = options.movesPerTemp;
   annealOpt.sizeHint = n;
-  auto annealed = annealWithRestarts(PolishExpr::initial(n), cost, move, annealOpt);
+  auto annealed =
+      annealWithRestarts(PolishExpr::initial(n), model, decode, move, annealOpt);
 
   SlicingPlacerResult result;
-  SlicedResult best = evaluate(annealed.best);
+  SlicedResult best = evaluatePolish(annealed.best, w, h, rotatable, options.shapeCap);
   result.placement = std::move(best.placement);
   result.area = best.area();
-  result.hpwl = totalHpwl(result.placement, nets);
+  result.hpwl = totalHpwl(result.placement, circuit.netPins());
   result.cost = annealed.bestCost;
   result.movesTried = annealed.movesTried;
   result.sweeps = annealed.sweeps;

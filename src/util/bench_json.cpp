@@ -51,7 +51,8 @@ BenchIo::~BenchIo() { finish(); }
 void BenchIo::add(BenchRecord record) { records_.push_back(std::move(record)); }
 
 void BenchIo::add(std::string backend, std::string circuit,
-                  const EngineResult& r, std::size_t threads) {
+                  const EngineResult& r, std::size_t threads,
+                  const EngineOptions* opt) {
   BenchRecord record;
   record.backend = std::move(backend);
   record.circuit = std::move(circuit);
@@ -62,6 +63,11 @@ void BenchIo::add(std::string backend, std::string circuit,
   record.hpwl = static_cast<double>(r.hpwl);
   record.area = static_cast<double>(r.area);
   record.seconds = r.seconds;
+  if (opt != nullptr) {
+    record.wlWeight = opt->wirelengthWeight;
+    record.symWeight = opt->symmetryWeight;
+    record.proxWeight = opt->proximityWeight;
+  }
   records_.push_back(std::move(record));
 }
 
@@ -90,6 +96,12 @@ bool BenchIo::finish() {
     appendNumber(out, r.area);
     out += ", \"seconds\": ";
     appendNumber(out, r.seconds);
+    out += ", \"wl_weight\": ";
+    appendNumber(out, r.wlWeight);
+    out += ", \"sym_weight\": ";
+    appendNumber(out, r.symWeight);
+    out += ", \"prox_weight\": ";
+    appendNumber(out, r.proxWeight);
     out += i + 1 < records_.size() ? "},\n" : "}\n";
   }
   out += "]\n";

@@ -9,8 +9,9 @@
 //                  run finishes in seconds and is bit-reproducible.
 //
 // Records carry the canonical keys {backend, circuit, sweeps, restarts,
-// threads, cost, hpwl, area, seconds}; quantities a bench does not have
-// (e.g. sweeps of a non-SA experiment) stay zero.
+// threads, cost, hpwl, area, seconds} plus the unified objective weights
+// {wl_weight, sym_weight, prox_weight} (cost/objective.h); quantities a
+// bench does not have (e.g. sweeps of a non-SA experiment) stay zero.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +32,13 @@ struct BenchRecord {
   double hpwl = 0.0;       ///< DBU
   double area = 0.0;       ///< DBU^2
   double seconds = 0.0;
+  // Unified objective weight knobs the run was *configured* with (0 = not
+  // recorded); see cost/objective.h for the shared normalization recipe.
+  // A backend whose representation satisfies a constraint by construction
+  // ignores that knob (e.g. sym_weight on seqpair/hbstar is inert).
+  double wlWeight = 0.0;
+  double symWeight = 0.0;
+  double proxWeight = 0.0;
 };
 
 class BenchIo {
@@ -60,9 +68,10 @@ class BenchIo {
 
   void add(BenchRecord record);
 
-  /// Convenience: record an engine-facade result.
+  /// Convenience: record an engine-facade result.  When `opt` is given, the
+  /// record also carries the objective weights the run placed with.
   void add(std::string backend, std::string circuit, const EngineResult& r,
-           std::size_t threads = 1);
+           std::size_t threads = 1, const EngineOptions* opt = nullptr);
 
   /// Writes the JSON file now (no-op without --json); returns false and
   /// prints to stderr on I/O failure.  Called by the destructor otherwise.

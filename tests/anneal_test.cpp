@@ -3,9 +3,39 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 
 namespace als {
 namespace {
+
+/// Minimal incremental-protocol model (the shape cost/cost_model.h
+/// implements for placements): tracks a committed cost and counts protocol
+/// calls so the test can audit the annealer's driving pattern.
+struct ToyModel {
+  double committed = 0.0;
+  double pending = 0.0;
+  int commits = 0;
+  int rollbacks = 0;
+  int resets = 0;
+
+  static double costOf(double x) { return (x - 3.0) * (x - 3.0); }
+  double infeasibleCost() const { return 1e30; }
+  double reset(double x) {
+    ++resets;
+    committed = costOf(x);
+    return committed;
+  }
+  double propose(double x) {
+    pending = costOf(x);
+    return pending;
+  }
+  void commit() {
+    ++commits;
+    committed = pending;
+  }
+  void rollback() { ++rollbacks; }
+  void invalidate() {}
+};
 
 TEST(Annealer, MinimizesQuadratic) {
   AnnealOptions opt;
@@ -110,6 +140,53 @@ TEST(Annealer, RestartsAreDeterministicAndDoNotMutateOptions) {
   EXPECT_EQ(a.sweeps, b.sweeps);
   EXPECT_EQ(opt.maxSweeps, 300u);
   EXPECT_EQ(opt.seed, 7u);
+}
+
+TEST(Annealer, IncrementalOverloadRetracesTheScratchTrajectory) {
+  // The incremental-protocol overload must be a pure evaluation-strategy
+  // swap: same RNG stream, same costs, same acceptances — bit-identical
+  // results to the scratch overload.
+  auto move = [](double x, Rng& rng) { return x + rng.normal(0.0, 0.5); };
+  auto decode = [](double x) { return std::optional<double>(x); };
+  AnnealOptions opt;
+  opt.seed = 21;
+  opt.maxSweeps = 120;
+  opt.sizeHint = 4;
+
+  auto scratch = anneal(10.0, &ToyModel::costOf, move, opt);
+  ToyModel model;
+  auto incremental = anneal(10.0, model, decode, move, opt);
+
+  EXPECT_EQ(scratch.best, incremental.best);
+  EXPECT_EQ(scratch.bestCost, incremental.bestCost);
+  EXPECT_EQ(scratch.movesTried, incremental.movesTried);
+  EXPECT_EQ(scratch.movesAccepted, incremental.movesAccepted);
+  EXPECT_EQ(scratch.sweeps, incremental.sweeps);
+
+  // Protocol audit: the 50-move calibration walk commits every probe, the
+  // Metropolis loop commits exactly the accepted moves and rolls back the
+  // rest; the model is seeded once at the start and re-based once after
+  // calibration.
+  EXPECT_EQ(model.commits,
+            50 + static_cast<int>(incremental.movesAccepted));
+  EXPECT_EQ(model.rollbacks, static_cast<int>(incremental.movesTried -
+                                              incremental.movesAccepted));
+  EXPECT_EQ(model.resets, 2);
+}
+
+TEST(Annealer, IncrementalRestartsMatchScratchRestarts) {
+  auto move = [](double x, Rng& rng) { return x + rng.uniform(-1.0, 1.0); };
+  auto decode = [](double x) { return std::optional<double>(x); };
+  AnnealOptions opt;
+  opt.seed = 23;
+  opt.maxSweeps = 400;  // enough for several freeze-terminated restarts
+  auto scratch = annealWithRestarts(5.0, &ToyModel::costOf, move, opt);
+  ToyModel model;
+  auto incremental = annealWithRestarts(5.0, model, decode, move, opt);
+  EXPECT_EQ(scratch.best, incremental.best);
+  EXPECT_EQ(scratch.bestCost, incremental.bestCost);
+  EXPECT_EQ(scratch.movesTried, incremental.movesTried);
+  EXPECT_EQ(scratch.sweeps, incremental.sweeps);
 }
 
 TEST(Annealer, RestartBeatsOrMatchesSingleRunWithSameTotalBudget) {

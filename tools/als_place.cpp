@@ -47,6 +47,13 @@ int usage(const char* argv0) {
                "  --threads <n>      worker threads, 0 = all hardware cores (default 0)\n"
                "  --seed <n>         base seed of the restart schedule (default 1)\n"
                "\n"
+               "objective (unified weights, cost/objective.h recipe)\n"
+               "  --wl <w>           wirelength weight (default 0.25)\n"
+               "  --sym <w>          symmetry-deviation weight, penalty backends\n"
+               "                     (default 2.0)\n"
+               "  --prox <w>         proximity-violation weight, penalty backends\n"
+               "                     (default 2.0)\n"
+               "\n"
                "output\n"
                "  --art              ASCII rendering of each placement\n"
                "  --out <dir>        write <circuit>.place files into <dir>\n"
@@ -66,6 +73,18 @@ bool parseNum(const char* s, std::uint64_t* out) {
   char* end = nullptr;
   unsigned long long v = std::strtoull(s, &end, 10);
   if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool parseWeight(const char* s, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  // Weights are dimensionless non-negative scale factors; reject the rest
+  // (NaN/inf would silently poison every cost the run produces).
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  if (!(v >= 0.0) || v > 1e12) return false;
   *out = v;
   return true;
 }
@@ -147,7 +166,8 @@ int runSmoke(BenchIo& io) {
                                static_cast<double>(c.totalModuleArea())),
                     Table::fmt(static_cast<double>(serial.hpwl) / 1000.0, 1),
                     deterministic && legal ? "yes" : "NO"});
-      io.add(std::string(backendName(backend)), corpusName(which), parallel, 8);
+      io.add(std::string(backendName(backend)), corpusName(which), parallel, 8,
+             &opt);
     }
   }
   table.print(std::cout);
@@ -218,6 +238,15 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v || !parseNum(v, &n)) return usage(argv[0]);
       opt.seed = n;
+    } else if (arg == "--wl") {
+      const char* v = value();
+      if (!v || !parseWeight(v, &opt.wirelengthWeight)) return usage(argv[0]);
+    } else if (arg == "--sym") {
+      const char* v = value();
+      if (!v || !parseWeight(v, &opt.symmetryWeight)) return usage(argv[0]);
+    } else if (arg == "--prox") {
+      const char* v = value();
+      if (!v || !parseWeight(v, &opt.proximityWeight)) return usage(argv[0]);
     } else if (arg == "--circuit") {
       const char* v = value();
       if (!v) return usage(argv[0]);
@@ -270,10 +299,12 @@ int main(int argc, char** argv) {
 
   const std::size_t threads = ThreadPool::resolveThreadCount(opt.numThreads);
   std::printf("als_place: %zu circuit(s), backend=%s, sweeps=%zu, "
-              "restarts=%zu, threads=%zu, seed=%llu\n\n",
+              "restarts=%zu, threads=%zu, seed=%llu, "
+              "weights wl=%g sym=%g prox=%g\n\n",
               inputs.size(), race ? "race" : std::string(backendName(backend)).c_str(),
               opt.maxSweeps, opt.numRestarts, threads,
-              static_cast<unsigned long long>(opt.seed));
+              static_cast<unsigned long long>(opt.seed),
+              opt.wirelengthWeight, opt.symmetryWeight, opt.proximityWeight);
 
   PortfolioRunner runner;
   Table table({"circuit", "blocks", "backend", "area/modarea", "HPWL (um)",
@@ -302,7 +333,7 @@ int main(int argc, char** argv) {
                   Table::fmt(static_cast<double>(result.hpwl) / 1000.0, 1),
                   std::to_string(result.bestRestart),
                   Table::fmt(result.seconds, 2)});
-    io.add(winner, circuit.name(), result, threads);
+    io.add(winner, circuit.name(), result, threads, &opt);
     if (art) {
       std::cout << asciiArt(result.placement, circuit.moduleNames()) << "\n";
     }
