@@ -38,11 +38,19 @@ cmake --build build-tsan -j "$JOBS"
 # keeps the two concurrency contracts visible as their own CI signal.
 (cd build-tsan && ctest --output-on-failure -R '^(cost_test|runtime_test)$')
 
+echo "=== alloc gate: Release steady-state zero-allocations-per-move ==="
+# One warm anneal per backend under the counting operator new of
+# tests/alloc_gate_test.cpp; fails if the SA move loop (move + decode +
+# incremental cost) allocates at all in steady state.  Runs in the plain
+# ctest pass too; the explicit invocation keeps the decode-hot-path
+# contract visible as its own CI signal.
+(cd build && ctest --output-on-failure -R '^alloc_gate_test$')
+
 echo "=== bench smoke: Release binaries, JSON to build/bench-smoke/ ==="
 mkdir -p build/bench-smoke
 for bench in bench_table1 bench_fig8 bench_fig10 bench_lemma bench_ablation \
              bench_thermal bench_seqpair_sa bench_hbstar bench_slicing \
-             bench_portfolio; do
+             bench_portfolio bench_decode; do
   echo "--- $bench --smoke ---"
   ./build/"$bench" --smoke --json "build/bench-smoke/$bench.json" \
     > "build/bench-smoke/$bench.out"

@@ -23,6 +23,7 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <utility>
 
 #include "util/rng.h"
@@ -122,11 +123,28 @@ constexpr std::size_t resolveMovesPerTemp(std::size_t movesPerTemp,
 // but any type with reset/propose/commit/rollback/invalidate/infeasibleCost
 // fits): states are decoded to placements, the model re-reduces only what a
 // move dirtied, and a rejected move is a rollback instead of a state copy +
-// full recompute.  Decoding may fail (`decode` returns an empty optional);
-// such states cost `model.infeasibleCost()`, and accepting one drops the
-// model's committed state so the next feasible propose re-seeds it.
+// full recompute.  `decode` returns anything optional-like (contextually
+// bool + dereferenceable): `std::optional<Placement>` by value, or — the
+// allocation-free style every backend uses — a `const Placement*` aliasing
+// a scratch buffer.  An aliased placement is only valid until the NEXT
+// decode call, so the evaluator consumes it immediately and the model must
+// copy what it keeps (CostModel diff-copies changed rects).  Decoding may
+// fail (empty optional / nullptr); such states cost
+// `model.infeasibleCost()`, and accepting one drops the model's committed
+// state so the next feasible propose re-seeds it.
 
 namespace detail {
+
+/// Move-seam detection: a move callable is either the classic copying style
+/// `State(const State&, Rng&)` or the allocation-free in-place style
+/// `void(State&, Rng&)`.  The in-place style receives a buffer that already
+/// holds a copy of the current state, perturbs it, and the loop swaps the
+/// buffer in on acceptance — the steady-state move loop then performs no
+/// state construction at all.  Both styles draw the same RNG stream for the
+/// same perturbation logic, so trajectories are identical.
+template <class MoveF, class State>
+inline constexpr bool kInPlaceMove =
+    std::is_void_v<std::invoke_result_t<MoveF&, State&, Rng&>>;
 
 template <class CostF>
 struct ScratchEval {
@@ -174,21 +192,40 @@ struct IncrementalEval {
 /// The one acceptance loop behind both the calibration walk and the
 /// Metropolis sweeps: propose `count` moves from `cur`, let `acceptMove`
 /// decide on each delta, and keep the evaluator's committed state in step
-/// with `cur`.  `onAccept` runs after `cur`/`curCost` advanced.
+/// with `cur`.  `onAccept` runs after `cur`/`curCost` advanced.  `moveBuf`
+/// is the persistent candidate buffer of the in-place move style: the loop
+/// copy-assigns `cur` into it (reusing its heap storage), perturbs in
+/// place, and swaps on acceptance — no per-move construction, no per-move
+/// copy of the decoded placement, identical values either way.
 template <class State, class Eval, class MoveF, class AcceptF, class OnAcceptF>
 void annealPass(State& cur, double& curCost, std::size_t count, Eval& eval,
-                MoveF& move, Rng& rng, AcceptF&& acceptMove,
+                MoveF& move, Rng& rng, State& moveBuf, AcceptF&& acceptMove,
                 OnAcceptF&& onAccept) {
   for (std::size_t i = 0; i < count; ++i) {
-    State next = move(cur, rng);
-    double nextCost = eval.propose(next);
-    if (acceptMove(nextCost - curCost)) {
-      eval.accept();
-      cur = std::move(next);
-      curCost = nextCost;
-      onAccept();
+    if constexpr (kInPlaceMove<MoveF, State>) {
+      moveBuf = cur;
+      move(moveBuf, rng);
+      double nextCost = eval.propose(moveBuf);
+      if (acceptMove(nextCost - curCost)) {
+        eval.accept();
+        using std::swap;
+        swap(cur, moveBuf);
+        curCost = nextCost;
+        onAccept();
+      } else {
+        eval.reject();
+      }
     } else {
-      eval.reject();
+      State next = move(cur, rng);
+      double nextCost = eval.propose(next);
+      if (acceptMove(nextCost - curCost)) {
+        eval.accept();
+        cur = std::move(next);
+        curCost = nextCost;
+        onAccept();
+      } else {
+        eval.reject();
+      }
     }
   }
 }
@@ -202,6 +239,7 @@ AnnealResult<State> annealImpl(State init, Eval& eval, MoveF& move,
   State cur = std::move(init);
   double curCost = eval.full(cur);
   AnnealResult<State> result{cur, curCost, 0, 0, 0, 0.0};
+  State moveBuf = cur;  // persistent candidate buffer (in-place move style)
 
   // Calibrate t0 so that `initialAcceptance` of sampled uphill moves pass:
   // a 50-move random walk that accepts everything and records the uphill
@@ -211,7 +249,7 @@ AnnealResult<State> annealImpl(State init, Eval& eval, MoveF& move,
   {
     State probe = cur;
     double probeCost = curCost;
-    annealPass(probe, probeCost, 50, eval, move, rng,
+    annealPass(probe, probeCost, 50, eval, move, rng, moveBuf,
                [&](double delta) {
                  if (delta > 0.0) {
                    upSum += delta;
@@ -234,7 +272,7 @@ AnnealResult<State> annealImpl(State init, Eval& eval, MoveF& move,
   while (t > tFreeze &&
          (opt.maxSweeps == 0 || result.sweeps < opt.maxSweeps) &&
          (!timed || clock.seconds() < opt.timeLimitSec)) {
-    annealPass(cur, curCost, movesPerTemp, eval, move, rng,
+    annealPass(cur, curCost, movesPerTemp, eval, move, rng, moveBuf,
                [&](double delta) {
                  ++result.movesTried;
                  return delta <= 0.0 || rng.uniform() < std::exp(-delta / t);
@@ -300,7 +338,14 @@ AnnealResult<State> annealWithRestartsImpl(const State& init, Eval& eval,
 /// Runs simulated annealing from `init`.
 ///
 /// `cost`:  double(const State&) — smaller is better.
-/// `move`:  State(const State&, Rng&) — proposes a neighbouring state.
+/// `move`:  either State(const State&, Rng&) — proposes a neighbouring
+///          state by value (the classic copying style) — or
+///          void(State&, Rng&) — perturbs IN PLACE a buffer already holding
+///          a copy of the current state.  The in-place style keeps the
+///          steady-state move loop free of heap allocations (the engine
+///          swaps the persistent buffer in on acceptance); both styles
+///          produce bit-identical trajectories for the same perturbation
+///          logic.
 template <class State, class CostF, class MoveF>
 AnnealResult<State> anneal(State init, CostF&& cost, MoveF&& move,
                            const AnnealOptions& opt) {
@@ -317,9 +362,12 @@ AnnealResult<State> anneal(State init, CostF&& cost, MoveF&& move,
 ///            of the trajectory, not `result.best` — re-evaluate the best
 ///            state (e.g. `model.evaluateBreakdown(*decode(result.best))`)
 ///            for result reporting.
-/// `decode`:  std::optional<Placement>(const State&) — the packing step;
-///            an empty optional marks the state infeasible
-///            (`model.infeasibleCost()`).
+/// `decode`:  the packing step; returns an optional-like handle to the
+///            decoded placement — `std::optional<Placement>` by value, or
+///            `const Placement*` into a reusable scratch buffer (the
+///            allocation-free style; the result need only stay valid until
+///            the next decode call).  An empty/null result marks the state
+///            infeasible (`model.infeasibleCost()`).
 ///
 /// The trajectory — every cost value, every RNG draw, every acceptance —
 /// is bit-identical to the scratch overload fed the equivalent

@@ -55,6 +55,17 @@ void AsfIsland::setItems(std::vector<AsfItem> items) {
   items_ = std::move(items);
 }
 
+void AsfIsland::refreshPairMacro(std::size_t itemIndex, const Macro& right,
+                                 std::span<const ModuleId> ownersB) {
+  AsfItem& item = items_[itemIndex];
+  assert(item.kind == AsfItem::Kind::PairMacros);
+  assert(right.owners.size() == ownersB.size());
+  item.w = right.w;
+  item.h = right.h;
+  item.macro = right;  // vector copy-assign: reuses the item's storage
+  item.ownersB.assign(ownersB.begin(), ownersB.end());
+}
+
 void AsfIsland::perturb(Rng& rng) {
   double r = rng.uniform();
   if (r < 0.55 && pairItems_.size() >= 2) {
@@ -70,6 +81,14 @@ void AsfIsland::perturb(Rng& rng) {
 }
 
 AsfPacked AsfIsland::pack() const {
+  AsfPackScratch scratch;
+  AsfPacked out;
+  packInto(scratch, /*computeProfiles=*/true, out.macro, out.axis2x);
+  return out;
+}
+
+void AsfIsland::packInto(AsfPackScratch& scr, bool computeProfiles,
+                         Macro& outMacro, Coord& outAxis2x) const {
   // --- 1. pack the representatives with the axis at x = 0. ---
   // Representative macros: selfs use their right half, pairs their right
   // copy.  The packing tree is the self spine (right-child chain, x = 0)
@@ -79,74 +98,82 @@ AsfPacked AsfIsland::pack() const {
   const std::size_t s = spine_.size();
   const std::size_t p = pairItems_.size();
   const std::size_t total = s + p;
-  std::vector<std::size_t> left(total, BStarTree::npos);
-  std::vector<std::size_t> right(total, BStarTree::npos);
-  std::vector<std::size_t> item(total);
+  scr.left.assign(total, BStarTree::npos);
+  scr.right.assign(total, BStarTree::npos);
+  scr.item.resize(total);
   std::size_t rootNode = BStarTree::npos;
 
   for (std::size_t i = 0; i < s; ++i) {
-    item[i] = spine_[i];
-    if (i + 1 < s) right[i] = i + 1;
+    scr.item[i] = spine_[i];
+    if (i + 1 < s) scr.right[i] = i + 1;
   }
   for (std::size_t i = 0; i < p; ++i) {
-    item[s + i] = pairItems_[pairTree_.item(i)];
-    if (pairTree_.left(i) != BStarTree::npos) left[s + i] = s + pairTree_.left(i);
-    if (pairTree_.right(i) != BStarTree::npos) right[s + i] = s + pairTree_.right(i);
+    scr.item[s + i] = pairItems_[pairTree_.item(i)];
+    if (pairTree_.left(i) != BStarTree::npos) scr.left[s + i] = s + pairTree_.left(i);
+    if (pairTree_.right(i) != BStarTree::npos) scr.right[s + i] = s + pairTree_.right(i);
   }
   if (s > 0) {
     rootNode = 0;
-    if (p > 0) left[std::min(attachAt_, s - 1)] = s + pairTree_.root();
+    if (p > 0) scr.left[std::min(attachAt_, s - 1)] = s + pairTree_.root();
   } else if (p > 0) {
     rootNode = s + pairTree_.root();
   }
 
-  // Representative macro per item.
-  std::vector<Macro> macroOf(items_.size());
+  // Representative macro per item.  Module items write into reusable macro
+  // slots (never shrunk, so their vectors keep capacity); macro-pair items
+  // are referenced in place — no copy at all.
+  if (scr.itemMacros.size() < items_.size()) scr.itemMacros.resize(items_.size());
+  scr.macroPtrs.resize(items_.size());
   for (std::size_t i = 0; i < items_.size(); ++i) {
     const AsfItem& it = items_[i];
     switch (it.kind) {
       case AsfItem::Kind::PairModules:
-        macroOf[i] = Macro::fromModule(it.a, it.w, it.h);
+        scr.itemMacros[i].assignFromModule(it.a, it.w, it.h);
+        scr.macroPtrs[i] = &scr.itemMacros[i];
         break;
       case AsfItem::Kind::SelfModule:
-        macroOf[i] = Macro::fromModule(it.a, it.w / 2, it.h);
+        scr.itemMacros[i].assignFromModule(it.a, it.w / 2, it.h);
+        scr.macroPtrs[i] = &scr.itemMacros[i];
         break;
       case AsfItem::Kind::PairMacros:
-        macroOf[i] = it.macro;
+        scr.macroPtrs[i] = &it.macro;
         break;
     }
   }
 
   // Contour-based preorder packing (same rules as packMacros).
-  Contour contour;
-  std::vector<Coord> x(total, 0);
-  std::vector<Point> anchorOf(items_.size(), {0, 0});
+  scr.contour.reset();
+  scr.x.assign(total, 0);
+  scr.anchorOf.assign(items_.size(), Point{0, 0});
   if (rootNode != BStarTree::npos) {
-    std::vector<std::size_t> stack{rootNode};
-    while (!stack.empty()) {
-      std::size_t node = stack.back();
-      stack.pop_back();
-      const Macro& m = macroOf[item[node]];
-      Coord yNode = contour.fitMacro(x[node], m.bottom);
-      contour.placeMacro(x[node], yNode, m.top);
-      anchorOf[item[node]] = {x[node], yNode};
-      if (right[node] != BStarTree::npos) {
-        x[right[node]] = x[node];
-        stack.push_back(right[node]);
+    scr.stack.clear();
+    scr.stack.push_back(rootNode);
+    while (!scr.stack.empty()) {
+      std::size_t node = scr.stack.back();
+      scr.stack.pop_back();
+      const Macro& m = *scr.macroPtrs[scr.item[node]];
+      Coord yNode = scr.contour.fitMacro(scr.x[node], m.bottom);
+      scr.contour.placeMacro(scr.x[node], yNode, m.top);
+      scr.anchorOf[scr.item[node]] = {scr.x[node], yNode};
+      if (scr.right[node] != BStarTree::npos) {
+        scr.x[scr.right[node]] = scr.x[node];
+        scr.stack.push_back(scr.right[node]);
       }
-      if (left[node] != BStarTree::npos) {
-        x[left[node]] = x[node] + m.w;
-        stack.push_back(left[node]);
+      if (scr.left[node] != BStarTree::npos) {
+        scr.x[scr.left[node]] = scr.x[node] + m.w;
+        scr.stack.push_back(scr.left[node]);
       }
     }
   }
 
   // --- 2. mirror into the full island. ---
-  Placement full;
-  std::vector<ModuleId> owners;
+  Placement& full = scr.full;
+  std::vector<ModuleId>& owners = scr.owners;
+  full.clear();
+  owners.clear();
   for (std::size_t i = 0; i < items_.size(); ++i) {
     const AsfItem& it = items_[i];
-    Point a = anchorOf[i];
+    Point a = scr.anchorOf[i];
     switch (it.kind) {
       case AsfItem::Kind::PairModules: {
         Rect rep{a.x, a.y, it.w, it.h};
@@ -174,13 +201,10 @@ AsfPacked AsfIsland::pack() const {
     }
   }
 
-  // Normalize and track where the axis (x = 0) lands.
+  // Track where the axis (x = 0) lands; assignFromPlacement normalizes.
   Rect bb = full.boundingBox();
-  full.normalize();
-  AsfPacked out;
-  out.axis2x = -2 * bb.x;
-  out.macro = Macro::fromPlacement(full, owners);
-  return out;
+  outAxis2x = -2 * bb.x;
+  outMacro.assignFromPlacement(full, owners, computeProfiles, scr.profileCuts);
 }
 
 }  // namespace als

@@ -19,6 +19,7 @@
 // representative whose mirrored copy realizes the partner sub-circuit.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "bstar/bstar_tree.h"
@@ -56,8 +57,26 @@ struct AsfPacked {
   Coord axis2x = 0;
 };
 
+/// Reusable buffers of one island packing loop (the HB*-tree decode packs
+/// every island once per SA move).  Not shareable between concurrent
+/// packers; contents never influence results.
+struct AsfPackScratch {
+  std::vector<std::size_t> left, right, item, stack;  // synthesized tree
+  std::vector<Macro> itemMacros;          ///< representative module macros
+  std::vector<const Macro*> macroPtrs;    ///< per item (points into above)
+  FlatContour contour;
+  std::vector<Coord> x;
+  std::vector<Point> anchorOf;
+  Placement full;                         ///< mirrored island placement
+  std::vector<ModuleId> owners;
+  std::vector<Coord> profileCuts;
+};
+
 class AsfIsland {
  public:
+  /// Empty island (buffer slot); only assignment gives it content.
+  AsfIsland() = default;
+
   /// `items`: the group content.  Self widths must be even (half-width
   /// representation).  The initial representative tree is a left-leaning
   /// chain of pair items under the self spine.
@@ -70,6 +89,12 @@ class AsfIsland {
   /// Packs the representatives and mirrors them into the full island.
   AsfPacked pack() const;
 
+  /// Scratch-reuse variant: identical results; the island macro is written
+  /// into `outMacro` (profiles only when computeProfiles — the HB*-tree
+  /// root's profile is consumed by nobody and costs O(n^2)).
+  void packInto(AsfPackScratch& scratch, bool computeProfiles, Macro& outMacro,
+                Coord& outAxis2x) const;
+
   std::size_t itemCount() const { return items_.size(); }
   const std::vector<AsfItem>& items() const { return items_; }
 
@@ -77,6 +102,11 @@ class AsfIsland {
   /// structure (sizes and kinds must match; used by the HB*-tree packer to
   /// refresh macro-pair shapes after sub-circuits change).
   void setItems(std::vector<AsfItem> items);
+
+  /// In-place refresh of one macro-pair item (same effect as rebuilding it
+  /// via AsfItem::pairMacros and setItems, but reusing the item's storage).
+  void refreshPairMacro(std::size_t itemIndex, const Macro& right,
+                        std::span<const ModuleId> ownersB);
 
  private:
   std::vector<AsfItem> items_;

@@ -111,12 +111,23 @@ void BStarTree::perturb(Rng& rng) {
     if (a != b) swapItems(a, b);
     return;
   }
-  // Move a random leaf under a random other node.
-  std::vector<std::size_t> leaves;
+  // Move a random leaf under a random other node.  The leaf is chosen
+  // without materializing the leaf list (perturb runs once per SA move and
+  // must not allocate): count leaves, draw an index, then find that leaf by
+  // a second scan — the same draw on the same count as the historical
+  // vector-based selection, so RNG streams are unchanged.
+  std::size_t leafCount = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (left_[i] == npos && right_[i] == npos) leaves.push_back(i);
+    if (left_[i] == npos && right_[i] == npos) ++leafCount;
   }
-  std::size_t node = leaves[rng.index(leaves.size())];
+  std::size_t pick = rng.index(leafCount);
+  std::size_t node = npos;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (left_[i] == npos && right_[i] == npos && pick-- == 0) {
+      node = i;
+      break;
+    }
+  }
   std::size_t target = rng.index(n);
   if (target == node) target = (target + 1) % n;
   moveNode(node, target, rng.coin());

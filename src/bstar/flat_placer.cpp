@@ -1,6 +1,5 @@
 #include "bstar/flat_placer.h"
 
-#include <optional>
 #include <utility>
 #include <vector>
 
@@ -28,30 +27,32 @@ FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
                                           .symmetry = options.symmetryWeight,
                                           .proximity = options.proximityWeight}));
 
-  auto dims = [&](const FlatState& s) {
-    std::vector<Coord> w(n), h(n);
+  FlatBStarScratch localScratch;
+  FlatBStarScratch& scr = options.scratch ? *options.scratch : localScratch;
+
+  // Decode = dims + pack, entirely into the scratch buffers; the returned
+  // pointer aliases scr.placement, which the cost model diff-copies from.
+  auto decode = [&](const FlatState& s) -> const Placement* {
+    scr.w.resize(n);
+    scr.h.resize(n);
     for (std::size_t m = 0; m < n; ++m) {
       const Module& mod = circuit.module(m);
-      w[m] = s.rotated[m] ? mod.h : mod.w;
-      h[m] = s.rotated[m] ? mod.w : mod.h;
+      scr.w[m] = s.rotated[m] ? mod.h : mod.w;
+      scr.h[m] = s.rotated[m] ? mod.w : mod.h;
     }
-    return std::pair(std::move(w), std::move(h));
+    packBStarInto(s.tree, scr.w, scr.h, scr.pack, scr.placement);
+    return &scr.placement;
   };
 
-  auto decode = [&](const FlatState& s) -> std::optional<Placement> {
-    auto [w, h] = dims(s);
-    return packBStar(s.tree, w, h);
-  };
-
-  auto move = [&](const FlatState& s, Rng& rng) {
-    FlatState next = s;
+  // In-place move style (anneal/annealer.h): `s` already holds a copy of
+  // the current state; same RNG draws as the historical copying move.
+  auto move = [&](FlatState& s, Rng& rng) {
     if (rng.uniform() < 0.15) {
       std::size_t m = rng.index(n);
-      if (circuit.module(m).rotatable) next.rotated[m] = !next.rotated[m];
+      if (circuit.module(m).rotatable) s.rotated[m] = !s.rotated[m];
     } else {
-      next.tree.perturb(rng);
+      s.tree.perturb(rng);
     }
-    return next;
   };
 
   AnnealOptions annealOpt;

@@ -10,10 +10,21 @@
 
 #include <cstdint>
 
+#include "bstar/pack.h"
 #include "geom/placement.h"
 #include "netlist/circuit.h"
 
 namespace als {
+
+/// Reusable decode buffers of one flat B*-tree SA run.  Optional: a run
+/// without one builds its own.  A scratch may be reused across sequential
+/// runs and circuits (the runtime layer keeps one per worker thread) but
+/// never by two concurrent runs; its contents never influence results.
+struct FlatBStarScratch {
+  BStarPackScratch pack;
+  std::vector<Coord> w, h;   ///< orientation-resolved footprints
+  Placement placement;       ///< decoded placement of the current candidate
+};
 
 struct FlatBStarOptions {
   double wirelengthWeight = 0.25;
@@ -24,6 +35,7 @@ struct FlatBStarOptions {
   std::uint64_t seed = 11;
   double coolingFactor = 0.96;
   std::size_t movesPerTemp = 0;
+  FlatBStarScratch* scratch = nullptr;  ///< optional caller-owned buffers
 };
 
 struct FlatBStarResult {

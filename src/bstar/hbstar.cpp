@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <optional>
 #include <utility>
 
 #include "anneal/annealer.h"
@@ -11,14 +10,55 @@
 
 namespace als {
 
-namespace {
-
-/// All module ids under a node, via the circuit hierarchy.
-std::vector<ModuleId> modulesUnder(const Circuit& c, HierNodeId id) {
-  return c.hierarchy().leavesUnder(id);
+void HBPackScratch::bind(const Circuit& circuit) {
+  const HierTree& h = circuit.hierarchy();
+  // The cached common-centroid macros are pure functions of (CC node ids,
+  // their unit module ids, unit footprints).  Staleness detection compares
+  // that exact input — never the circuit's address, which a later circuit
+  // can legitimately reuse.  The comparison is a flat integer scan, so a
+  // warm steady-state bind stays allocation-free.
+  sigScratch_.clear();
+  sigScratch_.push_back(static_cast<Coord>(h.nodeCount()));
+  for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
+    const HierNode& n = h.node(id);
+    if (n.isLeaf() || n.children.empty() ||
+        n.constraint != GroupConstraint::CommonCentroid) {
+      continue;
+    }
+    sigScratch_.push_back(static_cast<Coord>(id));
+    sigScratch_.push_back(static_cast<Coord>(n.children.size()));
+    for (HierNodeId child : n.children) {
+      assert(h.node(child).isLeaf());
+      ModuleId m = *h.node(child).module;
+      sigScratch_.push_back(static_cast<Coord>(m));
+      sigScratch_.push_back(circuit.module(m).w);
+      sigScratch_.push_back(circuit.module(m).h);
+    }
+  }
+  if (node.size() == h.nodeCount() && sigScratch_ == signature_) return;
+  signature_ = sigScratch_;
+  node.clear();  // drop stale per-node state from a previous circuit
+  node.resize(h.nodeCount());
+  // Common-centroid node macros are cached once per binding so the
+  // per-move pack skips both the grid construction and its profiles
+  // (their unit leaves never rotate or perturb).
+  for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
+    const HierNode& n = h.node(id);
+    if (n.isLeaf() || n.children.empty() ||
+        n.constraint != GroupConstraint::CommonCentroid) {
+      continue;
+    }
+    std::vector<ModuleId> units;
+    Coord unitW = 0, unitH = 0;
+    for (HierNodeId child : n.children) {
+      ModuleId m = *h.node(child).module;
+      units.push_back(m);
+      unitW = std::max(unitW, circuit.module(m).w);
+      unitH = std::max(unitH, circuit.module(m).h);
+    }
+    node[id].macro = commonCentroidGrid(units, unitW, unitH);
+  }
 }
-
-}  // namespace
 
 HBState::HBState(const Circuit& circuit) : circuit_(&circuit) {
   const HierTree& h = circuit.hierarchy();
@@ -105,135 +145,129 @@ void HBState::perturb(Rng& rng) {
   }
 }
 
-struct HBState::NodePack {
-  Macro macro;
-  // (symmetry-group index, axis2x in macro-local coordinates)
-  std::vector<std::pair<std::size_t, Coord>> axes;
-};
-
-HBState::NodePack HBState::packNode(HierNodeId id) const {
+void HBState::packNodeInto(HierNodeId id, bool needProfiles,
+                           HBPackScratch& s) const {
   const Circuit& c = *circuit_;
   const HierTree& h = c.hierarchy();
   const HierNode& node = h.node(id);
+  HBPackScratch::NodeBuf& buf = s.node[id];
+  buf.axes.clear();
 
   if (node.isLeaf()) {
     ModuleId m = *node.module;
     const Module& mod = c.module(m);
     Coord w = rotated_[m] ? mod.h : mod.w;
     Coord hh = rotated_[m] ? mod.w : mod.h;
-    return {Macro::fromModule(m, w, hh), {}};
+    buf.macro.assignFromModule(m, w, hh);
+    return;
   }
 
   if (node.constraint == GroupConstraint::CommonCentroid) {
-    // Children are unit leaves of one matched array.
-    std::vector<ModuleId> units;
-    Coord unitW = 0, unitH = 0;
-    for (HierNodeId child : node.children) {
-      assert(h.node(child).isLeaf());
-      ModuleId m = *h.node(child).module;
-      units.push_back(m);
-      unitW = std::max(unitW, c.module(m).w);
-      unitH = std::max(unitH, c.module(m).h);
-    }
-    return {commonCentroidGrid(units, unitW, unitH), {}};
+    // Fixed gridded macro, cached by HBPackScratch::bind.
+    return;
   }
 
   if (node.constraint == GroupConstraint::Symmetry) {
     assert(islands_[id].has_value());
-    // Refresh the macro-pair items from freshly packed sub-circuits, then
-    // pack the island.  Axes of nested groups translate through the island
-    // frame; mirrored partner groups inherit the mirrored axis.
-    AsfIsland island = *islands_[id];
-    std::vector<HierNodeId> subs;
+    // Pack the sub-circuits, refresh the macro-pair items from them in the
+    // per-node work copy (the state island stays untouched), then pack the
+    // island.  Axes of nested groups translate through the island frame;
+    // mirrored partner groups inherit the mirrored axis.
+    buf.subs.clear();
     for (HierNodeId child : node.children) {
-      if (!h.node(child).isLeaf()) subs.push_back(child);
+      if (!h.node(child).isLeaf()) buf.subs.push_back(child);
     }
-    std::vector<NodePack> subPacks;
-    subPacks.reserve(subs.size());
-    for (HierNodeId s : subs) subPacks.push_back(packNode(s));
+    for (HierNodeId sub : buf.subs) packNodeInto(sub, /*needProfiles=*/true, s);
 
+    buf.islandWork = *islands_[id];  // copy-assign: reuses the work buffers
     // Macro-pair items appear after the leaf pair/self items, in order.
-    std::vector<AsfItem> items = island.items();
+    const std::vector<AsfItem>& items = buf.islandWork.items();
     std::size_t macroItem = 0;
     for (std::size_t i = 0; i < items.size(); ++i) {
       if (items[i].kind == AsfItem::Kind::PairMacros) {
         std::size_t p = macroItem++;
-        const NodePack& rightPack = subPacks[2 * p];
-        const NodePack& leftPack = subPacks[2 * p + 1];
+        const Macro& rightMacro = s.node[buf.subs[2 * p]].macro;
+        const Macro& leftMacro = s.node[buf.subs[2 * p + 1]].macro;
         // Mirrored partner: owner list of the left sub-circuit, matched by
         // position to the right one's rect order.  The sub-circuits must be
         // structurally identical (matched sub-trees), which the circuit
         // generators guarantee for symmetric hierarchies.
-        assert(rightPack.macro.owners.size() == leftPack.macro.owners.size());
-        items[i] = AsfItem::pairMacros(rightPack.macro, leftPack.macro.owners);
+        assert(rightMacro.owners.size() == leftMacro.owners.size());
+        buf.islandWork.refreshPairMacro(i, rightMacro, leftMacro.owners);
       }
     }
-    island.setItems(std::move(items));  // keeps the perturbed structure
-    AsfPacked packed = island.pack();
+    Coord axis2x = 0;
+    buf.islandWork.packInto(s.asf, needProfiles, buf.macro, axis2x);
 
-    NodePack out;
-    out.macro = std::move(packed.macro);
-    if (node.symGroup) out.axes.push_back({*node.symGroup, packed.axis2x});
+    if (node.symGroup) buf.axes.push_back({*node.symGroup, axis2x});
     // Nested sub-group axes: locate each sub-macro's rects in the island to
     // recover its translation.  The right copy keeps orientation; the
     // mirrored copy's nested axes mirror about the island axis.
     // For simplicity and exactness we recover translation via the first
     // owner module's rect.
-    for (std::size_t p = 0; p < subs.size() / 2; ++p) {
-      const NodePack& rightPack = subPacks[2 * p];
-      for (const auto& [group, localAxis] : rightPack.axes) {
-        ModuleId probe = rightPack.macro.owners.front();
+    for (std::size_t p = 0; p < buf.subs.size() / 2; ++p) {
+      const HBPackScratch::NodeBuf& rightBuf = s.node[buf.subs[2 * p]];
+      for (const auto& [group, localAxis] : rightBuf.axes) {
+        ModuleId probe = rightBuf.macro.owners.front();
         // Find probe's rect in the island macro.
-        for (std::size_t r = 0; r < out.macro.owners.size(); ++r) {
-          if (out.macro.owners[r] == probe) {
-            Coord dx = out.macro.rects[r].x - rightPack.macro.rects.front().x;
-            out.axes.push_back({group, localAxis + 2 * dx});
+        for (std::size_t r = 0; r < buf.macro.owners.size(); ++r) {
+          if (buf.macro.owners[r] == probe) {
+            Coord dx = buf.macro.rects[r].x - rightBuf.macro.rects.front().x;
+            buf.axes.push_back({group, localAxis + 2 * dx});
             break;
           }
         }
       }
     }
-    return out;
+    return;
   }
 
   // Proximity / None: sub-B*-tree over the children.
   assert(trees_[id].has_value());
   const BStarTree& tree = *trees_[id];
-  std::vector<NodePack> childPacks;
-  childPacks.reserve(node.children.size());
-  for (HierNodeId child : node.children) childPacks.push_back(packNode(child));
-
-  std::vector<Macro> macros;
-  macros.reserve(childPacks.size());
-  for (const NodePack& cp : childPacks) macros.push_back(cp.macro);
-  PackedMacros packed = packMacros(tree, macros, c.moduleCount());
+  for (HierNodeId child : node.children) {
+    packNodeInto(child, /*needProfiles=*/true, s);
+  }
+  s.childMacros.clear();
+  for (HierNodeId child : node.children) {
+    s.childMacros.push_back(&s.node[child].macro);
+  }
+  packMacrosInto(tree, s.childMacros, c.moduleCount(), s.tree, s.packed);
 
   // Collect the placed rects of modules under this node into one macro.
-  Placement sub;
-  std::vector<ModuleId> owners;
-  for (ModuleId m : modulesUnder(c, id)) {
-    sub.push(packed.placement[m]);
-    owners.push_back(m);
+  h.leavesUnderInto(id, s.dfsStack, s.leaves);
+  s.sub.clear();
+  s.owners.clear();
+  for (ModuleId m : s.leaves) {
+    s.sub.push(s.packed.placement[m]);
+    s.owners.push_back(m);
   }
-  Rect bb = sub.boundingBox();
-  NodePack out;
-  out.macro = Macro::fromPlacement(sub, owners);
+  Rect bb = s.sub.boundingBox();
+  buf.macro.assignFromPlacement(s.sub, s.owners, needProfiles, s.profileCuts);
   // Child axes translate by the child's anchor, then by -bb offset from
-  // normalization inside fromPlacement.
-  for (std::size_t i = 0; i < childPacks.size(); ++i) {
-    for (const auto& [group, localAxis] : childPacks[i].axes) {
-      Coord dx = packed.anchor[i].x - bb.x;
-      out.axes.push_back({group, localAxis + 2 * dx});
+  // the normalization inside assignFromPlacement.
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    for (const auto& [group, localAxis] : s.node[node.children[i]].axes) {
+      Coord dx = s.packed.anchor[i].x - bb.x;
+      buf.axes.push_back({group, localAxis + 2 * dx});
     }
   }
-  return out;
 }
 
 HBState::Packed HBState::pack() const {
-  const Circuit& c = *circuit_;
-  NodePack top = packNode(c.hierarchy().root());
+  HBPackScratch scratch;
   Packed out;
-  out.placement = Placement(c.moduleCount());
+  packInto(scratch, out);
+  return out;
+}
+
+void HBState::packInto(HBPackScratch& scratch, Packed& out) const {
+  const Circuit& c = *circuit_;
+  scratch.bind(c);
+  const HierNodeId root = c.hierarchy().root();
+  packNodeInto(root, /*needProfiles=*/false, scratch);
+  const HBPackScratch::NodeBuf& top = scratch.node[root];
+  out.placement.assign(c.moduleCount());
   for (std::size_t r = 0; r < top.macro.rects.size(); ++r) {
     out.placement[top.macro.owners[r]] = top.macro.rects[r];
   }
@@ -242,7 +276,6 @@ HBState::Packed HBState::pack() const {
   Rect bb = out.placement.boundingBox();
   out.width = bb.w;
   out.height = bb.h;
-  return out;
 }
 
 HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& options) {
@@ -251,14 +284,14 @@ HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& opti
   CostModel model(circuit, makeObjective(circuit,
                                          {.wirelength = options.wirelengthWeight}));
 
-  auto decode = [](const HBState& s) -> std::optional<Placement> {
-    return std::move(s.pack().placement);
+  HBStarScratch localScratch;
+  HBStarScratch& scr = options.scratch ? *options.scratch : localScratch;
+
+  auto decode = [&](const HBState& s) -> const Placement* {
+    s.packInto(scr.pack, scr.packed);
+    return &scr.packed.placement;
   };
-  auto move = [](const HBState& s, Rng& rng) {
-    HBState next = s;
-    next.perturb(rng);
-    return next;
-  };
+  auto move = [](HBState& s, Rng& rng) { s.perturb(rng); };
 
   AnnealOptions annealOpt;
   annealOpt.maxSweeps = options.maxSweeps;
@@ -270,9 +303,9 @@ HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& opti
   auto annealed = annealWithRestarts(HBState(circuit), model, decode, move, annealOpt);
 
   HBPlacerResult result;
-  HBState::Packed packed = annealed.best.pack();
-  result.placement = std::move(packed.placement);
-  result.axis2x = std::move(packed.axis2x);
+  annealed.best.packInto(scr.pack, scr.packed);
+  result.placement = scr.packed.placement;
+  result.axis2x = scr.packed.axis2x;
   result.area = result.placement.boundingBox().area();
   result.hpwl = totalHpwl(result.placement, circuit.netPins());
   result.cost = annealed.bestCost;

@@ -32,6 +32,45 @@
 
 namespace als {
 
+/// Reusable buffers of one HB*-tree pack (the hierarchical decode runs once
+/// per SA move and must not allocate when warm).  A scratch binds lazily to
+/// a circuit: common-centroid node macros are pure functions of the circuit
+/// and are cached at bind time; everything else is overwritten per pack.
+/// Not shareable between concurrent packs; contents never influence results.
+struct HBPackScratch {
+  /// Per-hierarchy-node persistent result buffers.
+  struct NodeBuf {
+    Macro macro;  ///< the node's packed rigid macro
+    /// (symmetry-group index, axis2x in macro-local coordinates)
+    std::vector<std::pair<std::size_t, Coord>> axes;
+    AsfIsland islandWork;           ///< symmetry nodes: refreshed work copy
+    std::vector<HierNodeId> subs;   ///< symmetry nodes: non-leaf children
+  };
+  std::vector<NodeBuf> node;
+
+  // Shared sequential buffers (each node's packing completes before its
+  // parent's begins, so one set serves the whole recursion).
+  BStarPackScratch tree;
+  AsfPackScratch asf;
+  PackedMacros packed;
+  Placement sub;
+  std::vector<ModuleId> owners;
+  std::vector<const Macro*> childMacros;
+  std::vector<ModuleId> leaves;
+  std::vector<HierNodeId> dfsStack;
+  std::vector<Coord> profileCuts;
+
+  /// Re-binds to `circuit` when needed (sizes the node buffers, caches the
+  /// common-centroid macros).  Staleness is detected by comparing the exact
+  /// cache inputs (an O(CC units) integer scan, allocation-free when warm),
+  /// never by circuit address — addresses can be reused across circuits.
+  void bind(const Circuit& circuit);
+
+ private:
+  std::vector<Coord> signature_;   ///< cache inputs of the current binding
+  std::vector<Coord> sigScratch_;  ///< rebuilt per bind for comparison
+};
+
 /// Perturbable encoding of the whole hierarchical floorplan.
 class HBState {
  public:
@@ -53,11 +92,18 @@ class HBState {
   };
   Packed pack() const;
 
+  /// Scratch-reuse variant (identical results): the per-move decode of
+  /// placeHBStarSA.  `out` is fully overwritten.
+  void packInto(HBPackScratch& scratch, Packed& out) const;
+
   const Circuit& circuit() const { return *circuit_; }
 
  private:
-  struct NodePack;  // internal recursion result
-  NodePack packNode(HierNodeId id) const;
+  /// Packs node `id` into scratch.node[id] (macro + axes).  The root's
+  /// profile is consumed by nobody, so only non-root macros compute their
+  /// O(n^2) profiles (`needProfiles`).
+  void packNodeInto(HierNodeId id, bool needProfiles,
+                    HBPackScratch& scratch) const;
 
   const Circuit* circuit_;
   // Sub-tree per internal node id (empty when the node is not tree-packed).
@@ -68,6 +114,13 @@ class HBState {
   std::vector<ModuleId> freeRotatable_;    // modules eligible for rotation
 };
 
+/// Reusable decode buffers of one HB*-tree SA run (optional; see
+/// bstar/flat_placer.h for the sharing contract).
+struct HBStarScratch {
+  HBPackScratch pack;
+  HBState::Packed packed;  ///< decoded placement of the current candidate
+};
+
 struct HBPlacerOptions {
   double wirelengthWeight = 0.25;
   std::size_t maxSweeps = 256;   ///< primary budget: total SA sweeps (deterministic)
@@ -75,6 +128,7 @@ struct HBPlacerOptions {
   std::uint64_t seed = 11;
   double coolingFactor = 0.96;
   std::size_t movesPerTemp = 0;  ///< 0 = auto
+  HBStarScratch* scratch = nullptr;  ///< optional caller-owned buffers
 };
 
 struct HBPlacerResult {

@@ -5,6 +5,15 @@
 // bottom/top profiles.  A plain module is a trivial one-rectangle macro, so
 // a single packer serves both the flat B*-tree placer and the hierarchical
 // HB*-tree placer.
+//
+// == Decode hot path ==
+//
+// The `*Into` entry points are the per-move decode kernels: they write into
+// caller-owned buffers (`BStarPackScratch` + a persistent output), pack on a
+// `FlatContour`, and perform zero heap allocations once the buffers are
+// warm.  The by-value functions (`packMacros`, `packBStar`) are convenience
+// wrappers for cold callers (tests, enumeration, one-shot packing) and
+// produce bit-identical placements.
 #pragma once
 
 #include <span>
@@ -32,13 +41,27 @@ struct Macro {
   /// Macro wrapping an arbitrary placement (bbox normalized to the origin).
   /// Profile computation costs O(n^2) and only contour-based packers need
   /// it; pass computeProfiles = false when the macro is merely a rect
-  /// container (e.g. shape-function entries).
+  /// container (e.g. shape-function entries, or the HB*-tree root whose
+  /// profile no parent ever consumes).
   static Macro fromPlacement(const Placement& p, std::span<const ModuleId> owners,
                              bool computeProfiles = true);
 
   /// In-place 180-degree-free mirror about the vertical axis through the
   /// bbox center (used when a macro is one half of a symmetric pair).
   Macro mirroredX() const;
+
+  // -- scratch-reuse variants of the constructors above: overwrite this
+  //    macro, reusing its vector storage (allocation-free when warm). --
+
+  /// Overwrites with a single-module macro (trivial flat profiles).
+  void assignFromModule(ModuleId id, Coord w, Coord h);
+
+  /// Overwrites from a placement, normalizing the bbox to the origin.
+  /// `profileCuts` is the elementary-interval scratch of the profile build;
+  /// with computeProfiles = false the profiles are left EMPTY (never stale).
+  void assignFromPlacement(const Placement& p, std::span<const ModuleId> owners,
+                           bool computeProfiles,
+                           std::vector<Coord>& profileCuts);
 };
 
 /// Result of packing a B*-tree of macros.
@@ -52,14 +75,37 @@ struct PackedMacros {
   Coord height = 0;
 };
 
+/// Reusable buffers of one B*-tree packing loop.  One scratch serves any
+/// number of sequential packs (tree sizes may vary call to call); it must
+/// not be shared by concurrent packers.
+struct BStarPackScratch {
+  FlatContour contour;
+  std::vector<Coord> x;             ///< per-node anchor x during the DFS
+  std::vector<std::size_t> stack;   ///< preorder DFS stack
+};
+
 /// Packs `tree` whose item i is macros[i]; standard B*-tree semantics with
 /// contour-node handling for non-flat macros.
 PackedMacros packMacros(const BStarTree& tree, std::span<const Macro> macros,
                         std::size_t moduleCount);
 
+/// Scratch-reuse variant over indirect macros (the HB*-tree packer's child
+/// macros live in per-node buffers, not one contiguous array).  `out` is
+/// fully overwritten.
+void packMacrosInto(const BStarTree& tree, std::span<const Macro* const> macros,
+                    std::size_t moduleCount, BStarPackScratch& scratch,
+                    PackedMacros& out);
+
 /// Convenience: packs a B*-tree of plain modules (item i = module i with
 /// the given footprints).
 Placement packBStar(const BStarTree& tree, std::span<const Coord> widths,
                     std::span<const Coord> heights);
+
+/// The flat-placer decode kernel: packs plain rectangles directly on the
+/// flat contour — no Macro objects, no profile indirection — writing the
+/// placement into `out` (fully overwritten, indexed by tree item).
+void packBStarInto(const BStarTree& tree, std::span<const Coord> widths,
+                   std::span<const Coord> heights, BStarPackScratch& scratch,
+                   Placement& out);
 
 }  // namespace als

@@ -65,10 +65,14 @@ Coord CostModel::groupDeviation(const Placement& p, std::size_t group) const {
 }
 
 bool CostModel::proxDisconnected(const Placement& p, std::size_t slot) const {
-  std::vector<Rect> rects;
-  rects.reserve(proxMembers_[slot].size());
-  for (ModuleId m : proxMembers_[slot]) rects.push_back(p[m]);
-  return !isConnectedRegion(rects);
+  // Runs once per dirty proximity group per move: both the member-rect list
+  // and the union-find parent array are reused scratch (mutable members;
+  // safe because a CostModel is a per-run object — see the thread-safety
+  // note in the header).
+  proxRects_.clear();
+  proxRects_.reserve(proxMembers_[slot].size());
+  for (ModuleId m : proxMembers_[slot]) proxRects_.push_back(p[m]);
+  return !isConnectedRegion(proxRects_, proxUf_);
 }
 
 Coord CostModel::symmetryDeviation(const Placement& p) const {

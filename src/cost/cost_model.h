@@ -162,6 +162,12 @@ class CostModel {
   std::vector<std::uint64_t> proxStamp_;
   std::vector<std::uint64_t> moduleStamp_;
   std::uint64_t stampGen_ = 0;
+
+  // Proximity-connectivity scratch (mutable: proxDisconnected is logically
+  // const and runs per dirty group per move; reusing these keeps the whole
+  // propose path free of heap allocations).
+  mutable std::vector<Rect> proxRects_;
+  mutable std::vector<std::size_t> proxUf_;
 };
 
 }  // namespace als

@@ -4,6 +4,7 @@
 
 #include "bstar/flat_placer.h"
 #include "bstar/hbstar.h"
+#include "engine/place_scratch.h"
 #include "seqpair/sa_placer.h"
 #include "slicing/slicing_placer.h"
 
@@ -54,6 +55,9 @@ class BackendEngine final : public PlacementEngine {
     }
     if constexpr (requires { opt.targetAspect; }) {
       opt.targetAspect = options.targetAspect;
+    }
+    if (options.scratch != nullptr) {
+      opt.scratch = subScratch(*options.scratch, opt.scratch);
     }
     BackendResult r = place_(circuit, opt);
     EngineResult result;

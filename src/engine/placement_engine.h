@@ -37,6 +37,8 @@
 
 namespace als {
 
+struct PlaceScratch;  // engine/place_scratch.h
+
 enum class EngineBackend {
   FlatBStar,  ///< flat B*-tree, constraints as penalties (bstar/flat_placer.h)
   SeqPair,    ///< symmetric-feasible sequence pair (seqpair/sa_placer.h)
@@ -73,6 +75,13 @@ struct EngineOptions {
   // both fields.
   std::size_t numRestarts = 1;  ///< independent SA restarts (seed-split)
   std::size_t numThreads = 1;   ///< worker threads (0 = all hardware cores)
+
+  /// Optional warm decode buffers (engine/place_scratch.h): the engine maps
+  /// the backend's sub-scratch into the native options.  Contents never
+  /// influence results; at most one place() call may use it at a time.  The
+  /// portfolio runner manages its own per-worker scratches and ignores a
+  /// caller-provided one.
+  PlaceScratch* scratch = nullptr;
 };
 
 struct EngineResult {

@@ -1,7 +1,6 @@
 #include "geom/placement.h"
 
 #include <algorithm>
-#include <functional>
 #include <limits>
 #include <numeric>
 
@@ -75,10 +74,17 @@ Coord totalHpwl(const Placement& p, const std::vector<std::vector<std::size_t>>&
 }
 
 bool isConnectedRegion(std::span<const Rect> rects) {
+  std::vector<std::size_t> parent;
+  return isConnectedRegion(rects, parent);
+}
+
+bool isConnectedRegion(std::span<const Rect> rects,
+                       std::vector<std::size_t>& ufScratch) {
   if (rects.empty()) return false;
-  std::vector<std::size_t> parent(rects.size());
+  std::vector<std::size_t>& parent = ufScratch;
+  parent.resize(rects.size());
   std::iota(parent.begin(), parent.end(), std::size_t{0});
-  std::function<std::size_t(std::size_t)> find = [&](std::size_t v) {
+  auto find = [&](std::size_t v) {
     while (parent[v] != v) v = parent[v] = parent[parent[v]];
     return v;
   };

@@ -28,6 +28,13 @@ class Placement {
 
   void push(const Rect& r) { rects_.push_back(r); }
 
+  /// Drops all rects, keeping the storage (for scratch-buffer reuse).
+  void clear() { rects_.clear(); }
+
+  /// Re-sizes to n zero rects, reusing the storage — the scratch-buffer
+  /// equivalent of constructing `Placement(n)`.
+  void assign(std::size_t n) { rects_.assign(n, Rect{}); }
+
   /// Smallest rectangle covering all modules; zero rect when empty.
   Rect boundingBox() const;
 
@@ -88,6 +95,12 @@ Coord totalHpwl(const Placement& p, const std::vector<std::vector<std::size_t>>&
 /// from every other through positive-length shared edges or overlap (corner
 /// contact does not connect wells).  The proximity-constraint predicate.
 bool isConnectedRegion(std::span<const Rect> rects);
+
+/// Scratch-buffer overload for per-move callers (cost/cost_model.h): the
+/// union-find parent array lives in `ufScratch`, so a warm caller performs
+/// no heap allocation.
+bool isConnectedRegion(std::span<const Rect> rects,
+                       std::vector<std::size_t>& ufScratch);
 
 /// Exact check that modules `a` and `b` are mirror images about the vertical
 /// line 2x = axis2x (doubled coordinates keep half-DBU axes exact).

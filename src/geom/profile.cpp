@@ -10,12 +10,14 @@ namespace {
 // Generic step-profile builder over elementary intervals.
 //
 // `lo`/`hi` select the sweep axis of each rect, `val` the profiled edge, and
-// `better` the aggregation (max for top/right, min for bottom/left).
+// `better` the aggregation (max for top/right, min for bottom/left).  The
+// cut and step vectors are caller-owned so warm callers never allocate.
 template <class LoF, class HiF, class ValF, class BetterF>
-std::vector<ProfileStep> buildProfile(std::span<const Rect> rects, LoF lo, HiF hi,
-                                      ValF val, BetterF better) {
-  std::vector<Coord> cuts;
-  cuts.reserve(rects.size() * 2);
+void buildProfileInto(std::span<const Rect> rects, LoF lo, HiF hi, ValF val,
+                      BetterF better, std::vector<ProfileStep>& steps,
+                      std::vector<Coord>& cuts) {
+  cuts.clear();
+  steps.clear();
   for (const Rect& r : rects) {
     if (r.w <= 0 || r.h <= 0) continue;
     cuts.push_back(lo(r));
@@ -24,7 +26,6 @@ std::vector<ProfileStep> buildProfile(std::span<const Rect> rects, LoF lo, HiF h
   std::sort(cuts.begin(), cuts.end());
   cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
 
-  std::vector<ProfileStep> steps;
   for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
     Coord a = cuts[i], b = cuts[i + 1];
     bool covered = false;
@@ -43,6 +44,15 @@ std::vector<ProfileStep> buildProfile(std::span<const Rect> rects, LoF lo, HiF h
       steps.push_back({a, b, v});
     }
   }
+}
+
+template <class LoF, class HiF, class ValF, class BetterF>
+std::vector<ProfileStep> buildProfile(std::span<const Rect> rects, LoF lo, HiF hi,
+                                      ValF val, BetterF better) {
+  std::vector<ProfileStep> steps;
+  std::vector<Coord> cuts;
+  cuts.reserve(rects.size() * 2);
+  buildProfileInto(rects, lo, hi, val, better, steps, cuts);
   return steps;
 }
 
@@ -58,6 +68,23 @@ std::vector<ProfileStep> bottomProfile(std::span<const Rect> rects) {
   return buildProfile(
       rects, [](const Rect& r) { return r.xlo(); }, [](const Rect& r) { return r.xhi(); },
       [](const Rect& r) { return r.ylo(); }, [](Coord a, Coord b) { return a < b; });
+}
+
+void topProfileInto(std::span<const Rect> rects, std::vector<ProfileStep>& out,
+                    std::vector<Coord>& cutScratch) {
+  buildProfileInto(
+      rects, [](const Rect& r) { return r.xlo(); }, [](const Rect& r) { return r.xhi(); },
+      [](const Rect& r) { return r.yhi(); }, [](Coord a, Coord b) { return a > b; },
+      out, cutScratch);
+}
+
+void bottomProfileInto(std::span<const Rect> rects,
+                       std::vector<ProfileStep>& out,
+                       std::vector<Coord>& cutScratch) {
+  buildProfileInto(
+      rects, [](const Rect& r) { return r.xlo(); }, [](const Rect& r) { return r.xhi(); },
+      [](const Rect& r) { return r.ylo(); }, [](Coord a, Coord b) { return a < b; },
+      out, cutScratch);
 }
 
 std::vector<ProfileStep> rightProfile(std::span<const Rect> rects) {

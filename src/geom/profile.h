@@ -41,6 +41,15 @@ std::vector<ProfileStep> topProfile(std::span<const Rect> rects);
 /// Bottom profile: minimum y-low per covered x-interval.
 std::vector<ProfileStep> bottomProfile(std::span<const Rect> rects);
 
+/// Scratch-buffer variants for per-move callers (HB*-tree decode): `out` is
+/// overwritten with the profile, `cutScratch` holds the elementary-interval
+/// breakpoints.  Warm buffers make the computation allocation-free.
+void topProfileInto(std::span<const Rect> rects, std::vector<ProfileStep>& out,
+                    std::vector<Coord>& cutScratch);
+void bottomProfileInto(std::span<const Rect> rects,
+                       std::vector<ProfileStep>& out,
+                       std::vector<Coord>& cutScratch);
+
 /// Right profile: maximum x-high per covered y-interval.
 std::vector<ProfileStep> rightProfile(std::span<const Rect> rects);
 

@@ -26,7 +26,16 @@ HierNodeId HierTree::addGroup(std::string name, std::vector<HierNodeId> children
 
 std::vector<ModuleId> HierTree::leavesUnder(HierNodeId id) const {
   std::vector<ModuleId> out;
-  std::vector<HierNodeId> stack{id};
+  std::vector<HierNodeId> stack;
+  leavesUnderInto(id, stack, out);
+  return out;
+}
+
+void HierTree::leavesUnderInto(HierNodeId id, std::vector<HierNodeId>& stack,
+                               std::vector<ModuleId>& out) const {
+  out.clear();
+  stack.clear();
+  stack.push_back(id);
   while (!stack.empty()) {
     HierNodeId cur = stack.back();
     stack.pop_back();
@@ -40,7 +49,6 @@ std::vector<ModuleId> HierTree::leavesUnder(HierNodeId id) const {
       }
     }
   }
-  return out;
 }
 
 bool HierTree::isBasicSet(HierNodeId id) const {

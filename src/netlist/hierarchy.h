@@ -48,6 +48,12 @@ class HierTree {
   /// All module ids in the subtree of `id`, in DFS order.
   std::vector<ModuleId> leavesUnder(HierNodeId id) const;
 
+  /// Scratch-buffer variant for per-move callers (the HB*-tree decode):
+  /// same DFS order, `out` fully overwritten, `stack` reused — warm buffers
+  /// make the traversal allocation-free.
+  void leavesUnderInto(HierNodeId id, std::vector<HierNodeId>& stack,
+                       std::vector<ModuleId>& out) const;
+
   /// True when every child of `id` is a leaf (a "basic module set").
   bool isBasicSet(HierNodeId id) const;
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "anneal/annealer.h"
+#include "engine/place_scratch.h"
 #include "util/stopwatch.h"
 
 namespace als {
@@ -12,7 +13,9 @@ namespace als {
 namespace {
 
 /// Options of one slice: own seed and budget, shared resolved movesPerTemp,
-/// multi-start knobs neutralized (a slice is exactly one engine run).
+/// multi-start knobs neutralized (a slice is exactly one engine run).  The
+/// caller's scratch (if any) is dropped — the runner hands each slice the
+/// scratch of the pool slot executing it.
 EngineOptions sliceOptions(const EngineOptions& base, const RestartSlice& slice,
                            std::size_t resolvedMovesPerTemp) {
   EngineOptions opt = base;
@@ -21,8 +24,27 @@ EngineOptions sliceOptions(const EngineOptions& base, const RestartSlice& slice,
   opt.movesPerTemp = resolvedMovesPerTemp;
   opt.numRestarts = 1;
   opt.numThreads = 1;
+  opt.scratch = nullptr;
   return opt;
 }
+
+/// One warm decode scratch per pool slot (engine/place_scratch.h).  A slot
+/// runs its slices sequentially, so its scratch is never shared; creation
+/// is lazy because a short plan may not touch every slot.  Scratch contents
+/// never influence results, so slot scheduling cannot either.
+class WorkerScratches {
+ public:
+  explicit WorkerScratches(std::size_t slots) : scratches_(slots) {}
+
+  PlaceScratch* at(std::size_t slot) {
+    std::unique_ptr<PlaceScratch>& s = scratches_[slot];
+    if (s == nullptr) s = std::make_unique<PlaceScratch>();
+    return s.get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<PlaceScratch>> scratches_;
+};
 
 /// (cost, seed) winner among one portfolio's slices; scanning in schedule
 /// order over the index-addressed array keeps the choice independent of
@@ -86,9 +108,11 @@ EngineResult PortfolioRunner::run(const Circuit& circuit, EngineBackend backend,
 
   std::vector<EngineResult> slices(plan.size());
   auto runOn = [&](ThreadPool& pool) {
-    pool.parallelFor(plan.size(), [&](std::size_t i) {
-      slices[i] = engine->place(circuit,
-                                sliceOptions(options, plan[i], movesPerTemp));
+    WorkerScratches scratches(pool.threadCount());
+    pool.parallelFor(plan.size(), [&](std::size_t i, std::size_t slot) {
+      EngineOptions opt = sliceOptions(options, plan[i], movesPerTemp);
+      opt.scratch = scratches.at(slot);
+      slices[i] = engine->place(circuit, opt);
     });
   };
   if (pool_ != nullptr) {
@@ -123,11 +147,13 @@ PortfolioRunner::RaceOutcome PortfolioRunner::race(
   // idle while another still has unclaimed restarts.
   std::vector<EngineResult> grid(backends.size() * restarts);
   auto runOn = [&](ThreadPool& pool) {
-    pool.parallelFor(grid.size(), [&](std::size_t task) {
+    WorkerScratches scratches(pool.threadCount());
+    pool.parallelFor(grid.size(), [&](std::size_t task, std::size_t slot) {
       const std::size_t backend = task / restarts;
       const std::size_t restart = task % restarts;
-      grid[task] = engines[backend]->place(
-          circuit, sliceOptions(options, plan[restart], movesPerTemp));
+      EngineOptions opt = sliceOptions(options, plan[restart], movesPerTemp);
+      opt.scratch = scratches.at(slot);
+      grid[task] = engines[backend]->place(circuit, opt);
     });
   };
   if (pool_ != nullptr) {
@@ -172,11 +198,13 @@ std::vector<EngineResult> BatchPlacer::placeAll(
 
   std::vector<EngineResult> grid(circuits.size() * restarts);
   auto runOn = [&](ThreadPool& pool) {
-    pool.parallelFor(grid.size(), [&](std::size_t task) {
+    WorkerScratches scratches(pool.threadCount());
+    pool.parallelFor(grid.size(), [&](std::size_t task, std::size_t slot) {
       const std::size_t c = task / restarts;
       const std::size_t restart = task % restarts;
-      grid[task] = engine->place(
-          circuits[c], sliceOptions(options, plan[restart], movesPerTemp[c]));
+      EngineOptions opt = sliceOptions(options, plan[restart], movesPerTemp[c]);
+      opt.scratch = scratches.at(slot);
+      grid[task] = engine->place(circuits[c], opt);
     });
   };
   if (pool_ != nullptr) {

@@ -13,7 +13,8 @@ ThreadPool::ThreadPool(std::size_t numThreads) {
   std::size_t total = resolveThreadCount(numThreads);
   workers_.reserve(total - 1);
   for (std::size_t i = 0; i + 1 < total; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    // Slot 0 is the caller; workers take 1..total-1.
+    workers_.emplace_back([this, slot = i + 1] { workerLoop(slot); });
   }
 }
 
@@ -28,11 +29,16 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::parallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
+  parallelFor(count, [&fn](std::size_t index, std::size_t) { fn(index); });
+}
+
+void ThreadPool::parallelFor(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
   // A pool without workers (or a single task) runs inline on the caller:
   // same claims in the same order, no synchronization.
   if (workers_.empty() || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) fn(i, 0);
     return;
   }
 
@@ -49,7 +55,7 @@ void ThreadPool::parallelFor(std::size_t count,
   }
   wake_.notify_all();
 
-  runJob();  // the caller is a full participant
+  runJob(0);  // the caller is a full participant (slot 0)
 
   std::exception_ptr error;
   {
@@ -63,7 +69,7 @@ void ThreadPool::parallelFor(std::size_t count,
   if (error) std::rethrow_exception(error);
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(std::size_t slot) {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -73,20 +79,20 @@ void ThreadPool::workerLoop() {
     // Claim-and-run until the current job is exhausted.  The lock is held
     // here and inside runJob except while an index's fn executes.
     lock.unlock();
-    runJob();
+    runJob(slot);
     lock.lock();
   }
 }
 
-void ThreadPool::runJob() {
+void ThreadPool::runJob(std::size_t slot) {
   std::unique_lock<std::mutex> lock(mutex_);
   while (job_ != nullptr && nextIndex_ < jobCount_) {
     const std::size_t index = nextIndex_++;
-    const std::function<void(std::size_t)>* fn = job_;
+    const std::function<void(std::size_t, std::size_t)>* fn = job_;
     lock.unlock();
     std::exception_ptr error;
     try {
-      (*fn)(index);
+      (*fn)(index, slot);
     } catch (...) {
       error = std::current_exception();
     }

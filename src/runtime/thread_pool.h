@@ -52,9 +52,19 @@ class ThreadPool {
   void parallelFor(std::size_t count,
                    const std::function<void(std::size_t)>& fn);
 
+  /// Slotted variant: `fn(i, slot)` additionally receives the identity of
+  /// the participating thread — 0 for the caller, 1..threadCount()-1 for
+  /// the workers.  Within one fork-join a slot runs its indices strictly
+  /// sequentially, so slot-indexed resources (e.g. the portfolio layer's
+  /// per-worker decode scratches) need no further synchronization.  Which
+  /// *indices* land on which slot is scheduling-dependent; only state whose
+  /// contents cannot influence results may be keyed by slot.
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
-  void workerLoop();
-  void runJob();  // claim indices until the current job is exhausted
+  void workerLoop(std::size_t slot);
+  void runJob(std::size_t slot);  // claim indices until the job is exhausted
 
   std::vector<std::thread> workers_;
 
@@ -62,7 +72,7 @@ class ThreadPool {
   std::condition_variable wake_;     // workers: new job or shutdown
   std::condition_variable done_;     // caller: all indices finished
   std::mutex forkJoinMutex_;         // serializes concurrent parallelFor
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
   std::size_t jobCount_ = 0;         // indices in the current job
   std::size_t nextIndex_ = 0;        // next unclaimed index
   std::size_t pendingIndices_ = 0;   // claimed-or-unclaimed, not yet finished

@@ -22,6 +22,7 @@ SymmetricMoveSet::SymmetricMoveSet(std::span<const SymmetryGroup> groups,
   for (std::size_t m = 0; m < rotatable_.size(); ++m) {
     if (groupOf_[m] == npos) freeCells_.push_back(m);
   }
+  merged_ = mergedGroup(groups_);
 }
 
 void SymmetricMoveSet::apply(SeqPairState& state, Rng& rng) const {
@@ -72,7 +73,11 @@ void SymmetricMoveSet::swapAnyWithRepair(SeqPairState& s, Rng& rng) const {
   } else {
     s.sp.swapBetaModules(a, b);
   }
-  makeSymmetricFeasible(s.sp, groups_);
+  // Constructive re-seating over the cached union group; same beta writes
+  // as makeSymmetricFeasible, but allocation-free once warm.
+  if (!groups_.empty()) {
+    makeSymmetricFeasibleInPlace(s.sp, merged_, repairScratch_);
+  }
 }
 
 void SymmetricMoveSet::swapFree(SeqPairState& s, Rng& rng, bool inAlpha,

@@ -31,6 +31,7 @@
 
 #include "netlist/module.h"
 #include "seqpair/sequence_pair.h"
+#include "seqpair/symmetry.h"
 #include "util/rng.h"
 
 namespace als {
@@ -50,7 +51,10 @@ class SymmetricMoveSet {
   SymmetricMoveSet(std::span<const SymmetryGroup> groups,
                    std::vector<bool> rotatable, bool enableRepairMoves = true);
 
-  /// Applies one random property-(1)-preserving move in place.
+  /// Applies one random property-(1)-preserving move in place.  `apply` is
+  /// const in the logical sense but NOT re-entrant: the repair move reuses
+  /// per-move-set scratch buffers, so each SA run must own its move set
+  /// (which every backend already does).
   void apply(SeqPairState& state, Rng& rng) const;
 
  private:
@@ -65,6 +69,8 @@ class SymmetricMoveSet {
   std::vector<std::size_t> groupCells_;   // all cells in some group
   std::vector<std::size_t> freeCells_;    // cells in no group
   std::vector<std::size_t> groupOf_;      // group index per cell, npos if free
+  SymmetryGroup merged_;                  // union group, built once
+  mutable SymFeasibleScratch repairScratch_;
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 };
 

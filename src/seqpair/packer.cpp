@@ -11,10 +11,13 @@ namespace als {
 namespace {
 
 /// Prefix-max Fenwick tree: point update, prefix-maximum query.  Values only
-/// grow, which is exactly the LCS packer's access pattern.
+/// grow, which is exactly the LCS packer's access pattern.  The storage is
+/// caller-owned so the per-move decode can reuse one buffer.
 class MaxFenwick {
  public:
-  explicit MaxFenwick(std::size_t n) : tree_(n + 1, 0) {}
+  MaxFenwick(std::size_t n, std::vector<Coord>& storage) : tree_(storage) {
+    tree_.assign(n + 1, 0);
+  }
 
   /// max over positions [0, i] (inclusive); 0 when empty.
   Coord prefixMax(std::size_t i) const {
@@ -30,7 +33,7 @@ class MaxFenwick {
   }
 
  private:
-  std::vector<Coord> tree_;
+  std::vector<Coord>& tree_;
 };
 
 /// Monotone staircase over a van Emde Boas position set: positions kept in
@@ -80,7 +83,11 @@ void sweep(std::span<const std::size_t> order, const SequencePair& sp,
 }
 
 struct NaiveAdapter {
-  std::vector<std::pair<std::size_t, Coord>> entries;  // (beta position, end)
+  std::vector<std::pair<std::size_t, Coord>>& entries;  // (beta position, end)
+  explicit NaiveAdapter(std::vector<std::pair<std::size_t, Coord>>& storage)
+      : entries(storage) {
+    entries.clear();
+  }
   Coord prefixMaxAt(std::size_t b) const {
     Coord m = 0;
     for (const auto& [pos, end] : entries) {
@@ -93,7 +100,8 @@ struct NaiveAdapter {
 
 struct FenwickAdapter {
   MaxFenwick tree;
-  explicit FenwickAdapter(std::size_t n) : tree(n) {}
+  FenwickAdapter(std::size_t n, std::vector<Coord>& storage)
+      : tree(n, storage) {}
   Coord prefixMaxAt(std::size_t b) const { return tree.prefixMax(b - 1); }
   void insertAt(std::size_t b, Coord end) { tree.update(b, end); }
 };
@@ -106,44 +114,63 @@ struct VebAdapter {
 };
 
 template <class MakeStructure>
-Placement packWith(const SequencePair& sp, std::span<const Coord> widths,
-                   std::span<const Coord> heights, MakeStructure makeStructure) {
+void packWithInto(const SequencePair& sp, std::span<const Coord> widths,
+                  std::span<const Coord> heights, MakeStructure makeStructure,
+                  SeqPairPackScratch& scratch, Placement& out) {
   std::size_t n = sp.size();
-  std::vector<Coord> x(n, 0), y(n, 0);
+  scratch.x.assign(n, 0);
+  scratch.y.assign(n, 0);
 
   // x sweep: alpha order; predecessors in both sequences are "left of".
   {
     auto s = makeStructure();
-    sweep(sp.alpha(), sp, widths, x, s);
+    sweep(sp.alpha(), sp, widths, scratch.x, s);
   }
   // y sweep: reverse alpha order; for already-processed i (alpha-after m)
   // with smaller beta position, i is below m.
   {
     auto s = makeStructure();
-    std::vector<std::size_t> rev(sp.alpha().rbegin(), sp.alpha().rend());
-    sweep(rev, sp, heights, y, s);
+    scratch.rev.assign(sp.alpha().rbegin(), sp.alpha().rend());
+    sweep(scratch.rev, sp, heights, scratch.y, s);
   }
 
-  Placement p(n);
-  for (std::size_t m = 0; m < n; ++m) p[m] = {x[m], y[m], widths[m], heights[m]};
-  return p;
+  out.assign(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    out[m] = {scratch.x[m], scratch.y[m], widths[m], heights[m]};
+  }
 }
 
 }  // namespace
 
 Placement packSequencePair(const SequencePair& sp, std::span<const Coord> widths,
                            std::span<const Coord> heights, PackStrategy strategy) {
+  SeqPairPackScratch scratch;
+  Placement out;
+  packSequencePairInto(sp, widths, heights, strategy, scratch, out);
+  return out;
+}
+
+void packSequencePairInto(const SequencePair& sp, std::span<const Coord> widths,
+                          std::span<const Coord> heights, PackStrategy strategy,
+                          SeqPairPackScratch& scratch, Placement& out) {
   assert(widths.size() == sp.size() && heights.size() == sp.size());
   switch (strategy) {
     case PackStrategy::Naive:
-      return packWith(sp, widths, heights, [] { return NaiveAdapter{}; });
+      packWithInto(sp, widths, heights,
+                   [&] { return NaiveAdapter(scratch.naiveEntries); }, scratch,
+                   out);
+      return;
     case PackStrategy::Fenwick:
-      return packWith(sp, widths, heights,
-                      [&] { return FenwickAdapter(sp.size()); });
+      packWithInto(sp, widths, heights,
+                   [&] { return FenwickAdapter(sp.size(), scratch.fenwick); },
+                   scratch, out);
+      return;
     case PackStrategy::Veb:
-      return packWith(sp, widths, heights, [&] { return VebAdapter(sp.size()); });
+      packWithInto(sp, widths, heights,
+                   [&] { return VebAdapter(sp.size()); }, scratch, out);
+      return;
   }
-  return Placement(sp.size());
+  out.assign(sp.size());
 }
 
 }  // namespace als

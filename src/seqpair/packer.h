@@ -24,10 +24,25 @@ namespace als {
 
 enum class PackStrategy { Naive, Fenwick, Veb };
 
+/// Reusable buffers of one LCS packing loop (the sequence-pair placer's
+/// per-move decode).  Warm buffers make the Naive and Fenwick strategies
+/// allocation-free; Veb keeps its per-call tree (bench-only strategy).
+struct SeqPairPackScratch {
+  std::vector<Coord> x, y;
+  std::vector<std::size_t> rev;          ///< reversed alpha order (y sweep)
+  std::vector<Coord> fenwick;            ///< prefix-max Fenwick storage
+  std::vector<std::pair<std::size_t, Coord>> naiveEntries;
+};
+
 /// Packs the pair into the lower-left-compacted placement.
 /// `widths` / `heights` are the (orientation-resolved) module footprints.
 Placement packSequencePair(const SequencePair& sp, std::span<const Coord> widths,
                            std::span<const Coord> heights,
                            PackStrategy strategy = PackStrategy::Fenwick);
+
+/// Scratch-reuse variant: identical placements, `out` fully overwritten.
+void packSequencePairInto(const SequencePair& sp, std::span<const Coord> widths,
+                          std::span<const Coord> heights, PackStrategy strategy,
+                          SeqPairPackScratch& scratch, Placement& out);
 
 }  // namespace als

@@ -32,31 +32,32 @@ SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
                                           .maxHeight = options.maxHeight,
                                           .targetAspect = options.targetAspect}));
 
+  SeqPairScratch localScratch;
+  SeqPairScratch& scr = options.scratch ? *options.scratch : localScratch;
+
   auto dims = [&](const SeqPairState& s) {
-    std::vector<Coord> w(n), h(n);
+    scr.w.resize(n);
+    scr.h.resize(n);
     for (std::size_t m = 0; m < n; ++m) {
       const Module& mod = circuit.module(m);
-      w[m] = s.rotated[m] ? mod.h : mod.w;
-      h[m] = s.rotated[m] ? mod.w : mod.h;
+      scr.w[m] = s.rotated[m] ? mod.h : mod.w;
+      scr.h[m] = s.rotated[m] ? mod.w : mod.h;
     }
-    return std::pair(std::move(w), std::move(h));
   };
 
   // Decode failure (a non-S-F code) maps to the objective's infeasible
   // cost — cannot happen for the move set here, but keeps the annealer
-  // total if it ever does.
-  auto decode = [&](const SeqPairState& s) -> std::optional<Placement> {
-    auto [w, h] = dims(s);
-    auto built = buildSymmetricPlacement(s.sp, w, h, groups);
-    if (!built) return std::nullopt;
-    return std::move(built->placement);
+  // total if it ever does.  The returned pointer aliases scr.result.
+  auto decode = [&](const SeqPairState& s) -> const Placement* {
+    dims(s);
+    if (!buildSymmetricPlacementInto(s.sp, scr.w, scr.h, groups, 200, scr.sym,
+                                     scr.result)) {
+      return nullptr;
+    }
+    return &scr.result.placement;
   };
 
-  auto move = [&](const SeqPairState& s, Rng& rng) {
-    SeqPairState next = s;
-    moves.apply(next, rng);
-    return next;
-  };
+  auto move = [&](SeqPairState& s, Rng& rng) { moves.apply(s, rng); };
 
   AnnealOptions annealOpt;
   annealOpt.maxSweeps = options.maxSweeps;
@@ -68,8 +69,8 @@ SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
   auto annealed = annealWithRestarts(init, model, decode, move, annealOpt);
 
   SeqPairPlacerResult result;
-  auto [w, h] = dims(annealed.best);
-  auto built = buildSymmetricPlacement(annealed.best.sp, w, h, groups);
+  dims(annealed.best);
+  auto built = buildSymmetricPlacement(annealed.best.sp, scr.w, scr.h, groups);
   if (built) {
     result.placement = std::move(built->placement);
     result.axis2x = std::move(built->axis2x);

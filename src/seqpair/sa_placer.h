@@ -13,6 +13,14 @@
 
 namespace als {
 
+/// Reusable decode buffers of one sequence-pair SA run (optional; see
+/// bstar/flat_placer.h for the sharing contract).
+struct SeqPairScratch {
+  std::vector<Coord> w, h;    ///< orientation-resolved footprints
+  SymPlaceScratch sym;
+  SymPlacementResult result;  ///< decoded placement of the current candidate
+};
+
 struct SeqPairPlacerOptions {
   double wirelengthWeight = 0.25;  ///< lambda, scaled by sqrt(module area)
   std::size_t maxSweeps = 256;     ///< primary budget: total SA sweeps (deterministic)
@@ -32,6 +40,8 @@ struct SeqPairPlacerOptions {
   /// Ablation toggle: disable the repairing swap-any move class (see
   /// seqpair/moves.h); the default move mix keeps it on.
   bool enableRepairMoves = true;
+
+  SeqPairScratch* scratch = nullptr;  ///< optional caller-owned buffers
 };
 
 struct SeqPairPlacerResult {

@@ -46,6 +46,15 @@ void SequencePair::swapBetaAt(std::size_t i, std::size_t j) {
   betaInv_[beta_[j]] = j;
 }
 
+void SequencePair::assignSequences(std::span<const std::size_t> alpha,
+                                   std::span<const std::size_t> beta) {
+  assert(alpha.size() == beta.size());
+  alpha_.assign(alpha.begin(), alpha.end());
+  beta_.assign(beta.begin(), beta.end());
+  rebuildInverse();
+  assert(isValid());
+}
+
 void SequencePair::swapAlphaModules(std::size_t a, std::size_t b) {
   swapAlphaAt(alphaPos(a), alphaPos(b));
 }

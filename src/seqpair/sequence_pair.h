@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,21 @@ class SequencePair {
   /// Swaps modules a and b inside alpha / beta (positions looked up).
   void swapAlphaModules(std::size_t a, std::size_t b);
   void swapBetaModules(std::size_t a, std::size_t b);
+
+  /// Overwrites both permutations in place, reusing the storage (the
+  /// allocation-free equivalent of assigning a freshly constructed pair).
+  /// Both spans must be permutations of 0..n-1.
+  void assignSequences(std::span<const std::size_t> alpha,
+                       std::span<const std::size_t> beta);
+
+  /// Seats `module` at beta position `pos`, keeping the inverse in sync.
+  /// The caller must restore the permutation invariant across a batch of
+  /// reseats (the symmetric-feasibility repair permutes group members among
+  /// the group's own beta slots, which does exactly that).
+  void reseatBeta(std::size_t pos, std::size_t module) {
+    beta_[pos] = module;
+    betaInv_[module] = pos;
+  }
 
   /// True iff module i is left of module j under this pair.
   bool leftOf(std::size_t i, std::size_t j) const {

@@ -10,12 +10,18 @@ namespace als {
 
 namespace {
 
+using detail::SymIslandBuf;
+using detail::SymOrientedPair;
+using detail::SymRow;
+
 /// Longest-path propagation in x over an arbitrary cell subset: processes
 /// cells in alpha order and raises x to clear every "left of" predecessor.
-/// Existing values act as lower bounds (monotone).
+/// Existing values act as lower bounds (monotone).  `order` is a reused
+/// ordering buffer.
 void propagateX(const SequencePair& sp, std::span<const std::size_t> cells,
-                std::span<const Coord> w, std::vector<Coord>& x) {
-  std::vector<std::size_t> order(cells.begin(), cells.end());
+                std::span<const Coord> w, std::vector<Coord>& x,
+                std::vector<std::size_t>& order) {
+  order.assign(cells.begin(), cells.end());
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return sp.alphaPos(a) < sp.alphaPos(b); });
   for (std::size_t i = 0; i < order.size(); ++i) {
@@ -31,8 +37,9 @@ void propagateX(const SequencePair& sp, std::span<const std::size_t> cells,
 
 /// Longest-path propagation in y (reverse alpha order = "below" DAG order).
 void propagateY(const SequencePair& sp, std::span<const std::size_t> cells,
-                std::span<const Coord> h, std::vector<Coord>& y) {
-  std::vector<std::size_t> order(cells.begin(), cells.end());
+                std::span<const Coord> h, std::vector<Coord>& y,
+                std::vector<std::size_t>& order) {
+  order.assign(cells.begin(), cells.end());
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return sp.alphaPos(a) > sp.alphaPos(b); });
   for (std::size_t i = 0; i < order.size(); ++i) {
@@ -46,28 +53,19 @@ void propagateY(const SequencePair& sp, std::span<const std::size_t> cells,
   }
 }
 
-struct OrientedPair {
-  std::size_t left, right;
-};
-
-struct Island {
-  std::vector<std::size_t> cells;  // global module ids
-  Placement local;                 // indexed like `cells`
-  Coord axis2x = 0;                // in island-local coordinates
-  Coord w = 0, h = 0;              // bounding box
-  bool usedFallback = false;
-};
-
 /// Mirror relaxation for ONE group over the induced sub-sequence-pair.
 /// Returns false if no fixpoint is reached within maxIterations.
 bool relaxIsland(const SequencePair& sp, std::span<const Coord> w,
                  std::span<const Coord> h, const SymmetryGroup& group,
-                 std::span<const OrientedPair> pairs, int maxIterations,
-                 Island& island) {
+                 std::span<const SymOrientedPair> pairs, int maxIterations,
+                 SymIslandBuf& island, SymPlaceScratch& scratch) {
   const auto& cells = island.cells;
-  std::vector<Coord> x(w.size(), 0), y(h.size(), 0);
-  propagateX(sp, cells, w, x);
-  propagateY(sp, cells, h, y);
+  std::vector<Coord>& x = scratch.relaxX;
+  std::vector<Coord>& y = scratch.relaxY;
+  x.assign(w.size(), 0);
+  y.assign(h.size(), 0);
+  propagateX(sp, cells, w, x, scratch.order);
+  propagateY(sp, cells, h, y, scratch.order);
 
   auto centerD = [&](std::size_t m) { return 2 * x[m] + w[m]; };
   Coord a2 = 0;
@@ -77,13 +75,13 @@ bool relaxIsland(const SequencePair& sp, std::span<const Coord> w,
   int iter = 0;
   for (; iter < maxIterations; ++iter) {
     bool changed = false;
-    for (const OrientedPair& pr : pairs) {
+    for (const SymOrientedPair& pr : pairs) {
       a2 = std::max(a2, (centerD(pr.left) + centerD(pr.right)) / 2);
     }
     for (ModuleId s : group.selfs) a2 = std::max(a2, centerD(s));
     if (!group.selfs.empty() && (a2 % 2) != 0) ++a2;
 
-    for (const OrientedPair& pr : pairs) {
+    for (const SymOrientedPair& pr : pairs) {
       Coord targetD = 2 * a2 - centerD(pr.left);
       if (centerD(pr.right) < targetD) {
         x[pr.right] = (targetD - w[pr.right]) / 2;
@@ -96,7 +94,7 @@ bool relaxIsland(const SequencePair& sp, std::span<const Coord> w,
         changed = true;
       }
     }
-    for (const OrientedPair& pr : pairs) {
+    for (const SymOrientedPair& pr : pairs) {
       Coord target = std::max(y[pr.left], y[pr.right]);
       if (y[pr.left] != target || y[pr.right] != target) {
         y[pr.left] = y[pr.right] = target;
@@ -106,8 +104,8 @@ bool relaxIsland(const SequencePair& sp, std::span<const Coord> w,
 
     Coord sumBefore = 0;
     for (std::size_t m : cells) sumBefore += x[m] + y[m];
-    propagateX(sp, cells, w, x);
-    propagateY(sp, cells, h, y);
+    propagateX(sp, cells, w, x, scratch.order);
+    propagateY(sp, cells, h, y, scratch.order);
     Coord sumAfter = 0;
     for (std::size_t m : cells) sumAfter += x[m] + y[m];
 
@@ -118,7 +116,7 @@ bool relaxIsland(const SequencePair& sp, std::span<const Coord> w,
   }
   if (iter >= maxIterations) return false;
 
-  island.local = Placement(cells.size());
+  island.local.assign(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
     std::size_t m = cells[i];
     island.local[i] = {x[m], y[m], w[m], h[m]};
@@ -132,32 +130,29 @@ bool relaxIsland(const SequencePair& sp, std::span<const Coord> w,
 /// own, rows stacked in alpha order.
 void stackedIsland(const SequencePair& sp, std::span<const Coord> w,
                    std::span<const Coord> h, const SymmetryGroup& group,
-                   std::span<const OrientedPair> pairs, Island& island) {
+                   std::span<const SymOrientedPair> pairs, SymIslandBuf& island,
+                   SymPlaceScratch& scratch) {
   Coord half = 0;  // max half-width (axis distance)
-  for (const OrientedPair& pr : pairs) half = std::max(half, w[pr.left]);
+  for (const SymOrientedPair& pr : pairs) half = std::max(half, w[pr.left]);
   for (ModuleId s : group.selfs) half = std::max(half, w[s] / 2);
   Coord a2 = 2 * half;  // doubled axis
 
-  struct Row {
-    std::size_t anchor;  // alpha-ordering key
-    bool isPair;
-    OrientedPair pr{};
-    ModuleId self = 0;
-  };
-  std::vector<Row> rows;
-  for (const OrientedPair& pr : pairs) {
+  std::vector<SymRow>& rows = scratch.rows;
+  rows.clear();
+  for (const SymOrientedPair& pr : pairs) {
     rows.push_back({std::min(sp.alphaPos(pr.left), sp.alphaPos(pr.right)), true, pr, 0});
   }
   for (ModuleId s : group.selfs) rows.push_back({sp.alphaPos(s), false, {}, s});
   std::sort(rows.begin(), rows.end(),
-            [](const Row& a, const Row& b) { return a.anchor < b.anchor; });
+            [](const SymRow& a, const SymRow& b) { return a.anchor < b.anchor; });
 
-  island.local = Placement(island.cells.size());
-  std::vector<std::size_t> localIndex(w.size(), 0);
+  island.local.assign(island.cells.size());
+  std::vector<std::size_t>& localIndex = scratch.localIndex;
+  localIndex.assign(w.size(), 0);
   for (std::size_t i = 0; i < island.cells.size(); ++i) localIndex[island.cells[i]] = i;
 
   Coord yCursor = 0;
-  for (const Row& row : rows) {
+  for (const SymRow& row : rows) {
     if (row.isPair) {
       Coord wl = w[row.pr.left];
       island.local[localIndex[row.pr.left]] = {half - wl, yCursor, wl, h[row.pr.left]};
@@ -179,6 +174,21 @@ std::optional<SymPlacementResult> buildSymmetricPlacement(
     const SequencePair& sp, std::span<const Coord> widths,
     std::span<const Coord> heights, std::span<const SymmetryGroup> groups,
     int maxIterations) {
+  SymPlaceScratch scratch;
+  SymPlacementResult result;
+  if (!buildSymmetricPlacementInto(sp, widths, heights, groups, maxIterations,
+                                   scratch, result)) {
+    return std::nullopt;
+  }
+  return result;
+}
+
+bool buildSymmetricPlacementInto(const SequencePair& sp,
+                                 std::span<const Coord> widths,
+                                 std::span<const Coord> heights,
+                                 std::span<const SymmetryGroup> groups,
+                                 int maxIterations, SymPlaceScratch& scratch,
+                                 SymPlacementResult& out) {
   const std::size_t n = sp.size();
   assert(widths.size() == n && heights.size() == n);
   for (std::size_t m = 0; m < n; ++m) {
@@ -188,42 +198,48 @@ std::optional<SymPlacementResult> buildSymmetricPlacement(
   }
 
   if (groups.empty()) {
-    SymPlacementResult result;
-    result.placement = packSequencePair(sp, widths, heights);
-    return result;
+    packSequencePairInto(sp, widths, heights, PackStrategy::Fenwick,
+                         scratch.pack, out.placement);
+    out.axis2x.clear();
+    out.fallbacks = 0;
+    return true;
   }
 
   // --- 1. build one island per group. ---
-  std::vector<Island> islands(groups.size());
+  if (scratch.islands.size() < groups.size()) scratch.islands.resize(groups.size());
   for (std::size_t g = 0; g < groups.size(); ++g) {
-    islands[g].cells = groups[g].members();
-    std::vector<OrientedPair> pairs;
+    SymIslandBuf& island = scratch.islands[g];
+    island.usedFallback = false;
+    island.cells.clear();
+    for (const SymPair& pr : groups[g].pairs) {
+      island.cells.push_back(pr.a);
+      island.cells.push_back(pr.b);
+    }
+    for (ModuleId s : groups[g].selfs) island.cells.push_back(s);
+    island.pairs.clear();
     for (const SymPair& pr : groups[g].pairs) {
       if (sp.leftOf(pr.a, pr.b)) {
-        pairs.push_back({pr.a, pr.b});
+        island.pairs.push_back({pr.a, pr.b});
       } else if (sp.leftOf(pr.b, pr.a)) {
-        pairs.push_back({pr.b, pr.a});
+        island.pairs.push_back({pr.b, pr.a});
       } else {
-        return std::nullopt;  // vertically related partners: not S-F
+        return false;  // vertically related partners: not S-F
       }
     }
-    if (!relaxIsland(sp, widths, heights, groups[g], pairs, maxIterations,
-                     islands[g])) {
-      stackedIsland(sp, widths, heights, groups[g], pairs, islands[g]);
+    if (!relaxIsland(sp, widths, heights, groups[g], island.pairs,
+                     maxIterations, island, scratch)) {
+      stackedIsland(sp, widths, heights, groups[g], island.pairs, island,
+                    scratch);
     }
-    islands[g].local.normalize();
-    // Normalization shifted x by the bounding box offset; shift the axis by
-    // the same amount (axis2x is doubled, offsets are applied twice).
-    Rect bb = islands[g].local.boundingBox();
-    (void)bb;  // normalize() already anchored at the origin
-    islands[g].w = islands[g].local.boundingBox().w;
-    islands[g].h = islands[g].local.boundingBox().h;
+    island.local.normalize();
+    island.w = island.local.boundingBox().w;
+    island.h = island.local.boundingBox().h;
   }
   // Recompute each island's axis from its normalized placement: use the
   // first pair (or self) to re-derive it exactly.
   for (std::size_t g = 0; g < groups.size(); ++g) {
     const SymmetryGroup& grp = groups[g];
-    const Island& isl = islands[g];
+    SymIslandBuf& isl = scratch.islands[g];
     auto localOf = [&](ModuleId m) {
       for (std::size_t i = 0; i < isl.cells.size(); ++i) {
         if (isl.cells[i] == m) return i;
@@ -233,16 +249,16 @@ std::optional<SymPlacementResult> buildSymmetricPlacement(
     if (!grp.pairs.empty()) {
       const Rect& a = isl.local[localOf(grp.pairs[0].a)];
       const Rect& b = isl.local[localOf(grp.pairs[0].b)];
-      islands[g].axis2x = a.x + a.w + b.x;
+      isl.axis2x = a.x + a.w + b.x;
     } else if (!grp.selfs.empty()) {
       const Rect& s = isl.local[localOf(grp.selfs[0])];
-      islands[g].axis2x = 2 * s.x + s.w;
+      isl.axis2x = 2 * s.x + s.w;
     }
   }
 
   // --- 2. reduced sequence-pair: free cells + one node per island. ---
-  std::vector<std::size_t> nodeOf(n, static_cast<std::size_t>(-1));
-  std::vector<std::size_t> freeCells;
+  std::vector<std::size_t>& freeCells = scratch.freeCells;
+  freeCells.clear();
   for (std::size_t m = 0; m < n; ++m) {
     bool inGroup = false;
     for (std::size_t g = 0; g < groups.size() && !inGroup; ++g) {
@@ -250,62 +266,70 @@ std::optional<SymPlacementResult> buildSymmetricPlacement(
     }
     if (!inGroup) freeCells.push_back(m);
   }
-  const std::size_t reducedN = freeCells.size() + islands.size();
-  std::vector<Coord> rw(reducedN), rh(reducedN);
+  const std::size_t reducedN = freeCells.size() + groups.size();
+  scratch.rw.resize(reducedN);
+  scratch.rh.resize(reducedN);
   // Ordering keys: a free cell keeps its own positions; an island is ordered
   // by the first (minimum) position among its members.
-  std::vector<std::size_t> alphaKey(reducedN), betaKey(reducedN);
+  scratch.alphaKey.resize(reducedN);
+  scratch.betaKey.resize(reducedN);
   for (std::size_t i = 0; i < freeCells.size(); ++i) {
-    rw[i] = widths[freeCells[i]];
-    rh[i] = heights[freeCells[i]];
-    alphaKey[i] = sp.alphaPos(freeCells[i]);
-    betaKey[i] = sp.betaPos(freeCells[i]);
+    scratch.rw[i] = widths[freeCells[i]];
+    scratch.rh[i] = heights[freeCells[i]];
+    scratch.alphaKey[i] = sp.alphaPos(freeCells[i]);
+    scratch.betaKey[i] = sp.betaPos(freeCells[i]);
   }
-  for (std::size_t g = 0; g < islands.size(); ++g) {
+  for (std::size_t g = 0; g < groups.size(); ++g) {
     std::size_t idx = freeCells.size() + g;
-    rw[idx] = islands[g].w;
-    rh[idx] = islands[g].h;
+    scratch.rw[idx] = scratch.islands[g].w;
+    scratch.rh[idx] = scratch.islands[g].h;
     std::size_t aMin = n, bMin = n;
-    for (std::size_t m : islands[g].cells) {
+    for (std::size_t m : scratch.islands[g].cells) {
       aMin = std::min(aMin, sp.alphaPos(m));
       bMin = std::min(bMin, sp.betaPos(m));
     }
-    alphaKey[idx] = aMin;
-    betaKey[idx] = bMin;
+    scratch.alphaKey[idx] = aMin;
+    scratch.betaKey[idx] = bMin;
   }
-  std::vector<std::size_t> alphaOrder(reducedN), betaOrder(reducedN);
-  std::iota(alphaOrder.begin(), alphaOrder.end(), std::size_t{0});
-  std::iota(betaOrder.begin(), betaOrder.end(), std::size_t{0});
-  std::sort(alphaOrder.begin(), alphaOrder.end(),
-            [&](std::size_t a, std::size_t b) { return alphaKey[a] < alphaKey[b]; });
-  std::sort(betaOrder.begin(), betaOrder.end(),
-            [&](std::size_t a, std::size_t b) { return betaKey[a] < betaKey[b]; });
-  SequencePair reduced(alphaOrder, betaOrder);
-  Placement packed = packSequencePair(reduced, rw, rh);
+  scratch.alphaOrder.resize(reducedN);
+  scratch.betaOrder.resize(reducedN);
+  std::iota(scratch.alphaOrder.begin(), scratch.alphaOrder.end(), std::size_t{0});
+  std::iota(scratch.betaOrder.begin(), scratch.betaOrder.end(), std::size_t{0});
+  std::sort(scratch.alphaOrder.begin(), scratch.alphaOrder.end(),
+            [&](std::size_t a, std::size_t b) {
+              return scratch.alphaKey[a] < scratch.alphaKey[b];
+            });
+  std::sort(scratch.betaOrder.begin(), scratch.betaOrder.end(),
+            [&](std::size_t a, std::size_t b) {
+              return scratch.betaKey[a] < scratch.betaKey[b];
+            });
+  scratch.reduced.assignSequences(scratch.alphaOrder, scratch.betaOrder);
+  packSequencePairInto(scratch.reduced, scratch.rw, scratch.rh,
+                       PackStrategy::Fenwick, scratch.pack, scratch.packed);
+  const Placement& packed = scratch.packed;
 
   // --- 3. compose the global placement. ---
-  SymPlacementResult result;
-  result.placement = Placement(n);
-  result.axis2x.resize(groups.size());
-  result.fallbacks = 0;
+  out.placement.assign(n);
+  out.axis2x.resize(groups.size());
+  out.fallbacks = 0;
   for (std::size_t i = 0; i < freeCells.size(); ++i) {
-    result.placement[freeCells[i]] = packed[i];
+    out.placement[freeCells[i]] = packed[i];
   }
-  for (std::size_t g = 0; g < islands.size(); ++g) {
+  for (std::size_t g = 0; g < groups.size(); ++g) {
     const Rect& slot = packed[freeCells.size() + g];
-    const Island& isl = islands[g];
+    const SymIslandBuf& isl = scratch.islands[g];
     for (std::size_t i = 0; i < isl.cells.size(); ++i) {
-      result.placement[isl.cells[i]] = isl.local[i].translated(slot.x, slot.y);
+      out.placement[isl.cells[i]] = isl.local[i].translated(slot.x, slot.y);
     }
-    result.axis2x[g] = isl.axis2x + 2 * slot.x;
-    if (isl.usedFallback) ++result.fallbacks;
+    out.axis2x[g] = isl.axis2x + 2 * slot.x;
+    if (isl.usedFallback) ++out.fallbacks;
   }
 
-  if (!result.placement.isLegal() ||
-      !verifySymmetry(result.placement, groups, result.axis2x)) {
-    return std::nullopt;  // defensive: contract violation, not expected
+  if (!out.placement.isLegal() ||
+      !verifySymmetry(out.placement, groups, out.axis2x)) {
+    return false;  // defensive: contract violation, not expected
   }
-  return result;
+  return true;
 }
 
 bool verifySymmetry(const Placement& p, std::span<const SymmetryGroup> groups,

@@ -40,6 +40,7 @@
 
 #include "geom/placement.h"
 #include "netlist/module.h"
+#include "seqpair/packer.h"
 #include "seqpair/sequence_pair.h"
 
 namespace als {
@@ -53,6 +54,51 @@ struct SymPlacementResult {
   int fallbacks = 0;
 };
 
+namespace detail {
+
+/// A mirror pair oriented by the code: `left` precedes `right` in both
+/// sequences.
+struct SymOrientedPair {
+  std::size_t left = 0, right = 0;
+};
+
+/// Per-group island working buffers (reused move to move).
+struct SymIslandBuf {
+  std::vector<std::size_t> cells;  // global module ids
+  Placement local;                 // indexed like `cells`
+  Coord axis2x = 0;                // in island-local coordinates
+  Coord w = 0, h = 0;              // bounding box
+  bool usedFallback = false;
+  std::vector<SymOrientedPair> pairs;
+};
+
+/// One row of the stacked fallback island.
+struct SymRow {
+  std::size_t anchor = 0;  // alpha-ordering key
+  bool isPair = false;
+  SymOrientedPair pr{};
+  ModuleId self = 0;
+};
+
+}  // namespace detail
+
+/// Reusable buffers of one symmetric-placement construction loop (the
+/// sequence-pair placer's per-move decode).  Not shareable between
+/// concurrent callers; contents never influence results.
+struct SymPlaceScratch {
+  std::vector<detail::SymIslandBuf> islands;
+  std::vector<Coord> relaxX, relaxY;      ///< per-module longest-path coords
+  std::vector<std::size_t> order;         ///< propagation ordering buffer
+  std::vector<detail::SymRow> rows;       ///< stacked-fallback rows
+  std::vector<std::size_t> localIndex;    ///< stacked-fallback index map
+  std::vector<std::size_t> freeCells;     ///< cells in no group
+  std::vector<Coord> rw, rh;              ///< reduced footprints
+  std::vector<std::size_t> alphaKey, betaKey, alphaOrder, betaOrder;
+  SequencePair reduced;                   ///< reduced sequence-pair buffer
+  SeqPairPackScratch pack;
+  Placement packed;                       ///< reduced packing result
+};
+
 /// Builds a placement in which every group is exactly mirrored about its own
 /// vertical axis and forms a contiguous island.  Returns nullopt only if a
 /// group's mirror partners are not horizontally related (i.e. the code is
@@ -61,6 +107,16 @@ std::optional<SymPlacementResult> buildSymmetricPlacement(
     const SequencePair& sp, std::span<const Coord> widths,
     std::span<const Coord> heights, std::span<const SymmetryGroup> groups,
     int maxIterations = 200);
+
+/// Scratch-reuse variant: identical results; returns false exactly when the
+/// by-value overload returns nullopt.  `out` is fully overwritten on
+/// success (unspecified on failure).
+bool buildSymmetricPlacementInto(const SequencePair& sp,
+                                 std::span<const Coord> widths,
+                                 std::span<const Coord> heights,
+                                 std::span<const SymmetryGroup> groups,
+                                 int maxIterations, SymPlaceScratch& scratch,
+                                 SymPlacementResult& out);
 
 /// Verifies mirror exactness of a result (used by tests and asserts):
 /// pairs mirrored about their group axis with equal y, selfs centered.

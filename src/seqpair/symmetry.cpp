@@ -60,19 +60,37 @@ bool isPerGroupSymmetricFeasible(const SequencePair& sp,
 void makeSymmetricFeasible(SequencePair& sp, std::span<const SymmetryGroup> groups) {
   if (groups.empty()) return;
   const SymmetryGroup group = mergedGroup(groups);
-  std::vector<ModuleId> byAlpha = membersInAlphaOrder(sp, group);
-  // Beta slots currently holding group members, in ascending order.
-  std::vector<std::size_t> slots;
-  slots.reserve(byAlpha.size());
-  for (ModuleId m : group.members()) slots.push_back(sp.betaPos(m));
-  std::sort(slots.begin(), slots.end());
-  // Seat sym(reverse alpha order) into those slots.
-  std::vector<std::size_t> beta = sp.beta();
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    beta[slots[i]] = group.symOf(byAlpha[byAlpha.size() - 1 - i]);
-  }
-  sp = SequencePair(sp.alpha(), std::move(beta));
+  SymFeasibleScratch scratch;
+  makeSymmetricFeasibleInPlace(sp, group, scratch);
   assert(isSymmetricFeasible(sp, groups));
+}
+
+void makeSymmetricFeasibleInPlace(SequencePair& sp,
+                                  const SymmetryGroup& merged,
+                                  SymFeasibleScratch& scratch) {
+  // Group members sorted by alpha position.
+  std::vector<ModuleId>& byAlpha = scratch.byAlpha;
+  byAlpha.clear();
+  for (const SymPair& p : merged.pairs) {
+    byAlpha.push_back(p.a);
+    byAlpha.push_back(p.b);
+  }
+  for (ModuleId s : merged.selfs) byAlpha.push_back(s);
+  // Beta slots currently holding group members, in ascending order (read
+  // BEFORE sorting byAlpha — the member sets are identical either way).
+  std::vector<std::size_t>& slots = scratch.slots;
+  slots.clear();
+  for (ModuleId m : byAlpha) slots.push_back(sp.betaPos(m));
+  std::sort(slots.begin(), slots.end());
+  std::sort(byAlpha.begin(), byAlpha.end(), [&](ModuleId a, ModuleId b) {
+    return sp.alphaPos(a) < sp.alphaPos(b);
+  });
+  // Seat sym(reverse alpha order) into those slots.  The writes permute
+  // group members among the group's own beta slots, so the permutation
+  // invariant holds again once the loop completes.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    sp.reseatBeta(slots[i], merged.symOf(byAlpha[byAlpha.size() - 1 - i]));
+  }
 }
 
 namespace {

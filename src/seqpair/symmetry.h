@@ -51,6 +51,20 @@ bool isPerGroupSymmetricFeasible(const SequencePair& sp,
 /// preserved, so this is also how an initial S-F pair is constructed.
 void makeSymmetricFeasible(SequencePair& sp, std::span<const SymmetryGroup> groups);
 
+/// Reusable buffers of the repair (seqpair/moves.h drives it once per
+/// SwapAnyRepair move, so it must not allocate when warm).
+struct SymFeasibleScratch {
+  std::vector<ModuleId> byAlpha;     ///< group members in alpha order
+  std::vector<std::size_t> slots;    ///< beta slots holding group members
+};
+
+/// In-place variant over a pre-merged group (see mergedGroup): identical
+/// beta re-seating, but the member list, slot list, and the beta writes all
+/// reuse caller-owned storage.
+void makeSymmetricFeasibleInPlace(SequencePair& sp,
+                                  const SymmetryGroup& merged,
+                                  SymFeasibleScratch& scratch);
+
 /// Exact number of symmetric-feasible sequence-pairs (the Lemma):
 /// (n!)^2 / prod_k (2 p_k + s_k)!.  Computed via prime-exponent subtraction,
 /// so no big division is needed and the result is exact for any n.

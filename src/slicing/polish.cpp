@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/epoch_marks.h"
+
 namespace als {
 
 PolishExpr PolishExpr::initial(std::size_t moduleCount) {
@@ -22,16 +24,20 @@ PolishExpr PolishExpr::initial(std::size_t moduleCount) {
 
 bool PolishExpr::isValid() const {
   if (moduleCount_ == 0) return elems_.empty();
-  std::vector<bool> seen(moduleCount_, false);
+  // Uniqueness marking via epoch stamps: isValid runs inside the M3 move
+  // (once per attempted swap, i.e. per SA move), so it must not allocate.
+  // thread_local keeps concurrent SA runs race-free.
+  static thread_local EpochMarks seen;
+  seen.beginRound(moduleCount_);
   std::size_t operands = 0, operators = 0;
   std::int32_t prev = 0;  // operands are >= 0, so 0 is a safe non-operator init
   for (std::size_t i = 0; i < elems_.size(); ++i) {
     std::int32_t e = elems_[i];
     if (e >= 0) {
-      if (static_cast<std::size_t>(e) >= moduleCount_ || seen[static_cast<std::size_t>(e)]) {
+      if (static_cast<std::size_t>(e) >= moduleCount_ ||
+          !seen.mark(static_cast<std::size_t>(e))) {
         return false;
       }
-      seen[static_cast<std::size_t>(e)] = true;
       ++operands;
     } else {
       if (e != kOpV && e != kOpH) return false;
@@ -45,41 +51,65 @@ bool PolishExpr::isValid() const {
 }
 
 bool PolishExpr::swapAdjacentOperands(Rng& rng) {
-  std::vector<std::size_t> operandPos;
-  for (std::size_t i = 0; i < elems_.size(); ++i) {
-    if (elems_[i] >= 0) operandPos.push_back(i);
-  }
-  if (operandPos.size() < 2) return false;
+  // A valid expression holds exactly moduleCount_ operands, so the
+  // historical operand-position vector is not needed to size the draws:
+  // draw first (same bounds, same RNG stream), then find the chosen
+  // operands by scanning — no allocation per move.
+  const std::size_t operandCount = moduleCount_;
+  if (operandCount < 2) return false;
+  auto operandAt = [&](std::size_t k) {
+    for (std::size_t i = 0;; ++i) {
+      if (elems_[i] >= 0 && k-- == 0) return i;
+    }
+  };
   if (rng.coin()) {
     // Classic M1: adjacent operands.
-    std::size_t k = rng.index(operandPos.size() - 1);
-    std::swap(elems_[operandPos[k]], elems_[operandPos[k + 1]]);
+    std::size_t k = rng.index(operandCount - 1);
+    std::size_t i = operandAt(k);
+    std::size_t j = i + 1;
+    while (elems_[j] < 0) ++j;  // next operand position
+    std::swap(elems_[i], elems_[j]);
   } else {
     // Long-range operand exchange — still a valid slicing tree (only leaf
     // labels move), and a much stronger mixer than adjacent swaps alone.
-    std::size_t a = rng.index(operandPos.size());
-    std::size_t b = rng.index(operandPos.size());
-    std::swap(elems_[operandPos[a]], elems_[operandPos[b]]);
+    std::size_t a = rng.index(operandCount);
+    std::size_t b = rng.index(operandCount);
+    std::size_t i = operandAt(a);
+    std::size_t j = operandAt(b);
+    std::swap(elems_[i], elems_[j]);
   }
   return true;
 }
 
 bool PolishExpr::complementChain(Rng& rng) {
-  // Maximal operator runs.
-  std::vector<std::pair<std::size_t, std::size_t>> chains;  // [lo, hi)
-  std::size_t i = 0;
-  while (i < elems_.size()) {
+  // Count the maximal operator runs, draw one, then find it again: the
+  // draw count and bounds match the historical chain-vector selection.
+  std::size_t chainCount = 0;
+  for (std::size_t i = 0; i < elems_.size();) {
+    if (elems_[i] < 0) {
+      ++chainCount;
+      while (i < elems_.size() && elems_[i] < 0) ++i;
+    } else {
+      ++i;
+    }
+  }
+  if (chainCount == 0) return false;
+  std::size_t pick = rng.index(chainCount);
+  std::size_t lo = 0, hi = 0;
+  for (std::size_t i = 0; i < elems_.size();) {
     if (elems_[i] < 0) {
       std::size_t j = i;
       while (j < elems_.size() && elems_[j] < 0) ++j;
-      chains.push_back({i, j});
+      if (pick-- == 0) {
+        lo = i;
+        hi = j;
+        break;
+      }
       i = j;
     } else {
       ++i;
     }
   }
-  if (chains.empty()) return false;
-  auto [lo, hi] = chains[rng.index(chains.size())];
   for (std::size_t k = lo; k < hi; ++k) {
     elems_[k] = elems_[k] == kOpV ? kOpH : kOpV;
   }
@@ -130,15 +160,13 @@ std::string PolishExpr::toString() const {
 
 namespace {
 
-struct SShape {
-  Coord w = 0, h = 0;
-  std::uint32_t li = 0, ri = 0;  // child shape indices; leaf: li = rotated
-};
+using detail::PolishEvalNode;
+using detail::PolishShape;
 
 /// Insert keeping a pareto staircase sorted by w (h strictly decreasing).
-void paretoInsert(std::vector<SShape>& v, SShape s) {
+void paretoInsert(std::vector<PolishShape>& v, PolishShape s) {
   auto it = std::lower_bound(v.begin(), v.end(), s.w,
-                             [](const SShape& e, Coord w) { return e.w < w; });
+                             [](const PolishShape& e, Coord w) { return e.w < w; });
   if (it != v.begin() && std::prev(it)->h <= s.h) return;
   if (it != v.end() && it->w == s.w) {
     if (it->h <= s.h) return;
@@ -150,10 +178,10 @@ void paretoInsert(std::vector<SShape>& v, SShape s) {
   while (next != v.end() && next->h >= it->h) next = v.erase(next);
 }
 
-void capShapes(std::vector<SShape>& v, std::size_t cap) {
+void capShapes(std::vector<PolishShape>& v, std::size_t cap,
+               std::vector<PolishShape>& kept) {
   if (cap == 0 || v.size() <= cap) return;
-  std::vector<SShape> kept;
-  kept.reserve(cap);
+  kept.clear();
   std::size_t bestIdx = 0;
   for (std::size_t i = 1; i < v.size(); ++i) {
     if (v[i].w * v[i].h < v[bestIdx].w * v[bestIdx].h) bestIdx = i;
@@ -162,32 +190,25 @@ void capShapes(std::vector<SShape>& v, std::size_t cap) {
     kept.push_back(v[k * (v.size() - 1) / (cap - 1)]);
   }
   bool hasBest = false;
-  for (const SShape& s : kept) {
+  for (const PolishShape& s : kept) {
     hasBest = hasBest || (s.w == v[bestIdx].w && s.h == v[bestIdx].h);
   }
   if (!hasBest) kept[cap / 2] = v[bestIdx];
   std::sort(kept.begin(), kept.end(),
-            [](const SShape& a, const SShape& b) { return a.w < b.w; });
+            [](const PolishShape& a, const PolishShape& b) { return a.w < b.w; });
   v.clear();
-  for (const SShape& s : kept) paretoInsert(v, s);
+  for (const PolishShape& s : kept) paretoInsert(v, s);
 }
 
-struct EvalNode {
-  std::int32_t elem = 0;
-  std::size_t left = static_cast<std::size_t>(-1);
-  std::size_t right = static_cast<std::size_t>(-1);
-  std::vector<SShape> shapes;
-};
-
-void reconstruct(const std::vector<EvalNode>& nodes, std::size_t nodeIdx,
+void reconstruct(const std::vector<PolishEvalNode>& nodes, std::size_t nodeIdx,
                  std::uint32_t shapeIdx, Coord x, Coord y, Placement& out) {
-  const EvalNode& node = nodes[nodeIdx];
-  const SShape& s = node.shapes[shapeIdx];
+  const PolishEvalNode& node = nodes[nodeIdx];
+  const PolishShape& s = node.shapes[shapeIdx];
   if (node.elem >= 0) {
     out[static_cast<std::size_t>(node.elem)] = {x, y, s.w, s.h};
     return;
   }
-  const SShape& ls = nodes[node.left].shapes[s.li];
+  const PolishShape& ls = nodes[node.left].shapes[s.li];
   reconstruct(nodes, node.left, s.li, x, y, out);
   if (node.elem == PolishExpr::kOpV) {
     reconstruct(nodes, node.right, s.ri, x + ls.w, y, out);
@@ -202,16 +223,37 @@ SlicedResult evaluatePolish(const PolishExpr& expr, std::span<const Coord> width
                             std::span<const Coord> heights,
                             const std::vector<bool>& rotatable,
                             std::size_t shapeCap) {
+  PolishEvalScratch scratch;
   SlicedResult result;
-  if (expr.moduleCount() == 0) return result;
+  evaluatePolishInto(expr, widths, heights, rotatable, shapeCap, scratch, result);
+  return result;
+}
+
+void evaluatePolishInto(const PolishExpr& expr, std::span<const Coord> widths,
+                        std::span<const Coord> heights,
+                        const std::vector<bool>& rotatable,
+                        std::size_t shapeCap, PolishEvalScratch& scratch,
+                        SlicedResult& out) {
+  out.placement.clear();
+  out.width = 0;
+  out.height = 0;
+  if (expr.moduleCount() == 0) return;
   assert(expr.isValid());
 
-  std::vector<EvalNode> nodes;
-  nodes.reserve(expr.elements().size());
-  std::vector<std::size_t> stack;
-  for (std::int32_t e : expr.elements()) {
-    EvalNode node;
+  const std::vector<std::int32_t>& elems = expr.elements();
+  // Node slots are reused index-for-index: growing never shrinks, so each
+  // slot's shapes vector keeps the capacity it reached — the steady state
+  // of an anneal (constant expression length) allocates nothing.
+  if (scratch.nodes.size() < elems.size()) scratch.nodes.resize(elems.size());
+  std::vector<std::size_t>& stack = scratch.stack;
+  stack.clear();
+
+  for (std::size_t idx = 0; idx < elems.size(); ++idx) {
+    std::int32_t e = elems[idx];
+    PolishEvalNode& node = scratch.nodes[idx];
     node.elem = e;
+    node.left = node.right = static_cast<std::size_t>(-1);
+    node.shapes.clear();
     if (e >= 0) {
       auto m = static_cast<std::size_t>(e);
       node.shapes.push_back({widths[m], heights[m], 0, 0});
@@ -223,8 +265,8 @@ SlicedResult evaluatePolish(const PolishExpr& expr, std::span<const Coord> width
       stack.pop_back();
       node.left = stack.back();
       stack.pop_back();
-      const auto& ls = nodes[node.left].shapes;
-      const auto& rs = nodes[node.right].shapes;
+      const auto& ls = scratch.nodes[node.left].shapes;
+      const auto& rs = scratch.nodes[node.right].shapes;
       for (std::uint32_t i = 0; i < ls.size(); ++i) {
         for (std::uint32_t j = 0; j < rs.size(); ++j) {
           if (e == PolishExpr::kOpV) {
@@ -236,26 +278,24 @@ SlicedResult evaluatePolish(const PolishExpr& expr, std::span<const Coord> width
           }
         }
       }
-      capShapes(node.shapes, shapeCap);
+      capShapes(node.shapes, shapeCap, scratch.capKept);
     }
-    nodes.push_back(std::move(node));
-    stack.push_back(nodes.size() - 1);
+    stack.push_back(idx);
   }
   assert(stack.size() == 1);
 
   const std::size_t root = stack.back();
-  const auto& rootShapes = nodes[root].shapes;
+  const auto& rootShapes = scratch.nodes[root].shapes;
   std::uint32_t best = 0;
   for (std::uint32_t i = 1; i < rootShapes.size(); ++i) {
     if (rootShapes[i].w * rootShapes[i].h < rootShapes[best].w * rootShapes[best].h) {
       best = i;
     }
   }
-  result.placement = Placement(expr.moduleCount());
-  reconstruct(nodes, root, best, 0, 0, result.placement);
-  result.width = rootShapes[best].w;
-  result.height = rootShapes[best].h;
-  return result;
+  out.placement.assign(expr.moduleCount());
+  reconstruct(scratch.nodes, root, best, 0, 0, out.placement);
+  out.width = rootShapes[best].w;
+  out.height = rootShapes[best].h;
 }
 
 }  // namespace als

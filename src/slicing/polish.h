@@ -70,6 +70,34 @@ struct SlicedResult {
   Coord area() const { return width * height; }
 };
 
+namespace detail {
+
+/// One pareto shape of a slicing subtree; leaves encode rotation in `li`.
+struct PolishShape {
+  Coord w = 0, h = 0;
+  std::uint32_t li = 0, ri = 0;  // child shape indices; leaf: li = rotated
+};
+
+/// One postfix element's evaluation node.  The shapes vector is reused call
+/// to call (the expression length is constant across an anneal), which is
+/// what makes the evaluator allocation-free when warm.
+struct PolishEvalNode {
+  std::int32_t elem = 0;
+  std::size_t left = static_cast<std::size_t>(-1);
+  std::size_t right = static_cast<std::size_t>(-1);
+  std::vector<PolishShape> shapes;
+};
+
+}  // namespace detail
+
+/// Reusable buffers of one Polish-expression evaluation loop (the slicing
+/// placer's per-move decode).  Not shareable between concurrent evaluators.
+struct PolishEvalScratch {
+  std::vector<detail::PolishEvalNode> nodes;
+  std::vector<std::size_t> stack;
+  std::vector<detail::PolishShape> capKept;  ///< capShapes working set
+};
+
 /// Evaluates the expression's pareto shapes and reconstructs the best-area
 /// placement.  `rotatable[m]` enables 90-degree rotation of module m.
 /// `shapeCap` bounds the per-subtree pareto size (0 = unbounded).
@@ -79,5 +107,13 @@ SlicedResult evaluatePolish(const PolishExpr& expr, std::span<const Coord> width
                             std::span<const Coord> heights,
                             const std::vector<bool>& rotatable,
                             std::size_t shapeCap = 32);
+
+/// Scratch-reuse variant: identical results, zero heap allocations once the
+/// buffers are warm.  `out` is fully overwritten.
+void evaluatePolishInto(const PolishExpr& expr, std::span<const Coord> widths,
+                        std::span<const Coord> heights,
+                        const std::vector<bool>& rotatable,
+                        std::size_t shapeCap, PolishEvalScratch& scratch,
+                        SlicedResult& out);
 
 }  // namespace als

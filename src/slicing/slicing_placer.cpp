@@ -1,6 +1,5 @@
 #include "slicing/slicing_placer.h"
 
-#include <optional>
 #include <utility>
 #include <vector>
 
@@ -24,16 +23,17 @@ SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
   CostModel model(circuit, makeObjective(circuit,
                                          {.wirelength = options.wirelengthWeight}));
 
-  auto decode = [&](const PolishExpr& e) -> std::optional<Placement> {
-    // The best-area realization fills its root shape exactly and is anchored
-    // at the origin, so the placement bounding box IS the chosen shape.
-    return std::move(evaluatePolish(e, w, h, rotatable, options.shapeCap).placement);
+  SlicingScratch localScratch;
+  SlicingScratch& scr = options.scratch ? *options.scratch : localScratch;
+
+  // The best-area realization fills its root shape exactly and is anchored
+  // at the origin, so the placement bounding box IS the chosen shape.  The
+  // returned pointer aliases the scratch result buffer.
+  auto decode = [&](const PolishExpr& e) -> const Placement* {
+    evaluatePolishInto(e, w, h, rotatable, options.shapeCap, scr.eval, scr.result);
+    return &scr.result.placement;
   };
-  auto move = [](const PolishExpr& e, Rng& rng) {
-    PolishExpr next = e;
-    next.perturb(rng);
-    return next;
-  };
+  auto move = [](PolishExpr& e, Rng& rng) { e.perturb(rng); };
 
   AnnealOptions annealOpt;
   annealOpt.maxSweeps = options.maxSweeps;

@@ -10,8 +10,16 @@
 
 #include "geom/placement.h"
 #include "netlist/circuit.h"
+#include "slicing/polish.h"
 
 namespace als {
+
+/// Reusable decode buffers of one slicing SA run (optional; see
+/// bstar/flat_placer.h for the sharing contract).
+struct SlicingScratch {
+  PolishEvalScratch eval;
+  SlicedResult result;  ///< decoded placement of the current candidate
+};
 
 struct SlicingPlacerOptions {
   double wirelengthWeight = 0.25;
@@ -21,6 +29,7 @@ struct SlicingPlacerOptions {
   double coolingFactor = 0.96;
   std::size_t movesPerTemp = 0;
   std::size_t shapeCap = 32;
+  SlicingScratch* scratch = nullptr;  ///< optional caller-owned buffers
 };
 
 struct SlicingPlacerResult {

@@ -1,0 +1,149 @@
+// Steady-state heap-allocation gate for the decode hot path.
+//
+// PR 5's contract: once a run's buffers are warm, the SA move loop of every
+// backend — move, decode (packing), incremental cost evaluation, accept /
+// reject bookkeeping — performs ZERO heap allocations per move.
+//
+// Measurement: this binary replaces the global operator new/delete with a
+// counting pass-through (test-only hook; affects only this test binary).
+// For each backend we warm a shared PlaceScratch with a full-length run,
+// then measure two runs of different sweep counts from the same seed.  The
+// shorter run's trajectory is a prefix of the longer one's, so every
+// per-run (cold) allocation — cost model construction, initial state,
+// result copies — is identical in both, and any difference in allocation
+// counts is exactly (allocations per move) x (extra moves).  The gate
+// asserts that difference is zero.
+//
+// The gate only runs under NDEBUG: debug asserts deliberately re-validate
+// whole encodings (allocating), which is fine — CI builds are Release /
+// RelWithDebInfo.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "engine/place_scratch.h"
+#include "engine/placement_engine.h"
+#include "io/corpus.h"
+
+namespace {
+
+std::atomic<unsigned long long> gAllocCount{0};
+
+void* countedAlloc(std::size_t size) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* countedAlignedAlloc(std::size_t size, std::align_val_t align) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return countedAlloc(size); }
+void* operator new[](std::size_t size) { return countedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return countedAlignedAlloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return countedAlignedAlloc(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace als {
+namespace {
+
+class AllocGate : public ::testing::TestWithParam<EngineBackend> {};
+
+TEST_P(AllocGate, SteadyStateMoveLoopDoesNotAllocate) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug asserts re-validate encodings (allocating); the "
+                  "gate targets Release builds";
+#endif
+  const Circuit circuit = loadCorpusCircuit(CorpusCircuit::Ami33);
+  const EngineBackend backend = GetParam();
+  const std::unique_ptr<PlacementEngine> engine = makeEngine(backend);
+
+  PlaceScratch scratch;
+  EngineOptions opt;
+  opt.seed = 1;
+  opt.scratch = &scratch;
+
+  const std::size_t shortSweeps = 8;
+  const std::size_t longSweeps = 16;
+
+  // Warm-up: the full-length run grows every buffer to its steady-state
+  // capacity (the short run's trajectory is a prefix of the long one's).
+  opt.maxSweeps = longSweeps;
+  EngineResult warm = engine->place(circuit, opt);
+
+  opt.maxSweeps = shortSweeps;
+  unsigned long long before = gAllocCount.load(std::memory_order_relaxed);
+  EngineResult shortRun = engine->place(circuit, opt);
+  unsigned long long shortAllocs =
+      gAllocCount.load(std::memory_order_relaxed) - before;
+
+  opt.maxSweeps = longSweeps;
+  before = gAllocCount.load(std::memory_order_relaxed);
+  EngineResult longRun = engine->place(circuit, opt);
+  unsigned long long longAllocs =
+      gAllocCount.load(std::memory_order_relaxed) - before;
+
+  ASSERT_GT(longRun.movesTried, shortRun.movesTried);
+  // Identical trajectory to the warm-up run — determinism sanity.
+  EXPECT_EQ(longRun.cost, warm.cost);
+
+  const std::size_t extraMoves = longRun.movesTried - shortRun.movesTried;
+  // Cold per-run allocations cancel in the difference; what remains is
+  // per-move.  The contract is zero.
+  EXPECT_EQ(longAllocs, shortAllocs)
+      << "backend " << backendName(backend) << " allocates "
+      << (static_cast<double>(longAllocs) - static_cast<double>(shortAllocs)) /
+             static_cast<double>(extraMoves)
+      << " times per move in steady state (" << extraMoves << " extra moves)";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, AllocGate,
+                         ::testing::ValuesIn(allBackends().begin(),
+                                             allBackends().end()),
+                         [](const ::testing::TestParamInfo<EngineBackend>& i) {
+                           std::string name{backendName(i.param)};
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace als

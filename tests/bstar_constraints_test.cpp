@@ -185,6 +185,32 @@ TEST(HBStar, SyntheticHierarchicalCircuitPlaces) {
   EXPECT_TRUE(verifySymmetry(r.placement, c.symmetryGroups(), r.axis2x));
 }
 
+TEST(HBStar, ScratchReuseAcrossCircuitsNeverChangesResults) {
+  // The scratch-reuse contract (engine/place_scratch.h): a scratch handed
+  // from one circuit's run to another's must not influence results — in
+  // particular the cached common-centroid macros must re-bind on content,
+  // not on circuit identity.
+  HBPlacerOptions opt;
+  opt.maxSweeps = 40;
+  opt.seed = 5;
+  Circuit a = makeFig2Design();
+  Circuit b = makeMillerOpAmp();
+  HBPlacerResult freshA = placeHBStarSA(a, opt);
+  HBPlacerResult freshB = placeHBStarSA(b, opt);
+
+  HBStarScratch scratch;
+  HBPlacerOptions withScratch = opt;
+  withScratch.scratch = &scratch;
+  HBPlacerResult a1 = placeHBStarSA(a, withScratch);
+  HBPlacerResult b1 = placeHBStarSA(b, withScratch);  // scratch warm from a
+  HBPlacerResult a2 = placeHBStarSA(a, withScratch);  // scratch warm from b
+  EXPECT_EQ(freshA.placement.rects(), a1.placement.rects());
+  EXPECT_EQ(freshA.placement.rects(), a2.placement.rects());
+  EXPECT_EQ(freshB.placement.rects(), b1.placement.rects());
+  EXPECT_EQ(freshA.cost, a2.cost);
+  EXPECT_EQ(freshB.cost, b1.cost);
+}
+
 TEST(FlatBStar, ReportsResidualViolationsHonestly) {
   Circuit c = makeFig2Design();
   FlatBStarOptions opt;

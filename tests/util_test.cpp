@@ -3,12 +3,34 @@
 #include <sstream>
 #include <thread>
 
+#include "util/epoch_marks.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace als {
 namespace {
+
+TEST(EpochMarks, MarksOncePerRound) {
+  EpochMarks marks;
+  marks.beginRound(4);
+  EXPECT_TRUE(marks.mark(2));
+  EXPECT_FALSE(marks.mark(2));
+  EXPECT_TRUE(marks.mark(0));
+  EXPECT_TRUE(marks.marked(2));
+  EXPECT_FALSE(marks.marked(1));
+}
+
+TEST(EpochMarks, BeginRoundClearsInO1AndGrows) {
+  EpochMarks marks;
+  marks.beginRound(2);
+  EXPECT_TRUE(marks.mark(1));
+  marks.beginRound(8);  // grow + fresh round
+  EXPECT_FALSE(marks.marked(1));
+  EXPECT_TRUE(marks.mark(7));
+  marks.beginRound(8);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_FALSE(marks.marked(i));
+}
 
 TEST(Table, RendersHeaderSeparatorAndRows) {
   Table t({"name", "value"});
