@@ -9,10 +9,17 @@
 // radiator outside the group (off-axis), and (c) plain non-symmetric
 // packings of random codes.
 //
+// A second experiment measures the thermal OBJECTIVE (not just the
+// symmetry argument): corpus circuits carrying Power annotations are placed
+// through the engine facade with the pair-mismatch term off and on, and the
+// worst/mean pair mismatch of the results are compared per backend.
+//
 // Flags: --json <path>, --smoke (fixed sweep budgets for CI).
 #include <cstdio>
 #include <iostream>
 
+#include "engine/placement_engine.h"
+#include "io/corpus.h"
 #include "netlist/generators.h"
 #include "seqpair/packer.h"
 #include "seqpair/sa_placer.h"
@@ -93,6 +100,50 @@ int main(int argc, char** argv) {
       "pairs are equidistant from it and the induced mismatch is exactly\n"
       "zero; off-axis radiators and non-symmetric placements leave a finite\n"
       "temperature difference across matched couples — the thermal argument\n"
-      "Section II gives for symmetric analog placement.");
+      "Section II gives for symmetric analog placement.\n");
+
+  std::puts("=== thermal objective through the engine facade ===\n");
+  Table objTable({"circuit", "backend", "thermal wt", "worst pair dT (K)",
+                  "mean pair dT (K)", "area/modarea"});
+  // Corpus circuits whose Power annotations make the term live.
+  for (CorpusCircuit which : {CorpusCircuit::Apte, CorpusCircuit::Ami33}) {
+    Circuit c = loadCorpusCircuit(which);
+    std::vector<double> power;
+    for (const Module& m : c.modules()) power.push_back(m.powerW);
+    for (EngineBackend backend : allBackends()) {
+      const std::unique_ptr<PlacementEngine> engine = makeEngine(backend);
+      for (double wt : {0.0, 4.0}) {
+        EngineOptions opt;
+        io.applyBudget(opt, 1.0, 48);
+        opt.seed = 7;
+        opt.thermalWeight = wt;
+        EngineResult r = engine->place(c, opt);
+        ThermalField field(sourcesFromPlacement(r.placement, power));
+        double worst = 0.0, sum = 0.0;
+        std::size_t pairs = 0;
+        for (const SymmetryGroup& g : c.symmetryGroups()) {
+          for (double m : pairTemperatureMismatch(r.placement, g, field)) {
+            worst = std::max(worst, m);
+            sum += m;
+            ++pairs;
+          }
+        }
+        objTable.addRow(
+            {corpusName(which), std::string(backendName(backend)),
+             Table::fmt(wt, 1), Table::fmt(worst, 4),
+             Table::fmt(pairs ? sum / static_cast<double>(pairs) : 0.0, 4),
+             Table::fmt(static_cast<double>(r.area) /
+                        static_cast<double>(c.totalModuleArea()))});
+        io.add(std::string(backendName(backend)) +
+                   (wt == 0.0 ? "+thermal-off" : "+thermal-on"),
+               corpusName(which), r, 1, &opt);
+      }
+    }
+  }
+  objTable.print(std::cout);
+  std::puts(
+      "\nReading: the pair-mismatch term steers each backend toward layouts\n"
+      "where matched couples sit at equal quantized temperature; the flat\n"
+      "penalty backend (no exact-symmetry decode) shows the largest drop.");
   return 0;
 }

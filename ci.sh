@@ -67,9 +67,32 @@ fi
 
 echo "=== als_place smoke: corpus x backends determinism gate ==="
 # Places every embedded corpus circuit on all four backends, twice and at
-# 1 vs 8 threads; exits nonzero on any parse error, illegal placement or
-# bit-level mismatch.
+# 1 vs 8 threads — plus the scenario legs (thermal objective + shape moves,
+# and the --size sizing-on-portfolio flow); exits nonzero on any parse
+# error, illegal placement or bit-level mismatch.
 ./build/als_place --smoke --json build/bench-smoke/als_place.json \
   > build/bench-smoke/als_place.out
+
+echo "=== bench_diff: throughput vs committed BENCH_baseline.json ==="
+# Fails on a moves/sec regression of any backend x circuit pair against the
+# committed baseline (ROADMAP item 5).  The smoke budgets keep every pair
+# in the milliseconds range, so two extra captures are folded in —
+# bench_diff aggregates ops and seconds per pair, averaging the runs — and
+# the default tolerance here is wider than the tool's 15% default, which
+# is meant for dedicated hardware with longer budgets.  Refresh the
+# baseline on intentional perf changes or hardware moves with:
+#   ./build/bench_diff --merge BENCH_baseline.json \
+#     build/bench-smoke/bench_decode*.json build/bench-smoke/als_place*.json
+for rep in 2 3; do
+  ./build/bench_decode --smoke --json "build/bench-smoke/bench_decode.r$rep.json" \
+    > /dev/null
+  ./build/als_place --smoke --json "build/bench-smoke/als_place.r$rep.json" \
+    > /dev/null
+done
+./build/bench_diff --tol "${BENCH_DIFF_TOL:-40}" BENCH_baseline.json \
+  build/bench-smoke/bench_decode.json build/bench-smoke/bench_decode.r2.json \
+  build/bench-smoke/bench_decode.r3.json \
+  build/bench-smoke/als_place.json build/bench-smoke/als_place.r2.json \
+  build/bench-smoke/als_place.r3.json
 
 echo "=== CI green ==="

@@ -1,19 +1,21 @@
 // End-to-end flow on the paper's Fig. 6 circuit — the Miller op amp —
-// chaining three of the library's subsystems:
+// chaining the library's scenario subsystems through the engine facade:
 //
-//   1. Section V:   layout-aware electrical sizing of the op amp
-//                   (template + extraction inside the loop);
-//   2. Section IV:  deterministic placement of the Fig. 6 netlist by
-//                   hierarchically bounded enumeration (DP / CM1 / CM2
-//                   basic sets) with enhanced shape functions;
-//   3. Section II:  thermal verification — the output driver N8 dissipates
-//                   most of the power; the placement's symmetric pairs are
-//                   checked for temperature mismatch.
+//   1. Section V:   layout-aware electrical sizing, several candidates on
+//                   the portfolio seed schedule (layoutaware/placed_sizing.h);
+//   2. Sections II/III: every sized candidate becomes an annotated netlist
+//                   (Power on the dissipating devices, a shape curve on the
+//                   Miller cap) and is placed IN PARALLEL through the
+//                   deterministic BatchPlacer with the thermal objective
+//                   and shape-selection moves enabled;
+//   3. Section II:  thermal verification of the winner — the symmetric
+//                   pairs are checked for temperature mismatch against the
+//                   scratch ThermalField the cost model is pinned to.
 #include <cstdio>
+#include <vector>
 
-#include "layoutaware/miller.h"
-#include "netlist/generators.h"
-#include "shapefn/deterministic.h"
+#include "geom/placement.h"
+#include "layoutaware/placed_sizing.h"
 #include "shapefn/enumerate.h"
 #include "thermal/thermal.h"
 
@@ -22,50 +24,62 @@ using namespace als;
 int main() {
   Technology tech = Technology::c035();
 
-  // --- 1. layout-aware sizing ---
   OtaSpecs specs;
   specs.minGainDb = 70.0;
   specs.minGbwHz = 15e6;
   specs.minPmDeg = 55.0;
   specs.minSrVps = 10e6;
-  SizingOptions opt;
-  opt.layoutAware = true;
-  opt.seed = 6;
-  MillerSizingResult sized = runMillerSizing(tech, specs, opt);
-  std::printf("sizing: gain %.1f dB, GBW %.1f MHz, PM %.1f deg, SR %.1f V/us, "
-              "power %.2f mW -> specs %s\n",
-              sized.perfExtracted.gainDb, sized.perfExtracted.gbwHz / 1e6,
-              sized.perfExtracted.pmDeg, sized.perfExtracted.srVps / 1e6,
-              sized.perfExtracted.powerW * 1e3,
-              sized.meetsSpecsExtracted ? "met (with parasitics)" : "NOT met");
-  std::printf("template: %.1f x %.1f um, %zu cells\n\n",
-              static_cast<double>(sized.layout.width) / 1000.0,
-              static_cast<double>(sized.layout.height) / 1000.0,
-              sized.layout.cells.size());
 
-  // --- 2. deterministic placement of the Fig. 6 hierarchy ---
-  Circuit c = makeMillerOpAmp();
-  DeterministicResult placed = placeDeterministic(c, {});
-  std::printf("deterministic placement: area %.0f um^2, usage %.2f%%, legal %s\n",
-              static_cast<double>(placed.area) * 1e-6, placed.areaUsage * 100.0,
-              placed.placement.isLegal() ? "yes" : "no");
-  for (const SymmetryGroup& g : c.symmetryGroups()) {
+  // --- 1 + 2: sizing candidates, placed in parallel with thermal + shapes ---
+  PlacedSizingOptions opt;
+  opt.sizing.layoutAware = true;
+  opt.sizing.seed = 6;
+  opt.numCandidates = 3;
+  opt.backend = EngineBackend::SeqPair;    // symmetry exact by construction
+  opt.placement.maxSweeps = 160;
+  opt.placement.numRestarts = 4;
+  opt.placement.numThreads = 4;
+  opt.placement.thermalWeight = 1.0;       // pair-mismatch term ON
+  opt.placement.shapeMoveProb = 0.1;       // Miller-cap shape selection ON
+  opt.placement.seed = 6;
+  PlacedSizingResult flow = runMillerPlacedSizing(tech, specs, opt);
+
+  for (std::size_t i = 0; i < flow.candidates.size(); ++i) {
+    const PlacedSizingCandidate& cand = flow.candidates[i];
+    std::printf("candidate %zu (seed %llu): gain %.1f dB, GBW %.1f MHz, "
+                "specs %s; placed area %.0f um^2%s\n",
+                i, static_cast<unsigned long long>(cand.seed),
+                cand.sizing.perfExtracted.gainDb,
+                cand.sizing.perfExtracted.gbwHz / 1e6,
+                cand.sizing.meetsSpecsExtracted ? "met" : "NOT met",
+                static_cast<double>(cand.placement.area) * 1e-6,
+                i == flow.bestIndex ? "  <- winner" : "");
+  }
+  const PlacedSizingCandidate& best = flow.best();
+  std::printf("\nflow: %zu candidates sized + placed in %.1fs\n\n",
+              flow.candidates.size(), flow.seconds);
+
+  // --- symmetry of the winner (exact by construction for seqpair) ---
+  for (const SymmetryGroup& g : best.circuit.symmetryGroups()) {
     std::printf("  %-4s %s\n", g.name.c_str(),
-                mirrorAxisOf(placed.placement, g) ? "mirrored exactly"
-                                                  : "VIOLATED");
+                mirrorAxisOf(best.placement.placement, g) ? "mirrored exactly"
+                                                          : "VIOLATED");
   }
 
-  // --- 3. thermal check: N8 (module 7) radiates the output-stage power ---
-  std::vector<double> power(c.moduleCount(), 0.0);
-  power[7] = sized.perfExtracted.powerW * 0.7;  // driver burns most of it
-  ThermalField field(sourcesFromPlacement(placed.placement, power));
-  std::puts("\nthermal mismatch across matched pairs (N8 radiating):");
-  for (const SymmetryGroup& g : c.symmetryGroups()) {
-    auto mm = pairTemperatureMismatch(placed.placement, g, field);
+  // --- 3. thermal check from the circuit's own Power annotations ---
+  std::vector<double> power(best.circuit.moduleCount(), 0.0);
+  for (ModuleId m = 0; m < best.circuit.moduleCount(); ++m) {
+    power[m] = best.circuit.module(m).powerW;
+  }
+  ThermalField field(sourcesFromPlacement(best.placement.placement, power));
+  std::puts("\nthermal mismatch across matched pairs (annotated radiators):");
+  for (const SymmetryGroup& g : best.circuit.symmetryGroups()) {
+    auto mm = pairTemperatureMismatch(best.placement.placement, g, field);
     for (std::size_t i = 0; i < mm.size(); ++i) {
       std::printf("  %-4s pair %zu: dT = %.4f K\n", g.name.c_str(), i, mm[i]);
     }
   }
-  std::printf("\n%s", asciiArt(placed.placement, c.moduleNames(), 56).c_str());
+  std::printf("\n%s", asciiArt(best.placement.placement,
+                               best.circuit.moduleNames(), 56).c_str());
   return 0;
 }

@@ -15,6 +15,7 @@ namespace {
 struct FlatState {
   BStarTree tree;
   std::vector<bool> rotated;
+  std::vector<std::uint8_t> shapeIdx;  ///< index into Module::shapes (0 = footprint)
 };
 
 }  // namespace
@@ -25,7 +26,18 @@ FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
   CostModel model(circuit,
                   makeObjective(circuit, {.wirelength = options.wirelengthWeight,
                                           .symmetry = options.symmetryWeight,
-                                          .proximity = options.proximityWeight}));
+                                          .proximity = options.proximityWeight,
+                                          .thermal = options.thermalWeight}));
+
+  // Shape moves only exist when asked for AND some module carries a curve;
+  // otherwise the move draws exactly the historical RNG stream and every
+  // decode reads the declared footprint — bit-identical to builds that
+  // predate shape selection.
+  std::vector<ModuleId> shapy;
+  for (ModuleId m = 0; m < n; ++m) {
+    if (circuit.module(m).shapes.size() > 1) shapy.push_back(m);
+  }
+  const bool shapeMoves = options.shapeMoveProb > 0.0 && !shapy.empty();
 
   FlatBStarScratch localScratch;
   FlatBStarScratch& scr = options.scratch ? *options.scratch : localScratch;
@@ -37,8 +49,13 @@ FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
     scr.h.resize(n);
     for (std::size_t m = 0; m < n; ++m) {
       const Module& mod = circuit.module(m);
-      scr.w[m] = s.rotated[m] ? mod.h : mod.w;
-      scr.h[m] = s.rotated[m] ? mod.w : mod.h;
+      Coord bw = mod.w, bh = mod.h;
+      if (std::uint8_t si = s.shapeIdx[m]; si != 0) {
+        bw = mod.shapes[si].w;
+        bh = mod.shapes[si].h;
+      }
+      scr.w[m] = s.rotated[m] ? bh : bw;
+      scr.h[m] = s.rotated[m] ? bw : bh;
     }
     packBStarInto(s.tree, scr.w, scr.h, scr.pack, scr.placement);
     return &scr.placement;
@@ -47,6 +64,12 @@ FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
   // In-place move style (anneal/annealer.h): `s` already holds a copy of
   // the current state; same RNG draws as the historical copying move.
   auto move = [&](FlatState& s, Rng& rng) {
+    if (shapeMoves && rng.uniform() < options.shapeMoveProb) {
+      ModuleId m = shapy[rng.index(shapy.size())];
+      s.shapeIdx[m] = static_cast<std::uint8_t>(
+          rng.index(circuit.module(m).shapes.size()));
+      return;
+    }
     if (rng.uniform() < 0.15) {
       std::size_t m = rng.index(n);
       if (circuit.module(m).rotatable) s.rotated[m] = !s.rotated[m];
@@ -62,7 +85,8 @@ FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
   annealOpt.coolingFactor = options.coolingFactor;
   annealOpt.movesPerTemp = options.movesPerTemp;
   annealOpt.sizeHint = n;
-  FlatState init{BStarTree(n), std::vector<bool>(n, false)};
+  FlatState init{BStarTree(n), std::vector<bool>(n, false),
+                 std::vector<std::uint8_t>(n, 0)};
   auto annealed = annealWithRestarts(init, model, decode, move, annealOpt);
 
   FlatBStarResult result;

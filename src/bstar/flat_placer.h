@@ -30,6 +30,8 @@ struct FlatBStarOptions {
   double wirelengthWeight = 0.25;
   double symmetryWeight = 2.0;    ///< penalty scale for mirror deviation
   double proximityWeight = 2.0;   ///< penalty scale for disconnected groups
+  double thermalWeight = 0.0;     ///< pair temperature-mismatch penalty
+  double shapeMoveProb = 0.0;     ///< P(move re-selects a soft realization)
   std::size_t maxSweeps = 256;    ///< primary budget: total SA sweeps (deterministic)
   double timeLimitSec = 0.0;      ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 11;

@@ -66,6 +66,7 @@ HBState::HBState(const Circuit& circuit) : circuit_(&circuit) {
   trees_.resize(h.nodeCount());
   islands_.resize(h.nodeCount());
   rotated_.assign(circuit.moduleCount(), false);
+  shapeIdx_.assign(circuit.moduleCount(), 0);
 
   for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
     const HierNode& node = h.node(id);
@@ -125,11 +126,24 @@ HBState::HBState(const Circuit& circuit) : circuit_(&circuit) {
       if (child.isLeaf() && circuit.module(*child.module).rotatable) {
         freeRotatable_.push_back(*child.module);
       }
+      if (child.isLeaf() && circuit.module(*child.module).shapes.size() > 1) {
+        freeShapy_.push_back(*child.module);
+      }
     }
   }
 }
 
+void HBState::enableShapeMoves(double prob) {
+  shapeMoveProb_ = freeShapy_.empty() ? 0.0 : prob;
+}
+
 void HBState::perturb(Rng& rng) {
+  if (shapeMoveProb_ > 0.0 && rng.uniform() < shapeMoveProb_) {
+    ModuleId m = freeShapy_[rng.index(freeShapy_.size())];
+    shapeIdx_[m] = static_cast<std::uint8_t>(
+        rng.index(circuit_->module(m).shapes.size()));
+    return;
+  }
   bool rotate = !freeRotatable_.empty() && rng.uniform() < 0.15;
   if (rotate) {
     ModuleId m = freeRotatable_[rng.index(freeRotatable_.size())];
@@ -156,8 +170,13 @@ void HBState::packNodeInto(HierNodeId id, bool needProfiles,
   if (node.isLeaf()) {
     ModuleId m = *node.module;
     const Module& mod = c.module(m);
-    Coord w = rotated_[m] ? mod.h : mod.w;
-    Coord hh = rotated_[m] ? mod.w : mod.h;
+    Coord bw = mod.w, bh = mod.h;
+    if (std::uint8_t si = shapeIdx_[m]; si != 0) {
+      bw = mod.shapes[si].w;
+      bh = mod.shapes[si].h;
+    }
+    Coord w = rotated_[m] ? bh : bw;
+    Coord hh = rotated_[m] ? bw : bh;
     buf.macro.assignFromModule(m, w, hh);
     return;
   }
@@ -280,9 +299,11 @@ void HBState::packInto(HBPackScratch& scratch, Packed& out) const {
 
 HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& options) {
   // Hierarchy constraints hold by construction in every packed state, so
-  // the objective is the geometric core: area + normalized wirelength.
-  CostModel model(circuit, makeObjective(circuit,
-                                         {.wirelength = options.wirelengthWeight}));
+  // the objective is the geometric core: area + normalized wirelength plus,
+  // when weighted, thermal pair mismatch.
+  CostModel model(circuit,
+                  makeObjective(circuit, {.wirelength = options.wirelengthWeight,
+                                          .thermal = options.thermalWeight}));
 
   HBStarScratch localScratch;
   HBStarScratch& scr = options.scratch ? *options.scratch : localScratch;
@@ -300,7 +321,9 @@ HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& opti
   annealOpt.coolingFactor = options.coolingFactor;
   annealOpt.movesPerTemp = options.movesPerTemp;
   annealOpt.sizeHint = circuit.moduleCount();
-  auto annealed = annealWithRestarts(HBState(circuit), model, decode, move, annealOpt);
+  HBState init(circuit);
+  init.enableShapeMoves(options.shapeMoveProb);
+  auto annealed = annealWithRestarts(init, model, decode, move, annealOpt);
 
   HBPlacerResult result;
   annealed.best.packInto(scr.pack, scr.packed);

@@ -79,8 +79,17 @@ class HBState {
   /// (macro pairs need partners) and assert.
   explicit HBState(const Circuit& circuit);
 
-  /// Applies one random perturbation (tree op, island op, or rotation).
+  /// Applies one random perturbation (tree op, island op, rotation, or —
+  /// when enabled — a soft-module shape re-selection).
   void perturb(Rng& rng);
+
+  /// Turns on shape-selection moves with the given per-move probability.
+  /// Only free leaves (modules under None/Proximity nodes) with a
+  /// Module::shapes curve are eligible — symmetry-island and
+  /// common-centroid members keep their construction-time footprints.  A
+  /// no-op (and zero extra RNG draws in perturb) when no module qualifies
+  /// or `prob` is 0, keeping default runs bit-identical.
+  void enableShapeMoves(double prob);
 
   /// Packs the hierarchy bottom-up into a full placement.
   struct Packed {
@@ -110,8 +119,11 @@ class HBState {
   std::vector<std::optional<BStarTree>> trees_;
   std::vector<std::optional<AsfIsland>> islands_;
   std::vector<bool> rotated_;              // per module, free leaves only
+  std::vector<std::uint8_t> shapeIdx_;     // per module realization (0 = footprint)
   std::vector<std::size_t> perturbable_;   // node ids with a tree or island
   std::vector<ModuleId> freeRotatable_;    // modules eligible for rotation
+  std::vector<ModuleId> freeShapy_;        // free leaves with a shape curve
+  double shapeMoveProb_ = 0.0;             // 0 = shape moves off
 };
 
 /// Reusable decode buffers of one HB*-tree SA run (optional; see
@@ -123,6 +135,8 @@ struct HBStarScratch {
 
 struct HBPlacerOptions {
   double wirelengthWeight = 0.25;
+  double thermalWeight = 0.0;    ///< pair temperature-mismatch penalty
+  double shapeMoveProb = 0.0;    ///< P(move re-selects a soft realization)
   std::size_t maxSweeps = 256;   ///< primary budget: total SA sweeps (deterministic)
   double timeLimitSec = 0.0;     ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 11;

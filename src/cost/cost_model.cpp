@@ -35,13 +35,37 @@ CostModel::CostModel(const Circuit& circuit, Objective objective)
     }
   }
 
+  // Thermal topology: one mismatch slot per symmetric pair (across all
+  // groups, flattened in group order), and one radiator per module with a
+  // positive power annotation.  Self-symmetric modules sit on their own
+  // axis and contribute no mismatch, so pairs are the whole story.
+  thermalOf_.resize(n);
+  isRadiator_.resize(n, 0);
+  for (const SymmetryGroup& g : groups) {
+    for (const SymPair& pr : g.pairs) {
+      std::size_t slot = thermalPairs_.size();
+      thermalPairs_.push_back(pr);
+      if (pr.a < n) thermalOf_[pr.a].push_back(slot);
+      if (pr.b < n) thermalOf_[pr.b].push_back(slot);
+    }
+  }
+  for (std::size_t m = 0; m < n; ++m) {
+    double w = circuit.module(m).powerW;
+    if (w > 0.0) {
+      radiators_.emplace_back(m, w);
+      isRadiator_[m] = 1;
+    }
+  }
+
   rects_.resize(n);
   netBoxes_.resize(nets_.size());
   groupDev_.resize(groups.size(), 0);
   proxBad_.resize(proxMembers_.size(), 0);
+  thermalDev_.resize(thermalPairs_.size(), 0);
   netStamp_.resize(nets_.size(), 0);
   groupStamp_.resize(groups.size(), 0);
   proxStamp_.resize(proxMembers_.size(), 0);
+  thermalStamp_.resize(thermalPairs_.size(), 0);
   moduleStamp_.resize(n, 0);
 }
 
@@ -75,6 +99,38 @@ bool CostModel::proxDisconnected(const Placement& p, std::size_t slot) const {
   return !isConnectedRegion(proxRects_, proxUf_);
 }
 
+// Quantized (int64 µK) temperature at module m's center, summed over the
+// radiators.  Per-(radiator, point) quantization makes the sum independent
+// of accumulation order, which is what lets the incremental path below stay
+// bit-identical to this scratch reduction.  Coordinates convert to µm the
+// same way ThermalField's sourcesFromPlacement does: center2x() / 2000.0.
+std::int64_t CostModel::quantizedTempAt(const Placement& p, ModuleId m) const {
+  Point c = p[m].center2x();
+  double xUm = static_cast<double>(c.x) / 2000.0;
+  double yUm = static_cast<double>(c.y) / 2000.0;
+  std::int64_t t = 0;
+  for (const auto& [rm, watts] : radiators_) {
+    Point rc = p[rm].center2x();
+    HeatSource s{static_cast<double>(rc.x) / 2000.0,
+                 static_cast<double>(rc.y) / 2000.0, watts};
+    t += quantizedContribution(s, xUm, yUm, thermalModel_);
+  }
+  return t;
+}
+
+Coord CostModel::pairMismatch(const Placement& p, std::size_t slot) const {
+  const SymPair& pr = thermalPairs_[slot];
+  return std::abs(quantizedTempAt(p, pr.a) - quantizedTempAt(p, pr.b));
+}
+
+Coord CostModel::thermalMismatch(const Placement& p) const {
+  Coord total = 0;
+  for (std::size_t slot = 0; slot < thermalPairs_.size(); ++slot) {
+    total += pairMismatch(p, slot);
+  }
+  return total;
+}
+
 Coord CostModel::symmetryDeviation(const Placement& p) const {
   Coord total = 0;
   for (std::size_t g = 0; g < circuit_->symmetryGroups().size(); ++g) {
@@ -97,7 +153,8 @@ double CostModel::evaluate(const Placement& p) const {
   for (const auto& net : nets_) hpwlSum += netBox(p, net).hpwl();
   Coord symDev = objective_.usesSymmetry() ? symmetryDeviation(p) : 0;
   int proxViol = objective_.usesProximity() ? proximityViolations(p) : 0;
-  return objective_.compose(bb, hpwlSum, symDev, proxViol);
+  Coord thermal = objective_.usesThermal() ? thermalMismatch(p) : 0;
+  return objective_.compose(bb, hpwlSum, symDev, proxViol, thermal);
 }
 
 CostBreakdown CostModel::evaluateBreakdown(const Placement& p) const {
@@ -107,11 +164,13 @@ CostBreakdown CostModel::evaluateBreakdown(const Placement& p) const {
   for (const auto& net : nets_) bd.hpwl += netBox(p, net).hpwl();
   bd.symDeviation = symmetryDeviation(p);
   bd.proximityViolations = proximityViolations(p);
+  bd.thermalMismatch = thermalMismatch(p);
   // The cost still skips zero-weight terms, matching evaluate(): reporting
   // aggregates above are unconditional, the objective is not.
   bd.cost = objective_.compose(bd.boundingBox, bd.hpwl,
                                objective_.usesSymmetry() ? bd.symDeviation : 0,
-                               objective_.usesProximity() ? bd.proximityViolations : 0);
+                               objective_.usesProximity() ? bd.proximityViolations : 0,
+                               objective_.usesThermal() ? bd.thermalMismatch : 0);
   return bd;
 }
 
@@ -133,6 +192,7 @@ void CostModel::beginPropose(const Placement& p) {
   dirtyNets_.clear();
   dirtyGroups_.clear();
   dirtyProx_.clear();
+  dirtyThermal_.clear();
 }
 
 /// Admits one rect into a bounding-box reduction with attain-counts: a new
@@ -280,12 +340,46 @@ double CostModel::proposeTail(const Placement& p) {
     }
   }
 
+  Coord thermal = committed_.thermalMismatch;
+  if (objective_.usesThermal()) {
+    // Every pair's mismatch depends on the positions of BOTH its members and
+    // of EVERY radiator: a moved radiator dirties all slots, a moved
+    // non-radiator only the slots of the pairs it belongs to.
+    bool radiatorMoved = false;
+    for (const auto& [m, r] : changed_) {
+      if (isRadiator_[m]) {
+        radiatorMoved = true;
+        break;
+      }
+    }
+    if (radiatorMoved) {
+      for (std::size_t slot = 0; slot < thermalPairs_.size(); ++slot) {
+        if (thermalStamp_[slot] == stampGen_) continue;
+        thermalStamp_[slot] = stampGen_;
+        Coord mis = pairMismatch(p, slot);
+        thermal += mis - thermalDev_[slot];
+        dirtyThermal_.emplace_back(slot, mis);
+      }
+    } else {
+      for (const auto& [m, r] : changed_) {
+        for (std::size_t slot : thermalOf_[m]) {
+          if (thermalStamp_[slot] == stampGen_) continue;
+          thermalStamp_[slot] = stampGen_;
+          Coord mis = pairMismatch(p, slot);
+          thermal += mis - thermalDev_[slot];
+          dirtyThermal_.emplace_back(slot, mis);
+        }
+      }
+    }
+  }
+
   pending_.area = pending_.boundingBox.area();
   pending_.hpwl = hpwlSum;
   pending_.symDeviation = symDev;
   pending_.proximityViolations = proxViol;
-  pending_.cost =
-      objective_.compose(pending_.boundingBox, hpwlSum, symDev, proxViol);
+  pending_.thermalMismatch = thermal;
+  pending_.cost = objective_.compose(pending_.boundingBox, hpwlSum, symDev,
+                                     proxViol, thermal);
   return pending_.cost;
 }
 
@@ -295,6 +389,7 @@ void CostModel::commit() {
   for (const auto& [ni, box] : dirtyNets_) netBoxes_[ni] = box;
   for (const auto& [g, dev] : dirtyGroups_) groupDev_[g] = dev;
   for (const auto& [slot, bad] : dirtyProx_) proxBad_[slot] = bad;
+  for (const auto& [slot, mis] : dirtyThermal_) thermalDev_[slot] = mis;
   committed_ = pending_;
   committedCnt_ = pendingCnt_;
   seeded_ = true;
@@ -312,6 +407,7 @@ void CostModel::invalidate() {
   std::fill(netBoxes_.begin(), netBoxes_.end(), NetBox{});
   std::fill(groupDev_.begin(), groupDev_.end(), Coord{0});
   std::fill(proxBad_.begin(), proxBad_.end(), char{0});
+  std::fill(thermalDev_.begin(), thermalDev_.end(), Coord{0});
   committed_ = {};
   committedCnt_ = {};
 }

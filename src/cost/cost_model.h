@@ -43,6 +43,7 @@
 #include "cost/objective.h"
 #include "geom/placement.h"
 #include "netlist/circuit.h"
+#include "thermal/thermal.h"
 
 namespace als {
 
@@ -53,6 +54,7 @@ struct CostBreakdown {
   Coord hpwl = 0;             ///< total HPWL over all nets
   Coord symDeviation = 0;     ///< total mirror deviation (0 = exact)
   int proximityViolations = 0;///< disconnected proximity groups
+  Coord thermalMismatch = 0;  ///< total quantized pair mismatch [µK]
   double cost = 0.0;
 };
 
@@ -107,10 +109,16 @@ class CostModel {
   double committedCost() const { return committed_.cost; }
   const CostBreakdown& committed() const { return committed_; }
 
-  /// Scratch mirror-deviation / proximity queries (shared with backends'
-  /// result reporting).
+  /// Scratch mirror-deviation / proximity / thermal queries (shared with
+  /// backends' result reporting).
   Coord symmetryDeviation(const Placement& p) const;
   int proximityViolations(const Placement& p) const;
+
+  /// Total quantized (µK) temperature mismatch over every symmetric pair of
+  /// every group: sum of |T_q(a) - T_q(b)| with T_q the int64 µK temperature
+  /// of ThermalField::quantizedAt.  Exactly the scratch oracle the thermal
+  /// term's incremental updates are pinned against.
+  Coord thermalMismatch(const Placement& p) const;
 
  private:
   /// How many modules attain each bounding-box boundary; lets a hinted
@@ -122,6 +130,8 @@ class CostModel {
 
   Coord groupDeviation(const Placement& p, std::size_t group) const;
   bool proxDisconnected(const Placement& p, std::size_t slot) const;
+  std::int64_t quantizedTempAt(const Placement& p, ModuleId m) const;
+  Coord pairMismatch(const Placement& p, std::size_t slot) const;
   void beginPropose(const Placement& p);
   static void admitRect(const Rect& r, Coord* xlo, Coord* ylo, Coord* xhi,
                         Coord* yhi, BoundCounts* cnt);
@@ -138,12 +148,21 @@ class CostModel {
   std::vector<std::vector<ModuleId>> proxMembers_; ///< proximity group leaves
   std::vector<std::vector<std::size_t>> proxOf_;   ///< module -> prox slots
 
+  // Thermal topology (thermal/thermal.h): every symmetric pair of every
+  // group is one mismatch slot; every module with powerW > 0 radiates.
+  ThermalModel thermalModel_;
+  std::vector<SymPair> thermalPairs_;                    ///< flattened pairs
+  std::vector<std::vector<std::size_t>> thermalOf_;      ///< module -> slots
+  std::vector<std::pair<ModuleId, double>> radiators_;   ///< (module, watts)
+  std::vector<char> isRadiator_;                         ///< per module
+
   // Committed state.
   bool seeded_ = false;
   std::vector<Rect> rects_;
   std::vector<NetBox> netBoxes_;
   std::vector<Coord> groupDev_;
   std::vector<char> proxBad_;
+  std::vector<Coord> thermalDev_;  ///< committed per-slot mismatch [µK]
   CostBreakdown committed_;
   BoundCounts committedCnt_;
 
@@ -155,11 +174,13 @@ class CostModel {
   std::vector<std::pair<std::size_t, NetBox>> dirtyNets_;
   std::vector<std::pair<std::size_t, Coord>> dirtyGroups_;
   std::vector<std::pair<std::size_t, char>> dirtyProx_;
+  std::vector<std::pair<std::size_t, Coord>> dirtyThermal_;
   CostBreakdown pending_;
   BoundCounts pendingCnt_;
   std::vector<std::uint64_t> netStamp_;
   std::vector<std::uint64_t> groupStamp_;
   std::vector<std::uint64_t> proxStamp_;
+  std::vector<std::uint64_t> thermalStamp_;
   std::vector<std::uint64_t> moduleStamp_;
   std::uint64_t stampGen_ = 0;
 

@@ -14,6 +14,7 @@ Objective makeObjective(const Circuit& circuit, const ObjectiveWeights& weights)
   obj.symLambda = weights.symmetry * root;
   obj.proxLambda = weights.proximity * area * 0.1;
   obj.outlineLambda = weights.outline * root;
+  obj.thermalLambda = weights.thermal * area * 1e-7;
   obj.maxWidth = weights.maxWidth;
   obj.maxHeight = weights.maxHeight;
   obj.targetAspect = weights.targetAspect;

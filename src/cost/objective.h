@@ -36,6 +36,7 @@ struct ObjectiveWeights {
   double symmetry = 0.0;     ///< mirror-deviation penalty (flat placer: 2.0)
   double proximity = 0.0;    ///< disconnected-group penalty (flat placer: 2.0)
   double outline = 0.0;      ///< outline-excess penalty (seqpair: 4.0)
+  double thermal = 0.0;      ///< pair temperature-mismatch penalty (Sec. II)
   Coord maxWidth = 0;        ///< 0 = unconstrained [DBU]
   Coord maxHeight = 0;       ///< 0 = unconstrained [DBU]
   double targetAspect = 0.0; ///< 0 = no aspect objective (w/h target)
@@ -49,6 +50,7 @@ struct Objective {
   double symLambda = 0.0;      ///< symmetry * sqrt(totalModuleArea)
   double proxLambda = 0.0;     ///< proximity * totalModuleArea * 0.1
   double outlineLambda = 0.0;  ///< outline * sqrt(totalModuleArea)
+  double thermalLambda = 0.0;  ///< thermal * totalModuleArea * 1e-7 (per µK)
   Coord maxWidth = 0;
   Coord maxHeight = 0;
   double targetAspect = 0.0;
@@ -58,18 +60,24 @@ struct Objective {
 
   bool usesSymmetry() const { return symLambda != 0.0; }
   bool usesProximity() const { return proxLambda != 0.0; }
+  bool usesThermal() const { return thermalLambda != 0.0; }
 
   /// Composes the cost double from exact integer aggregates.  `bb` is the
   /// placement bounding box, `hpwlSum` the total HPWL over all nets,
   /// `symDev` the total mirror deviation, `proxViolations` the number of
-  /// disconnected proximity groups.  One fixed operation sequence — any two
-  /// evaluators feeding it equal aggregates produce bit-equal costs.
-  double compose(Rect bb, Coord hpwlSum, Coord symDev,
-                 int proxViolations) const {
+  /// disconnected proximity groups, `thermalMismatch` the total quantized
+  /// (µK) pair temperature mismatch (thermal/thermal.h).  One fixed
+  /// operation sequence — any two evaluators feeding it equal aggregates
+  /// produce bit-equal costs.
+  double compose(Rect bb, Coord hpwlSum, Coord symDev, int proxViolations,
+                 Coord thermalMismatch = 0) const {
     double c = static_cast<double>(bb.area());
     c += wlLambda * static_cast<double>(hpwlSum);
     if (symLambda != 0.0) c += symLambda * static_cast<double>(symDev);
     if (proxLambda != 0.0) c += proxLambda * proxViolations;
+    if (thermalLambda != 0.0) {
+      c += thermalLambda * static_cast<double>(thermalMismatch);
+    }
     if (maxWidth > 0 && bb.w > maxWidth) {
       c += outlineLambda * static_cast<double>(bb.w - maxWidth);
     }
@@ -89,7 +97,9 @@ struct Objective {
 /// The shared normalization recipe: wirelength/symmetry/outline weights
 /// scale with sqrt(total module area) (the classic per-DBU gradient match
 /// against the area term), the proximity weight with total module area
-/// itself (a violation must dominate any area saving).
+/// itself (a violation must dominate any area saving), and the thermal
+/// weight with total module area times 1e-7 (kelvin-scale mismatches are
+/// ~1e6 µK, so a unit thermal weight trades ~10% of the area term).
 Objective makeObjective(const Circuit& circuit, const ObjectiveWeights& weights);
 
 }  // namespace als

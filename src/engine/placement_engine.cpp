@@ -56,6 +56,12 @@ class BackendEngine final : public PlacementEngine {
     if constexpr (requires { opt.targetAspect; }) {
       opt.targetAspect = options.targetAspect;
     }
+    if constexpr (requires { opt.thermalWeight; }) {
+      opt.thermalWeight = options.thermalWeight;
+    }
+    if constexpr (requires { opt.shapeMoveProb; }) {
+      opt.shapeMoveProb = options.shapeMoveProb;
+    }
     if (options.scratch != nullptr) {
       opt.scratch = subScratch(*options.scratch, opt.scratch);
     }

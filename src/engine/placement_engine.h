@@ -62,6 +62,16 @@ struct EngineOptions {
   Coord maxWidth = 0;              ///< 0 = unconstrained [DBU]
   Coord maxHeight = 0;             ///< 0 = unconstrained [DBU]
   double targetAspect = 0.0;       ///< 0 = no aspect objective (w/h target)
+
+  /// Thermal pair-mismatch weight (cost/objective.h; 0 = term off, the
+  /// default — backends are bit-identical to pre-thermal builds then).
+  /// Needs Power annotations on the circuit to have any effect.
+  double thermalWeight = 0.0;
+  /// Probability that an SA move re-selects a soft module's realization
+  /// from its Module::shapes curve instead of perturbing the topology
+  /// (0 = shape moves off, the default; backends without shape support or
+  /// circuits without curves ignore the knob and draw no RNG for it).
+  double shapeMoveProb = 0.0;
   std::size_t maxSweeps = 256;     ///< primary budget: total SA sweeps
   double timeLimitSec = 0.0;       ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 1;

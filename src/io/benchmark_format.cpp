@@ -9,6 +9,8 @@
 #include <set>
 #include <vector>
 
+#include "shapefn/shape_function.h"
+
 namespace als {
 
 namespace {
@@ -20,6 +22,9 @@ constexpr std::size_t kMaxCount = 1'000'000;
 constexpr Coord kMaxCoord = 1'000'000'000;      // 1 m in DBU (nm)
 constexpr double kMaxSoftArea = 1e15;           // DBU^2
 constexpr double kMinAspect = 1e-3, kMaxAspect = 1e3;
+constexpr double kMaxPowerW = 1e6;              // per-block dissipation cap
+constexpr std::size_t kMaxShapeAlts = 64;       // alternatives per Shape line
+constexpr std::size_t kSoftShapeCap = 8;        // auto-derived soft curves
 
 struct Line {
   std::size_t number = 0;                // 1-based line in the source text
@@ -76,7 +81,7 @@ class Parser {
   ParseResult run() {
     ParseResult out;
     if (!parseHeader() || !parseBlocks() || !parseNets() || !parseSymGroups() ||
-        !parseHierarchy()) {
+        !parsePower() || !parseShapes() || !parseHierarchy()) {
       // Every failure path should have recorded a message; the fallback
       // guarantees ok() can never be true for a rejected file.
       out.error = error_.empty() ? "malformed benchmark text" : error_;
@@ -88,6 +93,7 @@ class Parser {
                                           "'");
       return out;
     }
+    deriveSoftCurves();
     if (circuit_.hierarchy().empty()) buildCanonicalHierarchy(circuit_);
     std::string why;
     if (!circuit_.validate(&why)) {
@@ -242,6 +248,7 @@ class Parser {
         if (w > kMaxCoord || h > kMaxCoord) {
           return error(line, "soft block resolves beyond the coordinate cap");
         }
+        softSpecs_.push_back({circuit_.moduleCount(), area, lo, hi});
       } else if (!parseCoord(line, line.tokens[2], &w) ||
                  !parseCoord(line, line.tokens[3], &h)) {
         return false;
@@ -339,6 +346,99 @@ class Parser {
       circuit_.addSymmetryGroup(std::move(group));
     }
     return true;
+  }
+
+  bool parsePower() {
+    const Line* count = peek("NumPower") ? expect("NumPower") : nullptr;
+    if (!count) return true;  // optional section
+    std::size_t n = 0;
+    if (count->tokens.size() != 2 ||
+        !parseSize(*count, count->tokens[1], kMaxCount, &n)) {
+      return error(*count, "bad NumPower line");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Line* line = expect("Power");
+      if (!line) return false;
+      ModuleId m = 0;
+      if (line->tokens.size() != 3 || !lookupBlock(*line, line->tokens[1], &m)) {
+        return error(*line, "Power needs 'blockname watts'");
+      }
+      double watts = 0.0;
+      if (!parseDouble(*line, line->tokens[2], 0.0, kMaxPowerW, &watts)) {
+        return false;
+      }
+      if (watts <= 0.0) return error(*line, "power must be positive");
+      Module& mod = circuit_.module(m);
+      if (mod.powerW != 0.0) {
+        return error(*line, "duplicate Power for block '" +
+                                std::string(line->tokens[1]) + "'");
+      }
+      mod.powerW = watts;
+    }
+    return true;
+  }
+
+  bool parseShapes() {
+    const Line* count = peek("NumShapes") ? expect("NumShapes") : nullptr;
+    if (!count) return true;  // optional section
+    std::size_t n = 0;
+    if (count->tokens.size() != 2 ||
+        !parseSize(*count, count->tokens[1], kMaxCount, &n)) {
+      return error(*count, "bad NumShapes line");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Line* line = expect("Shape");
+      if (!line) return false;
+      if (line->tokens.size() < 3) return error(*line, "truncated Shape line");
+      ModuleId m = 0;
+      if (!lookupBlock(*line, line->tokens[1], &m)) return false;
+      std::size_t k = 0;
+      if (!parseSize(*line, line->tokens[2], kMaxShapeAlts, &k) || k == 0) {
+        return error(*line, "bad shape count");
+      }
+      // Tokens: Shape name k w1 h1 ... wk hk — the declared footprint is NOT
+      // listed; it always opens the realized curve (Module::shapes[0]).
+      if (line->tokens.size() != 3 + 2 * k) {
+        return error(*line, "shape list does not match the declared count");
+      }
+      Module& mod = circuit_.module(m);
+      if (!mod.shapes.empty()) {
+        return error(*line, "duplicate Shape for block '" +
+                                std::string(line->tokens[1]) + "'");
+      }
+      mod.shapes.reserve(k + 1);
+      mod.shapes.push_back({mod.w, mod.h});
+      for (std::size_t s = 0; s < k; ++s) {
+        ModuleShape alt;
+        if (!parseCoord(*line, line->tokens[3 + 2 * s], &alt.w) ||
+            !parseCoord(*line, line->tokens[4 + 2 * s], &alt.h)) {
+          return false;
+        }
+        mod.shapes.push_back(alt);
+      }
+    }
+    return true;
+  }
+
+  /// Soft blocks without an explicit Shape line get a deterministic curve
+  /// discretized from their declared (area, aspect range) — after this the
+  /// circuit carries everything the text said, and writeBenchmark emits the
+  /// curve explicitly so write -> parse -> write is byte-stable even though
+  /// the SoftBlock line itself is resolved lossily to a Block.
+  void deriveSoftCurves() {
+    for (const SoftSpec& spec : softSpecs_) {
+      Module& mod = circuit_.module(spec.module);
+      if (!mod.shapes.empty()) continue;  // explicit Shape section wins
+      std::vector<ModuleShape> curve =
+          discretizeSoftShape(spec.area, spec.loAspect, spec.hiAspect,
+                              kSoftShapeCap);
+      ModuleShape footprint{mod.w, mod.h};
+      std::erase(curve, footprint);
+      if (curve.empty()) continue;  // the footprint is the only realization
+      mod.shapes.reserve(curve.size() + 1);
+      mod.shapes.push_back(footprint);
+      for (const ModuleShape& s : curve) mod.shapes.push_back(s);
+    }
   }
 
   bool parseHierarchy() {
@@ -504,12 +604,20 @@ class Parser {
     return true;
   }
 
+  /// A SoftBlock's declared target, remembered until the Shape section has
+  /// been read (an explicit curve suppresses the auto-derived one).
+  struct SoftSpec {
+    ModuleId module = 0;
+    double area = 0.0, loAspect = 0.0, hiAspect = 0.0;
+  };
+
   std::vector<Line> lines_;
   std::size_t next_ = 0;
   std::string error_;
   Circuit circuit_;
   std::map<std::string, ModuleId> blockByName_;
   std::map<std::string, std::size_t> symByName_;
+  std::vector<SoftSpec> softSpecs_;
 };
 
 /// Serializable token: non-empty, no whitespace, no comment introducer.
@@ -625,6 +733,52 @@ WriteResult writeBenchmark(const Circuit& circuit) {
         return fail("group '" + g.name + "' has out-of-range member");
       }
       text += "SymSelf " + circuit.module(s).name + "\n";
+    }
+  }
+
+  // Power and Shape sections are emitted only when some block carries the
+  // annotation, so files without them stay byte-identical to the historical
+  // format.  Shape lines list the alternatives (shapes[1..]); shapes[0] is
+  // the Block line's footprint by the Module::shapes invariant.
+  std::size_t numPower = 0, numShapes = 0;
+  for (const Module& m : circuit.modules()) {
+    if (m.powerW != 0.0 &&
+        (!std::isfinite(m.powerW) || m.powerW < 0.0 || m.powerW > kMaxPowerW)) {
+      return fail("block '" + m.name + "' has non-serializable power");
+    }
+    if (m.powerW > 0.0) ++numPower;
+    if (m.shapes.size() > 1) ++numShapes;
+  }
+  if (numPower > 0) {
+    text += "NumPower " + std::to_string(numPower) + "\n";
+    for (const Module& m : circuit.modules()) {
+      if (m.powerW <= 0.0) continue;
+      text += "Power " + m.name + " ";
+      appendWeight(text, m.powerW);
+      text += "\n";
+    }
+  }
+  if (numShapes > 0) {
+    text += "NumShapes " + std::to_string(numShapes) + "\n";
+    for (const Module& m : circuit.modules()) {
+      if (m.shapes.size() <= 1) continue;
+      if (m.shapes[0] != ModuleShape{m.w, m.h}) {
+        return fail("shape curve of '" + m.name +
+                    "' does not open with the declared footprint");
+      }
+      if (m.shapes.size() - 1 > kMaxShapeAlts) {
+        return fail("block '" + m.name + "' has too many shape alternatives");
+      }
+      text += "Shape " + m.name + " " + std::to_string(m.shapes.size() - 1);
+      for (std::size_t s = 1; s < m.shapes.size(); ++s) {
+        if (m.shapes[s].w <= 0 || m.shapes[s].h <= 0 ||
+            m.shapes[s].w > kMaxCoord || m.shapes[s].h > kMaxCoord) {
+          return fail("block '" + m.name + "' has a non-serializable shape");
+        }
+        text += " " + std::to_string(m.shapes[s].w) + " " +
+                std::to_string(m.shapes[s].h);
+      }
+      text += "\n";
     }
   }
 

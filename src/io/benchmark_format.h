@@ -17,6 +17,10 @@
 //   SymGroup <name> <npairs> <nselfs>
 //   SymPair <a> <b>
 //   SymSelf <a>
+//   NumPower <n>                             # optional section (default 0)
+//   Power <blockname> <watts>
+//   NumShapes <n>                            # optional section (default 0)
+//   Shape <blockname> <k> <w1> <h1> ... <wk> <hk>
 //   NumHierNodes <n>                         # optional section
 //   Leaf <nodename> <blockname>
 //   Group <nodename> <constraint> <symgroup|-> <nchildren> <child-ids...>
@@ -25,7 +29,14 @@
 // Soft blocks carry an area and an aspect-ratio range (w/h in [lo, hi]);
 // the parser resolves them deterministically to the hard footprint whose
 // aspect is closest to 1 inside the range, so every downstream placer sees
-// only fixed-footprint modules.
+// a fixed footprint — and, for the shape-selection move, a deterministic
+// discretized curve of alternative realizations (Module::shapes), which an
+// explicit Shape line overrides.  Power lines annotate thermally radiating
+// blocks (Module::powerW, the thermal objective's source list); Shape lines
+// list alternative footprints — the declared Block footprint is never
+// listed, it always opens the curve.  Both sections are validated like
+// every other (unknown blocks, duplicates, caps and non-positive values are
+// rejected) and both round-trip exactly.
 //
 // The hierarchy section serializes `HierTree` nodes in node-id order
 // (children reference earlier ids), which makes a write -> parse round trip

@@ -12,7 +12,8 @@ namespace {
 // All dimensions in DBU (1 DBU = 1 nm; blocks are tens-of-um scale, like
 // the library's generated circuits).
 
-constexpr std::string_view kApte = R"(# apte-scale: 9 large, fairly uniform macro blocks, one symmetry group.
+constexpr std::string_view kApte = R"(# apte-scale: 9 large, fairly uniform macro blocks, one symmetry group;
+# cc_7/cc_8 dissipate (thermal-objective radiators).
 ALSBENCH 1
 Circuit apte
 NumBlocks 9
@@ -37,6 +38,9 @@ NumSymGroups 1
 SymGroup core 2 0
 SymPair cc_1 cc_2
 SymPair cc_3 cc_4
+NumPower 2
+Power cc_7 0.9
+Power cc_8 0.45
 )";
 
 constexpr std::string_view kXerox = R"(# xerox-scale: 10 blocks with strongly varying footprints; sb1/sb2 are
@@ -65,7 +69,8 @@ Net n7 3 xr_1 xr_8 sb1
 Net n8 2 sb1 sb2
 )";
 
-constexpr std::string_view kHp = R"(# hp-scale: 11 blocks, one pair-plus-self symmetry group.
+constexpr std::string_view kHp = R"(# hp-scale: 11 blocks, one pair-plus-self symmetry group; hp_4 both
+# radiates and carries an explicit alternative-shape curve.
 ALSBENCH 1
 Circuit hp
 NumBlocks 11
@@ -94,9 +99,14 @@ NumSymGroups 1
 SymGroup inpair 1 1
 SymPair hp_1 hp_2
 SymSelf hp_3
+NumPower 1
+Power hp_4 1.2
+NumShapes 1
+Shape hp_4 2 70000 70000 49000 100000
 )";
 
-constexpr std::string_view kAmi33 = R"(# ami33-scale: 33 mixed-size blocks, two symmetry groups.
+constexpr std::string_view kAmi33 = R"(# ami33-scale: 33 mixed-size blocks, two symmetry groups; b9 and b12
+# radiate, and b12/b21 carry alternative-shape curves.
 ALSBENCH 1
 Circuit ami33
 NumBlocks 33
@@ -161,9 +171,15 @@ SymPair b3 b4
 SymGroup sg2 1 1
 SymPair b7 b8
 SymSelf b9
+NumPower 2
+Power b9 0.35
+Power b12 0.6
+NumShapes 2
+Shape b12 3 42000 71000 59000 51000 66000 45000
+Shape b21 2 39000 50000 48000 41000
 )";
 
-constexpr std::string_view kAmi49 = R"(# ami49-scale: 49 mixed-size blocks, one symmetric pair.
+constexpr std::string_view kAmi49 = R"(# ami49-scale: 49 mixed-size blocks, one symmetric pair; m47 radiates.
 ALSBENCH 1
 Circuit ami49
 NumBlocks 49
@@ -250,6 +266,8 @@ Net n30 3 m33 m41 m43
 NumSymGroups 1
 SymGroup sg1 1 0
 SymPair m10 m11
+NumPower 1
+Power m47 0.8
 )";
 
 }  // namespace

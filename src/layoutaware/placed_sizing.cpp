@@ -1,0 +1,170 @@
+#include "layoutaware/placed_sizing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "anneal/annealer.h"
+#include "layoutaware/mosfet.h"
+#include "runtime/portfolio.h"
+#include "shapefn/shape_function.h"
+#include "util/stopwatch.h"
+
+namespace als {
+
+namespace {
+
+Coord toDbu(double meters) {
+  return static_cast<Coord>(std::llround(meters * 1e9));
+}
+
+/// Device-cell footprint in DBU, floored at 1 so degenerate design vectors
+/// still validate.
+std::pair<Coord, Coord> cellDims(const Technology& tech, const MosSpec& spec) {
+  Coord w = std::max<Coord>(1, toDbu(mosCellWidth(tech, spec)));
+  Coord h = std::max<Coord>(1, toDbu(mosCellHeight(tech, spec)));
+  return {w, h};
+}
+
+}  // namespace
+
+Circuit makeMillerPlacementCircuit(const Technology& tech,
+                                   const MillerDesign& design) {
+  Circuit c("miller_sized");
+  auto [w1, h1] = cellDims(tech, design.inputPair());
+  auto [wn, hn] = cellDims(tech, design.mirror());
+  auto [wp, hp] = cellDims(tech, design.biasLeg());
+  auto [w8, h8] = cellDims(tech, design.driver());
+
+  ModuleId p1 = c.addModule("P1", w1, h1, false);
+  ModuleId p2 = c.addModule("P2", w1, h1, false);
+  ModuleId p5 = c.addModule("P5", wp, hp, false);
+  ModuleId p6 = c.addModule("P6", wp, hp, false);
+  ModuleId p7 = c.addModule("P7", wp, hp, false);
+  ModuleId n3 = c.addModule("N3", wn, hn, false);
+  ModuleId n4 = c.addModule("N4", wn, hn, false);
+  ModuleId n8 = c.addModule("N8", w8, h8);
+
+  // The Miller capacitor is the one genuinely soft block of the design: a
+  // square footprint at the technology's capacitance density plus a
+  // discretized aspect curve for the shape-selection move.
+  double capSideM = std::sqrt(std::max(design.cc, 1e-15) / tech.capDensity);
+  Coord capSide = std::max<Coord>(1, toDbu(capSideM));
+  ModuleId cap = c.addModule("C", capSide, capSide, false);
+  {
+    Module& mod = c.module(cap);
+    double area = static_cast<double>(capSide) * static_cast<double>(capSide);
+    std::vector<ModuleShape> curve = discretizeSoftShape(area, 0.5, 2.0, 6);
+    ModuleShape footprint{capSide, capSide};
+    std::erase(curve, footprint);
+    if (!curve.empty()) {
+      mod.shapes.push_back(footprint);
+      for (const ModuleShape& s : curve) mod.shapes.push_back(s);
+    }
+  }
+
+  // Power annotations: the first-stage tail current dissipates in the tail
+  // source P5, the output-stage current splits across its P7/N8 branch.
+  c.module(p5).powerW = design.ib * tech.vdd;
+  c.module(p7).powerW = 0.5 * design.i2 * tech.vdd;
+  c.module(n8).powerW = 0.5 * design.i2 * tech.vdd;
+
+  SymmetryGroup dp;
+  dp.name = "DP";
+  dp.pairs = {{p1, p2}};
+  std::size_t gDp = c.addSymmetryGroup(std::move(dp));
+
+  SymmetryGroup cm1;
+  cm1.name = "CM1";
+  cm1.pairs = {{n3, n4}};
+  std::size_t gCm1 = c.addSymmetryGroup(std::move(cm1));
+
+  SymmetryGroup cm2;
+  cm2.name = "CM2";
+  cm2.pairs = {{p5, p7}};
+  cm2.selfs = {p6};
+  std::size_t gCm2 = c.addSymmetryGroup(std::move(cm2));
+
+  c.addNet("inp", {p1});
+  c.addNet("inn", {p2});
+  c.addNet("tail", {p1, p2, p5});
+  c.addNet("mirror", {n3, n4, p1, p2});
+  c.addNet("out1", {n4, cap, n8});
+  c.addNet("out", {n8, cap, p7});
+  c.addNet("bias", {p5, p6, p7});
+
+  HierTree& h = c.hierarchy();
+  HierNodeId lp1 = h.addLeaf("P1", p1), lp2 = h.addLeaf("P2", p2);
+  HierNodeId lp5 = h.addLeaf("P5", p5), lp6 = h.addLeaf("P6", p6);
+  HierNodeId lp7 = h.addLeaf("P7", p7);
+  HierNodeId ln3 = h.addLeaf("N3", n3), ln4 = h.addLeaf("N4", n4);
+  HierNodeId ln8 = h.addLeaf("N8", n8), lc = h.addLeaf("C", cap);
+
+  HierNodeId ndp = h.addGroup("DP", {lp1, lp2}, GroupConstraint::Symmetry);
+  h.node(ndp).symGroup = gDp;
+  HierNodeId ncm1 = h.addGroup("CM1", {ln3, ln4}, GroupConstraint::Symmetry);
+  h.node(ncm1).symGroup = gCm1;
+  HierNodeId ncm2 = h.addGroup("CM2", {lp5, lp6, lp7}, GroupConstraint::Symmetry);
+  h.node(ncm2).symGroup = gCm2;
+  HierNodeId core = h.addGroup("CORE", {ndp, ncm1, ncm2});
+  HierNodeId top = h.addGroup("OPAMP", {core, lc, ln8});
+  h.setRoot(top);
+  return c;
+}
+
+PlacedSizingResult runMillerPlacedSizing(const Technology& tech,
+                                         const OtaSpecs& specs,
+                                         const PlacedSizingOptions& options) {
+  Stopwatch sw;
+  PlacedSizingResult out;
+  const std::size_t n = std::max<std::size_t>(1, options.numCandidates);
+  out.candidates.resize(n);
+
+  // Sizing stage: sequential, one seed-schedule slot per candidate.  Each
+  // run is a pure function of (tech, specs, options-with-seed), so the
+  // candidate set does not depend on thread count or timing.
+  std::vector<Circuit> circuits;
+  circuits.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PlacedSizingCandidate& cand = out.candidates[i];
+    SizingOptions so = options.sizing;
+    so.seed = portfolioSeedAt(options.sizing.seed, i);
+    cand.seed = so.seed;
+    cand.sizing = runMillerSizing(tech, specs, so);
+    circuits.push_back(makeMillerPlacementCircuit(tech, cand.sizing.design));
+  }
+
+  // Placement stage: the candidate x restart grid fans over the batch
+  // placer's pool; results are index-aligned and 1-vs-N bit-identical.
+  BatchPlacer batch;
+  std::vector<EngineResult> placed =
+      batch.placeAll(circuits, options.backend, options.placement);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.candidates[i].circuit = std::move(circuits[i]);
+    out.candidates[i].placement = std::move(placed[i]);
+  }
+
+  // Winner: a total order over exact per-candidate facts — specs met first,
+  // then post-extraction violation, then placement cost, then schedule
+  // index — so the reduction is deterministic and order-independent.
+  out.bestIndex = 0;
+  auto better = [&](const PlacedSizingCandidate& a,
+                    const PlacedSizingCandidate& b) {
+    if (a.sizing.meetsSpecsExtracted != b.sizing.meetsSpecsExtracted) {
+      return a.sizing.meetsSpecsExtracted;
+    }
+    if (a.sizing.violationExtracted != b.sizing.violationExtracted) {
+      return a.sizing.violationExtracted < b.sizing.violationExtracted;
+    }
+    return a.placement.cost < b.placement.cost;
+  };
+  for (std::size_t i = 1; i < n; ++i) {
+    if (better(out.candidates[i], out.candidates[out.bestIndex])) {
+      out.bestIndex = i;
+    }
+  }
+  out.seconds = sw.seconds();
+  return out;
+}
+
+}  // namespace als

@@ -1,5 +1,6 @@
 #include "netlist/circuit.h"
 
+#include <cmath>
 #include <set>
 
 #include "util/epoch_marks.h"
@@ -17,7 +18,12 @@ const char* toString(GroupConstraint c) {
 }
 
 ModuleId Circuit::addModule(std::string name, Coord w, Coord h, bool rotatable) {
-  modules_.push_back({std::move(name), w, h, rotatable});
+  Module m;
+  m.name = std::move(name);
+  m.w = w;
+  m.h = h;
+  m.rotatable = rotatable;
+  modules_.push_back(std::move(m));
   return modules_.size() - 1;
 }
 
@@ -75,6 +81,15 @@ bool Circuit::validate(std::string* whyNot) const {
   };
   for (const Module& m : modules_) {
     if (m.w <= 0 || m.h <= 0) return fail("module '" + m.name + "' has empty footprint");
+    if (!(m.powerW >= 0.0) || !std::isfinite(m.powerW)) {
+      return fail("module '" + m.name + "' has a negative or non-finite power");
+    }
+    if (!m.shapes.empty() && (m.shapes[0].w != m.w || m.shapes[0].h != m.h)) {
+      return fail("module '" + m.name + "' shape curve does not start at its footprint");
+    }
+    for (const ModuleShape& s : m.shapes) {
+      if (s.w <= 0 || s.h <= 0) return fail("module '" + m.name + "' has an empty shape");
+    }
   }
   for (const Net& n : nets_) {
     for (ModuleId p : n.pins) {

@@ -16,6 +16,14 @@ namespace als {
 
 using ModuleId = std::size_t;
 
+/// One alternative realization of a module (a point on its shape curve).
+struct ModuleShape {
+  Coord w = 0;
+  Coord h = 0;
+
+  friend bool operator==(const ModuleShape&, const ModuleShape&) = default;
+};
+
 /// A placeable device-level module: name plus fixed footprint.  Rotation by
 /// 90 degrees swaps w/h when `rotatable` (capacitor arrays and matched pairs
 /// are typically locked).
@@ -24,6 +32,17 @@ struct Module {
   Coord w = 0;
   Coord h = 0;
   bool rotatable = true;
+
+  /// Dissipated power [W]; modules with powerW > 0 act as heat sources of
+  /// the thermal-mismatch objective (thermal/thermal.h).  0 = no radiation.
+  double powerW = 0.0;
+
+  /// Discrete shape curve (shapefn-style pareto alternatives).  Empty =
+  /// fixed footprint only.  When non-empty, shapes[0] is ALWAYS the declared
+  /// footprint {w, h} (validated), so index 0 reproduces the legacy fixed
+  /// decode and backends with shape moves disabled are bit-identical to
+  /// builds that predate the curve.
+  std::vector<ModuleShape> shapes;
 };
 
 /// A pair of modules required to be mirror images about the group axis.

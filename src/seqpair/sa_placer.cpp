@@ -24,10 +24,13 @@ SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
   makeSymmetricFeasible(init.sp, groups);
 
   // Symmetry holds by construction in every S-F code, so the objective
-  // carries no symmetry/proximity penalty — only the geometric terms.
+  // carries no symmetry/proximity penalty — only the geometric terms plus,
+  // when weighted, thermal pair mismatch (geometry-exact symmetry does NOT
+  // make it zero: radiators off the axis still split a pair thermally).
   CostModel model(circuit,
                   makeObjective(circuit, {.wirelength = options.wirelengthWeight,
                                           .outline = options.outlineWeight,
+                                          .thermal = options.thermalWeight,
                                           .maxWidth = options.maxWidth,
                                           .maxHeight = options.maxHeight,
                                           .targetAspect = options.targetAspect}));

@@ -36,6 +36,7 @@ struct SeqPairPlacerOptions {
   Coord maxHeight = 0;           ///< 0 = unconstrained [DBU]
   double targetAspect = 0.0;     ///< 0 = no aspect objective (w/h target)
   double outlineWeight = 4.0;    ///< penalty scale for outline violations
+  double thermalWeight = 0.0;    ///< pair temperature-mismatch penalty
 
   /// Ablation toggle: disable the repairing swap-any move class (see
   /// seqpair/moves.h); the default move mix keeps it on.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 #include "geom/profile.h"
@@ -131,6 +132,37 @@ ShapeFunction combine(const ShapeFunction& a, const ShapeFunction& b,
   }
   out.capTo(cap);
   return out;
+}
+
+std::vector<ModuleShape> discretizeSoftShape(double area, double loAspect,
+                                             double hiAspect, std::size_t cap) {
+  std::vector<ModuleShape> curve;
+  if (!(area > 0.0) || !(loAspect > 0.0) || !(hiAspect >= loAspect) || cap == 0) {
+    return curve;
+  }
+  // Geometric aspect sampling: more samples than the cap so the pareto
+  // pruning (not the sampling grid) decides which realizations survive.
+  const std::size_t samples = std::max<std::size_t>(2 * cap + 1, 9);
+  ShapeFunction fn;
+  const double logLo = std::log(loAspect);
+  const double logHi = std::log(hiAspect);
+  for (std::size_t i = 0; i < samples; ++i) {
+    double t = samples == 1 ? 0.0
+                            : static_cast<double>(i) /
+                                  static_cast<double>(samples - 1);
+    double aspect = std::exp(logLo + (logHi - logLo) * t);
+    // Same resolution rule as the benchmark parser's SoftBlock handling.
+    Coord w = std::max<Coord>(1, std::llround(std::sqrt(area * aspect)));
+    Coord h = std::max<Coord>(1, (static_cast<Coord>(area) + w - 1) / w);
+    ShapeEntry e;
+    e.w = w;
+    e.h = h;
+    fn.insert(std::move(e));
+  }
+  fn.capTo(cap);
+  curve.reserve(fn.size());
+  for (const ShapeEntry& e : fn.entries()) curve.push_back({e.w, e.h});
+  return curve;
 }
 
 }  // namespace als

@@ -28,6 +28,7 @@
 
 #include "bstar/pack.h"
 #include "geom/placement.h"
+#include "netlist/module.h"
 
 namespace als {
 
@@ -74,5 +75,15 @@ ShapeEntry addShapes(const ShapeEntry& a, const ShapeEntry& b, AdditionDir dir,
 /// addition kind; result pruned to pareto and capped.
 ShapeFunction combine(const ShapeFunction& a, const ShapeFunction& b,
                       AdditionKind kind, std::size_t cap);
+
+/// Discretizes a soft block (target area, aspect range) into a pareto shape
+/// curve of at most `cap` realizations: aspects sampled geometrically across
+/// [loAspect, hiAspect], each resolved like the benchmark parser resolves a
+/// SoftBlock (w = round(sqrt(area * aspect)), h covering the area), then
+/// pruned through a ShapeFunction.  Deterministic — a pure function of its
+/// arguments — which is what lets the io layer derive identical curves on
+/// every parse.  Entries come back sorted by ascending width.
+std::vector<ModuleShape> discretizeSoftShape(double area, double loAspect,
+                                             double hiAspect, std::size_t cap);
 
 }  // namespace als

@@ -9,6 +9,17 @@
 
 namespace als {
 
+namespace {
+
+/// SA state: the Polish expression plus, when shape moves are on, the
+/// chosen realization index per module (0 = declared footprint).
+struct SlicingState {
+  PolishExpr expr;
+  std::vector<std::uint8_t> shapeIdx;
+};
+
+}  // namespace
+
 SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
                                    const SlicingPlacerOptions& options) {
   const std::size_t n = circuit.moduleCount();
@@ -19,21 +30,53 @@ SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
     h[m] = circuit.module(m).h;
     rotatable[m] = circuit.module(m).rotatable;
   }
-  // No symmetry handling in the slicing baseline: area + wirelength only.
-  CostModel model(circuit, makeObjective(circuit,
-                                         {.wirelength = options.wirelengthWeight}));
+  // No symmetry handling in the slicing baseline: area + wirelength (and,
+  // when weighted, thermal mismatch) only.
+  CostModel model(circuit,
+                  makeObjective(circuit, {.wirelength = options.wirelengthWeight,
+                                          .thermal = options.thermalWeight}));
+
+  // See bstar/flat_placer.cpp: shape moves only exist when asked for AND
+  // some module carries a curve; disabled runs draw the historical RNG
+  // stream and decode the declared footprints, bit for bit.
+  std::vector<ModuleId> shapy;
+  for (ModuleId m = 0; m < n; ++m) {
+    if (circuit.module(m).shapes.size() > 1) shapy.push_back(m);
+  }
+  const bool shapeMoves = options.shapeMoveProb > 0.0 && !shapy.empty();
 
   SlicingScratch localScratch;
   SlicingScratch& scr = options.scratch ? *options.scratch : localScratch;
 
+  // Applies a state's chosen realizations to the shared dim buffers.  Only
+  // modules with curves are touched; w/h otherwise keep the declared dims.
+  auto applyShapes = [&](const SlicingState& s) {
+    if (!shapeMoves) return;
+    for (ModuleId m : shapy) {
+      const ModuleShape& shape = circuit.module(m).shapes[s.shapeIdx[m]];
+      w[m] = shape.w;
+      h[m] = shape.h;
+    }
+  };
+
   // The best-area realization fills its root shape exactly and is anchored
   // at the origin, so the placement bounding box IS the chosen shape.  The
   // returned pointer aliases the scratch result buffer.
-  auto decode = [&](const PolishExpr& e) -> const Placement* {
-    evaluatePolishInto(e, w, h, rotatable, options.shapeCap, scr.eval, scr.result);
+  auto decode = [&](const SlicingState& s) -> const Placement* {
+    applyShapes(s);
+    evaluatePolishInto(s.expr, w, h, rotatable, options.shapeCap, scr.eval,
+                       scr.result);
     return &scr.result.placement;
   };
-  auto move = [](PolishExpr& e, Rng& rng) { e.perturb(rng); };
+  auto move = [&](SlicingState& s, Rng& rng) {
+    if (shapeMoves && rng.uniform() < options.shapeMoveProb) {
+      ModuleId m = shapy[rng.index(shapy.size())];
+      s.shapeIdx[m] = static_cast<std::uint8_t>(
+          rng.index(circuit.module(m).shapes.size()));
+      return;
+    }
+    s.expr.perturb(rng);
+  };
 
   AnnealOptions annealOpt;
   annealOpt.maxSweeps = options.maxSweeps;
@@ -42,13 +85,19 @@ SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
   annealOpt.coolingFactor = options.coolingFactor;
   annealOpt.movesPerTemp = options.movesPerTemp;
   annealOpt.sizeHint = n;
-  auto annealed =
-      annealWithRestarts(PolishExpr::initial(n), model, decode, move, annealOpt);
+  SlicingState init{PolishExpr::initial(n), std::vector<std::uint8_t>(n, 0)};
+  auto annealed = annealWithRestarts(init, model, decode, move, annealOpt);
 
+  // Re-decode the winner through the shared scratch: the state was already
+  // evaluated during the loop, so the warm buffers cover it allocation-free
+  // (a fresh local scratch would allocate a best-state-dependent amount,
+  // breaking the steady-state zero-alloc contract).
   SlicingPlacerResult result;
-  SlicedResult best = evaluatePolish(annealed.best, w, h, rotatable, options.shapeCap);
-  result.placement = std::move(best.placement);
-  result.area = best.area();
+  applyShapes(annealed.best);
+  evaluatePolishInto(annealed.best.expr, w, h, rotatable, options.shapeCap,
+                     scr.eval, scr.result);
+  result.placement = scr.result.placement;
+  result.area = scr.result.area();
   result.hpwl = totalHpwl(result.placement, circuit.netPins());
   result.cost = annealed.bestCost;
   result.movesTried = annealed.movesTried;

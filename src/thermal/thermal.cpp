@@ -21,6 +21,24 @@ double ThermalField::temperatureAt(double xUm, double yUm) const {
   return t;
 }
 
+std::int64_t quantizedContribution(const HeatSource& s, double xUm, double yUm,
+                                   const ThermalModel& model) {
+  double dx = xUm - s.xUm;
+  double dy = yUm - s.yUm;
+  double r = std::sqrt(dx * dx + dy * dy);
+  double contribution = model.spreadCoeff * s.powerW *
+                        std::log(model.dieRadiusUm / (r + model.sourceSizeUm));
+  return std::llround(std::max(0.0, contribution) * kThermalQuantumPerK);
+}
+
+std::int64_t ThermalField::quantizedAt(double xUm, double yUm) const {
+  std::int64_t t = 0;
+  for (const HeatSource& s : sources_) {
+    t += quantizedContribution(s, xUm, yUm, model_);
+  }
+  return t;
+}
+
 std::vector<HeatSource> sourcesFromPlacement(const Placement& p,
                                              std::span<const double> powerW) {
   std::vector<HeatSource> sources;

@@ -18,6 +18,7 @@
 // when the radiators sit on the symmetry axis (tests assert this).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -38,12 +39,32 @@ struct ThermalModel {
   double sourceSizeUm = 3.0;  ///< regularization radius r0
 };
 
+/// Fixed-point temperature quantum of the thermal objective: temperatures
+/// are quantized to int64 micro-kelvin so the incremental cost layer can sum
+/// them exactly (int64 addition is order-independent; the incremental total
+/// equals a from-scratch total bit for bit — the cost/cost_model.h exactness
+/// contract).
+inline constexpr double kThermalQuantumPerK = 1e6;
+
+/// One radiator's temperature contribution at a point, quantized [µK].
+/// The double arithmetic mirrors ThermalField::temperatureAt exactly for a
+/// single source; the int64 rounding happens per (source, point) pair, which
+/// is what makes multi-source sums order-independent.
+std::int64_t quantizedContribution(const HeatSource& s, double xUm, double yUm,
+                                   const ThermalModel& model);
+
 class ThermalField {
  public:
   ThermalField(std::vector<HeatSource> sources, const ThermalModel& model = {});
 
   /// Temperature rise above ambient at a point [K].
   double temperatureAt(double xUm, double yUm) const;
+
+  /// Fixed-point temperature at a point [µK]: the sum of every source's
+  /// quantizedContribution.  This is the scratch oracle of the incremental
+  /// thermal objective — cost/cost_model.h computes the same per-source
+  /// int64 terms, so its committed aggregates EXPECT_EQ this value.
+  std::int64_t quantizedAt(double xUm, double yUm) const;
 
   const std::vector<HeatSource>& sources() const { return sources_; }
 

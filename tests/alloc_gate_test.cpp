@@ -86,17 +86,15 @@ namespace {
 
 class AllocGate : public ::testing::TestWithParam<EngineBackend> {};
 
-TEST_P(AllocGate, SteadyStateMoveLoopDoesNotAllocate) {
-#ifndef NDEBUG
-  GTEST_SKIP() << "debug asserts re-validate encodings (allocating); the "
-                  "gate targets Release builds";
-#endif
+/// Shared gate body: warm a scratch with a full-length run, then compare
+/// the allocation counts of a short and a long run from the same seed.
+/// The difference is exactly (allocations per move) x (extra moves) and
+/// the contract is zero — for whatever objective/move mix `opt` enables.
+void expectZeroAllocsPerMove(EngineBackend backend, EngineOptions opt) {
   const Circuit circuit = loadCorpusCircuit(CorpusCircuit::Ami33);
-  const EngineBackend backend = GetParam();
   const std::unique_ptr<PlacementEngine> engine = makeEngine(backend);
 
   PlaceScratch scratch;
-  EngineOptions opt;
   opt.seed = 1;
   opt.scratch = &scratch;
 
@@ -132,6 +130,27 @@ TEST_P(AllocGate, SteadyStateMoveLoopDoesNotAllocate) {
       << (static_cast<double>(longAllocs) - static_cast<double>(shortAllocs)) /
              static_cast<double>(extraMoves)
       << " times per move in steady state (" << extraMoves << " extra moves)";
+}
+
+TEST_P(AllocGate, SteadyStateMoveLoopDoesNotAllocate) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug asserts re-validate encodings (allocating); the "
+                  "gate targets Release builds";
+#endif
+  expectZeroAllocsPerMove(GetParam(), EngineOptions{});
+}
+
+TEST_P(AllocGate, ThermalAndShapeWorkloadsDoNotAllocate) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug asserts re-validate encodings (allocating); the "
+                  "gate targets Release builds";
+#endif
+  // Ami33's corpus text carries Power and Shape annotations, so both the
+  // incremental thermal-mismatch term and shape-selection moves are live.
+  EngineOptions opt;
+  opt.thermalWeight = 1.0;
+  opt.shapeMoveProb = 0.25;
+  expectZeroAllocsPerMove(GetParam(), opt);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, AllocGate,

@@ -20,6 +20,7 @@
 #include "seqpair/sym_placer.h"
 #include "seqpair/symmetry.h"
 #include "slicing/polish.h"
+#include "thermal/thermal.h"
 #include "util/rng.h"
 
 namespace als {
@@ -79,6 +80,7 @@ void exerciseProtocol(CostModel& model, State state, DecodeF&& decode,
       CostBreakdown fresh = model.evaluateBreakdown(*cur);
       EXPECT_EQ(model.committed().hpwl, fresh.hpwl);
       EXPECT_EQ(model.committed().area, fresh.area);
+      EXPECT_EQ(model.committed().thermalMismatch, fresh.thermalMismatch);
       EXPECT_EQ(model.committedCost(), fresh.cost);
     }
   }
@@ -176,6 +178,205 @@ TEST(CostModel, HBStarMovesIncrementalEqualsScratch) {
     };
     exerciseProtocol(model, HBState(c), decode, move, 800, 9);
   }
+}
+
+// ------------------------------------------------------------ thermal ----
+
+/// Test circuits with radiators: every third module dissipates, so the
+/// thermal term is live on all of them.
+std::vector<Circuit> thermalCircuits() {
+  std::vector<Circuit> out = testCircuits();
+  for (Circuit& c : out) {
+    for (std::size_t m = 0; m < c.moduleCount(); m += 3) {
+      c.module(m).powerW = 0.15 + 0.05 * static_cast<double>(m % 5);
+    }
+  }
+  return out;
+}
+
+/// The scratch thermal oracle straight from thermal/thermal.h — an
+/// independent reimplementation of the objective term: build a ThermalField
+/// from the circuit's Power annotations and sum the quantized pair
+/// mismatches.  The CostModel's committed aggregate must EXPECT_EQ this.
+Coord fieldThermalMismatch(const Circuit& c, const Placement& p) {
+  std::vector<double> power;
+  for (const Module& m : c.modules()) power.push_back(m.powerW);
+  ThermalField field(sourcesFromPlacement(p, power));
+  Coord total = 0;
+  for (const SymmetryGroup& g : c.symmetryGroups()) {
+    for (const SymPair& pr : g.pairs) {
+      Point a2 = p[pr.a].center2x();
+      Point b2 = p[pr.b].center2x();
+      std::int64_t ta = field.quantizedAt(static_cast<double>(a2.x) / 2000.0,
+                                          static_cast<double>(a2.y) / 2000.0);
+      std::int64_t tb = field.quantizedAt(static_cast<double>(b2.x) / 2000.0,
+                                          static_cast<double>(b2.y) / 2000.0);
+      total += std::abs(ta - tb);
+    }
+  }
+  return total;
+}
+
+TEST(CostModelThermal, MismatchMatchesThermalFieldOracle) {
+  for (const Circuit& c : thermalCircuits()) {
+    const std::size_t n = c.moduleCount();
+    CostModel model(c, makeObjective(c, {.wirelength = 0.25, .thermal = 2.0}));
+    std::vector<Coord> w, h;
+    moduleDims(c, std::vector<bool>(n, false), &w, &h);
+    Rng rng(61);
+    for (int t = 0; t < 20; ++t) {
+      Placement p = packBStar(BStarTree::random(n, rng), w, h);
+      EXPECT_EQ(model.thermalMismatch(p), fieldThermalMismatch(c, p));
+    }
+  }
+}
+
+TEST(CostModelThermal, IncrementalEqualsScratchUnderFlatMoves) {
+  for (const Circuit& c : thermalCircuits()) {
+    const std::size_t n = c.moduleCount();
+    CostModel model(c, makeObjective(c, {.wirelength = 0.25,
+                                         .symmetry = 2.0,
+                                         .proximity = 2.0,
+                                         .thermal = 2.0}));
+    struct FlatState {
+      BStarTree tree;
+      std::vector<bool> rotated;
+    };
+    auto decode = [&](const FlatState& s) -> std::optional<Placement> {
+      std::vector<Coord> w, h;
+      moduleDims(c, s.rotated, &w, &h);
+      return packBStar(s.tree, w, h);
+    };
+    auto move = [&](const FlatState& s, Rng& rng) {
+      FlatState next = s;
+      if (rng.uniform() < 0.15) {
+        std::size_t m = rng.index(n);
+        if (c.module(m).rotatable) next.rotated[m] = !next.rotated[m];
+      } else {
+        next.tree.perturb(rng);
+      }
+      return next;
+    };
+    exerciseProtocol(model, FlatState{BStarTree(n), std::vector<bool>(n, false)},
+                     decode, move, 1200, 13);
+  }
+}
+
+TEST(CostModelThermal, IncrementalEqualsScratchUnderSeqPairMoves) {
+  for (const Circuit& c : thermalCircuits()) {
+    const std::size_t n = c.moduleCount();
+    const auto groups = std::span<const SymmetryGroup>(c.symmetryGroups());
+    CostModel model(c, makeObjective(c, {.wirelength = 0.25,
+                                         .outline = 4.0,
+                                         .thermal = 1.5,
+                                         .maxWidth = 120 * kUm}));
+    std::vector<bool> rotatable(n);
+    for (std::size_t m = 0; m < n; ++m) rotatable[m] = c.module(m).rotatable;
+    SymmetricMoveSet moves(groups, rotatable, true);
+    SeqPairState init{SequencePair(n), std::vector<bool>(n, false)};
+    makeSymmetricFeasible(init.sp, groups);
+    auto decode = [&](const SeqPairState& s) -> std::optional<Placement> {
+      std::vector<Coord> w, h;
+      moduleDims(c, s.rotated, &w, &h);
+      auto built = buildSymmetricPlacement(s.sp, w, h, groups);
+      if (!built) return std::nullopt;
+      return std::move(built->placement);
+    };
+    auto move = [&](const SeqPairState& s, Rng& rng) {
+      SeqPairState next = s;
+      moves.apply(next, rng);
+      return next;
+    };
+    exerciseProtocol(model, init, decode, move, 800, 15);
+  }
+}
+
+// Shape-selection moves change a module's realized footprint between
+// proposes — the cost model only ever sees the decoded placement, so the
+// incremental thermal/hpwl/area aggregates must stay exact through
+// footprint swaps too (this is the alloc-free move seam the backends use).
+TEST(CostModelThermal, IncrementalEqualsScratchUnderShapeMoves) {
+  for (Circuit& c : thermalCircuits()) {
+    const std::size_t n = c.moduleCount();
+    for (std::size_t m = 0; m < n; m += 4) {
+      Module& mod = c.module(m);
+      mod.shapes = {{mod.w, mod.h},
+                    {mod.w + (mod.w + 1) / 2, (2 * mod.h + 2) / 3},
+                    {(2 * mod.w + 2) / 3, mod.h + (mod.h + 1) / 2}};
+    }
+    CostModel model(c, makeObjective(c, {.wirelength = 0.25,
+                                         .symmetry = 2.0,
+                                         .thermal = 2.0}));
+    struct ShapeState {
+      BStarTree tree;
+      std::vector<std::uint8_t> shapeIdx;
+    };
+    auto decode = [&](const ShapeState& s) -> std::optional<Placement> {
+      std::vector<Coord> w(n), h(n);
+      for (std::size_t m = 0; m < n; ++m) {
+        const Module& mod = c.module(m);
+        const ModuleShape& shape =
+            mod.shapes.empty() ? ModuleShape{mod.w, mod.h}
+                               : mod.shapes[s.shapeIdx[m]];
+        w[m] = shape.w;
+        h[m] = shape.h;
+      }
+      return packBStar(s.tree, w, h);
+    };
+    auto move = [&](const ShapeState& s, Rng& rng) {
+      ShapeState next = s;
+      if (rng.uniform() < 0.3) {
+        std::size_t m = rng.index(n);
+        if (!c.module(m).shapes.empty()) {
+          next.shapeIdx[m] = static_cast<std::uint8_t>(
+              rng.index(c.module(m).shapes.size()));
+        }
+      } else {
+        next.tree.perturb(rng);
+      }
+      return next;
+    };
+    exerciseProtocol(model,
+                     ShapeState{BStarTree(n), std::vector<std::uint8_t>(n, 0)},
+                     decode, move, 1200, 17);
+  }
+}
+
+// The paper's mirror argument, pinned exactly: pairs mirrored about an axis
+// with every radiator centered ON the axis see bit-identical quantized
+// temperatures, so the mismatch term is exactly zero.  Coordinates are
+// multiples of 1000 DBU (integer um), so the DBU->um conversion is exact in
+// double and mirrored distances match bit for bit; an off-axis radiator on
+// the same geometry must break the tie.
+TEST(CostModelThermal, MirroredGeometryHasExactlyZeroMismatch) {
+  Circuit c("mirror");
+  ModuleId a = c.addModule("A", 10 * kUm, 8 * kUm);
+  ModuleId b = c.addModule("B", 10 * kUm, 8 * kUm);
+  ModuleId r = c.addModule("R", 6 * kUm, 6 * kUm);
+  ModuleId s = c.addModule("S", 4 * kUm, 4 * kUm);
+  SymmetryGroup g;
+  g.name = "G";
+  g.pairs = {{a, b}};
+  c.addSymmetryGroup(std::move(g));
+  c.module(r).powerW = 0.5;
+  c.module(s).powerW = 0.25;
+
+  Placement p(c.moduleCount());
+  p[a] = {0, 0, 10 * kUm, 8 * kUm};          // centers at x = 5, 35 um:
+  p[b] = {30 * kUm, 0, 10 * kUm, 8 * kUm};   // mirror axis x = 20 um
+  p[r] = {17 * kUm, 10 * kUm, 6 * kUm, 6 * kUm};   // center x = 20 um: ON axis
+  p[s] = {18 * kUm, 20 * kUm, 4 * kUm, 4 * kUm};   // center x = 20 um: ON axis
+
+  CostModel model(c, makeObjective(c, {.wirelength = 0.25, .thermal = 1.0}));
+  EXPECT_EQ(model.thermalMismatch(p), 0);
+  EXPECT_EQ(fieldThermalMismatch(c, p), 0);
+  CostBreakdown bd = model.evaluateBreakdown(p);
+  EXPECT_EQ(bd.thermalMismatch, 0);
+
+  // Nudge one radiator off the axis: the pair must see a nonzero mismatch.
+  p[s] = {10 * kUm, 20 * kUm, 4 * kUm, 4 * kUm};
+  EXPECT_GT(model.thermalMismatch(p), 0);
+  EXPECT_EQ(model.thermalMismatch(p), fieldThermalMismatch(c, p));
 }
 
 // The hinted propose (moved-module list + attain-count bounding box) must

@@ -204,6 +204,8 @@ void expectCleanParse(std::string_view text, const char* what) {
 }
 
 TEST(ParserFuzz, EveryTruncationFailsCleanly) {
+  // Apte carries a Power section and Ami33 both Power and Shape, so every
+  // prefix of the optional annotation sections is exercised as well.
   for (CorpusCircuit which :
        {CorpusCircuit::Apte, CorpusCircuit::Xerox, CorpusCircuit::Ami33}) {
     std::string_view text = corpusText(which);
@@ -217,6 +219,7 @@ TEST(ParserFuzz, EveryTruncationFailsCleanly) {
 }
 
 TEST(ParserFuzz, ByteCorruptionsFailCleanly) {
+  // Hp carries Power and Shape annotations — flips land in those lines too.
   std::string_view base = corpusText(CorpusCircuit::Hp);
   Rng rng(211);
   for (int round = 0; round < 400; ++round) {
@@ -275,6 +278,20 @@ TEST(ParserFuzz, HostileCountsAndTokensFailCleanly) {
       "Leaf a a\nGroup g none - 2 0 0\nRoot 1\n",
       "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumHierNodes 2\n"
       "Leaf x a\nLeaf y a\nRoot 0\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\n"
+      "NumPower 99999999999999999999\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumPower 2\n"
+      "Power a 0.5\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumPower 1\n"
+      "Power a 1e309\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\n"
+      "NumShapes 99999999999999999999\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumShapes 1\n"
+      "Shape a 4294967295 1 1\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumShapes 1\n"
+      "Shape a 2 1 1\n",
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumShapes 1\n"
+      "Shape a 1 999999999999 1\n",
   };
   for (const char* text : hostile) {
     ParseResult r = parseBenchmark(text);
@@ -290,7 +307,8 @@ TEST(ParserFuzz, RandomTokenSoupFailsCleanly) {
                          "Leaf",      "Group",    "Root",      "1",
                          "0",         "-3",       "4e9",       "a",
                          "b",         "norotate", "none",      "symmetry",
-                         "#",         "common-centroid"};
+                         "#",         "common-centroid",       "NumPower",
+                         "Power",     "NumShapes", "Shape",    "0.5"};
   Rng rng(227);
   for (int round = 0; round < 300; ++round) {
     std::string text;

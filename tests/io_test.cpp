@@ -30,6 +30,10 @@ NumSymGroups 1
 SymGroup g 1 1
 SymPair a b
 SymSelf s
+NumPower 1
+Power a 0.5
+NumShapes 1
+Shape b 2 20 10 5 40
 )";
 
 TEST(BenchmarkParse, WellFormedFile) {
@@ -54,8 +58,41 @@ TEST(BenchmarkParse, WellFormedFile) {
   ASSERT_EQ(c.symmetryGroups().size(), 1u);
   EXPECT_EQ(c.symmetryGroup(0).pairs.size(), 1u);
   EXPECT_EQ(c.symmetryGroup(0).selfs, (std::vector<ModuleId>{2}));
+  // Power and Shape sections: `a` radiates, `b` carries two alternatives
+  // behind its declared footprint (shapes[0] is ALWAYS the footprint).
+  EXPECT_DOUBLE_EQ(c.module(0).powerW, 0.5);
+  EXPECT_DOUBLE_EQ(c.module(1).powerW, 0.0);
+  ASSERT_EQ(c.module(1).shapes.size(), 3u);
+  EXPECT_EQ(c.module(1).shapes[0], (ModuleShape{10, 20}));
+  EXPECT_EQ(c.module(1).shapes[1], (ModuleShape{20, 10}));
+  EXPECT_EQ(c.module(1).shapes[2], (ModuleShape{5, 40}));
+  // The soft block had no explicit Shape line, so the parser derived a
+  // discretized curve from its aspect range, anchored at the footprint.
+  ASSERT_GE(c.module(2).shapes.size(), 2u);
+  EXPECT_EQ(c.module(2).shapes[0], (ModuleShape{20, 20}));
   // The parser synthesized a canonical hierarchy.
   EXPECT_FALSE(c.hierarchy().empty());
+}
+
+TEST(BenchmarkParse, ExplicitShapeWinsOverSoftAutoCurve) {
+  ParseResult r = parseBenchmark(
+      "ALSBENCH 1\nCircuit c\nNumBlocks 1\nSoftBlock s 400 0.5 2.0\n"
+      "NumShapes 1\nShape s 1 10 40\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  // The explicit curve replaces the auto-derived one entirely.
+  ASSERT_EQ(r.circuit.module(0).shapes.size(), 2u);
+  EXPECT_EQ(r.circuit.module(0).shapes[0], (ModuleShape{20, 20}));
+  EXPECT_EQ(r.circuit.module(0).shapes[1], (ModuleShape{10, 40}));
+}
+
+TEST(BenchmarkParse, AbsentSectionsLeaveCanonicalDefaults) {
+  ParseResult r = parseBenchmark(
+      "ALSBENCH 1\nCircuit c\nNumBlocks 2\nBlock a 3 4\nBlock b 5 6\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  for (ModuleId m = 0; m < 2; ++m) {
+    EXPECT_DOUBLE_EQ(r.circuit.module(m).powerW, 0.0);
+    EXPECT_TRUE(r.circuit.module(m).shapes.empty());
+  }
 }
 
 TEST(BenchmarkParse, SoftBlockAspectClamping) {
@@ -97,6 +134,26 @@ TEST(BenchmarkParse, ErrorsCarryLineNumbers) {
        "aspect range"},
       {"ALSBENCH 1\nCircuit c\nNumBlocks 2\nBlock a 1 1\nBlock b 2 2\n"
        "NumSymGroups 1\nSymGroup g 1 0\nSymPair a b\n", "validation"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumPower 1\n"
+       "Power zz 0.5\n", "unknown block"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumPower 1\n"
+       "Power a 0\n", "power must be positive"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumPower 1\n"
+       "Power a nan\n", "bad number"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumPower 2\n"
+       "Power a 0.5\nPower a 0.25\n", "duplicate Power"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumPower 1\n"
+       "Power a 0.5 extra\n", "Power needs"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumShapes 1\n"
+       "Shape zz 1 2 2\n", "unknown block"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumShapes 1\n"
+       "Shape a 1 0 5\n", "bad dimension"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumShapes 1\n"
+       "Shape a 2 2 2\n", "declared count"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumShapes 1\n"
+       "Shape a 0\n", "bad shape count"},
+      {"ALSBENCH 1\nCircuit c\nNumBlocks 1\nBlock a 1 1\nNumShapes 2\n"
+       "Shape a 1 2 2\nShape a 1 3 3\n", "duplicate Shape"},
   };
   for (const Case& test : cases) {
     ParseResult r = parseBenchmark(test.text);
@@ -179,6 +236,8 @@ void expectStructurallyIdentical(const Circuit& a, const Circuit& b) {
     EXPECT_EQ(a.module(m).w, b.module(m).w) << m;
     EXPECT_EQ(a.module(m).h, b.module(m).h) << m;
     EXPECT_EQ(a.module(m).rotatable, b.module(m).rotatable) << m;
+    EXPECT_EQ(a.module(m).powerW, b.module(m).powerW) << m;
+    EXPECT_EQ(a.module(m).shapes, b.module(m).shapes) << m;
   }
   ASSERT_EQ(a.nets().size(), b.nets().size());
   for (std::size_t n = 0; n < a.nets().size(); ++n) {
@@ -230,6 +289,11 @@ void expectRoundTrip(const Circuit& original) {
   EngineOptions opt;
   opt.maxSweeps = 100;
   opt.seed = 5;
+  // Scenario knobs on: circuits without annotations behave identically (no
+  // radiators -> zero term, no curves -> no shape RNG draws), annotated
+  // ones must reproduce their annotations exactly to stay bit-identical.
+  opt.thermalWeight = 1.0;
+  opt.shapeMoveProb = 0.15;
   for (EngineBackend backend : allBackends()) {
     auto engine = makeEngine(backend);
     EngineResult a = engine->place(original, opt);
@@ -263,6 +327,41 @@ TEST(BenchmarkRoundTrip, SyntheticCircuits) {
     spec.symmetricFraction = 0.6;
     expectRoundTrip(makeSynthetic(spec));
   }
+}
+
+// Power and shape annotations survive the full round trip — including the
+// bit-identical placement leg, which now runs with the thermal objective
+// and shape moves enabled so the annotations are load-bearing.
+TEST(BenchmarkRoundTrip, PowerAndShapeAnnotations) {
+  Circuit c = makeMillerOpAmp();
+  c.module(3).powerW = 0.7;
+  c.module(7).powerW = 0.25;
+  Module& soft = c.module(8);
+  soft.shapes = {{soft.w, soft.h},
+                 {soft.w / 2, soft.h * 2},
+                 {soft.w * 2, (soft.h + 1) / 2}};
+  std::string why;
+  ASSERT_TRUE(c.validate(&why)) << why;
+  expectRoundTrip(c);
+
+  WriteResult written = writeBenchmark(c);
+  ASSERT_TRUE(written.ok()) << written.error;
+  EXPECT_NE(written.text.find("NumPower 2"), std::string::npos);
+  EXPECT_NE(written.text.find("NumShapes 1"), std::string::npos);
+}
+
+// Tampered annotations must not serialize: a shapes[0] that disagrees with
+// the declared footprint would silently change on reparse.
+TEST(BenchmarkWrite, RejectsFootprintShapeMismatch) {
+  Circuit c("c");
+  c.addModule("a", 10, 20);
+  c.module(0).shapes = {{11, 20}, {20, 10}};
+  EXPECT_FALSE(writeBenchmark(c).ok());
+
+  Circuit neg("c2");
+  neg.addModule("a", 10, 20);
+  neg.module(0).powerW = -1.0;
+  EXPECT_FALSE(writeBenchmark(neg).ok());
 }
 
 TEST(BenchmarkRoundTrip, CorpusCircuits) {

@@ -7,8 +7,16 @@
 // restarts) configuration gives bit-identical placements at any thread
 // count, which `--smoke` turns into a CI gate.
 //
+// The scenario workloads ride on the same stack: `--thermal` adds the
+// pair-mismatch objective term (needs Power annotations), `--shapes` enables
+// the shape-selection move (needs shape curves / soft blocks), and `--size`
+// runs the layout-aware Miller sizing flow with every candidate placed in
+// parallel through the batch placer.
+//
 //   als_place --circuit apte --backend race --sweeps 1024 --restarts 16
 //   als_place my_design.alsbench --backend seqpair --json out.json
+//   als_place --circuit ami33 --thermal 1.0 --shapes 0.2
+//   als_place --size --backend seqpair --sweeps 256
 //   als_place --smoke --json smoke.json       # CI: corpus x backends gate
 #include <cerrno>
 #include <cstdio>
@@ -20,6 +28,7 @@
 #include "engine/placement_engine.h"
 #include "io/benchmark_format.h"
 #include "io/corpus.h"
+#include "layoutaware/placed_sizing.h"
 #include "netlist/circuit.h"
 #include "runtime/portfolio.h"
 #include "runtime/thread_pool.h"
@@ -53,6 +62,15 @@ int usage(const char* argv0) {
                "                     (default 2.0)\n"
                "  --prox <w>         proximity-violation weight, penalty backends\n"
                "                     (default 2.0)\n"
+               "  --thermal <w>      thermal pair-mismatch weight (default 0; needs\n"
+               "                     Power annotations to bite)\n"
+               "  --shapes <p>       shape-selection move probability in [0,1]\n"
+               "                     (default 0; needs shape curves / soft blocks)\n"
+               "\n"
+               "scenario\n"
+               "  --size             layout-aware Miller sizing: size seed-scheduled\n"
+               "                     candidates, place them in parallel (with the\n"
+               "                     thermal/shape workloads), report the winner\n"
                "\n"
                "output\n"
                "  --art              ASCII rendering of each placement\n"
@@ -122,8 +140,67 @@ bool writePlacementFile(const std::string& path, const Circuit& c,
   return std::fclose(f) == 0;
 }
 
+/// Spec set of the --size scenario: relaxed to what the two-stage Miller
+/// topology can actually meet, so the flow demonstrates a passing run.
+OtaSpecs millerSpecs() {
+  OtaSpecs specs;
+  specs.minGainDb = 70.0;
+  specs.minGbwHz = 15e6;
+  specs.minPmDeg = 55.0;
+  specs.minSrVps = 10e6;
+  return specs;
+}
+
+/// The --size scenario: layout-aware Miller sizing re-hosted on the runtime
+/// layer (layoutaware/placed_sizing.h) — candidates sized on the portfolio
+/// seed schedule, annotated, placed in parallel, one winner reduced out.
+int runSize(BenchIo& io, EngineBackend backend, const EngineOptions& opt) {
+  Technology tech = Technology::c035();
+  PlacedSizingOptions popt;
+  popt.sizing.layoutAware = true;
+  popt.sizing.seed = opt.seed;
+  popt.numCandidates = 4;
+  popt.backend = backend;
+  popt.placement = opt;
+  PlacedSizingResult flow = runMillerPlacedSizing(tech, millerSpecs(), popt);
+
+  const std::size_t threads = ThreadPool::resolveThreadCount(opt.numThreads);
+  std::printf("als_place --size: %zu Miller candidates, backend=%s, "
+              "sweeps=%zu, restarts=%zu, threads=%zu, thermal=%g, shapes=%g\n\n",
+              flow.candidates.size(),
+              std::string(backendName(backend)).c_str(), opt.maxSweeps,
+              opt.numRestarts, threads, opt.thermalWeight, opt.shapeMoveProb);
+  Table table({"candidate", "specs", "violation", "gain (dB)", "GBW (MHz)",
+               "area (um^2)", "cost"});
+  int failures = 0;
+  for (std::size_t i = 0; i < flow.candidates.size(); ++i) {
+    const PlacedSizingCandidate& cand = flow.candidates[i];
+    if (!cand.placement.placement.isLegal()) {
+      std::fprintf(stderr, "als_place: --size candidate %zu placed "
+                           "ILLEGALLY\n", i);
+      ++failures;
+    }
+    std::string tag = "miller#" + std::to_string(i);
+    table.addRow({tag + (i == flow.bestIndex ? " *" : ""),
+                  cand.sizing.meetsSpecsExtracted ? "met" : "not met",
+                  Table::fmt(cand.sizing.violationExtracted, 3),
+                  Table::fmt(cand.sizing.perfExtracted.gainDb, 1),
+                  Table::fmt(cand.sizing.perfExtracted.gbwHz / 1e6, 1),
+                  Table::fmt(static_cast<double>(cand.placement.area) * 1e-6),
+                  Table::fmt(cand.placement.cost)});
+    io.add(std::string(backendName(backend)) + "+size", tag, cand.placement,
+           threads, &popt.placement);
+  }
+  table.print(std::cout);
+  std::printf("\nwinner: candidate %zu (* above) in %.1fs total\n",
+              flow.bestIndex, flow.seconds);
+  return failures == 0 ? 0 : 1;
+}
+
 /// The CI gate behind --smoke: every corpus circuit, all four backends,
-/// bit-identical across two runs and across 1 vs 8 threads.
+/// bit-identical across two runs and across 1 vs 8 threads — then the same
+/// bar with the scenario workloads (thermal objective, shape moves, the
+/// --size flow) switched on.
 int runSmoke(BenchIo& io) {
   EngineOptions opt;
   opt.maxSweeps = 96;
@@ -170,9 +247,80 @@ int runSmoke(BenchIo& io) {
              &opt);
     }
   }
+  // Scenario leg: the same determinism bar with the thermal objective and
+  // shape-selection moves enabled.  apte and ami33 carry Power annotations
+  // and ami33 shape curves, so both new code paths actually execute.
+  EngineOptions sopt = opt;
+  sopt.thermalWeight = 1.0;
+  sopt.shapeMoveProb = 0.2;
+  for (CorpusCircuit which : {CorpusCircuit::Apte, CorpusCircuit::Ami33}) {
+    Circuit c = loadCorpusCircuit(which);
+    for (EngineBackend backend : allBackends()) {
+      sopt.numThreads = 1;
+      EngineResult serial = runner.run(c, backend, sopt);
+      sopt.numThreads = 8;
+      EngineResult parallel = runner.run(c, backend, sopt);
+      bool deterministic = identicalResults(serial, parallel);
+      bool legal = parallel.placement.isLegal();
+      if (!deterministic || !legal) {
+        std::fprintf(stderr, "als_place: %s/%s with thermal+shapes %s\n",
+                     corpusName(which),
+                     std::string(backendName(backend)).c_str(),
+                     deterministic ? "produced an illegal placement"
+                                   : "is NOT deterministic across threads");
+        ++failures;
+      }
+      table.addRow({std::string(corpusName(which)) + "+tsh",
+                    std::to_string(c.moduleCount()),
+                    std::string(backendName(backend)),
+                    Table::fmt(static_cast<double>(parallel.area) /
+                               static_cast<double>(c.totalModuleArea())),
+                    Table::fmt(static_cast<double>(parallel.hpwl) / 1000.0, 1),
+                    deterministic && legal ? "yes" : "NO"});
+      io.add(std::string(backendName(backend)) + "+thermal", corpusName(which),
+             parallel, 8, &sopt);
+    }
+  }
+
+  // --size flow leg: the whole sizing-on-portfolio pipeline must reduce to
+  // a bit-identical winner at 1 vs 8 placement threads.
+  {
+    Technology tech = Technology::c035();
+    PlacedSizingOptions popt;
+    popt.sizing.layoutAware = true;
+    popt.sizing.seed = 1;
+    popt.numCandidates = 3;
+    popt.placement = opt;
+    popt.placement.thermalWeight = 1.0;
+    popt.placement.shapeMoveProb = 0.2;
+    popt.placement.numThreads = 1;
+    PlacedSizingResult serial = runMillerPlacedSizing(tech, millerSpecs(), popt);
+    popt.placement.numThreads = 8;
+    PlacedSizingResult parallel =
+        runMillerPlacedSizing(tech, millerSpecs(), popt);
+    bool deterministic = serial.bestIndex == parallel.bestIndex;
+    for (std::size_t i = 0; i < serial.candidates.size(); ++i) {
+      deterministic = deterministic &&
+                      identicalResults(serial.candidates[i].placement,
+                                       parallel.candidates[i].placement);
+    }
+    if (!deterministic) {
+      std::fprintf(stderr, "als_place: --size flow is NOT deterministic "
+                           "across placement thread counts\n");
+      ++failures;
+    }
+    const PlacedSizingCandidate& best = parallel.best();
+    table.addRow({"miller --size", std::to_string(best.circuit.moduleCount()),
+                  std::string(backendName(popt.backend)),
+                  Table::fmt(static_cast<double>(best.placement.area) /
+                             static_cast<double>(best.circuit.totalModuleArea())),
+                  Table::fmt(static_cast<double>(best.placement.hpwl) / 1000.0, 1),
+                  deterministic ? "yes" : "NO"});
+  }
+
   table.print(std::cout);
-  std::printf("\nsmoke gate: %s (each row: 2 runs at 8 threads + 1 run at 1 "
-              "thread, bit-compared)\n",
+  std::printf("\nsmoke gate: %s (every row bit-compared across runs and "
+              "1 vs 8 threads; scenario legs run thermal + shape workloads)\n",
               failures == 0 ? "PASS" : "FAIL");
   return failures == 0 ? 0 : 1;
 }
@@ -190,7 +338,7 @@ int main(int argc, char** argv) {
   opt.numRestarts = 8;
   opt.numThreads = 0;
   opt.seed = 1;
-  bool art = false, smoke = false;
+  bool art = false, smoke = false, size = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -247,6 +395,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--prox") {
       const char* v = value();
       if (!v || !parseWeight(v, &opt.proximityWeight)) return usage(argv[0]);
+    } else if (arg == "--thermal") {
+      const char* v = value();
+      if (!v || !parseWeight(v, &opt.thermalWeight)) return usage(argv[0]);
+    } else if (arg == "--shapes") {
+      const char* v = value();
+      // A probability, not a weight: anything above 1 silently means "every
+      // move is a shape move", which is never what a typo intended.
+      if (!v || !parseWeight(v, &opt.shapeMoveProb) || opt.shapeMoveProb > 1.0) {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--size") {
+      size = true;
     } else if (arg == "--circuit") {
       const char* v = value();
       if (!v) return usage(argv[0]);
@@ -278,7 +438,6 @@ int main(int argc, char** argv) {
   }
 
   if (smoke) return runSmoke(io);
-  if (inputs.empty()) return usage(argv[0]);
 
   bool race = backendArg == "race";
   EngineBackend backend = EngineBackend::SeqPair;
@@ -296,6 +455,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // --size is a scenario, not a per-file placement: candidates come from the
+  // sizing loop (racing backends per candidate would multiply the grid, so
+  // the race default falls back to the symmetric-exact seqpair backend).
+  if (size) return runSize(io, backend, opt);
+  if (inputs.empty()) return usage(argv[0]);
 
   const std::size_t threads = ThreadPool::resolveThreadCount(opt.numThreads);
   std::printf("als_place: %zu circuit(s), backend=%s, sweeps=%zu, "

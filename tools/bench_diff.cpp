@@ -1,0 +1,304 @@
+// bench_diff — throughput-regression gate over bench_json record files
+// (ROADMAP item 5 seed).
+//
+// Compares a committed baseline (BENCH_baseline.json at the repo root)
+// against freshly captured --smoke records and fails when any
+// backend x circuit pair lost more than --tol percent of its throughput.
+// Throughput is sweeps/seconds of the aggregated records of a pair: the
+// bench_decode rows carry decode/move counts in `sweeps`, the als_place
+// smoke rows carry SA sweep counts — both divide by their wall clock into
+// an operations-per-second rate.  Pairs without timing (seconds or sweeps
+// of 0, e.g. a pure determinism row) are compared for presence only, so
+// the gate also catches silently dropped coverage.
+//
+//   bench_diff BENCH_baseline.json current.json [more.json ...] [--tol 15]
+//   bench_diff --merge BENCH_baseline.json decode.json place.json
+//
+// The parser reads exactly the flat {"key": value} record arrays
+// util/bench_json.cpp writes; it is not a general JSON reader.
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct FlatRecord {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+};
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  void skipWs() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+  bool expect(char c) {
+    skipWs();
+    if (pos >= text.size() || text[pos] != c) {
+      error = "expected '" + std::string(1, c) + "' at offset " + std::to_string(pos);
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+  bool peek(char c) {
+    skipWs();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool parseString(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        // bench_json only escapes ", \, \n, \t and control bytes; \uXXXX is
+        // passed through verbatim (keys never contain it).
+        char e = text[pos++];
+        switch (e) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: out->push_back(e);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return expect('"');
+  }
+  bool parseNumber(double* out) {
+    skipWs();
+    const char* start = text.data() + pos;
+    char* end = nullptr;
+    errno = 0;
+    double v = std::strtod(start, &end);
+    if (end == start || errno == ERANGE) {
+      error = "bad number at offset " + std::to_string(pos);
+      return false;
+    }
+    pos += static_cast<std::size_t>(end - start);
+    *out = v;
+    return true;
+  }
+  bool parseRecord(FlatRecord* out) {
+    if (!expect('{')) return false;
+    if (peek('}')) return expect('}');
+    while (true) {
+      std::string key;
+      if (!parseString(&key) || !expect(':')) return false;
+      skipWs();
+      if (peek('"')) {
+        std::string v;
+        if (!parseString(&v)) return false;
+        out->strings[key] = std::move(v);
+      } else {
+        double v = 0.0;
+        if (!parseNumber(&v)) return false;
+        out->numbers[key] = v;
+      }
+      if (peek(',')) {
+        if (!expect(',')) return false;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+  bool parseArray(std::vector<FlatRecord>* out) {
+    if (!expect('[')) return false;
+    if (peek(']')) return expect(']');
+    while (true) {
+      FlatRecord r;
+      if (!parseRecord(&r)) return false;
+      out->push_back(std::move(r));
+      if (peek(',')) {
+        if (!expect(',')) return false;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+};
+
+bool loadRecords(const char* path, std::vector<FlatRecord>* out,
+                 std::string* raw = nullptr) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_diff: cannot open '%s'\n", path);
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  Parser p{text, 0, {}};
+  if (!p.parseArray(out)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path, p.error.c_str());
+    return false;
+  }
+  if (raw != nullptr) *raw = std::move(text);
+  return true;
+}
+
+/// Aggregate of one backend x circuit pair: total operations (the records'
+/// `sweeps`) over total wall clock.  Summing first keeps the merge of
+/// bench_decode and als_place rows for the same pair well-defined.
+struct PairStats {
+  double ops = 0.0;
+  double seconds = 0.0;
+  std::size_t records = 0;
+
+  bool timed() const { return ops > 0.0 && seconds > 0.0; }
+  double opsPerSec() const { return timed() ? ops / seconds : 0.0; }
+};
+
+std::map<std::string, PairStats> aggregate(const std::vector<FlatRecord>& recs) {
+  std::map<std::string, PairStats> out;
+  for (const FlatRecord& r : recs) {
+    auto backend = r.strings.find("backend");
+    auto circuit = r.strings.find("circuit");
+    if (backend == r.strings.end() || circuit == r.strings.end()) continue;
+    PairStats& s = out[backend->second + " x " + circuit->second];
+    auto num = [&](const char* key) {
+      auto it = r.numbers.find(key);
+      return it == r.numbers.end() ? 0.0 : it->second;
+    };
+    s.ops += num("sweeps");
+    s.seconds += num("seconds");
+    ++s.records;
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <baseline.json> <current.json> [more.json ...] "
+               "[--tol <pct>] [--min-seconds <s>]\n"
+               "       bench_diff --merge <out.json> <in.json> [more.json ...]\n"
+               "pairs whose aggregated wall clock is under --min-seconds (default "
+               "0.05) on either side are compared for presence only: a rate "
+               "measured over a few milliseconds is timer noise, not signal\n");
+  return 2;
+}
+
+/// --merge: concatenate record arrays verbatim into one file (how
+/// BENCH_baseline.json is captured from the per-tool --json outputs).
+int merge(int argc, char** argv) {
+  if (argc < 4) return usage();
+  std::vector<FlatRecord> all;
+  std::vector<std::string> raws;
+  for (int i = 3; i < argc; ++i) {
+    std::vector<FlatRecord> recs;
+    std::string raw;
+    if (!loadRecords(argv[i], &recs, &raw)) return 2;
+    raws.push_back(std::move(raw));
+    for (auto& r : recs) all.push_back(std::move(r));
+  }
+  std::string out = "[\n";
+  bool first = true;
+  for (const std::string& raw : raws) {
+    // Re-emit each input's record lines between its outermost brackets; the
+    // writer's one-record-per-line format makes this splice exact.
+    std::size_t lo = raw.find('['), hi = raw.rfind(']');
+    if (lo == std::string::npos || hi == std::string::npos || hi <= lo) continue;
+    std::string body = raw.substr(lo + 1, hi - lo - 1);
+    std::size_t a = body.find_first_not_of(" \t\n");
+    std::size_t b = body.find_last_not_of(" \t\n");
+    if (a == std::string::npos) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "  " + body.substr(a, b - a + 1);
+  }
+  out += "\n]\n";
+  std::FILE* f = std::fopen(argv[2], "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_diff: cannot open '%s' for writing\n", argv[2]);
+    return 2;
+  }
+  bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return 2;
+  std::printf("bench_diff: merged %zu record(s) into %s\n", all.size(), argv[2]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--merge") == 0) return merge(argc, argv);
+
+  double tolPct = 15.0;
+  double minSeconds = 0.05;
+  const char* baselinePath = nullptr;
+  std::vector<const char*> currentPaths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tol") == 0) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      tolPct = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || !(tolPct >= 0.0) || tolPct >= 100.0) {
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--min-seconds") == 0) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      minSeconds = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || !(minSeconds >= 0.0)) {
+        return usage();
+      }
+    } else if (baselinePath == nullptr) {
+      baselinePath = argv[i];
+    } else {
+      currentPaths.push_back(argv[i]);
+    }
+  }
+  if (baselinePath == nullptr || currentPaths.empty()) return usage();
+
+  std::vector<FlatRecord> baseRecs, currRecs;
+  if (!loadRecords(baselinePath, &baseRecs)) return 2;
+  for (const char* path : currentPaths) {
+    if (!loadRecords(path, &currRecs)) return 2;
+  }
+  std::map<std::string, PairStats> base = aggregate(baseRecs);
+  std::map<std::string, PairStats> curr = aggregate(currRecs);
+
+  int failures = 0;
+  std::size_t compared = 0, presenceOnly = 0;
+  for (const auto& [key, b] : base) {
+    auto it = curr.find(key);
+    if (it == curr.end()) {
+      std::fprintf(stderr, "bench_diff: FAIL %s: present in baseline, missing "
+                           "from current run (coverage regression)\n",
+                   key.c_str());
+      ++failures;
+      continue;
+    }
+    const PairStats& c = it->second;
+    if (!b.timed() || !c.timed() || b.seconds < minSeconds ||
+        c.seconds < minSeconds) {
+      ++presenceOnly;
+      continue;
+    }
+    ++compared;
+    double floor = b.opsPerSec() * (1.0 - tolPct / 100.0);
+    if (c.opsPerSec() < floor) {
+      std::fprintf(stderr,
+                   "bench_diff: FAIL %s: %.0f ops/s vs baseline %.0f ops/s "
+                   "(-%.1f%%, tolerance %.0f%%)\n",
+                   key.c_str(), c.opsPerSec(), b.opsPerSec(),
+                   100.0 * (1.0 - c.opsPerSec() / b.opsPerSec()), tolPct);
+      ++failures;
+    }
+  }
+  std::printf("bench_diff: %zu pair(s) compared at %.0f%% tolerance, %zu "
+              "presence-only, %d failure(s)\n",
+              compared, tolPct, presenceOnly, failures);
+  return failures == 0 ? 0 : 1;
+}
