@@ -85,6 +85,87 @@ void BM_BStarContourPack(benchmark::State& state) {
 }
 BENCHMARK(BM_BStarContourPack)->RangeMultiplier(2)->Range(16, 512);
 
+// --- incremental decode kernels: the per-move cost under the SA move mix --
+//
+// These drive the same kernels the placers' hot loops use: each iteration
+// applies one SA-style perturbation and re-decodes through the journaled
+// partial/incremental path on a warm scratch.  Compare against the full-pack
+// benchmarks above at the same n — the gap is what suffix-only re-decode
+// buys per move (bench_decode --scaling reports the same contrast end to
+// end, with cost evaluation and accept/reject included).
+
+void BM_BStarPartialRepack(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Circuit c = circuitOf(n);
+  std::vector<Coord> w, h;
+  for (const Module& m : c.modules()) {
+    w.push_back(m.w);
+    h.push_back(m.h);
+  }
+  Rng rng(3);
+  BStarTree t = BStarTree::random(n, rng);
+  BStarPackScratch scratch;
+  Placement out;
+  packBStarPartialInto(t, w, h, scratch, out);  // cold pack seeds the record
+  for (auto _ : state) {
+    t.perturb(rng);
+    benchmark::DoNotOptimize(packBStarPartialInto(t, w, h, scratch, out));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BStarPartialRepack)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+void incrementalPackBenchmark(benchmark::State& state, PackStrategy strategy) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Circuit c = circuitOf(n);
+  std::vector<Coord> w, h;
+  for (const Module& m : c.modules()) {
+    w.push_back(m.w);
+    h.push_back(m.h);
+  }
+  Rng rng(1);
+  SequencePair sp = SequencePair::random(n, rng);
+  SeqPairPackScratch scratch;
+  Placement out;
+  std::vector<std::size_t> moved;
+  packSequencePairIncrementalInto(sp, w, h, strategy, scratch, out, moved);
+  for (auto _ : state) {
+    // The placer's structural move: swap two positions in one sequence.
+    std::size_t i = rng.index(n), j = rng.index(n);
+    if (rng.index(2) == 0) {
+      sp.swapAlphaAt(i, j);
+    } else {
+      sp.swapBetaAt(i, j);
+    }
+    moved.clear();
+    packSequencePairIncrementalInto(sp, w, h, strategy, scratch, out, moved);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+void BM_SeqPairPackIncrementalNaive(benchmark::State& state) {
+  incrementalPackBenchmark(state, PackStrategy::Naive);
+}
+void BM_SeqPairPackIncrementalFenwick(benchmark::State& state) {
+  incrementalPackBenchmark(state, PackStrategy::Fenwick);
+}
+void BM_SeqPairPackIncrementalVeb(benchmark::State& state) {
+  incrementalPackBenchmark(state, PackStrategy::Veb);
+}
+BENCHMARK(BM_SeqPairPackIncrementalNaive)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+BENCHMARK(BM_SeqPairPackIncrementalFenwick)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+BENCHMARK(BM_SeqPairPackIncrementalVeb)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+
 // --- cost-kernel benchmarks: scratch vs incremental evaluation -------------
 //
 // Same circuit, same objective (the flat penalty placer's full mix: area +

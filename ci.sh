@@ -65,6 +65,18 @@ if [ -x build/bench_kernels ]; then
     --benchmark_out_format=json > build/bench-smoke/bench_kernels.out
 fi
 
+echo "=== bench_decode --scaling: partial/incremental vs full re-decode ==="
+# The asymptotics gate: re-runs flat-bstar and seqpair on every corpus
+# circuit up to n300 with the suffix-only decode paths OFF and ON, verifies
+# the two trajectories are bit-identical (any divergence exits nonzero),
+# cross-checks all three LCS strategies against the incremental run, and
+# records moves/sec rows per (path, circuit) for bench_diff.
+for rep in "" .r2 .r3; do
+  ./build/bench_decode --scaling --smoke \
+    --json "build/bench-smoke/bench_decode_scaling$rep.json" \
+    > "build/bench-smoke/bench_decode_scaling$rep.out"
+done
+
 echo "=== als_place smoke: corpus x backends determinism gate ==="
 # Places every embedded corpus circuit on all four backends, twice and at
 # 1 vs 8 threads — plus the scenario legs (thermal objective + shape moves,
@@ -83,6 +95,8 @@ echo "=== bench_diff: throughput vs committed BENCH_baseline.json ==="
 # baseline on intentional perf changes or hardware moves with:
 #   ./build/bench_diff --merge BENCH_baseline.json \
 #     build/bench-smoke/bench_decode*.json build/bench-smoke/als_place*.json
+# (the glob picks up the bench_decode_scaling captures too, so the
+# full-vs-partial decode rows stay covered)
 for rep in 2 3; do
   ./build/bench_decode --smoke --json "build/bench-smoke/bench_decode.r$rep.json" \
     > /dev/null
@@ -92,6 +106,9 @@ done
 ./build/bench_diff --tol "${BENCH_DIFF_TOL:-40}" BENCH_baseline.json \
   build/bench-smoke/bench_decode.json build/bench-smoke/bench_decode.r2.json \
   build/bench-smoke/bench_decode.r3.json \
+  build/bench-smoke/bench_decode_scaling.json \
+  build/bench-smoke/bench_decode_scaling.r2.json \
+  build/bench-smoke/bench_decode_scaling.r3.json \
   build/bench-smoke/als_place.json build/bench-smoke/als_place.r2.json \
   build/bench-smoke/als_place.r3.json
 

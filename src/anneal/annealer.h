@@ -156,11 +156,34 @@ struct ScratchEval {
   void reject() {}
 };
 
+/// A decoder (any callable with extra members) can opt in to the hinted
+/// `model.propose(p, moved)` fast path by exposing two members:
+///
+///   movedModules()  ids of the modules whose rects may differ from the
+///                   model's COMMITTED placement — a superset is fine
+///                   (duplicates and unmoved entries are allowed, missing
+///                   moved modules are not).  Decoders accumulate this
+///                   across rejected moves: each decode appends what it
+///                   touched relative to its own previous decode, which by
+///                   the triangle property covers the committed diff.
+///   committed()     notification that the model's committed state caught
+///                   up with the decoder's LAST SUCCESSFUL decode (a full
+///                   re-seed or an accepted feasible move) — the moved
+///                   accumulator restarts from empty.
+///
+/// When the model invalidates (infeasible accept), no notification fires:
+/// the model is unseeded, hinted propose falls back to a full evaluation
+/// until the next commit re-seeds it — at which point committed() fires
+/// and the accumulator resets.
 template <class Model, class DecodeF>
 struct IncrementalEval {
   Model& model;
   DecodeF& decode;
   bool pendingInfeasible = false;
+
+  void notifyCommitted() {
+    if constexpr (requires { decode.committed(); }) decode.committed();
+  }
 
   template <class State> double full(const State& s) {
     auto placed = decode(s);
@@ -168,13 +191,22 @@ struct IncrementalEval {
       model.invalidate();
       return model.infeasibleCost();
     }
-    return model.reset(*placed);
+    double c = model.reset(*placed);
+    notifyCommitted();
+    return c;
   }
   template <class State> double propose(const State& s) {
     auto placed = decode(s);
     pendingInfeasible = !placed;
     if (!placed) return model.infeasibleCost();
-    return model.propose(*placed);
+    if constexpr (requires {
+                    model.propose(*placed, decode.movedModules());
+                    decode.committed();
+                  }) {
+      return model.propose(*placed, decode.movedModules());
+    } else {
+      return model.propose(*placed);
+    }
   }
   template <class State> void rebase(const State& s) { full(s); }
   void accept() {
@@ -182,6 +214,7 @@ struct IncrementalEval {
       model.invalidate();
     } else {
       model.commit();
+      notifyCommitted();
     }
   }
   void reject() {

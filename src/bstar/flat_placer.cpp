@@ -18,6 +18,60 @@ struct FlatState {
   std::vector<std::uint8_t> shapeIdx;  ///< index into Module::shapes (0 = footprint)
 };
 
+/// Decode = dims + pack, entirely into the scratch buffers; the returned
+/// pointer aliases scr.placement, which the cost model diff-copies from.
+/// With partial decode on, only the changed B*-tree suffix re-packs, and
+/// the suffix's items feed the moved-module accumulator that opts the run
+/// into the hinted CostModel::propose(p, moved) fast path (see
+/// anneal/annealer.h for the movedModules()/committed() contract).
+struct FlatDecoder {
+  const Circuit& circuit;
+  FlatBStarScratch& scr;
+  std::size_t n;
+  bool partial;
+
+  void markMoved(ModuleId m) {
+    if (scr.movedMark[m] != scr.movedEpoch) {
+      scr.movedMark[m] = scr.movedEpoch;
+      scr.movedList.push_back(m);
+    }
+  }
+
+  const Placement* operator()(const FlatState& s) {
+    scr.w.resize(n);
+    scr.h.resize(n);
+    for (std::size_t m = 0; m < n; ++m) {
+      const Module& mod = circuit.module(m);
+      Coord bw = mod.w, bh = mod.h;
+      if (std::uint8_t si = s.shapeIdx[m]; si != 0) {
+        bw = mod.shapes[si].w;
+        bh = mod.shapes[si].h;
+      }
+      scr.w[m] = s.rotated[m] ? bh : bw;
+      scr.h[m] = s.rotated[m] ? bw : bh;
+    }
+    if (!partial) {
+      // Full-redecode path: every module may have moved.
+      packBStarInto(s.tree, scr.w, scr.h, scr.pack, scr.placement);
+      for (ModuleId m = 0; m < n; ++m) markMoved(m);
+      return &scr.placement;
+    }
+    std::size_t k = packBStarPartialInto(s.tree, scr.w, scr.h, scr.pack,
+                                         scr.placement);
+    for (std::size_t p = k; p < n; ++p) markMoved(scr.pack.repack.item[p]);
+    return &scr.placement;
+  }
+
+  std::span<const ModuleId> movedModules() const { return scr.movedList; }
+  void committed() {
+    scr.movedList.clear();
+    if (++scr.movedEpoch == 0) {  // epoch wrap: restamp instead of aliasing
+      scr.movedMark.assign(scr.movedMark.size(), 0);
+      scr.movedEpoch = 1;
+    }
+  }
+};
+
 }  // namespace
 
 FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
@@ -41,25 +95,11 @@ FlatBStarResult placeFlatBStarSA(const Circuit& circuit,
 
   FlatBStarScratch localScratch;
   FlatBStarScratch& scr = options.scratch ? *options.scratch : localScratch;
+  scr.movedList.clear();
+  scr.movedMark.assign(n, 0);
+  scr.movedEpoch = 1;
 
-  // Decode = dims + pack, entirely into the scratch buffers; the returned
-  // pointer aliases scr.placement, which the cost model diff-copies from.
-  auto decode = [&](const FlatState& s) -> const Placement* {
-    scr.w.resize(n);
-    scr.h.resize(n);
-    for (std::size_t m = 0; m < n; ++m) {
-      const Module& mod = circuit.module(m);
-      Coord bw = mod.w, bh = mod.h;
-      if (std::uint8_t si = s.shapeIdx[m]; si != 0) {
-        bw = mod.shapes[si].w;
-        bh = mod.shapes[si].h;
-      }
-      scr.w[m] = s.rotated[m] ? bh : bw;
-      scr.h[m] = s.rotated[m] ? bw : bh;
-    }
-    packBStarInto(s.tree, scr.w, scr.h, scr.pack, scr.placement);
-    return &scr.placement;
-  };
+  FlatDecoder decode{circuit, scr, n, options.partialDecode};
 
   // In-place move style (anneal/annealer.h): `s` already holds a copy of
   // the current state; same RNG draws as the historical copying move.

@@ -1,6 +1,7 @@
 #include "bstar/hbstar.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <utility>
 
@@ -9,6 +10,18 @@
 #include "cost/cost_model.h"
 
 namespace als {
+
+namespace {
+
+/// Process-global encoding-version source.  Starting at 1 keeps 0 free as
+/// the "never packed" sentinel of HBPackScratch::NodeBuf.
+std::atomic<std::uint64_t> gHBStamp{1};
+
+std::uint64_t nextStamp() {
+  return gHBStamp.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 void HBPackScratch::bind(const Circuit& circuit) {
   const HierTree& h = circuit.hierarchy();
@@ -67,6 +80,14 @@ HBState::HBState(const Circuit& circuit) : circuit_(&circuit) {
   islands_.resize(h.nodeCount());
   rotated_.assign(circuit.moduleCount(), false);
   shapeIdx_.assign(circuit.moduleCount(), 0);
+  // Fresh stamps per node: a new state never aliases a scratch's cache.
+  stamp_.resize(h.nodeCount());
+  for (std::uint64_t& s : stamp_) s = nextStamp();
+  leafNodeOf_.assign(circuit.moduleCount(), static_cast<HierNodeId>(-1));
+  for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
+    const HierNode& nd = h.node(id);
+    if (nd.isLeaf() && nd.module) leafNodeOf_[*nd.module] = id;
+  }
 
   for (HierNodeId id = 0; id < h.nodeCount(); ++id) {
     const HierNode& node = h.node(id);
@@ -142,12 +163,14 @@ void HBState::perturb(Rng& rng) {
     ModuleId m = freeShapy_[rng.index(freeShapy_.size())];
     shapeIdx_[m] = static_cast<std::uint8_t>(
         rng.index(circuit_->module(m).shapes.size()));
+    stamp_[leafNodeOf_[m]] = nextStamp();
     return;
   }
   bool rotate = !freeRotatable_.empty() && rng.uniform() < 0.15;
   if (rotate) {
     ModuleId m = freeRotatable_[rng.index(freeRotatable_.size())];
     rotated_[m] = !rotated_[m];
+    stamp_[leafNodeOf_[m]] = nextStamp();
     return;
   }
   if (perturbable_.empty()) return;
@@ -157,17 +180,19 @@ void HBState::perturb(Rng& rng) {
   } else if (islands_[id]) {
     islands_[id]->perturb(rng);
   }
+  stamp_[id] = nextStamp();
 }
 
-void HBState::packNodeInto(HierNodeId id, bool needProfiles,
+bool HBState::packNodeInto(HierNodeId id, bool needProfiles,
                            HBPackScratch& s) const {
   const Circuit& c = *circuit_;
   const HierTree& h = c.hierarchy();
   const HierNode& node = h.node(id);
   HBPackScratch::NodeBuf& buf = s.node[id];
-  buf.axes.clear();
 
   if (node.isLeaf()) {
+    if (buf.stamp == stamp_[id]) return false;  // cached footprint is current
+    buf.axes.clear();
     ModuleId m = *node.module;
     const Module& mod = c.module(m);
     Coord bw = mod.w, bh = mod.h;
@@ -178,12 +203,13 @@ void HBState::packNodeInto(HierNodeId id, bool needProfiles,
     Coord w = rotated_[m] ? bh : bw;
     Coord hh = rotated_[m] ? bw : bh;
     buf.macro.assignFromModule(m, w, hh);
-    return;
+    buf.stamp = stamp_[id];
+    return true;
   }
 
   if (node.constraint == GroupConstraint::CommonCentroid) {
-    // Fixed gridded macro, cached by HBPackScratch::bind.
-    return;
+    // Fixed gridded macro, cached by HBPackScratch::bind; never stale.
+    return false;
   }
 
   if (node.constraint == GroupConstraint::Symmetry) {
@@ -196,7 +222,12 @@ void HBState::packNodeInto(HierNodeId id, bool needProfiles,
     for (HierNodeId child : node.children) {
       if (!h.node(child).isLeaf()) buf.subs.push_back(child);
     }
-    for (HierNodeId sub : buf.subs) packNodeInto(sub, /*needProfiles=*/true, s);
+    bool childChanged = false;
+    for (HierNodeId sub : buf.subs) {
+      if (packNodeInto(sub, /*needProfiles=*/true, s)) childChanged = true;
+    }
+    if (!childChanged && buf.stamp == stamp_[id]) return false;
+    buf.axes.clear();
 
     buf.islandWork = *islands_[id];  // copy-assign: reuses the work buffers
     // Macro-pair items appear after the leaf pair/self items, in order.
@@ -238,15 +269,19 @@ void HBState::packNodeInto(HierNodeId id, bool needProfiles,
         }
       }
     }
-    return;
+    buf.stamp = stamp_[id];
+    return true;
   }
 
   // Proximity / None: sub-B*-tree over the children.
   assert(trees_[id].has_value());
   const BStarTree& tree = *trees_[id];
+  bool childChanged = false;
   for (HierNodeId child : node.children) {
-    packNodeInto(child, /*needProfiles=*/true, s);
+    if (packNodeInto(child, /*needProfiles=*/true, s)) childChanged = true;
   }
+  if (!childChanged && buf.stamp == stamp_[id]) return false;
+  buf.axes.clear();
   s.childMacros.clear();
   for (HierNodeId child : node.children) {
     s.childMacros.push_back(&s.node[child].macro);
@@ -271,6 +306,8 @@ void HBState::packNodeInto(HierNodeId id, bool needProfiles,
       buf.axes.push_back({group, localAxis + 2 * dx});
     }
   }
+  buf.stamp = stamp_[id];
+  return true;
 }
 
 HBState::Packed HBState::pack() const {
@@ -295,6 +332,26 @@ void HBState::packInto(HBPackScratch& scratch, Packed& out) const {
   Rect bb = out.placement.boundingBox();
   out.width = bb.w;
   out.height = bb.h;
+
+#ifndef NDEBUG
+  // Debug oracle: the stamp-cached pack must equal a cold full pack (the
+  // guard stops the oracle from re-triggering itself).
+  static thread_local bool inOracle = false;
+  if (!inOracle) {
+    inOracle = true;
+    HBPackScratch oracleScratch;
+    Packed oracle;
+    packInto(oracleScratch, oracle);
+    inOracle = false;
+    assert(oracle.placement.size() == out.placement.size());
+    for (std::size_t m = 0; m < c.moduleCount(); ++m) {
+      assert(out.placement[m] == oracle.placement[m] &&
+             "node-local HB repack diverged from full pack");
+    }
+    assert(out.axis2x == oracle.axis2x && out.width == oracle.width &&
+           out.height == oracle.height);
+  }
+#endif
 }
 
 HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& options) {

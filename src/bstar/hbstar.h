@@ -45,6 +45,9 @@ struct HBPackScratch {
     std::vector<std::pair<std::size_t, Coord>> axes;
     AsfIsland islandWork;           ///< symmetry nodes: refreshed work copy
     std::vector<HierNodeId> subs;   ///< symmetry nodes: non-leaf children
+    /// Encoding version this macro was packed from (see HBState stamps);
+    /// 0 is never issued, so cold buffers always repack.
+    std::uint64_t stamp = 0;
   };
   std::vector<NodeBuf> node;
 
@@ -102,16 +105,21 @@ class HBState {
   Packed pack() const;
 
   /// Scratch-reuse variant (identical results): the per-move decode of
-  /// placeHBStarSA.  `out` is fully overwritten.
+  /// placeHBStarSA.  `out` is fully overwritten.  Node-local repack: a
+  /// hierarchy node whose encoding stamp matches the scratch's cached pack
+  /// (and whose children all matched) reuses its macro verbatim, so a move
+  /// re-packs only the perturbed node and its ancestors — bit-identical to
+  /// a cold pack (debug builds assert it against a full-pack oracle).
   void packInto(HBPackScratch& scratch, Packed& out) const;
 
   const Circuit& circuit() const { return *circuit_; }
 
  private:
-  /// Packs node `id` into scratch.node[id] (macro + axes).  The root's
-  /// profile is consumed by nobody, so only non-root macros compute their
-  /// O(n^2) profiles (`needProfiles`).
-  void packNodeInto(HierNodeId id, bool needProfiles,
+  /// Packs node `id` into scratch.node[id] (macro + axes) unless the cached
+  /// buffer is current; returns whether the macro was (re)packed.  The
+  /// root's profile is consumed by nobody, so only non-root macros compute
+  /// their O(n^2) profiles (`needProfiles`).
+  bool packNodeInto(HierNodeId id, bool needProfiles,
                     HBPackScratch& scratch) const;
 
   const Circuit* circuit_;
@@ -124,6 +132,14 @@ class HBState {
   std::vector<ModuleId> freeRotatable_;    // modules eligible for rotation
   std::vector<ModuleId> freeShapy_;        // free leaves with a shape curve
   double shapeMoveProb_ = 0.0;             // 0 = shape moves off
+  // Per-hierarchy-node encoding version, drawn from a process-global
+  // counter: every mutation of a node's encoding (tree/island perturb, leaf
+  // rotation or shape re-selection) assigns a globally fresh stamp, and
+  // state copies carry stamps along.  Equal stamps therefore imply an
+  // identical encoding for that node — the invariant the scratch's
+  // node-local repack cache relies on across rejected moves and restarts.
+  std::vector<std::uint64_t> stamp_;
+  std::vector<HierNodeId> leafNodeOf_;     // module -> its leaf hierarchy node
 };
 
 /// Reusable decode buffers of one HB*-tree SA run (optional; see

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "io/benchmark_format.h"
+#include "netlist/generators.h"
 
 namespace als {
 
@@ -270,11 +271,39 @@ NumPower 1
 Power m47 0.8
 )";
 
+// The GSRC-scale texts are deterministic functions of (n, seed); built on
+// first use and cached for the process (function-local statics, so the
+// first call from any thread pays the generation cost exactly once).
+std::string_view gsrcText(std::size_t n) {  // seed = n (distinct per size)
+  switch (n) {
+    case 100: {
+      static const std::string text =
+          writeBenchmark(makeGsrcLikeCircuit(100, 100)).text;
+      return text;
+    }
+    case 200: {
+      static const std::string text =
+          writeBenchmark(makeGsrcLikeCircuit(200, 200)).text;
+      return text;
+    }
+    case 300: {
+      static const std::string text =
+          writeBenchmark(makeGsrcLikeCircuit(300, 300)).text;
+      return text;
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 std::vector<CorpusCircuit> allCorpusCircuits() {
   return {CorpusCircuit::Apte, CorpusCircuit::Xerox, CorpusCircuit::Hp,
           CorpusCircuit::Ami33, CorpusCircuit::Ami49};
+}
+
+std::vector<CorpusCircuit> largeCorpusCircuits() {
+  return {CorpusCircuit::N100, CorpusCircuit::N200, CorpusCircuit::N300};
 }
 
 const char* corpusName(CorpusCircuit which) {
@@ -284,6 +313,9 @@ const char* corpusName(CorpusCircuit which) {
     case CorpusCircuit::Hp: return "hp";
     case CorpusCircuit::Ami33: return "ami33";
     case CorpusCircuit::Ami49: return "ami49";
+    case CorpusCircuit::N100: return "n100";
+    case CorpusCircuit::N200: return "n200";
+    case CorpusCircuit::N300: return "n300";
   }
   return "?";
 }
@@ -295,12 +327,21 @@ std::string_view corpusText(CorpusCircuit which) {
     case CorpusCircuit::Hp: return kHp;
     case CorpusCircuit::Ami33: return kAmi33;
     case CorpusCircuit::Ami49: return kAmi49;
+    case CorpusCircuit::N100: return gsrcText(100);
+    case CorpusCircuit::N200: return gsrcText(200);
+    case CorpusCircuit::N300: return gsrcText(300);
   }
   return {};
 }
 
 bool corpusByName(std::string_view name, CorpusCircuit* out) {
   for (CorpusCircuit which : allCorpusCircuits()) {
+    if (name == corpusName(which)) {
+      *out = which;
+      return true;
+    }
+  }
+  for (CorpusCircuit which : largeCorpusCircuits()) {
     if (name == corpusName(which)) {
       *out = which;
       return true;

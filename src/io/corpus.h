@@ -25,18 +25,29 @@ enum class CorpusCircuit {
   Hp,     ///< 11 blocks, one pair + self-symmetric group
   Ami33,  ///< 33 blocks, two symmetry groups
   Ami49,  ///< 49 blocks, one symmetric pair
+  N100,   ///< 100 blocks, GSRC-scale (generated; soft blocks, 3 sym groups)
+  N200,   ///< 200 blocks, GSRC-scale (generated)
+  N300,   ///< 300 blocks, GSRC-scale (generated)
 };
 
-/// All corpus circuits in a stable order (small to large).
+/// The MCNC-scale corpus circuits in a stable order (small to large).
+/// Deliberately excludes the GSRC-scale instances: callers iterating this
+/// list run full placements per circuit, which must stay cheap.
 std::vector<CorpusCircuit> allCorpusCircuits();
+
+/// The GSRC-scale instances (n100/n200/n300), small to large.  Their text
+/// is generated on first use (makeGsrcLikeCircuit through writeBenchmark)
+/// rather than embedded, but parses through io/benchmark_format like any
+/// user file; nothing downstream is special-cased.
+std::vector<CorpusCircuit> largeCorpusCircuits();
 
 const char* corpusName(CorpusCircuit which);
 
 /// The embedded benchmark file text (ALSBENCH format, parseable as-is).
 std::string_view corpusText(CorpusCircuit which);
 
-/// Looks a corpus circuit up by its name ("apte", ..., case-sensitive);
-/// returns false when `name` is not a corpus circuit.
+/// Looks a corpus circuit up by its name ("apte", ..., "n300",
+/// case-sensitive); returns false when `name` is not a corpus circuit.
 bool corpusByName(std::string_view name, CorpusCircuit* out);
 
 /// Parses the embedded text into a Circuit.  The corpus is covered by the

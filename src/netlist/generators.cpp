@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "io/benchmark_format.h"
 #include "util/rng.h"
 
 namespace als {
@@ -304,6 +305,82 @@ std::size_t tableIModuleCount(TableICircuit c) {
     case TableICircuit::Lnamixbias: return 110;
   }
   return 0;
+}
+
+Circuit makeGsrcLikeCircuit(std::size_t n, std::uint64_t seed) {
+  assert(n >= 12 && "GSRC-scale generator expects a block-level instance");
+  Circuit c("n" + std::to_string(n));
+  Rng rng(seed);
+
+  // Matched analog front-end blocks first: a few symmetry groups of two
+  // mirror pairs (plus an occasional self-symmetric tail), footprints
+  // locked against rotation like any matched pair.
+  const std::size_t nGroups = n / 50 + 1;
+  for (std::size_t g = 0; g < nGroups; ++g) {
+    SymmetryGroup grp;
+    grp.name = "sg" + std::to_string(g);
+    for (int p = 0; p < 2; ++p) {
+      Coord w = rng.uniformInt(8, 40) * kUm;
+      Coord h = rng.uniformInt(6, 30) * kUm;
+      std::string base = "g" + std::to_string(g) + "p" + std::to_string(p);
+      ModuleId a = c.addModule(base + "a", w, h, /*rotatable=*/false);
+      ModuleId b = c.addModule(base + "b", w, h, /*rotatable=*/false);
+      grp.pairs.push_back({a, b});
+    }
+    if (rng.coin()) {
+      Coord w = rng.uniformInt(10, 30) * kUm;
+      Coord h = rng.uniformInt(6, 20) * kUm;
+      grp.selfs.push_back(c.addModule("g" + std::to_string(g) + "s", w, h,
+                                      /*rotatable=*/false));
+    }
+    c.addSymmetryGroup(std::move(grp));
+  }
+
+  // Free blocks fill the budget.  GSRC-style footprints span more than an
+  // order of magnitude; about one in ten blocks is soft and carries a
+  // discrete shape curve (near-area-preserving alternatives, the form the
+  // ALSBENCH Shape section round-trips exactly).
+  std::size_t blockIndex = 0;
+  while (c.moduleCount() < n) {
+    Coord w = rng.uniformInt(6, 90) * kUm;
+    Coord h = rng.uniformInt(6, 90) * kUm;
+    ModuleId m = c.addModule("blk" + std::to_string(blockIndex++), w, h,
+                             /*rotatable=*/rng.uniform() < 0.8);
+    if (rng.uniform() < 0.1) {
+      Module& mod = c.module(m);
+      mod.shapes.push_back({w, h});  // the curve always opens with {w, h}
+      const Coord area = w * h;
+      for (int s = 0; s < 2; ++s) {
+        Coord aw = std::max<Coord>(4, (w * rng.uniformInt(60, 160)) / 100 / kUm) * kUm;
+        Coord ah = std::max<Coord>(4 * kUm, ((area / aw) / kUm) * kUm);
+        if (aw != w || ah != h) mod.shapes.push_back({aw, ah});
+      }
+      if (mod.shapes.size() == 1) mod.shapes.clear();
+    }
+  }
+
+  // Nets: about one per block, fanout 2..5, locality-biased (pins drawn
+  // from an id window) with an occasional global net — HPWL work stays
+  // proportional to fanout, like the real suites.
+  std::vector<ModuleId> pins;
+  for (std::size_t i = 0; i < n; ++i) {
+    pins.clear();
+    std::size_t fanout = 2 + rng.index(4);
+    std::size_t window = rng.uniform() < 0.15 ? n : std::min<std::size_t>(n, 24);
+    std::size_t start = rng.index(n - std::min(window, n) + 1);
+    for (std::size_t p = 0; p < fanout; ++p) {
+      pins.push_back(start + rng.index(window));
+    }
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    if (pins.size() >= 2) c.addNet("n" + std::to_string(i), pins);
+  }
+
+  buildCanonicalHierarchy(c);
+  std::string err;
+  assert(c.validate(&err));
+  (void)err;
+  return c;
 }
 
 Circuit makeTableICircuit(TableICircuit which) {

@@ -68,4 +68,14 @@ struct SyntheticSpec {
 
 Circuit makeSynthetic(const SyntheticSpec& spec);
 
+/// GSRC-like floorplanning instance with `n` blocks (the n100/n200/n300
+/// scale class): mixed-size hard blocks with strongly varying footprints,
+/// roughly one block in ten soft (carrying a discrete alternative-shape
+/// curve), a few symmetry groups on matched blocks, and locality-biased
+/// nets at about one net per block.  Deterministic in (n, seed); every
+/// dimension sits on the micrometre grid (even DBU, as the symmetric
+/// constructors require).  The hierarchy is the canonical one files without
+/// a hierarchy section get, so HB*-tree runs accept the circuit unchanged.
+Circuit makeGsrcLikeCircuit(std::size_t n, std::uint64_t seed);
+
 }  // namespace als

@@ -39,10 +39,16 @@ class MaxFenwick {
 /// Monotone staircase over a van Emde Boas position set: positions kept in
 /// the tree always carry strictly increasing values, so the best value
 /// strictly below a query position is found with one predecessor call.
+/// Tree and value storage are caller-owned; construction re-targets the
+/// (warm, materialized) tree instead of building one.
 class VebStaircase {
  public:
-  explicit VebStaircase(std::size_t universe)
-      : positions_(universe), value_(universe, 0) {}
+  VebStaircase(std::size_t universe, VebTree& positions,
+               std::vector<Coord>& value)
+      : positions_(positions), value_(value) {
+    positions_.resetUniverse(universe);
+    value_.assign(universe, 0);
+  }
 
   /// max value among entries with position < p; 0 when none.
   Coord maxBelow(std::size_t p) const {
@@ -65,8 +71,8 @@ class VebStaircase {
   }
 
  private:
-  VebTree positions_;
-  std::vector<Coord> value_;
+  VebTree& positions_;
+  std::vector<Coord>& value_;
 };
 
 /// One LCS sweep: processes modules in `order`, placing each at the maximum
@@ -108,7 +114,8 @@ struct FenwickAdapter {
 
 struct VebAdapter {
   VebStaircase stair;
-  explicit VebAdapter(std::size_t n) : stair(n) {}
+  VebAdapter(std::size_t n, VebTree& positions, std::vector<Coord>& value)
+      : stair(n, positions, value) {}
   Coord prefixMaxAt(std::size_t b) const { return stair.maxBelow(b); }
   void insertAt(std::size_t b, Coord end) { stair.insert(b, end); }
 };
@@ -140,6 +147,169 @@ void packWithInto(const SequencePair& sp, std::span<const Coord> widths,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental sweeps.
+//
+// Each journaled adapter runs the *same* algorithm as its full-pack twin on
+// the persistent structure inside a SeqPairSweepState, but records every
+// mutation as a SweepOp so the structure can be rewound to any earlier step
+// by replaying the journal backwards.  The sweep inputs of step i — the
+// module, its beta position, its extent — fully determine the mutation, so
+// rewinding to the first changed step and re-running the suffix reproduces
+// the full sweep bit for bit.
+
+/// One entry is appended per step, so undo is a resize and the journal is
+/// the entry vector itself.
+struct JournaledNaive {
+  SeqPairSweepState& st;
+  void reset(std::size_t) { st.naiveEntries.clear(); }
+  void undoTo(std::size_t d) { st.naiveEntries.resize(d); }
+  Coord prefixMaxAt(std::size_t b) const {
+    Coord m = 0;
+    for (const auto& [pos, end] : st.naiveEntries) {
+      if (pos < b) m = std::max(m, end);
+    }
+    return m;
+  }
+  void insertAt(std::size_t b, Coord end) { st.naiveEntries.emplace_back(b, end); }
+};
+
+struct JournaledFenwick {
+  SeqPairSweepState& st;
+  void reset(std::size_t n) {
+    st.fenwick.assign(n + 1, 0);
+    st.ops.clear();
+    st.opOfs.assign(1, 0);
+  }
+  void undoTo(std::size_t d) {
+    assert(d < st.opOfs.size());
+    for (std::size_t i = st.ops.size(); i > st.opOfs[d];) {
+      --i;
+      st.fenwick[st.ops[i].pos] = st.ops[i].val;
+    }
+    st.ops.resize(st.opOfs[d]);
+    st.opOfs.resize(d + 1);
+  }
+  Coord prefixMaxAt(std::size_t b) const {
+    // == MaxFenwick::prefixMax(b - 1): max over positions [0, b).
+    Coord m = 0;
+    for (std::size_t k = b; k > 0; k -= k & (~k + 1)) {
+      m = std::max(m, st.fenwick[k]);
+    }
+    return m;
+  }
+  void insertAt(std::size_t b, Coord v) {
+    // Cells that already dominate v are untouched, so only real writes are
+    // journaled — undo restores exactly the cells this step changed.
+    for (std::size_t k = b + 1; k < st.fenwick.size(); k += k & (~k + 1)) {
+      if (st.fenwick[k] < v) {
+        st.ops.push_back({k, st.fenwick[k], SweepOp::kFenWrote});
+        st.fenwick[k] = v;
+      }
+    }
+    st.opOfs.push_back(st.ops.size());
+  }
+};
+
+struct JournaledVeb {
+  SeqPairSweepState& st;
+  void reset(std::size_t n) {
+    st.vebPos.resetUniverse(n);
+    st.vebValue.assign(n, 0);
+    st.ops.clear();
+    st.opOfs.assign(1, 0);
+  }
+  void undoTo(std::size_t d) {
+    assert(d < st.opOfs.size());
+    for (std::size_t i = st.ops.size(); i > st.opOfs[d];) {
+      --i;
+      const SweepOp& op = st.ops[i];
+      switch (op.kind) {
+        case SweepOp::kVebErased:
+          st.vebPos.insert(op.pos);
+          st.vebValue[op.pos] = op.val;
+          break;
+        case SweepOp::kVebInserted:
+          st.vebPos.erase(op.pos);
+          break;
+        case SweepOp::kVebOverwrote:
+          st.vebValue[op.pos] = op.val;
+          break;
+        case SweepOp::kFenWrote:
+          assert(false && "fenwick op in veb journal");
+          break;
+      }
+    }
+    st.ops.resize(st.opOfs[d]);
+    st.opOfs.resize(d + 1);
+  }
+  Coord maxBelow(std::size_t p) const {
+    auto pred = st.vebPos.predecessor(p);
+    return pred ? st.vebValue[*pred] : 0;
+  }
+  Coord prefixMaxAt(std::size_t b) const { return maxBelow(b); }
+  void insertAt(std::size_t p, Coord v) {
+    // Mirrors VebStaircase::insert, journaling each structure mutation.
+    if (!(st.vebPos.contains(p) && st.vebValue[p] >= v) && maxBelow(p) < v) {
+      for (auto s = st.vebPos.successor(p); s && st.vebValue[*s] <= v;
+           s = st.vebPos.successor(p)) {
+        st.ops.push_back({*s, st.vebValue[*s], SweepOp::kVebErased});
+        st.vebPos.erase(*s);
+      }
+      if (!st.vebPos.contains(p)) {
+        st.vebPos.insert(p);
+        st.ops.push_back({p, 0, SweepOp::kVebInserted});
+      } else {
+        st.ops.push_back({p, st.vebValue[p], SweepOp::kVebOverwrote});
+      }
+      st.vebValue[p] = v;
+    }
+    st.opOfs.push_back(st.ops.size());
+  }
+};
+
+/// Runs one sweep incrementally: diffs the step inputs against the state's
+/// recorded inputs, rewinds the structure to the first changed step, and
+/// re-runs only the suffix.  Every re-swept module is appended to `moved`.
+template <class Adapter>
+void sweepIncremental(SeqPairSweepState& st, std::span<const std::size_t> order,
+                      const SequencePair& sp, std::span<const Coord> extent,
+                      std::span<Coord> coord, Adapter a, bool warm,
+                      std::vector<std::size_t>& moved) {
+  const std::size_t n = order.size();
+  std::size_t d = 0;
+  if (!warm) {
+    a.reset(n);
+    st.mod.clear();
+    st.beta.clear();
+    st.extent.clear();
+  } else {
+    while (d < n) {
+      std::size_t m = order[d];
+      if (st.mod[d] != m || st.beta[d] != sp.betaPos(m) ||
+          st.extent[d] != extent[m]) {
+        break;
+      }
+      ++d;
+    }
+    a.undoTo(d);
+  }
+  st.mod.resize(n);
+  st.beta.resize(n);
+  st.extent.resize(n);
+  for (std::size_t i = d; i < n; ++i) {
+    std::size_t m = order[i];
+    std::size_t b = sp.betaPos(m);
+    st.mod[i] = m;
+    st.beta[i] = b;
+    st.extent[i] = extent[m];
+    Coord pos = b == 0 ? 0 : a.prefixMaxAt(b);
+    coord[m] = pos;
+    a.insertAt(b, pos + extent[m]);
+    moved.push_back(m);
+  }
+}
+
 }  // namespace
 
 Placement packSequencePair(const SequencePair& sp, std::span<const Coord> widths,
@@ -154,7 +324,8 @@ void packSequencePairInto(const SequencePair& sp, std::span<const Coord> widths,
                           std::span<const Coord> heights, PackStrategy strategy,
                           SeqPairPackScratch& scratch, Placement& out) {
   assert(widths.size() == sp.size() && heights.size() == sp.size());
-  switch (strategy) {
+  scratch.incValid = false;  // a full pack orphans any incremental state
+  switch (resolvePackStrategy(strategy, sp.size())) {
     case PackStrategy::Naive:
       packWithInto(sp, widths, heights,
                    [&] { return NaiveAdapter(scratch.naiveEntries); }, scratch,
@@ -166,11 +337,81 @@ void packSequencePairInto(const SequencePair& sp, std::span<const Coord> widths,
                    scratch, out);
       return;
     case PackStrategy::Veb:
-      packWithInto(sp, widths, heights,
-                   [&] { return VebAdapter(sp.size()); }, scratch, out);
+      packWithInto(
+          sp, widths, heights,
+          [&] { return VebAdapter(sp.size(), scratch.veb, scratch.vebValue); },
+          scratch, out);
       return;
+    case PackStrategy::Auto:
+      break;  // unreachable: resolvePackStrategy never returns Auto
   }
   out.assign(sp.size());
+}
+
+void packSequencePairIncrementalInto(const SequencePair& sp,
+                                     std::span<const Coord> widths,
+                                     std::span<const Coord> heights,
+                                     PackStrategy strategy,
+                                     SeqPairPackScratch& scratch, Placement& out,
+                                     std::vector<std::size_t>& moved) {
+  const std::size_t n = sp.size();
+  assert(widths.size() == n && heights.size() == n);
+  const PackStrategy resolved = resolvePackStrategy(strategy, n);
+  const bool warm = scratch.incValid && scratch.incStrategy == resolved &&
+                    scratch.xSweep.mod.size() == n &&
+                    scratch.ySweep.mod.size() == n && out.size() == n &&
+                    scratch.x.size() == n && scratch.y.size() == n;
+  if (!warm) {
+    scratch.x.assign(n, 0);
+    scratch.y.assign(n, 0);
+    out.assign(n);
+  }
+  const std::size_t movedStart = moved.size();
+
+  scratch.rev.assign(sp.alpha().rbegin(), sp.alpha().rend());
+  switch (resolved) {
+    case PackStrategy::Naive:
+      sweepIncremental(scratch.xSweep, sp.alpha(), sp, widths, scratch.x,
+                       JournaledNaive{scratch.xSweep}, warm, moved);
+      sweepIncremental(scratch.ySweep, scratch.rev, sp, heights, scratch.y,
+                       JournaledNaive{scratch.ySweep}, warm, moved);
+      break;
+    case PackStrategy::Fenwick:
+      sweepIncremental(scratch.xSweep, sp.alpha(), sp, widths, scratch.x,
+                       JournaledFenwick{scratch.xSweep}, warm, moved);
+      sweepIncremental(scratch.ySweep, scratch.rev, sp, heights, scratch.y,
+                       JournaledFenwick{scratch.ySweep}, warm, moved);
+      break;
+    case PackStrategy::Veb:
+      sweepIncremental(scratch.xSweep, sp.alpha(), sp, widths, scratch.x,
+                       JournaledVeb{scratch.xSweep}, warm, moved);
+      sweepIncremental(scratch.ySweep, scratch.rev, sp, heights, scratch.y,
+                       JournaledVeb{scratch.ySweep}, warm, moved);
+      break;
+    case PackStrategy::Auto:
+      break;  // unreachable: resolvePackStrategy never returns Auto
+  }
+  scratch.incValid = true;
+  scratch.incStrategy = resolved;
+
+  // A module whose width changed diverges its x-sweep step (extents are step
+  // inputs), so every rect field of a stale module is covered by one of the
+  // two moved ranges; untouched modules keep their previous rect verbatim.
+  for (std::size_t i = movedStart; i < moved.size(); ++i) {
+    std::size_t m = moved[i];
+    out[m] = {scratch.x[m], scratch.y[m], widths[m], heights[m]};
+  }
+
+#ifndef NDEBUG
+  {  // Debug oracle: the incremental pack must equal a fresh full pack.
+    thread_local SeqPairPackScratch oracleScratch;
+    thread_local Placement oracle;
+    packSequencePairInto(sp, widths, heights, resolved, oracleScratch, oracle);
+    for (std::size_t m = 0; m < n; ++m) {
+      assert(out[m] == oracle[m] && "incremental pack diverged from full pack");
+    }
+  }
+#endif
 }
 
 }  // namespace als

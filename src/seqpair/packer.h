@@ -9,29 +9,90 @@
 //   * Fenwick   — O(n log n) prefix-max Fenwick tree (FAST-SP style [26]);
 //   * Veb       — O(n log log n) using the van Emde Boas priority queue,
 //                 the "efficient model of priority queue" Section II cites
-//                 for the O(G * n log log n) evaluation bound.
+//                 for the O(G * n log log n) evaluation bound;
+//   * Auto      — picks one of the above from the instance size (the SA
+//                 placers' default: constant factors beat asymptotics on
+//                 MCNC-scale circuits, the subquadratic structures win at
+//                 GSRC scale).
 //
-// All three produce identical coordinates; tests cross-check them and the
-// kernel bench (E4) measures the scaling.
+// All strategies produce identical coordinates; tests cross-check them and
+// the kernel bench (E4) measures the scaling.  Every structure lives in
+// caller-owned scratch storage (including the vEB tree), so a warm decode
+// loop performs zero steady-state heap allocations with any strategy.
+//
+// == Incremental packing ==
+//
+// A seqpair move (swap, rotation) leaves a prefix of each LCS sweep's step
+// inputs untouched, and the sweep structure's state at step i is a function
+// of steps < i alone.  `packSequencePairIncrementalInto` therefore journals
+// every structure mutation per step, and on the next call rewinds each
+// sweep to its first changed step and re-runs the suffix only — identical
+// coordinates to a full pack, at cost proportional to what the move
+// disturbed.
 #pragma once
 
 #include <span>
 
 #include "geom/placement.h"
 #include "seqpair/sequence_pair.h"
+#include "util/veb.h"
 
 namespace als {
 
-enum class PackStrategy { Naive, Fenwick, Veb };
+enum class PackStrategy { Naive, Fenwick, Veb, Auto };
+
+/// The auto-selection rule: Naive below 16 modules (one cache line beats
+/// any tree), Fenwick up to 127, Veb from 128 on.  Explicit strategies pass
+/// through unchanged.
+constexpr PackStrategy resolvePackStrategy(PackStrategy s, std::size_t n) {
+  if (s != PackStrategy::Auto) return s;
+  if (n < 16) return PackStrategy::Naive;
+  if (n < 128) return PackStrategy::Fenwick;
+  return PackStrategy::Veb;
+}
+
+/// One journaled mutation of an incremental sweep structure (undo unit).
+struct SweepOp {
+  enum Kind : std::uint8_t {
+    kFenWrote,      ///< fenwick cell `pos` held `val` before the write
+    kVebErased,     ///< staircase entry (pos, val) was erased as dominated
+    kVebInserted,   ///< position `pos` was newly inserted (no prior entry)
+    kVebOverwrote,  ///< position `pos` held `val` before the overwrite
+  };
+  std::size_t pos = 0;
+  Coord val = 0;
+  Kind kind = kFenWrote;
+};
+
+/// Persistent state of one LCS sweep across incremental packs: the step
+/// inputs of the last pack, the live prefix-max structure (exactly one is
+/// in use, selected by the strategy), and the per-step undo journal.
+struct SeqPairSweepState {
+  std::vector<std::size_t> mod, beta;  ///< step inputs: module, beta position
+  std::vector<Coord> extent;           ///< step input: module extent
+  std::vector<std::pair<std::size_t, Coord>> naiveEntries;  ///< one per step
+  std::vector<Coord> fenwick;
+  VebTree vebPos;
+  std::vector<Coord> vebValue;
+  std::vector<SweepOp> ops;          ///< journaled mutations (Fenwick/Veb)
+  std::vector<std::size_t> opOfs;    ///< per-step offset into ops (steps + 1)
+};
 
 /// Reusable buffers of one LCS packing loop (the sequence-pair placer's
-/// per-move decode).  Warm buffers make the Naive and Fenwick strategies
-/// allocation-free; Veb keeps its per-call tree (bench-only strategy).
+/// per-move decode).  Warm buffers make every strategy allocation-free:
+/// the vEB staircase lives here too (prewarmed on first use).
 struct SeqPairPackScratch {
   std::vector<Coord> x, y;
   std::vector<std::size_t> rev;          ///< reversed alpha order (y sweep)
   std::vector<Coord> fenwick;            ///< prefix-max Fenwick storage
   std::vector<std::pair<std::size_t, Coord>> naiveEntries;
+  VebTree veb;                           ///< warm tree of the full-pack Veb strategy
+  std::vector<Coord> vebValue;
+  // Incremental-pack state; valid only between incremental calls on this
+  // scratch (a full packSequencePairInto invalidates it).
+  bool incValid = false;
+  PackStrategy incStrategy = PackStrategy::Fenwick;
+  SeqPairSweepState xSweep, ySweep;
 };
 
 /// Packs the pair into the lower-left-compacted placement.
@@ -41,8 +102,24 @@ Placement packSequencePair(const SequencePair& sp, std::span<const Coord> widths
                            PackStrategy strategy = PackStrategy::Fenwick);
 
 /// Scratch-reuse variant: identical placements, `out` fully overwritten.
+/// Invalidates any incremental state held by `scratch`.
 void packSequencePairInto(const SequencePair& sp, std::span<const Coord> widths,
                           std::span<const Coord> heights, PackStrategy strategy,
                           SeqPairPackScratch& scratch, Placement& out);
+
+/// Incremental pack: bit-identical placements to packSequencePairInto, but
+/// when `scratch` holds the state of a previous call each LCS sweep re-runs
+/// only from its first changed step (journal-rewound structures).  `out`
+/// must be the same buffer across calls — only the rects of re-swept
+/// modules are rewritten.  Every re-swept module id is appended to `moved`
+/// (duplicates possible; a cold call appends all).  The caller owns cache
+/// validity: after packing a DIFFERENT sequence-pair stream on this
+/// scratch, set `scratch.incValid = false`.
+void packSequencePairIncrementalInto(const SequencePair& sp,
+                                     std::span<const Coord> widths,
+                                     std::span<const Coord> heights,
+                                     PackStrategy strategy,
+                                     SeqPairPackScratch& scratch, Placement& out,
+                                     std::vector<std::size_t>& moved);
 
 }  // namespace als

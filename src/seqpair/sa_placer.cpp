@@ -11,6 +11,60 @@
 
 namespace als {
 
+namespace {
+
+/// Decode = dims + symmetric construction into the scratch buffers; the
+/// returned pointer aliases scr.result.placement.  With incremental decode
+/// on, island layouts and LCS sweeps reuse the previous move's state and
+/// the construction reports which modules may differ — feeding the
+/// movedModules()/committed() contract of anneal/annealer.h that opts the
+/// run into the hinted CostModel::propose(p, moved) fast path.
+struct SeqPairDecoder {
+  const Circuit& circuit;
+  std::span<const SymmetryGroup> groups;
+  SeqPairScratch& scr;
+  std::size_t n;
+  SymBuildOptions buildOpts;
+
+  void markMoved(ModuleId m) {
+    if (scr.movedMark[m] != scr.movedEpoch) {
+      scr.movedMark[m] = scr.movedEpoch;
+      scr.movedList.push_back(m);
+    }
+  }
+
+  const Placement* operator()(const SeqPairState& s) {
+    scr.w.resize(n);
+    scr.h.resize(n);
+    for (std::size_t m = 0; m < n; ++m) {
+      const Module& mod = circuit.module(m);
+      scr.w[m] = s.rotated[m] ? mod.h : mod.w;
+      scr.h[m] = s.rotated[m] ? mod.w : mod.h;
+    }
+    // Decode failure (a non-S-F code) maps to the objective's infeasible
+    // cost — cannot happen for the move set here, but keeps the annealer
+    // total if it ever does.
+    scr.tmpMoved.clear();
+    if (!buildSymmetricPlacementInto(s.sp, scr.w, scr.h, groups, buildOpts,
+                                     scr.sym, scr.result)) {
+      return nullptr;
+    }
+    for (ModuleId m : scr.tmpMoved) markMoved(m);
+    return &scr.result.placement;
+  }
+
+  std::span<const ModuleId> movedModules() const { return scr.movedList; }
+  void committed() {
+    scr.movedList.clear();
+    if (++scr.movedEpoch == 0) {  // epoch wrap: restamp instead of aliasing
+      scr.movedMark.assign(scr.movedMark.size(), 0);
+      scr.movedEpoch = 1;
+    }
+  }
+};
+
+}  // namespace
+
 SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
                                    const SeqPairPlacerOptions& options) {
   const std::size_t n = circuit.moduleCount();
@@ -37,28 +91,19 @@ SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
 
   SeqPairScratch localScratch;
   SeqPairScratch& scr = options.scratch ? *options.scratch : localScratch;
+  scr.movedList.clear();
+  scr.movedMark.assign(n, 0);
+  scr.movedEpoch = 1;
 
-  auto dims = [&](const SeqPairState& s) {
-    scr.w.resize(n);
-    scr.h.resize(n);
-    for (std::size_t m = 0; m < n; ++m) {
-      const Module& mod = circuit.module(m);
-      scr.w[m] = s.rotated[m] ? mod.h : mod.w;
-      scr.h[m] = s.rotated[m] ? mod.w : mod.h;
-    }
-  };
-
-  // Decode failure (a non-S-F code) maps to the objective's infeasible
-  // cost — cannot happen for the move set here, but keeps the annealer
-  // total if it ever does.  The returned pointer aliases scr.result.
-  auto decode = [&](const SeqPairState& s) -> const Placement* {
-    dims(s);
-    if (!buildSymmetricPlacementInto(s.sp, scr.w, scr.h, groups, 200, scr.sym,
-                                     scr.result)) {
-      return nullptr;
-    }
-    return &scr.result.placement;
-  };
+  SymBuildOptions buildOpts;
+  buildOpts.packing = options.packing;
+  buildOpts.incremental = options.incrementalDecode;
+  // The O(n^2) verification is a no-op on every reachable code (the move
+  // set preserves S-F); the hot path drops it (debug builds still assert),
+  // the historical full-decode path keeps it.
+  buildOpts.verify = !options.incrementalDecode;
+  buildOpts.moved = &scr.tmpMoved;
+  SeqPairDecoder decode{circuit, groups, scr, n, buildOpts};
 
   auto move = [&](SeqPairState& s, Rng& rng) { moves.apply(s, rng); };
 
@@ -72,7 +117,13 @@ SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
   auto annealed = annealWithRestarts(init, model, decode, move, annealOpt);
 
   SeqPairPlacerResult result;
-  dims(annealed.best);
+  scr.w.resize(n);
+  scr.h.resize(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    const Module& mod = circuit.module(m);
+    scr.w[m] = annealed.best.rotated[m] ? mod.h : mod.w;
+    scr.h[m] = annealed.best.rotated[m] ? mod.w : mod.h;
+  }
   auto built = buildSymmetricPlacement(annealed.best.sp, scr.w, scr.h, groups);
   if (built) {
     result.placement = std::move(built->placement);

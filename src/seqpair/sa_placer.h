@@ -19,6 +19,12 @@ struct SeqPairScratch {
   std::vector<Coord> w, h;    ///< orientation-resolved footprints
   SymPlaceScratch sym;
   SymPlacementResult result;  ///< decoded placement of the current candidate
+  // Moved-module accumulator for the hinted cost propose (epoch-dedup, see
+  // bstar/flat_placer.h for the twin) plus the per-decode staging buffer.
+  std::vector<ModuleId> movedList;
+  std::vector<std::uint32_t> movedMark;
+  std::uint32_t movedEpoch = 0;
+  std::vector<ModuleId> tmpMoved;
 };
 
 struct SeqPairPlacerOptions {
@@ -26,7 +32,10 @@ struct SeqPairPlacerOptions {
   std::size_t maxSweeps = 256;     ///< primary budget: total SA sweeps (deterministic)
   double timeLimitSec = 0.0;       ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 7;
-  PackStrategy packing = PackStrategy::Fenwick;  ///< used by cost packing
+  /// LCS pack strategy of the per-move decode; Auto resolves by instance
+  /// size (all strategies yield identical placements, so this only affects
+  /// speed, never the trajectory).
+  PackStrategy packing = PackStrategy::Auto;
   double coolingFactor = 0.96;
   std::size_t movesPerTemp = 0;  ///< 0 = auto
 
@@ -41,6 +50,12 @@ struct SeqPairPlacerOptions {
   /// Ablation toggle: disable the repairing swap-any move class (see
   /// seqpair/moves.h); the default move mix keeps it on.
   bool enableRepairMoves = true;
+
+  /// Decode each move incrementally: cached symmetry islands, journal-
+  /// rewound LCS sweeps and the hinted cost propose (bit-identical to the
+  /// historical full decode, which stays available for bench A/B and as a
+  /// trajectory-equivalence oracle in tests).
+  bool incrementalDecode = true;
 
   SeqPairScratch* scratch = nullptr;  ///< optional caller-owned buffers
 };

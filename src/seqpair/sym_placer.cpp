@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
-#include <numeric>
 
 #include "seqpair/packer.h"
 
 namespace als {
 
 namespace {
+
+constexpr std::uint32_t kNoGroup = ~0u;
 
 using detail::SymIslandBuf;
 using detail::SymOrientedPair;
@@ -189,6 +190,19 @@ bool buildSymmetricPlacementInto(const SequencePair& sp,
                                  std::span<const SymmetryGroup> groups,
                                  int maxIterations, SymPlaceScratch& scratch,
                                  SymPlacementResult& out) {
+  SymBuildOptions options;
+  options.maxIterations = maxIterations;
+  return buildSymmetricPlacementInto(sp, widths, heights, groups, options,
+                                     scratch, out);
+}
+
+bool buildSymmetricPlacementInto(const SequencePair& sp,
+                                 std::span<const Coord> widths,
+                                 std::span<const Coord> heights,
+                                 std::span<const SymmetryGroup> groups,
+                                 const SymBuildOptions& options,
+                                 SymPlaceScratch& scratch,
+                                 SymPlacementResult& out) {
   const std::size_t n = sp.size();
   assert(widths.size() == n && heights.size() == n);
   for (std::size_t m = 0; m < n; ++m) {
@@ -198,18 +212,63 @@ bool buildSymmetricPlacementInto(const SequencePair& sp,
   }
 
   if (groups.empty()) {
-    packSequencePairInto(sp, widths, heights, PackStrategy::Fenwick,
-                         scratch.pack, out.placement);
+    if (options.incremental) {
+      scratch.redMoved.clear();
+      std::vector<std::size_t>& moved =
+          options.moved ? *options.moved : scratch.redMoved;
+      packSequencePairIncrementalInto(sp, widths, heights, options.packing,
+                                      scratch.pack, out.placement, moved);
+    } else {
+      packSequencePairInto(sp, widths, heights, options.packing, scratch.pack,
+                           out.placement);
+      if (options.moved) {
+        for (std::size_t m = 0; m < n; ++m) options.moved->push_back(m);
+      }
+    }
     out.axis2x.clear();
     out.fallbacks = 0;
     return true;
   }
 
-  // --- 1. build one island per group. ---
+  // Group membership and free cells in O(n + members).
+  scratch.groupOf.assign(n, kNoGroup);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const SymPair& pr : groups[g].pairs) {
+      scratch.groupOf[pr.a] = static_cast<std::uint32_t>(g);
+      scratch.groupOf[pr.b] = static_cast<std::uint32_t>(g);
+    }
+    for (ModuleId s : groups[g].selfs) {
+      scratch.groupOf[s] = static_cast<std::uint32_t>(g);
+    }
+  }
+  std::vector<std::size_t>& freeCells = scratch.freeCells;
+  freeCells.clear();
+  scratch.freeIndexOf.resize(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    if (scratch.groupOf[m] == kNoGroup) {
+      scratch.freeIndexOf[m] = freeCells.size();
+      freeCells.push_back(m);
+    }
+  }
+
+  // Warm-reuse gate: island caches and the incremental pack carry reduced
+  // indices whose meaning depends on the instance shape.
+  const bool warm = options.incremental && scratch.prevN == n &&
+                    scratch.prevGroups == groups.size() &&
+                    freeCells == scratch.prevFreeCells;
+  if (!warm) {
+    for (SymIslandBuf& isl : scratch.islands) isl.sigValid = false;
+    scratch.pack.incValid = false;
+    scratch.prevN = n;
+    scratch.prevGroups = groups.size();
+    scratch.prevFreeCells = freeCells;
+  }
+
+  // --- 1. build one island per group (unchanged signatures reuse the
+  //        cached layout: relaxation is deterministic in its inputs). ---
   if (scratch.islands.size() < groups.size()) scratch.islands.resize(groups.size());
   for (std::size_t g = 0; g < groups.size(); ++g) {
     SymIslandBuf& island = scratch.islands[g];
-    island.usedFallback = false;
     island.cells.clear();
     for (const SymPair& pr : groups[g].pairs) {
       island.cells.push_back(pr.a);
@@ -226,97 +285,100 @@ bool buildSymmetricPlacementInto(const SequencePair& sp,
         return false;  // vertically related partners: not S-F
       }
     }
+    // Everything the island layout depends on, flattened.
+    std::vector<std::size_t>& sig = scratch.tmpSig;
+    sig.clear();
+    for (std::size_t m : island.cells) {
+      sig.push_back(m);
+      sig.push_back(sp.alphaPos(m));
+      sig.push_back(sp.betaPos(m));
+      sig.push_back(static_cast<std::size_t>(widths[m]));
+      sig.push_back(static_cast<std::size_t>(heights[m]));
+    }
+    island.changed = !(island.sigValid && sig == island.sig);
+    if (!island.changed) continue;
+    island.sig.swap(sig);
+    island.sigValid = true;
+    island.usedFallback = false;
     if (!relaxIsland(sp, widths, heights, groups[g], island.pairs,
-                     maxIterations, island, scratch)) {
+                     options.maxIterations, island, scratch)) {
       stackedIsland(sp, widths, heights, groups[g], island.pairs, island,
                     scratch);
     }
     island.local.normalize();
     island.w = island.local.boundingBox().w;
     island.h = island.local.boundingBox().h;
-  }
-  // Recompute each island's axis from its normalized placement: use the
-  // first pair (or self) to re-derive it exactly.
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    const SymmetryGroup& grp = groups[g];
-    SymIslandBuf& isl = scratch.islands[g];
+    // Recompute the axis from the normalized placement: use the first pair
+    // (or self) to re-derive it exactly.
     auto localOf = [&](ModuleId m) {
-      for (std::size_t i = 0; i < isl.cells.size(); ++i) {
-        if (isl.cells[i] == m) return i;
+      for (std::size_t i = 0; i < island.cells.size(); ++i) {
+        if (island.cells[i] == m) return i;
       }
       return std::size_t{0};
     };
-    if (!grp.pairs.empty()) {
-      const Rect& a = isl.local[localOf(grp.pairs[0].a)];
-      const Rect& b = isl.local[localOf(grp.pairs[0].b)];
-      isl.axis2x = a.x + a.w + b.x;
-    } else if (!grp.selfs.empty()) {
-      const Rect& s = isl.local[localOf(grp.selfs[0])];
-      isl.axis2x = 2 * s.x + s.w;
+    if (!groups[g].pairs.empty()) {
+      const Rect& a = island.local[localOf(groups[g].pairs[0].a)];
+      const Rect& b = island.local[localOf(groups[g].pairs[0].b)];
+      island.axis2x = a.x + a.w + b.x;
+    } else if (!groups[g].selfs.empty()) {
+      const Rect& s = island.local[localOf(groups[g].selfs[0])];
+      island.axis2x = 2 * s.x + s.w;
     }
   }
 
   // --- 2. reduced sequence-pair: free cells + one node per island. ---
-  std::vector<std::size_t>& freeCells = scratch.freeCells;
-  freeCells.clear();
-  for (std::size_t m = 0; m < n; ++m) {
-    bool inGroup = false;
-    for (std::size_t g = 0; g < groups.size() && !inGroup; ++g) {
-      inGroup = groups[g].contains(m);
-    }
-    if (!inGroup) freeCells.push_back(m);
-  }
-  const std::size_t reducedN = freeCells.size() + groups.size();
+  const std::size_t F = freeCells.size();
+  const std::size_t reducedN = F + groups.size();
   scratch.rw.resize(reducedN);
   scratch.rh.resize(reducedN);
-  // Ordering keys: a free cell keeps its own positions; an island is ordered
-  // by the first (minimum) position among its members.
-  scratch.alphaKey.resize(reducedN);
-  scratch.betaKey.resize(reducedN);
-  for (std::size_t i = 0; i < freeCells.size(); ++i) {
+  for (std::size_t i = 0; i < F; ++i) {
     scratch.rw[i] = widths[freeCells[i]];
     scratch.rh[i] = heights[freeCells[i]];
-    scratch.alphaKey[i] = sp.alphaPos(freeCells[i]);
-    scratch.betaKey[i] = sp.betaPos(freeCells[i]);
   }
   for (std::size_t g = 0; g < groups.size(); ++g) {
-    std::size_t idx = freeCells.size() + g;
-    scratch.rw[idx] = scratch.islands[g].w;
-    scratch.rh[idx] = scratch.islands[g].h;
-    std::size_t aMin = n, bMin = n;
-    for (std::size_t m : scratch.islands[g].cells) {
-      aMin = std::min(aMin, sp.alphaPos(m));
-      bMin = std::min(bMin, sp.betaPos(m));
-    }
-    scratch.alphaKey[idx] = aMin;
-    scratch.betaKey[idx] = bMin;
+    scratch.rw[F + g] = scratch.islands[g].w;
+    scratch.rh[F + g] = scratch.islands[g].h;
   }
-  scratch.alphaOrder.resize(reducedN);
-  scratch.betaOrder.resize(reducedN);
-  std::iota(scratch.alphaOrder.begin(), scratch.alphaOrder.end(), std::size_t{0});
-  std::iota(scratch.betaOrder.begin(), scratch.betaOrder.end(), std::size_t{0});
-  std::sort(scratch.alphaOrder.begin(), scratch.alphaOrder.end(),
-            [&](std::size_t a, std::size_t b) {
-              return scratch.alphaKey[a] < scratch.alphaKey[b];
-            });
-  std::sort(scratch.betaOrder.begin(), scratch.betaOrder.end(),
-            [&](std::size_t a, std::size_t b) {
-              return scratch.betaKey[a] < scratch.betaKey[b];
-            });
+  // Reduced orders in O(n): walk each original sequence, emitting a free
+  // cell on sight and an island at its first member.  Identical to sorting
+  // by min-position keys, because every key is a distinct position.
+  auto buildOrder = [&](std::span<const std::size_t> seq,
+                        std::vector<std::size_t>& order) {
+    order.clear();
+    scratch.groupSeen.assign(groups.size(), 0);
+    for (std::size_t m : seq) {
+      std::uint32_t g = scratch.groupOf[m];
+      if (g == kNoGroup) {
+        order.push_back(scratch.freeIndexOf[m]);
+      } else if (!scratch.groupSeen[g]) {
+        scratch.groupSeen[g] = 1;
+        order.push_back(F + g);
+      }
+    }
+  };
+  buildOrder(sp.alpha(), scratch.alphaOrder);
+  buildOrder(sp.beta(), scratch.betaOrder);
   scratch.reduced.assignSequences(scratch.alphaOrder, scratch.betaOrder);
-  packSequencePairInto(scratch.reduced, scratch.rw, scratch.rh,
-                       PackStrategy::Fenwick, scratch.pack, scratch.packed);
+  scratch.redMoved.clear();
+  if (options.incremental) {
+    packSequencePairIncrementalInto(scratch.reduced, scratch.rw, scratch.rh,
+                                    options.packing, scratch.pack,
+                                    scratch.packed, scratch.redMoved);
+  } else {
+    packSequencePairInto(scratch.reduced, scratch.rw, scratch.rh,
+                         options.packing, scratch.pack, scratch.packed);
+  }
   const Placement& packed = scratch.packed;
 
   // --- 3. compose the global placement. ---
   out.placement.assign(n);
   out.axis2x.resize(groups.size());
   out.fallbacks = 0;
-  for (std::size_t i = 0; i < freeCells.size(); ++i) {
+  for (std::size_t i = 0; i < F; ++i) {
     out.placement[freeCells[i]] = packed[i];
   }
   for (std::size_t g = 0; g < groups.size(); ++g) {
-    const Rect& slot = packed[freeCells.size() + g];
+    const Rect& slot = packed[F + g];
     const SymIslandBuf& isl = scratch.islands[g];
     for (std::size_t i = 0; i < isl.cells.size(); ++i) {
       out.placement[isl.cells[i]] = isl.local[i].translated(slot.x, slot.y);
@@ -325,9 +387,40 @@ bool buildSymmetricPlacementInto(const SequencePair& sp,
     if (isl.usedFallback) ++out.fallbacks;
   }
 
-  if (!out.placement.isLegal() ||
-      !verifySymmetry(out.placement, groups, out.axis2x)) {
-    return false;  // defensive: contract violation, not expected
+  // Report possibly-changed modules: re-swept reduced nodes map to their
+  // cells; an island whose internal layout changed moves all its cells even
+  // when its slot did not.
+  if (options.moved) {
+    if (!options.incremental) {
+      for (std::size_t m = 0; m < n; ++m) options.moved->push_back(m);
+    } else {
+      for (std::size_t idx : scratch.redMoved) {
+        if (idx < F) {
+          options.moved->push_back(freeCells[idx]);
+        } else {
+          for (std::size_t m : scratch.islands[idx - F].cells) {
+            options.moved->push_back(m);
+          }
+        }
+      }
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (!scratch.islands[g].changed) continue;
+        for (std::size_t m : scratch.islands[g].cells) {
+          options.moved->push_back(m);
+        }
+      }
+    }
+  }
+
+  if (options.verify) {
+    if (!out.placement.isLegal() ||
+        !verifySymmetry(out.placement, groups, out.axis2x)) {
+      return false;  // defensive: contract violation, not expected
+    }
+  } else {
+    assert(out.placement.isLegal() &&
+           verifySymmetry(out.placement, groups, out.axis2x) &&
+           "symmetric construction contract violation");
   }
   return true;
 }

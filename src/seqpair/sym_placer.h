@@ -35,6 +35,7 @@
 // true for the micrometer-grid footprints all generators emit (asserted).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 
@@ -70,6 +71,11 @@ struct SymIslandBuf {
   Coord w = 0, h = 0;              // bounding box
   bool usedFallback = false;
   std::vector<SymOrientedPair> pairs;
+  // Island layout cache (incremental builds): the signature captures every
+  // input the layout depends on; an unchanged signature skips relaxation.
+  std::vector<std::size_t> sig;
+  bool sigValid = false;
+  bool changed = true;  ///< this call recomputed the island (transient)
 };
 
 /// One row of the stacked fallback island.
@@ -93,10 +99,40 @@ struct SymPlaceScratch {
   std::vector<std::size_t> localIndex;    ///< stacked-fallback index map
   std::vector<std::size_t> freeCells;     ///< cells in no group
   std::vector<Coord> rw, rh;              ///< reduced footprints
-  std::vector<std::size_t> alphaKey, betaKey, alphaOrder, betaOrder;
+  std::vector<std::size_t> alphaOrder, betaOrder;
   SequencePair reduced;                   ///< reduced sequence-pair buffer
   SeqPairPackScratch pack;
   Placement packed;                       ///< reduced packing result
+  std::vector<std::uint32_t> groupOf;     ///< group per module (~0u = free)
+  std::vector<std::size_t> freeIndexOf;   ///< reduced index per free module
+  std::vector<std::uint8_t> groupSeen;    ///< per-group flag (order builds)
+  std::vector<std::size_t> tmpSig;        ///< candidate island signature
+  std::vector<std::size_t> redMoved;      ///< moved reduced-pair indices
+  // Warm-reuse gate: caches are trusted only while the instance shape (n,
+  // group count, free-cell list) matches the previous call on this scratch.
+  std::vector<std::size_t> prevFreeCells;
+  std::size_t prevN = static_cast<std::size_t>(-1);
+  std::size_t prevGroups = 0;
+};
+
+/// Options of the scratch-reuse construction path.
+struct SymBuildOptions {
+  int maxIterations = 200;  ///< island relaxation fixpoint cap
+  /// Pack strategy of the reduced sequence-pair (Auto resolves by size).
+  PackStrategy packing = PackStrategy::Fenwick;
+  /// Reuse per-scratch state across calls: island layouts are cached by
+  /// signature (skipping relaxation when a group's cells, positions and
+  /// footprints are unchanged) and the LCS packs run incrementally from
+  /// their first changed step.  Results stay bit-identical to a cold build.
+  bool incremental = false;
+  /// Run the O(n^2) legality + mirror verification and fail on violation.
+  /// Hot decode loops turn this off; debug builds assert it regardless.
+  bool verify = true;
+  /// When non-null, every module whose rect may differ from the previous
+  /// successful call on this scratch is appended (superset and duplicates
+  /// OK; a cold or non-incremental call appends all).  Feeds the SA cost
+  /// model's hinted propose (see anneal/annealer.h).
+  std::vector<std::size_t>* moved = nullptr;
 };
 
 /// Builds a placement in which every group is exactly mirrored about its own
@@ -110,7 +146,17 @@ std::optional<SymPlacementResult> buildSymmetricPlacement(
 
 /// Scratch-reuse variant: identical results; returns false exactly when the
 /// by-value overload returns nullopt.  `out` is fully overwritten on
-/// success (unspecified on failure).
+/// success (unspecified on failure; with options.incremental, unchanged
+/// rects are carried over rather than rewritten — same values either way).
+bool buildSymmetricPlacementInto(const SequencePair& sp,
+                                 std::span<const Coord> widths,
+                                 std::span<const Coord> heights,
+                                 std::span<const SymmetryGroup> groups,
+                                 const SymBuildOptions& options,
+                                 SymPlaceScratch& scratch,
+                                 SymPlacementResult& out);
+
+/// Legacy convenience overload: default options with `maxIterations`.
 bool buildSymmetricPlacementInto(const SequencePair& sp,
                                  std::span<const Coord> widths,
                                  std::span<const Coord> heights,

@@ -114,6 +114,34 @@ struct VebTree::Node {
     return index(*nextH, clusters[*nextH]->minVal);
   }
 
+  /// Empties the subtree, visiting only non-empty clusters (they are
+  /// exactly the summary's elements).  Allocations are kept.
+  void clearNode() {
+    if (universe > 2 && summary && !summary->isEmpty()) {
+      std::uint64_t h = summary->minVal;
+      for (;;) {
+        clusters[h]->clearNode();
+        auto next = summary->successor(h);
+        if (!next) break;
+        h = *next;
+      }
+      summary->clearNode();
+    }
+    minVal = maxVal = kNoElem;
+  }
+
+  /// Allocates every cluster and summary recursively so no later insert
+  /// path ever hits a cold unique_ptr.
+  void materialize() {
+    if (universe == 2) return;
+    for (auto& c : clusters) {
+      if (!c) c = std::make_unique<Node>(1ull << lowBits);
+      c->materialize();
+    }
+    if (!summary) summary = std::make_unique<Node>(clusters.size());
+    summary->materialize();
+  }
+
   std::optional<std::uint64_t> predecessor(std::uint64_t x) const {
     if (isEmpty() || x <= minVal) return std::nullopt;
     if (x > maxVal) return maxVal;
@@ -129,8 +157,32 @@ struct VebTree::Node {
   }
 };
 
+VebTree::VebTree() : VebTree(2) {}
+
 VebTree::VebTree(std::uint64_t universeSize)
     : root_(std::make_unique<Node>(ceilPow2(universeSize < 2 ? 2 : universeSize))) {}
+
+void VebTree::clear() {
+  if (size_ != 0) root_->clearNode();
+  size_ = 0;
+}
+
+void VebTree::prewarm() {
+  root_->materialize();
+  materialized_ = true;
+}
+
+void VebTree::resetUniverse(std::uint64_t universeSize) {
+  std::uint64_t u = ceilPow2(universeSize < 2 ? 2 : universeSize);
+  if (u != root_->universe) {
+    root_ = std::make_unique<Node>(u);
+    size_ = 0;
+    materialized_ = false;
+  } else {
+    clear();
+  }
+  if (!materialized_) prewarm();
+}
 
 VebTree::~VebTree() = default;
 VebTree::VebTree(VebTree&&) noexcept = default;

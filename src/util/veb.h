@@ -22,6 +22,10 @@ namespace als {
 
 class VebTree {
  public:
+  /// Smallest tree (universe [0, 2)); grow it with resetUniverse().  The
+  /// default lets hot-path scratch structs own a warm tree by value.
+  VebTree();
+
   /// Creates a tree over universe [0, universeSize); universeSize is rounded
   /// up to the next power of two (minimum 2).
   explicit VebTree(std::uint64_t universeSize);
@@ -42,6 +46,21 @@ class VebTree {
   /// Largest element strictly smaller than x.
   std::optional<std::uint64_t> predecessor(std::uint64_t x) const;
 
+  /// Empties the tree in O(occupied · log log U), walking only the
+  /// clusters that hold elements; every allocation is kept, so a warm tree
+  /// can be cleared and refilled without touching the heap.
+  void clear();
+
+  /// Materializes every cluster and summary recursively (O(U) nodes once),
+  /// after which insert/erase never allocate — the steady-state guarantee
+  /// the per-move decode loops rely on.
+  void prewarm();
+
+  /// Re-targets the tree at a (rounded-up) universe: an equal universe is
+  /// an O(occupied) clear(); a different one rebuilds and prewarms.  Either
+  /// way the tree ends empty, materialized, and allocation-free to use.
+  void resetUniverse(std::uint64_t universeSize);
+
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
   std::uint64_t universe() const;
@@ -50,6 +69,7 @@ class VebTree {
   struct Node;
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
+  bool materialized_ = false;  ///< prewarm() done; never reverts (no node is freed)
 };
 
 }  // namespace als

@@ -26,6 +26,7 @@
 #include "engine/place_scratch.h"
 #include "engine/placement_engine.h"
 #include "io/corpus.h"
+#include "seqpair/sa_placer.h"
 
 namespace {
 
@@ -152,6 +153,66 @@ TEST_P(AllocGate, ThermalAndShapeWorkloadsDoNotAllocate) {
   opt.shapeMoveProb = 0.25;
   expectZeroAllocsPerMove(GetParam(), opt);
 }
+
+/// Strategy-forced variant of the gate, below the engine layer: the Naive /
+/// Fenwick / Veb LCS structures (and the journaled incremental sweeps that
+/// reuse them) must each hold the zero-allocations-per-move contract, not
+/// just whatever Auto resolves to for the gate circuit.
+class AllocGateLcs : public ::testing::TestWithParam<PackStrategy> {};
+
+TEST_P(AllocGateLcs, SeqPairStrategyDoesNotAllocatePerMove) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug asserts re-validate encodings (allocating); the "
+                  "gate targets Release builds";
+#endif
+  // n100 puts Veb in its intended regime (Auto resolves to it at n >= 128
+  // only; forcing the strategy pins the structure under test).
+  const Circuit circuit = loadCorpusCircuit(CorpusCircuit::N100);
+  SeqPairScratch scratch;
+  SeqPairPlacerOptions opt;
+  opt.scratch = &scratch;
+  opt.seed = 3;
+  opt.packing = GetParam();
+
+  opt.maxSweeps = 12;
+  SeqPairPlacerResult warm = placeSeqPairSA(circuit, opt);
+
+  opt.maxSweeps = 6;
+  unsigned long long before = gAllocCount.load(std::memory_order_relaxed);
+  SeqPairPlacerResult shortRun = placeSeqPairSA(circuit, opt);
+  unsigned long long shortAllocs =
+      gAllocCount.load(std::memory_order_relaxed) - before;
+
+  opt.maxSweeps = 12;
+  before = gAllocCount.load(std::memory_order_relaxed);
+  SeqPairPlacerResult longRun = placeSeqPairSA(circuit, opt);
+  unsigned long long longAllocs =
+      gAllocCount.load(std::memory_order_relaxed) - before;
+
+  ASSERT_GT(longRun.movesTried, shortRun.movesTried);
+  EXPECT_EQ(longRun.cost, warm.cost);
+  const std::size_t extraMoves = longRun.movesTried - shortRun.movesTried;
+  EXPECT_EQ(longAllocs, shortAllocs)
+      << "strategy allocates "
+      << (static_cast<double>(longAllocs) - static_cast<double>(shortAllocs)) /
+             static_cast<double>(extraMoves)
+      << " times per move in steady state (" << extraMoves << " extra moves)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AllocGateLcs,
+                         ::testing::Values(PackStrategy::Naive,
+                                           PackStrategy::Fenwick,
+                                           PackStrategy::Veb,
+                                           PackStrategy::Auto),
+                         [](const ::testing::TestParamInfo<PackStrategy>& i) {
+                           switch (i.param) {
+                             case PackStrategy::Naive: return "Naive";
+                             case PackStrategy::Fenwick: return "Fenwick";
+                             case PackStrategy::Veb: return "Veb";
+                             case PackStrategy::Auto: return "Auto";
+                           }
+                           return "unknown";
+                         });
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, AllocGate,
                          ::testing::ValuesIn(allBackends().begin(),

@@ -2,7 +2,9 @@
 
 #include "bstar/bstar_tree.h"
 #include "bstar/contour.h"
+#include "bstar/flat_placer.h"
 #include "bstar/pack.h"
+#include "io/corpus.h"
 #include "netlist/generators.h"
 #include "test_util.h"
 
@@ -190,6 +192,119 @@ TEST(Macro, FromPlacementComputesProfiles) {
   EXPECT_EQ(m.top[1].v, 5);
   ASSERT_EQ(m.bottom.size(), 1u);  // flat bottom merges into one step
   EXPECT_EQ(m.bottom[0].v, 0);
+}
+
+/// Drives partial-repack and full-pack decodes through an SA-shaped random
+/// move sequence (perturb, sometimes revert, sometimes re-orient an item)
+/// and demands bit-identical placements after every single move.
+void runPartialVsFull(std::vector<Coord> w, std::vector<Coord> h,
+                      std::uint64_t seed, int moves) {
+  const std::size_t n = w.size();
+  Rng rng(seed);
+  BStarTree tree = BStarTree::random(n, rng);
+  BStarPackScratch partialScratch, fullScratch;
+  Placement partial, full;
+  std::size_t prevFirst = 0;
+  for (int step = 0; step < moves; ++step) {
+    BStarTree saved = tree;
+    std::vector<Coord> savedW = w, savedH = h;
+    if (rng.uniform() < 0.2) {  // orientation move: dims change, tree doesn't
+      std::size_t m = rng.index(n);
+      std::swap(w[m], h[m]);
+    } else {
+      tree.perturb(rng);
+    }
+    std::size_t first = packBStarPartialInto(tree, w, h, partialScratch, partial);
+    ASSERT_LE(first, n);
+    packBStarInto(tree, w, h, fullScratch, full);
+    for (std::size_t m = 0; m < n; ++m) {
+      ASSERT_TRUE(partial[m] == full[m])
+          << "step " << step << " module " << m << " (suffix from " << first
+          << ", previous " << prevFirst << ")";
+    }
+    prevFirst = first;
+    if (rng.coin()) {  // reject: the next decode sees the reverted encoding
+      tree = std::move(saved);
+      w = std::move(savedW);
+      h = std::move(savedH);
+      first = packBStarPartialInto(tree, w, h, partialScratch, partial);
+      packBStarInto(tree, w, h, fullScratch, full);
+      for (std::size_t m = 0; m < n; ++m) {
+        ASSERT_TRUE(partial[m] == full[m]) << "revert at step " << step;
+      }
+    }
+  }
+}
+
+TEST(BStarPartialRepack, MatchesFullPackOverRandomMoves) {
+  Rng rng(2024);
+  for (std::size_t n : {2u, 3u, 9u, 17u, 33u, 64u}) {
+    std::vector<Coord> w(n), h(n);
+    for (std::size_t m = 0; m < n; ++m) {
+      w[m] = 1 + rng.uniformInt(0, 30);
+      h[m] = 1 + rng.uniformInt(0, 30);
+    }
+    runPartialVsFull(std::move(w), std::move(h), 7 * n + 1, 200);
+  }
+}
+
+TEST(BStarPartialRepack, MatchesFullPackAtCorpusScale) {
+  for (CorpusCircuit which :
+       {CorpusCircuit::Ami33, CorpusCircuit::Ami49, CorpusCircuit::N100,
+        CorpusCircuit::N300}) {
+    Circuit c = loadCorpusCircuit(which);
+    std::vector<Coord> w(c.moduleCount()), h(c.moduleCount());
+    for (std::size_t m = 0; m < c.moduleCount(); ++m) {
+      w[m] = c.module(m).w;
+      h[m] = c.module(m).h;
+    }
+    int moves = c.moduleCount() > 100 ? 40 : 120;
+    runPartialVsFull(std::move(w), std::move(h), 31, moves);
+  }
+}
+
+TEST(BStarPartialRepack, FullPackInvalidatesTheRecord) {
+  // Mixing entry points on one scratch must stay sound: a full pack orphans
+  // the partial record, so the next partial call re-packs from scratch.
+  Rng rng(55);
+  std::vector<Coord> w{4, 7, 3, 9, 5}, h{6, 2, 8, 4, 7};
+  BStarTree tree = BStarTree::random(5, rng);
+  BStarPackScratch scratch, fresh;
+  Placement viaMixed, viaFresh;
+  packBStarPartialInto(tree, w, h, scratch, viaMixed);
+  tree.perturb(rng);
+  packBStarInto(tree, w, h, scratch, viaMixed);  // invalidates scratch.repack
+  EXPECT_FALSE(scratch.repack.valid);
+  tree.perturb(rng);
+  std::size_t first = packBStarPartialInto(tree, w, h, scratch, viaMixed);
+  EXPECT_EQ(first, 0u) << "orphaned record must force a cold pack";
+  packBStarInto(tree, w, h, fresh, viaFresh);
+  for (std::size_t m = 0; m < 5; ++m) ASSERT_TRUE(viaMixed[m] == viaFresh[m]);
+}
+
+TEST(FlatBStarPlacer, PartialDecodeMatchesFullDecodeTrajectory) {
+  // Same seed, partial decode on vs off: the SA trajectories must be
+  // bit-identical (partial repack and the hinted cost propose may change
+  // *how* the cost is computed, never its value).
+  for (CorpusCircuit which : {CorpusCircuit::Apte, CorpusCircuit::Ami33,
+                              CorpusCircuit::N100}) {
+    Circuit c = loadCorpusCircuit(which);
+    FlatBStarOptions on, off;
+    on.maxSweeps = off.maxSweeps = which == CorpusCircuit::N100 ? 6 : 24;
+    on.seed = off.seed = 77;
+    on.partialDecode = true;
+    off.partialDecode = false;
+    FlatBStarResult a = placeFlatBStarSA(c, on);
+    FlatBStarResult b = placeFlatBStarSA(c, off);
+    ASSERT_EQ(a.movesTried, b.movesTried);
+    ASSERT_EQ(a.cost, b.cost) << corpusName(which);
+    ASSERT_EQ(a.area, b.area);
+    ASSERT_EQ(a.hpwl, b.hpwl);
+    ASSERT_EQ(a.placement.size(), b.placement.size());
+    for (std::size_t m = 0; m < a.placement.size(); ++m) {
+      ASSERT_TRUE(a.placement[m] == b.placement[m]) << corpusName(which);
+    }
+  }
 }
 
 TEST(Macro, MirrorPreservesFootprintMultiset) {

@@ -77,6 +77,22 @@ TEST(IoGolden, Ami33AllBackends) {
   expectGolden(CorpusCircuit::Ami33, goldenOptions(), goldens);
 }
 
+// GSRC-scale pin: exercises the partial-repack (flat-bstar) and incremental
+// LCS (seqpair) hot paths at the size class they were built for, on a small
+// sweep budget so the suite stays fast.  These two backends re-decode only
+// what a move disturbed; the pins prove the asymptotic machinery does not
+// drift the arithmetic by even one DBU.
+TEST(IoGolden, N100HotPathBackends) {
+  EngineOptions opt;
+  opt.maxSweeps = 12;
+  opt.seed = 1;
+  const Golden goldens[] = {
+      {EngineBackend::FlatBStar, 10699245148267.648, 73960500, 919020000000},
+      {EngineBackend::SeqPair, 7388909403629.7334, 56907500, 742248000000},
+  };
+  expectGolden(CorpusCircuit::N100, opt, goldens);
+}
+
 // The golden configuration must itself be reproducible: a second run of the
 // pinned configuration is bit-identical (placements included), so a golden
 // failure can never be flakiness.

@@ -226,6 +226,54 @@ TEST(Corpus, AllCircuitsParseAndValidate) {
   }
 }
 
+TEST(Corpus, GsrcCircuitsParseValidateAndScale) {
+  const std::size_t expectedBlocks[] = {100, 200, 300};
+  std::size_t i = 0;
+  for (CorpusCircuit which : largeCorpusCircuits()) {
+    SCOPED_TRACE(corpusName(which));
+    Circuit c = loadCorpusCircuit(which);
+    EXPECT_EQ(c.name(), corpusName(which));
+    EXPECT_EQ(c.moduleCount(), expectedBlocks[i++]);
+    std::string why;
+    EXPECT_TRUE(c.validate(&why)) << why;
+    EXPECT_FALSE(c.hierarchy().empty());
+    // The GSRC-scale class carries the annotations the scaling benches
+    // exercise: soft blocks with shape curves, symmetry groups, and about
+    // one net per block.
+    std::size_t soft = 0;
+    for (ModuleId m = 0; m < c.moduleCount(); ++m) {
+      if (!c.module(m).shapes.empty()) ++soft;
+      // Every footprint sits on the micrometre grid (even DBU — the
+      // symmetric constructors center pairs at half-sums).
+      EXPECT_EQ(c.module(m).w % 2, 0) << m;
+      EXPECT_EQ(c.module(m).h % 2, 0) << m;
+    }
+    EXPECT_GE(soft, c.moduleCount() / 20);
+    EXPECT_GE(c.symmetryGroups().size(), 2u);
+    EXPECT_GE(c.nets().size(), c.moduleCount() / 2);
+    // The embedded text is a stable singleton: repeated lookups alias the
+    // same generated buffer.
+    EXPECT_EQ(corpusText(which).data(), corpusText(which).data());
+    // Name lookup covers the large list too.
+    CorpusCircuit back;
+    ASSERT_TRUE(corpusByName(corpusName(which), &back));
+    EXPECT_EQ(back, which);
+  }
+}
+
+TEST(Corpus, GsrcGeneratorIsDeterministic) {
+  Circuit a = makeGsrcLikeCircuit(100, 42);
+  Circuit b = makeGsrcLikeCircuit(100, 42);
+  WriteResult wa = writeBenchmark(a), wb = writeBenchmark(b);
+  ASSERT_TRUE(wa.ok() && wb.ok());
+  EXPECT_EQ(wa.text, wb.text);
+  // A different seed must actually change the instance.
+  Circuit other = makeGsrcLikeCircuit(100, 43);
+  WriteResult wo = writeBenchmark(other);
+  ASSERT_TRUE(wo.ok());
+  EXPECT_NE(wa.text, wo.text);
+}
+
 // --- round trip ----------------------------------------------------------
 
 void expectStructurallyIdentical(const Circuit& a, const Circuit& b) {
@@ -373,6 +421,21 @@ TEST(BenchmarkRoundTrip, CorpusCircuits) {
     ParseResult parsed = parseBenchmark(written.text);
     ASSERT_TRUE(parsed.ok()) << parsed.error;
     expectStructurallyIdentical(c, parsed.circuit);
+  }
+}
+
+TEST(BenchmarkRoundTrip, GsrcCircuits) {
+  for (CorpusCircuit which : largeCorpusCircuits()) {
+    SCOPED_TRACE(corpusName(which));
+    Circuit c = loadCorpusCircuit(which);
+    WriteResult written = writeBenchmark(c);
+    ASSERT_TRUE(written.ok()) << written.error;
+    ParseResult parsed = parseBenchmark(written.text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    expectStructurallyIdentical(c, parsed.circuit);
+    // The corpus text IS the serialization of the generated circuit, so a
+    // second write reproduces it byte-for-byte.
+    EXPECT_EQ(written.text, corpusText(which));
   }
 }
 

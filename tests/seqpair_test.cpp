@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "io/corpus.h"
 #include "netlist/generators.h"
 #include "seqpair/moves.h"
 #include "seqpair/packer.h"
 #include "seqpair/sa_placer.h"
 #include "seqpair/sequence_pair.h"
+#include "seqpair/sym_placer.h"
 #include "seqpair/symmetry.h"
 #include "test_util.h"
 
@@ -252,6 +256,201 @@ TEST(Moves, RotationsKeepPairsMatched) {
       for (const SymPair& p : g.pairs) {
         ASSERT_EQ(s.rotated[p.a], s.rotated[p.b]);
       }
+    }
+  }
+}
+
+// --- Incremental packing ---
+
+/// Random SA-shaped walk: mutate the pair (sequence swap or rotation),
+/// decode incrementally on a warm scratch, and demand the result equals a
+/// cold full pack bit-for-bit; modules whose rect changed must be covered
+/// by the reported moved list.
+void runIncrementalVsFull(PackStrategy strategy, std::size_t n,
+                          std::uint64_t seed, int steps) {
+  Rng rng(seed);
+  SequencePair sp = SequencePair::random(n, rng);
+  std::vector<Coord> w(n), h(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    w[m] = 1 + rng.uniformInt(0, 40);
+    h[m] = 1 + rng.uniformInt(0, 40);
+  }
+  SeqPairPackScratch inc;
+  Placement out, prev, full;
+  std::vector<std::size_t> moved;
+  for (int step = 0; step < steps; ++step) {
+    if (step > 0) {
+      if (rng.uniform() < 0.25) {  // rotation: dims change, sequences don't
+        std::size_t m = rng.index(n);
+        std::swap(w[m], h[m]);
+      } else {
+        std::vector<std::size_t> a = sp.alpha(), b = sp.beta();
+        auto& seq = rng.coin() ? a : b;
+        std::size_t i = rng.index(n), j = rng.index(n);
+        std::swap(seq[i], seq[j]);
+        sp.assignSequences(a, b);
+      }
+    }
+    prev = out;
+    moved.clear();
+    packSequencePairIncrementalInto(sp, w, h, strategy, inc, out, moved);
+    full = packSequencePair(sp, w, h, PackStrategy::Naive);
+    for (std::size_t m = 0; m < n; ++m) {
+      ASSERT_TRUE(out[m] == full[m]) << "step " << step << " module " << m;
+      if (step > 0 && !(out[m] == prev[m])) {
+        ASSERT_TRUE(std::find(moved.begin(), moved.end(), m) != moved.end())
+            << "module " << m << " moved but was not reported, step " << step;
+      }
+    }
+  }
+}
+
+TEST(PackerIncremental, NaiveMatchesFullPack) {
+  runIncrementalVsFull(PackStrategy::Naive, 6, 3, 120);
+  runIncrementalVsFull(PackStrategy::Naive, 29, 5, 120);
+}
+
+TEST(PackerIncremental, FenwickMatchesFullPack) {
+  runIncrementalVsFull(PackStrategy::Fenwick, 6, 7, 120);
+  runIncrementalVsFull(PackStrategy::Fenwick, 61, 9, 120);
+}
+
+TEST(PackerIncremental, VebMatchesFullPack) {
+  runIncrementalVsFull(PackStrategy::Veb, 6, 11, 120);
+  runIncrementalVsFull(PackStrategy::Veb, 140, 13, 60);
+}
+
+TEST(PackerIncremental, AutoMatchesFullPackAcrossThresholds) {
+  // Auto resolves per size class; cover one n in each band.
+  runIncrementalVsFull(PackStrategy::Auto, 9, 15, 80);
+  runIncrementalVsFull(PackStrategy::Auto, 90, 17, 80);
+  runIncrementalVsFull(PackStrategy::Auto, 150, 19, 60);
+}
+
+TEST(PackerIncremental, SurvivesStrategySwitchOnOneScratch) {
+  // Changing the strategy between calls must fall back to a cold pack, not
+  // resume another strategy's journal.
+  Rng rng(23);
+  const std::size_t n = 40;
+  SequencePair sp = SequencePair::random(n, rng);
+  std::vector<Coord> w(n), h(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    w[m] = 1 + rng.uniformInt(0, 20);
+    h[m] = 1 + rng.uniformInt(0, 20);
+  }
+  SeqPairPackScratch scratch;
+  Placement out;
+  std::vector<std::size_t> moved;
+  for (PackStrategy s : {PackStrategy::Fenwick, PackStrategy::Veb,
+                         PackStrategy::Naive, PackStrategy::Fenwick}) {
+    std::vector<std::size_t> a = sp.alpha(), b = sp.beta();
+    std::swap(a[rng.index(n)], a[rng.index(n)]);
+    sp.assignSequences(a, b);
+    moved.clear();
+    packSequencePairIncrementalInto(sp, w, h, s, scratch, out, moved);
+    Placement full = packSequencePair(sp, w, h, PackStrategy::Naive);
+    for (std::size_t m = 0; m < n; ++m) ASSERT_TRUE(out[m] == full[m]);
+  }
+}
+
+TEST(SymPlacerIncremental, MatchesLegacyPathOverSymmetricWalks) {
+  // The hot construction path (island signature cache + incremental LCS)
+  // must reproduce the legacy full-build placement and axes bit-for-bit at
+  // every step of a feasibility-preserving walk.
+  for (CorpusCircuit which : {CorpusCircuit::Ami33, CorpusCircuit::N100}) {
+    Circuit c = loadCorpusCircuit(which);
+    auto groups = std::span<const SymmetryGroup>(c.symmetryGroups());
+    std::vector<bool> rotatable;
+    for (const Module& m : c.modules()) rotatable.push_back(m.rotatable);
+    SymmetricMoveSet moves(groups, rotatable);
+    SeqPairState s{SequencePair(c.moduleCount()),
+                   std::vector<bool>(c.moduleCount(), false)};
+    makeSymmetricFeasible(s.sp, groups);
+
+    SymPlaceScratch hotScratch, coldScratch;
+    SymPlacementResult hot, cold;
+    std::vector<std::size_t> moved;
+    SymBuildOptions opt;
+    opt.incremental = true;
+    opt.verify = false;
+    opt.packing = PackStrategy::Auto;
+    opt.moved = &moved;
+
+    Rng rng(61);
+    std::vector<Coord> w(c.moduleCount()), h(c.moduleCount());
+    Placement prev;
+    for (int step = 0; step < 60; ++step) {
+      if (step > 0) moves.apply(s, rng);
+      for (std::size_t m = 0; m < c.moduleCount(); ++m) {
+        w[m] = s.rotated[m] ? c.module(m).h : c.module(m).w;
+        h[m] = s.rotated[m] ? c.module(m).w : c.module(m).h;
+      }
+      moved.clear();
+      ASSERT_TRUE(buildSymmetricPlacementInto(s.sp, w, h, groups, opt,
+                                              hotScratch, hot));
+      ASSERT_TRUE(buildSymmetricPlacementInto(s.sp, w, h, groups, 200,
+                                              coldScratch, cold));
+      ASSERT_EQ(hot.axis2x, cold.axis2x) << corpusName(which);
+      for (std::size_t m = 0; m < c.moduleCount(); ++m) {
+        ASSERT_TRUE(hot.placement[m] == cold.placement[m])
+            << corpusName(which) << " step " << step << " module " << m;
+        if (step > 0 && !(hot.placement[m] == prev[m])) {
+          ASSERT_TRUE(std::find(moved.begin(), moved.end(), m) != moved.end())
+              << "module " << m << " moved but unreported, step " << step;
+        }
+      }
+      prev = hot.placement;
+    }
+  }
+}
+
+TEST(SaPlacer, IncrementalDecodeMatchesFullDecodeTrajectory) {
+  // Same seed, incremental decode on vs off: bit-identical SA trajectories
+  // (the hinted propose and the journaled LCS change cost *computation*,
+  // never cost *values*).
+  for (CorpusCircuit which : {CorpusCircuit::Apte, CorpusCircuit::Ami33,
+                              CorpusCircuit::N100}) {
+    Circuit c = loadCorpusCircuit(which);
+    SeqPairPlacerOptions on, off;
+    on.maxSweeps = off.maxSweeps = which == CorpusCircuit::N100 ? 6 : 24;
+    on.seed = off.seed = 83;
+    on.incrementalDecode = true;
+    off.incrementalDecode = false;
+    SeqPairPlacerResult a = placeSeqPairSA(c, on);
+    SeqPairPlacerResult b = placeSeqPairSA(c, off);
+    ASSERT_EQ(a.movesTried, b.movesTried) << corpusName(which);
+    ASSERT_EQ(a.cost, b.cost) << corpusName(which);
+    ASSERT_EQ(a.area, b.area);
+    ASSERT_EQ(a.hpwl, b.hpwl);
+    for (std::size_t m = 0; m < a.placement.size(); ++m) {
+      ASSERT_TRUE(a.placement[m] == b.placement[m]) << corpusName(which);
+    }
+  }
+}
+
+TEST(SaPlacer, PackStrategiesShareOneTrajectory) {
+  // Naive / Fenwick / Veb / Auto are interchangeable mid-anneal: identical
+  // cost values mean identical accept decisions, so the whole run matches.
+  Circuit c = loadCorpusCircuit(CorpusCircuit::Ami33);
+  SeqPairPlacerResult ref;
+  bool first = true;
+  for (PackStrategy s : {PackStrategy::Naive, PackStrategy::Fenwick,
+                         PackStrategy::Veb, PackStrategy::Auto}) {
+    SeqPairPlacerOptions opt;
+    opt.maxSweeps = 20;
+    opt.seed = 29;
+    opt.packing = s;
+    SeqPairPlacerResult r = placeSeqPairSA(c, opt);
+    if (first) {
+      ref = std::move(r);
+      first = false;
+      continue;
+    }
+    ASSERT_EQ(r.cost, ref.cost);
+    ASSERT_EQ(r.area, ref.area);
+    ASSERT_EQ(r.hpwl, ref.hpwl);
+    for (std::size_t m = 0; m < r.placement.size(); ++m) {
+      ASSERT_TRUE(r.placement[m] == ref.placement[m]);
     }
   }
 }

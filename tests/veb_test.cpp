@@ -127,5 +127,87 @@ TEST_P(VebDifferentialTest, MatchesStdSet) {
 INSTANTIATE_TEST_SUITE_P(Universes, VebDifferentialTest,
                          ::testing::Values(2, 4, 16, 64, 256, 1024, 65536));
 
+TEST(VebTree, ClearEmptiesWithoutLosingTheUniverse) {
+  VebTree t(200);
+  for (std::uint64_t x : {0u, 3u, 99u, 127u, 199u}) t.insert(x);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.universe(), 256u);
+  for (std::uint64_t x : {0u, 3u, 99u, 127u, 199u}) EXPECT_FALSE(t.contains(x));
+  // A cleared tree behaves like a fresh one.
+  t.insert(42);
+  EXPECT_EQ(t.min().value(), 42u);
+  EXPECT_EQ(t.max().value(), 42u);
+  EXPECT_FALSE(t.successor(42).has_value());
+}
+
+TEST(VebTree, ClearThenRefillMatchesFreshTree) {
+  Rng rng(71);
+  VebTree reused(512);
+  for (int round = 0; round < 25; ++round) {
+    reused.clear();
+    VebTree fresh(512);
+    std::set<std::uint64_t> ref;
+    for (int op = 0; op < 60; ++op) {
+      std::uint64_t x = rng.index(512);
+      if (rng.uniform() < 0.7) {
+        reused.insert(x);
+        fresh.insert(x);
+        ref.insert(x);
+      } else {
+        reused.erase(x);
+        fresh.erase(x);
+        ref.erase(x);
+      }
+    }
+    ASSERT_EQ(reused.size(), ref.size());
+    for (std::uint64_t x = 0; x < 512; ++x) {
+      ASSERT_EQ(reused.contains(x), fresh.contains(x)) << "x=" << x;
+      ASSERT_EQ(reused.successor(x).has_value(), fresh.successor(x).has_value());
+      if (reused.successor(x).has_value()) {
+        ASSERT_EQ(*reused.successor(x), *fresh.successor(x));
+      }
+    }
+  }
+}
+
+TEST(VebTree, ResetUniverseGrowsAndReuses) {
+  VebTree t;  // default: universe 2
+  EXPECT_EQ(t.universe(), 2u);
+  t.resetUniverse(100);
+  EXPECT_EQ(t.universe(), 128u);
+  EXPECT_TRUE(t.empty());
+  t.insert(99);
+  EXPECT_TRUE(t.contains(99));
+  t.resetUniverse(100);  // same rounded universe: O(occupied) clear
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.contains(99));
+  t.insert(7);
+  t.resetUniverse(1000);  // growth: rebuild
+  EXPECT_EQ(t.universe(), 1024u);
+  EXPECT_TRUE(t.empty());
+  t.insert(900);
+  EXPECT_EQ(t.predecessor(1000).value(), 900u);
+}
+
+TEST(VebTree, PrewarmedTreeStaysCorrect) {
+  VebTree t(300);
+  t.prewarm();
+  std::set<std::uint64_t> ref;
+  Rng rng(77);
+  for (int op = 0; op < 500; ++op) {
+    std::uint64_t x = rng.index(300);
+    if (rng.coin()) {
+      t.insert(x);
+      ref.insert(x);
+    } else {
+      t.erase(x);
+      ref.erase(x);
+    }
+    ASSERT_EQ(t.size(), ref.size());
+  }
+  for (std::uint64_t x = 0; x < 300; ++x) ASSERT_EQ(t.contains(x), ref.count(x) > 0);
+}
+
 }  // namespace
 }  // namespace als

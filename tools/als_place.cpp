@@ -247,6 +247,42 @@ int runSmoke(BenchIo& io) {
              &opt);
     }
   }
+  // GSRC leg: the same determinism bar at 100 blocks, where flat-bstar's
+  // partial repack and seqpair's incremental LCS (Auto resolves to Fenwick
+  // here, Veb from n128) carry the decode — on a reduced sweep budget so
+  // the smoke gate stays in seconds.
+  {
+    EngineOptions gopt = opt;
+    gopt.maxSweeps = 24;
+    gopt.numRestarts = 2;
+    Circuit c = loadCorpusCircuit(CorpusCircuit::N100);
+    for (EngineBackend backend : allBackends()) {
+      gopt.numThreads = 1;
+      EngineResult serial = runner.run(c, backend, gopt);
+      gopt.numThreads = 8;
+      EngineResult parallel = runner.run(c, backend, gopt);
+      EngineResult again = runner.run(c, backend, gopt);
+      bool deterministic = identicalResults(serial, parallel) &&
+                           identicalResults(parallel, again);
+      bool legal = serial.placement.isLegal() &&
+                   serial.placement.size() == c.moduleCount();
+      if (!deterministic || !legal) {
+        std::fprintf(stderr, "als_place: n100/%s %s\n",
+                     std::string(backendName(backend)).c_str(),
+                     deterministic ? "produced an illegal placement"
+                                   : "is NOT deterministic across runs/threads");
+        ++failures;
+      }
+      table.addRow({"n100", std::to_string(c.moduleCount()),
+                    std::string(backendName(backend)),
+                    Table::fmt(static_cast<double>(serial.area) /
+                               static_cast<double>(c.totalModuleArea())),
+                    Table::fmt(static_cast<double>(serial.hpwl) / 1000.0, 1),
+                    deterministic && legal ? "yes" : "NO"});
+      io.add(std::string(backendName(backend)), "n100", parallel, 8, &gopt);
+    }
+  }
+
   // Scenario leg: the same determinism bar with the thermal objective and
   // shape-selection moves enabled.  apte and ami33 carry Power annotations
   // and ami33 shape curves, so both new code paths actually execute.
@@ -347,12 +383,14 @@ int main(int argc, char** argv) {
     };
     std::uint64_t n = 0;
     if (arg == "--list") {
-      for (CorpusCircuit which : allCorpusCircuits()) {
+      auto printRow = [](CorpusCircuit which) {
         Circuit c = loadCorpusCircuit(which);
         std::printf("%-8s %3zu blocks, %zu nets, %zu symmetry group(s)\n",
                     corpusName(which), c.moduleCount(), c.nets().size(),
                     c.symmetryGroups().size());
-      }
+      };
+      for (CorpusCircuit which : allCorpusCircuits()) printRow(which);
+      for (CorpusCircuit which : largeCorpusCircuits()) printRow(which);
       return 0;
     } else if (arg == "--smoke") {
       smoke = true;
