@@ -12,6 +12,16 @@
 // On a multi-core machine the expected speedup at 8 restarts is >2x by a
 // wide margin; on a single hardware thread it degrades gracefully to ~1x.
 //
+// Part 3 (restarts vs tempering): the SAME restart plan — same seeds, same
+// per-slice sweep budgets — is run twice per circuit, once as independent
+// restarts and once as a coupled parallel-tempering ladder
+// (runtime/tempering.h).  Equal budget, so any quality delta is purely the
+// exchange coupling.  Records carry distinct "restarts-*" / "tempering-*"
+// backend names so bench_diff tracks both configurations as separate
+// coverage pairs.  A race leg on the small MCNC circuits additionally
+// exercises cross-backend seeding (ladder-to-ladder placement adoption
+// through the from_placement converters).
+//
 // Flags: --json <path> (machine-readable records), --smoke (short fixed
 // budgets for CI).
 #include <cstdio>
@@ -20,6 +30,7 @@
 #include "io/corpus.h"
 #include "netlist/generators.h"
 #include "runtime/portfolio.h"
+#include "runtime/tempering.h"
 #include "util/bench_json.h"
 #include "util/table.h"
 
@@ -112,6 +123,86 @@ int main(int argc, char** argv) {
     io.add("seqpair", c.name(), serial, 1);
     io.add("seqpair", c.name(), parallel, hardware);
     if (!identical) return 1;
+  }
+
+  std::puts("\n=== Equal budget: independent restarts vs tempering ===\n");
+  {
+    EngineOptions restarts;
+    restarts.maxSweeps = io.smoke() ? 320 : 1024;  // total, split over replicas
+    restarts.numRestarts = 4;
+    restarts.numThreads = 0;
+    restarts.seed = 41;
+
+    // Measured on the corpus grid (MCNC x {seqpair, flat-bstar} + n100-n300):
+    // a slightly-cold ladder (ratio < 1: the extra rungs quench) exchanging
+    // every 4 sweeps beats the same budget spent on independent restarts on
+    // every row.  Hot ladders (ratio > 1) lose at these short budgets — the
+    // hot rungs' sweeps are spent above the mixing temperature.
+    EngineOptions tempering = restarts;
+    tempering.tempering = true;
+    tempering.exchangeInterval = 4;
+    tempering.ladderRatio = 0.9;
+
+    Table table({"circuit", "backend", "restarts cost", "tempering cost",
+                 "delta %", "exch", "restarts (s)", "tempering (s)"});
+    PortfolioRunner portfolio;
+    TemperingRunner temper;
+    std::size_t wins = 0, rows = 0;
+    auto compareRow = [&](const Circuit& c, const std::string& label,
+                          EngineBackend backend) {
+      EngineResult ind = portfolio.run(c, backend, restarts);
+      TemperingOutcome pt = temper.run(c, backend, tempering);
+      const double delta =
+          (pt.result.cost - ind.cost) / std::max(ind.cost, 1e-12) * 100.0;
+      ++rows;
+      if (pt.result.cost <= ind.cost) ++wins;
+      table.addRow({label, std::string(backendName(backend)),
+                    Table::fmt(ind.cost, 4), Table::fmt(pt.result.cost, 4),
+                    Table::fmt(delta, 2), std::to_string(pt.exchangesAccepted),
+                    Table::fmt(ind.seconds, 2), Table::fmt(pt.result.seconds, 2)});
+      io.add("restarts-" + std::string(backendName(backend)), label, ind,
+             hardware, &restarts);
+      io.add("tempering-" + std::string(backendName(backend)), label,
+             pt.result, hardware, &tempering);
+    };
+    for (CorpusCircuit which : allCorpusCircuits()) {
+      Circuit c = loadCorpusCircuit(which);
+      compareRow(c, corpusName(which), EngineBackend::SeqPair);
+      compareRow(c, corpusName(which), EngineBackend::FlatBStar);
+    }
+    for (CorpusCircuit which : largeCorpusCircuits()) {
+      Circuit c = loadCorpusCircuit(which);
+      compareRow(c, corpusName(which), EngineBackend::SeqPair);
+    }
+    table.print(std::cout);
+    std::printf(
+        "\n(same restart plan both sides: %zu replicas, equal sweep budgets;\n"
+        "tempering couples them with exchangeInterval=%zu, ladderRatio=%.2f;\n"
+        "tempering <= restarts on %zu/%zu rows)\n",
+        restarts.numRestarts, tempering.exchangeInterval,
+        tempering.ladderRatio, wins, rows);
+
+    // Race leg: cross-backend seeding between the per-backend ladders.
+    std::puts("\n--- race with cross-backend seeding ---\n");
+    Table race({"circuit", "restarts winner", "cost", "tempering winner",
+                "cost", "reseeds"});
+    EngineOptions raceTempering = tempering;
+    raceTempering.crossSeed = true;
+    for (CorpusCircuit which : {CorpusCircuit::Apte, CorpusCircuit::Ami33}) {
+      Circuit c = loadCorpusCircuit(which);
+      PortfolioRunner::RaceOutcome ind =
+          portfolio.race(c, allBackends(), restarts);
+      TemperingOutcome pt = temper.race(c, allBackends(), raceTempering);
+      race.addRow({corpusName(which), std::string(backendName(ind.backend)),
+                   Table::fmt(ind.result.cost, 4),
+                   std::string(backendName(pt.backend)),
+                   Table::fmt(pt.result.cost, 4), std::to_string(pt.reseeds)});
+      io.add("restarts-race", corpusName(which), ind.result, hardware,
+             &restarts);
+      io.add("tempering-race", corpusName(which), pt.result, hardware,
+             &raceTempering);
+    }
+    race.print(std::cout);
   }
   return 0;
 }

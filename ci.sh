@@ -37,6 +37,11 @@ cmake --build build-tsan -j "$JOBS"
 # suite).  Both already ran in the full pass above; re-running them serially
 # keeps the two concurrency contracts visible as their own CI signal.
 (cd build-tsan && ctest --output-on-failure -R '^(cost_test|runtime_test)$')
+# Tempering under TSan, as its own leg: the round-barrier exchange loop and
+# the cross-backend reseed path are the only places replicas touch shared
+# state mid-run, so their thread-invariance suites get a dedicated
+# instrumented pass.
+./build-tsan/runtime_test --gtest_filter='Tempering.*'
 
 echo "=== alloc gate: Release steady-state zero-allocations-per-move ==="
 # One warm anneal per backend under the counting operator new of
@@ -110,6 +115,6 @@ done
   build/bench-smoke/bench_decode_scaling.r2.json \
   build/bench-smoke/bench_decode_scaling.r3.json \
   build/bench-smoke/als_place.json build/bench-smoke/als_place.r2.json \
-  build/bench-smoke/als_place.r3.json
+  build/bench-smoke/als_place.r3.json build/bench-smoke/bench_portfolio.json
 
 echo "=== CI green ==="

@@ -324,46 +324,251 @@ AnnealResult<State> annealImpl(State init, Eval& eval, MoveF& move,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// AnnealDriver — the restart loop above, unrolled into a resumable state
+// machine.
+//
+// The driver executes exactly the trajectory `annealWithRestartsImpl`
+// executes — same RNG stream, same calibration, same per-restart leftover
+// budgets, same merge and stop rules — but in sweep-sized steps the caller
+// can pause between.  That is the seam the parallel-tempering runner
+// (runtime/tempering.h) needs: K replicas advance in fixed-length rounds,
+// exchange states at the barrier, and resume with their RNG, temperature
+// and incremental evaluator state intact.  `runSweeps` crosses restart
+// boundaries on its own, so a paused driver run to completion produces the
+// sequential result bit for bit (pinned by the degeneration suite in
+// tests/runtime_test.cpp).
+//
+// `tempScale` multiplies the calibrated t0 of every run the driver starts
+// (and tFreeze follows, so the freeze horizon keeps the same sweep count).
+// A scale of 1.0 multiplies exactly (IEEE754) — the default is bit-identical
+// to the sequential loop; a ladder of scales > 1 yields the hotter replicas
+// of a tempering ladder.
+//
+// All per-run state (current state, candidate buffer, calibration probe,
+// per-run result) lives in members that are copy-assigned, never
+// reconstructed, so resuming across rounds performs no steady-state
+// allocations once every buffer reached its high-water capacity.
+template <class State, class Eval, class MoveF>
+class AnnealDriver {
+ public:
+  AnnealDriver(const State& init, Eval eval, MoveF move,
+               const AnnealOptions& options, double tempScale = 1.0)
+      : eval_(std::forward<Eval>(eval)),
+        move_(std::forward<MoveF>(move)),
+        options_(options),
+        tempScale_(tempScale),
+        init_(init),
+        best_{init, eval_.full(init), 0, 0, 0, 0.0},
+        cur_(init),
+        moveBuf_(init),
+        probe_(init),
+        runResult_{init, 0.0, 0, 0, 0, 0.0},
+        seed_(options.seed),
+        sweepCapped_(options.maxSweeps > 0),
+        timed_(options.timeLimitSec > 0.0) {
+    options_.movesPerTemp =
+        resolveMovesPerTemp(options.movesPerTemp, options.sizeHint);
+    beginRun();
+  }
+
+  /// Executes up to `maxSweeps` temperature steps (crossing restart
+  /// boundaries; a boundary's re-seed + calibration is not a sweep) and
+  /// returns the number actually executed — fewer only when the whole
+  /// schedule finished.
+  std::size_t runSweeps(std::size_t maxSweeps) {
+    std::size_t done = 0;
+    while (!finished_ && done < maxSweeps) {
+      if (t_ > tFreeze_ &&
+          (runBudget_ == 0 || runResult_.sweeps < runBudget_) &&
+          (!timed_ || runClock_.seconds() < runTimeCap_)) {
+        annealPass(cur_, curCost_, options_.movesPerTemp, eval_, move_, rng_,
+                   moveBuf_,
+                   [&](double delta) {
+                     ++runResult_.movesTried;
+                     return delta <= 0.0 ||
+                            rng_.uniform() < std::exp(-delta / t_);
+                   },
+                   [&] {
+                     ++runResult_.movesAccepted;
+                     if (curCost_ < runResult_.bestCost) {
+                       runResult_.best = cur_;
+                       runResult_.bestCost = curCost_;
+                     }
+                   });
+        t_ *= options_.coolingFactor;
+        ++runResult_.sweeps;
+        ++done;
+      } else {
+        endRun();
+      }
+    }
+    return done;
+  }
+
+  /// Runs the remaining schedule to completion.
+  void run() {
+    while (!finished_) {
+      runSweeps(static_cast<std::size_t>(-1));
+    }
+  }
+
+  bool finished() const { return finished_; }
+
+  /// The state the Metropolis walk currently sits on.  Mutable access is the
+  /// replica-exchange seam: after writing through it, call `reanchor()`.
+  State& currentState() { return cur_; }
+  const State& currentState() const { return cur_; }
+  double currentCost() const { return curCost_; }
+
+  /// Current SA temperature (already ladder-scaled).
+  double temperature() const { return t_; }
+
+  double bestCost() const {
+    return finished_ ? best_.bestCost
+                     : std::min(best_.bestCost, runResult_.bestCost);
+  }
+
+  /// Best state over finished runs and the active run.
+  const State& bestState() const {
+    if (!finished_ && runResult_.bestCost < best_.bestCost) {
+      return runResult_.best;
+    }
+    return best_.best;
+  }
+
+  /// Sweeps executed so far (finished runs + the active run).
+  std::size_t sweepsDone() const {
+    return best_.sweeps + (finished_ ? 0 : runResult_.sweeps);
+  }
+
+  /// Re-anchors the evaluator after `currentState()` was mutated externally
+  /// (a replica exchange or a cross-backend reseed): full re-evaluation,
+  /// best tracking, no RNG consumed — so exchanges at deterministic rounds
+  /// keep the whole trajectory a pure function of the schedule.
+  void reanchor() {
+    curCost_ = eval_.full(cur_);
+    if (!finished_ && curCost_ < runResult_.bestCost) {
+      runResult_.best = cur_;
+      runResult_.bestCost = curCost_;
+    }
+  }
+
+  /// Swaps the current states of two replicas of the SAME problem (their
+  /// evaluators re-anchor; RNG streams stay put).
+  static void exchange(AnnealDriver& a, AnnealDriver& b) {
+    using std::swap;
+    swap(a.cur_, b.cur_);
+    a.reanchor();
+    b.reanchor();
+  }
+
+  /// The aggregate result; only meaningful once `finished()`.  Runs the
+  /// remaining schedule first so a plain construct-finalize sequence is the
+  /// sequential driver.
+  AnnealResult<State> finalize() {
+    run();
+    AnnealResult<State> result = best_;
+    result.seconds = clock_.seconds();
+    return result;
+  }
+
+ private:
+  void beginRun() {
+    rng_ = Rng(seed_);
+    runClock_.reset();
+    cur_ = init_;
+    curCost_ = eval_.full(cur_);
+    runResult_.best = cur_;
+    runResult_.bestCost = curCost_;
+    runResult_.movesTried = 0;
+    runResult_.movesAccepted = 0;
+    runResult_.sweeps = 0;
+
+    // Calibrate t0 so that `initialAcceptance` of sampled uphill moves
+    // pass — the 50-move accept-all walk of annealImpl, verbatim.
+    double upSum = 0.0;
+    std::size_t upCount = 0;
+    probe_ = cur_;
+    double probeCost = curCost_;
+    annealPass(probe_, probeCost, 50, eval_, move_, rng_, moveBuf_,
+               [&](double delta) {
+                 if (delta > 0.0) {
+                   upSum += delta;
+                   ++upCount;
+                 }
+                 return true;
+               },
+               [] {});
+    eval_.rebase(cur_);  // the calibration walk moved the committed state
+    double meanUp = upCount ? upSum / static_cast<double>(upCount) : 1.0;
+    if (meanUp <= 0.0) meanUp = 1.0;
+    t_ = -meanUp / std::log(options_.initialAcceptance);
+    t_ *= tempScale_;
+    tFreeze_ = t_ * options_.freezeRatio;
+
+    runBudget_ = sweepCapped_ ? options_.maxSweeps - best_.sweeps : 0;
+    if (timed_) {
+      runTimeCap_ = std::max(1e-9, options_.timeLimitSec - clock_.seconds());
+    }
+  }
+
+  void endRun() {
+    best_.movesTried += runResult_.movesTried;
+    best_.movesAccepted += runResult_.movesAccepted;
+    best_.sweeps += runResult_.sweeps;
+    if (runResult_.bestCost < best_.bestCost) {
+      best_.best = runResult_.best;
+      best_.bestCost = runResult_.bestCost;
+    }
+    seed_ = nextRestartSeed(seed_);
+    // A restart is funded only while every *active* budget has leftover;
+    // with no budget at all a single (freeze-terminated) run is the answer.
+    // A run of zero sweeps (budget rounded to nothing) cannot make
+    // progress; stop instead of spinning.
+    bool sweepsLeft = sweepCapped_ && best_.sweeps < options_.maxSweeps;
+    bool timeLeft = timed_ && clock_.seconds() < options_.timeLimitSec;
+    if ((sweepCapped_ && !sweepsLeft) || (timed_ && !timeLeft) ||
+        (!sweepCapped_ && !timed_) || runResult_.sweeps == 0) {
+      finished_ = true;
+      return;
+    }
+    beginRun();
+  }
+
+  Eval eval_;
+  MoveF move_;
+  AnnealOptions options_;  // movesPerTemp resolved once at construction
+  double tempScale_;
+  Stopwatch clock_;     // whole-schedule wall clock
+  Stopwatch runClock_;  // active run's wall clock (secondary time cap)
+
+  State init_;
+  AnnealResult<State> best_;       // merged result of the finished runs
+  State cur_;
+  double curCost_ = 0.0;
+  State moveBuf_;                  // persistent candidate buffer
+  State probe_;                    // persistent calibration-walk buffer
+  AnnealResult<State> runResult_;  // active run's accounting
+  Rng rng_{0};
+  double t_ = 0.0;
+  double tFreeze_ = 0.0;
+  std::size_t runBudget_ = 0;   // active run's sweep cap (0 = uncapped)
+  double runTimeCap_ = 0.0;     // active run's leftover wall clock
+  std::uint64_t seed_;
+  const bool sweepCapped_;
+  const bool timed_;
+  bool finished_ = false;
+};
+
 template <class State, class Eval, class MoveF>
 AnnealResult<State> annealWithRestartsImpl(const State& init, Eval& eval,
                                            MoveF& move,
                                            const AnnealOptions& options) {
-  Stopwatch clock;
-  AnnealResult<State> best{init, eval.full(init), 0, 0, 0, 0.0};
-  const bool sweepCapped = options.maxSweeps > 0;
-  const bool timed = options.timeLimitSec > 0.0;
-  AnnealOptions opt = options;  // local working copy; caller's struct untouched
-  opt.movesPerTemp = resolveMovesPerTemp(options.movesPerTemp, options.sizeHint);
-  std::uint64_t seed = options.seed;
-  for (;;) {
-    opt.seed = seed;
-    if (sweepCapped) opt.maxSweeps = options.maxSweeps - best.sweeps;
-    if (timed) {
-      opt.timeLimitSec =
-          std::max(1e-9, options.timeLimitSec - clock.seconds());
-    }
-    AnnealResult<State> run = annealImpl(init, eval, move, opt);
-    best.movesTried += run.movesTried;
-    best.movesAccepted += run.movesAccepted;
-    best.sweeps += run.sweeps;
-    if (run.bestCost < best.bestCost) {
-      best.best = std::move(run.best);
-      best.bestCost = run.bestCost;
-    }
-    seed = nextRestartSeed(seed);
-    // A restart is funded only while every *active* budget has leftover;
-    // with no budget at all a single (freeze-terminated) run is the answer.
-    bool sweepsLeft = sweepCapped && best.sweeps < options.maxSweeps;
-    bool timeLeft = timed && clock.seconds() < options.timeLimitSec;
-    if (sweepCapped && !sweepsLeft) break;
-    if (timed && !timeLeft) break;
-    if (!sweepCapped && !timed) break;
-    // Degenerate guard: a run that executed zero sweeps (budget rounded to
-    // nothing) cannot make progress; stop instead of spinning.
-    if (run.sweeps == 0) break;
-  }
-  best.seconds = clock.seconds();
-  return best;
+  // The driver IS the historic restart loop (same trajectory, bit for bit);
+  // the sequential entry point just runs it to completion in one go.
+  AnnealDriver<State, Eval&, MoveF&> driver(init, eval, move, options);
+  return driver.finalize();
 }
 
 }  // namespace detail

@@ -72,6 +72,24 @@ BStarTree BStarTree::fromArrays(std::size_t root, std::vector<std::size_t> left,
   return t;
 }
 
+void BStarTree::assignArrays(std::size_t root,
+                             std::span<const std::size_t> left,
+                             std::span<const std::size_t> right,
+                             std::span<const std::size_t> items) {
+  assert(left.size() == items.size() && right.size() == items.size());
+  const std::size_t n = items.size();
+  left_.assign(left.begin(), left.end());
+  right_.assign(right.begin(), right.end());
+  item_.assign(items.begin(), items.end());
+  root_ = n == 0 ? npos : root;
+  parent_.assign(n, npos);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (left_[i] != npos) parent_[left_[i]] = i;
+    if (right_[i] != npos) parent_[right_[i]] = i;
+  }
+  assert(n == 0 || isValid());
+}
+
 void BStarTree::swapItems(std::size_t a, std::size_t b) {
   std::swap(item_[a], item_[b]);
 }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "util/rng.h"
@@ -37,6 +38,13 @@ class BStarTree {
   static BStarTree fromArrays(std::size_t root, std::vector<std::size_t> left,
                               std::vector<std::size_t> right,
                               std::vector<std::size_t> items);
+
+  /// In-place `fromArrays`: overwrites this tree's structure reusing its
+  /// storage (allocation-free when the size matches, which is what the
+  /// cross-backend reseed converters rely on).  Must form a valid tree.
+  void assignArrays(std::size_t root, std::span<const std::size_t> left,
+                    std::span<const std::size_t> right,
+                    std::span<const std::size_t> items);
 
   std::size_t size() const { return item_.size(); }
   std::size_t root() const { return root_; }

@@ -1,0 +1,99 @@
+#include "bstar/from_placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace als {
+
+namespace {
+
+constexpr std::size_t kNone = BStarTree::npos;
+
+/// Length of the overlap of [alo, ahi) and [blo, bhi); <= 0 means disjoint.
+Coord overlapLen(Coord alo, Coord ahi, Coord blo, Coord bhi) {
+  return std::min(ahi, bhi) - std::max(alo, blo);
+}
+
+}  // namespace
+
+void bstarFromPlacement(const Placement& placement,
+                        BStarFromPlacementScratch& scratch, BStarTree& tree) {
+  const std::size_t n = placement.size();
+  scratch.order.resize(n);
+  std::iota(scratch.order.begin(), scratch.order.end(), std::size_t{0});
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const Rect& ra = placement[a];
+              const Rect& rb = placement[b];
+              if (ra.x != rb.x) return ra.x < rb.x;
+              if (ra.y != rb.y) return ra.y < rb.y;
+              return a < b;
+            });
+  scratch.left.assign(n, kNone);
+  scratch.right.assign(n, kNone);
+
+  for (std::size_t k = 1; k < n; ++k) {
+    const Rect& rm = placement[scratch.order[k]];
+
+    // 1. Left child of the best exactly-abutting left neighbour.
+    std::size_t leftParent = kNone;
+    Coord bestOverlap = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (scratch.left[j] != kNone) continue;
+      const Rect& rj = placement[scratch.order[j]];
+      if (rj.xhi() != rm.x) continue;
+      Coord ov = overlapLen(rj.y, rj.yhi(), rm.y, rm.yhi());
+      if (ov > bestOverlap) {
+        bestOverlap = ov;
+        leftParent = j;
+      }
+    }
+    if (leftParent != kNone) {
+      scratch.left[leftParent] = k;
+      continue;
+    }
+
+    // 2. Right child of the module directly below in the same column.
+    std::size_t rightParent = kNone;
+    Coord bestTop = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (scratch.right[j] != kNone) continue;
+      const Rect& rj = placement[scratch.order[j]];
+      if (rj.x != rm.x || rj.yhi() > rm.y) continue;
+      if (rightParent == kNone || rj.yhi() > bestTop) {
+        bestTop = rj.yhi();
+        rightParent = j;
+      }
+    }
+    if (rightParent != kNone) {
+      scratch.right[rightParent] = k;
+      continue;
+    }
+
+    // 3. Fallback: earliest free slot, left slots first.  Always succeeds —
+    // k attached nodes consume k-1 of the 2k slots before this one.
+    std::size_t fallback = kNone;
+    for (std::size_t j = 0; j < k && fallback == kNone; ++j) {
+      if (scratch.left[j] == kNone) fallback = j;
+    }
+    if (fallback != kNone) {
+      scratch.left[fallback] = k;
+      continue;
+    }
+    for (std::size_t j = 0; j < k && fallback == kNone; ++j) {
+      if (scratch.right[j] == kNone) fallback = j;
+    }
+    scratch.right[fallback] = k;
+  }
+
+  tree.assignArrays(0, scratch.left, scratch.right, scratch.order);
+}
+
+BStarTree bstarFromPlacement(const Placement& placement) {
+  BStarFromPlacementScratch scratch;
+  BStarTree tree;
+  bstarFromPlacement(placement, scratch, tree);
+  return tree;
+}
+
+}  // namespace als

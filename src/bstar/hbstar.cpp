@@ -354,45 +354,115 @@ void HBState::packInto(HBPackScratch& scratch, Packed& out) const {
 #endif
 }
 
-HBPlacerResult placeHBStarSA(const Circuit& circuit, const HBPlacerOptions& options) {
-  // Hierarchy constraints hold by construction in every packed state, so
-  // the objective is the geometric core: area + normalized wirelength plus,
-  // when weighted, thermal pair mismatch.
-  CostModel model(circuit,
-                  makeObjective(circuit, {.wirelength = options.wirelengthWeight,
-                                          .thermal = options.thermalWeight}));
+namespace {
 
+/// Decode into the session scratch; the returned pointer aliases
+/// scr.packed.placement (same body as the historical lambda).
+struct HBDecoder {
+  HBStarScratch* scr;
+  const Placement* operator()(const HBState& s) const {
+    s.packInto(scr->pack, scr->packed);
+    return &scr->packed.placement;
+  }
+};
+
+struct HBMove {
+  void operator()(HBState& s, Rng& rng) const { s.perturb(rng); }
+};
+
+}  // namespace
+
+struct HBStarSession::Impl {
+  using Eval = detail::IncrementalEval<CostModel, HBDecoder>;
+  using Driver = detail::AnnealDriver<HBState, Eval, HBMove>;
+
+  const Circuit& circuit;
+  HBPlacerOptions options;
+  CostModel model;
   HBStarScratch localScratch;
-  HBStarScratch& scr = options.scratch ? *options.scratch : localScratch;
+  HBStarScratch& scr;
+  HBDecoder decode;
+  std::optional<Driver> driver;
 
-  auto decode = [&](const HBState& s) -> const Placement* {
-    s.packInto(scr.pack, scr.packed);
-    return &scr.packed.placement;
-  };
-  auto move = [](HBState& s, Rng& rng) { s.perturb(rng); };
+  Impl(const Circuit& c, const HBPlacerOptions& o, double tempScale)
+      : circuit(c),
+        options(o),
+        // Hierarchy constraints hold by construction in every packed state,
+        // so the objective is the geometric core: area + normalized
+        // wirelength plus, when weighted, thermal pair mismatch.
+        model(c, makeObjective(c, {.wirelength = o.wirelengthWeight,
+                                   .thermal = o.thermalWeight})),
+        scr(o.scratch ? *o.scratch : localScratch),
+        decode{&scr} {
+    AnnealOptions annealOpt;
+    annealOpt.maxSweeps = options.maxSweeps;
+    annealOpt.timeLimitSec = options.timeLimitSec;
+    annealOpt.seed = options.seed;
+    annealOpt.coolingFactor = options.coolingFactor;
+    annealOpt.movesPerTemp = options.movesPerTemp;
+    annealOpt.sizeHint = circuit.moduleCount();
+    HBState init(circuit);
+    init.enableShapeMoves(options.shapeMoveProb);
+    driver.emplace(init, Eval{model, decode}, HBMove{}, annealOpt, tempScale);
+  }
+};
 
-  AnnealOptions annealOpt;
-  annealOpt.maxSweeps = options.maxSweeps;
-  annealOpt.timeLimitSec = options.timeLimitSec;
-  annealOpt.seed = options.seed;
-  annealOpt.coolingFactor = options.coolingFactor;
-  annealOpt.movesPerTemp = options.movesPerTemp;
-  annealOpt.sizeHint = circuit.moduleCount();
-  HBState init(circuit);
-  init.enableShapeMoves(options.shapeMoveProb);
-  auto annealed = annealWithRestarts(init, model, decode, move, annealOpt);
+HBStarSession::HBStarSession(const Circuit& circuit,
+                             const HBPlacerOptions& options, double tempScale)
+    : impl_(std::make_unique<Impl>(circuit, options, tempScale)) {}
+
+HBStarSession::~HBStarSession() = default;
+
+std::size_t HBStarSession::runSweeps(std::size_t maxSweeps) {
+  return impl_->driver->runSweeps(maxSweeps);
+}
+
+void HBStarSession::run() { impl_->driver->run(); }
+
+bool HBStarSession::finished() const { return impl_->driver->finished(); }
+
+double HBStarSession::currentCost() const {
+  return impl_->driver->currentCost();
+}
+
+double HBStarSession::bestCost() const { return impl_->driver->bestCost(); }
+
+double HBStarSession::temperature() const {
+  return impl_->driver->temperature();
+}
+
+void HBStarSession::exchangeWith(HBStarSession& other) {
+  Impl::Driver::exchange(*impl_->driver, *other.impl_->driver);
+}
+
+const Placement& HBStarSession::bestPlacement() {
+  const Placement* p = impl_->decode(impl_->driver->bestState());
+  return *p;
+}
+
+bool HBStarSession::reseedFromPlacement(const Placement&) { return false; }
+
+HBPlacerResult HBStarSession::finish() {
+  AnnealResult<HBState> annealed = impl_->driver->finalize();
+  HBStarScratch& scr = impl_->scr;
 
   HBPlacerResult result;
   annealed.best.packInto(scr.pack, scr.packed);
   result.placement = scr.packed.placement;
   result.axis2x = scr.packed.axis2x;
   result.area = result.placement.boundingBox().area();
-  result.hpwl = totalHpwl(result.placement, circuit.netPins());
+  result.hpwl = totalHpwl(result.placement, impl_->circuit.netPins());
   result.cost = annealed.bestCost;
   result.movesTried = annealed.movesTried;
   result.sweeps = annealed.sweeps;
   result.seconds = annealed.seconds;
   return result;
+}
+
+HBPlacerResult placeHBStarSA(const Circuit& circuit,
+                             const HBPlacerOptions& options) {
+  HBStarSession session(circuit, options);
+  return session.finish();
 }
 
 }  // namespace als

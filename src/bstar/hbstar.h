@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -178,5 +179,47 @@ struct HBPlacerResult {
 /// contract): reads `circuit` only, owns its RNG via `options.seed`.
 HBPlacerResult placeHBStarSA(const Circuit& circuit,
                              const HBPlacerOptions& options = {});
+
+/// Resumable HB*-tree SA run — `placeHBStarSA` cut at sweep granularity;
+/// see bstar/flat_placer.h's FlatBStarSession for the shared contract
+/// (run-to-completion bit-identity, `tempScale`, threading).  Replica
+/// exchange between two HBStarSessions is safe without cache invalidation:
+/// encoding stamps are globally unique, so a swapped-in state never aliases
+/// the other session's scratch cache.
+class HBStarSession {
+ public:
+  HBStarSession(const Circuit& circuit, const HBPlacerOptions& options,
+                double tempScale = 1.0);
+  ~HBStarSession();
+
+  HBStarSession(const HBStarSession&) = delete;
+  HBStarSession& operator=(const HBStarSession&) = delete;
+
+  std::size_t runSweeps(std::size_t maxSweeps);
+  void run();
+  bool finished() const;
+
+  double currentCost() const;
+  double bestCost() const;
+  double temperature() const;
+
+  void exchangeWith(HBStarSession& other);
+
+  /// Decodes the best state so far into the session scratch.  The reference
+  /// stays valid until the session advances or decodes again.
+  const Placement& bestPlacement();
+
+  /// Always returns false: the hierarchical encoding (islands, CC grids,
+  /// per-node trees) cannot be reconstructed from a flat placement, so this
+  /// backend never adopts foreign seeds (the tempering runner falls back to
+  /// keeping the replica's own state).
+  bool reseedFromPlacement(const Placement& placement);
+
+  HBPlacerResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace als

@@ -4,6 +4,7 @@
 
 #include "bstar/flat_placer.h"
 #include "bstar/hbstar.h"
+#include "engine/backend_map.h"
 #include "engine/place_scratch.h"
 #include "seqpair/sa_placer.h"
 #include "slicing/slicing_placer.h"
@@ -12,12 +13,9 @@ namespace als {
 
 namespace {
 
-// All backend option structs share the SA-knob field names and all backend
-// result structs share the output field names, so one wrapper maps both;
-// adding a shared knob to EngineOptions is a single edit here.  Objective
-// knobs that only some backends carry (a backend whose representation
-// guarantees the constraint has no weight field for it) map through the
-// `requires`-gated assignments below.
+// All backend option structs share the SA-knob field names (mapped by
+// engine/backend_map.h) and all backend result structs share the output
+// field names, so one wrapper maps both.
 template <class BackendOptions, class BackendResult>
 class BackendEngine final : public PlacementEngine {
  public:
@@ -31,40 +29,7 @@ class BackendEngine final : public PlacementEngine {
 
   EngineResult place(const Circuit& circuit,
                      const EngineOptions& options) const override {
-    BackendOptions opt;
-    opt.wirelengthWeight = options.wirelengthWeight;
-    opt.maxSweeps = options.maxSweeps;
-    opt.timeLimitSec = options.timeLimitSec;
-    opt.seed = options.seed;
-    opt.coolingFactor = options.coolingFactor;
-    opt.movesPerTemp = options.movesPerTemp;
-    if constexpr (requires { opt.symmetryWeight; }) {
-      opt.symmetryWeight = options.symmetryWeight;
-    }
-    if constexpr (requires { opt.proximityWeight; }) {
-      opt.proximityWeight = options.proximityWeight;
-    }
-    if constexpr (requires { opt.outlineWeight; }) {
-      opt.outlineWeight = options.outlineWeight;
-    }
-    if constexpr (requires { opt.maxWidth; }) {
-      opt.maxWidth = options.maxWidth;
-    }
-    if constexpr (requires { opt.maxHeight; }) {
-      opt.maxHeight = options.maxHeight;
-    }
-    if constexpr (requires { opt.targetAspect; }) {
-      opt.targetAspect = options.targetAspect;
-    }
-    if constexpr (requires { opt.thermalWeight; }) {
-      opt.thermalWeight = options.thermalWeight;
-    }
-    if constexpr (requires { opt.shapeMoveProb; }) {
-      opt.shapeMoveProb = options.shapeMoveProb;
-    }
-    if (options.scratch != nullptr) {
-      opt.scratch = subScratch(*options.scratch, opt.scratch);
-    }
+    BackendOptions opt = mapEngineOptions<BackendOptions>(options);
     BackendResult r = place_(circuit, opt);
     EngineResult result;
     result.placement = std::move(r.placement);

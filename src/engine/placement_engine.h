@@ -86,6 +86,25 @@ struct EngineOptions {
   std::size_t numRestarts = 1;  ///< independent SA restarts (seed-split)
   std::size_t numThreads = 1;   ///< worker threads (0 = all hardware cores)
 
+  // Parallel-tempering knobs (runtime/tempering.h): when `tempering` is on,
+  // the runtime layer runs the `numRestarts` budget slices as coupled
+  // replicas on a geometric temperature ladder instead of independent
+  // restarts.  Results stay bit-identical at any thread count; with
+  // `exchangeInterval = 0` AND `ladderRatio = 1.0` they degenerate to the
+  // independent-restart portfolio exactly (see runtime/tempering.h for why
+  // both are needed).  A plain `place()` call ignores all four fields.
+  bool tempering = false;
+  std::size_t exchangeInterval = 4;  ///< sweeps per round (0 = never exchange)
+  /// t0 multiplier between rungs (> 0).  Ratios below 1 are legal and make
+  /// the extra rungs COLDER (quench-leaning) — the configuration that wins
+  /// the equal-budget comparison at bench budgets (bench_portfolio Part 3).
+  double ladderRatio = 0.9;
+  /// Cross-backend seeding during a tempering race: lagging ladders re-seed
+  /// their worst replica from the global leader's placement at exchange
+  /// points (via the from_placement converters; backends that cannot adopt
+  /// a foreign placement keep their state).
+  bool crossSeed = true;
+
   /// Optional warm decode buffers (engine/place_scratch.h): the engine maps
   /// the backend's sub-scratch into the native options.  Contents never
   /// influence results; at most one place() call may use it at a time.  The

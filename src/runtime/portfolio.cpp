@@ -6,6 +6,7 @@
 
 #include "anneal/annealer.h"
 #include "engine/place_scratch.h"
+#include "runtime/tempering.h"
 #include "util/stopwatch.h"
 
 namespace als {
@@ -100,6 +101,9 @@ std::vector<RestartSlice> makeRestartPlan(const EngineOptions& options) {
 
 EngineResult PortfolioRunner::run(const Circuit& circuit, EngineBackend backend,
                                   const EngineOptions& options) const {
+  if (options.tempering) {
+    return TemperingRunner(pool_).run(circuit, backend, options).result;
+  }
   Stopwatch clock;
   const std::vector<RestartSlice> plan = makeRestartPlan(options);
   const std::size_t movesPerTemp =
@@ -132,6 +136,10 @@ PortfolioRunner::RaceOutcome PortfolioRunner::race(
     const EngineOptions& options) const {
   if (backends.empty()) {
     throw std::invalid_argument("PortfolioRunner::race: no backends given");
+  }
+  if (options.tempering) {
+    TemperingOutcome t = TemperingRunner(pool_).race(circuit, backends, options);
+    return RaceOutcome{std::move(t.result), t.backend};
   }
   Stopwatch clock;
   const std::vector<RestartSlice> plan = makeRestartPlan(options);

@@ -1,0 +1,51 @@
+#include "seqpair/from_placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace als {
+
+void sequencePairFromPlacement(const Placement& placement,
+                               SeqPairFromPlacementScratch& scratch,
+                               SequencePair& sp) {
+  const std::size_t n = placement.size();
+  scratch.keyA.resize(n);
+  scratch.keyB.resize(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    const Rect& r = placement[m];
+    // Doubled centers keep half-DBU centers integral (the center2x
+    // convention of geom/placement.h).
+    const Coord cx2 = 2 * r.x + r.w;
+    const Coord cy2 = 2 * r.y + r.h;
+    scratch.keyA[m] = cx2 - cy2;  // anti-diagonal: reading order of alpha
+    scratch.keyB[m] = cx2 + cy2;  // diagonal: reading order of beta
+  }
+  scratch.alpha.resize(n);
+  scratch.beta.resize(n);
+  std::iota(scratch.alpha.begin(), scratch.alpha.end(), std::size_t{0});
+  std::iota(scratch.beta.begin(), scratch.beta.end(), std::size_t{0});
+  std::sort(scratch.alpha.begin(), scratch.alpha.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (scratch.keyA[a] != scratch.keyA[b]) {
+                return scratch.keyA[a] < scratch.keyA[b];
+              }
+              return a < b;
+            });
+  std::sort(scratch.beta.begin(), scratch.beta.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (scratch.keyB[a] != scratch.keyB[b]) {
+                return scratch.keyB[a] < scratch.keyB[b];
+              }
+              return a < b;
+            });
+  sp.assignSequences(scratch.alpha, scratch.beta);
+}
+
+SequencePair sequencePairFromPlacement(const Placement& placement) {
+  SeqPairFromPlacementScratch scratch;
+  SequencePair sp;
+  sequencePairFromPlacement(placement, scratch, sp);
+  return sp;
+}
+
+}  // namespace als

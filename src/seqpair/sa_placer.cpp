@@ -6,6 +6,7 @@
 
 #include "anneal/annealer.h"
 #include "cost/cost_model.h"
+#include "seqpair/from_placement.h"
 #include "seqpair/moves.h"
 #include "seqpair/symmetry.h"
 
@@ -63,80 +64,183 @@ struct SeqPairDecoder {
   }
 };
 
+/// The SA move as a named functor so the session can own it (same body and
+/// RNG draws as the historical lambda in placeSeqPairSA).
+struct SeqPairMove {
+  SymmetricMoveSet* moves;
+  void operator()(SeqPairState& s, Rng& rng) const { moves->apply(s, rng); }
+};
+
+std::vector<bool> rotatableMask(const Circuit& circuit) {
+  std::vector<bool> mask(circuit.moduleCount());
+  for (std::size_t m = 0; m < mask.size(); ++m) {
+    mask[m] = circuit.module(m).rotatable;
+  }
+  return mask;
+}
+
 }  // namespace
 
-SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
-                                   const SeqPairPlacerOptions& options) {
-  const std::size_t n = circuit.moduleCount();
-  const auto groups = std::span<const SymmetryGroup>(circuit.symmetryGroups());
+struct SeqPairSession::Impl {
+  using Eval = detail::IncrementalEval<CostModel, SeqPairDecoder>;
+  using Driver = detail::AnnealDriver<SeqPairState, Eval, SeqPairMove>;
 
-  std::vector<bool> rotatable(n);
-  for (std::size_t m = 0; m < n; ++m) rotatable[m] = circuit.module(m).rotatable;
-  SymmetricMoveSet moves(groups, rotatable, options.enableRepairMoves);
-
-  SeqPairState init{SequencePair(n), std::vector<bool>(n, false)};
-  makeSymmetricFeasible(init.sp, groups);
-
-  // Symmetry holds by construction in every S-F code, so the objective
-  // carries no symmetry/proximity penalty — only the geometric terms plus,
-  // when weighted, thermal pair mismatch (geometry-exact symmetry does NOT
-  // make it zero: radiators off the axis still split a pair thermally).
-  CostModel model(circuit,
-                  makeObjective(circuit, {.wirelength = options.wirelengthWeight,
-                                          .outline = options.outlineWeight,
-                                          .thermal = options.thermalWeight,
-                                          .maxWidth = options.maxWidth,
-                                          .maxHeight = options.maxHeight,
-                                          .targetAspect = options.targetAspect}));
-
+  const Circuit& circuit;
+  SeqPairPlacerOptions options;
+  std::size_t n;
+  std::span<const SymmetryGroup> groups;
+  std::vector<bool> rotatable;
+  SymmetricMoveSet moves;
+  CostModel model;
   SeqPairScratch localScratch;
-  SeqPairScratch& scr = options.scratch ? *options.scratch : localScratch;
-  scr.movedList.clear();
-  scr.movedMark.assign(n, 0);
-  scr.movedEpoch = 1;
+  SeqPairScratch& scr;
+  SeqPairDecoder decode;
+  std::optional<Driver> driver;
+  // Cross-backend reseed buffers (warm after the first reseed).
+  SeqPairFromPlacementScratch reseedScratch;
+  SymmetryGroup merged;
+  SymFeasibleScratch symScratch;
 
-  SymBuildOptions buildOpts;
-  buildOpts.packing = options.packing;
-  buildOpts.incremental = options.incrementalDecode;
-  // The O(n^2) verification is a no-op on every reachable code (the move
-  // set preserves S-F); the hot path drops it (debug builds still assert),
-  // the historical full-decode path keeps it.
-  buildOpts.verify = !options.incrementalDecode;
-  buildOpts.moved = &scr.tmpMoved;
-  SeqPairDecoder decode{circuit, groups, scr, n, buildOpts};
+  Impl(const Circuit& c, const SeqPairPlacerOptions& o, double tempScale)
+      : circuit(c),
+        options(o),
+        n(c.moduleCount()),
+        groups(c.symmetryGroups()),
+        rotatable(rotatableMask(c)),
+        moves(groups, rotatable, o.enableRepairMoves),
+        // Symmetry holds by construction in every S-F code, so the objective
+        // carries no symmetry/proximity penalty — only the geometric terms
+        // plus, when weighted, thermal pair mismatch (geometry-exact symmetry
+        // does NOT make it zero: radiators off the axis still split a pair
+        // thermally).
+        model(c, makeObjective(c, {.wirelength = o.wirelengthWeight,
+                                   .outline = o.outlineWeight,
+                                   .thermal = o.thermalWeight,
+                                   .maxWidth = o.maxWidth,
+                                   .maxHeight = o.maxHeight,
+                                   .targetAspect = o.targetAspect})),
+        scr(o.scratch ? *o.scratch : localScratch),
+        decode{c, groups, scr, n, SymBuildOptions{}},
+        merged(mergedGroup(groups)) {
+    scr.movedList.clear();
+    scr.movedMark.assign(n, 0);
+    scr.movedEpoch = 1;
 
-  auto move = [&](SeqPairState& s, Rng& rng) { moves.apply(s, rng); };
+    decode.buildOpts.packing = options.packing;
+    decode.buildOpts.incremental = options.incrementalDecode;
+    // The O(n^2) verification is a no-op on every reachable code (the move
+    // set preserves S-F); the hot path drops it (debug builds still assert),
+    // the historical full-decode path keeps it.
+    decode.buildOpts.verify = !options.incrementalDecode;
+    decode.buildOpts.moved = &scr.tmpMoved;
 
-  AnnealOptions annealOpt;
-  annealOpt.maxSweeps = options.maxSweeps;
-  annealOpt.timeLimitSec = options.timeLimitSec;
-  annealOpt.seed = options.seed;
-  annealOpt.coolingFactor = options.coolingFactor;
-  annealOpt.movesPerTemp = options.movesPerTemp;
-  annealOpt.sizeHint = n;
-  auto annealed = annealWithRestarts(init, model, decode, move, annealOpt);
+    SeqPairState init{SequencePair(n), std::vector<bool>(n, false)};
+    makeSymmetricFeasible(init.sp, groups);
+
+    AnnealOptions annealOpt;
+    annealOpt.maxSweeps = options.maxSweeps;
+    annealOpt.timeLimitSec = options.timeLimitSec;
+    annealOpt.seed = options.seed;
+    annealOpt.coolingFactor = options.coolingFactor;
+    annealOpt.movesPerTemp = options.movesPerTemp;
+    annealOpt.sizeHint = n;
+    driver.emplace(init, Eval{model, decode}, SeqPairMove{&moves}, annealOpt,
+                   tempScale);
+  }
+};
+
+SeqPairSession::SeqPairSession(const Circuit& circuit,
+                               const SeqPairPlacerOptions& options,
+                               double tempScale)
+    : impl_(std::make_unique<Impl>(circuit, options, tempScale)) {}
+
+SeqPairSession::~SeqPairSession() = default;
+
+std::size_t SeqPairSession::runSweeps(std::size_t maxSweeps) {
+  return impl_->driver->runSweeps(maxSweeps);
+}
+
+void SeqPairSession::run() { impl_->driver->run(); }
+
+bool SeqPairSession::finished() const { return impl_->driver->finished(); }
+
+double SeqPairSession::currentCost() const {
+  return impl_->driver->currentCost();
+}
+
+double SeqPairSession::bestCost() const { return impl_->driver->bestCost(); }
+
+double SeqPairSession::temperature() const {
+  return impl_->driver->temperature();
+}
+
+void SeqPairSession::exchangeWith(SeqPairSession& other) {
+  Impl::Driver::exchange(*impl_->driver, *other.impl_->driver);
+}
+
+const Placement& SeqPairSession::bestPlacement() {
+  const Placement* p = impl_->decode(impl_->driver->bestState());
+  return *p;
+}
+
+bool SeqPairSession::reseedFromPlacement(const Placement& placement) {
+  if (placement.size() != impl_->n) return false;
+  SeqPairState& s = impl_->driver->currentState();
+  sequencePairFromPlacement(placement, impl_->reseedScratch, s.sp);
+  // Recover rotations from the rect dims (square modules stay unrotated —
+  // deterministic either way), then force mirror partners consistent: the
+  // symmetric construction realizes a pair with ONE orientation choice, and
+  // inconsistent flags would silently change the b-cell's footprint.
+  for (std::size_t m = 0; m < impl_->n; ++m) {
+    const Module& mod = impl_->circuit.module(m);
+    const Rect& r = placement[m];
+    s.rotated[m] = mod.rotatable && !(r.w == mod.w && r.h == mod.h) &&
+                   r.w == mod.h && r.h == mod.w;
+  }
+  for (const SymmetryGroup& g : impl_->groups) {
+    for (const SymPair& p : g.pairs) s.rotated[p.b] = s.rotated[p.a];
+  }
+  // The diagonal order knows nothing of property (1); re-seat beta so the
+  // seed is symmetric-feasible before the move set (which preserves S-F)
+  // takes over.
+  makeSymmetricFeasibleInPlace(s.sp, impl_->merged, impl_->symScratch);
+  impl_->driver->reanchor();
+  return true;
+}
+
+SeqPairPlacerResult SeqPairSession::finish() {
+  AnnealResult<SeqPairState> annealed = impl_->driver->finalize();
+  SeqPairScratch& scr = impl_->scr;
+  const std::size_t n = impl_->n;
 
   SeqPairPlacerResult result;
   scr.w.resize(n);
   scr.h.resize(n);
   for (std::size_t m = 0; m < n; ++m) {
-    const Module& mod = circuit.module(m);
+    const Module& mod = impl_->circuit.module(m);
     scr.w[m] = annealed.best.rotated[m] ? mod.h : mod.w;
     scr.h[m] = annealed.best.rotated[m] ? mod.w : mod.h;
   }
-  auto built = buildSymmetricPlacement(annealed.best.sp, scr.w, scr.h, groups);
+  auto built = buildSymmetricPlacement(annealed.best.sp, scr.w, scr.h,
+                                       impl_->groups);
   if (built) {
     result.placement = std::move(built->placement);
     result.axis2x = std::move(built->axis2x);
   }
   result.code = annealed.best.sp;
   result.area = result.placement.boundingBox().area();
-  result.hpwl = totalHpwl(result.placement, circuit.netPins());
+  result.hpwl = totalHpwl(result.placement, impl_->circuit.netPins());
   result.cost = annealed.bestCost;
   result.movesTried = annealed.movesTried;
   result.sweeps = annealed.sweeps;
   result.seconds = annealed.seconds;
   return result;
+}
+
+SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
+                                   const SeqPairPlacerOptions& options) {
+  SeqPairSession session(circuit, options);
+  return session.finish();
 }
 
 }  // namespace als

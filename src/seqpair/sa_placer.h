@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "netlist/circuit.h"
 #include "seqpair/packer.h"
@@ -77,5 +78,45 @@ struct SeqPairPlacerResult {
 /// contract): reads `circuit` only, owns its RNG via `options.seed`.
 SeqPairPlacerResult placeSeqPairSA(const Circuit& circuit,
                                    const SeqPairPlacerOptions& options = {});
+
+/// Resumable sequence-pair SA run — `placeSeqPairSA` cut at sweep
+/// granularity; see bstar/flat_placer.h's FlatBStarSession for the shared
+/// contract (run-to-completion bit-identity, `tempScale`, threading).
+class SeqPairSession {
+ public:
+  SeqPairSession(const Circuit& circuit, const SeqPairPlacerOptions& options,
+                 double tempScale = 1.0);
+  ~SeqPairSession();
+
+  SeqPairSession(const SeqPairSession&) = delete;
+  SeqPairSession& operator=(const SeqPairSession&) = delete;
+
+  std::size_t runSweeps(std::size_t maxSweeps);
+  void run();
+  bool finished() const;
+
+  double currentCost() const;
+  double bestCost() const;
+  double temperature() const;
+
+  void exchangeWith(SeqPairSession& other);
+
+  /// Decodes the best state so far into the session scratch.  The reference
+  /// stays valid until the session advances or decodes again.
+  const Placement& bestPlacement();
+
+  /// Replaces the current state with the diagonal-order pair of `placement`
+  /// (seqpair/from_placement.h), recovers rotations from the rect
+  /// dimensions (mirror partners forced consistent), re-establishes the
+  /// symmetric-feasible invariant, and re-anchors.  Always succeeds for
+  /// this backend.
+  bool reseedFromPlacement(const Placement& placement);
+
+  SeqPairPlacerResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace als

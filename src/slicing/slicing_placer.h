@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "geom/placement.h"
 #include "netlist/circuit.h"
@@ -48,5 +49,43 @@ struct SlicingPlacerResult {
 /// contract): reads `circuit` only, owns its RNG via `options.seed`.
 SlicingPlacerResult placeSlicingSA(const Circuit& circuit,
                                    const SlicingPlacerOptions& options = {});
+
+/// Resumable slicing SA run — `placeSlicingSA` cut at sweep granularity;
+/// see bstar/flat_placer.h's FlatBStarSession for the shared contract
+/// (run-to-completion bit-identity, `tempScale`, threading).
+class SlicingSession {
+ public:
+  SlicingSession(const Circuit& circuit, const SlicingPlacerOptions& options,
+                 double tempScale = 1.0);
+  ~SlicingSession();
+
+  SlicingSession(const SlicingSession&) = delete;
+  SlicingSession& operator=(const SlicingSession&) = delete;
+
+  std::size_t runSweeps(std::size_t maxSweeps);
+  void run();
+  bool finished() const;
+
+  double currentCost() const;
+  double bestCost() const;
+  double temperature() const;
+
+  void exchangeWith(SlicingSession& other);
+
+  /// Decodes the best state so far into the session scratch.  The reference
+  /// stays valid until the session advances or decodes again.
+  const Placement& bestPlacement();
+
+  /// Always returns false: a general placement has no exact normalized
+  /// Polish expression, so this backend never adopts foreign seeds (the
+  /// tempering runner falls back to keeping the replica's own state).
+  bool reseedFromPlacement(const Placement& placement);
+
+  SlicingPlacerResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace als

@@ -23,10 +23,14 @@
 #include <cstdlib>
 #include <new>
 
+#include "bstar/from_placement.h"
 #include "engine/place_scratch.h"
 #include "engine/placement_engine.h"
 #include "io/corpus.h"
+#include "runtime/tempering.h"
+#include "seqpair/from_placement.h"
 #include "seqpair/sa_placer.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -198,6 +202,119 @@ TEST_P(AllocGateLcs, SeqPairStrategyDoesNotAllocatePerMove) {
              static_cast<double>(extraMoves)
       << " times per move in steady state (" << extraMoves << " extra moves)";
 }
+
+/// PR 8 extension of the gate, one layer up: the tempering round loop.
+/// Once the replica sessions' buffers are warm, a round — step every
+/// replica by `exchangeInterval` sweeps, plan exchanges, swap states,
+/// reanchor — must not allocate.  Same methodology as the move gate: a
+/// persistent TemperingScratch bank is warmed by a full-length run, then a
+/// short and a long run from the same seed share every cold allocation
+/// (the short trajectory is a prefix of the long one, and the bank already
+/// holds each replica's high-water capacities), so the count difference is
+/// exactly (allocations per round) x (extra rounds).
+class AllocGateTempering : public ::testing::TestWithParam<EngineBackend> {};
+
+TEST_P(AllocGateTempering, SteadyStateRoundLoopDoesNotAllocate) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug asserts re-validate encodings (allocating); the "
+                  "gate targets Release builds";
+#endif
+  const Circuit circuit = loadCorpusCircuit(CorpusCircuit::N100);
+  EngineOptions opt;
+  opt.seed = 5;
+  opt.numRestarts = 2;
+  opt.numThreads = 1;
+  opt.tempering = true;
+  opt.exchangeInterval = 1;
+  // A flat ladder swaps every considered pair (P = 1), so both runs take
+  // the exchange + reanchor path every other round — the paths the gate is
+  // after sit in the measured difference many times over.
+  opt.ladderRatio = 1.0;
+  TemperingRunner runner;
+  TemperingScratch bank;
+
+  const std::size_t shortSweeps = 8;
+  const std::size_t longSweeps = 16;
+
+  // Warm-up: grows every replica's bank entry to the high-water capacity
+  // of the full-length trajectory (which the measured runs replay).
+  opt.maxSweeps = longSweeps;
+  TemperingOutcome warm = runner.run(circuit, GetParam(), opt, &bank);
+  ASSERT_GT(warm.exchangesAccepted, 0u);
+
+  opt.maxSweeps = shortSweeps;
+  unsigned long long before = gAllocCount.load(std::memory_order_relaxed);
+  TemperingOutcome shortRun = runner.run(circuit, GetParam(), opt, &bank);
+  unsigned long long shortAllocs =
+      gAllocCount.load(std::memory_order_relaxed) - before;
+  ASSERT_GT(shortRun.exchangesAccepted, 0u);
+
+  opt.maxSweeps = longSweeps;
+  before = gAllocCount.load(std::memory_order_relaxed);
+  TemperingOutcome longRun = runner.run(circuit, GetParam(), opt, &bank);
+  unsigned long long longAllocs =
+      gAllocCount.load(std::memory_order_relaxed) - before;
+
+  ASSERT_GT(longRun.rounds, shortRun.rounds);
+  // Identical trajectory to the warm-up run — the scratch-reuse contract
+  // (contents never influence results) held across all three runs.
+  EXPECT_EQ(longRun.result.cost, warm.result.cost);
+
+  const std::size_t extraRounds = longRun.rounds - shortRun.rounds;
+  EXPECT_EQ(longAllocs, shortAllocs)
+      << "backend " << backendName(GetParam()) << " allocates "
+      << (static_cast<double>(longAllocs) - static_cast<double>(shortAllocs)) /
+             static_cast<double>(extraRounds)
+      << " times per tempering round in steady state (" << extraRounds
+      << " extra rounds)";
+}
+
+// The cross-backend seed converters sit inside the round loop (a reseed
+// runs at a round barrier), so they share its contract: with warm scratch
+// and reused outputs, a conversion performs zero allocations.
+TEST(AllocGateConvert, WarmConvertersDoNotAllocate) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug asserts re-validate encodings (allocating); the "
+                  "gate targets Release builds";
+#endif
+  const Circuit circuit = loadCorpusCircuit(CorpusCircuit::N100);
+  const std::size_t n = circuit.moduleCount();
+  std::vector<Coord> w(n), h(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    w[m] = circuit.module(m).w;
+    h[m] = circuit.module(m).h;
+  }
+  Rng rng(9);
+  const Placement source =
+      packSequencePair(SequencePair::random(n, rng), w, h);
+
+  SeqPairFromPlacementScratch spScratch;
+  SequencePair sp;
+  sequencePairFromPlacement(source, spScratch, sp);  // cold: buffers grow
+  unsigned long long before = gAllocCount.load(std::memory_order_relaxed);
+  sequencePairFromPlacement(source, spScratch, sp);
+  EXPECT_EQ(gAllocCount.load(std::memory_order_relaxed) - before, 0u)
+      << "warm sequence-pair conversion allocates";
+
+  BStarFromPlacementScratch bsScratch;
+  BStarTree tree;
+  bstarFromPlacement(source, bsScratch, tree);  // cold: buffers grow
+  before = gAllocCount.load(std::memory_order_relaxed);
+  bstarFromPlacement(source, bsScratch, tree);
+  EXPECT_EQ(gAllocCount.load(std::memory_order_relaxed) - before, 0u)
+      << "warm B*-tree conversion allocates";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, AllocGateTempering,
+                         ::testing::ValuesIn(allBackends().begin(),
+                                             allBackends().end()),
+                         [](const ::testing::TestParamInfo<EngineBackend>& i) {
+                           std::string name{backendName(i.param)};
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
 
 INSTANTIATE_TEST_SUITE_P(Strategies, AllocGateLcs,
                          ::testing::Values(PackStrategy::Naive,

@@ -1,0 +1,261 @@
+// Property tests for the placement -> encoding converters behind the
+// cross-backend seeding seam (seqpair/from_placement.h,
+// bstar/from_placement.h): determinism, validity of the produced
+// encodings, and the relative-order guarantees their headers state —
+// diagonal dominance survives the sequence-pair round trip, and the
+// B*-tree reconstruction keeps every parent lexicographically before its
+// children in source (x, y, id) order.
+#include "bstar/from_placement.h"
+#include "seqpair/from_placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "bstar/pack.h"
+#include "io/corpus.h"
+#include "netlist/generators.h"
+#include "seqpair/packer.h"
+#include "seqpair/symmetry.h"
+#include "util/rng.h"
+
+namespace als {
+namespace {
+
+/// Random module footprints in [1, 40] DBU.
+void randomDims(std::size_t n, Rng& rng, std::vector<Coord>& w,
+                std::vector<Coord>& h) {
+  w.resize(n);
+  h.resize(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    w[m] = 1 + static_cast<Coord>(rng.index(40));
+    h[m] = 1 + static_cast<Coord>(rng.index(40));
+  }
+}
+
+/// Compacted legal placement: packs a random sequence pair of the dims.
+Placement randomPackedPlacement(std::size_t n, Rng& rng,
+                                const std::vector<Coord>& w,
+                                const std::vector<Coord>& h) {
+  SequencePair sp = SequencePair::random(n, rng);
+  return packSequencePair(sp, w, h);
+}
+
+/// Gappy legal placement: one module per 50x50 grid cell with a random
+/// offset (dims are <= 40, so modules never touch).  Exercises the
+/// converters' handling of placements no compacted encoding represents
+/// verbatim — in particular the B* reconstruction's free-slot fallback.
+Placement randomGappyPlacement(std::size_t n, Rng& rng,
+                               const std::vector<Coord>& w,
+                               const std::vector<Coord>& h) {
+  const std::size_t cols = 1 + static_cast<std::size_t>(rng.index(n));
+  Placement p(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    const Coord cellX = static_cast<Coord>(m % cols) * 50;
+    const Coord cellY = static_cast<Coord>(m / cols) * 50;
+    p[m] = {cellX + static_cast<Coord>(rng.index(static_cast<std::size_t>(
+                        50 - w[m]))),
+            cellY + static_cast<Coord>(rng.index(static_cast<std::size_t>(
+                        50 - h[m]))),
+            w[m], h[m]};
+  }
+  return p;
+}
+
+/// Checks the documented dominance guarantee of the sequence-pair
+/// converter on every module pair of `source`: center-diagonal dominance
+/// in the source survives as a left-of / below relation in the pair, hence
+/// as a coordinate separation in the decoded packing.
+void expectDiagonalDominance(const Placement& source, const SequencePair& sp,
+                             const Placement& decoded) {
+  const std::size_t n = source.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Point ci = source[i].center2x();
+      const Point cj = source[j].center2x();
+      const Coord dx = cj.x - ci.x;
+      const Coord dy = cj.y - ci.y;
+      if (dx > std::abs(dy)) {
+        EXPECT_TRUE(sp.leftOf(i, j)) << i << " vs " << j;
+        EXPECT_LE(decoded[i].xhi(), decoded[j].x) << i << " vs " << j;
+      } else if (dy > std::abs(dx)) {
+        EXPECT_TRUE(sp.below(i, j)) << i << " vs " << j;
+        EXPECT_LE(decoded[i].yhi(), decoded[j].y) << i << " vs " << j;
+      }
+    }
+  }
+}
+
+/// Checks every structural invariant the B* reconstruction documents:
+/// valid tree, items a permutation, and each parent lexicographically
+/// before its children in source (x, y, id) order.
+void expectBStarInvariants(const Placement& source, const BStarTree& tree) {
+  const std::size_t n = source.size();
+  ASSERT_EQ(tree.size(), n);
+  EXPECT_TRUE(tree.isValid());
+  std::vector<std::size_t> items(n);
+  for (std::size_t v = 0; v < n; ++v) items[v] = tree.item(v);
+  std::sort(items.begin(), items.end());
+  for (std::size_t m = 0; m < n; ++m) {
+    EXPECT_EQ(items[m], m) << "items are not a permutation";
+  }
+  auto key = [&](std::size_t v) {
+    const Rect& r = source[tree.item(v)];
+    return std::tuple<Coord, Coord, std::size_t>(r.x, r.y, tree.item(v));
+  };
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v == tree.root()) {
+      EXPECT_EQ(tree.parent(v), BStarTree::npos);
+      continue;
+    }
+    EXPECT_LT(key(tree.parent(v)), key(v)) << "node " << v;
+  }
+}
+
+void expectSameTree(const BStarTree& a, const BStarTree& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.root(), b.root());
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a.item(v), b.item(v)) << "node " << v;
+    EXPECT_EQ(a.left(v), b.left(v)) << "node " << v;
+    EXPECT_EQ(a.right(v), b.right(v)) << "node " << v;
+  }
+}
+
+TEST(Convert, SequencePairPreservesDiagonalDominance) {
+  Rng rng(7);
+  SeqPairFromPlacementScratch scratch;  // shared across all conversions:
+  SequencePair sp, again;               // warm reuse must not change results
+  std::vector<Coord> w, h;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.index(63);  // 2..64
+    randomDims(n, rng, w, h);
+    const bool gappy = trial % 2 == 1;
+    const Placement source = gappy ? randomGappyPlacement(n, rng, w, h)
+                                   : randomPackedPlacement(n, rng, w, h);
+    ASSERT_TRUE(source.isLegal());
+
+    sequencePairFromPlacement(source, scratch, sp);
+    ASSERT_TRUE(sp.isValid()) << "trial " << trial;
+
+    // Deterministic: a second conversion (warm scratch) and the allocating
+    // overload both reproduce the pair exactly.
+    sequencePairFromPlacement(source, scratch, again);
+    EXPECT_EQ(sp, again) << "trial " << trial;
+    EXPECT_EQ(sp, sequencePairFromPlacement(source)) << "trial " << trial;
+
+    const Placement decoded = packSequencePair(sp, w, h);
+    EXPECT_TRUE(decoded.isLegal()) << "trial " << trial;
+    expectDiagonalDominance(source, sp, decoded);
+  }
+}
+
+TEST(Convert, SequencePairAtCorpusScale) {
+  Rng rng(11);
+  SeqPairFromPlacementScratch scratch;
+  SequencePair sp, again;
+  for (CorpusCircuit which : {CorpusCircuit::Ami33, CorpusCircuit::N100}) {
+    const Circuit c = loadCorpusCircuit(which);
+    const std::size_t n = c.moduleCount();
+    std::vector<Coord> w(n), h(n);
+    for (std::size_t m = 0; m < n; ++m) {
+      w[m] = c.module(m).w;
+      h[m] = c.module(m).h;
+    }
+    const Placement source = randomPackedPlacement(n, rng, w, h);
+    sequencePairFromPlacement(source, scratch, sp);
+    ASSERT_TRUE(sp.isValid()) << corpusName(which);
+    sequencePairFromPlacement(source, scratch, again);
+    EXPECT_EQ(sp, again) << corpusName(which);
+    const Placement decoded = packSequencePair(sp, w, h);
+    EXPECT_TRUE(decoded.isLegal()) << corpusName(which);
+    expectDiagonalDominance(source, sp, decoded);
+  }
+}
+
+// A converted seed must be adoptable by the symmetry-constrained seqpair
+// annealer: the repair pass restores the symmetric-feasible invariant on
+// the converted pair (it permutes only group members, so the seed's global
+// structure survives).
+TEST(Convert, ConvertedSeedAdmitsSymmetricRepair) {
+  const Circuit c = makeTableICircuit(TableICircuit::ComparatorV2);
+  ASSERT_FALSE(c.symmetryGroups().empty());
+  const std::size_t n = c.moduleCount();
+  std::vector<Coord> w(n), h(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    w[m] = c.module(m).w;
+    h[m] = c.module(m).h;
+  }
+  Rng rng(3);
+  const SymmetryGroup merged = mergedGroup(c.symmetryGroups());
+  SeqPairFromPlacementScratch scratch;
+  SymFeasibleScratch symScratch;
+  SequencePair sp;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Placement source = randomPackedPlacement(n, rng, w, h);
+    sequencePairFromPlacement(source, scratch, sp);
+    makeSymmetricFeasibleInPlace(sp, merged, symScratch);
+    EXPECT_TRUE(sp.isValid()) << "trial " << trial;
+    EXPECT_TRUE(isSymmetricFeasible(sp, merged)) << "trial " << trial;
+    EXPECT_TRUE(packSequencePair(sp, w, h).isLegal()) << "trial " << trial;
+  }
+}
+
+TEST(Convert, BStarTopologyFollowsSourceOrder) {
+  Rng rng(13);
+  BStarFromPlacementScratch scratch;
+  BStarTree tree, again;
+  std::vector<Coord> w, h;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.index(63);  // 2..64
+    randomDims(n, rng, w, h);
+    const bool gappy = trial % 2 == 1;
+    const Placement source = gappy ? randomGappyPlacement(n, rng, w, h)
+                                   : randomPackedPlacement(n, rng, w, h);
+    ASSERT_TRUE(source.isLegal());
+
+    bstarFromPlacement(source, scratch, tree);
+    expectBStarInvariants(source, tree);
+
+    bstarFromPlacement(source, scratch, again);
+    expectSameTree(tree, again);
+    expectSameTree(tree, bstarFromPlacement(source));
+
+    // The converted tree is a legal seed: it decodes to a legal compacted
+    // placement with every module keeping its footprint.
+    const Placement decoded = packBStar(tree, w, h);
+    ASSERT_EQ(decoded.size(), n);
+    EXPECT_TRUE(decoded.isLegal()) << "trial " << trial;
+    for (std::size_t m = 0; m < n; ++m) {
+      EXPECT_EQ(decoded[m].w, w[m]) << "trial " << trial;
+      EXPECT_EQ(decoded[m].h, h[m]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Convert, BStarAtCorpusScale) {
+  Rng rng(17);
+  BStarFromPlacementScratch scratch;
+  BStarTree tree, again;
+  for (CorpusCircuit which : {CorpusCircuit::Ami33, CorpusCircuit::N100}) {
+    const Circuit c = loadCorpusCircuit(which);
+    const std::size_t n = c.moduleCount();
+    std::vector<Coord> w(n), h(n);
+    for (std::size_t m = 0; m < n; ++m) {
+      w[m] = c.module(m).w;
+      h[m] = c.module(m).h;
+    }
+    const Placement source = randomPackedPlacement(n, rng, w, h);
+    bstarFromPlacement(source, scratch, tree);
+    expectBStarInvariants(source, tree);
+    bstarFromPlacement(source, scratch, again);
+    expectSameTree(tree, again);
+    EXPECT_TRUE(packBStar(tree, w, h).isLegal()) << corpusName(which);
+  }
+}
+
+}  // namespace
+}  // namespace als

@@ -8,13 +8,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "anneal/annealer.h"
+#include "io/corpus.h"
 #include "netlist/generators.h"
+#include "runtime/tempering.h"
 #include "runtime/thread_pool.h"
+#include "util/rng.h"
 
 namespace als {
 namespace {
@@ -247,6 +252,213 @@ TEST(BatchPlacer, MatchesPerCircuitPortfolios) {
     expectBitIdentical(expected, results[i],
                        "batch circuit " + std::to_string(i));
   }
+}
+
+void expectSameReplicas(const TemperingOutcome& a, const TemperingOutcome& b,
+                        std::string_view label) {
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.exchangesAccepted, b.exchangesAccepted) << label;
+  EXPECT_EQ(a.reseeds, b.reseeds) << label;
+  ASSERT_EQ(a.replicas.size(), b.replicas.size()) << label;
+  for (std::size_t i = 0; i < a.replicas.size(); ++i) {
+    const TemperingReplica& ra = a.replicas[i];
+    const TemperingReplica& rb = b.replicas[i];
+    EXPECT_EQ(ra.seed, rb.seed) << label << " replica " << i;
+    EXPECT_EQ(ra.tempScale, rb.tempScale) << label << " replica " << i;
+    EXPECT_EQ(ra.cost, rb.cost) << label << " replica " << i;
+    EXPECT_EQ(ra.sweeps, rb.sweeps) << label << " replica " << i;
+    EXPECT_EQ(ra.movesTried, rb.movesTried) << label << " replica " << i;
+    EXPECT_EQ(ra.exchanges, rb.exchanges) << label << " replica " << i;
+    EXPECT_EQ(ra.reseeds, rb.reseeds) << label << " replica " << i;
+  }
+}
+
+// The tempering tentpole contract: K coupled replicas exchanging every
+// `exchangeInterval` sweeps produce bit-identical results — down to every
+// per-replica trajectory — at any thread count, on every backend.
+TEST(Tempering, ThreadCountDoesNotChangeAnyBackendsResult) {
+  Circuit c = makeTableICircuit(TableICircuit::ComparatorV2);
+  EngineOptions opt;
+  opt.maxSweeps = 120;
+  opt.numRestarts = 4;
+  opt.seed = 17;
+  opt.tempering = true;
+  opt.exchangeInterval = 2;
+  opt.ladderRatio = 1.5;
+  TemperingRunner runner;
+  std::size_t totalExchanges = 0;
+  for (EngineBackend backend : allBackends()) {
+    opt.numThreads = 1;
+    TemperingOutcome serial = runner.run(c, backend, opt);
+    opt.numThreads = 2;
+    TemperingOutcome two = runner.run(c, backend, opt);
+    opt.numThreads = 8;
+    TemperingOutcome eight = runner.run(c, backend, opt);
+    expectBitIdentical(serial.result, two.result, backendName(backend));
+    expectBitIdentical(serial.result, eight.result, backendName(backend));
+    expectSameReplicas(serial, two, backendName(backend));
+    expectSameReplicas(serial, eight, backendName(backend));
+    EXPECT_EQ(serial.result.restartsRun, 4u) << backendName(backend);
+    EXPECT_EQ(serial.result.sweeps, 120u) << backendName(backend);
+    EXPECT_GT(serial.rounds, 0u) << backendName(backend);
+    totalExchanges += serial.exchangesAccepted;
+  }
+  // The ladder actually couples: across four backends and ~15 rounds each,
+  // at least one swap must have been accepted.
+  EXPECT_GT(totalExchanges, 0u);
+}
+
+// With one replica there is no ladder and nothing to exchange, so a
+// tempering run chopped into rounds must equal the plain one-shot engine
+// call bit for bit — this pins the run/pause resumability seam itself.
+TEST(Tempering, SingleReplicaMatchesAPlainEngineCall) {
+  Circuit c = makeTableICircuit(TableICircuit::MillerV2);
+  EngineOptions opt;
+  opt.maxSweeps = 90;
+  opt.seed = 2;
+  opt.numRestarts = 1;
+  opt.numThreads = 2;
+  opt.tempering = true;
+  opt.exchangeInterval = 4;  // pauses every 4 sweeps; must not matter
+  opt.ladderRatio = 2.0;     // rung 0 always scales by 1.0
+  TemperingRunner runner;
+  EngineOptions plain = opt;
+  plain.tempering = false;
+  for (EngineBackend backend : allBackends()) {
+    EngineResult direct = makeEngine(backend)->place(c, plain);
+    TemperingOutcome tempered = runner.run(c, backend, opt);
+    expectBitIdentical(direct, tempered.result, backendName(backend));
+  }
+}
+
+// The differential degeneration contract: exchanges disabled and a flat
+// ladder reproduce the independent-restart portfolio exactly, bit for bit.
+// Both knobs must be neutral — a flat ladder with exchanges on still swaps
+// (P = 1 when the temperatures are equal).
+TEST(Tempering, DisabledExchangeDegeneratesToIndependentRestarts) {
+  EngineOptions opt;
+  opt.maxSweeps = 48;
+  opt.numRestarts = 3;
+  opt.seed = 11;
+  opt.numThreads = 4;
+  opt.tempering = true;
+  opt.exchangeInterval = 0;
+  opt.ladderRatio = 1.0;
+  EngineOptions plain = opt;
+  plain.tempering = false;
+  TemperingRunner tempering;
+  PortfolioRunner portfolio;
+  for (CorpusCircuit which : {CorpusCircuit::Apte, CorpusCircuit::Ami33}) {
+    Circuit c = loadCorpusCircuit(which);
+    for (EngineBackend backend : allBackends()) {
+      TemperingOutcome t = tempering.run(c, backend, opt);
+      EngineResult p = portfolio.run(c, backend, plain);
+      expectBitIdentical(t.result, p,
+                         std::string(corpusName(which)) + "/" +
+                             std::string(backendName(backend)));
+      EXPECT_EQ(t.exchangesAccepted, 0u);
+      EXPECT_EQ(t.reseeds, 0u);
+      // options.tempering routes PortfolioRunner through the same path.
+      EngineResult routed = portfolio.run(c, backend, opt);
+      expectBitIdentical(t.result, routed,
+                         std::string(corpusName(which)) + " routed");
+    }
+  }
+  // GSRC scale, cheap budget: the degeneration must hold where the
+  // incremental decode machinery (partial repack, journaled LCS) is active.
+  Circuit n100 = loadCorpusCircuit(CorpusCircuit::N100);
+  opt.maxSweeps = 12;
+  plain.maxSweeps = 12;
+  for (EngineBackend backend :
+       {EngineBackend::FlatBStar, EngineBackend::SeqPair}) {
+    TemperingOutcome t = tempering.run(n100, backend, opt);
+    EngineResult p = portfolio.run(n100, backend, plain);
+    expectBitIdentical(t.result, p,
+                       "n100/" + std::string(backendName(backend)));
+  }
+}
+
+// The exchange schedule is a pure function of (round, salt, seeds, costs,
+// temps, active): identical inputs replay identical plans, and the
+// structural rules (parity pairing, flat-ladder P = 1, finished replicas
+// never swap) hold on random inputs.
+TEST(Tempering, ExchangePlanIsAPureFunctionOfItsInputs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 16; ++trial) {
+    const std::size_t k = 2 + rng.index(6);
+    std::vector<std::uint64_t> seeds(k);
+    std::vector<double> costs(k), temps(k);
+    std::vector<std::uint8_t> active(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      seeds[i] = rng.index(1u << 20);
+      costs[i] = rng.uniform() * 100.0;
+      temps[i] = 0.5 + rng.uniform() * 10.0;
+      active[i] = rng.coin() ? 1 : 0;
+    }
+    const std::uint64_t round = rng.index(64);
+    const std::uint64_t salt = rng.index(4);
+    std::vector<std::size_t> planA, planB;
+    planExchanges(round, salt, seeds, costs, temps, active, planA);
+    planExchanges(round, salt, seeds, costs, temps, active, planB);
+    EXPECT_EQ(planA, planB) << "trial " << trial;
+    for (std::size_t lo : planA) {
+      EXPECT_EQ(lo % 2, round % 2) << "parity, trial " << trial;
+      EXPECT_LT(lo + 1, k);
+      EXPECT_NE(active[lo], 0) << "trial " << trial;
+      EXPECT_NE(active[lo + 1], 0) << "trial " << trial;
+    }
+    // A flat ladder accepts every considered live pair (P = 1): this is
+    // exactly why degeneration needs exchanges off, not just ratio 1.0.
+    std::fill(temps.begin(), temps.end(), 3.0);
+    std::vector<std::size_t> flat;
+    planExchanges(round, salt, seeds, costs, temps, active, flat);
+    for (std::size_t i = round % 2; i + 1 < k; i += 2) {
+      const bool live = active[i] != 0 && active[i + 1] != 0;
+      const bool planned =
+          std::find(flat.begin(), flat.end(), i) != flat.end();
+      EXPECT_EQ(planned, live) << "flat ladder, trial " << trial;
+    }
+    // All-finished rounds plan nothing.
+    std::fill(active.begin(), active.end(), std::uint8_t{0});
+    std::vector<std::size_t> none;
+    planExchanges(round, salt, seeds, costs, temps, active, none);
+    EXPECT_TRUE(none.empty());
+  }
+  // The schedule seed is order-sensitive in the seeds and varies by round.
+  const std::vector<std::uint64_t> ab = {1, 2};
+  const std::vector<std::uint64_t> ba = {2, 1};
+  EXPECT_NE(exchangeScheduleSeed(0, ab), exchangeScheduleSeed(0, ba));
+  EXPECT_NE(exchangeScheduleSeed(0, ab), exchangeScheduleSeed(1, ab));
+}
+
+// Cross-backend tempering race: thread-count invariant (including the
+// cross-seeding decisions) and consistent with the PortfolioRunner routing.
+TEST(Tempering, RaceWithCrossSeedingIsThreadCountInvariant) {
+  Circuit c = makeTableICircuit(TableICircuit::ComparatorV2);
+  EngineOptions opt;
+  opt.maxSweeps = 120;
+  opt.numRestarts = 2;
+  opt.seed = 23;
+  opt.tempering = true;
+  opt.exchangeInterval = 2;
+  opt.ladderRatio = 1.5;
+  opt.crossSeed = true;
+  TemperingRunner runner;
+  opt.numThreads = 1;
+  TemperingOutcome serial = runner.race(c, allBackends(), opt);
+  opt.numThreads = 8;
+  TemperingOutcome parallel = runner.race(c, allBackends(), opt);
+  EXPECT_EQ(serial.backend, parallel.backend);
+  expectBitIdentical(serial.result, parallel.result, "tempering race");
+  expectSameReplicas(serial, parallel, "tempering race");
+  // The coupling is real on this configuration: ladders swap and lagging
+  // backends adopt the leader's placement through the converters.
+  EXPECT_GT(serial.exchangesAccepted, 0u);
+  EXPECT_GT(serial.reseeds, 0u);
+  PortfolioRunner routed;
+  PortfolioRunner::RaceOutcome viaPortfolio = routed.race(c, allBackends(), opt);
+  EXPECT_EQ(viaPortfolio.backend, serial.backend);
+  expectBitIdentical(viaPortfolio.result, serial.result, "routed race");
 }
 
 // Stress for the sanitizer configs (ASan/UBSan catch lifetime bugs, TSan the

@@ -14,6 +14,7 @@
 // parallel through the batch placer.
 //
 //   als_place --circuit apte --backend race --sweeps 1024 --restarts 16
+//   als_place --circuit ami49 --backend seqpair --tempering
 //   als_place my_design.alsbench --backend seqpair --json out.json
 //   als_place --circuit ami33 --thermal 1.0 --shapes 0.2
 //   als_place --size --backend seqpair --sweeps 256
@@ -55,6 +56,14 @@ int usage(const char* argv0) {
                "  --restarts <n>     seed-split restarts sharing the budget (default 8)\n"
                "  --threads <n>      worker threads, 0 = all hardware cores (default 0)\n"
                "  --seed <n>         base seed of the restart schedule (default 1)\n"
+               "  --tempering        couple the restarts into a parallel-tempering\n"
+               "                     ladder (same seeds and budget, exchanged states;\n"
+               "                     still bit-identical at any thread count)\n"
+               "  --exchange-interval <n>  sweeps between exchange rounds (default 4;\n"
+               "                     0 together with --ladder-ratio 1 reproduces the\n"
+               "                     independent restarts exactly)\n"
+               "  --ladder-ratio <r> geometric t0 ratio between rungs (default 0.9;\n"
+               "                     r < 1 makes the extra rungs colder)\n"
                "\n"
                "objective (unified weights, cost/objective.h recipe)\n"
                "  --wl <w>           wirelength weight (default 0.25)\n"
@@ -199,8 +208,8 @@ int runSize(BenchIo& io, EngineBackend backend, const EngineOptions& opt) {
 
 /// The CI gate behind --smoke: every corpus circuit, all four backends,
 /// bit-identical across two runs and across 1 vs 8 threads — then the same
-/// bar with the scenario workloads (thermal objective, shape moves, the
-/// --size flow) switched on.
+/// bar with the scenario workloads (thermal objective, shape moves,
+/// parallel tempering, the --size flow) switched on.
 int runSmoke(BenchIo& io) {
   EngineOptions opt;
   opt.maxSweeps = 96;
@@ -318,6 +327,57 @@ int runSmoke(BenchIo& io) {
     }
   }
 
+  // Tempering leg: the coupled-replica runs clear the same bar — bit-
+  // identical across two runs and across 1 vs 8 threads on every backend —
+  // and the degenerate knobs (exchangeInterval=0, ladderRatio=1.0) must
+  // reproduce the independent-restart portfolio exactly.
+  EngineOptions topt = opt;
+  topt.tempering = true;
+  topt.exchangeInterval = 2;
+  topt.ladderRatio = 1.5;
+  for (CorpusCircuit which : {CorpusCircuit::Apte, CorpusCircuit::Ami33}) {
+    Circuit c = loadCorpusCircuit(which);
+    for (EngineBackend backend : allBackends()) {
+      topt.numThreads = 1;
+      EngineResult serial = runner.run(c, backend, topt);
+      topt.numThreads = 8;
+      EngineResult parallel = runner.run(c, backend, topt);
+      EngineResult again = runner.run(c, backend, topt);
+      bool deterministic = identicalResults(serial, parallel) &&
+                           identicalResults(parallel, again);
+      EngineOptions degen = opt;
+      degen.tempering = true;
+      degen.exchangeInterval = 0;
+      degen.ladderRatio = 1.0;
+      degen.numThreads = 8;
+      EngineOptions plain = opt;
+      plain.numThreads = 8;
+      bool degenerates = identicalResults(runner.run(c, backend, degen),
+                                          runner.run(c, backend, plain));
+      bool legal = parallel.placement.isLegal();
+      if (!deterministic || !degenerates || !legal) {
+        std::fprintf(stderr, "als_place: %s/%s tempering %s\n",
+                     corpusName(which),
+                     std::string(backendName(backend)).c_str(),
+                     !legal ? "produced an illegal placement"
+                     : !deterministic
+                         ? "is NOT deterministic across runs/threads"
+                         : "with degenerate knobs does NOT reproduce the "
+                           "restart portfolio");
+        ++failures;
+      }
+      table.addRow({std::string(corpusName(which)) + "+pt",
+                    std::to_string(c.moduleCount()),
+                    std::string(backendName(backend)),
+                    Table::fmt(static_cast<double>(parallel.area) /
+                               static_cast<double>(c.totalModuleArea())),
+                    Table::fmt(static_cast<double>(parallel.hpwl) / 1000.0, 1),
+                    deterministic && degenerates && legal ? "yes" : "NO"});
+      io.add(std::string(backendName(backend)) + "+pt", corpusName(which),
+             parallel, 8, &topt);
+    }
+  }
+
   // --size flow leg: the whole sizing-on-portfolio pipeline must reduce to
   // a bit-identical winner at 1 vs 8 placement threads.
   {
@@ -356,7 +416,9 @@ int runSmoke(BenchIo& io) {
 
   table.print(std::cout);
   std::printf("\nsmoke gate: %s (every row bit-compared across runs and "
-              "1 vs 8 threads; scenario legs run thermal + shape workloads)\n",
+              "1 vs 8 threads; scenario legs run thermal + shape workloads;\n"
+              "+pt rows run parallel tempering and check the degenerate knobs "
+              "reproduce the restarts)\n",
               failures == 0 ? "PASS" : "FAIL");
   return failures == 0 ? 0 : 1;
 }
@@ -424,6 +486,19 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v || !parseNum(v, &n)) return usage(argv[0]);
       opt.seed = n;
+    } else if (arg == "--tempering") {
+      opt.tempering = true;
+    } else if (arg == "--exchange-interval") {
+      const char* v = value();
+      if (!v || !parseNum(v, &n)) return usage(argv[0]);
+      opt.exchangeInterval = static_cast<std::size_t>(n);
+    } else if (arg == "--ladder-ratio") {
+      const char* v = value();
+      // A temperature ratio: must be strictly positive (parseWeight allows
+      // 0, which would zero every rung above the first).
+      if (!v || !parseWeight(v, &opt.ladderRatio) || opt.ladderRatio <= 0.0) {
+        return usage(argv[0]);
+      }
     } else if (arg == "--wl") {
       const char* v = value();
       if (!v || !parseWeight(v, &opt.wirelengthWeight)) return usage(argv[0]);
