@@ -90,7 +90,27 @@ echo "=== als_place smoke: corpus x backends determinism gate ==="
 ./build/als_place --smoke --json build/bench-smoke/als_place.json \
   > build/bench-smoke/als_place.out
 
-echo "=== bench_diff: throughput vs committed BENCH_baseline.json ==="
+echo "=== als_serve smoke: daemon + replay, identity / cache / cancel ==="
+# Boots the placement daemon and fires the replay harness at it: apte and
+# ami33 jobs with duplicate resubmissions, run at 1 client and again at 8
+# concurrent clients.  --check asserts the three service contracts — the
+# two rounds' per-job results are byte-identical (and match an in-process
+# PortfolioRunner oracle), the duplicate stream produces a nonzero cache
+# hit rate with a >= 50x warm-over-cold speedup, and a job cancelled
+# mid-run is acknowledged within a bounded number of progress rounds with
+# the worker then completing a fresh job bit-identically.  The JSON lands
+# next to the other smoke records and feeds bench_diff coverage below.
+./build/als_replay --serve-bin ./build/als_serve --check --clients 8 \
+  --json build/bench-smoke/bench_serve.json \
+  > build/bench-smoke/bench_serve.out
+
+echo "=== readme_tables --check: README tables vs committed baseline ==="
+# The README's measured-throughput tables are generated from
+# BENCH_baseline.json; drift (hand edits, or a baseline refresh without
+# regenerating) fails CI.  Refresh with: ./build/readme_tables
+./build/readme_tables --check
+
+echo "=== bench_diff: throughput + quality vs committed BENCH_baseline.json ==="
 # Fails on a moves/sec regression of any backend x circuit pair against the
 # committed baseline (ROADMAP item 5).  The smoke budgets keep every pair
 # in the milliseconds range, so two extra captures are folded in —
@@ -99,22 +119,27 @@ echo "=== bench_diff: throughput vs committed BENCH_baseline.json ==="
 # is meant for dedicated hardware with longer budgets.  Refresh the
 # baseline on intentional perf changes or hardware moves with:
 #   ./build/bench_diff --merge BENCH_baseline.json \
-#     build/bench-smoke/bench_decode*.json build/bench-smoke/als_place*.json
+#     build/bench-smoke/bench_decode*.json build/bench-smoke/als_place*.json \
+#     build/bench-smoke/bench_serve.json
 # (the glob picks up the bench_decode_scaling captures too, so the
-# full-vs-partial decode rows stay covered)
+# full-vs-partial decode rows stay covered; bench_serve.json carries the
+# serve identity/quality rows and the service-level meta metrics) — then
+# regenerate the README tables: ./build/readme_tables
 for rep in 2 3; do
   ./build/bench_decode --smoke --json "build/bench-smoke/bench_decode.r$rep.json" \
     > /dev/null
   ./build/als_place --smoke --json "build/bench-smoke/als_place.r$rep.json" \
     > /dev/null
 done
-./build/bench_diff --tol "${BENCH_DIFF_TOL:-40}" BENCH_baseline.json \
+./build/bench_diff --tol "${BENCH_DIFF_TOL:-40}" \
+  --quality-tol "${BENCH_DIFF_QUALITY_TOL:-5}" BENCH_baseline.json \
   build/bench-smoke/bench_decode.json build/bench-smoke/bench_decode.r2.json \
   build/bench-smoke/bench_decode.r3.json \
   build/bench-smoke/bench_decode_scaling.json \
   build/bench-smoke/bench_decode_scaling.r2.json \
   build/bench-smoke/bench_decode_scaling.r3.json \
   build/bench-smoke/als_place.json build/bench-smoke/als_place.r2.json \
-  build/bench-smoke/als_place.r3.json build/bench-smoke/bench_portfolio.json
+  build/bench-smoke/als_place.r3.json build/bench-smoke/bench_portfolio.json \
+  build/bench-smoke/bench_serve.json
 
 echo "=== CI green ==="

@@ -17,6 +17,27 @@
 // hardware.  `timeLimitSec` remains available as a *secondary* wall-clock
 // cap (0 disables it); results obtained under an active time cap are not
 // reproducible and should be reserved for interactive/budgeted use.
+//
+// Cancellation: `AnnealOptions::cancel` (util/cancel_token.h) is the third,
+// externally triggered stopping rule.  EVERY entry point honours it through
+// the same seam — `anneal` / `annealWithRestarts` (both the scratch and the
+// incremental-evaluator overloads) and the resumable `AnnealDriver` that
+// sessions and runners build on — because the check lives in the two sweep
+// loops they all share.  The contract:
+//
+//   * Granularity: the flag is tested once per SWEEP (temperature step),
+//     never mid-move.  A run is therefore cancelled only at a point where
+//     the evaluator's committed state, any decode scratch, and the move
+//     buffers are all consistent — the scratch-reuse contract survives, and
+//     the next run on the same buffers is bit-identical to a fresh process.
+//   * Result: a cancelled run returns normally with the best state found so
+//     far; `sweeps` reports what actually executed.  No flag is added to
+//     the result — the token's owner knows it cancelled.  Because the
+//     outcome depends on when the flag was seen, cancelled results are NOT
+//     deterministic and must never be cached or compared against golden
+//     trajectories.
+//   * Restarts: cancellation also stops the restart schedule — the active
+//     run is merged and no further restart begins.
 #pragma once
 
 #include <algorithm>
@@ -26,6 +47,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/cancel_token.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -40,6 +62,9 @@ struct AnnealOptions {
   std::size_t maxSweeps = 256;    ///< primary budget: temperature steps (0 = uncapped)
   double timeLimitSec = 0.0;      ///< secondary wall-clock cap (0 = uncapped)
   std::uint64_t seed = 42;
+  /// Cooperative cancellation, checked once per sweep (see the header
+  /// comment for the contract).  Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 template <class State>
@@ -304,7 +329,8 @@ AnnealResult<State> annealImpl(State init, Eval& eval, MoveF& move,
   const bool timed = opt.timeLimitSec > 0.0;
   while (t > tFreeze &&
          (opt.maxSweeps == 0 || result.sweeps < opt.maxSweeps) &&
-         (!timed || clock.seconds() < opt.timeLimitSec)) {
+         (!timed || clock.seconds() < opt.timeLimitSec) &&
+         !cancelRequested(opt.cancel)) {
     annealPass(cur, curCost, movesPerTemp, eval, move, rng, moveBuf,
                [&](double delta) {
                  ++result.movesTried;
@@ -379,6 +405,15 @@ class AnnealDriver {
   std::size_t runSweeps(std::size_t maxSweeps) {
     std::size_t done = 0;
     while (!finished_ && done < maxSweeps) {
+      if (cancelRequested(options_.cancel)) {
+        // Cancellation ends the whole schedule: merge the active run so
+        // `finalize()` reports best-so-far, and never start another
+        // restart.  The evaluator/scratch state is at a sweep boundary,
+        // hence consistent and reusable.
+        mergeRun();
+        finished_ = true;
+        break;
+      }
       if (t_ > tFreeze_ &&
           (runBudget_ == 0 || runResult_.sweeps < runBudget_) &&
           (!timed_ || runClock_.seconds() < runTimeCap_)) {
@@ -513,7 +548,7 @@ class AnnealDriver {
     }
   }
 
-  void endRun() {
+  void mergeRun() {
     best_.movesTried += runResult_.movesTried;
     best_.movesAccepted += runResult_.movesAccepted;
     best_.sweeps += runResult_.sweeps;
@@ -521,6 +556,10 @@ class AnnealDriver {
       best_.best = runResult_.best;
       best_.bestCost = runResult_.bestCost;
     }
+  }
+
+  void endRun() {
+    mergeRun();
     seed_ = nextRestartSeed(seed_);
     // A restart is funded only while every *active* budget has leftover;
     // with no budget at all a single (freeze-terminated) run is the answer.

@@ -146,6 +146,7 @@ struct FlatBStarSession::Impl {
     annealOpt.coolingFactor = options.coolingFactor;
     annealOpt.movesPerTemp = options.movesPerTemp;
     annealOpt.sizeHint = n;
+    annealOpt.cancel = options.cancel;
     FlatState init{BStarTree(n), std::vector<bool>(n, false),
                    std::vector<std::uint8_t>(n, 0)};
     driver.emplace(init, Eval{model, decode},

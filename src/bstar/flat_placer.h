@@ -14,6 +14,7 @@
 #include "bstar/pack.h"
 #include "geom/placement.h"
 #include "netlist/circuit.h"
+#include "util/cancel_token.h"
 
 namespace als {
 
@@ -50,6 +51,8 @@ struct FlatBStarOptions {
   /// trajectory-equivalence oracle in tests.
   bool partialDecode = true;
   FlatBStarScratch* scratch = nullptr;  ///< optional caller-owned buffers
+  /// Cooperative cancellation, checked per sweep (anneal/annealer.h).
+  const CancelToken* cancel = nullptr;
 };
 
 struct FlatBStarResult {

@@ -401,6 +401,7 @@ struct HBStarSession::Impl {
     annealOpt.coolingFactor = options.coolingFactor;
     annealOpt.movesPerTemp = options.movesPerTemp;
     annealOpt.sizeHint = circuit.moduleCount();
+    annealOpt.cancel = options.cancel;
     HBState init(circuit);
     init.enableShapeMoves(options.shapeMoveProb);
     driver.emplace(init, Eval{model, decode}, HBMove{}, annealOpt, tempScale);

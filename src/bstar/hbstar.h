@@ -30,6 +30,7 @@
 #include "bstar/pack.h"
 #include "geom/placement.h"
 #include "netlist/circuit.h"
+#include "util/cancel_token.h"
 
 namespace als {
 
@@ -160,6 +161,8 @@ struct HBPlacerOptions {
   double coolingFactor = 0.96;
   std::size_t movesPerTemp = 0;  ///< 0 = auto
   HBStarScratch* scratch = nullptr;  ///< optional caller-owned buffers
+  /// Cooperative cancellation, checked per sweep (anneal/annealer.h).
+  const CancelToken* cancel = nullptr;
 };
 
 struct HBPlacerResult {

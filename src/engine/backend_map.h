@@ -47,6 +47,9 @@ BackendOptions mapEngineOptions(const EngineOptions& options) {
   if constexpr (requires { opt.shapeMoveProb; }) {
     opt.shapeMoveProb = options.shapeMoveProb;
   }
+  if constexpr (requires { opt.cancel; }) {
+    opt.cancel = options.cancel;
+  }
   if (options.scratch != nullptr) {
     opt.scratch = subScratch(*options.scratch, opt.scratch);
   }

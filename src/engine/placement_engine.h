@@ -34,6 +34,7 @@
 
 #include "geom/placement.h"
 #include "netlist/circuit.h"
+#include "util/cancel_token.h"
 
 namespace als {
 
@@ -111,6 +112,13 @@ struct EngineOptions {
   /// portfolio runner manages its own per-worker scratches and ignores a
   /// caller-provided one.
   PlaceScratch* scratch = nullptr;
+
+  /// Cooperative cancellation (util/cancel_token.h), honored by every
+  /// backend at sweep granularity and by the runtime layer at restart/round
+  /// granularity — see anneal/annealer.h for the full contract.  A
+  /// cancelled run returns best-so-far; such results are not deterministic
+  /// and must not be cached.  Not owned; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 struct EngineResult {

@@ -1,0 +1,157 @@
+// Wire vocabulary of the placement service (tools/als_serve): content
+// hashing, the canonical options key, the cache key, the ALSRESULT result
+// text and the OPT key/value job-options dialect.  Everything here is pure
+// string/struct work — socket plumbing lives in the tools; the in-process
+// serve engine (runtime/serve.h) and its on-disk cache
+// (runtime/result_cache.h) share these definitions so a result persisted by
+// one daemon parses bit-identically in the next.
+//
+// ## Protocol ("ALSSERVE 1", line-delimited over a local stream socket)
+//
+// A client submits one job as
+//
+//   JOB <tag> <backend>            # tag: client-chosen, no whitespace
+//   OPT <key> <value>              # zero or more (see applyJobOption)
+//   CIRCUIT <nbytes>               # then exactly nbytes of ALSBENCH text
+//   END
+//
+// and the server answers with
+//
+//   QUEUED <tag> <cache-key-hex>   # admitted (hex = CacheKey::hex())
+//   REJECTED <tag> <reason>        # admission control (queue full) — or
+//   ERROR <tag> <message...>       # malformed job / circuit parse error
+//
+// followed, for admitted jobs, by zero or more
+//
+//   PROGRESS <tag> <round> <sweepsDone> <bestCost>
+//
+// and exactly one
+//
+//   RESULT <tag> <hit|miss|cancelled> <nbytes>
+//   <nbytes of ALSRESULT text — parseResultText>
+//   DONE <tag>
+//
+// Control lines outside a job: `CANCEL <tag>` (acknowledged within one
+// progress round; the job still delivers a RESULT, flagged `cancelled`),
+// `STATS` (answered `STATS <submitted> <completed> <hits> <misses>
+// <cancelled> <rejected>`), `FLUSH` (drops every cache entry, memory and
+// disk; answered `FLUSHED` — how the replay harness forces recomputation)
+// and `SHUTDOWN` (answered `BYE`; the daemon drains and exits).  One
+// connection may carry many jobs; all server lines are tagged, so clients
+// may pipeline.
+//
+// ## Cache key contract
+//
+// A job's identity is `CacheKey`: (FNV-1a hash of the RAW circuit bytes,
+// FNV-1a hash of the canonical options string, seed).  The canonical
+// options string (canonicalOptionsKey) lists every result-affecting knob of
+// EngineOptions — and nothing else — in a fixed order with doubles printed
+// as %.17g (round-trip exact), so a default knob and the same value spelled
+// explicitly, in any OPT order, canonicalize identically.  Knobs that
+// cannot affect the placement are excluded by design: `numThreads` (the
+// runtime layer is bit-identical at any thread count) and `timeLimitSec`
+// (the serve layer zeroes it — results under a wall-clock cap would not be
+// reproducible, and a cache of non-reproducible results would be wrong).
+// Hashing the raw circuit bytes (not a parsed canonical form) keeps the
+// warm hit path allocation- and parse-free; the cost is that two textually
+// different spellings of the same circuit compute twice.  That is the
+// documented trade-off — ALSBENCH writers emit canonical text, so
+// resubmissions of a written file always hit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "engine/placement_engine.h"
+
+namespace als {
+
+/// FNV-1a 64-bit over arbitrary bytes — the service's content hash.  Not
+/// cryptographic; collision resistance at cache scale (64-bit, thousands of
+/// entries) is ample, and the function is trivially portable.
+std::uint64_t fnv1a64(std::string_view bytes,
+                      std::uint64_t seed = 14695981039346656037ull);
+
+/// Content-addressed identity of one job (see the header comment).
+struct CacheKey {
+  std::uint64_t circuit = 0;  ///< fnv1a64 of the raw ALSBENCH bytes
+  std::uint64_t options = 0;  ///< fnv1a64 of canonicalOptionsKey(...)
+  std::uint64_t seed = 0;     ///< EngineOptions::seed, explicit
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+
+  /// 48 lowercase hex chars: circuit · options · seed, 16 each.
+  std::string hex() const;
+  /// Parses `hex()` output; returns false (leaving *this unspecified) on
+  /// anything else.
+  bool parseHex(std::string_view text);
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    // splitmix-style fold of the three words.
+    std::uint64_t z = k.circuit + 0x9e3779b97f4a7c15ull * (k.options ^ k.seed);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return static_cast<std::size_t>(z ^ (z >> 27));
+  }
+};
+
+/// Appends the canonical options string for (backend, options) to `out`
+/// (which is NOT cleared — warm callers reuse one buffer).  Fixed field
+/// order, %.17g doubles, result-affecting knobs only; `seed` is excluded
+/// (it is the cache key's explicit third word).
+void canonicalOptionsKey(EngineBackend backend, const EngineOptions& options,
+                         std::string& out);
+
+/// The cache key of (raw circuit bytes, backend, options).  `scratch` holds
+/// the canonical options string between calls so the warm path performs no
+/// allocation once its capacity is reached.
+CacheKey makeCacheKey(std::string_view circuitText, EngineBackend backend,
+                      const EngineOptions& options, std::string& scratch);
+
+/// Applies one `OPT <key> <value>` pair to `options`.  Returns empty on
+/// success, else a message naming the key.  Keys mirror the canonical
+/// options string plus the non-identity knobs a client may set
+/// (`restarts`, `threads`); unknown keys are errors (a silently dropped
+/// knob would poison the cache key contract).
+std::string applyJobOption(EngineOptions& options, std::string_view key,
+                           std::string_view value);
+
+/// Parses a backend name as spelled by `backendName()`; returns false on
+/// unknown names.
+bool parseBackendName(std::string_view name, EngineBackend& backend);
+
+// ---------------------------------------------------------------------------
+// Result text ("ALSRESULT 1") — the persisted / wire form of EngineResult.
+//
+//   ALSRESULT 1
+//   Backend <name>
+//   Cost <%.17g>            # round-trip exact
+//   Area <int64>
+//   Hpwl <int64>
+//   Moves <n>
+//   Sweeps <n>
+//   Restarts <n>
+//   BestRestart <n>
+//   BestSeed <u64>
+//   NumRects <n>
+//   Rect <x> <y> <w> <h>    # n lines, module-id order
+//   END
+//
+// `seconds` is deliberately absent: it is wall-clock accounting, not part
+// of a result's identity — a cached result re-reports the fetch latency.
+
+/// Serializes `result` (with the backend that produced it) as ALSRESULT
+/// text, appended to `out` (not cleared; warm callers reuse the buffer).
+void writeResultText(EngineBackend backend, const EngineResult& result,
+                     std::string& out);
+
+/// Parses ALSRESULT text INTO `result`/`backend`, reusing the placement's
+/// storage (the warm fetch path allocates nothing at steady capacity).
+/// Returns empty on success, else "line N: message"; on failure `result`
+/// is unspecified.  `result.seconds` is set to 0.
+std::string parseResultText(std::string_view text, EngineBackend& backend,
+                            EngineResult& result);
+
+}  // namespace als

@@ -13,22 +13,6 @@ namespace als {
 
 namespace {
 
-/// Options of one slice: own seed and budget, shared resolved movesPerTemp,
-/// multi-start knobs neutralized (a slice is exactly one engine run).  The
-/// caller's scratch (if any) is dropped — the runner hands each slice the
-/// scratch of the pool slot executing it.
-EngineOptions sliceOptions(const EngineOptions& base, const RestartSlice& slice,
-                           std::size_t resolvedMovesPerTemp) {
-  EngineOptions opt = base;
-  opt.seed = slice.seed;
-  opt.maxSweeps = slice.maxSweeps;
-  opt.movesPerTemp = resolvedMovesPerTemp;
-  opt.numRestarts = 1;
-  opt.numThreads = 1;
-  opt.scratch = nullptr;
-  return opt;
-}
-
 /// One warm decode scratch per pool slot (engine/place_scratch.h).  A slot
 /// runs its slices sequentially, so its scratch is never shared; creation
 /// is lazy because a short plan may not touch every slot.  Scratch contents
@@ -47,25 +31,30 @@ class WorkerScratches {
   std::vector<std::unique_ptr<PlaceScratch>> scratches_;
 };
 
-/// (cost, seed) winner among one portfolio's slices; scanning in schedule
-/// order over the index-addressed array keeps the choice independent of
-/// which thread finished first.
-std::size_t bestSliceIndex(std::span<const EngineResult> slices) {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < slices.size(); ++i) {
-    if (slices[i].cost < slices[best].cost ||
-        (slices[i].cost == slices[best].cost &&
-         slices[i].bestSeed < slices[best].bestSeed)) {
-      best = i;
-    }
-  }
-  return best;
+}  // namespace
+
+EngineOptions sliceEngineOptions(const EngineOptions& base,
+                                 const RestartSlice& slice,
+                                 std::size_t resolvedMovesPerTemp) {
+  EngineOptions opt = base;
+  opt.seed = slice.seed;
+  opt.maxSweeps = slice.maxSweeps;
+  opt.movesPerTemp = resolvedMovesPerTemp;
+  opt.numRestarts = 1;
+  opt.numThreads = 1;
+  opt.scratch = nullptr;
+  return opt;
 }
 
-/// Collapses one portfolio's slices (in schedule order) into the aggregate
-/// result: winning slice's placement/cost, summed moves/sweeps/seconds.
-EngineResult reducePortfolio(std::vector<EngineResult>&& slices) {
-  const std::size_t winner = bestSliceIndex(slices);
+EngineResult reducePortfolioSlices(std::vector<EngineResult>&& slices) {
+  std::size_t winner = 0;
+  for (std::size_t i = 1; i < slices.size(); ++i) {
+    if (slices[i].cost < slices[winner].cost ||
+        (slices[i].cost == slices[winner].cost &&
+         slices[i].bestSeed < slices[winner].bestSeed)) {
+      winner = i;
+    }
+  }
   std::size_t movesTried = 0, sweeps = 0;
   double seconds = 0.0;
   for (const EngineResult& slice : slices) {
@@ -76,13 +65,11 @@ EngineResult reducePortfolio(std::vector<EngineResult>&& slices) {
   EngineResult result = std::move(slices[winner]);
   result.movesTried = movesTried;
   result.sweeps = sweeps;
-  result.seconds = seconds;  // run()/race() overwrite with their wall clock
+  result.seconds = seconds;
   result.restartsRun = slices.size();
   result.bestRestart = winner;  // slice position == schedule index
   return result;
 }
-
-}  // namespace
 
 std::vector<RestartSlice> makeRestartPlan(const EngineOptions& options) {
   std::size_t restarts = options.numRestarts > 0 ? options.numRestarts : 1;
@@ -114,7 +101,7 @@ EngineResult PortfolioRunner::run(const Circuit& circuit, EngineBackend backend,
   auto runOn = [&](ThreadPool& pool) {
     WorkerScratches scratches(pool.threadCount());
     pool.parallelFor(plan.size(), [&](std::size_t i, std::size_t slot) {
-      EngineOptions opt = sliceOptions(options, plan[i], movesPerTemp);
+      EngineOptions opt = sliceEngineOptions(options, plan[i], movesPerTemp);
       opt.scratch = scratches.at(slot);
       slices[i] = engine->place(circuit, opt);
     });
@@ -126,7 +113,7 @@ EngineResult PortfolioRunner::run(const Circuit& circuit, EngineBackend backend,
     runOn(pool);
   }
 
-  EngineResult result = reducePortfolio(std::move(slices));
+  EngineResult result = reducePortfolioSlices(std::move(slices));
   result.seconds = clock.seconds();
   return result;
 }
@@ -159,7 +146,7 @@ PortfolioRunner::RaceOutcome PortfolioRunner::race(
     pool.parallelFor(grid.size(), [&](std::size_t task, std::size_t slot) {
       const std::size_t backend = task / restarts;
       const std::size_t restart = task % restarts;
-      EngineOptions opt = sliceOptions(options, plan[restart], movesPerTemp);
+      EngineOptions opt = sliceEngineOptions(options, plan[restart], movesPerTemp);
       opt.scratch = scratches.at(slot);
       grid[task] = engines[backend]->place(circuit, opt);
     });
@@ -179,7 +166,7 @@ PortfolioRunner::RaceOutcome PortfolioRunner::race(
     std::vector<EngineResult> slices(
         std::make_move_iterator(grid.begin() + b * restarts),
         std::make_move_iterator(grid.begin() + (b + 1) * restarts));
-    EngineResult result = reducePortfolio(std::move(slices));
+    EngineResult result = reducePortfolioSlices(std::move(slices));
     if (b == 0 || result.cost < outcome.result.cost ||
         (result.cost == outcome.result.cost &&
          result.bestSeed < outcome.result.bestSeed)) {
@@ -210,7 +197,7 @@ std::vector<EngineResult> BatchPlacer::placeAll(
     pool.parallelFor(grid.size(), [&](std::size_t task, std::size_t slot) {
       const std::size_t c = task / restarts;
       const std::size_t restart = task % restarts;
-      EngineOptions opt = sliceOptions(options, plan[restart], movesPerTemp[c]);
+      EngineOptions opt = sliceEngineOptions(options, plan[restart], movesPerTemp[c]);
       opt.scratch = scratches.at(slot);
       grid[task] = engine->place(circuits[c], opt);
     });
@@ -228,7 +215,7 @@ std::vector<EngineResult> BatchPlacer::placeAll(
     std::vector<EngineResult> slices(
         std::make_move_iterator(grid.begin() + c * restarts),
         std::make_move_iterator(grid.begin() + (c + 1) * restarts));
-    results.push_back(reducePortfolio(std::move(slices)));
+    results.push_back(reducePortfolioSlices(std::move(slices)));
   }
   return results;
 }

@@ -44,6 +44,24 @@ struct RestartSlice {
 /// would mean "uncapped" everywhere in the library, not "no work".
 std::vector<RestartSlice> makeRestartPlan(const EngineOptions& options);
 
+/// Options of one slice: own seed and budget, shared resolved movesPerTemp,
+/// multi-start knobs neutralized (a slice is exactly one engine run), the
+/// caller's scratch dropped (runners hand each slice the scratch of the
+/// worker executing it).  Every field the caller set — objective weights,
+/// the cancel token — flows through unchanged.  Shared by the portfolio,
+/// tempering and serve runners so their per-slice schedules cannot drift.
+EngineOptions sliceEngineOptions(const EngineOptions& base,
+                                 const RestartSlice& slice,
+                                 std::size_t resolvedMovesPerTemp);
+
+/// Collapses one portfolio's slices (in schedule order) into the aggregate
+/// result: (cost, seed) winner's placement, summed moves/sweeps/seconds,
+/// `bestRestart` = winner's schedule index.  Scanning in schedule order over
+/// an index-addressed array keeps the choice independent of which thread
+/// finished first — the reduction behind the portfolio, tempering and serve
+/// runners alike (callers overwrite `seconds` with their wall clock).
+EngineResult reducePortfolioSlices(std::vector<EngineResult>&& slices);
+
 /// Fans seed-split restarts (and whole-backend races) over a thread pool.
 /// Const and stateless per call: one runner may serve concurrent callers
 /// when constructed over distinct pools.

@@ -1,0 +1,110 @@
+#include "runtime/result_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace als {
+
+namespace {
+
+/// A cached result's seconds field is wall-clock accounting of the ORIGINAL
+/// computation — meaningless for a fetch, and excluded from bit-identity
+/// comparisons everywhere (tools/als_place.cpp's identicalResults).  Zero it
+/// on both store and fetch so memory and disk entries agree exactly.
+EngineResult stripped(const EngineResult& result) {
+  EngineResult copy = result;
+  copy.seconds = 0.0;
+  return copy;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    // A failed mkdir degrades to memory-only persistence; fetch/store treat
+    // disk errors as misses/no-ops, so no further handling is needed.
+  }
+}
+
+bool ResultCache::fetch(const CacheKey& key, EngineBackend& backend,
+                        EngineResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    if (dir_.empty()) return false;
+    Entry loaded;
+    if (!fetchFromDisk(key, loaded)) return false;
+    it = map_.emplace(key, std::move(loaded)).first;
+  }
+  backend = it->second.backend;
+  // Copy-assign so the caller's placement storage is reused: the warm hit
+  // path of a steady-state serve loop performs no allocation.
+  result = it->second.result;
+  return true;
+}
+
+void ResultCache::store(const CacheKey& key, EngineBackend backend,
+                        const EngineResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = map_[key];
+  entry.backend = backend;
+  entry.result = stripped(result);
+  if (!dir_.empty()) storeToDisk(key, entry);
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ".alsresult") {
+      std::filesystem::remove(it->path(), ec);
+      ec.clear();  // best-effort, same stance as store
+    }
+  }
+}
+
+bool ResultCache::fetchFromDisk(const CacheKey& key, Entry& out) {
+  std::ifstream in(dir_ + "/" + key.hex() + ".alsresult",
+                   std::ios::in | std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  textScratch_ = buffer.str();
+  return parseResultText(textScratch_, out.backend, out.result).empty();
+}
+
+void ResultCache::storeToDisk(const CacheKey& key, const Entry& entry) {
+  textScratch_.clear();
+  writeResultText(entry.backend, entry.result, textScratch_);
+  const std::string path = dir_ + "/" + key.hex() + ".alsresult";
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream outFile(temp, std::ios::out | std::ios::binary |
+                                    std::ios::trunc);
+    if (!outFile) return;  // persistence is best-effort; memory entry stands
+    outFile.write(textScratch_.data(),
+                  static_cast<std::streamsize>(textScratch_.size()));
+    if (!outFile) {
+      outFile.close();
+      std::remove(temp.c_str());
+      return;
+    }
+  }
+  // Atomic within the directory: readers see the old entry or the new one,
+  // never a torn file.
+  if (std::rename(temp.c_str(), path.c_str()) != 0) std::remove(temp.c_str());
+}
+
+}  // namespace als

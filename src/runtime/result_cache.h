@@ -1,0 +1,77 @@
+// Content-addressed placement result cache with an on-disk persisted store —
+// the "warm resubmissions cost ~0" half of the serve layer (runtime/serve.h).
+//
+// Keys are `CacheKey` (io/serve_protocol.h): (circuit bytes hash, canonical
+// options hash, seed).  Because every run the serve layer executes is
+// deterministic (sweep-budgeted, time cap zeroed, thread-invariant), a key
+// IDENTIFIES its result — a fetched entry is bit-identical to what
+// recomputing would produce, which tests/serve_test.cpp pins.  Cancelled or
+// failed runs must never be stored (they are not pure functions of the key);
+// the serve engine enforces that, this class just trusts its callers.
+//
+// Storage is two-level: an in-memory map (the warm path — a fetch into a
+// caller-owned EngineResult reuses the caller's placement storage and
+// performs no allocation at steady capacity, the property the allocation
+// gate measures) over an optional directory of `<keyhex>.alsresult` text
+// files (io/serve_protocol.h's ALSRESULT form).  Disk entries are written
+// atomically (temp file + rename) so a killed daemon never leaves a torn
+// entry, and are promoted into memory on first fetch — a restarted daemon
+// serves its predecessor's results without recomputing.  `seconds` is not
+// part of a result's identity and round-trips as 0.
+//
+// Thread safety: all public members are mutex-serialized; concurrent serve
+// workers share one cache.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/placement_engine.h"
+#include "io/serve_protocol.h"
+
+namespace als {
+
+class ResultCache {
+ public:
+  /// `dir` empty = memory-only; otherwise the directory is created if
+  /// missing and unreadable/corrupt entries are treated as misses (a cache
+  /// never fails a job, it only declines to help).
+  explicit ResultCache(std::string dir = {});
+
+  /// Looks the key up (memory first, then disk, promoting a disk hit into
+  /// memory).  On hit copies into `backend`/`result` — reusing `result`'s
+  /// storage — and returns true; on miss returns false leaving the outputs
+  /// untouched.
+  bool fetch(const CacheKey& key, EngineBackend& backend, EngineResult& result);
+
+  /// Inserts (overwriting an existing entry — values are key-determined, so
+  /// overwrites are idempotent) and, when a directory is configured,
+  /// persists atomically.  `result.seconds` is not stored.
+  void store(const CacheKey& key, EngineBackend backend,
+             const EngineResult& result);
+
+  /// In-memory entry count (disk-only entries not yet fetched don't count).
+  std::size_t size() const;
+
+  /// Drops every entry, memory AND disk (the wire FLUSH command — how the
+  /// replay harness forces recomputation of jobs it already ran).
+  void clear();
+
+ private:
+  struct Entry {
+    EngineBackend backend = EngineBackend::FlatBStar;
+    EngineResult result;
+  };
+
+  bool fetchFromDisk(const CacheKey& key, Entry& out);
+  void storeToDisk(const CacheKey& key, const Entry& entry);
+
+  std::string dir_;  ///< empty = memory-only
+  mutable std::mutex mutex_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
+  std::string textScratch_;  ///< serialize/parse buffer (under mutex_)
+};
+
+}  // namespace als

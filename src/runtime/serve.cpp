@@ -1,0 +1,297 @@
+#include "runtime/serve.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <limits>
+#include <thread>
+
+#include "anneal/annealer.h"
+#include "engine/place_scratch.h"
+#include "engine/replica_session.h"
+#include "io/benchmark_format.h"
+#include "runtime/portfolio.h"
+#include "runtime/tempering.h"
+#include "runtime/thread_pool.h"
+#include "util/stopwatch.h"
+
+namespace als {
+
+// --- private structs --------------------------------------------------------
+
+struct ServeEngine::Slot {
+  enum class State { Free, Pending, Running };
+  State state = State::Free;
+  std::uint64_t id = 0;
+  Job job;
+  CacheKey key;
+  CancelToken cancel;
+  Stopwatch clock;  ///< reset at submit; latency = submit-to-completion
+};
+
+struct ServeEngine::Worker {
+  std::thread thread;
+  ThreadPool pool{1};     ///< tempering rounds run inline on the worker
+  TemperingScratch bank;  ///< per-slice warm buffers, reused across jobs
+
+  // Reused per-job state (capacity persists across jobs):
+  EngineResult result;
+  EngineBackend resultBackend = EngineBackend::FlatBStar;
+  std::vector<std::unique_ptr<ReplicaSession>> sessions;
+  std::vector<EngineResult> sliceResults;
+};
+
+struct ServeEngine::Impl {
+  std::mutex mutex;
+  std::condition_variable workCv;
+  std::vector<std::unique_ptr<Slot>> slots;  ///< pending + running jobs
+  std::vector<std::size_t> fifo;   ///< ring of pending slot indices
+  std::size_t fifoHead = 0;
+  std::size_t fifoCount = 0;
+  std::uint64_t nextId = 1;
+  ServeStats stats;
+  bool stopping = false;
+  std::vector<std::unique_ptr<Worker>> workers;
+};
+
+// --- lifecycle --------------------------------------------------------------
+
+ServeEngine::ServeEngine(const ServeOptions& options)
+    : options_(options),
+      cache_(std::make_unique<ResultCache>(options.cacheDir)),
+      impl_(std::make_unique<Impl>()) {
+  options_.workers = std::max<std::size_t>(1, options_.workers);
+  options_.queueCapacity = std::max<std::size_t>(1, options_.queueCapacity);
+  options_.progressInterval =
+      std::max<std::size_t>(1, options_.progressInterval);
+  impl_->slots.reserve(options_.queueCapacity);
+  for (std::size_t i = 0; i < options_.queueCapacity; ++i) {
+    impl_->slots.push_back(std::make_unique<Slot>());
+  }
+  impl_->fifo.resize(options_.queueCapacity);
+  impl_->workers.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    impl_->workers.push_back(std::make_unique<Worker>());
+    Worker* worker = impl_->workers.back().get();
+    worker->thread = std::thread([this, worker] { workerLoop(*worker); });
+  }
+}
+
+ServeEngine::~ServeEngine() { shutdown(); }
+
+void ServeEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->stopping) return;
+    impl_->stopping = true;
+  }
+  impl_->workCv.notify_all();
+  for (auto& worker : impl_->workers) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+// --- submission / control ---------------------------------------------------
+
+ServeEngine::Submission ServeEngine::submit(Job job) {
+  // The serve layer's reproducibility invariants, applied BEFORE the key is
+  // computed (both knobs are excluded from the canonical options string):
+  // no wall-clock stopping rule, parallelism across jobs rather than within.
+  job.options.timeLimitSec = 0.0;
+  job.options.numThreads = 1;
+  std::string keyScratch;
+  Submission out;
+  out.key =
+      makeCacheKey(job.circuitText, job.backend, job.options, keyScratch);
+
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Slot* slot = nullptr;
+  std::size_t index = 0;
+  if (!impl_->stopping) {
+    for (std::size_t i = 0; i < impl_->slots.size(); ++i) {
+      if (impl_->slots[i]->state == Slot::State::Free) {
+        slot = impl_->slots[i].get();
+        index = i;
+        break;
+      }
+    }
+  }
+  if (slot == nullptr) {
+    ++impl_->stats.rejected;
+    return out;  // accepted = false
+  }
+  slot->state = Slot::State::Pending;
+  slot->id = impl_->nextId++;
+  slot->job = std::move(job);
+  slot->key = out.key;
+  slot->cancel.reset();
+  slot->clock.reset();
+  impl_->fifo[(impl_->fifoHead + impl_->fifoCount) % impl_->fifo.size()] =
+      index;
+  ++impl_->fifoCount;
+  ++impl_->stats.submitted;
+  out.accepted = true;
+  out.id = slot->id;
+  impl_->workCv.notify_one();
+  return out;
+}
+
+bool ServeEngine::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const std::unique_ptr<Slot>& slot : impl_->slots) {
+    if (slot->state != Slot::State::Free && slot->id == id) {
+      slot->cancel.cancel();
+      return true;
+    }
+  }
+  return false;
+}
+
+ServeStats ServeEngine::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stats;
+}
+
+// --- worker side ------------------------------------------------------------
+
+void ServeEngine::workerLoop(Worker& worker) {
+  for (;;) {
+    Slot* slot = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->workCv.wait(lock, [&] {
+        return impl_->fifoCount > 0 || impl_->stopping;
+      });
+      if (impl_->fifoCount == 0) return;  // stopping and drained
+      slot = impl_->slots[impl_->fifo[impl_->fifoHead]].get();
+      impl_->fifoHead = (impl_->fifoHead + 1) % impl_->fifo.size();
+      --impl_->fifoCount;
+      slot->state = Slot::State::Running;
+    }
+    executeJob(worker, *slot);
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      // Release the callbacks now (they may close over connection state the
+      // caller wants freed) and the slot last, so a resubmission can never
+      // observe a Free slot with a stale job in it.
+      slot->job.onProgress = nullptr;
+      slot->job.onDone = nullptr;
+      slot->state = Slot::State::Free;
+    }
+  }
+}
+
+/// The round loop of one restart job: per-slice sessions advanced
+/// `progressInterval` sweeps at a time.  Reducing the finished sessions with
+/// the shared portfolio reduction makes the outcome bit-identical to
+/// `PortfolioRunner::run` on the same options (sessions run to completion
+/// equal the one-shot engine call, slice for slice).
+EngineResult ServeEngine::runSessionRounds(Worker& worker,
+                                           const Circuit& circuit,
+                                           EngineBackend backend,
+                                           const EngineOptions& options,
+                                           const ProgressFn& onProgress) {
+  const std::size_t interval = options_.progressInterval;
+  const std::vector<RestartSlice> plan = makeRestartPlan(options);
+  const std::size_t movesPerTemp =
+      resolveMovesPerTemp(options.movesPerTemp, circuit.moduleCount());
+  while (worker.bank.replicas.size() < plan.size()) {
+    worker.bank.replicas.push_back(std::make_unique<PlaceScratch>());
+  }
+  worker.sessions.clear();
+  worker.sessions.reserve(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EngineOptions sliceOpt = sliceEngineOptions(options, plan[i], movesPerTemp);
+    sliceOpt.scratch = worker.bank.replicas[i].get();
+    worker.sessions.push_back(
+        makeReplicaSession(backend, circuit, sliceOpt, 1.0));
+  }
+
+  std::size_t round = 0;
+  std::size_t sweepsDone = 0;
+  for (;;) {
+    bool anyActive = false;
+    for (auto& session : worker.sessions) {
+      if (!session->finished()) sweepsDone += session->runSweeps(interval);
+      anyActive = anyActive || !session->finished();
+    }
+    ++round;
+    if (onProgress) {
+      double best = std::numeric_limits<double>::infinity();
+      for (auto& session : worker.sessions) {
+        best = std::min(best, session->bestCost());
+      }
+      onProgress(round, sweepsDone, best);
+    }
+    if (!anyActive) break;
+  }
+
+  worker.sliceResults.clear();
+  worker.sliceResults.reserve(worker.sessions.size());
+  for (auto& session : worker.sessions) {
+    worker.sliceResults.push_back(session->finish());
+  }
+  worker.sessions.clear();
+  return reducePortfolioSlices(std::move(worker.sliceResults));
+}
+
+void ServeEngine::executeJob(Worker& worker, Slot& slot) {
+  JobOutcome outcome;
+  outcome.id = slot.id;
+  outcome.key = slot.key;
+  outcome.backend = slot.job.backend;
+
+  const bool hit = cache_->fetch(slot.key, worker.resultBackend, worker.result);
+  if (hit) {
+    outcome.result = &worker.result;
+    outcome.cacheHit = true;
+    outcome.cancelled = slot.cancel.cancelled();
+  } else {
+    ParseResult parsed = parseBenchmark(slot.job.circuitText);
+    if (!parsed.ok()) {
+      outcome.error = std::move(parsed.error);
+    } else {
+      Stopwatch computeClock;
+      EngineOptions options = slot.job.options;
+      options.cancel = &slot.cancel;
+      if (options.tempering) {
+        TemperingRunner runner(&worker.pool);
+        worker.result =
+            runner.run(parsed.circuit, slot.job.backend, options, &worker.bank)
+                .result;
+      } else {
+        worker.result =
+            runSessionRounds(worker, parsed.circuit, slot.job.backend,
+                             options, slot.job.onProgress);
+      }
+      worker.result.seconds = computeClock.seconds();
+      outcome.result = &worker.result;
+      outcome.cancelled = slot.cancel.cancelled();
+      // Cancelled results are best-so-far snapshots, not pure functions of
+      // the key — never cache them (the cache-correctness contract).
+      if (!outcome.cancelled) {
+        cache_->store(slot.key, slot.job.backend, worker.result);
+      }
+    }
+  }
+  outcome.latencySeconds = slot.clock.seconds();
+
+  {
+    // Stats are committed BEFORE onDone so a client that saw its RESULT
+    // observes them included in the next STATS reply.  The id is retired in
+    // the same critical section: once a client can observe completion,
+    // cancel(id) must report the job unknown rather than flag a slot that
+    // is merely awaiting reuse.
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    slot.id = 0;
+    ++impl_->stats.completed;
+    if (outcome.cacheHit) {
+      ++impl_->stats.cacheHits;
+    } else if (outcome.error.empty()) {
+      ++impl_->stats.cacheMisses;
+    }
+    if (outcome.cancelled) ++impl_->stats.cancelled;
+  }
+  if (slot.job.onDone) slot.job.onDone(outcome);
+}
+
+}  // namespace als

@@ -23,19 +23,13 @@ constexpr std::uint64_t mix64(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
-/// Options of one replica: own seed and budget, shared resolved
-/// movesPerTemp, multi-start and tempering knobs neutralized (a replica is
-/// exactly one resumable session).
+/// Options of one replica: the shared slice options (portfolio.h) with the
+/// tempering knob additionally neutralized (a replica is exactly one
+/// resumable session).
 EngineOptions replicaOptions(const EngineOptions& base,
                              const RestartSlice& slice,
                              std::size_t resolvedMovesPerTemp) {
-  EngineOptions opt = base;
-  opt.seed = slice.seed;
-  opt.maxSweeps = slice.maxSweeps;
-  opt.movesPerTemp = resolvedMovesPerTemp;
-  opt.numRestarts = 1;
-  opt.numThreads = 1;
-  opt.scratch = nullptr;
+  EngineOptions opt = sliceEngineOptions(base, slice, resolvedMovesPerTemp);
   opt.tempering = false;
   return opt;
 }
@@ -50,34 +44,6 @@ std::vector<double> ladderScales(std::size_t count, double ratio) {
     scale *= ratio;
   }
   return scales;
-}
-
-/// (cost, seed) winner + schedule-order sums — the portfolio reduction
-/// (runtime/portfolio.cpp), replicated so tempering-off degeneration is
-/// bit-identical.
-EngineResult reduceReplicas(std::vector<EngineResult>&& slices) {
-  std::size_t winner = 0;
-  for (std::size_t i = 1; i < slices.size(); ++i) {
-    if (slices[i].cost < slices[winner].cost ||
-        (slices[i].cost == slices[winner].cost &&
-         slices[i].bestSeed < slices[winner].bestSeed)) {
-      winner = i;
-    }
-  }
-  std::size_t movesTried = 0, sweeps = 0;
-  double seconds = 0.0;
-  for (const EngineResult& slice : slices) {
-    movesTried += slice.movesTried;
-    sweeps += slice.sweeps;
-    seconds += slice.seconds;
-  }
-  EngineResult result = std::move(slices[winner]);
-  result.movesTried = movesTried;
-  result.sweeps = sweeps;
-  result.seconds = seconds;  // callers overwrite with their wall clock
-  result.restartsRun = slices.size();
-  result.bestRestart = winner;
-  return result;
 }
 
 /// Everything a round-loop lambda needs, reachable through ONE captured
@@ -339,7 +305,7 @@ TemperingOutcome TemperingRunner::run(const Circuit& circuit,
     outcome.replicas[i].sweeps = fleet.results[i].sweeps;
     outcome.replicas[i].movesTried = fleet.results[i].movesTried;
   }
-  outcome.result = reduceReplicas(std::move(fleet.results));
+  outcome.result = reducePortfolioSlices(std::move(fleet.results));
   outcome.result.seconds = clock.seconds();
   return outcome;
 }
@@ -421,7 +387,7 @@ TemperingOutcome TemperingRunner::race(const Circuit& circuit,
     std::vector<EngineResult> slices(
         std::make_move_iterator(fleet.results.begin() + b * k),
         std::make_move_iterator(fleet.results.begin() + (b + 1) * k));
-    EngineResult result = reduceReplicas(std::move(slices));
+    EngineResult result = reducePortfolioSlices(std::move(slices));
     if (first || result.cost < outcome.result.cost ||
         (result.cost == outcome.result.cost &&
          result.bestSeed < outcome.result.bestSeed)) {

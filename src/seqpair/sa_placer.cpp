@@ -144,6 +144,7 @@ struct SeqPairSession::Impl {
     annealOpt.coolingFactor = options.coolingFactor;
     annealOpt.movesPerTemp = options.movesPerTemp;
     annealOpt.sizeHint = n;
+    annealOpt.cancel = options.cancel;
     driver.emplace(init, Eval{model, decode}, SeqPairMove{&moves}, annealOpt,
                    tempScale);
   }

@@ -11,6 +11,7 @@
 #include "netlist/circuit.h"
 #include "seqpair/packer.h"
 #include "seqpair/sym_placer.h"
+#include "util/cancel_token.h"
 
 namespace als {
 
@@ -59,6 +60,9 @@ struct SeqPairPlacerOptions {
   bool incrementalDecode = true;
 
   SeqPairScratch* scratch = nullptr;  ///< optional caller-owned buffers
+
+  /// Cooperative cancellation, checked per sweep (anneal/annealer.h).
+  const CancelToken* cancel = nullptr;
 };
 
 struct SeqPairPlacerResult {

@@ -125,6 +125,7 @@ struct SlicingSession::Impl {
     annealOpt.coolingFactor = options.coolingFactor;
     annealOpt.movesPerTemp = options.movesPerTemp;
     annealOpt.sizeHint = n;
+    annealOpt.cancel = options.cancel;
     SlicingState init{PolishExpr::initial(n),
                       std::vector<std::uint8_t>(n, 0)};
     driver.emplace(init, Eval{model, decode},

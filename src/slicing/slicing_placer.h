@@ -12,6 +12,7 @@
 #include "geom/placement.h"
 #include "netlist/circuit.h"
 #include "slicing/polish.h"
+#include "util/cancel_token.h"
 
 namespace als {
 
@@ -33,6 +34,8 @@ struct SlicingPlacerOptions {
   std::size_t movesPerTemp = 0;
   std::size_t shapeCap = 32;
   SlicingScratch* scratch = nullptr;  ///< optional caller-owned buffers
+  /// Cooperative cancellation, checked per sweep (anneal/annealer.h).
+  const CancelToken* cancel = nullptr;
 };
 
 struct SlicingPlacerResult {

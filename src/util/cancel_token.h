@@ -1,0 +1,53 @@
+// Cooperative cancellation token — the one stopping rule that is not a
+// budget.
+//
+// A `CancelToken` is an atomic flag shared between a controller (a serve
+// worker's client handler, a signal handler, a test) and a running
+// computation.  The annealing layer checks it at SWEEP boundaries only
+// (anneal/annealer.h): cancellation never interrupts a move mid-protocol,
+// so every invariant the hot loop maintains — committed cost-model state,
+// scratch contents, journals — is intact when the run returns.  That is
+// what makes a cancelled run's scratch immediately reusable: the next run
+// on the same buffers is bit-identical to one in a fresh process (the
+// scratch-reuse contract of engine/place_scratch.h already guarantees
+// contents never influence results; cancellation preserves it).
+//
+// A cancelled run returns its best-so-far result with `sweeps` reporting
+// what actually executed.  Such a result depends on WHEN the flag was seen
+// and is therefore not deterministic — callers that cache or compare
+// results (runtime/serve.h) must treat cancelled runs as non-results and
+// never store them.
+//
+// Memory order: relaxed on both sides.  The flag carries no data besides
+// itself, the consumer re-checks every sweep, and a one-sweep delay in
+// observing cancellation is within the acknowledgment contract (one
+// round).  `reset()` may only be called while no run is consuming the
+// token (e.g. a serve worker recycling the token between jobs).
+#pragma once
+
+#include <atomic>
+
+namespace als {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Null-safe check, the form every sweep loop uses.
+inline bool cancelRequested(const CancelToken* token) noexcept {
+  return token != nullptr && token->cancelled();
+}
+
+}  // namespace als

@@ -1,0 +1,142 @@
+#include "util/flat_records.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace als {
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  void skipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool expect(char c) {
+    skipWs();
+    if (pos >= text.size() || text[pos] != c) {
+      error = "expected '" + std::string(1, c) + "' at offset " +
+              std::to_string(pos);
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+  bool peek(char c) {
+    skipWs();
+    return pos < text.size() && text[pos] == c;
+  }
+  bool parseString(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        // bench_json only escapes ", \, \n, \t and control bytes; \uXXXX is
+        // passed through verbatim (keys never contain it).
+        char e = text[pos++];
+        switch (e) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: out->push_back(e);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return expect('"');
+  }
+  bool parseNumber(double* out) {
+    skipWs();
+    const char* start = text.data() + pos;
+    char* end = nullptr;
+    errno = 0;
+    double v = std::strtod(start, &end);
+    if (end == start || errno == ERANGE) {
+      error = "bad number at offset " + std::to_string(pos);
+      return false;
+    }
+    pos += static_cast<std::size_t>(end - start);
+    *out = v;
+    return true;
+  }
+  bool parseRecord(FlatRecord* out) {
+    if (!expect('{')) return false;
+    if (peek('}')) return expect('}');
+    while (true) {
+      std::string key;
+      if (!parseString(&key) || !expect(':')) return false;
+      skipWs();
+      if (peek('"')) {
+        std::string v;
+        if (!parseString(&v)) return false;
+        out->strings[key] = std::move(v);
+      } else {
+        double v = 0.0;
+        if (!parseNumber(&v)) return false;
+        out->numbers[key] = v;
+      }
+      if (peek(',')) {
+        if (!expect(',')) return false;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+  bool parseArray(std::vector<FlatRecord>* out) {
+    if (!expect('[')) return false;
+    if (peek(']')) return expect(']');
+    while (true) {
+      FlatRecord r;
+      if (!parseRecord(&r)) return false;
+      out->push_back(std::move(r));
+      if (peek(',')) {
+        if (!expect(',')) return false;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+};
+
+}  // namespace
+
+bool parseFlatRecords(std::string_view text, std::vector<FlatRecord>& out,
+                      std::string& error) {
+  Parser p{text, 0, {}};
+  if (!p.parseArray(&out)) {
+    error = std::move(p.error);
+    return false;
+  }
+  return true;
+}
+
+bool loadFlatRecords(const std::string& path, std::vector<FlatRecord>& out,
+                     std::string& error, std::string* raw) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  if (!parseFlatRecords(text, out, error)) {
+    error = path + ": " + error;
+    return false;
+  }
+  if (raw != nullptr) *raw = std::move(text);
+  return true;
+}
+
+}  // namespace als

@@ -1,0 +1,41 @@
+// Reader for the flat JSON record arrays util/bench_json.cpp writes (the
+// BENCH_*.json trajectory files and the per-tool bench-smoke captures).
+// Shared by the CI gates that consume those files — tools/bench_diff (the
+// throughput and quality gates) and tools/readme_tables (the committed
+// README tables).  It parses exactly the one-record-per-line
+// `[{"key": value, ...}, ...]` shape the writer emits; it is not a general
+// JSON reader.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace als {
+
+/// One record, keys split by value shape: `strings` holds the quoted
+/// fields (backend, circuit), `numbers` everything else.
+struct FlatRecord {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+
+  double number(const char* key) const {
+    auto it = numbers.find(key);
+    return it == numbers.end() ? 0.0 : it->second;
+  }
+};
+
+/// Parses a record array from `text`.  Returns true on success; on failure
+/// returns false with a position-bearing message in `error` (records
+/// parsed before the failure remain in `out`).
+bool parseFlatRecords(std::string_view text, std::vector<FlatRecord>& out,
+                      std::string& error);
+
+/// Reads and parses `path`.  On success optionally hands back the raw file
+/// text through `raw` (the splice-merge in bench_diff wants it verbatim);
+/// on failure returns false with a message (file or parse) in `error`.
+bool loadFlatRecords(const std::string& path, std::vector<FlatRecord>& out,
+                     std::string& error, std::string* raw = nullptr);
+
+}  // namespace als

@@ -27,6 +27,8 @@
 #include "engine/place_scratch.h"
 #include "engine/placement_engine.h"
 #include "io/corpus.h"
+#include "io/serve_protocol.h"
+#include "runtime/result_cache.h"
 #include "runtime/tempering.h"
 #include "seqpair/from_placement.h"
 #include "seqpair/sa_placer.h"
@@ -303,6 +305,48 @@ TEST(AllocGateConvert, WarmConvertersDoNotAllocate) {
   bstarFromPlacement(source, bsScratch, tree);
   EXPECT_EQ(gAllocCount.load(std::memory_order_relaxed) - before, 0u)
       << "warm B*-tree conversion allocates";
+}
+
+// The serve layer's steady-state loop (runtime/serve.h): a warm cache hit
+// is `makeCacheKey` into a reused scratch string plus `ResultCache::fetch`
+// into a reused EngineResult — the path a loaded daemon takes for every
+// duplicate resubmission.  Once the scratch string holds the canonical
+// options capacity and the result holds the placement capacity, the whole
+// exchange must allocate nothing, no matter how many hits are served.
+TEST(AllocGateServe, WarmCacheHitPathDoesNotAllocate) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "debug asserts re-validate encodings (allocating); the "
+                  "gate targets Release builds";
+#endif
+  const std::string_view text = corpusText(CorpusCircuit::Ami49);
+  EngineOptions opt;
+  opt.maxSweeps = 16;
+  opt.seed = 4;
+
+  std::string keyScratch;
+  const CacheKey key =
+      makeCacheKey(text, EngineBackend::SeqPair, opt, keyScratch);
+  ResultCache cache;  // memory-only: the hot path a warm daemon serves from
+  {
+    const Circuit circuit = loadCorpusCircuit(CorpusCircuit::Ami49);
+    cache.store(key, EngineBackend::SeqPair,
+                makeEngine(EngineBackend::SeqPair)->place(circuit, opt));
+  }
+
+  EngineBackend backend = EngineBackend::FlatBStar;
+  EngineResult result;
+  ASSERT_TRUE(cache.fetch(key, backend, result));  // cold: storage grows
+
+  unsigned long long before = gAllocCount.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    keyScratch.clear();
+    CacheKey k = makeCacheKey(text, EngineBackend::SeqPair, opt, keyScratch);
+    ASSERT_EQ(k, key);
+    ASSERT_TRUE(cache.fetch(k, backend, result));
+  }
+  EXPECT_EQ(gAllocCount.load(std::memory_order_relaxed) - before, 0u)
+      << "the warm serve hit path allocates";
+  EXPECT_EQ(backend, EngineBackend::SeqPair);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, AllocGateTempering,

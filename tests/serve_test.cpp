@@ -1,0 +1,530 @@
+// Serve-layer tests (runtime/serve.h + runtime/result_cache.h +
+// io/serve_protocol.h) — the properties the placement service's whole value
+// rests on:
+//
+//   * a cache hit is bit-identical to recomputing (a key IDENTIFIES its
+//     result, so serving from the cache is indistinguishable from running);
+//   * the cache key canonicalization is exact — default and explicitly
+//     spelled options, in any OPT order, hash identically, the two
+//     non-identity knobs (threads, time cap) are excluded, and every
+//     result-affecting knob IS part of the key;
+//   * cancellation mid-round leaves the worker's scratch bank reusable —
+//     the next job on that worker is bit-identical to a fresh process;
+//   * admission control rejects over-capacity submissions instead of
+//     blocking, and the on-disk store survives engine restarts.
+#include "runtime/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/benchmark_format.h"
+#include "io/corpus.h"
+#include "io/serve_protocol.h"
+#include "runtime/portfolio.h"
+#include "runtime/result_cache.h"
+
+namespace als {
+namespace {
+
+void expectBitIdentical(const EngineResult& a, const EngineResult& b,
+                        std::string_view label) {
+  EXPECT_EQ(a.cost, b.cost) << label;
+  EXPECT_EQ(a.area, b.area) << label;
+  EXPECT_EQ(a.hpwl, b.hpwl) << label;
+  EXPECT_EQ(a.movesTried, b.movesTried) << label;
+  EXPECT_EQ(a.sweeps, b.sweeps) << label;
+  EXPECT_EQ(a.restartsRun, b.restartsRun) << label;
+  EXPECT_EQ(a.bestRestart, b.bestRestart) << label;
+  EXPECT_EQ(a.bestSeed, b.bestSeed) << label;
+  ASSERT_EQ(a.placement.size(), b.placement.size()) << label;
+  for (std::size_t m = 0; m < a.placement.size(); ++m) {
+    EXPECT_EQ(a.placement[m], b.placement[m]) << label << " module " << m;
+  }
+}
+
+/// Blocking submit helper: runs one job to completion and returns a deep
+/// copy of its outcome (JobOutcome::result is only valid during onDone).
+struct CompletedJob {
+  bool done = false;
+  bool cacheHit = false;
+  bool cancelled = false;
+  std::string error;
+  EngineResult result;
+  CacheKey key;
+};
+
+CompletedJob runJob(ServeEngine& engine, std::string_view circuitText,
+                    EngineBackend backend, const EngineOptions& options) {
+  CompletedJob out;
+  std::mutex m;
+  std::condition_variable cv;
+  ServeEngine::Job job;
+  job.circuitText = std::string(circuitText);
+  job.backend = backend;
+  job.options = options;
+  job.onDone = [&](const ServeEngine::JobOutcome& o) {
+    std::lock_guard<std::mutex> lock(m);
+    out.cacheHit = o.cacheHit;
+    out.cancelled = o.cancelled;
+    out.error = o.error;
+    out.key = o.key;
+    if (o.result != nullptr) out.result = *o.result;
+    out.done = true;
+    cv.notify_all();
+  };
+  ServeEngine::Submission sub = engine.submit(std::move(job));
+  EXPECT_TRUE(sub.accepted);
+  if (!sub.accepted) return out;
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return out.done; });
+  return out;
+}
+
+/// The serve layer's recompute oracle: what a fresh process would produce
+/// for the same (circuit, backend, options) — PortfolioRunner::run with the
+/// serve layer's forced knobs (no time cap, one thread; thread count is
+/// result-invariant anyway).
+EngineResult oracle(std::string_view circuitText, EngineBackend backend,
+                    EngineOptions options) {
+  auto parsed = parseBenchmark(circuitText);
+  EXPECT_TRUE(parsed.ok()) << parsed.error;
+  options.timeLimitSec = 0.0;
+  options.numThreads = 1;
+  return PortfolioRunner().run(parsed.circuit, backend, options);
+}
+
+std::string canonical(EngineBackend backend, const EngineOptions& options) {
+  std::string out;
+  canonicalOptionsKey(backend, options, out);
+  return out;
+}
+
+CacheKey keyOf(std::string_view text, EngineBackend backend,
+               const EngineOptions& options) {
+  std::string scratch;
+  return makeCacheKey(text, backend, options, scratch);
+}
+
+// --------------------------------------------------------- cache key -------
+
+TEST(CacheKeyTest, DefaultAndExplicitSpellingsCanonicalizeIdentically) {
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions defaulted;
+  EngineOptions spelled;
+  // Every knob applyJobOption accepts, set to its default value via the
+  // wire dialect — the canonical string (and so the key) must not move.
+  for (auto [k, v] : std::initializer_list<std::pair<const char*, const char*>>{
+           {"wl", "0.25"}, {"sym", "2"}, {"prox", "2"}, {"outline", "4"},
+           {"maxw", "0"}, {"maxh", "0"}, {"aspect", "0"}, {"thermal", "0"},
+           {"shape", "0"}, {"sweeps", "256"}, {"cool", "0.96"}, {"mpt", "0"},
+           {"restarts", "1"}, {"tempering", "0"}, {"exch", "4"},
+           {"ladder", "0.9"}, {"cross", "1"}, {"seed", "1"},
+           {"threads", "1"}}) {
+    EXPECT_EQ(applyJobOption(spelled, k, v), "") << k;
+  }
+  EXPECT_EQ(canonical(EngineBackend::SeqPair, defaulted),
+            canonical(EngineBackend::SeqPair, spelled));
+  EXPECT_EQ(keyOf(text, EngineBackend::SeqPair, defaulted),
+            keyOf(text, EngineBackend::SeqPair, spelled));
+}
+
+TEST(CacheKeyTest, OptApplicationOrderDoesNotMatter) {
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions forward;
+  ASSERT_EQ(applyJobOption(forward, "wl", "0.5"), "");
+  ASSERT_EQ(applyJobOption(forward, "sweeps", "128"), "");
+  ASSERT_EQ(applyJobOption(forward, "tempering", "1"), "");
+  EngineOptions backward;
+  ASSERT_EQ(applyJobOption(backward, "tempering", "1"), "");
+  ASSERT_EQ(applyJobOption(backward, "sweeps", "128"), "");
+  ASSERT_EQ(applyJobOption(backward, "wl", "0.5"), "");
+  EXPECT_EQ(keyOf(text, EngineBackend::FlatBStar, forward),
+            keyOf(text, EngineBackend::FlatBStar, backward));
+}
+
+TEST(CacheKeyTest, NonIdentityKnobsAreExcluded) {
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions base;
+  const CacheKey baseKey = keyOf(text, EngineBackend::SeqPair, base);
+  EngineOptions threads = base;
+  threads.numThreads = 8;
+  EXPECT_EQ(keyOf(text, EngineBackend::SeqPair, threads), baseKey)
+      << "numThreads must not be part of the key (results are thread-"
+         "invariant)";
+  EngineOptions timed = base;
+  timed.timeLimitSec = 3.5;
+  EXPECT_EQ(keyOf(text, EngineBackend::SeqPair, timed), baseKey)
+      << "timeLimitSec must not be part of the key (the serve layer zeroes "
+         "it)";
+}
+
+TEST(CacheKeyTest, SeedOnlyMovesTheSeedWord) {
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions base;
+  base.seed = 1;
+  EngineOptions reseeded = base;
+  reseeded.seed = 2;
+  const CacheKey a = keyOf(text, EngineBackend::SeqPair, base);
+  const CacheKey b = keyOf(text, EngineBackend::SeqPair, reseeded);
+  EXPECT_EQ(a.circuit, b.circuit);
+  EXPECT_EQ(a.options, b.options);
+  EXPECT_NE(a.seed, b.seed);
+}
+
+TEST(CacheKeyTest, EveryResultAffectingKnobChangesTheKey) {
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  const EngineOptions base;
+  const std::uint64_t baseHash =
+      keyOf(text, EngineBackend::SeqPair, base).options;
+
+  // One mutation per result-affecting EngineOptions field (values chosen to
+  // differ from the defaults).  If a future knob is added to EngineOptions
+  // but forgotten in canonicalOptionsKey, the spelled-vs-default test above
+  // cannot catch it; this one documents the full inventory.
+  const std::vector<std::pair<const char*, EngineOptions>> mutations = [] {
+    std::vector<std::pair<const char*, EngineOptions>> out;
+    auto add = [&out](const char* name, auto&& mutate) {
+      EngineOptions o;
+      mutate(o);
+      out.emplace_back(name, o);
+    };
+    add("wirelengthWeight", [](EngineOptions& o) { o.wirelengthWeight = 0.5; });
+    add("symmetryWeight", [](EngineOptions& o) { o.symmetryWeight = 3.0; });
+    add("proximityWeight", [](EngineOptions& o) { o.proximityWeight = 1.0; });
+    add("outlineWeight", [](EngineOptions& o) { o.outlineWeight = 8.0; });
+    add("maxWidth", [](EngineOptions& o) { o.maxWidth = 1000; });
+    add("maxHeight", [](EngineOptions& o) { o.maxHeight = 1000; });
+    add("targetAspect", [](EngineOptions& o) { o.targetAspect = 1.0; });
+    add("thermalWeight", [](EngineOptions& o) { o.thermalWeight = 1.0; });
+    add("shapeMoveProb", [](EngineOptions& o) { o.shapeMoveProb = 0.25; });
+    add("maxSweeps", [](EngineOptions& o) { o.maxSweeps = 512; });
+    add("coolingFactor", [](EngineOptions& o) { o.coolingFactor = 0.9; });
+    add("movesPerTemp", [](EngineOptions& o) { o.movesPerTemp = 7; });
+    add("numRestarts", [](EngineOptions& o) { o.numRestarts = 4; });
+    add("tempering", [](EngineOptions& o) { o.tempering = true; });
+    add("exchangeInterval", [](EngineOptions& o) { o.exchangeInterval = 8; });
+    add("ladderRatio", [](EngineOptions& o) { o.ladderRatio = 0.8; });
+    add("crossSeed", [](EngineOptions& o) { o.crossSeed = false; });
+    return out;
+  }();
+  for (const auto& [name, mutated] : mutations) {
+    EXPECT_NE(keyOf(text, EngineBackend::SeqPair, mutated).options, baseHash)
+        << name << " must participate in the cache key";
+  }
+  // And the backend itself is part of the canonical string.
+  EXPECT_NE(keyOf(text, EngineBackend::FlatBStar, base).options, baseHash);
+}
+
+TEST(CacheKeyTest, HexRoundTripsAndRejectsGarbage) {
+  CacheKey key{0x0123456789abcdefull, 0xfedcba9876543210ull, 42};
+  CacheKey parsed;
+  ASSERT_TRUE(parsed.parseHex(key.hex()));
+  EXPECT_EQ(parsed, key);
+  EXPECT_EQ(key.hex().size(), 48u);
+  EXPECT_FALSE(parsed.parseHex("not-a-key"));
+  EXPECT_FALSE(parsed.parseHex(key.hex().substr(1)));
+}
+
+TEST(CacheKeyTest, UnknownJobOptionIsAnError) {
+  EngineOptions options;
+  EXPECT_NE(applyJobOption(options, "frobnicate", "1"), "")
+      << "a silently dropped knob would poison the cache key contract";
+  EXPECT_NE(applyJobOption(options, "sweeps", "banana"), "");
+}
+
+// ------------------------------------------------------- result text -------
+
+TEST(ResultTextTest, RoundTripsBitIdentically) {
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions options;
+  options.maxSweeps = 48;
+  options.numRestarts = 2;
+  options.seed = 7;
+  const EngineResult computed = oracle(text, EngineBackend::SeqPair, options);
+
+  std::string wire;
+  writeResultText(EngineBackend::SeqPair, computed, wire);
+  EngineBackend backend = EngineBackend::FlatBStar;
+  EngineResult parsed;
+  ASSERT_EQ(parseResultText(wire, backend, parsed), "");
+  EXPECT_EQ(backend, EngineBackend::SeqPair);
+  expectBitIdentical(parsed, computed, "ALSRESULT round trip");
+  // seconds is deliberately not identity: it round-trips as 0.
+  EXPECT_EQ(parsed.seconds, 0.0);
+
+  EngineResult mangled;
+  EXPECT_NE(parseResultText("ALSRESULT 1\nBackend seqpair\n", backend,
+                            mangled),
+            "");
+}
+
+// ------------------------------------------------------- serve engine ------
+
+TEST(ServeEngineTest, CacheHitIsBitIdenticalToRecompute) {
+  ServeOptions serveOpts;
+  serveOpts.workers = 1;
+  ServeEngine engine(serveOpts);
+
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions options;
+  options.maxSweeps = 64;
+  options.numRestarts = 2;
+  options.seed = 3;
+
+  CompletedJob cold = runJob(engine, text, EngineBackend::SeqPair, options);
+  ASSERT_EQ(cold.error, "");
+  EXPECT_FALSE(cold.cacheHit);
+  // The serve compute path (per-slice sessions advanced in rounds, shared
+  // reduction) must agree bit-for-bit with the plain portfolio runner.
+  expectBitIdentical(cold.result, oracle(text, EngineBackend::SeqPair, options),
+                     "serve compute vs PortfolioRunner");
+
+  CompletedJob warm = runJob(engine, text, EngineBackend::SeqPair, options);
+  ASSERT_EQ(warm.error, "");
+  EXPECT_TRUE(warm.cacheHit);
+  EXPECT_EQ(warm.key, cold.key);
+  expectBitIdentical(warm.result, cold.result, "cache hit vs recompute");
+
+  ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cacheHits, 1u);
+  EXPECT_EQ(stats.cacheMisses, 1u);
+}
+
+TEST(ServeEngineTest, TemperingJobsAreDeterministicAndCacheable) {
+  ServeOptions serveOpts;
+  serveOpts.workers = 1;
+  ServeEngine engine(serveOpts);
+
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions options;
+  options.maxSweeps = 48;
+  options.numRestarts = 3;
+  options.tempering = true;
+  options.exchangeInterval = 2;
+  options.seed = 11;
+
+  CompletedJob first = runJob(engine, text, EngineBackend::SeqPair, options);
+  ASSERT_EQ(first.error, "");
+  EXPECT_FALSE(first.cacheHit);
+  engine.cache().clear();
+  CompletedJob second = runJob(engine, text, EngineBackend::SeqPair, options);
+  ASSERT_EQ(second.error, "");
+  EXPECT_FALSE(second.cacheHit) << "clear() must force recomputation";
+  expectBitIdentical(second.result, first.result,
+                     "tempering recompute on warm scratch");
+  CompletedJob hit = runJob(engine, text, EngineBackend::SeqPair, options);
+  EXPECT_TRUE(hit.cacheHit);
+  expectBitIdentical(hit.result, first.result, "tempering cache hit");
+}
+
+TEST(ServeEngineTest, ParseFailureCompletesWithErrorAndIsNotCached) {
+  ServeOptions serveOpts;
+  serveOpts.workers = 1;
+  ServeEngine engine(serveOpts);
+  CompletedJob bad =
+      runJob(engine, "this is not ALSBENCH\n", EngineBackend::SeqPair, {});
+  EXPECT_NE(bad.error, "");
+  EXPECT_EQ(engine.cache().size(), 0u);
+}
+
+TEST(ServeEngineTest, CancelMidRoundLeavesWorkerBitIdenticallyReusable) {
+  ServeOptions serveOpts;
+  serveOpts.workers = 1;
+  serveOpts.progressInterval = 4;  // small rounds: cancellation lands mid-run
+  ServeEngine engine(serveOpts);
+
+  // A job long enough that the first progress round fires well before the
+  // budget is spent (ami33 at this budget computes for seconds, not ms).
+  EngineOptions longOpts;
+  longOpts.maxSweeps = 200000;
+  longOpts.numRestarts = 2;
+  longOpts.seed = 5;
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool sawProgress = false;
+  bool done = false;
+  bool cancelled = false;
+  std::string error;
+
+  ServeEngine::Job job;
+  job.circuitText = std::string(corpusText(CorpusCircuit::Ami33));
+  job.backend = EngineBackend::SeqPair;
+  job.options = longOpts;
+  job.onProgress = [&](std::size_t, std::size_t, double) {
+    std::lock_guard<std::mutex> lock(m);
+    sawProgress = true;
+    cv.notify_all();
+  };
+  job.onDone = [&](const ServeEngine::JobOutcome& o) {
+    std::lock_guard<std::mutex> lock(m);
+    cancelled = o.cancelled;
+    error = o.error;
+    done = true;
+    cv.notify_all();
+  };
+  ServeEngine::Submission sub = engine.submit(std::move(job));
+  ASSERT_TRUE(sub.accepted);
+  {
+    // Cancel from the controlling thread once the run is provably mid-round,
+    // exactly as the daemon's CANCEL line arrives from a connection thread.
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return sawProgress; });
+  }
+  EXPECT_TRUE(engine.cancel(sub.id));
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return done; });
+  }
+  EXPECT_EQ(error, "");
+  EXPECT_TRUE(cancelled);
+  EXPECT_EQ(engine.cache().size(), 0u)
+      << "a cancelled (best-so-far, non-deterministic) result must never be "
+         "cached";
+  EXPECT_FALSE(engine.cancel(sub.id)) << "completed ids are unknown";
+
+  // The same worker — same ThreadPool, same warm TemperingScratch bank —
+  // must now run a fresh job bit-identically to an unperturbed process.
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions freshOpts;
+  freshOpts.maxSweeps = 64;
+  freshOpts.numRestarts = 2;
+  freshOpts.seed = 9;
+  CompletedJob fresh = runJob(engine, text, EngineBackend::SeqPair, freshOpts);
+  ASSERT_EQ(fresh.error, "");
+  EXPECT_FALSE(fresh.cacheHit);
+  expectBitIdentical(fresh.result,
+                     oracle(text, EngineBackend::SeqPair, freshOpts),
+                     "post-cancel worker vs fresh process");
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+}
+
+TEST(ServeEngineTest, AdmissionControlRejectsWhenSlotsAreFull) {
+  ServeOptions serveOpts;
+  serveOpts.workers = 1;
+  serveOpts.queueCapacity = 1;
+  serveOpts.progressInterval = 4;
+  ServeEngine engine(serveOpts);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool started = false;
+  bool done = false;
+
+  ServeEngine::Job slow;
+  slow.circuitText = std::string(corpusText(CorpusCircuit::Ami33));
+  slow.backend = EngineBackend::SeqPair;
+  slow.options.maxSweeps = 200000;
+  slow.onProgress = [&](std::size_t, std::size_t, double) {
+    std::lock_guard<std::mutex> lock(m);
+    started = true;
+    cv.notify_all();
+  };
+  slow.onDone = [&](const ServeEngine::JobOutcome&) {
+    std::lock_guard<std::mutex> lock(m);
+    done = true;
+    cv.notify_all();
+  };
+  ServeEngine::Submission first = engine.submit(std::move(slow));
+  ASSERT_TRUE(first.accepted);
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return started; });
+  }
+
+  ServeEngine::Job second;
+  second.circuitText = std::string(corpusText(CorpusCircuit::Apte));
+  second.backend = EngineBackend::SeqPair;
+  ServeEngine::Submission rejected = engine.submit(std::move(second));
+  EXPECT_FALSE(rejected.accepted);
+  // REJECTED replies still carry the key, so clients can probe the cache.
+  EXPECT_NE(rejected.key, CacheKey{});
+  EXPECT_EQ(engine.stats().rejected, 1u);
+
+  EXPECT_TRUE(engine.cancel(first.id));
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done; });
+}
+
+TEST(ServeEngineTest, DiskStoreSurvivesEngineRestartAndClears) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "als_serve_cache_test")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions options;
+  options.maxSweeps = 64;
+  options.numRestarts = 2;
+  options.seed = 13;
+
+  EngineResult firstLife;
+  {
+    ServeOptions serveOpts;
+    serveOpts.workers = 1;
+    serveOpts.cacheDir = dir;
+    ServeEngine engine(serveOpts);
+    CompletedJob cold = runJob(engine, text, EngineBackend::FlatBStar, options);
+    ASSERT_EQ(cold.error, "");
+    EXPECT_FALSE(cold.cacheHit);
+    firstLife = cold.result;
+  }  // engine torn down; only the directory persists
+
+  ServeOptions serveOpts;
+  serveOpts.workers = 1;
+  serveOpts.cacheDir = dir;
+  ServeEngine engine(serveOpts);
+  CompletedJob warm = runJob(engine, text, EngineBackend::FlatBStar, options);
+  ASSERT_EQ(warm.error, "");
+  EXPECT_TRUE(warm.cacheHit)
+      << "a restarted daemon must serve its predecessor's results";
+  expectBitIdentical(warm.result, firstLife, "disk-promoted hit");
+
+  engine.cache().clear();
+  CompletedJob recomputed =
+      runJob(engine, text, EngineBackend::FlatBStar, options);
+  ASSERT_EQ(recomputed.error, "");
+  EXPECT_FALSE(recomputed.cacheHit)
+      << "clear() must drop the disk entries too, not just the memory map";
+  expectBitIdentical(recomputed.result, firstLife, "recompute after clear");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, FetchReusesCallerStorageAndMissesLeaveItUntouched) {
+  ResultCache cache;
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions options;
+  options.maxSweeps = 32;
+  const EngineResult computed = oracle(text, EngineBackend::SeqPair, options);
+  const CacheKey key = keyOf(text, EngineBackend::SeqPair, options);
+
+  EngineBackend backend = EngineBackend::HBStar;
+  EngineResult result;
+  result.cost = 123.0;
+  EXPECT_FALSE(cache.fetch(key, backend, result));
+  EXPECT_EQ(result.cost, 123.0) << "a miss must leave the outputs untouched";
+  EXPECT_EQ(backend, EngineBackend::HBStar);
+
+  cache.store(key, EngineBackend::SeqPair, computed);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.fetch(key, backend, result));
+  EXPECT_EQ(backend, EngineBackend::SeqPair);
+  expectBitIdentical(result, computed, "memory fetch");
+  EXPECT_EQ(result.seconds, 0.0) << "seconds is not part of a result's "
+                                    "identity and is not stored";
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.fetch(key, backend, result));
+}
+
+}  // namespace
+}  // namespace als

@@ -1,0 +1,791 @@
+// als_replay — load driver and acceptance harness for the als_serve daemon.
+//
+// Fires corpus jobs at a running daemon (or one it spawns itself with
+// --serve-bin, the hermetic CI mode) over the ALSSERVE 1 protocol
+// (io/serve_protocol.h) and measures what the serve layer promises:
+//
+//   identity    the same unique job set at 1 client and at N concurrent
+//               clients (cache flushed in between, so both rounds COMPUTE)
+//               must produce bit-identical per-job results — and, with
+//               --check, identical to an in-process PortfolioRunner run of
+//               the same options in THIS process (the wire path adds
+//               nothing and loses nothing).
+//   throughput  a duplicate-laden job stream at configurable concurrency:
+//               client-observed latency percentiles, jobs/sec, and the
+//               cache hit rate lifted from STATS deltas.
+//   warm/cold   one cold ami49 compute, then the same key resubmitted:
+//               the warm hit must be >= 50x faster (--check) and byte-
+//               identical to the cold payload.
+//   cancel      a long job cancelled mid-run must deliver its RESULT
+//               within a bounded number of progress rounds, and the worker
+//               that absorbed the cancel must then complete a fresh job
+//               bit-identical to an unperturbed process (the in-process
+//               oracle again).
+//
+// Results go to stdout and, with --json, as bench_json records next to the
+// other bench-smoke captures: per-circuit quality rows (deterministic
+// cost/hpwl/area under the "serve-<backend>" name; seconds deliberately 0,
+// so the throughput gate treats them as presence+quality only) and
+// "serve-meta" rows whose `seconds` field carries the measured metric
+// (latency percentiles, jobs/sec, hit rate, warm speedup, cancel ack
+// rounds; cost 0 keeps them out of the quality gate — wall-clock metrics
+// are machine facts, not regressions).
+//
+//   als_replay --serve-bin ./build/als_serve --check --clients 8
+//              [--json build/bench-smoke/bench_serve.json]
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/placement_engine.h"
+#include "io/benchmark_format.h"
+#include "io/corpus.h"
+#include "io/serve_protocol.h"
+#include "runtime/portfolio.h"
+#include "runtime/serve.h"  // ServeStats (the STATS reply's shape)
+#include "util/bench_json.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace als;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket <path> | --serve-bin <als_serve>) [options]\n"
+               "daemon (with --serve-bin the daemon is spawned and shut down "
+               "by this tool)\n"
+               "  --workers <n>          daemon worker threads (default 2)\n"
+               "  --queue <n>            daemon job slots (default 64)\n"
+               "  --progress-interval <n> sweeps between PROGRESS (default 16)\n"
+               "workload\n"
+               "  --circuits <a,b,..>    corpus circuits (default apte,ami33)\n"
+               "  --backend <name>       engine backend (default seqpair)\n"
+               "  --sweeps <n>           per-job sweep budget (default 64)\n"
+               "  --restarts <n>         per-job restarts (default 4)\n"
+               "  --jobs <n>             throughput-phase jobs (default 24)\n"
+               "  --clients <n>          throughput-phase connections (default 4)\n"
+               "  --identity-clients <n> concurrent round of the identity phase\n"
+               "                         (default 8)\n"
+               "  --dup-ratio <r>        duplicate fraction in [0,1) (default 0.5)\n"
+               "  --warm-circuit <name>  warm/cold + cancel circuit (default ami49)\n"
+               "  --warm-sweeps <n>      warm/cold sweep budget (default 256)\n"
+               "  --cancel-sweeps <n>    budget of the to-be-cancelled job\n"
+               "                         (default 200000)\n"
+               "checks / output\n"
+               "  --check                enforce the acceptance gates (identity,\n"
+               "                         >=50x warm speedup, cancel ack bound,\n"
+               "                         in-process oracle); nonzero exit on any\n"
+               "                         violation\n"
+               "  --json <path>          bench_json records\n",
+               argv0);
+  return 2;
+}
+
+bool parseNum(const char* s, std::uint64_t* out) {
+  if (*s < '0' || *s > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+// --- wire client ------------------------------------------------------------
+
+bool sendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+class Reader {
+ public:
+  explicit Reader(int fd) : fd_(fd) {}
+  bool readLine(std::string& line) {
+    line.clear();
+    for (;;) {
+      std::size_t nl = buffer_.find('\n', pos_);
+      if (nl != std::string::npos) {
+        line.assign(buffer_, pos_, nl - pos_);
+        pos_ = nl + 1;
+        compact();
+        return true;
+      }
+      if (!fill()) return false;
+    }
+  }
+  bool readExact(std::size_t n, std::string& out) {
+    out.clear();
+    while (buffer_.size() - pos_ < n) {
+      if (!fill()) return false;
+    }
+    out.assign(buffer_, pos_, n);
+    pos_ += n;
+    compact();
+    return true;
+  }
+
+ private:
+  bool fill() {
+    char chunk[65536];
+    ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+  void compact() {
+    if (pos_ > (1u << 20)) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+  }
+  int fd_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+std::string_view nextToken(std::string_view& rest) {
+  std::size_t a = rest.find_first_not_of(" \t");
+  if (a == std::string_view::npos) {
+    rest = {};
+    return {};
+  }
+  std::size_t b = rest.find_first_of(" \t", a);
+  std::string_view token = rest.substr(
+      a, b == std::string_view::npos ? std::string_view::npos : b - a);
+  rest = b == std::string_view::npos ? std::string_view{} : rest.substr(b);
+  return token;
+}
+
+/// One job as the replay harness describes it (circuit by corpus name; the
+/// raw text is what goes on the wire and into the cache key).
+struct JobSpec {
+  std::string circuit;
+  std::string_view text;
+  std::uint64_t seed = 1;
+  std::size_t sweeps = 64;
+  std::size_t restarts = 4;
+};
+
+struct WireOutcome {
+  bool ok = false;          ///< RESULT received and well-formed
+  bool rejected = false;
+  std::string status;       ///< hit | miss | cancelled
+  std::string keyHex;
+  std::string payload;      ///< ALSRESULT text
+  std::string error;
+  std::size_t progressTotal = 0;
+  std::size_t progressAfterCancel = 0;
+  double latencySec = 0.0;  ///< JOB sent -> DONE received
+};
+
+/// Synchronous client: one connection, one job in flight at a time (load
+/// comes from running many clients, mirroring the serve scheduling model).
+class ServeClient {
+ public:
+  bool connect(const std::string& socketPath) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof addr.sun_path) return false;
+    std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    reader_ = std::make_unique<Reader>(fd_);
+    return true;
+  }
+  ~ServeClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Runs one job to completion.  `cancelAfterRounds` > 0 sends CANCEL once
+  /// that many PROGRESS lines have arrived.
+  WireOutcome run(const JobSpec& job, std::string_view backendName,
+                  std::size_t cancelAfterRounds = 0) {
+    WireOutcome out;
+    std::string tag = "j" + std::to_string(nextTag_++);
+    std::string msg = "JOB " + tag + " " + std::string(backendName) + "\n";
+    msg += "OPT sweeps " + std::to_string(job.sweeps) + "\n";
+    msg += "OPT restarts " + std::to_string(job.restarts) + "\n";
+    msg += "OPT seed " + std::to_string(job.seed) + "\n";
+    msg += "CIRCUIT " + std::to_string(job.text.size()) + "\n";
+    msg += job.text;
+    msg += "END\n";
+    Stopwatch clock;
+    if (!sendAll(fd_, msg)) {
+      out.error = "write failed";
+      return out;
+    }
+    bool cancelSent = false;
+    std::string line;
+    while (reader_->readLine(line)) {
+      std::string_view rest = line;
+      std::string_view word = nextToken(rest);
+      if (word == "QUEUED") {
+        nextToken(rest);  // tag
+        out.keyHex = std::string(nextToken(rest));
+      } else if (word == "REJECTED") {
+        out.rejected = true;
+        return out;
+      } else if (word == "ERROR") {
+        nextToken(rest);  // tag
+        out.error = std::string(rest);
+        return out;
+      } else if (word == "PROGRESS") {
+        ++out.progressTotal;
+        if (cancelSent) ++out.progressAfterCancel;
+        if (cancelAfterRounds > 0 && !cancelSent &&
+            out.progressTotal >= cancelAfterRounds) {
+          if (!sendAll(fd_, "CANCEL " + tag + "\n")) {
+            out.error = "cancel write failed";
+            return out;
+          }
+          cancelSent = true;
+        }
+      } else if (word == "RESULT") {
+        nextToken(rest);  // tag
+        out.status = std::string(nextToken(rest));
+        std::uint64_t nbytes = 0;
+        std::string count(nextToken(rest));
+        if (!parseNum(count.c_str(), &nbytes) ||
+            !reader_->readExact(static_cast<std::size_t>(nbytes),
+                                out.payload) ||
+            !reader_->readLine(line)) {  // DONE <tag>
+          out.error = "truncated RESULT";
+          return out;
+        }
+        out.latencySec = clock.seconds();
+        out.ok = true;
+        return out;
+      }
+    }
+    out.error = "connection closed mid-job";
+    return out;
+  }
+
+  bool stats(ServeStats& out) {
+    if (!sendAll(fd_, "STATS\n")) return false;
+    std::string line;
+    if (!reader_->readLine(line)) return false;
+    std::uint64_t v[6] = {};
+    std::string_view rest = line;
+    if (nextToken(rest) != "STATS") return false;
+    for (std::uint64_t& slot : v) {
+      std::string word(nextToken(rest));
+      if (!parseNum(word.c_str(), &slot)) return false;
+    }
+    out = {v[0], v[1], v[2], v[3], v[4], v[5]};
+    return true;
+  }
+
+  bool flush() {
+    if (!sendAll(fd_, "FLUSH\n")) return false;
+    std::string line;
+    return reader_->readLine(line) && line == "FLUSHED";
+  }
+
+  bool shutdownDaemon() {
+    if (!sendAll(fd_, "SHUTDOWN\n")) return false;
+    std::string line;
+    return reader_->readLine(line) && line == "BYE";
+  }
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<Reader> reader_;
+  std::uint64_t nextTag_ = 1;
+};
+
+// --- helpers ----------------------------------------------------------------
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// The in-process oracle: what an unperturbed process computes for this job
+/// (PortfolioRunner on the serve layer's forced knobs), digested over the
+/// same ALSRESULT text the daemon sends.
+std::uint64_t oracleDigest(const JobSpec& job, EngineBackend backend) {
+  ParseResult parsed = parseBenchmark(job.text);
+  if (!parsed.ok()) return 0;
+  EngineOptions opt;
+  opt.maxSweeps = job.sweeps;
+  opt.numRestarts = job.restarts;
+  opt.seed = job.seed;
+  opt.timeLimitSec = 0.0;
+  opt.numThreads = 1;
+  PortfolioRunner runner;
+  EngineResult result = runner.run(parsed.circuit, backend, opt);
+  std::string text;
+  writeResultText(backend, result, text);
+  return fnv1a64(text);
+}
+
+struct PhaseJobResult {
+  std::size_t jobIndex = 0;
+  WireOutcome outcome;
+};
+
+/// Runs `jobList` round-robin across `clients` synchronous connections and
+/// returns every outcome (indexed like jobList).
+std::vector<PhaseJobResult> runPhase(const std::string& socketPath,
+                                     const std::vector<JobSpec>& jobList,
+                                     std::string_view backendName,
+                                     std::size_t clients) {
+  clients = std::max<std::size_t>(1, std::min(clients, jobList.size()));
+  std::vector<PhaseJobResult> results(jobList.size());
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ServeClient client;
+      if (!client.connect(socketPath)) {
+        for (std::size_t i = c; i < jobList.size(); i += clients) {
+          results[i].outcome.error = "connect failed";
+        }
+        return;
+      }
+      for (std::size_t i = c; i < jobList.size(); i += clients) {
+        results[i].jobIndex = i;
+        results[i].outcome = client.run(jobList[i], backendName);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return results;
+}
+
+pid_t spawnDaemon(const std::string& bin, const std::string& socketPath,
+                  const std::string& cacheDir, std::size_t workers,
+                  std::size_t queue, std::size_t progressInterval) {
+  std::vector<std::string> args = {
+      bin,           "--socket",
+      socketPath,    "--workers",
+      std::to_string(workers), "--queue",
+      std::to_string(queue),   "--progress-interval",
+      std::to_string(progressInterval)};
+  if (!cacheDir.empty()) {
+    args.push_back("--cache-dir");
+    args.push_back(cacheDir);
+  }
+  pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  std::vector<char*> argvp;
+  argvp.reserve(args.size() + 1);
+  for (std::string& a : args) argvp.push_back(a.data());
+  argvp.push_back(nullptr);
+  ::execv(bin.c_str(), argvp.data());
+  std::perror("als_replay: execv");
+  ::_exit(127);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchIo io(argc, argv);  // owns --json
+
+  std::string socketPath, serveBin, backendArg = "seqpair";
+  std::string circuitsArg = "apte,ami33", warmCircuit = "ami49";
+  std::size_t workers = 2, queue = 64, progressInterval = 16;
+  std::size_t jobs = 24, clients = 4, identityClients = 8;
+  std::size_t sweeps = 64, restarts = 4, warmSweeps = 256,
+              cancelSweeps = 200000;
+  double dupRatio = 0.5;
+  bool check = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t n = 0;
+    auto numArg = [&](std::size_t* out, std::uint64_t lo, std::uint64_t hi) {
+      const char* v = value();
+      if (!v || !parseNum(v, &n) || n < lo || n > hi) return false;
+      *out = static_cast<std::size_t>(n);
+      return true;
+    };
+    if (arg == "--socket") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      socketPath = v;
+    } else if (arg == "--serve-bin") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      serveBin = v;
+    } else if (arg == "--backend") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      backendArg = v;
+    } else if (arg == "--circuits") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      circuitsArg = v;
+    } else if (arg == "--warm-circuit") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      warmCircuit = v;
+    } else if (arg == "--workers") {
+      if (!numArg(&workers, 1, 256)) return usage(argv[0]);
+    } else if (arg == "--queue") {
+      if (!numArg(&queue, 1, 65536)) return usage(argv[0]);
+    } else if (arg == "--progress-interval") {
+      if (!numArg(&progressInterval, 1, 1u << 30)) return usage(argv[0]);
+    } else if (arg == "--jobs") {
+      if (!numArg(&jobs, 1, 1u << 20)) return usage(argv[0]);
+    } else if (arg == "--clients") {
+      if (!numArg(&clients, 1, 1024)) return usage(argv[0]);
+    } else if (arg == "--identity-clients") {
+      if (!numArg(&identityClients, 1, 1024)) return usage(argv[0]);
+    } else if (arg == "--sweeps") {
+      if (!numArg(&sweeps, 1, 1u << 30)) return usage(argv[0]);
+    } else if (arg == "--restarts") {
+      if (!numArg(&restarts, 1, 1u << 20)) return usage(argv[0]);
+    } else if (arg == "--warm-sweeps") {
+      if (!numArg(&warmSweeps, 1, 1u << 30)) return usage(argv[0]);
+    } else if (arg == "--cancel-sweeps") {
+      if (!numArg(&cancelSweeps, 1, 1u << 30)) return usage(argv[0]);
+    } else if (arg == "--dup-ratio") {
+      const char* v = value();
+      char* end = nullptr;
+      double r = v ? std::strtod(v, &end) : 0.0;
+      if (!v || end == v || *end != '\0' || !(r >= 0.0) || r >= 1.0) {
+        return usage(argv[0]);
+      }
+      dupRatio = r;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--json") {
+      ++i;  // value consumed by BenchIo
+    } else {
+      std::fprintf(stderr, "als_replay: unknown option '%s'\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+  if (socketPath.empty() && serveBin.empty()) return usage(argv[0]);
+
+  EngineBackend backend = EngineBackend::SeqPair;
+  if (!parseBackendName(backendArg, backend)) {
+    std::fprintf(stderr, "als_replay: unknown backend '%s'\n",
+                 backendArg.c_str());
+    return 2;
+  }
+  const std::string backendStr(backendName(backend));
+
+  // Resolve the circuit list against the embedded corpus.
+  std::vector<std::pair<std::string, std::string_view>> circuits;
+  for (std::size_t pos = 0; pos < circuitsArg.size();) {
+    std::size_t comma = circuitsArg.find(',', pos);
+    std::string name = circuitsArg.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? circuitsArg.size() : comma + 1;
+    CorpusCircuit which;
+    if (name.empty() || !corpusByName(name, &which)) {
+      std::fprintf(stderr, "als_replay: unknown corpus circuit '%s'\n",
+                   name.c_str());
+      return 2;
+    }
+    circuits.emplace_back(name, corpusText(which));
+  }
+  CorpusCircuit warmWhich;
+  if (!corpusByName(warmCircuit, &warmWhich)) {
+    std::fprintf(stderr, "als_replay: unknown corpus circuit '%s'\n",
+                 warmCircuit.c_str());
+    return 2;
+  }
+  std::string_view warmText = corpusText(warmWhich);
+
+  // Spawn the daemon when asked (the hermetic mode CI uses): fresh socket
+  // and cache dir in a temp directory, torn down at the end.
+  pid_t daemonPid = -1;
+  std::string tmpDir;
+  if (!serveBin.empty()) {
+    char tmpl[] = "/tmp/als_replay.XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    if (made == nullptr) {
+      std::perror("als_replay: mkdtemp");
+      return 1;
+    }
+    tmpDir = made;
+    socketPath = tmpDir + "/als.sock";
+    daemonPid = spawnDaemon(serveBin, socketPath, tmpDir + "/cache", workers,
+                            queue, progressInterval);
+    if (daemonPid < 0) {
+      std::perror("als_replay: fork");
+      return 1;
+    }
+  }
+
+  int failures = 0;
+  auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "als_replay: FAIL %s\n", what.c_str());
+    ++failures;
+  };
+
+  // One control connection for FLUSH / STATS / SHUTDOWN, which doubles as
+  // the connect-retry probe for a just-spawned daemon.
+  ServeClient control;
+  {
+    bool connected = false;
+    for (int attempt = 0; attempt < 200 && !connected; ++attempt) {
+      connected = control.connect(socketPath);
+      if (!connected) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    }
+    if (!connected) {
+      std::fprintf(stderr, "als_replay: cannot connect to %s\n",
+                   socketPath.c_str());
+      if (daemonPid > 0) ::kill(daemonPid, SIGKILL);
+      return 1;
+    }
+  }
+
+  std::printf("als_replay: daemon at %s, backend=%s, %zu circuit(s), "
+              "sweeps=%zu, restarts=%zu\n",
+              socketPath.c_str(), backendStr.c_str(), circuits.size(), sweeps,
+              restarts);
+
+  // --- phase: identity (1 client vs N clients, both computing) -------------
+  const std::size_t identitySeeds = 4;
+  std::vector<JobSpec> identityJobs;
+  for (const auto& [name, text] : circuits) {
+    for (std::size_t s = 0; s < identitySeeds; ++s) {
+      identityJobs.push_back({name, text, s + 1, sweeps, restarts});
+    }
+  }
+  std::vector<PhaseJobResult> lone =
+      runPhase(socketPath, identityJobs, backendStr, 1);
+  if (!control.flush()) fail("FLUSH before concurrent identity round");
+  std::vector<PhaseJobResult> crowd =
+      runPhase(socketPath, identityJobs, backendStr, identityClients);
+  std::size_t identityMismatches = 0;
+  for (std::size_t i = 0; i < identityJobs.size(); ++i) {
+    const WireOutcome& a = lone[i].outcome;
+    const WireOutcome& b = crowd[i].outcome;
+    if (!a.ok || !b.ok) {
+      fail("identity job " + identityJobs[i].circuit + "/seed" +
+           std::to_string(identityJobs[i].seed) + ": " +
+           (!a.ok ? a.error : b.error));
+      continue;
+    }
+    if (fnv1a64(a.payload) != fnv1a64(b.payload) || a.payload != b.payload) {
+      ++identityMismatches;
+      fail("identity: " + identityJobs[i].circuit + "/seed" +
+           std::to_string(identityJobs[i].seed) +
+           " differs between 1 and " + std::to_string(identityClients) +
+           " clients");
+    }
+    if (check && fnv1a64(a.payload) != oracleDigest(identityJobs[i], backend)) {
+      fail("oracle: " + identityJobs[i].circuit + "/seed" +
+           std::to_string(identityJobs[i].seed) +
+           " served result differs from in-process PortfolioRunner");
+    }
+    // Quality rows for bench_diff: deterministic cost/hpwl/area under the
+    // serve name.  seconds stays 0 — latency is a machine fact, recorded in
+    // the serve-meta rows instead, so the throughput gate sees these as
+    // presence+quality only.
+    if (lone[i].jobIndex % identitySeeds == 0) {
+      EngineBackend rb;
+      EngineResult r;
+      if (parseResultText(a.payload, rb, r).empty()) {
+        io.add("serve-" + backendStr, identityJobs[i].circuit, r, 1);
+      }
+    }
+  }
+  std::printf("identity: %zu job(s) x {1, %zu} clients, %zu mismatch(es)\n",
+              identityJobs.size(), identityClients, identityMismatches);
+
+  // --- phase: throughput under duplicates -----------------------------------
+  const std::size_t unique = std::max<std::size_t>(
+      1, jobs - static_cast<std::size_t>(dupRatio *
+                                         static_cast<double>(jobs)));
+  std::vector<JobSpec> pool;
+  for (std::size_t u = 0; u < unique; ++u) {
+    const auto& [name, text] = circuits[u % circuits.size()];
+    pool.push_back({name, text, 100 + u, sweeps, restarts});
+  }
+  std::vector<JobSpec> stream;
+  for (std::size_t i = 0; i < jobs; ++i) stream.push_back(pool[i % unique]);
+
+  ServeStats before{}, after{};
+  if (!control.stats(before)) fail("STATS before throughput phase");
+  Stopwatch phaseClock;
+  std::vector<PhaseJobResult> streamResults =
+      runPhase(socketPath, stream, backendStr, clients);
+  double phaseSeconds = phaseClock.seconds();
+  if (!control.stats(after)) fail("STATS after throughput phase");
+
+  std::vector<double> latencies;
+  for (const PhaseJobResult& r : streamResults) {
+    if (!r.outcome.ok) {
+      fail("throughput job " + std::to_string(r.jobIndex) + ": " +
+           (r.outcome.rejected ? "rejected" : r.outcome.error));
+      continue;
+    }
+    latencies.push_back(r.outcome.latencySec);
+  }
+  const std::uint64_t hits = after.cacheHits - before.cacheHits;
+  const std::uint64_t misses = after.cacheMisses - before.cacheMisses;
+  const double hitRate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p95 = percentile(latencies, 0.95);
+  const double pmax = latencies.empty()
+                          ? 0.0
+                          : *std::max_element(latencies.begin(),
+                                              latencies.end());
+  const double jps = phaseSeconds > 0.0
+                         ? static_cast<double>(latencies.size()) / phaseSeconds
+                         : 0.0;
+  std::printf("throughput: %zu job(s) (%zu unique) at %zu client(s) in "
+              "%.3fs — %.1f jobs/s, latency p50 %.1fms p95 %.1fms max "
+              "%.1fms, cache hits %llu / misses %llu (%.0f%% hit rate)\n",
+              jobs, unique, clients, phaseSeconds, jps, p50 * 1e3, p95 * 1e3,
+              pmax * 1e3, static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses), hitRate * 100.0);
+  if (check && jobs > unique && hits == 0) {
+    fail("throughput: duplicate jobs produced no cache hits");
+  }
+
+  // --- phase: warm vs cold ---------------------------------------------------
+  if (!control.flush()) fail("FLUSH before warm/cold phase");
+  JobSpec warmJob{warmCircuit, warmText, 777, warmSweeps, restarts};
+  ServeClient warmClient;
+  double coldSec = 0.0, warmSec = 0.0, speedup = 0.0;
+  if (!warmClient.connect(socketPath)) {
+    fail("warm/cold: connect failed");
+  } else {
+    WireOutcome cold = warmClient.run(warmJob, backendStr);
+    if (!cold.ok || cold.status != "miss") {
+      fail("warm/cold: cold run not a computed miss (" +
+           (cold.ok ? cold.status : cold.error) + ")");
+    } else {
+      coldSec = cold.latencySec;
+      warmSec = cold.latencySec;  // min over warm resubmissions below
+      bool identical = true;
+      for (int rep = 0; rep < 5; ++rep) {
+        WireOutcome warm = warmClient.run(warmJob, backendStr);
+        if (!warm.ok || warm.status != "hit") {
+          fail("warm/cold: resubmission was not a cache hit");
+          identical = false;
+          break;
+        }
+        warmSec = std::min(warmSec, warm.latencySec);
+        identical = identical && warm.payload == cold.payload;
+      }
+      if (!identical) {
+        fail("warm/cold: cached payload differs from the cold compute");
+      }
+      speedup = warmSec > 0.0 ? coldSec / warmSec : 0.0;
+      std::printf("warm/cold: %s cold %.1fms, warm %.3fms -> %.0fx\n",
+                  warmCircuit.c_str(), coldSec * 1e3, warmSec * 1e3, speedup);
+      if (check && speedup < 50.0) {
+        fail("warm/cold: speedup " + std::to_string(speedup) +
+             "x is below the 50x acceptance floor");
+      }
+    }
+  }
+
+  // --- phase: cancellation ---------------------------------------------------
+  JobSpec cancelJob{warmCircuit, warmText, 888, cancelSweeps, restarts};
+  JobSpec freshJob{circuits.front().first, circuits.front().second, 999,
+                   sweeps, restarts};
+  ServeClient cancelClient;
+  std::size_t ackRounds = 0;
+  if (!cancelClient.connect(socketPath)) {
+    fail("cancel: connect failed");
+  } else {
+    WireOutcome cancelled = cancelClient.run(cancelJob, backendStr,
+                                             /*cancelAfterRounds=*/2);
+    if (!cancelled.ok || cancelled.status != "cancelled") {
+      fail("cancel: job did not complete as cancelled (" +
+           (cancelled.ok ? cancelled.status : cancelled.error) + ")");
+    } else {
+      ackRounds = cancelled.progressAfterCancel;
+      std::printf("cancel: acknowledged after %zu progress round(s) "
+                  "(%zu total before RESULT)\n",
+                  ackRounds, cancelled.progressTotal);
+      // One round may already be in flight when CANCEL lands; the round
+      // that observes the token still reports.  More than two means the
+      // sweep-granular check is not being honored.
+      if (check && ackRounds > 2) {
+        fail("cancel: " + std::to_string(ackRounds) +
+             " progress rounds after CANCEL (acceptance bound: 2)");
+      }
+    }
+    WireOutcome fresh = cancelClient.run(freshJob, backendStr);
+    if (!fresh.ok || fresh.status != "miss") {
+      fail("cancel: fresh job after cancel not computed (" +
+           (fresh.ok ? fresh.status : fresh.error) + ")");
+    } else if (check &&
+               fnv1a64(fresh.payload) != oracleDigest(freshJob, backend)) {
+      fail("cancel: post-cancel fresh job differs from an unperturbed "
+           "process (worker state was perturbed by the cancel)");
+    }
+  }
+
+  // --- meta records + teardown ----------------------------------------------
+  auto meta = [&](const char* name, double value) {
+    BenchRecord r;
+    r.backend = "serve-meta";
+    r.circuit = name;
+    r.seconds = value;  // metric value; cost/sweeps stay 0 (presence-only)
+    io.add(std::move(r));
+  };
+  meta("latency-p50", p50);
+  meta("latency-p95", p95);
+  meta("latency-max", pmax);
+  meta("throughput-jps", jps);
+  meta("hit-rate", hitRate);
+  meta("warm-cold-speedup", speedup);
+  meta("cancel-ack-rounds", static_cast<double>(ackRounds));
+
+  if (daemonPid > 0) {
+    if (!control.shutdownDaemon()) fail("SHUTDOWN not acknowledged");
+    int status = 0;
+    if (::waitpid(daemonPid, &status, 0) != daemonPid ||
+        !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      fail("daemon did not exit cleanly");
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(tmpDir, ec);
+  }
+
+  std::printf("als_replay: %s (%d failure(s))\n",
+              failures == 0 ? "PASS" : "FAIL", failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,162 +1,70 @@
-// bench_diff — throughput-regression gate over bench_json record files
-// (ROADMAP item 5 seed).
+// bench_diff — throughput- and quality-regression gate over bench_json
+// record files (ROADMAP item 5 seed).
 //
 // Compares a committed baseline (BENCH_baseline.json at the repo root)
-// against freshly captured --smoke records and fails when any
-// backend x circuit pair lost more than --tol percent of its throughput.
-// Throughput is sweeps/seconds of the aggregated records of a pair: the
-// bench_decode rows carry decode/move counts in `sweeps`, the als_place
-// smoke rows carry SA sweep counts — both divide by their wall clock into
-// an operations-per-second rate.  Pairs without timing (seconds or sweeps
-// of 0, e.g. a pure determinism row) are compared for presence only, so
-// the gate also catches silently dropped coverage.
+// against freshly captured --smoke records along two axes:
 //
-//   bench_diff BENCH_baseline.json current.json [more.json ...] [--tol 15]
+//   throughput  sweeps/seconds of the aggregated records of a pair — the
+//               bench_decode rows carry decode/move counts in `sweeps`,
+//               the als_place smoke rows carry SA sweep counts; both
+//               divide by their wall clock into an operations-per-second
+//               rate.  FAILs when a backend x circuit pair lost more than
+//               --tol percent.
+//   quality     the best (minimum) `cost` of a pair's records.  The smoke
+//               budgets are fixed sweep counts, so baseline and current
+//               run at EQUAL budget and a deterministic engine makes the
+//               comparison exact; a pair whose best cost worsened by more
+//               than --quality-tol percent FAILs.  Pairs where either side
+//               has no cost-bearing record (cost 0 throughout — pure
+//               timing or metric rows) are skipped.
+//
+// Pairs without timing (seconds or sweeps of 0, e.g. a pure determinism
+// row) are compared for presence only, so the gate also catches silently
+// dropped coverage.
+//
+//   bench_diff BENCH_baseline.json current.json [more.json ...]
+//              [--tol 15] [--quality-tol 5] [--min-seconds 0.05]
 //   bench_diff --merge BENCH_baseline.json decode.json place.json
-//
-// The parser reads exactly the flat {"key": value} record arrays
-// util/bench_json.cpp writes; it is not a general JSON reader.
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "util/flat_records.h"
+
 namespace {
 
-struct FlatRecord {
-  std::map<std::string, std::string> strings;
-  std::map<std::string, double> numbers;
-};
-
-struct Parser {
-  std::string_view text;
-  std::size_t pos = 0;
-  std::string error;
-
-  void skipWs() {
-    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
-  }
-  bool expect(char c) {
-    skipWs();
-    if (pos >= text.size() || text[pos] != c) {
-      error = "expected '" + std::string(1, c) + "' at offset " + std::to_string(pos);
-      return false;
-    }
-    ++pos;
-    return true;
-  }
-  bool peek(char c) {
-    skipWs();
-    return pos < text.size() && text[pos] == c;
-  }
-  bool parseString(std::string* out) {
-    if (!expect('"')) return false;
-    out->clear();
-    while (pos < text.size() && text[pos] != '"') {
-      char c = text[pos++];
-      if (c == '\\' && pos < text.size()) {
-        // bench_json only escapes ", \, \n, \t and control bytes; \uXXXX is
-        // passed through verbatim (keys never contain it).
-        char e = text[pos++];
-        switch (e) {
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          default: out->push_back(e);
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return expect('"');
-  }
-  bool parseNumber(double* out) {
-    skipWs();
-    const char* start = text.data() + pos;
-    char* end = nullptr;
-    errno = 0;
-    double v = std::strtod(start, &end);
-    if (end == start || errno == ERANGE) {
-      error = "bad number at offset " + std::to_string(pos);
-      return false;
-    }
-    pos += static_cast<std::size_t>(end - start);
-    *out = v;
-    return true;
-  }
-  bool parseRecord(FlatRecord* out) {
-    if (!expect('{')) return false;
-    if (peek('}')) return expect('}');
-    while (true) {
-      std::string key;
-      if (!parseString(&key) || !expect(':')) return false;
-      skipWs();
-      if (peek('"')) {
-        std::string v;
-        if (!parseString(&v)) return false;
-        out->strings[key] = std::move(v);
-      } else {
-        double v = 0.0;
-        if (!parseNumber(&v)) return false;
-        out->numbers[key] = v;
-      }
-      if (peek(',')) {
-        if (!expect(',')) return false;
-        continue;
-      }
-      return expect('}');
-    }
-  }
-  bool parseArray(std::vector<FlatRecord>* out) {
-    if (!expect('[')) return false;
-    if (peek(']')) return expect(']');
-    while (true) {
-      FlatRecord r;
-      if (!parseRecord(&r)) return false;
-      out->push_back(std::move(r));
-      if (peek(',')) {
-        if (!expect(',')) return false;
-        continue;
-      }
-      return expect(']');
-    }
-  }
-};
+using als::FlatRecord;
 
 bool loadRecords(const char* path, std::vector<FlatRecord>* out,
                  std::string* raw = nullptr) {
-  std::FILE* f = std::fopen(path, "r");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_diff: cannot open '%s'\n", path);
+  std::string error;
+  if (!als::loadFlatRecords(path, *out, error, raw)) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
     return false;
   }
-  std::string text;
-  char buf[4096];
-  std::size_t got = 0;
-  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
-  std::fclose(f);
-  Parser p{text, 0, {}};
-  if (!p.parseArray(out)) {
-    std::fprintf(stderr, "bench_diff: %s: %s\n", path, p.error.c_str());
-    return false;
-  }
-  if (raw != nullptr) *raw = std::move(text);
   return true;
 }
 
 /// Aggregate of one backend x circuit pair: total operations (the records'
-/// `sweeps`) over total wall clock.  Summing first keeps the merge of
-/// bench_decode and als_place rows for the same pair well-defined.
+/// `sweeps`) over total wall clock, and the best cost any record achieved.
+/// Summing ops/seconds first keeps the merge of bench_decode and als_place
+/// rows for the same pair well-defined; taking the min cost makes the
+/// quality number independent of how many captures were folded in.
 struct PairStats {
   double ops = 0.0;
   double seconds = 0.0;
+  double bestCost = std::numeric_limits<double>::infinity();
   std::size_t records = 0;
 
   bool timed() const { return ops > 0.0 && seconds > 0.0; }
   double opsPerSec() const { return timed() ? ops / seconds : 0.0; }
+  bool costed() const {
+    return bestCost < std::numeric_limits<double>::infinity();
+  }
 };
 
 std::map<std::string, PairStats> aggregate(const std::vector<FlatRecord>& recs) {
@@ -166,12 +74,10 @@ std::map<std::string, PairStats> aggregate(const std::vector<FlatRecord>& recs) 
     auto circuit = r.strings.find("circuit");
     if (backend == r.strings.end() || circuit == r.strings.end()) continue;
     PairStats& s = out[backend->second + " x " + circuit->second];
-    auto num = [&](const char* key) {
-      auto it = r.numbers.find(key);
-      return it == r.numbers.end() ? 0.0 : it->second;
-    };
-    s.ops += num("sweeps");
-    s.seconds += num("seconds");
+    s.ops += r.number("sweeps");
+    s.seconds += r.number("seconds");
+    double cost = r.number("cost");
+    if (cost > 0.0 && cost < s.bestCost) s.bestCost = cost;
     ++s.records;
   }
   return out;
@@ -180,16 +86,20 @@ std::map<std::string, PairStats> aggregate(const std::vector<FlatRecord>& recs) 
 int usage() {
   std::fprintf(stderr,
                "usage: bench_diff <baseline.json> <current.json> [more.json ...] "
-               "[--tol <pct>] [--min-seconds <s>]\n"
+               "[--tol <pct>] [--quality-tol <pct>] [--min-seconds <s>]\n"
                "       bench_diff --merge <out.json> <in.json> [more.json ...]\n"
-               "pairs whose aggregated wall clock is under --min-seconds (default "
-               "0.05) on either side are compared for presence only: a rate "
-               "measured over a few milliseconds is timer noise, not signal\n");
+               "--tol gates ops/sec (default 15), --quality-tol gates the best "
+               "cost at the shared smoke budget (default 5; deterministic "
+               "engines make this exact); pairs whose aggregated wall clock is "
+               "under --min-seconds (default 0.05) on either side are throughput-"
+               "compared for presence only: a rate measured over a few "
+               "milliseconds is timer noise, not signal\n");
   return 2;
 }
 
 /// --merge: concatenate record arrays verbatim into one file (how
-/// BENCH_baseline.json is captured from the per-tool --json outputs).
+/// BENCH_baseline.json is captured from the per-tool --json outputs —
+/// including the quality-bearing serve rows from als_replay).
 int merge(int argc, char** argv) {
   if (argc < 4) return usage();
   std::vector<FlatRecord> all;
@@ -229,28 +139,35 @@ int merge(int argc, char** argv) {
   return 0;
 }
 
+bool parsePct(const char* s, double* out, double hi) {
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v >= 0.0) || v >= hi) return false;
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--merge") == 0) return merge(argc, argv);
 
   double tolPct = 15.0;
+  double qualityTolPct = 5.0;
   double minSeconds = 0.05;
   const char* baselinePath = nullptr;
   std::vector<const char*> currentPaths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tol") == 0) {
-      if (i + 1 >= argc) return usage();
-      char* end = nullptr;
-      tolPct = std::strtod(argv[++i], &end);
-      if (end == argv[i] || *end != '\0' || !(tolPct >= 0.0) || tolPct >= 100.0) {
+      if (i + 1 >= argc || !parsePct(argv[++i], &tolPct, 100.0)) return usage();
+    } else if (std::strcmp(argv[i], "--quality-tol") == 0) {
+      // Quality tolerance may exceed 100%: cost is an absolute objective
+      // value, not a rate, and a knowingly-noisy scenario may want slack.
+      if (i + 1 >= argc || !parsePct(argv[++i], &qualityTolPct, 1e6)) {
         return usage();
       }
     } else if (std::strcmp(argv[i], "--min-seconds") == 0) {
-      if (i + 1 >= argc) return usage();
-      char* end = nullptr;
-      minSeconds = std::strtod(argv[++i], &end);
-      if (end == argv[i] || *end != '\0' || !(minSeconds >= 0.0)) {
+      if (i + 1 >= argc || !parsePct(argv[++i], &minSeconds, 1e9)) {
         return usage();
       }
     } else if (baselinePath == nullptr) {
@@ -270,7 +187,7 @@ int main(int argc, char** argv) {
   std::map<std::string, PairStats> curr = aggregate(currRecs);
 
   int failures = 0;
-  std::size_t compared = 0, presenceOnly = 0;
+  std::size_t compared = 0, presenceOnly = 0, qualityCompared = 0;
   for (const auto& [key, b] : base) {
     auto it = curr.find(key);
     if (it == curr.end()) {
@@ -281,6 +198,22 @@ int main(int argc, char** argv) {
       continue;
     }
     const PairStats& c = it->second;
+
+    // Quality: best cost at the shared smoke budget.  Only meaningful when
+    // both sides carry cost-bearing records.
+    if (b.costed() && c.costed()) {
+      ++qualityCompared;
+      double ceiling = b.bestCost * (1.0 + qualityTolPct / 100.0);
+      if (c.bestCost > ceiling) {
+        std::fprintf(stderr,
+                     "bench_diff: FAIL %s: best cost %.6g vs baseline %.6g "
+                     "(+%.2f%%, quality tolerance %.1f%%)\n",
+                     key.c_str(), c.bestCost, b.bestCost,
+                     100.0 * (c.bestCost / b.bestCost - 1.0), qualityTolPct);
+        ++failures;
+      }
+    }
+
     if (!b.timed() || !c.timed() || b.seconds < minSeconds ||
         c.seconds < minSeconds) {
       ++presenceOnly;
@@ -298,7 +231,8 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("bench_diff: %zu pair(s) compared at %.0f%% tolerance, %zu "
-              "presence-only, %d failure(s)\n",
-              compared, tolPct, presenceOnly, failures);
+              "quality-compared at %.1f%%, %zu presence-only, %d failure(s)\n",
+              compared, tolPct, qualityCompared, qualityTolPct, presenceOnly,
+              failures);
   return failures == 0 ? 0 : 1;
 }
