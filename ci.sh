@@ -42,6 +42,15 @@ cmake --build build-tsan -j "$JOBS"
 # state mid-run, so their thread-invariance suites get a dedicated
 # instrumented pass.
 ./build-tsan/runtime_test --gtest_filter='Tempering.*'
+# Serve layer under both sanitizers, as its own leg: the deadline monitor
+# thread, the shared result cache (quarantine/eviction under the store
+# mutex) and the worker fan-out are the serve stack's concurrency surface,
+# and its recovery paths (checksum rejection, scrub, fault-injected torn
+# writes) are exactly where memory bugs would hide.  Both binaries already
+# ran in the full ctest passes above; the explicit invocations keep the
+# failure-model contract visible as its own CI signal.
+./build-asan/serve_test
+./build-tsan/serve_test
 
 echo "=== alloc gate: Release steady-state zero-allocations-per-move ==="
 # One warm anneal per backend under the counting operator new of
@@ -103,6 +112,20 @@ echo "=== als_serve smoke: daemon + replay, identity / cache / cancel ==="
 ./build/als_replay --serve-bin ./build/als_serve --check --clients 8 \
   --json build/bench-smoke/bench_serve.json \
   > build/bench-smoke/bench_serve.out
+
+echo "=== als_replay --faults: chaos harness (crash/corruption recovery) ==="
+# Drives the daemon through the full failure model with deterministic fault
+# injection: on-disk entries bit-flipped, truncated and mislabeled (must be
+# quarantined, never served, recomputed byte-identically against the
+# in-process oracle); a full disk (memory-only degradation); _Exit crashes
+# in every store/reply window plus a SIGKILL mid-job (restart scrubs and
+# recovers); wall and sweep deadlines (best-so-far within one round, never
+# cached); backpressure with retry/backoff clients; and the size cap
+# (eviction keeps the store directory bounded).  No --json on purpose: the
+# chaos run measures recovery, not throughput, so it stays out of
+# bench_diff.
+./build/als_replay --serve-bin ./build/als_serve --faults --check \
+  > build/bench-smoke/bench_chaos.out
 
 echo "=== readme_tables --check: README tables vs committed baseline ==="
 # The README's measured-throughput tables are generated from

@@ -252,6 +252,7 @@ bool parseBackendName(std::string_view name, EngineBackend& backend) {
 
 void writeResultText(EngineBackend backend, const EngineResult& result,
                      std::string& out) {
+  const std::size_t start = out.size();
   out += "ALSRESULT 1\nBackend ";
   out += backendName(backend);
   out += "\nCost ";
@@ -286,6 +287,18 @@ void writeResultText(EngineBackend backend, const EngineResult& result,
     out += '\n';
   }
   out += "END\n";
+  // Integrity trailer: fnv1a64 of exactly the bytes this call appended,
+  // through "END\n".  `out` may hold caller prefixes (wire framing, the
+  // cache's Key line) — they carry their own integrity, so only the
+  // ALSRESULT region is sealed.
+  const std::uint64_t sum =
+      fnv1a64(std::string_view(out).substr(start, out.size() - start));
+  std::array<char, 18> buf;
+  std::snprintf(buf.data(), buf.size(), "%016llx",
+                static_cast<unsigned long long>(sum));
+  out += "Checksum ";
+  out.append(buf.data(), 16);
+  out += '\n';
 }
 
 std::string parseResultText(std::string_view text, EngineBackend& backend,
@@ -324,6 +337,11 @@ std::string parseResultText(std::string_view text, EngineBackend& backend,
     return scanError(scanner, "expected BestSeed <n>");
   if (!field("NumRects", numRects) || numRects > kMaxCount)
     return scanError(scanner, "expected NumRects <n>");
+  // Each Rect line costs at least "Rect 0 0 1 1\n" bytes; a count the text
+  // cannot possibly back is a corruption, and rejecting it here keeps a
+  // hostile header from forcing a huge placement allocation.
+  if (numRects > text.size() / 8)
+    return scanError(scanner, "NumRects exceeds payload size");
 
   result.placement.assign(static_cast<std::size_t>(numRects));
   for (std::size_t i = 0; i < numRects; ++i) {
@@ -337,6 +355,34 @@ std::string parseResultText(std::string_view text, EngineBackend& backend,
     result.placement[i] = r;
   }
   if (scanner.next() != "END") return scanError(scanner, "expected END");
+
+  // Checksum trailer — fnv1a64 of every byte before the trailer line.  The
+  // line view aliases `text`, so its data pointer locates the sealed region
+  // without any bookkeeping in the scan loop above.
+  line = scanner.next();
+  if (line.empty() || line.data() < text.data())
+    return scanError(scanner, "expected Checksum trailer");
+  const std::size_t sealedBytes =
+      static_cast<std::size_t>(line.data() - text.data());
+  if (takeToken(line) != "Checksum")
+    return scanError(scanner, "expected Checksum trailer");
+  std::string_view digest = takeToken(line);
+  std::uint64_t declared = 0;
+  if (digest.size() != 16 || !line.empty()) {
+    return scanError(scanner, "expected Checksum <16 hex>");
+  }
+  {
+    const char* first = digest.data();
+    auto [ptr, ec] = std::from_chars(first, first + 16, declared, 16);
+    if (ec != std::errc() || ptr != first + 16)
+      return scanError(scanner, "expected Checksum <16 hex>");
+  }
+  if (declared != fnv1a64(text.substr(0, sealedBytes)))
+    return scanError(scanner, "checksum mismatch");
+  // The trailer's own newline is required: a payload cut one byte short of
+  // complete is truncation, not a complete result.
+  if (text.back() != '\n')
+    return scanError(scanner, "truncated Checksum trailer");
   if (!scanner.next().empty())
     return scanError(scanner, "unexpected trailing content");
 

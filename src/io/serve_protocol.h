@@ -11,7 +11,10 @@
 // A client submits one job as
 //
 //   JOB <tag> <backend>            # tag: client-chosen, no whitespace
-//   OPT <key> <value>              # zero or more (see applyJobOption)
+//   OPT <key> <value>              # zero or more (see applyJobOption; the
+//                                  # daemon also accepts the serve-layer
+//                                  # keys `deadline-ms` / `deadline-sweeps`,
+//                                  # which never enter the cache key)
 //   CIRCUIT <nbytes>               # then exactly nbytes of ALSBENCH text
 //   END
 //
@@ -27,14 +30,18 @@
 //
 // and exactly one
 //
-//   RESULT <tag> <hit|miss|cancelled> <nbytes>
+//   RESULT <tag> <hit|miss|cancelled|deadline> <nbytes>
 //   <nbytes of ALSRESULT text — parseResultText>
 //   DONE <tag>
 //
-// Control lines outside a job: `CANCEL <tag>` (acknowledged within one
-// progress round; the job still delivers a RESULT, flagged `cancelled`),
-// `STATS` (answered `STATS <submitted> <completed> <hits> <misses>
-// <cancelled> <rejected>`), `FLUSH` (drops every cache entry, memory and
+// `deadline` means a job deadline expired (runtime/serve.h): the payload is
+// the best-so-far snapshot, delivered within one progress round of expiry
+// and never cached.  Control lines outside a job: `CANCEL <tag>`
+// (acknowledged within one progress round; the job still delivers a RESULT,
+// flagged `cancelled`), `STATS` (answered `STATS <submitted> <completed>
+// <hits> <misses> <cancelled> <rejected> <deadline-expired> <quarantined>
+// <evicted> <memory-only>` — the last three surface the store's health,
+// runtime/result_cache.h), `FLUSH` (drops every cache entry, memory and
 // disk; answered `FLUSHED` — how the replay harness forces recomputation)
 // and `SHUTDOWN` (answered `BYE`; the daemon drains and exits).  One
 // connection may carry many jobs; all server lines are tagged, so clients
@@ -138,9 +145,16 @@ bool parseBackendName(std::string_view name, EngineBackend& backend);
 //   NumRects <n>
 //   Rect <x> <y> <w> <h>    # n lines, module-id order
 //   END
+//   Checksum <16 hex>       # fnv1a64 of every byte above, incl. "END\n"
 //
 // `seconds` is deliberately absent: it is wall-clock accounting, not part
 // of a result's identity — a cached result re-reports the fetch latency.
+//
+// The `Checksum` trailer is the integrity seal of the whole stack: a
+// truncated, bit-flipped or torn ALSRESULT payload — on the wire or in the
+// on-disk store — fails `parseResultText` deterministically instead of
+// parsing into a silently wrong placement.  `runtime/result_cache.h` relies
+// on it to quarantine corrupt store entries rather than serve them.
 
 /// Serializes `result` (with the backend that produced it) as ALSRESULT
 /// text, appended to `out` (not cleared; warm callers reuse the buffer).

@@ -1,9 +1,13 @@
 #include "runtime/result_cache.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <tuple>
+
+#include "util/fault_injection.h"
 
 namespace als {
 
@@ -19,15 +23,69 @@ EngineResult stripped(const EngineResult& result) {
   return copy;
 }
 
+/// Total order over keys for the disk-only index — any fixed order works,
+/// it just has to be the same on every platform so eviction is
+/// deterministic.
+bool keyLess(const CacheKey& a, const CacheKey& b) {
+  return std::tie(a.circuit, a.options, a.seed) <
+         std::tie(b.circuit, b.options, b.seed);
+}
+
+/// Consecutive disk write failures before the cache gives up on the store
+/// directory.  Three distinguishes a transient hiccup from a full/dead disk
+/// without thrashing on every store.
+constexpr int kDiskFailureLimit = 3;
+
 }  // namespace
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
-  if (!dir_.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);
-    // A failed mkdir degrades to memory-only persistence; fetch/store treat
-    // disk errors as misses/no-ops, so no further handling is needed.
+ResultCache::ResultCache(std::string dir, std::size_t maxEntries)
+    : dir_(std::move(dir)), maxEntries_(maxEntries) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (!std::filesystem::is_directory(dir_, ec)) {
+    // Unusable store (path exists as a file, mkdir denied, ...): degrade
+    // from birth rather than fail every store three times first.
+    stats_.memoryOnly = true;
+    return;
   }
+  scrub();
+}
+
+void ResultCache::scrub() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> found;
+  fs::directory_iterator it(dir_, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    found.push_back(it->path().string());
+  }
+  std::sort(found.begin(), found.end());  // deterministic scrub order
+  for (const std::string& path : found) {
+    const fs::path p(path);
+    const std::string ext = p.extension().string();
+    if (ext == ".tmp") {
+      // Crash window between write and rename: the entry never became
+      // visible, the orphan is garbage.
+      fs::remove(p, ec);
+      ec.clear();
+      ++stats_.tmpRemoved;
+      continue;
+    }
+    if (ext != ".alsresult") continue;  // .corrupt and strangers stay put
+    CacheKey key;
+    if (!key.parseHex(p.stem().string())) {
+      quarantineFile(path);
+      continue;
+    }
+    Entry probe;
+    if (readDiskEntry(key, probe) != DiskRead::Ok) continue;  // quarantined
+    diskOnly_.push_back(key);
+  }
+  std::sort(diskOnly_.begin(), diskOnly_.end(), keyLess);
+  diskOnly_.erase(std::unique(diskOnly_.begin(), diskOnly_.end()),
+                  diskOnly_.end());
+  enforceCap();
 }
 
 bool ResultCache::fetch(const CacheKey& key, EngineBackend& backend,
@@ -37,8 +95,16 @@ bool ResultCache::fetch(const CacheKey& key, EngineBackend& backend,
   if (it == map_.end()) {
     if (dir_.empty()) return false;
     Entry loaded;
-    if (!fetchFromDisk(key, loaded)) return false;
+    if (readDiskEntry(key, loaded) != DiskRead::Ok) return false;
+    lru_.push_front(key);
+    loaded.lruIt = lru_.begin();
     it = map_.emplace(key, std::move(loaded)).first;
+    eraseDiskOnly(key);
+    enforceCap();
+  } else {
+    // Promote-on-fetch: splice moves the existing node, no allocation on
+    // the warm hit path (the allocation gate measures this).
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
   }
   backend = it->second.backend;
   // Copy-assign so the caller's placement storage is reused: the warm hit
@@ -50,10 +116,22 @@ bool ResultCache::fetch(const CacheKey& key, EngineBackend& backend,
 void ResultCache::store(const CacheKey& key, EngineBackend backend,
                         const EngineResult& result) {
   std::lock_guard<std::mutex> lock(mutex_);
-  Entry& entry = map_[key];
-  entry.backend = backend;
-  entry.result = stripped(result);
-  if (!dir_.empty()) storeToDisk(key, entry);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    lru_.push_front(key);
+    Entry entry;
+    entry.backend = backend;
+    entry.result = stripped(result);
+    entry.lruIt = lru_.begin();
+    it = map_.emplace(key, std::move(entry)).first;
+    eraseDiskOnly(key);  // superseded stale disk survivor, if any
+    enforceCap();
+  } else {
+    it->second.backend = backend;
+    it->second.result = stripped(result);
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+  }
+  if (!dir_.empty() && !stats_.memoryOnly) storeToDisk(key, it->second);
 }
 
 std::size_t ResultCache::size() const {
@@ -61,50 +139,162 @@ std::size_t ResultCache::size() const {
   return map_.size();
 }
 
+std::size_t ResultCache::totalEntries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size() + diskOnly_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
 void ResultCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   map_.clear();
+  lru_.clear();
+  diskOnly_.clear();
   if (dir_.empty()) return;
   std::error_code ec;
   std::filesystem::directory_iterator it(dir_, ec), end;
   for (; !ec && it != end; it.increment(ec)) {
-    if (it->path().extension() == ".alsresult") {
+    const std::string ext = it->path().extension().string();
+    if (ext == ".alsresult" || ext == ".tmp") {
       std::filesystem::remove(it->path(), ec);
       ec.clear();  // best-effort, same stance as store
     }
   }
 }
 
-bool ResultCache::fetchFromDisk(const CacheKey& key, Entry& out) {
-  std::ifstream in(dir_ + "/" + key.hex() + ".alsresult",
-                   std::ios::in | std::ios::binary);
-  if (!in) return false;
+std::string ResultCache::entryPath(const CacheKey& key) const {
+  return dir_ + "/" + key.hex() + ".alsresult";
+}
+
+void ResultCache::eraseDiskOnly(const CacheKey& key) {
+  auto it = std::lower_bound(diskOnly_.begin(), diskOnly_.end(), key, keyLess);
+  if (it != diskOnly_.end() && *it == key) diskOnly_.erase(it);
+}
+
+void ResultCache::quarantineFile(const std::string& path) {
+  // Keep the bytes for forensics; the .corrupt extension takes the file out
+  // of every future scrub/fetch.  Overwrites any previous quarantine of the
+  // same name — the latest corruption is the interesting one.
+  std::string target = path;
+  const std::size_t dot = target.rfind('.');
+  target.resize(dot == std::string::npos ? target.size() : dot);
+  target += ".corrupt";
+  if (std::rename(path.c_str(), target.c_str()) != 0) {
+    std::remove(path.c_str());  // read-only rename failure: drop it instead
+  }
+  ++stats_.quarantined;
+}
+
+void ResultCache::enforceCap() {
+  if (maxEntries_ == 0) return;
+  while (map_.size() + diskOnly_.size() > maxEntries_) {
+    CacheKey victim;
+    if (!diskOnly_.empty()) {
+      // Unpromoted survivors have no recency — they lose to anything the
+      // current process has touched.
+      victim = diskOnly_.back();
+      diskOnly_.pop_back();
+    } else {
+      victim = lru_.back();
+      lru_.pop_back();
+      map_.erase(victim);
+    }
+    if (!dir_.empty()) std::remove(entryPath(victim).c_str());
+    ++stats_.evicted;
+  }
+}
+
+void ResultCache::noteDiskFailure() {
+  ++stats_.diskFailures;
+  if (++consecutiveDiskFailures_ >= kDiskFailureLimit) {
+    stats_.memoryOnly = true;
+  }
+}
+
+ResultCache::DiskRead ResultCache::readDiskEntry(const CacheKey& key,
+                                                 Entry& out) {
+  const std::string path = entryPath(key);
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in) return DiskRead::Miss;
   std::ostringstream buffer;
   buffer << in.rdbuf();
   textScratch_ = buffer.str();
-  return parseResultText(textScratch_, out.backend, out.result).empty();
+  std::string_view text = textScratch_;
+
+  // The `Key` line binds content to filename: a foreign file copied (or a
+  // stale entry hard-linked) under this key's name must never be served for
+  // it, no matter how well its payload parses.
+  bool ok = text.substr(0, 4) == "Key ";
+  if (ok) {
+    text.remove_prefix(4);
+    const std::string want = key.hex();
+    ok = text.size() > want.size() && text.substr(0, want.size()) == want &&
+         text[want.size()] == '\n';
+    if (ok) text.remove_prefix(want.size() + 1);
+  }
+  if (ok) ok = parseResultText(text, out.backend, out.result).empty();
+  if (!ok) {
+    quarantineFile(path);
+    return DiskRead::Corrupt;
+  }
+  return DiskRead::Ok;
 }
 
 void ResultCache::storeToDisk(const CacheKey& key, const Entry& entry) {
   textScratch_.clear();
+  textScratch_ += "Key ";
+  textScratch_ += key.hex();
+  textScratch_ += '\n';
   writeResultText(entry.backend, entry.result, textScratch_);
-  const std::string path = dir_ + "/" + key.hex() + ".alsresult";
+  const std::string path = entryPath(key);
   const std::string temp = path + ".tmp";
+
+  FaultInjector& faults = FaultInjector::global();
+  const DiskWriteFault fault = faults.onDiskWrite();
+  if (fault.fail) {
+    // Simulated ENOSPC: nothing lands, and the failure counts toward
+    // memory-only degradation exactly like the real thing below.
+    noteDiskFailure();
+    return;
+  }
+  std::size_t bytes = textScratch_.size();
+  if (fault.truncateAt >= 0) {
+    // Torn-flush simulation: a SHORT write that still gets renamed into
+    // place.  Not a failure the writer can see — the checksum trailer is
+    // what catches it on the next fetch.
+    bytes = std::min(bytes, static_cast<std::size_t>(fault.truncateAt));
+  }
   {
-    std::ofstream outFile(temp, std::ios::out | std::ios::binary |
-                                    std::ios::trunc);
-    if (!outFile) return;  // persistence is best-effort; memory entry stands
-    outFile.write(textScratch_.data(),
-                  static_cast<std::streamsize>(textScratch_.size()));
+    std::ofstream outFile(temp,
+                          std::ios::out | std::ios::binary | std::ios::trunc);
+    if (!outFile) {
+      noteDiskFailure();
+      return;
+    }
+    outFile.write(textScratch_.data(), static_cast<std::streamsize>(bytes));
+    outFile.flush();
     if (!outFile) {
       outFile.close();
       std::remove(temp.c_str());
+      noteDiskFailure();
       return;
     }
   }
+  faults.onCrashPoint("store-after-write");
+  if (faults.onRename()) return;  // simulated crash window: .tmp stays
   // Atomic within the directory: readers see the old entry or the new one,
   // never a torn file.
-  if (std::rename(temp.c_str(), path.c_str()) != 0) std::remove(temp.c_str());
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    noteDiskFailure();
+    return;
+  }
+  faults.onCrashPoint("store-after-rename");
+  consecutiveDiskFailures_ = 0;
 }
 
 }  // namespace als

@@ -13,20 +13,56 @@
 // caller-owned EngineResult reuses the caller's placement storage and
 // performs no allocation at steady capacity, the property the allocation
 // gate measures) over an optional directory of `<keyhex>.alsresult` text
-// files (io/serve_protocol.h's ALSRESULT form).  Disk entries are written
-// atomically (temp file + rename) so a killed daemon never leaves a torn
-// entry, and are promoted into memory on first fetch — a restarted daemon
-// serves its predecessor's results without recomputing.  `seconds` is not
-// part of a result's identity and round-trips as 0.
+// files, each a `Key <keyhex>` line followed by io/serve_protocol.h's
+// ALSRESULT form (whose Checksum trailer seals the payload).  Disk entries
+// are written atomically (temp file + rename) and promoted into memory on
+// first fetch — a restarted daemon serves its predecessor's results without
+// recomputing.  `seconds` is not part of a result's identity and
+// round-trips as 0.
+//
+// ## Failure model
+//
+// The cache is the stack's crash/corruption boundary, so it never trusts
+// the disk:
+//
+//  - INTEGRITY.  A fetched file must carry the requested key in its `Key`
+//    line (a foreign or stale file cannot be served for the wrong key) and
+//    must pass the ALSRESULT checksum trailer.  Anything else — torn,
+//    truncated, bit-flipped, mislabeled — is QUARANTINED: renamed to
+//    `<keyhex>.corrupt` (kept for forensics, ignored forever after),
+//    counted in `Stats::quarantined`, and reported as a miss so the serve
+//    layer recomputes.  A corrupt entry is never served.
+//  - SCRUB.  Construction walks the directory once: orphaned `.tmp` files
+//    (a crash between write and rename) are removed, every `.alsresult`
+//    entry is validated (corrupt ones quarantined on the spot), and the
+//    survivors are indexed so the size cap covers them before any is
+//    promoted.
+//  - BOUNDED SIZE.  `maxEntries` (0 = unbounded) caps memory + disk
+//    entries together.  Eviction is deterministic LRU: promote-on-fetch
+//    order for in-memory entries, and not-yet-promoted disk survivors —
+//    which have no recency — evict first, in descending key order.
+//    Evicting an entry also removes its disk file, so the store directory
+//    never exceeds the cap.
+//  - DEGRADATION.  Disk write failures are counted; after three
+//    CONSECUTIVE failures (or an unusable directory at construction) the
+//    cache turns memory-only (`Stats::memoryOnly`) and stops touching the
+//    disk for writes — a full or dead disk degrades throughput, never
+//    correctness.  Reads still consult existing files.
+//
+// The disk path consults util/fault_injection.h (crash points
+// `store-after-write` / `store-after-rename`), which is how the recovery
+// tests drive every branch above deterministically.
 //
 // Thread safety: all public members are mutex-serialized; concurrent serve
 // workers share one cache.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/placement_engine.h"
 #include "io/serve_protocol.h"
@@ -35,42 +71,81 @@ namespace als {
 
 class ResultCache {
  public:
+  /// Failure-handling counters (see the header comment).  Monotonic over
+  /// the cache's lifetime; `clear()` does not reset them.
+  struct Stats {
+    std::uint64_t quarantined = 0;   ///< corrupt entries moved to .corrupt
+    std::uint64_t evicted = 0;       ///< entries dropped by the size cap
+    std::uint64_t tmpRemoved = 0;    ///< orphaned .tmp files scrubbed
+    std::uint64_t diskFailures = 0;  ///< failed entry writes/renames
+    bool memoryOnly = false;         ///< disk writes disabled (degraded)
+  };
+
   /// `dir` empty = memory-only; otherwise the directory is created if
-  /// missing and unreadable/corrupt entries are treated as misses (a cache
-  /// never fails a job, it only declines to help).
-  explicit ResultCache(std::string dir = {});
+  /// missing and scrubbed (see the header comment).  An unusable directory
+  /// degrades to memory-only.  `maxEntries` 0 = unbounded.
+  explicit ResultCache(std::string dir = {}, std::size_t maxEntries = 0);
 
   /// Looks the key up (memory first, then disk, promoting a disk hit into
-  /// memory).  On hit copies into `backend`/`result` — reusing `result`'s
-  /// storage — and returns true; on miss returns false leaving the outputs
-  /// untouched.
+  /// memory and marking it most-recently-used).  On hit copies into
+  /// `backend`/`result` — reusing `result`'s storage — and returns true; on
+  /// miss returns false leaving the outputs untouched.  A corrupt disk
+  /// entry is quarantined and reported as a miss.
   bool fetch(const CacheKey& key, EngineBackend& backend, EngineResult& result);
 
   /// Inserts (overwriting an existing entry — values are key-determined, so
-  /// overwrites are idempotent) and, when a directory is configured,
-  /// persists atomically.  `result.seconds` is not stored.
+  /// overwrites are idempotent) and, when a directory is configured and not
+  /// degraded, persists atomically.  `result.seconds` is not stored.  May
+  /// evict to honor the size cap.
   void store(const CacheKey& key, EngineBackend backend,
              const EngineResult& result);
 
   /// In-memory entry count (disk-only entries not yet fetched don't count).
   std::size_t size() const;
 
+  /// Entries the cap accounts for: in-memory + valid not-yet-promoted disk
+  /// entries found by the startup scrub.
+  std::size_t totalEntries() const;
+
   /// Drops every entry, memory AND disk (the wire FLUSH command — how the
   /// replay harness forces recomputation of jobs it already ran).
+  /// Quarantined `.corrupt` files are left in place.
   void clear();
+
+  /// Snapshot of the failure-handling counters.
+  Stats stats() const;
 
  private:
   struct Entry {
     EngineBackend backend = EngineBackend::FlatBStar;
     EngineResult result;
+    std::list<CacheKey>::iterator lruIt;  ///< position in lru_
   };
 
-  bool fetchFromDisk(const CacheKey& key, Entry& out);
+  enum class DiskRead { Miss, Corrupt, Ok };
+
+  void scrub();
+  DiskRead readDiskEntry(const CacheKey& key, Entry& out);
   void storeToDisk(const CacheKey& key, const Entry& entry);
+  void enforceCap();
+  void eraseDiskOnly(const CacheKey& key);
+  void quarantineFile(const std::string& path);
+  std::string entryPath(const CacheKey& key) const;
+  void noteDiskFailure();
 
   std::string dir_;  ///< empty = memory-only
+  std::size_t maxEntries_ = 0;
   mutable std::mutex mutex_;
   std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
+  /// Recency order, front = most recent.  Promotions splice (no allocation
+  /// on the warm hit path); eviction pops the back.
+  std::list<CacheKey> lru_;
+  /// Valid unpromoted disk entries (previous lives), sorted ascending by
+  /// (circuit, options, seed).  No recency exists for them, so the cap
+  /// evicts from the back — deterministic on every platform.
+  std::vector<CacheKey> diskOnly_;
+  Stats stats_;
+  int consecutiveDiskFailures_ = 0;
   std::string textScratch_;  ///< serialize/parse buffer (under mutex_)
 };
 

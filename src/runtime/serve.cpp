@@ -1,6 +1,8 @@
 #include "runtime/serve.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <limits>
 #include <thread>
@@ -26,6 +28,12 @@ struct ServeEngine::Slot {
   CacheKey key;
   CancelToken cancel;
   Stopwatch clock;  ///< reset at submit; latency = submit-to-completion
+  /// Deadline bookkeeping.  `deadlined` is atomic because the monitor
+  /// thread sets it while the executing worker reads it lock-free (the
+  /// worker also sets it itself for sweep deadlines).
+  bool hasDeadline = false;  ///< wall deadline armed (under Impl::mutex)
+  std::chrono::steady_clock::time_point deadlineAt{};
+  std::atomic<bool> deadlined{false};
 };
 
 struct ServeEngine::Worker {
@@ -51,13 +59,20 @@ struct ServeEngine::Impl {
   ServeStats stats;
   bool stopping = false;
   std::vector<std::unique_ptr<Worker>> workers;
+  /// Wall-deadline monitor: sleeps until the earliest armed deadline, fires
+  /// by cancelling the slot.  Joined AFTER the workers so deadlines stay
+  /// enforced through the shutdown drain.
+  std::condition_variable deadlineCv;
+  std::thread deadlineMonitor;
+  bool monitorStop = false;
 };
 
 // --- lifecycle --------------------------------------------------------------
 
 ServeEngine::ServeEngine(const ServeOptions& options)
     : options_(options),
-      cache_(std::make_unique<ResultCache>(options.cacheDir)),
+      cache_(std::make_unique<ResultCache>(options.cacheDir,
+                                           options.cacheCapacity)),
       impl_(std::make_unique<Impl>()) {
   options_.workers = std::max<std::size_t>(1, options_.workers);
   options_.queueCapacity = std::max<std::size_t>(1, options_.queueCapacity);
@@ -74,6 +89,7 @@ ServeEngine::ServeEngine(const ServeOptions& options)
     Worker* worker = impl_->workers.back().get();
     worker->thread = std::thread([this, worker] { workerLoop(*worker); });
   }
+  impl_->deadlineMonitor = std::thread([this] { deadlineLoop(); });
 }
 
 ServeEngine::~ServeEngine() { shutdown(); }
@@ -88,6 +104,12 @@ void ServeEngine::shutdown() {
   for (auto& worker : impl_->workers) {
     if (worker->thread.joinable()) worker->thread.join();
   }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->monitorStop = true;
+  }
+  impl_->deadlineCv.notify_all();
+  if (impl_->deadlineMonitor.joinable()) impl_->deadlineMonitor.join();
 }
 
 // --- submission / control ---------------------------------------------------
@@ -125,6 +147,17 @@ ServeEngine::Submission ServeEngine::submit(Job job) {
   slot->key = out.key;
   slot->cancel.reset();
   slot->clock.reset();
+  slot->deadlined.store(false, std::memory_order_relaxed);
+  slot->hasDeadline = slot->job.deadlineSeconds > 0.0;
+  if (slot->hasDeadline) {
+    // Measured from submit: a queued job burns its deadline waiting, which
+    // is exactly what a client's latency budget means.
+    slot->deadlineAt = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               slot->job.deadlineSeconds));
+  }
   impl_->fifo[(impl_->fifoHead + impl_->fifoCount) % impl_->fifo.size()] =
       index;
   ++impl_->fifoCount;
@@ -132,6 +165,7 @@ ServeEngine::Submission ServeEngine::submit(Job job) {
   out.accepted = true;
   out.id = slot->id;
   impl_->workCv.notify_one();
+  if (slot->hasDeadline) impl_->deadlineCv.notify_all();
   return out;
 }
 
@@ -147,8 +181,44 @@ bool ServeEngine::cancel(std::uint64_t id) {
 }
 
 ServeStats ServeEngine::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  return impl_->stats;
+  ServeStats out;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    out = impl_->stats;
+  }
+  // Sequential lock acquisition (never nested) — the cache has its own.
+  const ResultCache::Stats cacheStats = cache_->stats();
+  out.quarantined = cacheStats.quarantined;
+  out.evicted = cacheStats.evicted;
+  out.memoryOnly = cacheStats.memoryOnly;
+  return out;
+}
+
+// --- deadline monitor -------------------------------------------------------
+
+void ServeEngine::deadlineLoop() {
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  while (!impl_->monitorStop) {
+    auto nextAt = std::chrono::steady_clock::time_point::max();
+    const auto now = std::chrono::steady_clock::now();
+    for (const std::unique_ptr<Slot>& slot : impl_->slots) {
+      if (slot->state == Slot::State::Free || !slot->hasDeadline) continue;
+      if (slot->deadlined.load(std::memory_order_relaxed)) continue;
+      if (slot->deadlineAt <= now) {
+        // Fire: the running session observes the token within one round;
+        // a still-pending job deadlines during its first sweep check.
+        slot->deadlined.store(true, std::memory_order_relaxed);
+        slot->cancel.cancel();
+        continue;
+      }
+      nextAt = std::min(nextAt, slot->deadlineAt);
+    }
+    if (nextAt == std::chrono::steady_clock::time_point::max()) {
+      impl_->deadlineCv.wait(lock);
+    } else {
+      impl_->deadlineCv.wait_until(lock, nextAt);
+    }
+  }
 }
 
 // --- worker side ------------------------------------------------------------
@@ -185,11 +255,11 @@ void ServeEngine::workerLoop(Worker& worker) {
 /// the shared portfolio reduction makes the outcome bit-identical to
 /// `PortfolioRunner::run` on the same options (sessions run to completion
 /// equal the one-shot engine call, slice for slice).
-EngineResult ServeEngine::runSessionRounds(Worker& worker,
+EngineResult ServeEngine::runSessionRounds(Worker& worker, Slot& slot,
                                            const Circuit& circuit,
                                            EngineBackend backend,
-                                           const EngineOptions& options,
-                                           const ProgressFn& onProgress) {
+                                           const EngineOptions& options) {
+  const ProgressFn& onProgress = slot.job.onProgress;
   const std::size_t interval = options_.progressInterval;
   const std::vector<RestartSlice> plan = makeRestartPlan(options);
   const std::size_t movesPerTemp =
@@ -215,6 +285,15 @@ EngineResult ServeEngine::runSessionRounds(Worker& worker,
       anyActive = anyActive || !session->finished();
     }
     ++round;
+    // Sweep-budget deadline, round-granular: once the job's TOTAL sweeps
+    // cross the budget, cancel — the still-active sessions wind down during
+    // the next round's sweep checks (same bound as a client CANCEL).
+    if (slot.job.deadlineSweeps > 0 &&
+        sweepsDone >= slot.job.deadlineSweeps &&
+        !slot.deadlined.load(std::memory_order_relaxed)) {
+      slot.deadlined.store(true, std::memory_order_relaxed);
+      slot.cancel.cancel();
+    }
     if (onProgress) {
       double best = std::numeric_limits<double>::infinity();
       for (auto& session : worker.sessions) {
@@ -244,7 +323,11 @@ void ServeEngine::executeJob(Worker& worker, Slot& slot) {
   if (hit) {
     outcome.result = &worker.result;
     outcome.cacheHit = true;
-    outcome.cancelled = slot.cancel.cancelled();
+    // A hit whose cancel token was tripped BY a deadline still completes as
+    // a plain hit: the full answer is already known, serving it costs one
+    // copy, and reporting DEADLINE for an instant result would be absurd.
+    outcome.cancelled = slot.cancel.cancelled() &&
+                        !slot.deadlined.load(std::memory_order_relaxed);
   } else {
     ParseResult parsed = parseBenchmark(slot.job.circuitText);
     if (!parsed.ok()) {
@@ -259,16 +342,21 @@ void ServeEngine::executeJob(Worker& worker, Slot& slot) {
             runner.run(parsed.circuit, slot.job.backend, options, &worker.bank)
                 .result;
       } else {
-        worker.result =
-            runSessionRounds(worker, parsed.circuit, slot.job.backend,
-                             options, slot.job.onProgress);
+        worker.result = runSessionRounds(worker, slot, parsed.circuit,
+                                         slot.job.backend, options);
       }
       worker.result.seconds = computeClock.seconds();
       outcome.result = &worker.result;
-      outcome.cancelled = slot.cancel.cancelled();
-      // Cancelled results are best-so-far snapshots, not pure functions of
-      // the key — never cache them (the cache-correctness contract).
-      if (!outcome.cancelled) {
+      // Deadline wins precedence: its cancellation is the engine's doing,
+      // not the client's, and the wire reports it as its own status.
+      outcome.deadlineExpired =
+          slot.deadlined.load(std::memory_order_relaxed);
+      outcome.cancelled =
+          slot.cancel.cancelled() && !outcome.deadlineExpired;
+      // Cancelled and deadlined results are best-so-far snapshots, not pure
+      // functions of the key — never cache them (the cache-correctness
+      // contract).
+      if (!outcome.cancelled && !outcome.deadlineExpired) {
         cache_->store(slot.key, slot.job.backend, worker.result);
       }
     }
@@ -289,7 +377,11 @@ void ServeEngine::executeJob(Worker& worker, Slot& slot) {
     } else if (outcome.error.empty()) {
       ++impl_->stats.cacheMisses;
     }
-    if (outcome.cancelled) ++impl_->stats.cancelled;
+    if (outcome.deadlineExpired) {
+      ++impl_->stats.deadlineExpired;
+    } else if (outcome.cancelled) {
+      ++impl_->stats.cancelled;
+    }
   }
   if (slot.job.onDone) slot.job.onDone(outcome);
 }

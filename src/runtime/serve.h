@@ -38,6 +38,18 @@
 // scratch bank stays warm and reusable — the next job on that worker is
 // bit-identical to a fresh process.
 //
+// Deadlines ride the same CancelToken seam.  A job may carry a wall-clock
+// deadline (`Job::deadlineSeconds`, measured from SUBMIT — queue wait
+// counts, which is what a client's latency budget means) enforced by a
+// monitor thread, and/or a sweep budget (`Job::deadlineSweeps`, total
+// sweeps across restart slices) checked at round granularity.  An expired
+// deadline cancels the run and flags the outcome `deadlineExpired` —
+// precedence over plain `cancelled` — and, like a cancellation, the
+// best-so-far result is delivered but NEVER cached.  A cache hit always
+// completes as a hit: if the answer is already known, no deadline can make
+// serving it wrong.  Sweep deadlines apply to restart jobs only (tempering
+// runs are monolithic); wall deadlines cover both.
+//
 // The serve layer forces `timeLimitSec = 0` and `numThreads = 1` on every
 // job (reproducibility and the parallelism-across-jobs scheduling model;
 // both knobs are excluded from the cache key for exactly this reason).
@@ -62,6 +74,9 @@ struct ServeOptions {
   /// Sweeps each restart slice advances between progress events (min 1).
   std::size_t progressInterval = 32;
   std::string cacheDir;  ///< persisted result store ("" = memory-only)
+  /// Result cache size cap, memory + disk entries together (0 = unbounded);
+  /// eviction is deterministic LRU (runtime/result_cache.h).
+  std::size_t cacheCapacity = 0;
 };
 
 struct ServeStats {
@@ -71,6 +86,12 @@ struct ServeStats {
   std::uint64_t cacheMisses = 0;  ///< computed jobs (includes cancelled)
   std::uint64_t cancelled = 0;
   std::uint64_t rejected = 0;    ///< admission-control rejections
+  std::uint64_t deadlineExpired = 0;  ///< jobs cut off by a deadline
+  // Mirrored from ResultCache::Stats by stats() — the daemon's STATS reply
+  // is the operator's one window into the store's health:
+  std::uint64_t quarantined = 0;  ///< corrupt store entries quarantined
+  std::uint64_t evicted = 0;      ///< entries dropped by the size cap
+  bool memoryOnly = false;        ///< store degraded, disk writes disabled
 };
 
 class ServeEngine {
@@ -84,6 +105,7 @@ class ServeEngine {
     const EngineResult* result = nullptr;  ///< null iff `error` nonempty
     bool cacheHit = false;
     bool cancelled = false;
+    bool deadlineExpired = false;  ///< deadline cut the run short
     std::string error;      ///< circuit parse / job failure, empty = ok
     double latencySeconds = 0.0;  ///< submit-to-completion wall clock
   };
@@ -97,6 +119,12 @@ class ServeEngine {
     std::string circuitText;  ///< raw ALSBENCH bytes (hashed as-is)
     EngineBackend backend = EngineBackend::FlatBStar;
     EngineOptions options;
+    /// Wall-clock deadline in seconds from submit (0 = none).  Not part of
+    /// the cache key — a deadline changes whether a run finishes, never
+    /// what a finished run produces.
+    double deadlineSeconds = 0.0;
+    /// Total-sweep budget across restart slices (0 = none); round-granular.
+    std::size_t deadlineSweeps = 0;
     ProgressFn onProgress;  ///< per round; may be empty
     DoneFn onDone;          ///< exactly once per accepted job; may be empty
   };
@@ -135,10 +163,11 @@ class ServeEngine {
 
   void workerLoop(Worker& worker);
   void executeJob(Worker& worker, Slot& slot);
-  EngineResult runSessionRounds(Worker& worker, const Circuit& circuit,
+  void deadlineLoop();
+  EngineResult runSessionRounds(Worker& worker, Slot& slot,
+                                const Circuit& circuit,
                                 EngineBackend backend,
-                                const EngineOptions& options,
-                                const ProgressFn& onProgress);
+                                const EngineOptions& options);
 
   ServeOptions options_;
   std::unique_ptr<ResultCache> cache_;

@@ -1,0 +1,144 @@
+#include "util/fault_injection.h"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace als {
+
+namespace {
+
+bool parseCount(std::string_view token, std::uint64_t& out) {
+  if (token.empty()) return false;
+  const char* first = token.data();
+  auto [ptr, ec] = std::from_chars(first, first + token.size(), out);
+  return ec == std::errc() && ptr == first + token.size() && out > 0;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_.clear();
+  crashCounts_.clear();
+  writeOps_ = 0;
+  renameOps_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+std::string FaultInjector::configure(std::string_view spec) {
+  reset();
+  std::vector<Directive> plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    std::string_view item = spec.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() : comma + 1;
+    if (item.empty()) continue;
+
+    auto bad = [&](const char* why) {
+      return "bad fault directive '" + std::string(item) + "': " + why;
+    };
+    std::size_t at = item.find('@');
+    if (at == std::string_view::npos) return bad("missing '@<count>'");
+    std::string_view kind = item.substr(0, at);
+    std::string_view rest = item.substr(at + 1);
+
+    Directive d;
+    if (kind == "write-fail") {
+      d.kind = Directive::Kind::WriteFail;
+      if (!rest.empty() && rest.back() == '+') {
+        d.sticky = true;
+        rest.remove_suffix(1);
+      }
+      if (!parseCount(rest, d.nth)) return bad("count must be a positive int");
+    } else if (kind == "write-trunc") {
+      d.kind = Directive::Kind::WriteTrunc;
+      std::size_t colon = rest.find(':');
+      if (colon == std::string_view::npos) return bad("needs '@N:bytes'");
+      std::uint64_t bytes = 0;
+      if (!parseCount(rest.substr(0, colon), d.nth) ||
+          !parseCount(rest.substr(colon + 1), bytes)) {
+        return bad("counts must be positive ints");
+      }
+      d.arg = static_cast<std::int64_t>(bytes);
+    } else if (kind == "rename-torn") {
+      d.kind = Directive::Kind::RenameTorn;
+      if (!parseCount(rest, d.nth)) return bad("count must be a positive int");
+    } else if (kind == "crash") {
+      d.kind = Directive::Kind::Crash;
+      std::size_t colon = rest.find(':');
+      if (colon == std::string_view::npos) return bad("needs '@label:N'");
+      d.label = std::string(rest.substr(0, colon));
+      if (d.label.empty() || !parseCount(rest.substr(colon + 1), d.nth)) {
+        return bad("needs a label and a positive count");
+      }
+    } else {
+      return bad("unknown fault kind");
+    }
+    plan.push_back(std::move(d));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = std::move(plan);
+  armed_.store(!plan_.empty(), std::memory_order_relaxed);
+  return {};
+}
+
+DiskWriteFault FaultInjector::onDiskWrite() {
+  DiskWriteFault fault;
+  if (!active()) return fault;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++writeOps_;
+  for (const Directive& d : plan_) {
+    if (d.kind == Directive::Kind::WriteFail &&
+        (writeOps_ == d.nth || (d.sticky && writeOps_ >= d.nth))) {
+      fault.fail = true;
+    } else if (d.kind == Directive::Kind::WriteTrunc && writeOps_ == d.nth) {
+      fault.truncateAt = d.arg;
+    }
+  }
+  return fault;
+}
+
+bool FaultInjector::onRename() {
+  if (!active()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++renameOps_;
+  for (const Directive& d : plan_) {
+    if (d.kind == Directive::Kind::RenameTorn && renameOps_ == d.nth) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::onCrashPoint(std::string_view label) {
+  if (!active()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t* count = nullptr;
+  for (auto& [name, n] : crashCounts_) {
+    if (name == label) count = &n;
+  }
+  if (count == nullptr) {
+    crashCounts_.emplace_back(std::string(label), 0);
+    count = &crashCounts_.back().second;
+  }
+  ++*count;
+  for (const Directive& d : plan_) {
+    if (d.kind == Directive::Kind::Crash && d.label == label &&
+        *count == d.nth) {
+      // The whole point: die NOW, mid-operation, without unwinding — the
+      // closest a test can get to `kill -9` at a chosen instruction.
+      std::_Exit(66);
+    }
+  }
+}
+
+}  // namespace als

@@ -1,0 +1,109 @@
+// Deterministic fault injection for the serve stack's disk path — the seam
+// that makes crash/corruption recovery TESTABLE instead of theoretical.
+//
+// A `FaultInjector` is a process-global plan of failures, armed from a
+// compact spec string (tools expose it as `--faults <spec>`, tests call
+// `configure` directly).  The disk code it instruments —
+// runtime/result_cache.h's store path — consults it at three labeled
+// points: once per entry write (`onDiskWrite`), once per atomic rename
+// (`onRename`), and at named crash points (`onCrashPoint`).  When the
+// injector is idle (the default, and the only state production code ever
+// runs in) every hook is a single relaxed atomic load — no locks, no
+// branches beyond one predictable test.
+//
+// Faults fire on deterministic OPERATION COUNTS, not timers or randomness:
+// "the 3rd write fails" reproduces identically on every machine and under
+// every sanitizer, which is what lets ci.sh assert exact recovery behavior
+// (quarantine counts, degradation flags, bit-identical recomputes).
+//
+// ## Spec grammar
+//
+// Comma-separated directives; counts are 1-based occurrence indices:
+//
+//   write-fail@N        Nth entry write fails outright (simulated ENOSPC —
+//                       nothing lands on disk, the cache counts a disk
+//                       failure)
+//   write-fail@N+       Nth and every later write fails (a full disk stays
+//                       full — drives the memory-only degradation path)
+//   write-trunc@N:K     Nth entry write silently stops after K bytes and is
+//                       then renamed into place — the torn-file case a
+//                       crash mid-flush leaves behind (detected later by
+//                       the checksum trailer, never served)
+//   rename-torn@N       Nth rename is skipped: the `.tmp` file stays, no
+//                       entry appears — the crash-between-write-and-rename
+//                       window (startup scrub removes the orphan)
+//   crash@LABEL:N       Nth arrival at crash point LABEL calls _Exit —
+//                       the kill-and-restart cases.  Labels in the tree:
+//                       `store-after-write` (temp file written, not yet
+//                       renamed), `store-after-rename` (entry durable,
+//                       process dies before replying) and
+//                       `serve-after-result` (tools/als_serve: RESULT
+//                       delivered, daemon dies immediately after)
+//
+// Unknown directives are configuration errors (a silently dropped fault
+// would make a chaos test pass vacuously).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace als {
+
+/// What `onDiskWrite` tells the store path to do for this write.
+struct DiskWriteFault {
+  bool fail = false;            ///< abort the write (simulated ENOSPC)
+  std::int64_t truncateAt = -1; ///< >= 0: write only this many bytes
+};
+
+class FaultInjector {
+ public:
+  /// The process-global injector every instrumented path consults.
+  static FaultInjector& global();
+
+  /// Parses and arms `spec` (see grammar above), REPLACING any previous
+  /// plan and resetting all counters.  Returns empty on success, else an
+  /// error message; on error the previous plan is cleared (fail closed).
+  std::string configure(std::string_view spec);
+
+  /// Disarms everything and resets counters (tests call this in teardown).
+  void reset();
+
+  /// True when any directive is armed — the fast path's only check.
+  bool active() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Called once per cache entry write, BEFORE any bytes are written.
+  DiskWriteFault onDiskWrite();
+
+  /// Called once per atomic rename; true = skip the rename and leave the
+  /// temp file behind (the torn-rename crash window).
+  bool onRename();
+
+  /// Called at labeled crash points; calls `_Exit` when the plan says this
+  /// arrival should crash.  A no-op when idle.
+  void onCrashPoint(std::string_view label);
+
+ private:
+  struct Directive {
+    enum class Kind { WriteFail, WriteTrunc, RenameTorn, Crash };
+    Kind kind = Kind::WriteFail;
+    std::uint64_t nth = 0;      ///< 1-based occurrence index
+    bool sticky = false;        ///< "@N+": fire on every occurrence >= nth
+    std::int64_t arg = -1;      ///< truncate byte count (WriteTrunc)
+    std::string label;          ///< crash point name (Crash)
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  std::vector<Directive> plan_;
+  std::uint64_t writeOps_ = 0;
+  std::uint64_t renameOps_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> crashCounts_;
+};
+
+}  // namespace als

@@ -14,6 +14,7 @@
 #include "geom/profile.h"
 #include "io/benchmark_format.h"
 #include "io/corpus.h"
+#include "io/serve_protocol.h"
 #include "util/rng.h"
 
 namespace als {
@@ -318,6 +319,201 @@ TEST(ParserFuzz, RandomTokenSoupFailsCleanly) {
       text += rng.uniform() < 0.25 ? '\n' : ' ';
     }
     expectCleanParse(text, ("soup round " + std::to_string(round)).c_str());
+  }
+}
+
+// --- ALSRESULT / serve wire ----------------------------------------------
+//
+// The serve stack's integrity claim is that a damaged ALSRESULT payload —
+// truncated, bit-flipped, hostile-counted or outright soup — fails
+// parseResultText with a message, never crashes, never over-allocates and
+// never parses into a silently wrong result.  The checksum trailer makes
+// the first two properties total: ANY change to the sealed bytes must be
+// rejected.
+
+/// A random but structurally valid result to serialize.
+EngineResult randomResult(Rng& rng) {
+  EngineResult r;
+  r.cost = rng.uniform() * 1e6;
+  r.area = rng.uniformInt(1, 1 << 20);
+  r.hpwl = rng.uniformInt(0, 1 << 20);
+  r.movesTried = rng.index(100000);
+  r.sweeps = rng.index(4096);
+  r.restartsRun = 1 + rng.index(8);
+  r.bestRestart = rng.index(r.restartsRun);
+  r.bestSeed = rng.index(1u << 30);
+  const std::size_t n = 1 + rng.index(40);
+  Placement p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = {rng.uniformInt(0, 500), rng.uniformInt(0, 500),
+            rng.uniformInt(1, 60), rng.uniformInt(1, 60)};
+  }
+  r.placement = p;
+  return r;
+}
+
+TEST(ResultTextFuzz, EveryTruncationFailsCleanly) {
+  Rng rng(307);
+  for (int round = 0; round < 6; ++round) {
+    std::string wire;
+    writeResultText(round % 2 == 0 ? EngineBackend::SeqPair
+                                   : EngineBackend::HBStar,
+                    randomResult(rng), wire);
+    EngineBackend backend = EngineBackend::FlatBStar;
+    EngineResult parsed;
+    ASSERT_EQ(parseResultText(wire, backend, parsed), "");
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      EXPECT_NE(parseResultText(std::string_view(wire).substr(0, len),
+                                backend, parsed),
+                "")
+          << "round " << round << " truncated to " << len;
+    }
+  }
+}
+
+TEST(ResultTextFuzz, ByteCorruptionsAlwaysFail) {
+  // Unlike the benchmark parser (where a flip can land in a comment), the
+  // checksum seal covers every byte: any actual change must be rejected.
+  Rng rng(311);
+  std::string base;
+  writeResultText(EngineBackend::SeqPair, randomResult(rng), base);
+  for (int round = 0; round < 500; ++round) {
+    std::string text = base;
+    const std::size_t flips = 1 + rng.index(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = rng.index(text.size());
+      text[at] = static_cast<char>(text[at] ^ (1 + rng.index(255)));
+    }
+    EngineBackend backend = EngineBackend::FlatBStar;
+    EngineResult parsed;
+    EXPECT_NE(parseResultText(text, backend, parsed), "")
+        << "corruption round " << round;
+  }
+}
+
+TEST(ResultTextFuzz, HostileCountsAndHeadersFailCleanly) {
+  const char* hostile[] = {
+      "",
+      "ALSRESULT 2\n",
+      "ALSRESULT 1\nBackend seqpair\n",
+      // Astronomically large NumRects must be rejected before any
+      // allocation is sized from it.
+      "ALSRESULT 1\nBackend seqpair\nCost 1\nArea 1\nHpwl 1\nMoves 1\n"
+      "Sweeps 1\nRestarts 1\nBestRestart 0\nBestSeed 1\n"
+      "NumRects 99999999999999999999\n",
+      "ALSRESULT 1\nBackend seqpair\nCost 1\nArea 1\nHpwl 1\nMoves 1\n"
+      "Sweeps 1\nRestarts 1\nBestRestart 0\nBestSeed 1\nNumRects 1000000\n",
+      "ALSRESULT 1\nBackend seqpair\nCost nan\nArea 1\nHpwl 1\nMoves 1\n"
+      "Sweeps 1\nRestarts 1\nBestRestart 0\nBestSeed 1\nNumRects 0\nEND\n",
+      // Structurally complete but unsealed / badly sealed payloads.
+      "ALSRESULT 1\nBackend seqpair\nCost 1\nArea 1\nHpwl 1\nMoves 1\n"
+      "Sweeps 1\nRestarts 1\nBestRestart 0\nBestSeed 1\nNumRects 0\nEND\n",
+      "ALSRESULT 1\nBackend seqpair\nCost 1\nArea 1\nHpwl 1\nMoves 1\n"
+      "Sweeps 1\nRestarts 1\nBestRestart 0\nBestSeed 1\nNumRects 0\nEND\n"
+      "Checksum zzzzzzzzzzzzzzzz\n",
+      "ALSRESULT 1\nBackend seqpair\nCost 1\nArea 1\nHpwl 1\nMoves 1\n"
+      "Sweeps 1\nRestarts 1\nBestRestart 0\nBestSeed 1\nNumRects 0\nEND\n"
+      "Checksum 0123456789abcdef\n",
+      "ALSRESULT 1\nBackend seqpair\nCost 1\nArea 1\nHpwl 1\nMoves 1\n"
+      "Sweeps 1\nRestarts 1\nBestRestart 0\nBestSeed 1\nNumRects 1\n"
+      "Rect 0 0 -5 -5\nEND\nChecksum 0123456789abcdef\n",
+  };
+  for (const char* text : hostile) {
+    EngineBackend backend = EngineBackend::SeqPair;
+    EngineResult parsed;
+    EXPECT_NE(parseResultText(text, backend, parsed), "") << text;
+  }
+}
+
+TEST(ResultTextFuzz, RandomTokenSoupFailsCleanly) {
+  // Soup cannot carry a matching checksum, so every round must fail — with
+  // a message, not a crash or runaway allocation.
+  const char* words[] = {"ALSRESULT", "Backend", "seqpair",  "flat-bstar",
+                         "Cost",      "Area",    "Hpwl",     "Moves",
+                         "Sweeps",    "Restarts", "BestRestart", "BestSeed",
+                         "NumRects",  "Rect",    "END",      "Checksum",
+                         "1",         "0",       "-7",       "1e300",
+                         "0123456789abcdef",     "deadbeef", "nan"};
+  Rng rng(313);
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    const std::size_t tokens = rng.index(80);
+    for (std::size_t t = 0; t < tokens; ++t) {
+      text += words[rng.index(std::size(words))];
+      text += rng.uniform() < 0.3 ? '\n' : ' ';
+    }
+    EngineBackend backend = EngineBackend::SeqPair;
+    EngineResult parsed;
+    EXPECT_NE(parseResultText(text, backend, parsed), "")
+        << "soup round " << round;
+  }
+}
+
+TEST(ServeWireFuzz, JobOptionSoupFailsWithMessagesAndKeysStayDeterministic) {
+  const char* keys[] = {"wl",     "sym",    "prox",   "outline", "maxw",
+                        "maxh",   "aspect", "thermal", "shape",  "sweeps",
+                        "cool",   "mpt",    "restarts", "tempering", "exch",
+                        "ladder", "cross",  "seed",   "threads", "bogus",
+                        "",       "deadline-ms"};
+  const char* values[] = {"1",   "0",    "-3",  "0.5", "4e9", "nan",
+                          "inf", "banana", "",  "1e-300", "99999999999999999999"};
+  Rng rng(317);
+  const std::string_view circuit = corpusText(CorpusCircuit::Apte);
+  for (int round = 0; round < 400; ++round) {
+    EngineOptions options;
+    for (std::size_t i = 0, n = rng.index(12); i < n; ++i) {
+      // Each pair either applies or is rejected with a message; the point
+      // here is that no combination crashes or corrupts the options struct.
+      // (The daemon-layer deadline keys are NOT engine options and must be
+      // rejected here — the daemon intercepts them before this call.)
+      applyJobOption(options, keys[rng.index(std::size(keys))],
+                     values[rng.index(std::size(values))]);
+    }
+    // Whatever survived must canonicalize deterministically.
+    std::string scratch;
+    const CacheKey a =
+        makeCacheKey(circuit, EngineBackend::SeqPair, options, scratch);
+    const CacheKey b =
+        makeCacheKey(circuit, EngineBackend::SeqPair, options, scratch);
+    EXPECT_EQ(a, b) << "round " << round;
+  }
+}
+
+TEST(ServeWireFuzz, CacheKeyHexRoundTripsAndRejectsGarbage) {
+  Rng rng(331);
+  for (int round = 0; round < 200; ++round) {
+    const CacheKey key{rng.index(~0ull), rng.index(~0ull), rng.index(~0ull)};
+    CacheKey parsed;
+    ASSERT_TRUE(parsed.parseHex(key.hex())) << round;
+    EXPECT_EQ(parsed, key);
+  }
+  const char alphabet[] = "0123456789abcdefABCDEFxyz!- \n";
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t len = rng.index(64);
+    std::string text;
+    for (std::size_t i = 0; i < len; ++i) {
+      text += alphabet[rng.index(std::size(alphabet) - 1)];
+    }
+    CacheKey parsed;
+    if (parsed.parseHex(text)) {
+      // Anything accepted must be a genuine spelling: re-serializing it
+      // must reproduce the input exactly (48 lowercase hex chars).
+      EXPECT_EQ(parsed.hex(), text) << "round " << round;
+    }
+  }
+}
+
+TEST(ServeWireFuzz, BackendNamesRoundTripAndSoupIsRejected) {
+  for (EngineBackend b : {EngineBackend::FlatBStar, EngineBackend::SeqPair,
+                          EngineBackend::Slicing, EngineBackend::HBStar}) {
+    EngineBackend parsed;
+    ASSERT_TRUE(parseBackendName(backendName(b), parsed));
+    EXPECT_EQ(parsed, b);
+  }
+  EngineBackend parsed = EngineBackend::SeqPair;
+  for (const char* bad : {"", "seqpair ", " seqpair", "SEQPAIR", "b*",
+                          "flatbstar", "hbstar\n", "0"}) {
+    EXPECT_FALSE(parseBackendName(bad, parsed)) << '"' << bad << '"';
   }
 }
 

@@ -17,10 +17,13 @@
 #include <gtest/gtest.h>
 
 #include <condition_variable>
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "io/benchmark_format.h"
@@ -28,6 +31,7 @@
 #include "io/serve_protocol.h"
 #include "runtime/portfolio.h"
 #include "runtime/result_cache.h"
+#include "util/fault_injection.h"
 
 namespace als {
 namespace {
@@ -54,13 +58,16 @@ struct CompletedJob {
   bool done = false;
   bool cacheHit = false;
   bool cancelled = false;
+  bool deadlineExpired = false;
   std::string error;
   EngineResult result;
   CacheKey key;
 };
 
 CompletedJob runJob(ServeEngine& engine, std::string_view circuitText,
-                    EngineBackend backend, const EngineOptions& options) {
+                    EngineBackend backend, const EngineOptions& options,
+                    double deadlineSeconds = 0.0,
+                    std::size_t deadlineSweeps = 0) {
   CompletedJob out;
   std::mutex m;
   std::condition_variable cv;
@@ -68,10 +75,13 @@ CompletedJob runJob(ServeEngine& engine, std::string_view circuitText,
   job.circuitText = std::string(circuitText);
   job.backend = backend;
   job.options = options;
+  job.deadlineSeconds = deadlineSeconds;
+  job.deadlineSweeps = deadlineSweeps;
   job.onDone = [&](const ServeEngine::JobOutcome& o) {
     std::lock_guard<std::mutex> lock(m);
     out.cacheHit = o.cacheHit;
     out.cancelled = o.cancelled;
+    out.deadlineExpired = o.deadlineExpired;
     out.error = o.error;
     out.key = o.key;
     if (o.result != nullptr) out.result = *o.result;
@@ -524,6 +534,460 @@ TEST(ResultCacheTest, FetchReusesCallerStorageAndMissesLeaveItUntouched) {
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.fetch(key, backend, result));
+}
+
+// -------------------------------------------- integrity / recovery ---------
+
+/// A structurally valid EngineResult that needs no engine run — the cache
+/// stores whatever its caller hands it, so recovery tests can use cheap
+/// synthetic entries with distinguishable contents.
+EngineResult fakeResult(std::uint64_t tag) {
+  EngineResult r;
+  r.cost = 100.0 + static_cast<double>(tag) * 0.25;
+  r.area = 400 + static_cast<Coord>(tag);
+  r.hpwl = 70 + static_cast<Coord>(tag);
+  r.movesTried = 10 * static_cast<std::size_t>(tag);
+  r.sweeps = 4;
+  r.restartsRun = 1;
+  r.bestRestart = 0;
+  r.bestSeed = tag;
+  r.placement = Placement(std::vector<Rect>{
+      {0, 0, 4, 5}, {4, 0, 3, static_cast<Coord>(1 + tag)}});
+  return r;
+}
+
+std::string freshDir(const char* name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string cachePath(const std::string& dir, const CacheKey& key,
+                      const char* ext = ".alsresult") {
+  return (std::filesystem::path(dir) / (key.hex() + ext)).string();
+}
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeWholeFile(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::size_t countFiles(const std::string& dir, std::string_view ext) {
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ext) ++n;
+  }
+  return n;
+}
+
+/// Disarms the global fault injector when a test body exits, pass or fail —
+/// a leaked plan would make every later disk write in the process fail.
+struct FaultGuard {
+  ~FaultGuard() { FaultInjector::global().reset(); }
+};
+
+TEST(ResultTextTest, ChecksumTrailerRejectsTruncationFlipsAndTrailingBytes) {
+  std::string wire;
+  writeResultText(EngineBackend::SeqPair, fakeResult(5), wire);
+  EngineBackend backend = EngineBackend::FlatBStar;
+  EngineResult parsed;
+  ASSERT_EQ(parseResultText(wire, backend, parsed), "");
+  expectBitIdentical(parsed, fakeResult(5), "synthetic round trip");
+
+  // Every proper prefix must fail: truncation — the torn-write case — can
+  // never be mistaken for a complete result.
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_NE(parseResultText(std::string_view(wire).substr(0, n), backend,
+                              parsed),
+              "")
+        << "prefix of " << n << " bytes parsed cleanly";
+  }
+  // Single-byte damage anywhere breaks the seal (sampled stride here; the
+  // fuzz suite sweeps random positions).
+  for (std::size_t pos = 0; pos < wire.size(); pos += 7) {
+    std::string flipped = wire;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x04);
+    EXPECT_NE(parseResultText(flipped, backend, parsed), "")
+        << "flip at byte " << pos;
+  }
+  // Bytes after the trailer are an error, not ignored padding.
+  EXPECT_NE(parseResultText(wire + "x", backend, parsed), "");
+}
+
+TEST(ResultCacheTest, ScrubQuarantinesDamageRemovesTmpAndKeepsSurvivors) {
+  const std::string dir = freshDir("als_cache_scrub_test");
+  const CacheKey k1{1, 1, 1}, k2{2, 2, 2}, k3{3, 3, 3}, k4{4, 4, 4};
+  {
+    ResultCache cache(dir);
+    for (const auto& [k, tag] : std::initializer_list<
+             std::pair<CacheKey, std::uint64_t>>{
+             {k1, 1}, {k2, 2}, {k3, 3}, {k4, 4}}) {
+      cache.store(k, EngineBackend::SeqPair, fakeResult(tag));
+    }
+  }
+  // Damage the store the way crashes and disk rot do: a flipped byte, a
+  // truncation, a foreign entry under the wrong key's filename, and an
+  // orphaned half-write.  k3 stays intact.
+  std::string bytes = readWholeFile(cachePath(dir, k1));
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+  writeWholeFile(cachePath(dir, k1), bytes);
+  const std::string b2 = readWholeFile(cachePath(dir, k2));
+  writeWholeFile(cachePath(dir, k2), b2.substr(0, b2.size() * 3 / 5));
+  writeWholeFile(cachePath(dir, k4), readWholeFile(cachePath(dir, k3)));
+  writeWholeFile(cachePath(dir, k4, ".tmp"), "torn half-write");
+
+  ResultCache second(dir);
+  const ResultCache::Stats st = second.stats();
+  EXPECT_EQ(st.tmpRemoved, 1u);
+  EXPECT_EQ(st.quarantined, 3u)
+      << "flipped, truncated and mislabeled entries must all be caught";
+  EXPECT_EQ(second.totalEntries(), 1u);
+  EngineBackend backend = EngineBackend::SeqPair;
+  EngineResult out;
+  EXPECT_FALSE(second.fetch(k1, backend, out));
+  EXPECT_FALSE(second.fetch(k2, backend, out));
+  EXPECT_FALSE(second.fetch(k4, backend, out))
+      << "a valid payload under the wrong key must not be served";
+  ASSERT_TRUE(second.fetch(k3, backend, out));
+  expectBitIdentical(out, fakeResult(3), "intact survivor");
+  EXPECT_EQ(countFiles(dir, ".corrupt"), 3u)
+      << "quarantined files are kept for forensics";
+  EXPECT_EQ(countFiles(dir, ".tmp"), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, FetchQuarantinesCorruptionFoundAfterStartup) {
+  const std::string dir = freshDir("als_cache_fetch_quarantine_test");
+  const CacheKey key{7, 7, 7};
+  ResultCache cache(dir);  // scrub sees an empty directory
+  std::string text = "Key " + key.hex() + "\n";
+  writeResultText(EngineBackend::SeqPair, fakeResult(7), text);
+  writeWholeFile(cachePath(dir, key), text.substr(0, text.size() - 10));
+
+  EngineBackend backend = EngineBackend::SeqPair;
+  EngineResult out;
+  EXPECT_FALSE(cache.fetch(key, backend, out))
+      << "a truncated entry must read as a miss, never a result";
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  EXPECT_FALSE(std::filesystem::exists(cachePath(dir, key)));
+  EXPECT_EQ(countFiles(dir, ".corrupt"), 1u);
+  // The quarantined name is burned: a subsequent store + fetch works.
+  cache.store(key, EngineBackend::SeqPair, fakeResult(7));
+  ASSERT_TRUE(cache.fetch(key, backend, out));
+  expectBitIdentical(out, fakeResult(7), "store after quarantine");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, CapEvictsLeastRecentlyUsedAndItsDiskFile) {
+  const std::string dir = freshDir("als_cache_lru_test");
+  const CacheKey kA{10, 1, 1}, kB{11, 1, 1}, kC{12, 1, 1};
+  ResultCache cache(dir, /*maxEntries=*/2);
+  cache.store(kA, EngineBackend::SeqPair, fakeResult(1));
+  cache.store(kB, EngineBackend::SeqPair, fakeResult(2));
+  EngineBackend backend = EngineBackend::SeqPair;
+  EngineResult out;
+  ASSERT_TRUE(cache.fetch(kA, backend, out));  // promote: kB is now LRU
+  cache.store(kC, EngineBackend::SeqPair, fakeResult(3));
+
+  EXPECT_EQ(cache.stats().evicted, 1u);
+  EXPECT_EQ(cache.totalEntries(), 2u);
+  EXPECT_FALSE(cache.fetch(kB, backend, out))
+      << "the promote must have made kB the eviction victim";
+  EXPECT_TRUE(cache.fetch(kA, backend, out));
+  EXPECT_TRUE(cache.fetch(kC, backend, out));
+  EXPECT_EQ(countFiles(dir, ".alsresult"), 2u)
+      << "eviction must remove the disk file too";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, DiskSurvivorsCountAgainstTheCapOnRestart) {
+  const std::string dir = freshDir("als_cache_restart_cap_test");
+  const CacheKey k1{21, 1, 1}, k2{22, 1, 1}, k3{23, 1, 1}, k4{24, 1, 1};
+  {
+    ResultCache unbounded(dir);
+    for (const auto& [k, tag] : std::initializer_list<
+             std::pair<CacheKey, std::uint64_t>>{
+             {k1, 1}, {k2, 2}, {k3, 3}, {k4, 4}}) {
+      unbounded.store(k, EngineBackend::SeqPair, fakeResult(tag));
+    }
+  }
+  ResultCache capped(dir, /*maxEntries=*/2);
+  EXPECT_EQ(capped.stats().evicted, 2u);
+  EXPECT_EQ(capped.totalEntries(), 2u);
+  EXPECT_EQ(countFiles(dir, ".alsresult"), 2u);
+  // Unpromoted survivors have no recency, so the cap drops them in
+  // descending key order — deterministically the two largest keys.
+  EngineBackend backend = EngineBackend::SeqPair;
+  EngineResult out;
+  EXPECT_TRUE(capped.fetch(k1, backend, out));
+  EXPECT_TRUE(capped.fetch(k2, backend, out));
+  EXPECT_FALSE(capped.fetch(k3, backend, out));
+  EXPECT_FALSE(capped.fetch(k4, backend, out));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, UnusableDirectoryDegradesToMemoryOnly) {
+  const std::string blocker = freshDir("als_cache_not_a_dir");
+  writeWholeFile(blocker, "a regular file where the store dir should be\n");
+  ResultCache cache(blocker);
+  EXPECT_TRUE(cache.stats().memoryOnly);
+  const CacheKey key{31, 1, 1};
+  cache.store(key, EngineBackend::SeqPair, fakeResult(1));
+  EngineBackend backend = EngineBackend::SeqPair;
+  EngineResult out;
+  ASSERT_TRUE(cache.fetch(key, backend, out))
+      << "degraded mode must still serve from memory";
+  expectBitIdentical(out, fakeResult(1), "memory-only fetch");
+  std::filesystem::remove(blocker);
+}
+
+TEST(ResultCacheTest, RepeatedWriteFailuresDegradeToMemoryOnly) {
+  FaultGuard guard;
+  ASSERT_EQ(FaultInjector::global().configure("write-fail@1+"), "");
+  const std::string dir = freshDir("als_cache_enospc_test");
+  ResultCache cache(dir);
+  const CacheKey k1{41, 1, 1}, k2{42, 1, 1}, k3{43, 1, 1}, k4{44, 1, 1};
+  cache.store(k1, EngineBackend::SeqPair, fakeResult(1));
+  cache.store(k2, EngineBackend::SeqPair, fakeResult(2));
+  EXPECT_FALSE(cache.stats().memoryOnly) << "two failures are a blip";
+  cache.store(k3, EngineBackend::SeqPair, fakeResult(3));
+  const ResultCache::Stats st = cache.stats();
+  EXPECT_EQ(st.diskFailures, 3u);
+  EXPECT_TRUE(st.memoryOnly)
+      << "three consecutive failures must trip the degradation latch";
+  cache.store(k4, EngineBackend::SeqPair, fakeResult(4));
+  EXPECT_EQ(cache.stats().diskFailures, 3u)
+      << "degraded mode must stop attempting disk writes";
+  EXPECT_EQ(countFiles(dir, ".alsresult"), 0u);
+  EngineBackend backend = EngineBackend::SeqPair;
+  EngineResult out;
+  ASSERT_TRUE(cache.fetch(k1, backend, out));
+  expectBitIdentical(out, fakeResult(1), "fetch through a dead disk");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, TruncatedWriteIsCaughtByTheNextLifeScrub) {
+  FaultGuard guard;
+  const std::string dir = freshDir("als_cache_trunc_test");
+  const CacheKey key{51, 1, 1};
+  {
+    ASSERT_EQ(FaultInjector::global().configure("write-trunc@1:40"), "");
+    ResultCache cache(dir);
+    cache.store(key, EngineBackend::SeqPair, fakeResult(1));
+    EXPECT_EQ(countFiles(dir, ".alsresult"), 1u)
+        << "a torn write still renames into place — that is the hazard";
+  }
+  FaultInjector::global().reset();
+  ResultCache second(dir);
+  EXPECT_EQ(second.stats().quarantined, 1u);
+  EXPECT_EQ(second.totalEntries(), 0u);
+  EngineBackend backend = EngineBackend::SeqPair;
+  EngineResult out;
+  EXPECT_FALSE(second.fetch(key, backend, out));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheTest, TornRenameLeavesTmpThatTheNextLifeScrubs) {
+  FaultGuard guard;
+  const std::string dir = freshDir("als_cache_torn_rename_test");
+  const CacheKey key{52, 1, 1};
+  {
+    ASSERT_EQ(FaultInjector::global().configure("rename-torn@1"), "");
+    ResultCache cache(dir);
+    cache.store(key, EngineBackend::SeqPair, fakeResult(1));
+    EXPECT_EQ(countFiles(dir, ".alsresult"), 0u);
+    EXPECT_EQ(countFiles(dir, ".tmp"), 1u);
+  }
+  FaultInjector::global().reset();
+  ResultCache second(dir);
+  EXPECT_EQ(second.stats().tmpRemoved, 1u);
+  EXPECT_EQ(second.totalEntries(), 0u);
+  EXPECT_EQ(countFiles(dir, ".tmp"), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultInjectorTest, ConfigureParsesValidSpecsAndRejectsGarbage) {
+  FaultGuard guard;
+  FaultInjector& fi = FaultInjector::global();
+  EXPECT_EQ(fi.configure("write-fail@2"), "");
+  EXPECT_EQ(fi.configure("write-fail@3+,write-trunc@1:10,rename-torn@2"), "");
+  EXPECT_EQ(fi.configure("crash@store-after-write:1"), "");
+  EXPECT_TRUE(fi.active());
+  EXPECT_NE(fi.configure("write-fail@0"), "") << "counts are 1-based";
+  EXPECT_FALSE(fi.active()) << "a configure error must fail closed";
+  EXPECT_NE(fi.configure("write-fail@x"), "");
+  EXPECT_NE(fi.configure("write-trunc@1"), "") << "trunc needs a byte count";
+  EXPECT_NE(fi.configure("frobnicate@1"), "")
+      << "an unknown directive silently dropped would make chaos tests pass "
+         "vacuously";
+  fi.reset();
+  EXPECT_FALSE(fi.active());
+}
+
+// ------------------------------------------------ deadlines / health -------
+
+TEST(ServeEngineTest, RecoversFromDamagedStoreByQuarantineAndRecompute) {
+  const std::string dir = freshDir("als_serve_recovery_test");
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions optA;
+  optA.maxSweeps = 64;
+  optA.numRestarts = 2;
+  optA.seed = 41;
+  EngineOptions optB = optA;
+  optB.seed = 42;
+
+  EngineResult resultA, resultB;
+  CacheKey keyA, keyB;
+  {
+    ServeOptions serveOpts;
+    serveOpts.workers = 1;
+    serveOpts.cacheDir = dir;
+    ServeEngine engine(serveOpts);
+    CompletedJob a = runJob(engine, text, EngineBackend::SeqPair, optA);
+    CompletedJob b = runJob(engine, text, EngineBackend::SeqPair, optB);
+    ASSERT_EQ(a.error, "");
+    ASSERT_EQ(b.error, "");
+    resultA = a.result;
+    resultB = b.result;
+    keyA = a.key;
+    keyB = b.key;
+  }
+  // Flip one byte of keyA's entry and plant a torn half-write next to it.
+  std::string bytes = readWholeFile(cachePath(dir, keyA));
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  writeWholeFile(cachePath(dir, keyA), bytes);
+  writeWholeFile(cachePath(dir, keyA, ".tmp"), "torn half-write");
+
+  ServeOptions serveOpts;
+  serveOpts.workers = 1;
+  serveOpts.cacheDir = dir;
+  ServeEngine engine(serveOpts);
+  const ServeStats boot = engine.stats();
+  EXPECT_EQ(boot.quarantined, 1u);
+  EXPECT_FALSE(boot.memoryOnly);
+
+  CompletedJob a = runJob(engine, text, EngineBackend::SeqPair, optA);
+  ASSERT_EQ(a.error, "");
+  EXPECT_FALSE(a.cacheHit) << "a quarantined entry must never be served";
+  expectBitIdentical(a.result, resultA, "recompute after corruption");
+  CompletedJob b = runJob(engine, text, EngineBackend::SeqPair, optB);
+  ASSERT_EQ(b.error, "");
+  EXPECT_TRUE(b.cacheHit) << "corruption of one entry must not poison others";
+  expectBitIdentical(b.result, resultB, "intact neighbor still served");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeEngineTest, WallDeadlineDeliversBestSoFarAndNeverCaches) {
+  ServeOptions serveOpts;
+  serveOpts.workers = 1;
+  serveOpts.progressInterval = 4;
+  ServeEngine engine(serveOpts);
+
+  const std::string_view text = corpusText(CorpusCircuit::Ami33);
+  EngineOptions longOpts;
+  longOpts.maxSweeps = 200000;
+  longOpts.numRestarts = 2;
+  longOpts.seed = 5;
+
+  CompletedJob out = runJob(engine, text, EngineBackend::SeqPair, longOpts,
+                            /*deadlineSeconds=*/0.3);
+  ASSERT_EQ(out.error, "");
+  EXPECT_TRUE(out.deadlineExpired);
+  EXPECT_FALSE(out.cancelled) << "deadline and cancel are distinct outcomes";
+  EXPECT_FALSE(out.cacheHit);
+  EXPECT_FALSE(out.result.placement.empty()) << "the snapshot is a usable "
+                                                "best-so-far placement";
+  EXPECT_EQ(engine.cache().size(), 0u)
+      << "a cut-short result is not a pure function of the key and must "
+         "never be cached";
+  // The deadline knobs are not part of the cache key, so if the cut-short
+  // result HAD been stored this resubmission would hit and serve it.
+  CompletedJob again = runJob(engine, text, EngineBackend::SeqPair, longOpts,
+                              /*deadlineSeconds=*/0.3);
+  ASSERT_EQ(again.error, "");
+  EXPECT_FALSE(again.cacheHit);
+  EXPECT_TRUE(again.deadlineExpired);
+  EXPECT_EQ(engine.stats().deadlineExpired, 2u);
+}
+
+TEST(ServeEngineTest, SweepDeadlineIsDeterministicAndBeatenByCacheHits) {
+  ServeOptions serveOpts;
+  serveOpts.workers = 1;
+  serveOpts.progressInterval = 32;
+  ServeEngine engine(serveOpts);
+
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions options;
+  options.maxSweeps = 200000;
+  options.numRestarts = 2;
+  options.seed = 21;
+
+  CompletedJob first = runJob(engine, text, EngineBackend::SeqPair, options,
+                              0.0, /*deadlineSweeps=*/64);
+  ASSERT_EQ(first.error, "");
+  EXPECT_TRUE(first.deadlineExpired);
+  EXPECT_EQ(engine.cache().size(), 0u);
+  CompletedJob second = runJob(engine, text, EngineBackend::SeqPair, options,
+                               0.0, /*deadlineSweeps=*/64);
+  ASSERT_EQ(second.error, "");
+  EXPECT_TRUE(second.deadlineExpired);
+  EXPECT_FALSE(second.cacheHit);
+  // Sweep deadlines fire at round boundaries, a sweep-counted (not timed)
+  // event — the best-so-far snapshot is as deterministic as a full run.
+  expectBitIdentical(second.result, first.result,
+                     "sweep-deadlined snapshot determinism");
+
+  // A cache hit beats a deadline: serving a known-complete answer costs one
+  // copy, so even an absurdly tight budget reports `hit`, not `deadline`.
+  EngineOptions small;
+  small.maxSweeps = 64;
+  small.numRestarts = 2;
+  small.seed = 22;
+  CompletedJob cold = runJob(engine, text, EngineBackend::SeqPair, small);
+  ASSERT_EQ(cold.error, "");
+  EXPECT_FALSE(cold.cacheHit);
+  CompletedJob hit = runJob(engine, text, EngineBackend::SeqPair, small, 0.0,
+                            /*deadlineSweeps=*/1);
+  ASSERT_EQ(hit.error, "");
+  EXPECT_TRUE(hit.cacheHit);
+  EXPECT_FALSE(hit.deadlineExpired);
+  expectBitIdentical(hit.result, cold.result, "hit beats deadline");
+}
+
+TEST(ServeEngineTest, StatsSurfaceCacheHealthCounters) {
+  const std::string dir = freshDir("als_serve_capped_test");
+  ServeOptions serveOpts;
+  serveOpts.workers = 1;
+  serveOpts.cacheDir = dir;
+  serveOpts.cacheCapacity = 1;
+  ServeEngine engine(serveOpts);
+
+  const std::string_view text = corpusText(CorpusCircuit::Apte);
+  EngineOptions options;
+  options.maxSweeps = 48;
+  options.seed = 31;
+  CompletedJob first = runJob(engine, text, EngineBackend::SeqPair, options);
+  ASSERT_EQ(first.error, "");
+  options.seed = 32;
+  CompletedJob second = runJob(engine, text, EngineBackend::SeqPair, options);
+  ASSERT_EQ(second.error, "");
+
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.evicted, 1u)
+      << "engine stats must surface the store's eviction count";
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_FALSE(stats.memoryOnly);
+  EXPECT_EQ(countFiles(dir, ".alsresult"), 1u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

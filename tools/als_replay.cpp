@@ -22,6 +22,19 @@
 //               bit-identical to an unperturbed process (the in-process
 //               oracle again).
 //
+// Clients honor REJECTED backpressure with seeded, deterministic
+// exponential backoff + jitter (runWithRetry) — the retry SCHEDULE is a
+// pure function of the per-client seed, so a loaded run is reproducible.
+//
+// `--faults` switches to the CHAOS HARNESS instead of the phases above: it
+// corrupts/truncates store files between daemon generations, arms
+// util/fault_injection.h specs (ENOSPC, torn renames, crash points), kills
+// and restarts the daemon mid-write, and drives deadline and backpressure
+// paths — asserting throughout that every completed job stays byte-
+// identical to the in-process oracle, corrupt entries are quarantined and
+// never served, the store honors its size cap, and deadline-expired jobs
+// report `deadline` within one progress round.
+//
 // Results go to stdout and, with --json, as bench_json records next to the
 // other bench-smoke captures: per-circuit quality rows (deterministic
 // cost/hpwl/area under the "serve-<backend>" name; seconds deliberately 0,
@@ -58,6 +71,7 @@
 #include "runtime/portfolio.h"
 #include "runtime/serve.h"  // ServeStats (the STATS reply's shape)
 #include "util/bench_json.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -91,6 +105,11 @@ int usage(const char* argv0) {
                "                         >=50x warm speedup, cancel ack bound,\n"
                "                         in-process oracle); nonzero exit on any\n"
                "                         violation\n"
+               "  --faults               run the chaos harness instead of the\n"
+               "                         standard phases (requires --serve-bin):\n"
+               "                         store corruption, fault-injected ENOSPC\n"
+               "                         and torn renames, daemon crash/restart,\n"
+               "                         deadlines, backpressure retry\n"
                "  --json <path>          bench_json records\n",
                argv0);
   return 2;
@@ -151,7 +170,10 @@ class Reader {
  private:
   bool fill() {
     char chunk[65536];
-    ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    ssize_t n;
+    do {
+      n = ::read(fd_, chunk, sizeof chunk);
+    } while (n < 0 && errno == EINTR);  // a signal is not an EOF
     if (n <= 0) return false;
     buffer_.append(chunk, static_cast<std::size_t>(n));
     return true;
@@ -188,17 +210,20 @@ struct JobSpec {
   std::uint64_t seed = 1;
   std::size_t sweeps = 64;
   std::size_t restarts = 4;
+  std::size_t deadlineMs = 0;      ///< OPT deadline-ms when > 0
+  std::size_t deadlineSweeps = 0;  ///< OPT deadline-sweeps when > 0
 };
 
 struct WireOutcome {
   bool ok = false;          ///< RESULT received and well-formed
   bool rejected = false;
-  std::string status;       ///< hit | miss | cancelled
+  std::string status;       ///< hit | miss | cancelled | deadline
   std::string keyHex;
   std::string payload;      ///< ALSRESULT text
   std::string error;
   std::size_t progressTotal = 0;
   std::size_t progressAfterCancel = 0;
+  std::size_t attempts = 1;  ///< submissions incl. REJECTED retries
   double latencySec = 0.0;  ///< JOB sent -> DONE received
 };
 
@@ -235,6 +260,12 @@ class ServeClient {
     msg += "OPT sweeps " + std::to_string(job.sweeps) + "\n";
     msg += "OPT restarts " + std::to_string(job.restarts) + "\n";
     msg += "OPT seed " + std::to_string(job.seed) + "\n";
+    if (job.deadlineMs > 0) {
+      msg += "OPT deadline-ms " + std::to_string(job.deadlineMs) + "\n";
+    }
+    if (job.deadlineSweeps > 0) {
+      msg += "OPT deadline-sweeps " + std::to_string(job.deadlineSweeps) + "\n";
+    }
     msg += "CIRCUIT " + std::to_string(job.text.size()) + "\n";
     msg += job.text;
     msg += "END\n";
@@ -294,14 +325,24 @@ class ServeClient {
     if (!sendAll(fd_, "STATS\n")) return false;
     std::string line;
     if (!reader_->readLine(line)) return false;
-    std::uint64_t v[6] = {};
+    std::uint64_t v[10] = {};
     std::string_view rest = line;
     if (nextToken(rest) != "STATS") return false;
     for (std::uint64_t& slot : v) {
       std::string word(nextToken(rest));
       if (!parseNum(word.c_str(), &slot)) return false;
     }
-    out = {v[0], v[1], v[2], v[3], v[4], v[5]};
+    out = {};
+    out.submitted = v[0];
+    out.completed = v[1];
+    out.cacheHits = v[2];
+    out.cacheMisses = v[3];
+    out.cancelled = v[4];
+    out.rejected = v[5];
+    out.deadlineExpired = v[6];
+    out.quarantined = v[7];
+    out.evicted = v[8];
+    out.memoryOnly = v[9] != 0;
     return true;
   }
 
@@ -324,6 +365,38 @@ class ServeClient {
 };
 
 // --- helpers ----------------------------------------------------------------
+
+/// Backpressure-honoring submit: on REJECTED, sleep a seeded exponential
+/// backoff with jitter and resubmit.  The schedule (5ms base, x2 per
+/// attempt, 200ms cap, jitter in [0.5, 1.0) of the step) is a pure function
+/// of `rng`'s seed — a loaded run retries identically every time.  Any
+/// non-REJECTED outcome returns immediately with `attempts` filled in.
+WireOutcome runWithRetry(ServeClient& client, const JobSpec& job,
+                         std::string_view backendName, Rng& rng,
+                         std::size_t maxAttempts = 100,
+                         std::size_t cancelAfterRounds = 0) {
+  double backoff = 0.005;
+  for (std::size_t attempt = 1;; ++attempt) {
+    WireOutcome out = client.run(job, backendName, cancelAfterRounds);
+    out.attempts = attempt;
+    if (!out.rejected || attempt >= maxAttempts) return out;
+    const double jitter = 0.5 + 0.5 * rng.uniform();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(backoff * jitter));
+    backoff = std::min(backoff * 2.0, 0.2);
+  }
+}
+
+/// Connects with a bounded retry loop — the probe for a daemon that was
+/// just spawned (or respawned after a chaos kill) and is still binding.
+bool connectRetry(ServeClient& client, const std::string& socketPath,
+                  int attempts = 200) {
+  for (int i = 0; i < attempts; ++i) {
+    if (client.connect(socketPath)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return false;
+}
 
 double percentile(std::vector<double> sorted, double q) {
   if (sorted.empty()) return 0.0;
@@ -376,9 +449,12 @@ std::vector<PhaseJobResult> runPhase(const std::string& socketPath,
         }
         return;
       }
+      // Seeded per client: the retry schedule under backpressure is as
+      // reproducible as the jobs themselves.
+      Rng rng(0xC0FFEEull + c);
       for (std::size_t i = c; i < jobList.size(); i += clients) {
         results[i].jobIndex = i;
-        results[i].outcome = client.run(jobList[i], backendName);
+        results[i].outcome = runWithRetry(client, jobList[i], backendName, rng);
       }
     });
   }
@@ -388,7 +464,8 @@ std::vector<PhaseJobResult> runPhase(const std::string& socketPath,
 
 pid_t spawnDaemon(const std::string& bin, const std::string& socketPath,
                   const std::string& cacheDir, std::size_t workers,
-                  std::size_t queue, std::size_t progressInterval) {
+                  std::size_t queue, std::size_t progressInterval,
+                  std::size_t cacheCap = 0, const std::string& faults = {}) {
   std::vector<std::string> args = {
       bin,           "--socket",
       socketPath,    "--workers",
@@ -399,6 +476,14 @@ pid_t spawnDaemon(const std::string& bin, const std::string& socketPath,
     args.push_back("--cache-dir");
     args.push_back(cacheDir);
   }
+  if (cacheCap > 0) {
+    args.push_back("--cache-cap");
+    args.push_back(std::to_string(cacheCap));
+  }
+  if (!faults.empty()) {
+    args.push_back("--faults");
+    args.push_back(faults);
+  }
   pid_t pid = ::fork();
   if (pid != 0) return pid;
   std::vector<char*> argvp;
@@ -408,6 +493,459 @@ pid_t spawnDaemon(const std::string& bin, const std::string& socketPath,
   ::execv(bin.c_str(), argvp.data());
   std::perror("als_replay: execv");
   ::_exit(127);
+}
+
+// --- chaos harness (--faults) -----------------------------------------------
+
+bool readFile(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  char chunk[65536];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) out.append(chunk, n);
+  std::fclose(f);
+  return true;
+}
+
+bool writeFile(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::size_t countFiles(const std::string& dir, const char* ext) {
+  std::error_code ec;
+  std::size_t n = 0;
+  std::filesystem::directory_iterator it(dir, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ext) ++n;
+  }
+  return n;
+}
+
+/// The chaos harness: every failure mode the stack claims to survive,
+/// driven for real — file corruption between daemon generations, injected
+/// ENOSPC and crash points, SIGKILL mid-job, deadlines, backpressure — with
+/// the acceptance bar that completed results stay byte-identical to the
+/// in-process oracle and corrupt bytes are never served.
+int runChaosHarness(const std::string& serveBin, EngineBackend backend,
+                    const std::string& backendStr, bool check) {
+  int failures = 0;
+  auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "als_replay: FAIL %s\n", what.c_str());
+    ++failures;
+  };
+
+  char tmpl[] = "/tmp/als_chaos.XXXXXX";
+  const char* made = ::mkdtemp(tmpl);
+  if (made == nullptr) {
+    std::perror("als_replay: mkdtemp");
+    return 1;
+  }
+  const std::string tmpDir = made;
+  const std::string socketPath = tmpDir + "/als.sock";
+
+  CorpusCircuit which;
+  if (!corpusByName("apte", &which)) return 1;
+  const std::string_view apte = corpusText(which);
+  if (!corpusByName("ami33", &which)) return 1;
+  const std::string_view ami33 = corpusText(which);
+
+  auto start = [&](const std::string& cacheDir, std::size_t workers,
+                   std::size_t queue, std::size_t cap,
+                   const std::string& faults, ServeClient& client) -> pid_t {
+    pid_t pid = spawnDaemon(serveBin, socketPath, cacheDir, workers, queue,
+                            /*progressInterval=*/16, cap, faults);
+    if (pid < 0 || !connectRetry(client, socketPath)) {
+      fail("chaos: cannot spawn/connect daemon");
+      if (pid > 0) ::kill(pid, SIGKILL);
+      return -1;
+    }
+    return pid;
+  };
+  auto stopClean = [&](ServeClient& client, pid_t pid, const char* what) {
+    if (!client.shutdownDaemon()) {
+      fail(std::string(what) + ": SHUTDOWN not acknowledged");
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      fail(std::string(what) + ": daemon did not exit cleanly");
+    }
+  };
+  auto waitCrash = [&](pid_t pid, const char* what) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) {
+      fail(std::string(what) + ": waitpid failed");
+      return;
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      fail(std::string(what) + ": daemon exited cleanly, crash expected");
+    }
+  };
+  auto oracleCheck = [&](const JobSpec& job, const WireOutcome& out,
+                         const char* what) {
+    if (check && fnv1a64(out.payload) != oracleDigest(job, backend)) {
+      fail(std::string(what) + ": served result differs from the in-process "
+                               "oracle");
+    }
+  };
+
+  // --- phase A: store corruption between daemon generations ----------------
+  // Populate 5 entries, shut down, damage 3 of them on disk (bit flip,
+  // truncation, foreign content under the wrong key) plus an orphan .tmp,
+  // restart: the scrub must quarantine exactly the damaged entries, the
+  // damaged keys recompute bit-identically, the intact ones still hit.
+  {
+    const std::string cacheDir = tmpDir + "/cache-a";
+    ServeClient c1;
+    pid_t pid = start(cacheDir, 2, 16, 0, "", c1);
+    if (pid > 0) {
+      std::vector<JobSpec> jobs;
+      for (std::uint64_t s = 1; s <= 5; ++s) {
+        jobs.push_back({"apte", apte, s, 64, 2});
+      }
+      std::vector<std::string> keys(jobs.size()), payloads(jobs.size());
+      Rng rng(1);
+      bool populated = true;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        WireOutcome out = runWithRetry(c1, jobs[i], backendStr, rng);
+        if (!out.ok || out.status != "miss") {
+          fail("chaos-A: populate job " + std::to_string(i) + " failed");
+          populated = false;
+          continue;
+        }
+        keys[i] = out.keyHex;
+        payloads[i] = out.payload;
+        oracleCheck(jobs[i], out, "chaos-A populate");
+      }
+      stopClean(c1, pid, "chaos-A populate");
+
+      if (populated) {
+        auto entry = [&](std::size_t i) {
+          return cacheDir + "/" + keys[i] + ".alsresult";
+        };
+        std::string bytes;
+        // keys[0]: one flipped bit mid-file.
+        if (!readFile(entry(0), bytes)) fail("chaos-A: read entry 0");
+        bytes[bytes.size() / 2] ^= 0x20;
+        writeFile(entry(0), bytes);
+        // keys[1]: truncated to 60%.
+        if (!readFile(entry(1), bytes)) fail("chaos-A: read entry 1");
+        writeFile(entry(1), std::string_view(bytes).substr(0, bytes.size() * 3 / 5));
+        // keys[3]: keys[2]'s (valid!) content under keys[3]'s name — the
+        // foreign-file case only the Key line can catch.
+        if (!readFile(entry(2), bytes)) fail("chaos-A: read entry 2");
+        writeFile(entry(3), bytes);
+        // Plus an orphaned temp file from a pretend crash.
+        writeFile(entry(4) + ".tmp", "torn half-written entry");
+
+        ServeClient c2;
+        pid = start(cacheDir, 2, 16, 0, "", c2);
+        if (pid > 0) {
+          ServeStats s{};
+          if (!c2.stats(s)) fail("chaos-A: STATS after restart");
+          if (s.quarantined < 3) {
+            fail("chaos-A: scrub quarantined " +
+                 std::to_string(s.quarantined) + " entries, expected >= 3");
+          }
+          if (std::filesystem::exists(entry(4) + ".tmp")) {
+            fail("chaos-A: orphan .tmp survived the startup scrub");
+          }
+          const char* expect[5] = {"miss", "miss", "hit", "miss", "hit"};
+          for (std::size_t i = 0; i < jobs.size(); ++i) {
+            WireOutcome out = c2.run(jobs[i], backendStr);
+            if (!out.ok || out.status != expect[i]) {
+              fail("chaos-A: post-damage job " + std::to_string(i) +
+                   " status '" + (out.ok ? out.status : out.error) +
+                   "', expected '" + expect[i] + "'");
+            } else if (out.payload != payloads[i]) {
+              fail("chaos-A: post-damage job " + std::to_string(i) +
+                   " payload not byte-identical to the original");
+            }
+          }
+          stopClean(c2, pid, "chaos-A recovery");
+          std::printf("chaos-A corruption: 3 damaged + 1 torn .tmp -> "
+                      "%llu quarantined, recomputes byte-identical\n",
+                      static_cast<unsigned long long>(s.quarantined));
+        }
+      }
+    }
+  }
+
+  // --- phase B: ENOSPC degradation ------------------------------------------
+  // Every disk write fails: results must still flow (computed, correct),
+  // the daemon must surface memory-only degradation, resubmits must hit
+  // from memory, and nothing may land on disk.
+  {
+    const std::string cacheDir = tmpDir + "/cache-b";
+    ServeClient c;
+    pid_t pid = start(cacheDir, 2, 16, 0, "write-fail@1+", c);
+    if (pid > 0) {
+      std::vector<JobSpec> jobs;
+      for (std::uint64_t s = 11; s <= 14; ++s) {
+        jobs.push_back({"apte", apte, s, 64, 2});
+      }
+      std::vector<std::string> payloads(jobs.size());
+      Rng rng(2);
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        WireOutcome out = runWithRetry(c, jobs[i], backendStr, rng);
+        if (!out.ok || out.status != "miss") {
+          fail("chaos-B: job " + std::to_string(i) + " failed under ENOSPC");
+          continue;
+        }
+        payloads[i] = out.payload;
+        oracleCheck(jobs[i], out, "chaos-B");
+      }
+      ServeStats s{};
+      if (!c.stats(s)) fail("chaos-B: STATS");
+      if (!s.memoryOnly) {
+        fail("chaos-B: daemon not memory-only after persistent write "
+             "failures");
+      }
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        WireOutcome out = c.run(jobs[i], backendStr);
+        if (!out.ok || out.status != "hit" || out.payload != payloads[i]) {
+          fail("chaos-B: resubmit " + std::to_string(i) +
+               " not a byte-identical memory hit");
+        }
+      }
+      if (countFiles(cacheDir, ".alsresult") != 0) {
+        fail("chaos-B: entries landed on disk despite injected ENOSPC");
+      }
+      stopClean(c, pid, "chaos-B");
+      std::printf("chaos-B ENOSPC: %zu jobs computed memory-only, "
+                  "degradation surfaced, 0 files on disk\n",
+                  jobs.size());
+    }
+  }
+
+  // --- phase C: crash recovery ----------------------------------------------
+  {
+    // C1: die between temp-file write and rename — the classic torn-rename
+    // window.  The orphan .tmp must be scrubbed, the lost job recomputed.
+    const std::string cacheDir = tmpDir + "/cache-c1";
+    ServeClient c;
+    pid_t pid = start(cacheDir, 1, 16, 0, "crash@store-after-write:2", c);
+    if (pid > 0) {
+      JobSpec j1{"apte", apte, 21, 64, 2}, j2{"apte", apte, 22, 64, 2};
+      WireOutcome out1 = c.run(j1, backendStr);
+      if (!out1.ok || out1.status != "miss") fail("chaos-C1: first job");
+      WireOutcome out2 = c.run(j2, backendStr);
+      if (out2.ok) {
+        fail("chaos-C1: second job completed, crash-at-store expected");
+      }
+      waitCrash(pid, "chaos-C1");
+      ServeClient c2;
+      pid = start(cacheDir, 1, 16, 0, "", c2);
+      if (pid > 0) {
+        if (countFiles(cacheDir, ".tmp") != 0) {
+          fail("chaos-C1: torn .tmp survived the restart scrub");
+        }
+        WireOutcome redo = c2.run(j2, backendStr);
+        if (!redo.ok || redo.status != "miss") {
+          fail("chaos-C1: lost job did not recompute after restart");
+        }
+        oracleCheck(j2, redo, "chaos-C1 recompute");
+        WireOutcome warm = c2.run(j1, backendStr);
+        if (!warm.ok || warm.status != "hit" || warm.payload != out1.payload) {
+          fail("chaos-C1: durable pre-crash entry not served byte-identical");
+        }
+        stopClean(c2, pid, "chaos-C1");
+        std::printf("chaos-C1 crash mid-store: torn .tmp scrubbed, "
+                    "recompute + durable hit byte-identical\n");
+      }
+    }
+  }
+  {
+    // C2: SIGKILL with a job in flight — nothing graceful anywhere.  The
+    // store directory must come back serviceable and correct.
+    const std::string cacheDir = tmpDir + "/cache-c2";
+    ServeClient c;
+    pid_t pid = start(cacheDir, 1, 16, 0, "", c);
+    if (pid > 0) {
+      std::thread victim([&] {
+        ServeClient k;
+        if (!connectRetry(k, socketPath)) return;
+        JobSpec big{"ami33", ami33, 31, 200000, 2};
+        k.run(big, backendStr);  // dies with the daemon
+      });
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      victim.join();
+      ServeClient c2;
+      pid = start(cacheDir, 1, 16, 0, "", c2);
+      if (pid > 0) {
+        JobSpec j{"ami33", ami33, 32, 64, 2};
+        WireOutcome out = c2.run(j, backendStr);
+        if (!out.ok || out.status != "miss") {
+          fail("chaos-C2: job after SIGKILL restart failed");
+        }
+        oracleCheck(j, out, "chaos-C2");
+        stopClean(c2, pid, "chaos-C2");
+        std::printf("chaos-C2 SIGKILL mid-job: restart serves correctly\n");
+      }
+    }
+  }
+  {
+    // C3: die immediately after delivering a RESULT — the entry is durable,
+    // the restarted daemon must serve it warm and byte-identical.
+    const std::string cacheDir = tmpDir + "/cache-c3";
+    ServeClient c;
+    pid_t pid = start(cacheDir, 1, 16, 0, "crash@serve-after-result:1", c);
+    if (pid > 0) {
+      JobSpec j{"apte", apte, 23, 64, 2};
+      WireOutcome out = c.run(j, backendStr);
+      if (!out.ok || out.status != "miss") {
+        fail("chaos-C3: job before crash point failed");
+      }
+      waitCrash(pid, "chaos-C3");
+      ServeClient c2;
+      pid = start(cacheDir, 1, 16, 0, "", c2);
+      if (pid > 0) {
+        WireOutcome warm = c2.run(j, backendStr);
+        if (!warm.ok || warm.status != "hit" || warm.payload != out.payload) {
+          fail("chaos-C3: durable entry not served warm after crash");
+        }
+        stopClean(c2, pid, "chaos-C3");
+        std::printf("chaos-C3 crash after RESULT: durable entry hits warm\n");
+      }
+    }
+  }
+
+  // --- phase D: deadlines ----------------------------------------------------
+  {
+    ServeClient c;
+    pid_t pid = start(tmpDir + "/cache-d", 1, 16, 0, "", c);
+    if (pid > 0) {
+      JobSpec wall{"ami33", ami33, 41, 200000, 2};
+      wall.deadlineMs = 300;
+      WireOutcome w = c.run(wall, backendStr);
+      if (!w.ok || w.status != "deadline") {
+        fail("chaos-D: wall-deadline job reported '" +
+             (w.ok ? w.status : w.error) + "', expected 'deadline'");
+      } else if (w.latencySec > 10.0) {
+        fail("chaos-D: wall deadline honored only after " +
+             std::to_string(w.latencySec) + "s");
+      }
+      // Not in the cache key, and the cut-short result must not be cached:
+      // the SAME job resubmitted must deadline again, never hit.
+      WireOutcome again = c.run(wall, backendStr);
+      if (again.ok && again.status == "hit") {
+        fail("chaos-D: deadline-expired result was served from the cache");
+      }
+      JobSpec swp{"ami33", ami33, 42, 200000, 2};
+      swp.deadlineSweeps = 64;
+      WireOutcome sw = c.run(swp, backendStr);
+      if (!sw.ok || sw.status != "deadline") {
+        fail("chaos-D: sweep-deadline job reported '" +
+             (sw.ok ? sw.status : sw.error) + "', expected 'deadline'");
+      } else if (sw.progressTotal > 4) {
+        // 2 slices x 16 sweeps/round crosses the 64-sweep budget in round
+        // 2; one more round winds down.  >4 means the round-granular check
+        // is not being honored.
+        fail("chaos-D: sweep deadline acknowledged only after " +
+             std::to_string(sw.progressTotal) + " progress rounds");
+      }
+      ServeStats s{};
+      if (!c.stats(s)) fail("chaos-D: STATS");
+      if (s.deadlineExpired < 2) {
+        fail("chaos-D: STATS deadline-expired " +
+             std::to_string(s.deadlineExpired) + ", expected >= 2");
+      }
+      stopClean(c, pid, "chaos-D");
+      std::printf("chaos-D deadlines: wall %.0fms, sweep within %zu "
+                  "round(s), never cached\n",
+                  w.latencySec * 1e3, sw.progressTotal);
+    }
+  }
+
+  // --- phase E: backpressure + retry ----------------------------------------
+  // One slot, occupied by a long job: a retrying client must see REJECTED,
+  // back off, and land the job once the slot frees — attempts > 1 proves
+  // the backpressure path actually fired.
+  {
+    ServeClient c;
+    pid_t pid = start(tmpDir + "/cache-e", 1, /*queue=*/1, 0, "", c);
+    if (pid > 0) {
+      std::thread occupier([&] {
+        ServeClient k;
+        if (!connectRetry(k, socketPath)) return;
+        JobSpec big{"ami33", ami33, 51, 8000, 2};
+        k.run(big, backendStr);
+      });
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      ServeClient rc;
+      if (!connectRetry(rc, socketPath)) {
+        fail("chaos-E: retry client connect");
+        occupier.join();
+      } else {
+        Rng rng(7);
+        JobSpec small{"apte", apte, 52, 64, 2};
+        WireOutcome out =
+            runWithRetry(rc, small, backendStr, rng, /*maxAttempts=*/400);
+        occupier.join();
+        if (!out.ok) {
+          fail("chaos-E: retried job never completed (" +
+               (out.rejected ? std::string("still rejected") : out.error) +
+               ")");
+        } else if (out.attempts < 2) {
+          fail("chaos-E: job accepted on attempt 1 — backpressure never "
+               "fired (timing too generous?)");
+        } else {
+          oracleCheck(small, out, "chaos-E");
+        }
+        ServeStats s{};
+        if (!c.stats(s)) fail("chaos-E: STATS");
+        if (s.rejected < 1) fail("chaos-E: STATS shows no rejections");
+        stopClean(c, pid, "chaos-E");
+        std::printf("chaos-E backpressure: accepted on attempt %zu after "
+                    "deterministic backoff\n",
+                    out.attempts);
+      }
+    }
+  }
+
+  // --- phase F: size cap -----------------------------------------------------
+  {
+    const std::string cacheDir = tmpDir + "/cache-f";
+    ServeClient c;
+    pid_t pid = start(cacheDir, 2, 16, /*cap=*/3, "", c);
+    if (pid > 0) {
+      Rng rng(3);
+      for (std::uint64_t s = 61; s <= 65; ++s) {
+        JobSpec j{"apte", apte, s, 64, 2};
+        WireOutcome out = runWithRetry(c, j, backendStr, rng);
+        if (!out.ok) fail("chaos-F: job failed");
+      }
+      ServeStats s{};
+      if (!c.stats(s)) fail("chaos-F: STATS");
+      if (s.evicted < 2) {
+        fail("chaos-F: STATS evicted " + std::to_string(s.evicted) +
+             ", expected >= 2 with cap 3 and 5 unique jobs");
+      }
+      stopClean(c, pid, "chaos-F");
+      const std::size_t files = countFiles(cacheDir, ".alsresult");
+      if (files > 3) {
+        fail("chaos-F: " + std::to_string(files) +
+             " files on disk exceed the cap of 3");
+      }
+      std::printf("chaos-F size cap: 5 unique jobs, cap 3 -> %llu evicted, "
+                  "%zu files on disk\n",
+                  static_cast<unsigned long long>(s.evicted), files);
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(tmpDir, ec);
+  std::printf("als_replay --faults: %s (%d failure(s))\n",
+              failures == 0 ? "PASS" : "FAIL", failures);
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -423,6 +961,7 @@ int main(int argc, char** argv) {
               cancelSweeps = 200000;
   double dupRatio = 0.5;
   bool check = false;
+  bool faultsMode = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -486,6 +1025,8 @@ int main(int argc, char** argv) {
       dupRatio = r;
     } else if (arg == "--check") {
       check = true;
+    } else if (arg == "--faults") {
+      faultsMode = true;
     } else if (arg == "--json") {
       ++i;  // value consumed by BenchIo
     } else {
@@ -502,6 +1043,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string backendStr(backendName(backend));
+
+  if (faultsMode) {
+    if (serveBin.empty()) {
+      std::fprintf(stderr,
+                   "als_replay: --faults needs --serve-bin (the harness owns "
+                   "the daemon lifecycle)\n");
+      return 2;
+    }
+    return runChaosHarness(serveBin, backend, backendStr, check);
+  }
 
   // Resolve the circuit list against the embedded corpus.
   std::vector<std::pair<std::string, std::string_view>> circuits;
@@ -556,20 +1107,11 @@ int main(int argc, char** argv) {
   // One control connection for FLUSH / STATS / SHUTDOWN, which doubles as
   // the connect-retry probe for a just-spawned daemon.
   ServeClient control;
-  {
-    bool connected = false;
-    for (int attempt = 0; attempt < 200 && !connected; ++attempt) {
-      connected = control.connect(socketPath);
-      if (!connected) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(25));
-      }
-    }
-    if (!connected) {
-      std::fprintf(stderr, "als_replay: cannot connect to %s\n",
-                   socketPath.c_str());
-      if (daemonPid > 0) ::kill(daemonPid, SIGKILL);
-      return 1;
-    }
+  if (!connectRetry(control, socketPath)) {
+    std::fprintf(stderr, "als_replay: cannot connect to %s\n",
+                 socketPath.c_str());
+    if (daemonPid > 0) ::kill(daemonPid, SIGKILL);
+    return 1;
   }
 
   std::printf("als_replay: daemon at %s, backend=%s, %zu circuit(s), "

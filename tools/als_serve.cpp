@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "runtime/serve.h"
+#include "util/fault_injection.h"
 
 namespace {
 
@@ -52,6 +53,11 @@ int usage(const char* argv0) {
                "                         PROGRESS events (default 32)\n"
                "  --cache-dir <dir>      persisted result store (default: memory\n"
                "                         only)\n"
+               "  --cache-cap <n>        result cache size cap, memory+disk\n"
+               "                         entries (default 0 = unbounded)\n"
+               "  --faults <spec>        arm deterministic fault injection on the\n"
+               "                         store path (util/fault_injection.h —\n"
+               "                         chaos testing only)\n"
                "protocol: see src/io/serve_protocol.h (\"ALSSERVE 1\")\n",
                argv0);
   return 2;
@@ -87,11 +93,12 @@ struct Connection {
   std::unordered_map<std::string, std::uint64_t> tags;  ///< live tag -> job id
 };
 
-/// Writes the whole buffer under the connection's write mutex.  Errors
-/// (client went away) are swallowed: the job finishes either way, and
-/// SIGPIPE is ignored process-wide.
-void writeAll(Connection& conn, const std::string& data) {
-  std::lock_guard<std::mutex> lock(conn.writeMutex);
+/// Writes the whole buffer; the caller must hold `writeMutex`.  Retries
+/// EINTR and short writes — a tagged reply is delivered whole or not at
+/// all, never a prefix followed by a give-up under load.  Errors (client
+/// went away) are swallowed: the job finishes either way, and SIGPIPE is
+/// ignored process-wide.
+void writeAllLocked(Connection& conn, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = ::write(conn.fd, data.data() + sent, data.size() - sent);
@@ -101,6 +108,12 @@ void writeAll(Connection& conn, const std::string& data) {
     }
     sent += static_cast<std::size_t>(n);
   }
+}
+
+/// Locking wrapper: one protocol line/block at a time.
+void writeAll(Connection& conn, const std::string& data) {
+  std::lock_guard<std::mutex> lock(conn.writeMutex);
+  writeAllLocked(conn, data);
 }
 
 /// Buffered reader over the connection fd: lines for the protocol, exact
@@ -138,8 +151,11 @@ class Reader {
  private:
   bool fill() {
     char chunk[65536];
-    ssize_t n = ::read(fd_, chunk, sizeof chunk);
-    if (n <= 0) return false;  // EOF or error: connection is done
+    ssize_t n;
+    do {
+      n = ::read(fd_, chunk, sizeof chunk);
+    } while (n < 0 && errno == EINTR);  // a signal is not an EOF
+    if (n <= 0) return false;  // EOF or real error: connection is done
     buffer_.append(chunk, static_cast<std::size_t>(n));
     return true;
   }
@@ -191,6 +207,8 @@ bool handleJob(ServeEngine& engine, const std::shared_ptr<Connection>& conn,
   }
 
   EngineOptions options;
+  double deadlineSeconds = 0.0;
+  std::uint64_t deadlineSweeps = 0;
   std::string line, circuitText;
   bool sawCircuit = false;
   for (;;) {
@@ -201,7 +219,22 @@ bool handleJob(ServeEngine& engine, const std::shared_ptr<Connection>& conn,
     if (word == "OPT") {
       std::string_view key = nextToken(rest);
       std::string_view value = nextToken(rest);
-      if (semanticError.empty()) {
+      // Deadlines are serve-layer knobs, not EngineOptions: they bound
+      // whether a run finishes, never what a finished run produces, so they
+      // stay out of applyJobOption and out of the cache key.
+      if (key == "deadline-ms" || key == "deadline-sweeps") {
+        std::uint64_t n = 0;
+        if (!parseNum(std::string(value).c_str(), &n)) {
+          if (semanticError.empty()) {
+            semanticError =
+                "bad OPT " + std::string(key) + ": nonnegative integer";
+          }
+        } else if (key == "deadline-ms") {
+          deadlineSeconds = static_cast<double>(n) / 1000.0;
+        } else {
+          deadlineSweeps = n;
+        }
+      } else if (semanticError.empty()) {
         semanticError = applyJobOption(options, key, value);
       }
     } else if (word == "CIRCUIT") {
@@ -231,6 +264,8 @@ bool handleJob(ServeEngine& engine, const std::shared_ptr<Connection>& conn,
   job.circuitText = std::move(circuitText);
   job.backend = backend;
   job.options = options;
+  job.deadlineSeconds = deadlineSeconds;
+  job.deadlineSweeps = static_cast<std::size_t>(deadlineSweeps);
   job.onProgress = [conn, tagStr](std::size_t round, std::size_t sweeps,
                                   double best) {
     std::string out = "PROGRESS " + tagStr + " " + std::to_string(round) +
@@ -248,9 +283,10 @@ bool handleJob(ServeEngine& engine, const std::shared_ptr<Connection>& conn,
       writeAll(*conn, "ERROR " + tagStr + " " + outcome.error + "\n");
       return;
     }
-    const char* status = outcome.cacheHit ? "hit"
-                         : outcome.cancelled ? "cancelled"
-                                             : "miss";
+    const char* status = outcome.cacheHit          ? "hit"
+                         : outcome.deadlineExpired ? "deadline"
+                         : outcome.cancelled       ? "cancelled"
+                                                   : "miss";
     std::string payload;
     writeResultText(outcome.backend, *outcome.result, payload);
     std::string out = "RESULT " + tagStr + " " + status + " " +
@@ -258,6 +294,10 @@ bool handleJob(ServeEngine& engine, const std::shared_ptr<Connection>& conn,
     out += payload;
     out += "DONE " + tagStr + "\n";
     writeAll(*conn, out);
+    // Chaos-test crash window: the client HAS its RESULT, the daemon dies
+    // before anything else happens — restart recovery must serve the same
+    // bytes from the durable store.
+    FaultInjector::global().onCrashPoint("serve-after-result");
   };
 
   // Submit while holding the write mutex so the QUEUED line reaches the
@@ -277,15 +317,7 @@ bool handleJob(ServeEngine& engine, const std::shared_ptr<Connection>& conn,
   } else {
     reply = "REJECTED " + tagStr + " queue-full\n";
   }
-  std::size_t sent = 0;
-  while (sent < reply.size()) {
-    ssize_t n = ::write(conn->fd, reply.data() + sent, reply.size() - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
+  writeAllLocked(*conn, reply);
   return true;
 }
 
@@ -320,7 +352,11 @@ void handleConnection(ServeEngine& engine, std::shared_ptr<Connection> conn) {
                           std::to_string(s.cacheHits) + " " +
                           std::to_string(s.cacheMisses) + " " +
                           std::to_string(s.cancelled) + " " +
-                          std::to_string(s.rejected) + "\n");
+                          std::to_string(s.rejected) + " " +
+                          std::to_string(s.deadlineExpired) + " " +
+                          std::to_string(s.quarantined) + " " +
+                          std::to_string(s.evicted) + " " +
+                          std::to_string(s.memoryOnly ? 1 : 0) + "\n");
     } else if (word == "FLUSH") {
       engine.cache().clear();
       writeAll(*conn, "FLUSHED\n");
@@ -338,7 +374,7 @@ void handleConnection(ServeEngine& engine, std::shared_ptr<Connection> conn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socketPath, cacheDir;
+  std::string socketPath;
   ServeOptions options;
   options.workers = 2;
 
@@ -368,6 +404,18 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v || !parseNum(v, &n) || n == 0) return usage(argv[0]);
       options.progressInterval = static_cast<std::size_t>(n);
+    } else if (arg == "--cache-cap") {
+      const char* v = value();
+      if (!v || !parseNum(v, &n)) return usage(argv[0]);
+      options.cacheCapacity = static_cast<std::size_t>(n);
+    } else if (arg == "--faults") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      const std::string err = FaultInjector::global().configure(v);
+      if (!err.empty()) {
+        std::fprintf(stderr, "als_serve: %s\n", err.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "als_serve: unknown option '%s'\n", argv[i]);
       return usage(argv[0]);
